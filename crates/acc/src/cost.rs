@@ -1,0 +1,104 @@
+//! Analytic per-kernel cost declarations.
+//!
+//! `nsight-compute` and `rocprof` report FLOPs and DRAM traffic per kernel;
+//! with no hardware counters available we declare the counts analytically at
+//! each launch site.  Counts are per *iteration* of the collapsed loop
+//! (usually per cell per sweep), derived from the arithmetic in the kernel
+//! body, and are what places each kernel on the roofline in Fig. 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's kernel families a launch belongs to.
+///
+/// Figures 6–7 break grind time into exactly these categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// WENO reconstruction (compute-bound on V100).
+    Weno,
+    /// HLLC approximate Riemann solve (memory-bound everywhere).
+    Riemann,
+    /// Array packing / transposes for coalesced access.
+    Pack,
+    /// Time-stepper AXPY-type updates.
+    Update,
+    /// Halo buffer pack/unpack for MPI.
+    Halo,
+    /// Everything else (BCs, sources, EOS sweeps, ...).
+    Other,
+}
+
+impl KernelClass {
+    /// Display name used in figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelClass::Weno => "WENO",
+            KernelClass::Riemann => "Riemann",
+            KernelClass::Pack => "Pack",
+            KernelClass::Update => "Update",
+            KernelClass::Halo => "Halo",
+            KernelClass::Other => "Other",
+        }
+    }
+
+    pub const ALL: [KernelClass; 6] = [
+        KernelClass::Weno,
+        KernelClass::Riemann,
+        KernelClass::Pack,
+        KernelClass::Update,
+        KernelClass::Halo,
+        KernelClass::Other,
+    ];
+}
+
+/// Declared cost of one iteration of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    pub class: KernelClass,
+    /// Double-precision floating-point operations per iteration.
+    pub flops_per_item: f64,
+    /// Bytes read from (device) memory per iteration, assuming a cold cache.
+    pub bytes_read_per_item: f64,
+    /// Bytes written per iteration.
+    pub bytes_written_per_item: f64,
+}
+
+impl KernelCost {
+    pub fn new(class: KernelClass, flops: f64, read: f64, written: f64) -> Self {
+        KernelCost {
+            class,
+            flops_per_item: flops,
+            bytes_read_per_item: read,
+            bytes_written_per_item: written,
+        }
+    }
+
+    /// Total bytes moved per iteration.
+    #[inline]
+    pub fn bytes_per_item(&self) -> f64 {
+        self.bytes_read_per_item + self.bytes_written_per_item
+    }
+
+    /// Arithmetic intensity in FLOP/byte — the roofline x-axis.
+    #[inline]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops_per_item / self.bytes_per_item()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_intensity_is_flops_over_total_bytes() {
+        let c = KernelCost::new(KernelClass::Weno, 120.0, 40.0, 8.0);
+        assert!((c.arithmetic_intensity() - 120.0 / 48.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn class_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            KernelClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), KernelClass::ALL.len());
+    }
+}

@@ -1,0 +1,207 @@
+//! Kernel execution — the `!$acc parallel loop` substitute.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use crate::config::LaunchConfig;
+use crate::cost::KernelCost;
+use crate::ledger::Ledger;
+
+/// An execution context: one "device" plus its profiling ledger.
+///
+/// With more than one worker thread the collapsed iteration space is split
+/// across a rayon pool (gangs ≙ work-stealing chunks, vector lanes ≙ the
+/// threads inside a chunk); with a single worker the loop runs serially —
+/// the paper's "compiled without OpenACC" CPU path.
+#[derive(Clone)]
+pub struct Context {
+    ledger: Arc<Ledger>,
+    workers: usize,
+}
+
+impl Context {
+    /// A context using every available worker thread.
+    pub fn new() -> Self {
+        Context {
+            ledger: Arc::new(Ledger::new()),
+            workers: rayon::current_num_threads(),
+        }
+    }
+
+    /// A strictly serial context (reference results, bitwise determinism).
+    pub fn serial() -> Self {
+        Context {
+            ledger: Arc::new(Ledger::new()),
+            workers: 1,
+        }
+    }
+
+    /// The profiling ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Share the ledger (e.g. across solver sub-components).
+    pub fn ledger_arc(&self) -> Arc<Ledger> {
+        Arc::clone(&self.ledger)
+    }
+
+    /// Number of worker threads the context schedules onto.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Launch a kernel over a collapsed iteration space of `n` items.
+    ///
+    /// The body observes iteration indices in an unspecified order (as on a
+    /// device); it must not rely on sequencing between iterations.
+    /// Sequential contexts run indices in order, which is what makes the
+    /// serial path reproducible.
+    pub fn launch<F>(&self, cfg: &LaunchConfig, cost: KernelCost, n: usize, mut body: F)
+    where
+        F: FnMut(usize),
+    {
+        let t0 = Instant::now();
+        for i in 0..n {
+            body(i);
+        }
+        self.ledger
+            .record_launch(cfg.label, cost, n as u64, t0.elapsed());
+    }
+
+    /// Launch a kernel whose output decomposes into disjoint `chunk_len`
+    /// slices of `out` — the shape of every sweep kernel in the solver
+    /// (one contiguous coalesced line per (j,k,field) tuple).
+    ///
+    /// The body receives `(chunk_index, chunk)` and may only write its own
+    /// chunk, which is what makes the parallel execution race-free by
+    /// construction. Iteration count recorded in the ledger is the number
+    /// of chunks.
+    pub fn launch_chunks<T, F>(
+        &self,
+        cfg: &LaunchConfig,
+        cost: KernelCost,
+        out: &mut [T],
+        chunk_len: usize,
+        body: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        assert_eq!(
+            out.len() % chunk_len,
+            0,
+            "output length {} is not a multiple of chunk length {}",
+            out.len(),
+            chunk_len
+        );
+        let n = out.len() / chunk_len;
+        let t0 = Instant::now();
+        if self.workers > 1 {
+            out.par_chunks_mut(chunk_len)
+                .enumerate()
+                .for_each(|(i, c)| body(i, c));
+        } else {
+            for (i, c) in out.chunks_exact_mut(chunk_len).enumerate() {
+                body(i, c);
+            }
+        }
+        self.ledger
+            .record_launch(cfg.label, cost, n as u64, t0.elapsed());
+    }
+
+    /// Launch a reduction kernel returning the maximum of the body over the
+    /// iteration space (used for the CFL time-step bound).
+    pub fn launch_max<F>(&self, cfg: &LaunchConfig, cost: KernelCost, n: usize, body: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        let t0 = Instant::now();
+        let result = if self.workers > 1 {
+            (0..n)
+                .into_par_iter()
+                .map(&body)
+                .reduce(|| f64::NEG_INFINITY, f64::max)
+        } else {
+            (0..n).map(&body).fold(f64::NEG_INFINITY, f64::max)
+        };
+        self.ledger
+            .record_launch(cfg.label, cost, n as u64, t0.elapsed());
+        result
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelClass;
+
+    fn cost() -> KernelCost {
+        KernelCost::new(KernelClass::Other, 1.0, 8.0, 8.0)
+    }
+
+    #[test]
+    fn launch_visits_every_index_once() {
+        let ctx = Context::serial();
+        let mut seen = vec![0u32; 100];
+        ctx.launch(&LaunchConfig::tuned("t"), cost(), 100, |i| seen[i] += 1);
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn launch_records_ledger_entry() {
+        let ctx = Context::serial();
+        ctx.launch(&LaunchConfig::tuned("kern"), cost(), 42, |_| {});
+        let s = ctx.ledger().kernel("kern").unwrap();
+        assert_eq!(s.items, 42);
+        assert_eq!(s.launches, 1);
+    }
+
+    #[test]
+    fn launch_chunks_gives_disjoint_chunks() {
+        let ctx = Context::new();
+        let mut out = vec![0.0f64; 64];
+        ctx.launch_chunks(&LaunchConfig::tuned("c"), cost(), &mut out, 8, |i, c| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = (i * 8 + j) as f64;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+        assert_eq!(ctx.ledger().kernel("c").unwrap().items, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn launch_chunks_rejects_non_multiple() {
+        let ctx = Context::serial();
+        let mut out = vec![0.0f64; 10];
+        ctx.launch_chunks(&LaunchConfig::tuned("c"), cost(), &mut out, 3, |_, _| {});
+    }
+
+    #[test]
+    fn launch_max_reduces_correctly() {
+        let ctx = Context::new();
+        let m = ctx.launch_max(&LaunchConfig::tuned("m"), cost(), 1000, |i| {
+            -((i as f64) - 500.5).abs()
+        });
+        assert_eq!(m, -0.5);
+    }
+
+    #[test]
+    fn launch_max_empty_space_is_neg_infinity() {
+        let ctx = Context::serial();
+        let m = ctx.launch_max(&LaunchConfig::tuned("m0"), cost(), 0, |_| 1.0);
+        assert_eq!(m, f64::NEG_INFINITY);
+    }
+}

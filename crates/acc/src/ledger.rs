@@ -1,0 +1,234 @@
+//! The profiling ledger: what an OpenACC profiler would have recorded.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{KernelClass, KernelCost};
+
+/// Direction of a data-region transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferDirection {
+    /// `update device` / `enter data copyin`.
+    HostToDevice,
+    /// `update host` / `exit data copyout`.
+    DeviceToHost,
+}
+
+/// Accumulated statistics for one kernel label.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    pub label: String,
+    pub class: Option<KernelClass>,
+    /// Number of launches.
+    pub launches: u64,
+    /// Total collapsed-loop iterations across launches.
+    pub items: u64,
+    /// Total declared FLOPs.
+    pub flops: f64,
+    /// Total declared bytes read.
+    pub bytes_read: f64,
+    /// Total declared bytes written.
+    pub bytes_written: f64,
+    /// Total host wall time spent in the kernel bodies.
+    pub wall: Duration,
+}
+
+impl KernelStats {
+    /// Arithmetic intensity in FLOP/byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops / (self.bytes_read + self.bytes_written)
+    }
+
+    /// Measured host FLOP rate (FLOP/s).
+    pub fn host_flops_per_sec(&self) -> f64 {
+        self.flops / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Accumulated transfer statistics for one direction.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TransferStats {
+    pub count: u64,
+    pub bytes: u64,
+}
+
+/// Thread-safe accumulation of kernel launches and data transfers.
+///
+/// This is the substitute for `nsys`/`rocprof` output: every number the
+/// performance model needs (per-kernel FLOPs, bytes, iteration counts,
+/// transfer volumes) accumulates here while the *real* solver runs.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    inner: Mutex<LedgerInner>,
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    kernels: HashMap<&'static str, KernelStats>,
+    transfers: HashMap<TransferDirection, TransferStats>,
+}
+
+impl Ledger {
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Record one kernel launch.
+    pub fn record_launch(
+        &self,
+        label: &'static str,
+        cost: KernelCost,
+        items: u64,
+        wall: Duration,
+    ) {
+        let mut inner = self.inner.lock();
+        let e = inner.kernels.entry(label).or_insert_with(|| KernelStats {
+            label: label.to_string(),
+            class: Some(cost.class),
+            ..Default::default()
+        });
+        e.launches += 1;
+        e.items += items;
+        e.flops += cost.flops_per_item * items as f64;
+        e.bytes_read += cost.bytes_read_per_item * items as f64;
+        e.bytes_written += cost.bytes_written_per_item * items as f64;
+        e.wall += wall;
+    }
+
+    /// Record a data-region transfer.
+    pub fn record_transfer(&self, dir: TransferDirection, bytes: u64) {
+        let mut inner = self.inner.lock();
+        let e = inner.transfers.entry(dir).or_default();
+        e.count += 1;
+        e.bytes += bytes;
+    }
+
+    /// Snapshot of every kernel's statistics, sorted by descending wall
+    /// time (the order a profile summary lists them in).
+    pub fn kernel_stats(&self) -> Vec<KernelStats> {
+        let inner = self.inner.lock();
+        let mut v: Vec<_> = inner.kernels.values().cloned().collect();
+        v.sort_by(|a, b| b.wall.cmp(&a.wall));
+        v
+    }
+
+    /// Statistics for a single label, if it has launched.
+    pub fn kernel(&self, label: &str) -> Option<KernelStats> {
+        self.inner.lock().kernels.get(label).cloned()
+    }
+
+    /// Totals aggregated by kernel class.
+    pub fn by_class(&self) -> HashMap<KernelClass, KernelStats> {
+        let inner = self.inner.lock();
+        let mut out: HashMap<KernelClass, KernelStats> = HashMap::new();
+        for s in inner.kernels.values() {
+            let class = s.class.unwrap_or(KernelClass::Other);
+            let e = out.entry(class).or_insert_with(|| KernelStats {
+                label: class.name().to_string(),
+                class: Some(class),
+                ..Default::default()
+            });
+            e.launches += s.launches;
+            e.items += s.items;
+            e.flops += s.flops;
+            e.bytes_read += s.bytes_read;
+            e.bytes_written += s.bytes_written;
+            e.wall += s.wall;
+        }
+        out
+    }
+
+    /// Transfer statistics for one direction.
+    pub fn transfers(&self, dir: TransferDirection) -> TransferStats {
+        self.inner
+            .lock()
+            .transfers
+            .get(&dir)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total wall time across all kernels.
+    pub fn total_wall(&self) -> Duration {
+        self.inner.lock().kernels.values().map(|s| s.wall).sum()
+    }
+
+    /// Forget everything (e.g. to exclude warm-up steps from a profile).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.kernels.clear();
+        inner.transfers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> KernelCost {
+        KernelCost::new(KernelClass::Weno, 100.0, 40.0, 8.0)
+    }
+
+    #[test]
+    fn launches_accumulate() {
+        let l = Ledger::new();
+        l.record_launch("k", cost(), 10, Duration::from_millis(1));
+        l.record_launch("k", cost(), 20, Duration::from_millis(2));
+        let s = l.kernel("k").unwrap();
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.items, 30);
+        assert!((s.flops - 3000.0).abs() < 1e-9);
+        assert_eq!(s.wall, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn arithmetic_intensity_matches_declared_cost() {
+        let l = Ledger::new();
+        l.record_launch("k", cost(), 7, Duration::from_micros(5));
+        let s = l.kernel("k").unwrap();
+        assert!((s.arithmetic_intensity() - cost().arithmetic_intensity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfers_accumulate_per_direction() {
+        let l = Ledger::new();
+        l.record_transfer(TransferDirection::HostToDevice, 100);
+        l.record_transfer(TransferDirection::HostToDevice, 50);
+        l.record_transfer(TransferDirection::DeviceToHost, 10);
+        assert_eq!(l.transfers(TransferDirection::HostToDevice).count, 2);
+        assert_eq!(l.transfers(TransferDirection::HostToDevice).bytes, 150);
+        assert_eq!(l.transfers(TransferDirection::DeviceToHost).bytes, 10);
+    }
+
+    #[test]
+    fn by_class_merges_labels() {
+        let l = Ledger::new();
+        l.record_launch("weno_x", cost(), 5, Duration::from_millis(1));
+        l.record_launch("weno_y", cost(), 5, Duration::from_millis(1));
+        let by = l.by_class();
+        assert_eq!(by[&KernelClass::Weno].items, 10);
+        assert_eq!(by[&KernelClass::Weno].launches, 2);
+    }
+
+    #[test]
+    fn stats_sorted_by_wall_time() {
+        let l = Ledger::new();
+        l.record_launch("small", cost(), 1, Duration::from_millis(1));
+        l.record_launch("big", cost(), 1, Duration::from_millis(10));
+        let v = l.kernel_stats();
+        assert_eq!(v[0].label, "big");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let l = Ledger::new();
+        l.record_launch("k", cost(), 1, Duration::from_millis(1));
+        l.record_transfer(TransferDirection::DeviceToHost, 8);
+        l.reset();
+        assert!(l.kernel("k").is_none());
+        assert_eq!(l.transfers(TransferDirection::DeviceToHost).count, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Asynchronous execution queues — `!$acc ... async(n)` / `!$acc wait`.
+//!
+//! GPU codes overlap independent kernels (e.g., halo-buffer packing for
+//! different faces) by launching them on separate queues and
+//! synchronizing once. The substitute keeps the *semantics*: work
+//! enqueued on a queue is deferred, runs in enqueue order at `wait`, and
+//! distinct queues are independent (no ordering between them until a
+//! global wait). Execution is host-serial, so this models correctness of
+//! the async structure rather than its overlap speedup — which is what
+//! allows testing that kernels were legal to overlap at all.
+
+use std::collections::HashMap;
+
+use crate::exec::Context;
+
+type Task<'a> = Box<dyn FnOnce(&Context) + 'a>;
+
+/// A set of async queues bound to one context.
+pub struct QueueSet<'a> {
+    ctx: &'a Context,
+    queues: HashMap<u32, Vec<Task<'a>>>,
+    /// Total tasks executed by `wait`s (for tests/diagnostics).
+    completed: usize,
+}
+
+impl<'a> QueueSet<'a> {
+    pub fn new(ctx: &'a Context) -> Self {
+        QueueSet {
+            ctx,
+            queues: HashMap::new(),
+            completed: 0,
+        }
+    }
+
+    /// Enqueue work on queue `id` (`async(id)`).
+    pub fn enqueue(&mut self, id: u32, task: impl FnOnce(&Context) + 'a) {
+        self.queues.entry(id).or_default().push(Box::new(task));
+    }
+
+    /// Number of tasks pending on queue `id`.
+    pub fn pending(&self, id: u32) -> usize {
+        self.queues.get(&id).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Synchronize one queue (`wait(id)`): run its tasks in order.
+    pub fn wait(&mut self, id: u32) {
+        if let Some(tasks) = self.queues.remove(&id) {
+            for t in tasks {
+                t(self.ctx);
+                self.completed += 1;
+            }
+        }
+    }
+
+    /// Synchronize every queue (`wait` with no argument). Queues drain in
+    /// ascending id order for determinism.
+    pub fn wait_all(&mut self) {
+        let mut ids: Vec<u32> = self.queues.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.wait(id);
+        }
+    }
+
+    /// Tasks completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+}
+
+impl Drop for QueueSet<'_> {
+    fn drop(&mut self) {
+        // Leaving work enqueued is a bug (a missing `wait`), the same way
+        // destroying a CUDA stream with pending work is.
+        let pending: usize = self.queues.values().map(|q| q.len()).sum();
+        if pending > 0 && !std::thread::panicking() {
+            panic!("{pending} tasks dropped without a wait()");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn tasks_run_in_enqueue_order_within_a_queue() {
+        let ctx = Context::serial();
+        let log = RefCell::new(Vec::new());
+        let mut qs = QueueSet::new(&ctx);
+        qs.enqueue(1, |_| log.borrow_mut().push("a"));
+        qs.enqueue(1, |_| log.borrow_mut().push("b"));
+        assert_eq!(qs.pending(1), 2);
+        assert!(log.borrow().is_empty(), "tasks must defer until wait");
+        qs.wait(1);
+        assert_eq!(*log.borrow(), vec!["a", "b"]);
+        assert_eq!(qs.pending(1), 0);
+    }
+
+    #[test]
+    fn wait_on_one_queue_leaves_others_pending() {
+        let ctx = Context::serial();
+        let count = RefCell::new(0);
+        let mut qs = QueueSet::new(&ctx);
+        qs.enqueue(1, |_| *count.borrow_mut() += 1);
+        qs.enqueue(2, |_| *count.borrow_mut() += 10);
+        qs.wait(1);
+        assert_eq!(*count.borrow(), 1);
+        assert_eq!(qs.pending(2), 1);
+        qs.wait_all();
+        assert_eq!(*count.borrow(), 11);
+    }
+
+    #[test]
+    fn wait_all_drains_in_queue_id_order() {
+        let ctx = Context::serial();
+        let log = RefCell::new(Vec::new());
+        let mut qs = QueueSet::new(&ctx);
+        qs.enqueue(7, |_| log.borrow_mut().push(7));
+        qs.enqueue(2, |_| log.borrow_mut().push(2));
+        qs.enqueue(5, |_| log.borrow_mut().push(5));
+        qs.wait_all();
+        assert_eq!(*log.borrow(), vec![2, 5, 7]);
+        assert_eq!(qs.completed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a wait")]
+    fn dropping_pending_work_panics() {
+        let ctx = Context::serial();
+        let mut qs = QueueSet::new(&ctx);
+        qs.enqueue(0, |_| {});
+        drop(qs);
+    }
+
+    #[test]
+    fn queued_kernels_reach_the_ledger() {
+        use crate::config::LaunchConfig;
+        use crate::cost::{KernelClass, KernelCost};
+        let ctx = Context::serial();
+        let mut qs = QueueSet::new(&ctx);
+        qs.enqueue(3, |ctx| {
+            ctx.launch(
+                &LaunchConfig::tuned("queued_kernel"),
+                KernelCost::new(KernelClass::Halo, 1.0, 8.0, 8.0),
+                64,
+                |_| {},
+            );
+        });
+        assert!(ctx.ledger().kernel("queued_kernel").is_none());
+        qs.wait(3);
+        assert_eq!(ctx.ledger().kernel("queued_kernel").unwrap().items, 64);
+    }
+}

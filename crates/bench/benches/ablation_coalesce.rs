@@ -1,0 +1,126 @@
+//! §III-C ablation: coalesced vs strided sweep access.
+//!
+//! "Coalescing memory results in a ten-times speedup in the WENO kernel…
+//! This reduction outweighs the cost required to transpose the arrays."
+//!
+//! The y-sweep WENO kernel is run three ways over the same data:
+//! * `strided_gpu_like_order`: the sweep index is the innermost
+//!   (fastest-moving) loop, as it is the fastest thread index in the
+//!   device kernel, so consecutive iterations touch addresses `n1`
+//!   elements apart — the uncoalesced pattern the paper eliminates;
+//! * `strided_cache_friendly_order`: same data, transverse index
+//!   innermost — the loop order a CPU programmer would pick, which deep
+//!   CPU caches largely absorb (this variant has no GPU counterpart:
+//!   device kernels cannot reorder the thread-coalescing dimension away);
+//! * `reshape_then_unit_stride`: pay a (2,1,3,4) GEAM reshape first, then
+//!   sweep unit-stride lines — the paper's strategy, transpose cost
+//!   included.
+//!
+//! On GPUs variant 1 vs 3 is the 10x of §III-C. On a cached CPU the gap
+//! is far smaller (see EXPERIMENTS.md) — which is itself the point: the
+//! optimization is specifically about GPU memory coalescing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mfc_bench::{packed_buffer, BENCH_NF};
+use mfc_core::weno::weno5_face;
+use mfc_layout::{transpose_2134_geam, Dims4, Flat4D};
+
+const N1: usize = 100;
+const N2: usize = 106; // y carries the ghosts for a y sweep
+const N3: usize = 100;
+
+fn bench_coalescing(c: &mut Criterion) {
+    let xbuf = packed_buffer(N1, N2, N3, BENCH_NF);
+    let faces = N2 - 6;
+
+    let mut g = c.benchmark_group("ablation_coalesce");
+    g.throughput(Throughput::Elements((faces * N1 * N3 * BENCH_NF) as u64));
+    g.sample_size(10);
+
+    g.bench_function("strided_gpu_like_order", |b| {
+        let d = xbuf.dims();
+        let s = xbuf.as_slice();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in 0..BENCH_NF {
+                for k in 0..N3 {
+                    for i in 0..N1 {
+                        // Sweep index innermost: consecutive iterations
+                        // jump n1 elements — the uncoalesced pattern.
+                        for m in 0..faces {
+                            let jc = 2 + m;
+                            let base = d.idx(i, jc, k, f);
+                            acc += weno5_face(&[
+                                s[base - 2 * N1],
+                                s[base - N1],
+                                s[base],
+                                s[base + N1],
+                                s[base + 2 * N1],
+                            ]);
+                        }
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    g.bench_function("strided_cache_friendly_order", |b| {
+        let d = xbuf.dims();
+        let s = xbuf.as_slice();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in 0..BENCH_NF {
+                for k in 0..N3 {
+                    for m in 0..faces {
+                        let jc = 2 + m;
+                        for i in 0..N1 {
+                            let base = d.idx(i, jc, k, f);
+                            acc += weno5_face(&[
+                                s[base - 2 * N1],
+                                s[base - N1],
+                                s[base],
+                                s[base + N1],
+                                s[base + 2 * N1],
+                            ]);
+                        }
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    g.bench_function("reshape_then_unit_stride", |b| {
+        let mut ybuf = Flat4D::zeros(Dims4::new(N2, N1, N3, BENCH_NF));
+        b.iter(|| {
+            // The transpose is part of the cost, as in the paper.
+            transpose_2134_geam(&xbuf, &mut ybuf);
+            let mut acc = 0.0;
+            for f in 0..BENCH_NF {
+                for k in 0..N3 {
+                    for i in 0..N1 {
+                        let line = ybuf.line(i, k, f);
+                        for m in 0..faces {
+                            let c = 2 + m;
+                            acc += weno5_face(&[
+                                line[c - 2],
+                                line[c - 1],
+                                line[c],
+                                line[c + 1],
+                                line[c + 2],
+                            ]);
+                        }
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_coalescing);
+criterion_main!(benches);

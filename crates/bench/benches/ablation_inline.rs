@@ -1,0 +1,83 @@
+//! §III-C ablation: inlined vs un-inlinable serial subroutines in kernels.
+//!
+//! "Inlining serial subroutines via programmer directives with Fypp
+//! prevents a tenfold slowdown of the Riemann and WENO kernels that would
+//! otherwise call serial subroutines."
+//!
+//! The un-inlinable cross-module call is modelled by dynamic dispatch
+//! (`dyn Fn` per operand), which — like an un-inlined device routine —
+//! defeats constant propagation, vectorization, and register allocation
+//! across the call.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const N: usize = 1_000_000;
+
+/// The "serial subroutine" body: a stiffened-gas pressure + flux-ish
+/// computation per cell.
+#[inline(always)]
+fn eos_kernel(rho: f64, e: f64, gamma: f64, pi: f64) -> f64 {
+    let p = (gamma - 1.0) * rho * e - gamma * pi;
+    let c2 = gamma * (p + pi) / rho;
+    p + rho * c2
+}
+
+#[inline(never)]
+fn eos_kernel_outlined(rho: f64, e: f64, gamma: f64, pi: f64) -> f64 {
+    eos_kernel(rho, e, gamma, pi)
+}
+
+fn inputs() -> (Vec<f64>, Vec<f64>) {
+    let rho: Vec<f64> = (0..N).map(|i| 1.0 + 0.3 * ((i as f64) * 1e-4).sin()).collect();
+    let e: Vec<f64> = (0..N).map(|i| 2.5e5 * (1.0 + 0.1 * ((i as f64) * 2e-4).cos())).collect();
+    (rho, e)
+}
+
+fn bench_inlining(c: &mut Criterion) {
+    let (rho, e) = inputs();
+    let mut g = c.benchmark_group("ablation_inline");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+
+    g.bench_function("inlined", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (&r, &ei) in rho.iter().zip(&e) {
+                acc += eos_kernel(r, ei, 1.4, 0.0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    g.bench_function("outlined_call", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (&r, &ei) in rho.iter().zip(&e) {
+                acc += eos_kernel_outlined(r, ei, 1.4, 0.0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    // Fully opaque indirect call per cell — the pattern the compiler
+    // cannot inline across modules.
+    let table: Vec<Box<dyn Fn(f64, f64) -> f64 + Sync>> = vec![
+        Box::new(|r, ei| eos_kernel(r, ei, 1.4, 0.0)),
+        Box::new(|r, ei| eos_kernel(r, ei, 6.12, 3.43e8)),
+    ];
+    g.bench_function("dynamic_dispatch", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (i, (&r, &ei)) in rho.iter().zip(&e).enumerate() {
+                let f = &table[i & 1];
+                acc += f(r, ei);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_inlining);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Each Criterion bench regenerates one paper artifact or optimization
+//! claim; the mapping is in DESIGN.md's per-experiment index.  Absolute
+//! numbers are host-CPU numbers — the *ratios* between variants are what
+//! reproduce the paper's claims (flat beats AoS, coalesced beats strided,
+//! inlined beats indirect, tiled/GEAM beats naive, stack-private beats
+//! heap-private).
+
+use mfc_layout::{Dims3, Dims4, Flat4D, ScalarFieldSet};
+
+/// A smooth, non-trivial field for kernel inputs.
+pub fn smooth(i: usize, j: usize, k: usize, f: usize) -> f64 {
+    let s = 0.013 * i as f64 + 0.007 * j as f64 + 0.011 * k as f64 + 0.5 * f as f64;
+    1.0 + 0.3 * s.sin()
+}
+
+/// An x-coalesced packed buffer of `nf` fields on an `n1 x n2 x n3` block.
+pub fn packed_buffer(n1: usize, n2: usize, n3: usize, nf: usize) -> Flat4D {
+    Flat4D::from_fn(Dims4::new(n1, n2, n3, nf), smooth)
+}
+
+/// The scalar-field (array-of-allocations) layout with the same contents.
+pub fn scalar_fields(n1: usize, n2: usize, n3: usize, nf: usize) -> ScalarFieldSet {
+    ScalarFieldSet::from_fn(Dims3::new(n1, n2, n3), nf, |f, i, j, k| smooth(i, j, k, f))
+}
+
+/// Benchmark sizing: a ~1M-point workload mirroring the paper's
+/// "representative two-phase problem with one million grid cells".
+pub const BENCH_N: usize = 100;
+pub const BENCH_NF: usize = 7;

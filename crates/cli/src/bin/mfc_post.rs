@@ -1,0 +1,75 @@
+//! `mfc-post` — host-side post-processing, the paper's "host code reads
+//! the MPI I/O binary files and creates SILO files" step (§III-A).
+//!
+//! Reassembles per-rank wave files into the global field and writes a
+//! legacy-VTK database.
+//!
+//! Usage:
+//! ```text
+//! mfc-post <dir> <step> <nx> <ny> <nz> <nfluids> <ndim> <px> <py> <pz> <out.vtk>
+//! ```
+
+use mfc_core::eqidx::EqIdx;
+use mfc_core::grid::Grid;
+use mfc_core::output::{postprocess_wave_files, write_vtk_rectilinear};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 11 {
+        eprintln!(
+            "usage: mfc-post <dir> <step> <nx> <ny> <nz> <nfluids> <ndim> <px> <py> <pz> <out.vtk>"
+        );
+        std::process::exit(2);
+    }
+    let dir = std::path::PathBuf::from(&args[0]);
+    let parse = |s: &String| -> usize {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("error: '{s}' is not a non-negative integer");
+            std::process::exit(2);
+        })
+    };
+    let step = parse(&args[1]);
+    let n = [parse(&args[2]), parse(&args[3]), parse(&args[4])];
+    let nfluids = parse(&args[5]);
+    let ndim = parse(&args[6]);
+    let dims = [parse(&args[7]), parse(&args[8]), parse(&args[9])];
+    let out = std::path::PathBuf::from(&args[10]);
+
+    let eq = EqIdx::new(nfluids, ndim);
+    let gf = match postprocess_wave_files(&dir, step, n, eq, dims) {
+        Ok(gf) => gf,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "reassembled {}x{}x{} cells x {} equations from {} rank files",
+        n[0],
+        n[1],
+        n[2],
+        gf.neq,
+        dims.iter().product::<usize>()
+    );
+
+    // Unit-box grid: cell extents are what visualization needs; physical
+    // extents can be rescaled in the viewer.
+    let grid = Grid::uniform(n, [0.0; 3], [1.0, 1.0, 1.0]);
+    let mut fields: Vec<(String, usize)> = Vec::new();
+    for f in 0..eq.nf() {
+        fields.push((format!("alpha_rho_{f}"), eq.cont(f)));
+    }
+    for d in 0..eq.ndim() {
+        fields.push((format!("momentum_{d}"), eq.mom(d)));
+    }
+    fields.push(("energy".to_string(), eq.energy()));
+    for a in 0..eq.n_adv() {
+        fields.push((format!("alpha_{a}"), eq.adv(a)));
+    }
+    let refs: Vec<(&str, usize)> = fields.iter().map(|(s, i)| (s.as_str(), *i)).collect();
+    if let Err(e) = write_vtk_rectilinear(&out, &grid, &gf, &refs) {
+        eprintln!("error writing {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out.display());
+}

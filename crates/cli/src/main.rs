@@ -1,0 +1,54 @@
+//! `mfc-run <case.json>` — execute a JSON case file.
+
+use mfc_cli::{run_case, CaseFile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let validate_only = args.iter().any(|a| a == "--validate");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: mfc-run <case.json> [--validate]");
+        eprintln!("see crates/cli/src/lib.rs for the case-file schema");
+        std::process::exit(2);
+    };
+    let case = match CaseFile::from_path(std::path::Path::new(path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if validate_only {
+        match case.to_case().and_then(|_| case.numerics.to_solver_config()) {
+            Ok(_) => {
+                println!(
+                    "case '{}' is valid ({:?} cells, {} fluids, {} patches)",
+                    case.name,
+                    case.cells,
+                    case.fluids.len(),
+                    case.patches.len()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("invalid case: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("running case '{}' ({:?} cells, {} fluids)", case.name, case.cells, case.fluids.len());
+    match run_case(&case) {
+        Ok(s) => {
+            println!(
+                "done: {} steps, t = {:.4e}, {} cells, grind {:.1} ns/cell/PDE/RHS",
+                s.steps, s.time, s.cells, s.grind_ns
+            );
+            if let Some(p) = s.vtk_path {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

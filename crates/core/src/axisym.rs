@@ -1,0 +1,203 @@
+//! Axisymmetric (cylindrical r–z) geometric source terms.
+//!
+//! MFC supports Cartesian, axisymmetric, and cylindrical coordinates
+//! (§III-A).  In axisymmetric form (x = axial, y = radial), the divergence
+//! picks up a `1/r` term that appears as a geometric source on the
+//! conservative equations:
+//!
+//! ```text
+//! d q/dt + dF^x/dx + dF^r/dr = -(u_r / r) * G(q),
+//! G = [alpha_i rho_i, rho u_x, rho u_r, rho E + p]
+//! ```
+//!
+//! The volume-fraction rows need no geometric source: their `1/r` terms
+//! cancel between the conservative flux and the `alpha div(u)` closure.
+
+use serde::{Deserialize, Serialize};
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+
+use crate::domain::Domain;
+use crate::fluid::Fluid;
+use crate::riemann::face_state_public as face_state;
+use crate::state::StateField;
+
+/// Coordinate system of the governing equations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Geometry {
+    Cartesian,
+    /// 2-D axisymmetric: axis 0 is axial, axis 1 is radial.
+    Axisymmetric,
+    /// Full 3-D cylindrical: axis 0 = axial (z), axis 1 = radial (r),
+    /// axis 2 = azimuthal (theta, periodic). The azimuthal cell width is
+    /// `r * dtheta`, applied by the flux divergence; the geometric
+    /// sources below add the centrifugal/Coriolis-type terms.
+    Cylindrical3D,
+}
+
+impl Geometry {
+    /// Whether axis 1 is a radial coordinate (cylindrical volume terms).
+    pub fn has_radial_axis(self) -> bool {
+        !matches!(self, Geometry::Cartesian)
+    }
+}
+
+/// Add the axisymmetric geometric source to `rhs` over interior cells.
+///
+/// `radii` holds the ghost-inclusive radial (y) cell-center coordinates;
+/// they must be positive over the interior.
+pub fn axisym_source(
+    ctx: &Context,
+    dom: &Domain,
+    fluids: &[Fluid],
+    prim: &StateField,
+    radii: &[f64],
+    rhs: &mut StateField,
+) {
+    let eq = dom.eq;
+    assert!(eq.ndim() >= 2, "axisymmetric source needs a radial axis");
+    let neq = eq.neq();
+    let cost = KernelCost::new(
+        KernelClass::Other,
+        (3 * neq + 10) as f64,
+        8.0 * neq as f64,
+        8.0 * neq as f64,
+    );
+    let cfg = LaunchConfig::tuned("s_axisym_source");
+    let (nx, ny) = (dom.n[0], dom.n[1]);
+    let mut p = [0.0; crate::domain::MAX_EQ];
+    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
+        let i = item % nx + dom.pad(0);
+        let j = (item / nx) % ny + dom.pad(1);
+        let k = item / (nx * ny) + dom.pad(2);
+        let r = radii[j];
+        debug_assert!(r > 0.0, "non-positive radius {r} at j={j}");
+        prim.load_cell(i, j, k, &mut p[..neq]);
+        let fs = face_state(&eq, fluids, &p[..neq], 1);
+        let ur = p[eq.mom(1)];
+        let factor = -ur / r;
+        for f in 0..eq.nf() {
+            let e = eq.cont(f);
+            let cur = rhs.get(i, j, k, e);
+            rhs.set(i, j, k, e, cur + factor * p[e]);
+        }
+        for d in 0..eq.ndim() {
+            let e = eq.mom(d);
+            let cur = rhs.get(i, j, k, e);
+            rhs.set(i, j, k, e, cur + factor * fs.rho * p[e]);
+        }
+        let e = eq.energy();
+        let cur = rhs.get(i, j, k, e);
+        rhs.set(i, j, k, e, cur + factor * (fs.rho_e + fs.p));
+    });
+}
+
+/// Add the full 3-D cylindrical geometric sources over interior cells:
+///
+/// ```text
+/// S[alpha_i rho_i] = -(alpha_i rho_i) u_r / r
+/// S[rho u_z]       = -(rho u_z u_r) / r
+/// S[rho u_r]       =  (rho u_theta^2 - rho u_r^2) / r
+/// S[rho u_theta]   = -2 rho u_r u_theta / r
+/// S[rho E]         = -(rho E + p) u_r / r
+/// ```
+///
+/// (With `u_theta = 0` this reduces to [`axisym_source`]; the volume-
+/// fraction rows need no source for the same cancellation reason.)
+pub fn cylindrical_source(
+    ctx: &Context,
+    dom: &Domain,
+    fluids: &[Fluid],
+    prim: &StateField,
+    radii: &[f64],
+    rhs: &mut StateField,
+) {
+    let eq = dom.eq;
+    assert_eq!(eq.ndim(), 3, "3-D cylindrical needs all three axes");
+    let neq = eq.neq();
+    let cost = KernelCost::new(
+        KernelClass::Other,
+        (3 * neq + 16) as f64,
+        8.0 * neq as f64,
+        8.0 * neq as f64,
+    );
+    let cfg = LaunchConfig::tuned("s_cylindrical_source");
+    let (nx, ny) = (dom.n[0], dom.n[1]);
+    let mut p = [0.0; crate::domain::MAX_EQ];
+    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
+        let i = item % nx + dom.pad(0);
+        let j = (item / nx) % ny + dom.pad(1);
+        let k = item / (nx * ny) + dom.pad(2);
+        let r = radii[j];
+        debug_assert!(r > 0.0, "non-positive radius {r} at j={j}");
+        prim.load_cell(i, j, k, &mut p[..neq]);
+        let fs = face_state(&eq, fluids, &p[..neq], 1);
+        let (uz, ur, ut) = (p[eq.mom(0)], p[eq.mom(1)], p[eq.mom(2)]);
+        let inv_r = 1.0 / r;
+        for f in 0..eq.nf() {
+            let e = eq.cont(f);
+            let cur = rhs.get(i, j, k, e);
+            rhs.set(i, j, k, e, cur - p[e] * ur * inv_r);
+        }
+        let add = |rhs: &mut StateField, e: usize, v: f64| {
+            let cur = rhs.get(i, j, k, e);
+            rhs.set(i, j, k, e, cur + v);
+        };
+        add(rhs, eq.mom(0), -fs.rho * uz * ur * inv_r);
+        add(rhs, eq.mom(1), fs.rho * (ut * ut - ur * ur) * inv_r);
+        add(rhs, eq.mom(2), -2.0 * fs.rho * ur * ut * inv_r);
+        add(rhs, eq.energy(), -(fs.rho_e + fs.p) * ur * inv_r);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eqidx::EqIdx;
+
+    #[test]
+    fn zero_radial_velocity_gives_zero_source() {
+        let eq = EqIdx::new(1, 2);
+        let dom = Domain::new([4, 4, 1], 2, eq);
+        let ctx = Context::serial();
+        let mut prim = StateField::zeros(dom);
+        for k in 0..dom.ext(2) {
+            for j in 0..dom.ext(1) {
+                for i in 0..dom.ext(0) {
+                    prim.set(i, j, k, eq.cont(0), 1.2);
+                    prim.set(i, j, k, eq.mom(0), 100.0); // axial only
+                    prim.set(i, j, k, eq.energy(), 1.0e5);
+                }
+            }
+        }
+        let radii: Vec<f64> = (0..dom.ext(1)).map(|j| 0.5 + j as f64).collect();
+        let mut rhs = StateField::zeros(dom);
+        axisym_source(&ctx, &dom, &[Fluid::air()], &prim, &radii, &mut rhs);
+        assert!(rhs.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn source_scales_inversely_with_radius() {
+        let eq = EqIdx::new(1, 2);
+        let dom = Domain::new([4, 4, 1], 2, eq);
+        let ctx = Context::serial();
+        let mut prim = StateField::zeros(dom);
+        for k in 0..dom.ext(2) {
+            for j in 0..dom.ext(1) {
+                for i in 0..dom.ext(0) {
+                    prim.set(i, j, k, eq.cont(0), 1.0);
+                    prim.set(i, j, k, eq.mom(1), 2.0); // radial outflow
+                    prim.set(i, j, k, eq.energy(), 1.0e5);
+                }
+            }
+        }
+        let radii: Vec<f64> = (0..dom.ext(1)).map(|j| 1.0 + j as f64).collect();
+        let mut rhs = StateField::zeros(dom);
+        axisym_source(&ctx, &dom, &[Fluid::air()], &prim, &radii, &mut rhs);
+        // Mass source = -rho u_r / r; at j=2 (r=3), j=3 (r=4).
+        let a = rhs.get(2, 2, 0, eq.cont(0));
+        let b = rhs.get(2, 3, 0, eq.cont(0));
+        assert!((a - (-2.0 / 3.0)).abs() < 1e-12, "a={a}");
+        assert!((b - (-2.0 / 4.0)).abs() < 1e-12, "b={b}");
+    }
+}

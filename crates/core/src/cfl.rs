@@ -1,0 +1,151 @@
+//! CFL-based time-step selection.
+
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+
+use crate::domain::MAX_EQ;
+use crate::eos::sound_speed;
+use crate::fluid::Fluid;
+use crate::state::StateField;
+
+/// Largest stable time step for the given primitive state:
+/// `dt = cfl / max_cells sum_d (|u_d| + c) / dx_d`.
+///
+/// `widths[d]` are the ghost-inclusive cell widths along axis `d`.
+pub fn max_dt(
+    ctx: &Context,
+    fluids: &[Fluid],
+    prim: &StateField,
+    widths: [&[f64]; 3],
+    cfl: f64,
+) -> f64 {
+    max_dt_geom(ctx, fluids, prim, widths, cfl, None)
+}
+
+/// [`max_dt`] with an optional azimuthal metric: in 3-D cylindrical
+/// coordinates the azimuthal cell width is `r * dtheta`, so pass the
+/// ghost-inclusive radial centers to tighten the theta CFL bound (the
+/// restriction the paper's FFT filter exists to relax).
+pub fn max_dt_geom(
+    ctx: &Context,
+    fluids: &[Fluid],
+    prim: &StateField,
+    widths: [&[f64]; 3],
+    cfl: f64,
+    radial_metric: Option<&[f64]>,
+) -> f64 {
+    assert!(cfl > 0.0 && cfl <= 1.0, "cfl must be in (0, 1], got {cfl}");
+    let dom = *prim.domain();
+    let eq = dom.eq;
+    let neq = eq.neq();
+    let (nx, ny) = (dom.n[0], dom.n[1]);
+    let cost = KernelCost::new(
+        KernelClass::Other,
+        (20 + 6 * eq.ndim()) as f64,
+        8.0 * neq as f64,
+        8.0,
+    );
+    let cfg = LaunchConfig::tuned("s_compute_dt");
+    let viscous = crate::viscous::is_viscous(fluids);
+    let rate = ctx.launch_max(&cfg, cost, dom.interior_cells(), |item| {
+        let i = item % nx + dom.pad(0);
+        let j = (item / nx) % ny + dom.pad(1);
+        let k = item / (nx * ny) + dom.pad(2);
+        let mut p = [0.0; MAX_EQ];
+        prim.load_cell(i, j, k, &mut p[..neq]);
+        let (rho, _, c) = sound_speed(&eq, fluids, &p[..neq]);
+        // Mixture kinematic viscosity for the diffusive stability bound.
+        let nu = if viscous {
+            let mut alphas = [0.0; crate::eos::MAX_FLUIDS];
+            eq.alphas(&p[..neq], &mut alphas[..eq.nf()]);
+            fluids
+                .iter()
+                .zip(&alphas[..eq.nf()])
+                .map(|(f, &a)| a * f.viscosity)
+                .sum::<f64>()
+                / rho.max(1e-300)
+        } else {
+            0.0
+        };
+        let mut rate = 0.0;
+        for d in 0..eq.ndim() {
+            let idx = match d {
+                0 => i,
+                1 => j,
+                _ => k,
+            };
+            let mut h = widths[d][idx];
+            if d == 2 {
+                if let Some(r) = radial_metric {
+                    h *= r[j];
+                }
+            }
+            rate += (p[eq.mom(d)].abs() + c) / h + 2.0 * nu / (h * h);
+        }
+        rate
+    });
+    assert!(rate.is_finite() && rate > 0.0, "degenerate wave-speed rate {rate}");
+    cfl / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::eqidx::EqIdx;
+    use crate::grid::Grid1D;
+
+    #[test]
+    fn dt_matches_manual_1d() {
+        let eq = EqIdx::new(1, 1);
+        let dom = Domain::new([8, 1, 1], 3, eq);
+        let ctx = Context::serial();
+        let mut prim = StateField::zeros(dom);
+        for i in 0..dom.ext(0) {
+            prim.set(i, 0, 0, eq.cont(0), 1.4);
+            prim.set(i, 0, 0, eq.mom(0), 100.0);
+            prim.set(i, 0, 0, eq.energy(), 1.0e5);
+        }
+        let g = Grid1D::uniform(8, 0.0, 1.0);
+        let wx = g.widths_with_ghosts(3);
+        let ones = vec![1.0];
+        let dt = max_dt(&ctx, &[Fluid::air()], &prim, [&wx, &ones, &ones], 0.5);
+        // c = sqrt(1.4e5/1.4) ≈ 316.23; rate = (100 + c)/0.125.
+        let c = (1.4 * 1.0e5 / 1.4f64).sqrt();
+        let want = 0.5 / ((100.0 + c) / 0.125);
+        assert!((dt - want).abs() < 1e-12 * want, "dt={dt} want={want}");
+    }
+
+    #[test]
+    fn faster_flow_shrinks_dt() {
+        let eq = EqIdx::new(1, 1);
+        let dom = Domain::new([8, 1, 1], 3, eq);
+        let ctx = Context::serial();
+        let g = Grid1D::uniform(8, 0.0, 1.0);
+        let wx = g.widths_with_ghosts(3);
+        let ones = vec![1.0];
+        let mk = |u: f64| {
+            let mut prim = StateField::zeros(dom);
+            for i in 0..dom.ext(0) {
+                prim.set(i, 0, 0, eq.cont(0), 1.4);
+                prim.set(i, 0, 0, eq.mom(0), u);
+                prim.set(i, 0, 0, eq.energy(), 1.0e5);
+            }
+            prim
+        };
+        let slow = max_dt(&ctx, &[Fluid::air()], &mk(10.0), [&wx, &ones, &ones], 0.5);
+        let fast = max_dt(&ctx, &[Fluid::air()], &mk(500.0), [&wx, &ones, &ones], 0.5);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_silly_cfl() {
+        let eq = EqIdx::new(1, 1);
+        let dom = Domain::new([4, 1, 1], 2, eq);
+        let ctx = Context::serial();
+        let prim = StateField::zeros(dom);
+        let w = vec![1.0; 8];
+        let ones = vec![1.0];
+        let _ = max_dt(&ctx, &[Fluid::air()], &prim, [&w, &ones, &ones], 1.5);
+    }
+}

@@ -1,0 +1,164 @@
+//! Equation ordering of the state vector.
+//!
+//! For `nf` fluids in `ndim` dimensions the conservative vector is
+//!
+//! ```text
+//! [ alpha_1 rho_1, ..., alpha_nf rho_nf,   (partial densities)
+//!   rho u, (rho v, (rho w)),               (momentum)
+//!   rho E,                                 (total energy)
+//!   alpha_1, ..., alpha_{nf-1} ]           (advected volume fractions)
+//! ```
+//!
+//! The last volume fraction is inferred from `sum alpha_i = 1`, so the
+//! system has `nf + ndim + 1 + (nf - 1)` equations; `nf = 1` recovers the
+//! `ndim + 2` Euler equations.  The *primitive* vector reuses the same
+//! slots: partial densities, velocity components, pressure, volume
+//! fractions (MFC's convention).
+
+/// Index map for one problem's equation layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EqIdx {
+    nf: usize,
+    ndim: usize,
+}
+
+impl EqIdx {
+    pub fn new(nf: usize, ndim: usize) -> Self {
+        assert!(nf >= 1, "need at least one fluid");
+        assert!((1..=3).contains(&ndim), "ndim must be 1..=3, got {ndim}");
+        EqIdx { nf, ndim }
+    }
+
+    /// Number of fluids.
+    #[inline(always)]
+    pub fn nf(&self) -> usize {
+        self.nf
+    }
+
+    /// Number of spatial dimensions.
+    #[inline(always)]
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Total number of equations (= state-vector length).
+    #[inline(always)]
+    pub fn neq(&self) -> usize {
+        self.nf + self.ndim + 1 + (self.nf - 1)
+    }
+
+    /// Slot of fluid `i`'s partial density `alpha_i rho_i`.
+    #[inline(always)]
+    pub fn cont(&self, i: usize) -> usize {
+        debug_assert!(i < self.nf);
+        i
+    }
+
+    /// Slot of the momentum (or velocity, in primitives) along axis `d`.
+    #[inline(always)]
+    pub fn mom(&self, d: usize) -> usize {
+        debug_assert!(d < self.ndim);
+        self.nf + d
+    }
+
+    /// Slot of the total energy (pressure, in primitives).
+    #[inline(always)]
+    pub fn energy(&self) -> usize {
+        self.nf + self.ndim
+    }
+
+    /// Slot of advected volume fraction `i` (`i < nf - 1`).
+    #[inline(always)]
+    pub fn adv(&self, i: usize) -> usize {
+        debug_assert!(i + 1 < self.nf, "alpha_{} is inferred, not stored", i);
+        self.nf + self.ndim + 1 + i
+    }
+
+    /// Number of *stored* volume fractions.
+    #[inline(always)]
+    pub fn n_adv(&self) -> usize {
+        self.nf - 1
+    }
+
+    /// Reconstruct the full `nf`-entry volume-fraction vector (the last
+    /// entry by complement) from a state slice, clamped to `[0, 1]`.
+    #[inline]
+    pub fn alphas(&self, state: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.nf);
+        let mut sum = 0.0;
+        for i in 0..self.n_adv() {
+            let a = state[self.adv(i)].clamp(0.0, 1.0);
+            out[i] = a;
+            sum += a;
+        }
+        out[self.nf - 1] = (1.0 - sum).clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fluid_layout_is_euler() {
+        let e = EqIdx::new(1, 3);
+        assert_eq!(e.neq(), 5);
+        assert_eq!(e.cont(0), 0);
+        assert_eq!(e.mom(0), 1);
+        assert_eq!(e.mom(2), 3);
+        assert_eq!(e.energy(), 4);
+        assert_eq!(e.n_adv(), 0);
+    }
+
+    #[test]
+    fn two_fluid_3d_layout() {
+        let e = EqIdx::new(2, 3);
+        assert_eq!(e.neq(), 7);
+        assert_eq!(e.cont(1), 1);
+        assert_eq!(e.mom(0), 2);
+        assert_eq!(e.energy(), 5);
+        assert_eq!(e.adv(0), 6);
+    }
+
+    #[test]
+    fn slots_are_disjoint_and_cover_neq() {
+        for nf in 1..=3 {
+            for ndim in 1..=3 {
+                let e = EqIdx::new(nf, ndim);
+                let mut seen = vec![false; e.neq()];
+                for i in 0..nf {
+                    seen[e.cont(i)] = true;
+                }
+                for d in 0..ndim {
+                    seen[e.mom(d)] = true;
+                }
+                seen[e.energy()] = true;
+                for i in 0..e.n_adv() {
+                    seen[e.adv(i)] = true;
+                }
+                assert!(seen.iter().all(|&s| s), "nf={nf} ndim={ndim}");
+            }
+        }
+    }
+
+    #[test]
+    fn alphas_infers_complement() {
+        let e = EqIdx::new(3, 1);
+        // state: [ar1, ar2, ar3, mom, E, a1, a2]
+        let state = [0.0, 0.0, 0.0, 0.0, 0.0, 0.2, 0.3];
+        let mut a = [0.0; 3];
+        e.alphas(&state, &mut a);
+        assert!((a[0] - 0.2).abs() < 1e-15);
+        assert!((a[1] - 0.3).abs() < 1e-15);
+        assert!((a[2] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn alphas_clamps_excursions() {
+        let e = EqIdx::new(2, 1);
+        let state = [0.0, 0.0, 0.0, 0.0, 1.2];
+        let mut a = [0.0; 2];
+        e.alphas(&state, &mut a);
+        assert_eq!(a, [1.0, 0.0]);
+    }
+}

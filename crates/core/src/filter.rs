@@ -1,0 +1,123 @@
+//! Azimuthal spectral filtering for 3-D cylindrical grids (§III-A).
+//!
+//! On cylindrical grids the azimuthal cell width shrinks as `r dtheta`
+//! toward the axis, which would crush the CFL time step.  MFC applies a
+//! cuFFT/hipFFT low-pass filter along the azimuthal direction near the
+//! axis instead; here the transform comes from [`mfc_fft`].
+//!
+//! Convention: axis 0 = axial, axis 1 = radial (ring index), axis 2 =
+//! azimuthal (periodic, power-of-two extent).
+
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use mfc_fft::LowpassPlan;
+
+use crate::state::StateField;
+
+/// Apply the ring-dependent azimuthal low-pass filter to every equation of
+/// the interior cells.
+pub fn apply_azimuthal_filter(ctx: &Context, plan: &LowpassPlan, q: &mut StateField) {
+    let dom = *q.domain();
+    let eq = dom.eq;
+    assert_eq!(eq.ndim(), 3, "azimuthal filter requires a 3-D field");
+    assert_eq!(
+        plan.ntheta(),
+        dom.n[2],
+        "filter plan azimuthal extent must match the grid"
+    );
+    assert_eq!(
+        plan.nr(),
+        dom.n[1],
+        "filter plan must cover every radial ring"
+    );
+    let ntheta = dom.n[2];
+    let neq = eq.neq();
+    let cost = KernelCost::new(
+        KernelClass::Other,
+        // ~5 N log2 N flops per FFT, two transforms per line.
+        10.0 * (ntheta as f64).log2(),
+        8.0,
+        8.0,
+    );
+    let cfg = LaunchConfig::tuned("s_fourier_filter");
+    let lines = dom.n[0] * dom.n[1] * neq;
+    let mut line = vec![0.0; ntheta];
+    ctx.launch(&cfg, cost, lines * ntheta, |item| {
+        // One ledger item per touched element; do the work once per line.
+        if item % ntheta != 0 {
+            return;
+        }
+        let l = item / ntheta;
+        let i = l % dom.n[0] + dom.pad(0);
+        let j = (l / dom.n[0]) % dom.n[1];
+        let e = l / (dom.n[0] * dom.n[1]);
+        let jj = j + dom.pad(1);
+        for (t, v) in line.iter_mut().enumerate() {
+            *v = q.get(i, jj, t + dom.pad(2), e);
+        }
+        plan.apply_line(j, &mut line);
+        for (t, v) in line.iter().enumerate() {
+            q.set(i, jj, t + dom.pad(2), e, *v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::eqidx::EqIdx;
+
+    fn setup(nr: usize, ntheta: usize) -> (Domain, StateField) {
+        let eq = EqIdx::new(1, 3);
+        let dom = Domain::new([4, nr, ntheta], 3, eq);
+        (dom, StateField::zeros(dom))
+    }
+
+    #[test]
+    fn filter_kills_high_modes_near_axis_only() {
+        let (dom, mut q) = setup(8, 32);
+        let plan = LowpassPlan::new(8, 32);
+        // Paint a high azimuthal mode everywhere.
+        for (i, j, k) in dom.interior() {
+            let theta = 2.0 * std::f64::consts::PI * (k - dom.pad(2)) as f64 / 32.0;
+            q.set(i, j, k, 0, (14.0 * theta).cos());
+        }
+        let ctx = Context::serial();
+        apply_azimuthal_filter(&ctx, &plan, &mut q);
+        // Inner ring (j=0): mode 14 must be gone.
+        let amp = |j: usize| -> f64 {
+            (0..32)
+                .map(|k| q.get(4, j + 3, k + 3, 0).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(amp(0) < 1e-10, "inner ring amplitude {}", amp(0));
+        // Outer ring (j=7): cutoff is 16 >= 14, mode survives.
+        assert!(amp(7) > 0.9, "outer ring amplitude {}", amp(7));
+    }
+
+    #[test]
+    fn filter_preserves_azimuthal_mean() {
+        let (dom, mut q) = setup(4, 16);
+        let plan = LowpassPlan::new(4, 16);
+        for (i, j, k) in dom.interior() {
+            q.set(i, j, k, 0, 3.0 + ((i + j + k) % 5) as f64);
+        }
+        let mean = |q: &StateField, i: usize, j: usize| -> f64 {
+            (0..16).map(|k| q.get(i, j + 3, k + 3, 0)).sum::<f64>() / 16.0
+        };
+        let before = mean(&q, 5, 0);
+        let ctx = Context::serial();
+        apply_azimuthal_filter(&ctx, &plan, &mut q);
+        let after = mean(&q, 5, 0);
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_plan_extent_panics() {
+        let (_, mut q) = setup(4, 16);
+        let plan = LowpassPlan::new(4, 32);
+        let ctx = Context::serial();
+        apply_azimuthal_filter(&ctx, &plan, &mut q);
+    }
+}

@@ -1,0 +1,140 @@
+//! Checkpoint/restart — MFC's restart files, which are what its I/O
+//! subsystem (§III-A) writes: the conservative state at an output step,
+//! from which a later job resumes.
+//!
+//! Format: a small JSON header (domain extents, ghost width, fluid count,
+//! time, step) followed by the raw little-endian `f64` state, ghost cells
+//! included, so a restarted run continues **bitwise** identically — which
+//! the integration test asserts.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::Domain;
+use crate::eqidx::EqIdx;
+use crate::state::StateField;
+
+/// Header of a checkpoint file.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CheckpointHeader {
+    pub n: [usize; 3],
+    pub ng: usize,
+    pub nf: usize,
+    pub ndim: usize,
+    pub t: f64,
+    pub steps: u64,
+}
+
+impl CheckpointHeader {
+    pub fn domain(&self) -> Domain {
+        Domain::new(self.n, self.ng, EqIdx::new(self.nf, self.ndim))
+    }
+}
+
+/// Write a checkpoint of `q` at simulation time `t` / step `steps`.
+pub fn save_checkpoint(
+    path: &Path,
+    q: &StateField,
+    t: f64,
+    steps: u64,
+) -> io::Result<()> {
+    let dom = *q.domain();
+    let header = CheckpointHeader {
+        n: dom.n,
+        ng: dom.ng,
+        nf: dom.eq.nf(),
+        ndim: dom.eq.ndim(),
+        t,
+        steps,
+    };
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    let hjson = serde_json::to_string(&header).map_err(io::Error::other)?;
+    // Length-prefixed header, then the raw state.
+    w.write_all(&(hjson.len() as u64).to_le_bytes())?;
+    w.write_all(hjson.as_bytes())?;
+    for v in q.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a checkpoint back: returns the header and the state.
+pub fn load_checkpoint(path: &Path) -> io::Result<(CheckpointHeader, StateField)> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let mut len8 = [0u8; 8];
+    r.read_exact(&mut len8)?;
+    let hlen = u64::from_le_bytes(len8) as usize;
+    if hlen > 1 << 20 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible header length (not a checkpoint file?)",
+        ));
+    }
+    let mut hbuf = vec![0u8; hlen];
+    r.read_exact(&mut hbuf)?;
+    let header: CheckpointHeader = serde_json::from_slice(&hbuf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {e}")))?;
+    let dom = header.domain();
+    let mut q = StateField::zeros(dom);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let expect = q.as_slice().len() * 8;
+    if bytes.len() != expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("state payload has {} bytes, expected {expect}", bytes.len()),
+        ));
+    }
+    for (slot, chunk) in q.as_mut_slice().iter_mut().zip(bytes.chunks_exact(8)) {
+        *slot = f64::from_le_bytes(chunk.try_into().unwrap());
+    }
+    Ok((header, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::presets;
+    use crate::solver::{Solver, SolverConfig};
+    use mfc_acc::Context;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mfc_ckpt_{name}_{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bitwise() {
+        let case = presets::two_phase_benchmark(2, [12, 12, 1]);
+        let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
+        solver.run_steps(3);
+        let path = tmp("roundtrip");
+        save_checkpoint(&path, solver.state(), solver.time(), solver.steps()).unwrap();
+        let (h, q) = load_checkpoint(&path).unwrap();
+        assert_eq!(h.t, solver.time());
+        assert_eq!(h.steps, 3);
+        assert_eq!(q.as_slice(), solver.state().as_slice());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_file_is_rejected() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        assert!(load_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let case = presets::sod(16);
+        let solver = Solver::new(&case, SolverConfig::default(), Context::serial());
+        let path = tmp("trunc");
+        save_checkpoint(&path, solver.state(), 0.0, 0).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(load_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

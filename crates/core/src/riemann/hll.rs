@@ -1,0 +1,115 @@
+//! HLL two-wave solver — baseline that smears contacts.
+//!
+//! Because the contact wave is averaged away, the partial densities
+//! diffuse while the upwinded volume fractions do not, so the mixture EOS
+//! coefficients decouple from the densities at material interfaces.  This
+//! is the classic reason diffuse-interface codes use HLLC (restoring the
+//! contact) rather than HLL: treat this solver as a single-fluid baseline
+//! for accuracy comparisons, not a production multiphase solver.
+
+use crate::domain::MAX_EQ;
+use crate::eos::prim_to_cons;
+use crate::eqidx::EqIdx;
+use crate::fluid::Fluid;
+
+use super::{face_state, physical_flux};
+
+/// Compute the HLL flux across one face; returns the HLLC-style contact
+/// speed estimate (for the alpha source, kept consistent across solvers).
+#[inline]
+pub fn hll_flux(
+    eq: &EqIdx,
+    fluids: &[Fluid],
+    axis: usize,
+    priml: &[f64],
+    primr: &[f64],
+    flux: &mut [f64],
+) -> f64 {
+    let neq = eq.neq();
+    let l = face_state(eq, fluids, priml, axis);
+    let r = face_state(eq, fluids, primr, axis);
+    let sl = (l.un - l.c).min(r.un - r.c);
+    let sr = (l.un + l.c).max(r.un + r.c);
+    let denom = l.rho * (sl - l.un) - r.rho * (sr - r.un);
+    let s_star = if denom.abs() < 1e-300 {
+        0.5 * (l.un + r.un)
+    } else {
+        (r.p - l.p + l.rho * l.un * (sl - l.un) - r.rho * r.un * (sr - r.un)) / denom
+    };
+
+    if sl >= 0.0 {
+        physical_flux(eq, fluids, priml, axis, flux);
+        return s_star;
+    }
+    if sr <= 0.0 {
+        physical_flux(eq, fluids, primr, axis, flux);
+        return s_star;
+    }
+
+    let mut fl = [0.0; MAX_EQ];
+    let mut fr = [0.0; MAX_EQ];
+    physical_flux(eq, fluids, priml, axis, &mut fl[..neq]);
+    physical_flux(eq, fluids, primr, axis, &mut fr[..neq]);
+    let mut ql = [0.0; MAX_EQ];
+    let mut qr = [0.0; MAX_EQ];
+    prim_to_cons(eq, fluids, priml, &mut ql[..neq]);
+    prim_to_cons(eq, fluids, primr, &mut qr[..neq]);
+
+    let inv = 1.0 / (sr - sl);
+    for e in 0..neq {
+        flux[e] = (sr * fl[e] - sl * fr[e] + sl * sr * (qr[e] - ql[e])) * inv;
+    }
+    // Volume fractions are material invariants (see the HLLC module): the
+    // HLL average treats them like conserved densities, which couples
+    // alpha to the acoustic waves and destabilizes the alpha*div(u)
+    // closure. Upwind them by the contact estimate instead.
+    for i in 0..eq.n_adv() {
+        let e = eq.adv(i);
+        let alpha_up = if s_star >= 0.0 { priml[e] } else { primr[e] };
+        flux[e] = alpha_up * s_star;
+    }
+    s_star
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::riemann::hllc::hllc_flux;
+
+    #[test]
+    fn hll_smears_contacts_more_than_hllc() {
+        // Isolated contact: HLLC flux equals upwind flux, HLL adds
+        // diffusion proportional to the density jump.
+        let eq = EqIdx::new(1, 1);
+        let fluids = [Fluid::air()];
+        let priml = [1.0, 20.0, 1.0e5];
+        let primr = [0.1, 20.0, 1.0e5];
+        let mut f_hll = vec![0.0; 3];
+        let mut f_hllc = vec![0.0; 3];
+        hll_flux(&eq, &fluids, 0, &priml, &primr, &mut f_hll);
+        hllc_flux(&eq, &fluids, 0, &priml, &primr, &mut f_hllc);
+        let mut upwind = vec![0.0; 3];
+        physical_flux(&eq, &fluids, &priml, 0, &mut upwind);
+        let err_hll = (f_hll[0] - upwind[0]).abs();
+        let err_hllc = (f_hllc[0] - upwind[0]).abs();
+        assert!(err_hllc < 1e-9);
+        assert!(err_hll > 1.0, "HLL should be diffusive here: {err_hll}");
+    }
+
+    #[test]
+    fn hll_flux_between_upwind_fluxes_for_subsonic_jump() {
+        let eq = EqIdx::new(1, 1);
+        let fluids = [Fluid::air()];
+        let priml = [1.0, 0.0, 2.0e5];
+        let primr = [0.6, 0.0, 1.0e5];
+        let mut f = vec![0.0; 3];
+        hll_flux(&eq, &fluids, 0, &priml, &primr, &mut f);
+        // Momentum flux should sit between the two one-sided values.
+        let mut fl = vec![0.0; 3];
+        let mut fr = vec![0.0; 3];
+        physical_flux(&eq, &fluids, &priml, 0, &mut fl);
+        physical_flux(&eq, &fluids, &primr, 0, &mut fr);
+        let (lo, hi) = (fl[1].min(fr[1]), fl[1].max(fr[1]));
+        assert!(f[1] >= lo - 1e-9 && f[1] <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,193 @@
+//! HLLC approximate Riemann solver for the 5-equation model.
+//!
+//! Toro's three-wave solver with Davis wave-speed estimates, extended to
+//! carry partial densities and volume fractions through the star region
+//! like passive densities (Coralic & Colonius 2014).  Returns the contact
+//! speed `S*`, which the RHS uses as the interface velocity in the
+//! non-conservative `alpha div(u)` term.
+
+use crate::domain::MAX_EQ;
+use crate::eos::prim_to_cons;
+use crate::eqidx::EqIdx;
+use crate::fluid::Fluid;
+
+use super::{face_state, physical_flux};
+
+/// Compute the HLLC flux across one face; returns the contact speed `S*`.
+#[inline]
+pub fn hllc_flux(
+    eq: &EqIdx,
+    fluids: &[Fluid],
+    axis: usize,
+    priml: &[f64],
+    primr: &[f64],
+    flux: &mut [f64],
+) -> f64 {
+    let neq = eq.neq();
+    let l = face_state(eq, fluids, priml, axis);
+    let r = face_state(eq, fluids, primr, axis);
+
+    // Davis estimates.
+    let sl = (l.un - l.c).min(r.un - r.c);
+    let sr = (l.un + l.c).max(r.un + r.c);
+    // Contact speed.
+    let denom = l.rho * (sl - l.un) - r.rho * (sr - r.un);
+    let s_star = if denom.abs() < 1e-300 {
+        0.5 * (l.un + r.un)
+    } else {
+        (r.p - l.p + l.rho * l.un * (sl - l.un) - r.rho * r.un * (sr - r.un)) / denom
+    };
+
+    if sl >= 0.0 {
+        physical_flux(eq, fluids, priml, axis, flux);
+        return s_star;
+    }
+    if sr <= 0.0 {
+        physical_flux(eq, fluids, primr, axis, flux);
+        return s_star;
+    }
+
+    // Star-region correction on the subsonic side containing x/t = 0:
+    // F = F_K + S_K (q*_K - q_K).
+    let (prim, fs, sk) = if s_star >= 0.0 {
+        (priml, l, sl)
+    } else {
+        (primr, r, sr)
+    };
+    physical_flux(eq, fluids, prim, axis, flux);
+    let mut q = [0.0; MAX_EQ];
+    prim_to_cons(eq, fluids, prim, &mut q[..neq]);
+    let chi = (sk - fs.un) / (sk - s_star);
+
+    // Partial densities scale by chi like the mixture density.
+    for i in 0..eq.nf() {
+        let e = eq.cont(i);
+        flux[e] += sk * (chi * q[e] - q[e]);
+    }
+    // Volume fractions are material invariants: constant across the
+    // acoustic waves, jumping only at the contact, and the star-region
+    // velocity is S*.  Sampling the star state at x/t = 0 therefore gives
+    // F_alpha = alpha_K S*.  (Scaling alpha by chi like a density couples
+    // alpha to the acoustic field and is linearly unstable together with
+    // the alpha*div(u) closure.)
+    for i in 0..eq.n_adv() {
+        let e = eq.adv(i);
+        flux[e] = q[e] * s_star;
+    }
+    // Momentum: normal component jumps to S*, tangential are advected.
+    for d in 0..eq.ndim() {
+        let e = eq.mom(d);
+        let q_star = if d == axis {
+            chi * fs.rho * s_star
+        } else {
+            chi * q[e]
+        };
+        flux[e] += sk * (q_star - q[e]);
+    }
+    // Energy.
+    let e = eq.energy();
+    let e_star = chi * (q[e] + (s_star - fs.un) * (fs.rho * s_star + fs.p / (sk - fs.un)));
+    flux[e] += sk * (e_star - q[e]);
+
+    s_star
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::riemann::exact::{ExactRiemann, PrimSide};
+
+    /// HLLC's interface flux for a Sod problem should be in the
+    /// neighbourhood of the exact Godunov flux.  The Davis wave-speed
+    /// estimate puts S* at 0.676 where the exact contact moves at 0.927,
+    /// so a sizable single-flux deviation is expected (and harmless: the
+    /// full solver converges to the exact solution — see
+    /// `solver::tests::sod_shock_tube_matches_exact_solution`).
+    #[test]
+    fn sod_flux_close_to_exact_godunov_flux() {
+        let eq = EqIdx::new(1, 1);
+        let air = Fluid::air();
+        let fluids = [air];
+        let priml = [1.0, 0.0, 1.0];
+        let primr = [0.125, 0.0, 0.1];
+
+        let mut f_hllc = vec![0.0; 3];
+        hllc_flux(&eq, &fluids, 0, &priml, &primr, &mut f_hllc);
+
+        let ex = ExactRiemann::solve(
+            PrimSide { rho: 1.0, u: 0.0, p: 1.0, fluid: air },
+            PrimSide { rho: 0.125, u: 0.0, p: 0.1, fluid: air },
+        );
+        let (rho, u, p) = ex.sample(0.0);
+        let prim_g = [rho, u, p];
+        let mut f_exact = vec![0.0; 3];
+        physical_flux(&eq, &fluids, &prim_g, 0, &mut f_exact);
+
+        for (h, e) in f_hllc.iter().zip(&f_exact) {
+            let scale = e.abs().max(0.1);
+            assert!(
+                (h - e).abs() / scale < 0.35,
+                "hllc {f_hllc:?} vs exact {f_exact:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_contact_is_resolved_exactly() {
+        // Equal pressure & velocity, jump in density: HLLC preserves it.
+        let eq = EqIdx::new(1, 1);
+        let fluids = [Fluid::air()];
+        let priml = [1.0, 20.0, 1.0e5];
+        let primr = [0.1, 20.0, 1.0e5];
+        let mut f = vec![0.0; 3];
+        let s = hllc_flux(&eq, &fluids, 0, &priml, &primr, &mut f);
+        assert!((s - 20.0).abs() < 1e-9);
+        // Upwind side is the left: flux = F(qL).
+        let mut want = vec![0.0; 3];
+        physical_flux(&eq, &fluids, &priml, 0, &mut want);
+        for (g, w) in f.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-8 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn contact_speed_between_acoustic_speeds() {
+        let eq = EqIdx::new(1, 1);
+        let fluids = [Fluid::air()];
+        let priml = [1.0, 0.0, 2.0e5];
+        let primr = [0.5, -30.0, 0.5e5];
+        let l = face_state(&eq, &fluids, &priml, 0);
+        let r = face_state(&eq, &fluids, &primr, 0);
+        let sl = (l.un - l.c).min(r.un - r.c);
+        let sr = (l.un + l.c).max(r.un + r.c);
+        let mut f = vec![0.0; 3];
+        let s = hllc_flux(&eq, &fluids, 0, &priml, &primr, &mut f);
+        assert!(sl < s && s < sr, "SL={sl} S*={s} SR={sr}");
+    }
+
+    #[test]
+    fn two_fluid_interface_advects_alpha() {
+        // Material interface between air and water at uniform p, u: the
+        // alpha flux must be alpha*u of the upwind side.
+        let eq = EqIdx::new(2, 1);
+        let fluids = [Fluid::air(), Fluid::water()];
+        let mut priml = vec![0.0; eq.neq()];
+        priml[eq.cont(0)] = 1.2;
+        priml[eq.cont(1)] = 0.0;
+        priml[eq.mom(0)] = 5.0;
+        priml[eq.energy()] = 1.0e5;
+        priml[eq.adv(0)] = 1.0; // pure air
+        let mut primr = vec![0.0; eq.neq()];
+        primr[eq.cont(0)] = 0.0;
+        primr[eq.cont(1)] = 1000.0;
+        primr[eq.mom(0)] = 5.0;
+        primr[eq.energy()] = 1.0e5;
+        primr[eq.adv(0)] = 0.0; // pure water
+        let mut f = vec![0.0; eq.neq()];
+        let s = hllc_flux(&eq, &fluids, 0, &priml, &primr, &mut f);
+        assert!((s - 5.0).abs() < 1e-9);
+        assert!((f[eq.adv(0)] - 1.0 * 5.0).abs() < 1e-9);
+        assert!((f[eq.cont(0)] - 1.2 * 5.0).abs() < 1e-9);
+        assert!(f[eq.cont(1)].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,254 @@
+//! Riemann solvers at cell faces.
+//!
+//! * [`hllc`]: the production solver (Toro's HLLC adapted to the
+//!   5-equation model, following Coralic & Colonius) — the second-most
+//!   expensive kernel in the paper.
+//! * [`hll`], [`rusanov`]: two-wave and single-wave baselines.
+//! * [`exact`]: the exact stiffened-gas Riemann solver, used purely as a
+//!   validation oracle (Sod-type tests compare the full solver and the
+//!   HLLC fluxes against it).
+
+pub mod exact;
+pub mod hll;
+pub mod hllc;
+pub mod rusanov;
+
+use serde::{Deserialize, Serialize};
+use crate::eqidx::EqIdx;
+use crate::eos::MAX_FLUIDS;
+use crate::fluid::{Fluid, MixtureRules};
+
+pub use exact::{ExactRiemann, PrimSide};
+
+/// Which approximate solver the flux kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RiemannSolver {
+    Hllc,
+    Hll,
+    Rusanov,
+}
+
+impl RiemannSolver {
+    /// Approximate FLOPs per face per equation-system solve, from the
+    /// arithmetic in each implementation (divisions/sqrts weighted 4/8).
+    pub fn flops_per_face(self, eq: &EqIdx) -> f64 {
+        let neq = eq.neq() as f64;
+        match self {
+            // 2 EOS evals (~30 each incl. sqrt), wave speeds, star states
+            // and flux assembly ~12 per equation.
+            RiemannSolver::Hllc => 90.0 + 14.0 * neq,
+            RiemannSolver::Hll => 80.0 + 12.0 * neq,
+            RiemannSolver::Rusanov => 70.0 + 8.0 * neq,
+        }
+    }
+
+    /// Solve one face: primitive states on both sides → flux and the
+    /// interface (contact) velocity that closes the volume-fraction source
+    /// term `alpha_i div(u)`.
+    #[inline]
+    pub fn flux(
+        self,
+        eq: &EqIdx,
+        fluids: &[Fluid],
+        axis: usize,
+        priml: &[f64],
+        primr: &[f64],
+        flux: &mut [f64],
+    ) -> f64 {
+        match self {
+            RiemannSolver::Hllc => hllc::hllc_flux(eq, fluids, axis, priml, primr, flux),
+            RiemannSolver::Hll => hll::hll_flux(eq, fluids, axis, priml, primr, flux),
+            RiemannSolver::Rusanov => rusanov::rusanov_flux(eq, fluids, axis, priml, primr, flux),
+        }
+    }
+}
+
+/// Crate-public alias for [`face_state`], used by source-term kernels.
+#[inline(always)]
+pub(crate) fn face_state_public(
+    eq: &EqIdx,
+    fluids: &[Fluid],
+    prim: &[f64],
+    axis: usize,
+) -> FaceState {
+    face_state(eq, fluids, prim, axis)
+}
+
+/// Scalar face quantities derived from one primitive state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FaceState {
+    pub rho: f64,
+    /// Normal velocity.
+    pub un: f64,
+    pub p: f64,
+    pub c: f64,
+    /// Total energy density `rho E`.
+    pub rho_e: f64,
+}
+
+/// Evaluate density, pressure, sound speed, and total energy of a
+/// primitive state (normal along `axis`).
+#[inline(always)]
+pub(crate) fn face_state(eq: &EqIdx, fluids: &[Fluid], prim: &[f64], axis: usize) -> FaceState {
+    let mut rho = 0.0;
+    for i in 0..eq.nf() {
+        rho += prim[eq.cont(i)];
+    }
+    let p = prim[eq.energy()];
+    let mut alphas = [0.0; MAX_FLUIDS];
+    eq.alphas(prim, &mut alphas[..eq.nf()]);
+    let mix = MixtureRules::evaluate(fluids, &alphas[..eq.nf()]);
+    let mut kinetic = 0.0;
+    for d in 0..eq.ndim() {
+        kinetic += 0.5 * rho * prim[eq.mom(d)] * prim[eq.mom(d)];
+    }
+    FaceState {
+        rho,
+        un: prim[eq.mom(axis)],
+        p,
+        c: mix.sound_speed(rho, p),
+        rho_e: mix.internal_energy(p) + kinetic,
+    }
+}
+
+/// The physical flux of the homogeneous (conservative) part of the
+/// 5-equation system, from a primitive state. The volume-fraction flux is
+/// the conservative `alpha u_n` part; the non-conservative `alpha div(u)`
+/// source is handled by the RHS using the returned interface velocities.
+#[inline(always)]
+pub(crate) fn physical_flux(
+    eq: &EqIdx,
+    fluids: &[Fluid],
+    prim: &[f64],
+    axis: usize,
+    out: &mut [f64],
+) {
+    let fs = face_state(eq, fluids, prim, axis);
+    for i in 0..eq.nf() {
+        out[eq.cont(i)] = prim[eq.cont(i)] * fs.un;
+    }
+    for d in 0..eq.ndim() {
+        out[eq.mom(d)] = fs.rho * prim[eq.mom(d)] * fs.un;
+    }
+    out[eq.mom(axis)] += fs.p;
+    out[eq.energy()] = (fs.rho_e + fs.p) * fs.un;
+    for i in 0..eq.n_adv() {
+        out[eq.adv(i)] = prim[eq.adv(i)] * fs.un;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eos::prim_to_cons;
+
+    pub(crate) fn two_fluid_prim(eq: &EqIdx, alpha_air: f64, u: f64, p: f64) -> Vec<f64> {
+        let mut prim = vec![0.0; eq.neq()];
+        prim[eq.cont(0)] = 1.2 * alpha_air;
+        prim[eq.cont(1)] = 1000.0 * (1.0 - alpha_air);
+        prim[eq.mom(0)] = u;
+        prim[eq.energy()] = p;
+        prim[eq.adv(0)] = alpha_air;
+        prim
+    }
+
+    #[test]
+    fn physical_flux_matches_manual_euler() {
+        // Single-fluid 1D: F = [rho u, rho u^2 + p, (E + p) u]
+        let eq = EqIdx::new(1, 1);
+        let fluids = [Fluid::air()];
+        let prim = [1.2, 30.0, 1.0e5];
+        let mut f = [0.0; 3];
+        physical_flux(&eq, &fluids, &prim, 0, &mut f);
+        let e = 1.0e5 / 0.4 + 0.5 * 1.2 * 900.0;
+        assert!((f[0] - 36.0).abs() < 1e-10);
+        assert!((f[1] - (1.2 * 900.0 + 1.0e5)).abs() < 1e-7);
+        assert!((f[2] - (e + 1.0e5) * 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_solvers_are_consistent() {
+        // F(q, q) must equal the physical flux.
+        let eq = EqIdx::new(2, 2);
+        let fluids = [Fluid::air(), Fluid::water()];
+        let mut prim = two_fluid_prim(&eq, 0.7, 25.0, 2.0e5);
+        prim[eq.mom(1)] = -12.0;
+        let mut want = vec![0.0; eq.neq()];
+        physical_flux(&eq, &fluids, &prim, 0, &mut want);
+        for solver in [RiemannSolver::Hllc, RiemannSolver::Hll, RiemannSolver::Rusanov] {
+            let mut got = vec![0.0; eq.neq()];
+            solver.flux(&eq, &fluids, 0, &prim, &prim, &mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                    "{solver:?}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solvers_are_symmetric_under_mirror() {
+        // Mirroring both states about the face must negate the density
+        // flux and preserve the momentum flux.
+        let eq = EqIdx::new(1, 1);
+        let fluids = [Fluid::air()];
+        let l = [1.2, 50.0, 1.5e5];
+        let r = [0.8, -10.0, 0.9e5];
+        let ml = [0.8, 10.0, 0.9e5];
+        let mr = [1.2, -50.0, 1.5e5];
+        for solver in [RiemannSolver::Hllc, RiemannSolver::Hll, RiemannSolver::Rusanov] {
+            let mut f = vec![0.0; 3];
+            let mut fm = vec![0.0; 3];
+            solver.flux(&eq, &fluids, 0, &l, &r, &mut f);
+            solver.flux(&eq, &fluids, 0, &ml, &mr, &mut fm);
+            assert!((f[0] + fm[0]).abs() < 1e-9 * f[0].abs().max(1.0), "{solver:?}");
+            assert!((f[1] - fm[1]).abs() < 1e-9 * f[1].abs().max(1.0), "{solver:?}");
+            assert!((f[2] + fm[2]).abs() < 1e-6 * f[2].abs().max(1.0), "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn interface_velocity_sign_follows_flow() {
+        let eq = EqIdx::new(1, 1);
+        let fluids = [Fluid::air()];
+        // Uniform rightward flow: interface velocity must be u.
+        let prim = [1.2, 42.0, 1.0e5];
+        let mut f = vec![0.0; 3];
+        for solver in [RiemannSolver::Hllc, RiemannSolver::Hll, RiemannSolver::Rusanov] {
+            let s = solver.flux(&eq, &fluids, 0, &prim, &prim, &mut f);
+            assert!((s - 42.0).abs() < 1e-9, "{solver:?}: s = {s}");
+        }
+    }
+
+    #[test]
+    fn supersonic_flux_is_pure_upwind() {
+        let eq = EqIdx::new(1, 1);
+        let fluids = [Fluid::air()];
+        // Both states moving right at Mach > 1: flux must equal F(qL).
+        let l = [1.2, 600.0, 1.0e5];
+        let r = [0.5, 650.0, 0.8e5];
+        let mut want = vec![0.0; 3];
+        physical_flux(&eq, &fluids, &l, 0, &mut want);
+        for solver in [RiemannSolver::Hllc, RiemannSolver::Hll] {
+            let mut got = vec![0.0; 3];
+            solver.flux(&eq, &fluids, 0, &l, &r, &mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9 * w.abs().max(1.0), "{solver:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_state_helper_consistency() {
+        // face_state's rho_e agrees with prim_to_cons.
+        let eq = EqIdx::new(2, 1);
+        let fluids = [Fluid::air(), Fluid::water()];
+        let prim = two_fluid_prim(&eq, 0.4, 15.0, 3.0e5);
+        let mut cons = vec![0.0; eq.neq()];
+        prim_to_cons(&eq, &fluids, &prim, &mut cons);
+        let fs = face_state(&eq, &fluids, &prim, 0);
+        assert!((fs.rho_e - cons[eq.energy()]).abs() < 1e-6);
+    }
+}

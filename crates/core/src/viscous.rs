@@ -1,0 +1,295 @@
+//! Viscous fluxes — the Navier–Stokes terms of the Coralic & Colonius
+//! scheme MFC implements (the paper's §III-F validates against
+//! Taylor–Green vortices, which require them).
+//!
+//! Face-based conservative discretization: at every face the full stress
+//! tensor row for that face normal is evaluated with second-order central
+//! differences (normal derivative across the face, transverse derivatives
+//! averaged from the adjacent cell centers), with the Stokes hypothesis
+//! `lambda = -2/3 mu` and volume-fraction-weighted mixture viscosity
+//! `mu = sum_i alpha_i mu_i`.
+
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+
+use crate::domain::{Domain, MAX_EQ};
+use crate::eos::MAX_FLUIDS;
+use crate::fluid::Fluid;
+use crate::state::StateField;
+
+/// Mixture dynamic viscosity of one primitive cell.
+#[inline(always)]
+fn cell_mu(dom: &Domain, fluids: &[Fluid], prim: &StateField, i: usize, j: usize, k: usize) -> f64 {
+    let eq = dom.eq;
+    let mut cell = [0.0; MAX_EQ];
+    prim.load_cell(i, j, k, &mut cell[..eq.neq()]);
+    let mut alphas = [0.0; MAX_FLUIDS];
+    eq.alphas(&cell[..eq.neq()], &mut alphas[..eq.nf()]);
+    fluids
+        .iter()
+        .zip(&alphas[..eq.nf()])
+        .map(|(f, &a)| a * f.viscosity)
+        .sum()
+}
+
+/// Whether any component is viscous.
+pub fn is_viscous(fluids: &[Fluid]) -> bool {
+    fluids.iter().any(|f| f.viscosity > 0.0)
+}
+
+/// Largest mixture kinematic viscosity over the interior (for the viscous
+/// CFL bound).
+pub fn max_kinematic_viscosity(dom: &Domain, fluids: &[Fluid], prim: &StateField) -> f64 {
+    let eq = dom.eq;
+    let mut nu_max = 0.0f64;
+    let mut cell = [0.0; MAX_EQ];
+    for (i, j, k) in dom.interior() {
+        prim.load_cell(i, j, k, &mut cell[..eq.neq()]);
+        let rho: f64 = (0..eq.nf()).map(|f| cell[eq.cont(f)]).sum();
+        let mu = cell_mu(dom, fluids, prim, i, j, k);
+        nu_max = nu_max.max(mu / rho.max(1e-300));
+    }
+    nu_max
+}
+
+/// Velocity at a cell (ghost-inclusive indices).
+#[inline(always)]
+fn vel(dom: &Domain, prim: &StateField, i: usize, j: usize, k: usize, d: usize) -> f64 {
+    prim.get(i, j, k, dom.eq.mom(d))
+}
+
+/// Shift a coordinate along an axis by `s` (±1).
+#[inline(always)]
+fn shift(c: (usize, usize, usize), axis: usize, s: isize) -> (usize, usize, usize) {
+    let mut v = [c.0 as isize, c.1 as isize, c.2 as isize];
+    v[axis] += s;
+    (v[0] as usize, v[1] as usize, v[2] as usize)
+}
+
+/// Central derivative of velocity component `comp` along `axis` at a cell.
+#[inline(always)]
+fn cell_dudx(
+    dom: &Domain,
+    prim: &StateField,
+    widths: &[Vec<f64>; 3],
+    c: (usize, usize, usize),
+    comp: usize,
+    axis: usize,
+) -> f64 {
+    let lo = shift(c, axis, -1);
+    let hi = shift(c, axis, 1);
+    let idx = [c.0, c.1, c.2][axis];
+    let h = widths[axis][idx];
+    (vel(dom, prim, hi.0, hi.1, hi.2, comp) - vel(dom, prim, lo.0, lo.1, lo.2, comp)) / (2.0 * h)
+}
+
+/// Add the viscous flux divergence to `rhs` over interior cells.
+///
+/// `prim` must have valid ghost values (one layer beyond each interior
+/// face is touched by the transverse derivatives, well inside the WENO
+/// halo). `widths[d]` are ghost-inclusive cell widths.
+pub fn add_viscous_fluxes(
+    ctx: &Context,
+    dom: &Domain,
+    fluids: &[Fluid],
+    prim: &StateField,
+    widths: &[Vec<f64>; 3],
+    rhs: &mut StateField,
+) {
+    let eq = dom.eq;
+    let ndim = eq.ndim();
+    let (nx, ny) = (dom.n[0], dom.n[1]);
+    let cost = KernelCost::new(
+        KernelClass::Other,
+        (ndim * ndim * 20 + 30) as f64,
+        8.0 * (4 * ndim * ndim) as f64,
+        8.0 * (ndim + 1) as f64,
+    );
+    let cfg = LaunchConfig::tuned("s_viscous_flux");
+
+    // Flux of j-momentum (and of energy) through the face between cell c
+    // and its +1 neighbour along `axis`.
+    let face_flux = |c: (usize, usize, usize), axis: usize, out: &mut [f64]| {
+        let nb = shift(c, axis, 1);
+        let idx = [c.0, c.1, c.2][axis];
+        let h = 0.5 * (widths[axis][idx] + widths[axis][idx + 1]);
+        let mu = 0.5
+            * (cell_mu(dom, fluids, prim, c.0, c.1, c.2) + cell_mu(dom, fluids, prim, nb.0, nb.1, nb.2));
+        // Velocity gradients at the face: normal by a compact difference,
+        // transverse by averaging the adjacent cell-centered centrals.
+        let mut grad = [[0.0; 3]; 3]; // grad[comp][axis2] = d u_comp / d x_axis2
+        for comp in 0..ndim {
+            for ax2 in 0..ndim {
+                grad[comp][ax2] = if ax2 == axis {
+                    (vel(dom, prim, nb.0, nb.1, nb.2, comp) - vel(dom, prim, c.0, c.1, c.2, comp))
+                        / h
+                } else {
+                    0.5 * (cell_dudx(dom, prim, widths, c, comp, ax2)
+                        + cell_dudx(dom, prim, widths, nb, comp, ax2))
+                };
+            }
+        }
+        let div: f64 = (0..ndim).map(|d| grad[d][d]).sum();
+        for (j, o) in out.iter_mut().enumerate().take(ndim) {
+            let mut tau = mu * (grad[j][axis] + grad[axis][j]);
+            if j == axis {
+                tau -= 2.0 / 3.0 * mu * div;
+            }
+            *o = tau;
+        }
+        // Energy flux: u_j (face average) * tau_{axis j}.
+        let mut fe = 0.0;
+        for j in 0..ndim {
+            let uj = 0.5
+                * (vel(dom, prim, c.0, c.1, c.2, j) + vel(dom, prim, nb.0, nb.1, nb.2, j));
+            fe += uj * out[j];
+        }
+        out[ndim] = fe;
+    };
+
+    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
+        let i = item % nx + dom.pad(0);
+        let j = (item / nx) % ny + dom.pad(1);
+        let k = item / (nx * ny) + dom.pad(2);
+        let c = (i, j, k);
+        for axis in 0..ndim {
+            let lo_cell = shift(c, axis, -1);
+            let idx = [i, j, k][axis];
+            let h = widths[axis][idx];
+            let mut f_hi = [0.0; 4];
+            let mut f_lo = [0.0; 4];
+            face_flux(c, axis, &mut f_hi);
+            face_flux(lo_cell, axis, &mut f_lo);
+            for d in 0..ndim {
+                let e = eq.mom(d);
+                let cur = rhs.get(i, j, k, e);
+                rhs.set(i, j, k, e, cur + (f_hi[d] - f_lo[d]) / h);
+            }
+            let e = eq.energy();
+            let cur = rhs.get(i, j, k, e);
+            rhs.set(i, j, k, e, cur + (f_hi[ndim] - f_lo[ndim]) / h);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eqidx::EqIdx;
+    use crate::grid::Grid;
+
+    fn setup(n: usize, mu: f64) -> (Domain, [Vec<f64>; 3], Vec<Fluid>, StateField) {
+        let eq = EqIdx::new(1, 2);
+        let dom = Domain::new([n, n, 1], 3, eq);
+        let grid = Grid::uniform([n, n, 1], [0.0; 3], [1.0, 1.0, 1.0]);
+        let widths = [
+            grid.x.widths_with_ghosts(dom.pad(0)),
+            grid.y.widths_with_ghosts(dom.pad(1)),
+            grid.z.widths_with_ghosts(dom.pad(2)),
+        ];
+        let fluids = vec![Fluid::air().with_viscosity(mu)];
+        (dom, widths, fluids, StateField::zeros(dom))
+    }
+
+    #[test]
+    fn uniform_flow_has_zero_viscous_flux() {
+        let (dom, widths, fluids, mut prim) = setup(8, 0.1);
+        let eq = dom.eq;
+        for k in 0..dom.ext(2) {
+            for j in 0..dom.ext(1) {
+                for i in 0..dom.ext(0) {
+                    prim.set(i, j, k, eq.cont(0), 1.2);
+                    prim.set(i, j, k, eq.mom(0), 30.0);
+                    prim.set(i, j, k, eq.mom(1), -10.0);
+                    prim.set(i, j, k, eq.energy(), 1.0e5);
+                }
+            }
+        }
+        let mut rhs = StateField::zeros(dom);
+        let ctx = Context::serial();
+        add_viscous_fluxes(&ctx, &dom, &fluids, &prim, &widths, &mut rhs);
+        let max = rhs.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(max < 1e-10, "max = {max}");
+    }
+
+    #[test]
+    fn linear_shear_has_zero_momentum_diffusion_but_positive_dissipation() {
+        // u_x = S*y: tau_xy = mu*S constant → momentum RHS = 0; the energy
+        // RHS is d(u tau)/dy = S * mu * S > 0 (viscous heating).
+        let (dom, widths, fluids, mut prim) = setup(8, 0.5);
+        let eq = dom.eq;
+        let s_rate = 2.0;
+        for k in 0..dom.ext(2) {
+            for j in 0..dom.ext(1) {
+                for i in 0..dom.ext(0) {
+                    let y = (j as f64 - dom.pad(1) as f64 + 0.5) / 8.0;
+                    prim.set(i, j, k, eq.cont(0), 1.2);
+                    prim.set(i, j, k, eq.mom(0), s_rate * y);
+                    prim.set(i, j, k, eq.energy(), 1.0e5);
+                }
+            }
+        }
+        let mut rhs = StateField::zeros(dom);
+        let ctx = Context::serial();
+        add_viscous_fluxes(&ctx, &dom, &fluids, &prim, &widths, &mut rhs);
+        let (i, j) = (4 + dom.pad(0), 4 + dom.pad(1));
+        assert!(rhs.get(i, j, 0, eq.mom(0)).abs() < 1e-10);
+        assert!(rhs.get(i, j, 0, eq.mom(1)).abs() < 1e-10);
+        let want = fluids[0].viscosity * s_rate * s_rate / 8.0 * 8.0; // mu S^2
+        let got = rhs.get(i, j, 0, eq.energy());
+        assert!((got - want).abs() < 1e-8 * want, "got {got} want {want}");
+    }
+
+    #[test]
+    fn sinusoidal_shear_diffuses_toward_mean() {
+        // u_x = sin(2 pi y): RHS_x = -mu k^2 sin(2 pi y) / rho ... in
+        // momentum form RHS = mu * d2u/dy2 = -mu k^2 u.
+        let n = 32;
+        let (dom, widths, fluids, mut prim) = setup(n, 0.1);
+        let eq = dom.eq;
+        let kwave = 2.0 * std::f64::consts::PI;
+        for k in 0..dom.ext(2) {
+            for j in 0..dom.ext(1) {
+                for i in 0..dom.ext(0) {
+                    let y = (j as f64 - dom.pad(1) as f64 + 0.5) / n as f64;
+                    prim.set(i, j, k, eq.cont(0), 1.0);
+                    prim.set(i, j, k, eq.mom(0), (kwave * y).sin());
+                    prim.set(i, j, k, eq.energy(), 1.0e5);
+                }
+            }
+        }
+        let mut rhs = StateField::zeros(dom);
+        let ctx = Context::serial();
+        add_viscous_fluxes(&ctx, &dom, &fluids, &prim, &widths, &mut rhs);
+        for j in 0..n {
+            let y = (j as f64 + 0.5) / n as f64;
+            let u = (kwave * y).sin();
+            let want = -fluids[0].viscosity * kwave * kwave * u;
+            let got = rhs.get(8 + dom.pad(0), j + dom.pad(1), 0, eq.mom(0));
+            assert!(
+                (got - want).abs() < 0.02 * fluids[0].viscosity * kwave * kwave,
+                "j={j}: got {got} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixture_viscosity_weighted_by_volume_fraction() {
+        let eq = EqIdx::new(2, 1);
+        let dom = Domain::new([8, 1, 1], 3, eq);
+        let fluids = vec![
+            Fluid::air().with_viscosity(2.0),
+            Fluid::water().with_viscosity(10.0),
+        ];
+        let mut prim = StateField::zeros(dom);
+        for i in 0..dom.ext(0) {
+            prim.set(i, 0, 0, eq.cont(0), 1.2 * 0.25);
+            prim.set(i, 0, 0, eq.cont(1), 1000.0 * 0.75);
+            prim.set(i, 0, 0, eq.energy(), 1.0e5);
+            prim.set(i, 0, 0, eq.adv(0), 0.25);
+        }
+        let mu = cell_mu(&dom, &fluids, &prim, 4, 0, 0);
+        assert!((mu - (0.25 * 2.0 + 0.75 * 10.0)).abs() < 1e-12);
+        assert!(is_viscous(&fluids));
+        assert!(!is_viscous(&[Fluid::air()]));
+    }
+}

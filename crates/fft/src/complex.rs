@@ -1,0 +1,158 @@
+//! A minimal double-precision complex number.
+//!
+//! Only the operations the FFT needs; deliberately not a general complex
+//! arithmetic library.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    #[inline(always)]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    #[inline(always)]
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}`.
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by the imaginary unit.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        Complex {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline(always)]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!((a * b).re, 1.0 * -3.0 - 2.0 * 0.5);
+        assert_eq!((a * b).im, 1.0 * 0.5 + 2.0 * -3.0);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..8 {
+            let c = Complex::cis(k as f64 * 0.7);
+            assert!((c.abs() - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn mul_i_rotates_quarter_turn() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.mul_i(), Complex::new(-4.0, 3.0));
+        assert_eq!(a.mul_i().mul_i(), -a);
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        assert!((a * a.conj()).im.abs() < 1e-15);
+        assert_eq!((a * a.conj()).re, a.norm_sqr());
+    }
+}

@@ -1,0 +1,175 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use crate::complex::Complex;
+
+/// In-place forward DFT of a power-of-two-length buffer.
+///
+/// Convention: `X[k] = sum_n x[n] e^{-2 pi i k n / N}` (unnormalized
+/// forward transform, like FFTW/cuFFT/hipFFT).
+///
+/// ```
+/// use mfc_fft::{fft_inplace, ifft_inplace, Complex};
+/// let x: Vec<Complex> = (0..8).map(|i| Complex::real(i as f64)).collect();
+/// let mut y = x.clone();
+/// fft_inplace(&mut y);
+/// ifft_inplace(&mut y);
+/// assert!((y[3] - x[3]).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// If the length is not a power of two.
+pub fn fft_inplace(buf: &mut [Complex]) {
+    fft_dir(buf, -1.0);
+}
+
+/// In-place inverse DFT, including the `1/N` normalization, so that
+/// `ifft(fft(x)) == x`.
+///
+/// (cuFFT and hipFFT leave the scaling to the caller; MFC divides by the
+/// azimuthal extent after `Z2D`. We fold it in here so round-trips are
+/// identities.)
+pub fn ifft_inplace(buf: &mut [Complex]) {
+    fft_dir(buf, 1.0);
+    let scale = 1.0 / buf.len() as f64;
+    for v in buf.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn fft_dir(buf: &mut [Complex], sign: f64) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(buf);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in buf.chunks_exact_mut(len) {
+            let mut w = Complex::ONE;
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+fn bit_reverse_permute(buf: &mut [Complex]) {
+    let n = buf.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+}
+
+/// O(N^2) reference DFT with the same sign convention as [`fft_inplace`].
+/// Used as the test oracle; works for any length.
+pub fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (m, &v) in x.iter().enumerate() {
+                acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (k * m) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x = rand_signal(n, n as u64);
+            let want = naive_dft(&x);
+            let mut got = x.clone();
+            fft_inplace(&mut got);
+            assert!(max_err(&got, &want) < 1e-10 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let x = rand_signal(256, 7);
+        let mut y = x.clone();
+        fft_inplace(&mut y);
+        ifft_inplace(&mut y);
+        assert!(max_err(&x, &y) < 1e-12);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        fft_inplace(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-14 && v.im.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn single_mode_lands_in_single_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|m| Complex::cis(2.0 * std::f64::consts::PI * (k0 * m) as f64 / n as f64))
+            .collect();
+        fft_inplace(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            let expect = if k == k0 { n as f64 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x = rand_signal(128, 3);
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut y = x.clone();
+        fft_inplace(&mut y);
+        let freq: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time - freq).abs() < 1e-9 * time.max(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft_inplace(&mut x);
+    }
+}

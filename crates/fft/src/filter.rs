@@ -1,0 +1,174 @@
+//! The azimuthal low-pass filter applied near the axis of 3-D cylindrical
+//! grids (§III-A).
+//!
+//! Cells adjacent to the axis have azimuthal extents `r Δθ` that shrink with
+//! radius, which would force a tiny CFL time step.  MFC instead removes the
+//! high-frequency azimuthal content of the flow variables near the axis:
+//! forward FFT along θ, zero every mode above a radius-dependent cutoff,
+//! inverse FFT.
+
+use crate::complex::Complex;
+use crate::real::{irfft, rfft};
+
+/// Zero all modes above `keep_modes` in a real line of samples.
+///
+/// `keep_modes = 0` keeps only the azimuthal mean; `keep_modes >= n/2`
+/// leaves the line unchanged (up to FFT round-off).
+pub fn lowpass_filter_line(line: &mut [f64], keep_modes: usize) {
+    let n = line.len();
+    let mut spec = rfft(line);
+    for (k, bin) in spec.iter_mut().enumerate() {
+        if k > keep_modes {
+            *bin = Complex::ZERO;
+        }
+    }
+    line.copy_from_slice(&irfft(&spec, n));
+}
+
+/// A reusable filter plan for a cylindrical grid: one azimuthal cutoff per
+/// radial index.
+///
+/// MFC keeps fewer modes closer to the axis; the standard choice (also used
+/// here) keeps a number of modes proportional to the radial index, so the
+/// resolved azimuthal wavelength `r Δθ_eff` stays roughly constant and so
+/// does the CFL limit.
+#[derive(Debug, Clone)]
+pub struct LowpassPlan {
+    /// `keep[j]` = highest azimuthal mode kept at radial index `j`.
+    keep: Vec<usize>,
+    /// Azimuthal extent (must be a power of two).
+    ntheta: usize,
+}
+
+impl LowpassPlan {
+    /// Build a plan for `nr` radial cells and `ntheta` azimuthal cells.
+    ///
+    /// Radial index 0 is the innermost cell; it keeps at least one mode so
+    /// rotation information survives.
+    pub fn new(nr: usize, ntheta: usize) -> Self {
+        assert!(
+            ntheta.is_power_of_two(),
+            "azimuthal extent {ntheta} must be a power of two"
+        );
+        let nyquist = ntheta / 2;
+        let keep = (0..nr)
+            .map(|j| {
+                // Keep ~(j+1)/nr of the spectrum, at least mode 1, capped at
+                // Nyquist (no filtering at the rim).
+                (((j + 1) * nyquist) / nr.max(1)).clamp(1, nyquist)
+            })
+            .collect();
+        LowpassPlan { keep, ntheta }
+    }
+
+    /// Cutoff mode at radial index `j`.
+    pub fn cutoff(&self, j: usize) -> usize {
+        self.keep[j]
+    }
+
+    pub fn ntheta(&self) -> usize {
+        self.ntheta
+    }
+
+    /// Number of radial rings the plan covers.
+    pub fn nr(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Filter one azimuthal line at radial index `j`.
+    pub fn apply_line(&self, j: usize, line: &mut [f64]) {
+        assert_eq!(line.len(), self.ntheta);
+        if self.keep[j] < self.ntheta / 2 {
+            lowpass_filter_line(line, self.keep[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_with_modes(n: usize, modes: &[(usize, f64)]) -> Vec<f64> {
+        (0..n)
+            .map(|m| {
+                modes
+                    .iter()
+                    .map(|&(k, a)| {
+                        a * (2.0 * std::f64::consts::PI * (k * m) as f64 / n as f64).cos()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn filter_removes_high_modes_keeps_low() {
+        let n = 64;
+        let mut line = line_with_modes(n, &[(2, 1.0), (20, 0.5)]);
+        let want = line_with_modes(n, &[(2, 1.0)]);
+        lowpass_filter_line(&mut line, 8);
+        let err = line
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-10, "err={err}");
+    }
+
+    #[test]
+    fn filter_preserves_mean() {
+        let n = 32;
+        let mut line: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 3.0).collect();
+        let mean_before: f64 = line.iter().sum::<f64>() / n as f64;
+        lowpass_filter_line(&mut line, 0);
+        let mean_after: f64 = line.iter().sum::<f64>() / n as f64;
+        assert!((mean_before - mean_after).abs() < 1e-12);
+        // keep_modes = 0 leaves a constant line.
+        for v in &line {
+            assert!((v - mean_after).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_cutoff_is_identity() {
+        let n = 32;
+        let orig = line_with_modes(n, &[(1, 1.0), (7, 0.3), (15, 0.1)]);
+        let mut line = orig.clone();
+        lowpass_filter_line(&mut line, n / 2);
+        let err = line
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn plan_cutoffs_increase_with_radius() {
+        let plan = LowpassPlan::new(16, 64);
+        for j in 1..plan.nr() {
+            assert!(plan.cutoff(j) >= plan.cutoff(j - 1));
+        }
+        assert!(plan.cutoff(0) >= 1);
+        assert_eq!(plan.cutoff(15), 32); // rim: Nyquist, unfiltered
+    }
+
+    #[test]
+    fn plan_apply_filters_inner_ring_harder() {
+        let n = 64;
+        let plan = LowpassPlan::new(8, n);
+        let noisy = line_with_modes(n, &[(1, 1.0), (30, 1.0)]);
+
+        let mut inner = noisy.clone();
+        plan.apply_line(0, &mut inner);
+        let mut outer = noisy.clone();
+        plan.apply_line(7, &mut outer);
+
+        let hi_energy = |l: &[f64]| {
+            let spec = rfft(l);
+            spec[16..].iter().map(|c| c.norm_sqr()).sum::<f64>()
+        };
+        assert!(hi_energy(&inner) < 1e-18);
+        assert!(hi_energy(&outer) > 1.0); // rim untouched
+    }
+}

@@ -1,0 +1,19 @@
+//! A self-contained FFT used for MFC's azimuthal low-pass filter.
+//!
+//! MFC uses FFTW on CPUs, cuFFT on NVIDIA GPUs, and hipFFT on AMD GPUs to
+//! low-pass-filter the flow variables in the azimuthal direction of 3-D
+//! cylindrical grids, relaxing the CFL restriction near the axis (§III-A).
+//! None of those libraries is available here, so this crate implements the
+//! same code path from scratch: an iterative radix-2 complex FFT, real
+//! forward/inverse transforms (the `D2Z`/`Z2D` pair of Listings 5–6), and
+//! the spectral low-pass filter built on them.
+
+pub mod complex;
+pub mod fft;
+pub mod filter;
+pub mod real;
+
+pub use complex::Complex;
+pub use fft::{fft_inplace, ifft_inplace, naive_dft};
+pub use filter::{lowpass_filter_line, LowpassPlan};
+pub use real::{irfft, rfft};

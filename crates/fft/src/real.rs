@@ -1,0 +1,92 @@
+//! Real-to-complex and complex-to-real transforms — the `cufftExecD2Z` /
+//! `cufftExecZ2D` (and hipFFT) pair of Listings 5–6.
+
+use crate::complex::Complex;
+use crate::fft::{fft_inplace, ifft_inplace};
+
+/// Forward real-to-complex transform (`D2Z`).
+///
+/// Returns the `n/2 + 1` non-redundant spectrum bins of a length-`n` real
+/// signal (the remaining bins are the conjugate mirror).
+///
+/// # Panics
+/// If `n` is not a power of two.
+pub fn rfft(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+    fft_inplace(&mut buf);
+    buf.truncate(n / 2 + 1);
+    buf
+}
+
+/// Inverse complex-to-real transform (`Z2D`), normalized so that
+/// `irfft(rfft(x), x.len()) == x`.
+///
+/// `spec` must hold `n/2 + 1` bins; bins `0` and `n/2` are treated as real
+/// (their imaginary parts are ignored), matching the symmetry of a real
+/// signal's spectrum.
+pub fn irfft(spec: &[Complex], n: usize) -> Vec<f64> {
+    assert!(n.is_power_of_two(), "length {n} must be a power of two");
+    assert_eq!(spec.len(), n / 2 + 1, "spectrum must hold n/2+1 bins");
+    let mut buf = vec![Complex::ZERO; n];
+    buf[0] = Complex::real(spec[0].re);
+    if n >= 2 {
+        buf[n / 2] = Complex::real(spec[n / 2].re);
+    }
+    for k in 1..n / 2 {
+        buf[k] = spec[k];
+        buf[n - k] = spec[k].conj();
+    }
+    ifft_inplace(&mut buf);
+    buf.into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rfft_irfft_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for n in [2usize, 8, 64, 256] {
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let back = irfft(&rfft(&x), n);
+            let err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-12, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn cosine_lands_in_expected_bin() {
+        let n = 64;
+        let k0 = 3;
+        let x: Vec<f64> = (0..n)
+            .map(|m| (2.0 * std::f64::consts::PI * (k0 * m) as f64 / n as f64).cos())
+            .collect();
+        let spec = rfft(&x);
+        for (k, v) in spec.iter().enumerate() {
+            let expect = if k == k0 { n as f64 / 2.0 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-9, "bin {k}: {}", v.abs());
+        }
+    }
+
+    #[test]
+    fn dc_signal_has_only_dc() {
+        let x = vec![2.5; 32];
+        let spec = rfft(&x);
+        assert!((spec[0].re - 2.5 * 32.0).abs() < 1e-10);
+        for v in &spec[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spectrum_length_is_half_plus_one() {
+        assert_eq!(rfft(&[0.0; 16]).len(), 9);
+    }
+}

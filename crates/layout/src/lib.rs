@@ -1,0 +1,45 @@
+//! Array layouts, packing, and transpose kernels.
+//!
+//! MFC stores the flow state as an array of user-defined `scalar_field`
+//! types (Listing 2 of the paper), one 3-D field per equation.  The paper's
+//! headline single-kernel optimizations are about *re-laying-out* that data:
+//!
+//! * packing the array-of-fields into one flattened 4-D array (6x WENO
+//!   speedup in the paper),
+//! * reshaping the flattened array so the sweep direction is the
+//!   fastest-varying (memory-coalesced) index (10x WENO speedup),
+//! * performing those reshapes with batched GEAM-style transposes instead of
+//!   collapsed scalar loops (7x on MI250X with hipBLAS).
+//!
+//! This crate provides all three representations and all three transpose
+//! strategies so the rest of the workspace — and the ablation benchmarks —
+//! can reproduce those comparisons:
+//!
+//! * [`ScalarField`] / [`ScalarFieldSet`]: the array-of-fields layout
+//!   (Listing 2).
+//! * [`Flat4D`]: a flattened 4-D array with Fortran ordering (first index
+//!   fastest), the "coalesced multidimensional array" of the paper.
+//! * [`pack`]: converts a [`ScalarFieldSet`] into x/y/z-coalesced
+//!   [`Flat4D`] buffers (Listings 3 and 4).
+//! * [`transpose`]: naive collapsed-loop, cache-tiled, and two-step batched
+//!   GEAM transposes (Listing 4's `hipblasDgeamStridedBatched` +
+//!   `hipblasDgeam` pair).
+//!
+//! All indices follow the Fortran convention of the paper: `(i1, i2, i3, i4)`
+//! with `i1` fastest. Spatial indices map to `(x, y, z, field)` in the
+//! x-coalesced buffer.
+
+pub mod dims;
+pub mod flat;
+pub mod pack;
+pub mod scalar_field;
+pub mod transpose;
+
+pub use dims::{Dims3, Dims4, Dir};
+pub use flat::Flat4D;
+pub use pack::{pack_coalesced, unpack_coalesced};
+pub use scalar_field::{ScalarField, ScalarFieldSet};
+pub use transpose::{
+    transpose_2134_geam, transpose_2134_naive, transpose_3214_geam, transpose_3214_naive,
+    transpose_3214_tiled,
+};

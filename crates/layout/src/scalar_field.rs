@@ -1,0 +1,167 @@
+//! The `scalar_field` derived-type layout of Listing 2.
+//!
+//! MFC's state is a Fortran array of `scalar_field` types, each holding a
+//! pointer to its own 3-D array.  Each field is therefore a separate heap
+//! allocation, and a kernel touching all equations of one cell walks `nf`
+//! unrelated allocations — exactly the access pattern the paper's packing
+//! optimization removes.  We preserve the separate-allocation property
+//! (one boxed slice per field) so ablation benchmarks measure the same
+//! effect.
+
+use crate::dims::Dims3;
+
+/// One 3-D scalar field (Listing 2's `type scalar_field`).
+///
+/// Data is stored with Fortran ordering: the first spatial index is the
+/// fastest.
+#[derive(Debug, Clone)]
+pub struct ScalarField {
+    dims: Dims3,
+    data: Box<[f64]>,
+}
+
+impl ScalarField {
+    /// A zero-initialized field of the given extents.
+    pub fn zeros(dims: Dims3) -> Self {
+        ScalarField {
+            dims,
+            data: vec![0.0; dims.len()].into_boxed_slice(),
+        }
+    }
+
+    /// A field filled from a function of the (i1, i2, i3) coordinate.
+    pub fn from_fn(dims: Dims3, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+        let mut s = ScalarField::zeros(dims);
+        for i3 in 0..dims.n3 {
+            for i2 in 0..dims.n2 {
+                for i1 in 0..dims.n1 {
+                    s.data[dims.idx(i1, i2, i3)] = f(i1, i2, i3);
+                }
+            }
+        }
+        s
+    }
+
+    #[inline]
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    #[inline(always)]
+    pub fn get(&self, i1: usize, i2: usize, i3: usize) -> f64 {
+        self.data[self.dims.idx(i1, i2, i3)]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, i1: usize, i2: usize, i3: usize, v: f64) {
+        self.data[self.dims.idx(i1, i2, i3)] = v;
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// An array of scalar fields — MFC's `type(scalar_field), dimension(:)`.
+///
+/// Every field shares the same extents. Field `j` corresponds to equation
+/// `j` of the conservative (or primitive) state vector.
+#[derive(Debug, Clone)]
+pub struct ScalarFieldSet {
+    dims: Dims3,
+    fields: Vec<ScalarField>,
+}
+
+impl ScalarFieldSet {
+    /// `nf` zero-initialized fields of the given extents.
+    pub fn zeros(dims: Dims3, nf: usize) -> Self {
+        ScalarFieldSet {
+            dims,
+            fields: (0..nf).map(|_| ScalarField::zeros(dims)).collect(),
+        }
+    }
+
+    /// Fields filled from a function of (field, i1, i2, i3).
+    pub fn from_fn(
+        dims: Dims3,
+        nf: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f64,
+    ) -> Self {
+        let fields = (0..nf)
+            .map(|j| ScalarField::from_fn(dims, |i1, i2, i3| f(j, i1, i2, i3)))
+            .collect();
+        ScalarFieldSet { dims, fields }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Number of fields (equations).
+    #[inline]
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    #[inline]
+    pub fn field(&self, j: usize) -> &ScalarField {
+        &self.fields[j]
+    }
+
+    #[inline]
+    pub fn field_mut(&mut self, j: usize) -> &mut ScalarField {
+        &mut self.fields[j]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ScalarField> {
+        self.fields.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ScalarField> {
+        self.fields.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_places_values_at_expected_indices() {
+        let d = Dims3::new(3, 2, 2);
+        let f = ScalarField::from_fn(d, |i, j, k| (i + 10 * j + 100 * k) as f64);
+        assert_eq!(f.get(0, 0, 0), 0.0);
+        assert_eq!(f.get(2, 1, 1), 112.0);
+        // Fortran ordering: (1,0,0) is adjacent to (0,0,0) in memory.
+        assert_eq!(f.as_slice()[1], f.get(1, 0, 0));
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut f = ScalarField::zeros(Dims3::new(4, 4, 4));
+        f.set(3, 2, 1, 7.5);
+        assert_eq!(f.get(3, 2, 1), 7.5);
+    }
+
+    #[test]
+    fn field_set_has_independent_allocations() {
+        let mut s = ScalarFieldSet::zeros(Dims3::new(2, 2, 2), 3);
+        s.field_mut(1).set(0, 0, 0, 5.0);
+        assert_eq!(s.field(0).get(0, 0, 0), 0.0);
+        assert_eq!(s.field(1).get(0, 0, 0), 5.0);
+        assert_eq!(s.field(2).get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn field_set_from_fn_indexes_by_field_first() {
+        let s = ScalarFieldSet::from_fn(Dims3::new(2, 2, 2), 2, |f, i, _, _| (f * 100 + i) as f64);
+        assert_eq!(s.field(1).get(1, 0, 0), 101.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Ranks as threads, messages as channel sends.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A tagged point-to-point message.
+#[derive(Debug)]
+struct Message {
+    src: usize,
+    tag: u64,
+    payload: Vec<f64>,
+}
+
+/// One rank's handle into the simulated world.
+///
+/// Mirrors the slice of the MPI API MFC uses. Receives match on
+/// `(source, tag)`; out-of-order arrivals are buffered, so communication
+/// patterns that rely on MPI's non-overtaking guarantee work unchanged.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Message>>>,
+    inbox: Receiver<Message>,
+    pending: VecDeque<Message>,
+    barrier: Arc<Barrier>,
+}
+
+impl Comm {
+    /// This rank's id (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Non-blocking-ish send (`MPI_Send` with buffering semantics).
+    pub fn send(&self, dest: usize, tag: u64, payload: Vec<f64>) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        self.senders[dest]
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("destination rank hung up");
+    }
+
+    /// Blocking receive matching `(source, tag)` (`MPI_Recv`).
+    pub fn recv(&mut self, source: usize, tag: u64) -> Vec<f64> {
+        // Check previously-buffered out-of-order messages first.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == source && m.tag == tag)
+        {
+            return self.pending.remove(pos).unwrap().payload;
+        }
+        loop {
+            let m = self.inbox.recv().expect("world shut down mid-receive");
+            if m.src == source && m.tag == tag {
+                return m.payload;
+            }
+            self.pending.push_back(m);
+        }
+    }
+
+    /// Combined send+receive (`MPI_Sendrecv`) — the halo-exchange primitive.
+    ///
+    /// Safe against head-of-line blocking because sends are buffered.
+    pub fn sendrecv(
+        &mut self,
+        dest: usize,
+        send_tag: u64,
+        payload: Vec<f64>,
+        source: usize,
+        recv_tag: u64,
+    ) -> Vec<f64> {
+        self.send(dest, send_tag, payload);
+        self.recv(source, recv_tag)
+    }
+
+    /// Global synchronization (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-reduce of one scalar (`MPI_Allreduce`): every rank receives
+    /// `op` folded over every rank's contribution.
+    pub fn allreduce(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        const REDUCE_TAG: u64 = u64::MAX - 1;
+        const BCAST_TAG: u64 = u64::MAX - 2;
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                let v = self.recv(src, REDUCE_TAG);
+                acc = op(acc, v[0]);
+            }
+            for dst in 1..self.size {
+                self.send(dst, BCAST_TAG, vec![acc]);
+            }
+            acc
+        } else {
+            self.send(0, REDUCE_TAG, vec![value]);
+            self.recv(0, BCAST_TAG)[0]
+        }
+    }
+
+    /// Sum-reduce a scalar across ranks.
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Min-reduce a scalar across ranks (the CFL Δt reduction).
+    pub fn allreduce_min(&mut self, value: f64) -> f64 {
+        self.allreduce(value, f64::min)
+    }
+
+    /// Max-reduce a scalar across ranks.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        self.allreduce(value, f64::max)
+    }
+
+    /// Gather every rank's buffer to rank 0 (`MPI_Gatherv`).
+    /// Rank 0 receives `Some(buffers_by_rank)`, everyone else `None`.
+    pub fn gather(&mut self, payload: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        const GATHER_TAG: u64 = u64::MAX - 3;
+        if self.rank == 0 {
+            let mut out = vec![Vec::new(); self.size];
+            out[0] = payload;
+            for src in 1..self.size {
+                out[src] = self.recv(src, GATHER_TAG);
+            }
+            Some(out)
+        } else {
+            self.send(0, GATHER_TAG, payload);
+            None
+        }
+    }
+
+    /// Broadcast rank 0's buffer to everyone (`MPI_Bcast`). Non-root
+    /// callers pass their (ignored) placeholder and receive the root's.
+    pub fn bcast(&mut self, payload: Vec<f64>) -> Vec<f64> {
+        const BCAST_TAG: u64 = u64::MAX - 4;
+        if self.rank == 0 {
+            for dst in 1..self.size {
+                self.send(dst, BCAST_TAG, payload.clone());
+            }
+            payload
+        } else {
+            self.recv(0, BCAST_TAG)
+        }
+    }
+
+    /// Scatter rank 0's per-rank chunks (`MPI_Scatterv`): rank 0 passes
+    /// `Some(chunks)` with one entry per rank, everyone else `None`; each
+    /// rank receives its chunk.
+    pub fn scatter(&mut self, chunks: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        const SCATTER_TAG: u64 = u64::MAX - 5;
+        if self.rank == 0 {
+            let mut chunks = chunks.expect("root must supply the chunks");
+            assert_eq!(chunks.len(), self.size, "need one chunk per rank");
+            for (dst, chunk) in chunks.iter().enumerate().skip(1) {
+                self.send(dst, SCATTER_TAG, chunk.clone());
+            }
+            std::mem::take(&mut chunks[0])
+        } else {
+            assert!(chunks.is_none(), "non-root ranks pass None");
+            self.recv(0, SCATTER_TAG)
+        }
+    }
+}
+
+/// A pending non-blocking receive (`MPI_Request` from `MPI_Irecv`).
+///
+/// Sends are buffered in this simulator, so `isend` completes
+/// immediately; only receives need request objects.
+#[derive(Debug)]
+pub struct RecvRequest {
+    source: usize,
+    tag: u64,
+}
+
+impl Comm {
+    /// Non-blocking send (`MPI_Isend`) — identical to [`Comm::send`]
+    /// because sends are buffered, but kept as a named operation so
+    /// communication code reads like its MPI original.
+    pub fn isend(&self, dest: usize, tag: u64, payload: Vec<f64>) {
+        self.send(dest, tag, payload);
+    }
+
+    /// Post a non-blocking receive (`MPI_Irecv`): returns a request to be
+    /// completed with [`Comm::wait`] or [`Comm::waitall`].
+    pub fn irecv(&self, source: usize, tag: u64) -> RecvRequest {
+        RecvRequest { source, tag }
+    }
+
+    /// Complete one receive request (`MPI_Wait`).
+    pub fn wait(&mut self, req: RecvRequest) -> Vec<f64> {
+        self.recv(req.source, req.tag)
+    }
+
+    /// Complete a batch of receive requests (`MPI_Waitall`); results are
+    /// returned in the order the requests were posted.
+    pub fn waitall(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<f64>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+}
+
+/// Spawns `size` ranks and runs `body` on each; returns the per-rank
+/// results ordered by rank (`mpirun` + collect).
+///
+/// ```
+/// use mfc_mpsim::World;
+/// let sums = World::run(4, |mut comm| comm.allreduce_sum(comm.rank() as f64));
+/// assert_eq!(sums, vec![6.0; 4]);
+/// ```
+pub struct World;
+
+impl World {
+    pub fn run<T, F>(size: usize, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(size > 0, "world needs at least one rank");
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..size).map(|_| unbounded()).unzip();
+        let senders = Arc::new(senders);
+        let barrier = Arc::new(Barrier::new(size));
+
+        let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, inbox) in inboxes.into_iter().enumerate() {
+                let comm = Comm {
+                    rank,
+                    size,
+                    senders: Arc::clone(&senders),
+                    inbox,
+                    pending: VecDeque::new(),
+                    barrier: Arc::clone(&barrier),
+                };
+                let body = &body;
+                handles.push(scope.spawn(move || body(comm)));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                results[rank] = Some(h.join().expect("rank panicked"));
+            }
+        });
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_know_their_identity() {
+        let ids = World::run(4, |c| (c.rank(), c.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn ring_sendrecv_shifts_values() {
+        let n = 5;
+        let got = World::run(n, |mut c| {
+            let right = (c.rank() + 1) % n;
+            let left = (c.rank() + n - 1) % n;
+            let r = c.sendrecv(right, 7, vec![c.rank() as f64], left, 7);
+            r[0]
+        });
+        for (rank, v) in got.iter().enumerate() {
+            assert_eq!(*v as usize, (rank + n - 1) % n);
+        }
+    }
+
+    #[test]
+    fn recv_matches_tag_out_of_order() {
+        let got = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1.0]);
+                c.send(1, 2, vec![2.0]);
+                0.0
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let b = c.recv(0, 2);
+                let a = c.recv(0, 1);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(got[1], 12.0);
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        let sums = World::run(4, |mut c| c.allreduce_sum(c.rank() as f64 + 1.0));
+        assert!(sums.iter().all(|&s| s == 10.0));
+        let mins = World::run(4, |mut c| c.allreduce_min(c.rank() as f64));
+        assert!(mins.iter().all(|&m| m == 0.0));
+        let maxs = World::run(4, |mut c| c.allreduce_max(c.rank() as f64));
+        assert!(maxs.iter().all(|&m| m == 3.0));
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let got = World::run(3, |mut c| c.gather(vec![c.rank() as f64; c.rank() + 1]));
+        let root = got[0].as_ref().unwrap();
+        assert_eq!(root[0], vec![0.0]);
+        assert_eq!(root[1], vec![1.0, 1.0]);
+        assert_eq!(root[2], vec![2.0, 2.0, 2.0]);
+        assert!(got[1].is_none() && got[2].is_none());
+    }
+
+    #[test]
+    fn bcast_delivers_roots_buffer() {
+        let got = World::run(4, |mut c| {
+            let local = if c.rank() == 0 { vec![7.0, 8.0] } else { vec![] };
+            c.bcast(local)
+        });
+        for v in got {
+            assert_eq!(v, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_chunks() {
+        let got = World::run(3, |mut c| {
+            let chunks = if c.rank() == 0 {
+                Some(vec![vec![0.0], vec![1.0, 1.0], vec![2.0, 2.0, 2.0]])
+            } else {
+                None
+            };
+            c.scatter(chunks)
+        });
+        assert_eq!(got[0], vec![0.0]);
+        assert_eq!(got[1], vec![1.0, 1.0]);
+        assert_eq!(got[2], vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn barrier_does_not_deadlock() {
+        let got = World::run(4, |c| {
+            for _ in 0..10 {
+                c.barrier();
+            }
+            1
+        });
+        assert_eq!(got.iter().sum::<i32>(), 4);
+    }
+
+    #[test]
+    fn irecv_waitall_completes_out_of_order_arrivals() {
+        let got = World::run(3, |mut c| {
+            if c.rank() == 0 {
+                // Post receives from both peers before anything arrives.
+                let r2 = c.irecv(2, 9);
+                let r1 = c.irecv(1, 9);
+                let results = c.waitall(vec![r1, r2]);
+                results[0][0] * 10.0 + results[1][0]
+            } else {
+                c.isend(0, 9, vec![c.rank() as f64]);
+                0.0
+            }
+        });
+        assert_eq!(got[0], 12.0);
+    }
+
+    #[test]
+    fn isend_does_not_block_without_matching_recv_yet() {
+        let got = World::run(2, |mut c| {
+            if c.rank() == 0 {
+                // Two sends complete before the peer posts any receive.
+                c.isend(1, 1, vec![1.0]);
+                c.isend(1, 2, vec![2.0]);
+                c.barrier();
+                0.0
+            } else {
+                c.barrier();
+                let a = c.wait(c.irecv(0, 2));
+                let b = c.wait(c.irecv(0, 1));
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(got[1], 21.0);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let got = World::run(1, |mut c| c.allreduce_sum(5.0));
+        assert_eq!(got, vec![5.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Parallel output strategies (§III-A).
+//!
+//! Before Frontier MFC wrote one shared binary file via collective MPI I/O.
+//! At 65,536 GCDs the metadata storm of creating shared files made a
+//! file-per-process approach faster — *if* file creation is throttled:
+//! "write access is allowed in waves of 128 processes".  Both writers are
+//! implemented here; the wave throttling is real (ranks outside the active
+//! wave block on barriers), the parallel-filesystem contention is not.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::comm::Comm;
+
+/// File-per-process writer with wave throttling.
+#[derive(Debug, Clone)]
+pub struct WaveWriter {
+    /// How many ranks may create/write files simultaneously (128 in MFC).
+    pub wave_size: usize,
+    /// Busy-work multiplications separating waves — the paper's "each
+    /// wave offset by a set number of double-precision multiplication
+    /// operations", which spreads metadata creation in time even without
+    /// a barrier-capable filesystem. 0 disables.
+    pub offset_flops: u64,
+}
+
+impl WaveWriter {
+    pub fn new(wave_size: usize) -> Self {
+        assert!(wave_size > 0);
+        WaveWriter {
+            wave_size,
+            offset_flops: 0,
+        }
+    }
+
+    /// Configure the inter-wave busy-work offset.
+    pub fn with_offset_flops(mut self, flops: u64) -> Self {
+        self.offset_flops = flops;
+        self
+    }
+
+    /// The inter-wave delay loop (kept observable so the optimizer cannot
+    /// remove it).
+    fn wave_offset(&self) {
+        let mut x = 1.000000001f64;
+        for _ in 0..self.offset_flops {
+            x *= 1.000000001;
+        }
+        std::hint::black_box(x);
+    }
+
+    /// Path of one rank's file under `dir` for output step `step`.
+    pub fn rank_path(dir: &Path, step: usize, rank: usize) -> PathBuf {
+        dir.join(format!("step{step:06}_rank{rank:06}.bin"))
+    }
+
+    /// Write this rank's `data` to its own file, in waves.
+    ///
+    /// Every rank must call this (it synchronizes on barriers). Returns the
+    /// wave index this rank wrote in.
+    pub fn write(
+        &self,
+        comm: &Comm,
+        dir: &Path,
+        step: usize,
+        data: &[f64],
+    ) -> io::Result<usize> {
+        let my_wave = comm.rank() / self.wave_size;
+        let n_waves = comm.size().div_ceil(self.wave_size);
+        for wave in 0..n_waves {
+            if wave == my_wave {
+                let mut f = File::create(Self::rank_path(dir, step, comm.rank()))?;
+                write_doubles(&mut f, data)?;
+            } else if wave < my_wave {
+                // Ranks in later waves burn the configured multiplication
+                // budget so waves stay offset in time.
+                self.wave_offset();
+            }
+            // The offset between waves: everyone waits for the wave to finish
+            // before the next begins.
+            comm.barrier();
+        }
+        Ok(my_wave)
+    }
+
+    /// Read one rank's file back.
+    pub fn read(dir: &Path, step: usize, rank: usize) -> io::Result<Vec<f64>> {
+        let mut f = File::open(Self::rank_path(dir, step, rank))?;
+        read_doubles(&mut f)
+    }
+}
+
+/// Shared-file writer: every rank's block lands in one file at its rank
+/// offset, in rank order (stand-in for collective MPI I/O into one binary).
+///
+/// Implemented by gathering to rank 0, which performs the single write —
+/// the serialization point is exactly why this approach stopped scaling.
+#[derive(Debug, Clone, Default)]
+pub struct SharedFileWriter;
+
+impl SharedFileWriter {
+    pub fn shared_path(dir: &Path, step: usize) -> PathBuf {
+        dir.join(format!("step{step:06}_shared.bin"))
+    }
+
+    /// Every rank contributes `data`; rank 0 writes the concatenation in
+    /// rank order. All blocks must have equal length (uniform blocks).
+    pub fn write(&self, comm: &mut Comm, dir: &Path, step: usize, data: &[f64]) -> io::Result<()> {
+        let blocks = comm.gather(data.to_vec());
+        if let Some(blocks) = blocks {
+            let len0 = blocks[0].len();
+            assert!(
+                blocks.iter().all(|b| b.len() == len0),
+                "shared-file writer requires uniform block sizes"
+            );
+            let mut f = File::create(Self::shared_path(dir, step))?;
+            for b in &blocks {
+                write_doubles(&mut f, b)?;
+            }
+        }
+        comm.barrier();
+        Ok(())
+    }
+
+    /// Read rank `rank`'s block of `block_len` doubles back from the shared
+    /// file.
+    pub fn read_block(
+        dir: &Path,
+        step: usize,
+        rank: usize,
+        block_len: usize,
+    ) -> io::Result<Vec<f64>> {
+        let bytes = std::fs::read(Self::shared_path(dir, step))?;
+        let start = rank * block_len * 8;
+        let end = start + block_len * 8;
+        if end > bytes.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "block extends past end of shared file",
+            ));
+        }
+        Ok(bytes[start..end]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+fn write_doubles(w: &mut impl Write, data: &[f64]) -> io::Result<()> {
+    let mut buf = io::BufWriter::new(w);
+    for v in data {
+        buf.write_all(&v.to_le_bytes())?;
+    }
+    buf.flush()
+}
+
+fn read_doubles(r: &mut impl Read) -> io::Result<Vec<f64>> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mfc_mpsim_io_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn wave_writer_round_trips_per_rank_data() {
+        let dir = tmpdir("wave");
+        let n = 6;
+        World::run(n, |c| {
+            let data: Vec<f64> = (0..4).map(|i| (c.rank() * 10 + i) as f64).collect();
+            WaveWriter::new(2).write(&c, &dir, 3, &data).unwrap();
+        });
+        for rank in 0..n {
+            let back = WaveWriter::read(&dir, 3, rank).unwrap();
+            assert_eq!(back, (0..4).map(|i| (rank * 10 + i) as f64).collect::<Vec<_>>());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wave_indices_partition_ranks() {
+        let dir = tmpdir("waveidx");
+        let waves = World::run(5, |c| {
+            WaveWriter::new(2).write(&c, &dir, 0, &[c.rank() as f64]).unwrap()
+        });
+        assert_eq!(waves, vec![0, 0, 1, 1, 2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn offset_flops_do_not_change_results() {
+        let dir = tmpdir("waveoffset");
+        World::run(4, |c| {
+            WaveWriter::new(1)
+                .with_offset_flops(10_000)
+                .write(&c, &dir, 2, &[c.rank() as f64])
+                .unwrap();
+        });
+        for rank in 0..4 {
+            assert_eq!(WaveWriter::read(&dir, 2, rank).unwrap(), vec![rank as f64]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_file_blocks_land_at_rank_offsets() {
+        let dir = tmpdir("shared");
+        let n = 4;
+        World::run(n, |mut c| {
+            let data = vec![c.rank() as f64; 3];
+            SharedFileWriter.write(&mut c, &dir, 1, &data).unwrap();
+        });
+        for rank in 0..n {
+            let back = SharedFileWriter::read_block(&dir, 1, rank, 3).unwrap();
+            assert_eq!(back, vec![rank as f64; 3]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_file_read_past_end_errors() {
+        let dir = tmpdir("sharederr");
+        World::run(2, |mut c| {
+            SharedFileWriter.write(&mut c, &dir, 0, &[1.0]).unwrap();
+        });
+        assert!(SharedFileWriter::read_block(&dir, 0, 2, 1).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! Flow over a NACA 2412 airfoil at 15° angle of attack via the
+//! ghost-cell immersed boundary method (§VI-B, down-scaled).
+//!
+//! The paper resolved 500 cells per chord with 2.25 billion cells on 128
+//! A100s; here ~40 cells per chord demonstrate the same IBM machinery.
+
+use mfc::core::bc::{BcKind, BcSpec};
+use mfc::core::ibm::{Body, GhostCellIbm, NacaAirfoil};
+use mfc::{presets, Context, Solver, SolverConfig};
+
+fn main() {
+    let n = 96;
+    // Mach ~0.3 free stream.
+    let u_inf = 100.0;
+    let case = presets::uniform_flow(2, [n, n, 1], [u_inf, 0.0, 0.0])
+        .extent([-1.0, -1.25, 0.0], [1.5, 1.25, 1.0])
+        .bc(BcSpec::all(BcKind::Transmissive));
+    let foil = NacaAirfoil::naca2412([-0.5, 0.0], 1.0);
+    let sdf_probe = foil.sdf([0.0, 0.0, 0.0]);
+    let ibm = GhostCellIbm::new(Box::new(foil));
+    let mut solver =
+        Solver::new(&case, SolverConfig::default(), Context::new()).with_body(ibm);
+    let eq = case.eq();
+    let ng = solver.domain().pad(0);
+
+    println!("NACA 2412 at 15 deg AoA, {n}x{n} cells, chord = 1 (sdf at origin: {sdf_probe:.3})");
+    for s in 0..120 {
+        solver.step();
+        if s % 30 == 0 {
+            println!("step {s:4}: t = {:.3e} s", solver.time());
+        }
+    }
+
+    // Diagnostics: the flow must decelerate near the leading edge
+    // (stagnation) and stay near free-stream far away.
+    let prim = solver.primitives();
+    let cell = |x: f64, y: f64| -> (usize, usize) {
+        let i = ((x + 1.0) / 2.5 * n as f64) as usize;
+        let j = ((y + 1.25) / 2.5 * n as f64) as usize;
+        (i.min(n - 1) + ng, j.min(n - 1) + ng)
+    };
+    let (i0, j0) = cell(-0.55, -0.02); // just upstream of the leading edge
+    let (i1, j1) = cell(-0.95, 1.0); // far field
+    let u_stag = prim.get(i0, j0, 0, eq.mom(0));
+    let u_far = prim.get(i1, j1, 0, eq.mom(0));
+    println!("u near leading edge: {u_stag:.1} m/s; far field: {u_far:.1} m/s (free stream {u_inf})");
+    assert!(u_stag < 0.9 * u_inf, "no deceleration at the body: {u_stag}");
+    assert!((u_far - u_inf).abs() < 0.25 * u_inf, "far field disturbed: {u_far}");
+
+    // Vorticity magnitude behind the trailing edge (the wake the paper
+    // visualizes) should exceed the free-stream's.
+    let dz = 2.5 / n as f64;
+    let vort = |i: usize, j: usize| -> f64 {
+        let dv_dx =
+            (prim.get(i + 1, j, 0, eq.mom(1)) - prim.get(i - 1, j, 0, eq.mom(1))) / (2.0 * dz);
+        let du_dy =
+            (prim.get(i, j + 1, 0, eq.mom(0)) - prim.get(i, j - 1, 0, eq.mom(0))) / (2.0 * dz);
+        (dv_dx - du_dy).abs()
+    };
+    let (iw, jw) = cell(0.75, -0.15);
+    let (iq, jq) = cell(-0.9, 1.1);
+    println!("wake vorticity: {:.1} 1/s, quiescent corner: {:.1} 1/s", vort(iw, jw), vort(iq, jq));
+    assert!(vort(iw, jw) > vort(iq, jq), "no wake vorticity generated");
+    println!("IBM airfoil demo PASSED");
+}

@@ -1,0 +1,96 @@
+//! Swirling flow in a cylindrical annulus, with the azimuthal low-pass
+//! filter of §III-A applied in the loop — the full 3-D cylindrical code
+//! path: r-scaled azimuthal metric, centrifugal sources, and the
+//! FFT filter that relaxes the near-axis CFL restriction.
+
+use mfc::core::axisym::Geometry;
+use mfc::core::bc::{BcKind, BcSpec};
+use mfc::core::filter::apply_azimuthal_filter;
+use mfc::core::fluid::Fluid;
+use mfc::core::rhs::RhsConfig;
+use mfc::fft::LowpassPlan;
+use mfc::{CaseBuilder, Context, PatchState, Region, Solver, SolverConfig};
+
+fn main() {
+    let n = [8usize, 16, 32]; // z, r, theta
+    let (r0, r1) = (0.1, 1.1);
+    let omega = 40.0;
+    let rho = 1.2;
+    let p_ref = 1.0e5;
+    let case = CaseBuilder::new(vec![Fluid::air()], 3, n)
+        .extent([0.0, r0, 0.0], [0.5, r1, 2.0 * std::f64::consts::PI])
+        .bc(BcSpec {
+            lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
+            hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
+        })
+        .patch(Region::All, PatchState::single(rho, [0.0; 3], p_ref));
+    let cfg = SolverConfig {
+        rhs: RhsConfig {
+            geometry: Geometry::Cylindrical3D,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut solver = Solver::new(&case, cfg, Context::new());
+    let eq = case.eq();
+    let dom = *solver.domain();
+    let grid = solver.grid().clone();
+
+    // Solid-body swirl + azimuthal pressure equilibrium, plus high-mode
+    // azimuthal noise that the filter is there to remove.
+    {
+        let q = solver.state_mut();
+        for j in 0..dom.ext(1) {
+            let jr = (j as isize - dom.pad(1) as isize).clamp(0, grid.y.n() as isize - 1);
+            let r = grid.y.centers()[jr as usize];
+            let ut = omega * r;
+            let p = p_ref + 0.5 * rho * omega * omega * (r * r - r0 * r0);
+            for k in 0..dom.ext(2) {
+                let theta = 2.0 * std::f64::consts::PI * ((k as f64 - 3.0 + 0.5) / n[2] as f64);
+                let noise = 1.0 + 0.002 * (13.0 * theta).sin();
+                for i in 0..dom.ext(0) {
+                    q.set(i, j, k, eq.cont(0), rho * noise);
+                    q.set(i, j, k, eq.mom(2), rho * noise * ut);
+                    q.set(i, j, k, eq.energy(), p / 0.4 + 0.5 * rho * noise * ut * ut);
+                }
+            }
+        }
+    }
+
+    let plan = LowpassPlan::new(n[1], n[2]);
+    let ctx = Context::serial();
+
+    // Azimuthal high-mode content of the density on the inner ring.
+    let high_mode_amp = |solver: &Solver| -> f64 {
+        let q = solver.state();
+        let line: Vec<f64> = (0..n[2])
+            .map(|k| q.get(4 + dom.pad(0), dom.pad(1), k + dom.pad(2), eq.cont(0)))
+            .collect();
+        let spec = mfc::fft::rfft(&line);
+        spec[8..].iter().map(|c| c.abs()).fold(0.0, f64::max) / n[2] as f64
+    };
+
+    println!("Cylindrical swirl: annulus r in [{r0}, {r1}], Omega = {omega} rad/s, {n:?} cells");
+    println!("initial inner-ring high-mode amplitude: {:.3e}", high_mode_amp(&solver));
+    for s in 0..60 {
+        solver.step();
+        // Filter every 10 steps (MFC applies it each step near the axis;
+        // the cadence here keeps the demo readable).
+        if s % 10 == 9 {
+            apply_azimuthal_filter(&ctx, &plan, solver.state_mut());
+        }
+    }
+    let amp = high_mode_amp(&solver);
+    println!("final inner-ring high-mode amplitude:   {amp:.3e}");
+    println!("grind: {:.1} ns/cell/PDE/RHS", solver.grind().ns_per_cell_eq_rhs());
+    assert!(amp < 5.0e-4, "filter failed to control azimuthal noise: {amp:.3e}");
+
+    // Swirl survives: u_theta at the outer ring stays near Omega*r.
+    let prim = solver.primitives();
+    let j_out = n[1] - 2 + dom.pad(1);
+    let r_out = grid.y.centers()[n[1] - 2];
+    let ut = prim.get(4 + dom.pad(0), j_out, 3 + dom.pad(2), eq.mom(2));
+    println!("outer-ring u_theta = {ut:.1} m/s (solid body: {:.1})", omega * r_out);
+    assert!((ut - omega * r_out).abs() < 0.2 * omega * r_out);
+    println!("cylindrical swirl demo PASSED");
+}

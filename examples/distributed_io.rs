@@ -1,0 +1,65 @@
+//! The full §III-A I/O pipeline, end to end:
+//!
+//! distributed solve (halo exchange over simulated ranks)
+//!   → each rank writes its block with the wave-throttled
+//!     file-per-process writer
+//!   → the host post-processor reassembles the global field from the
+//!     per-rank files
+//!   → a legacy-VTK database (the SILO substitute) is produced for
+//!     Paraview/VisIt.
+
+use mfc::core::output::{postprocess_wave_files, write_vtk_rectilinear};
+use mfc::core::par::{run_distributed, run_distributed_with_output};
+use mfc::mpsim::Staging;
+use mfc::{presets, SolverConfig};
+
+fn main() {
+    let dir = std::path::PathBuf::from("target/distributed_io");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let case = presets::two_phase_benchmark(2, [48, 48, 1]);
+    let cfg = SolverConfig::default();
+    let ranks = 4;
+    let steps = 10;
+
+    println!("running {ranks} simulated ranks for {steps} steps...");
+    let dims = run_distributed_with_output(
+        &case,
+        cfg,
+        ranks,
+        steps,
+        Staging::DeviceDirect,
+        &dir,
+        2, // waves of 2 writers (128 in production)
+        0, // output step id
+    );
+    println!("rank files written under {} (decomposition {dims:?})", dir.display());
+
+    // Host-side post-processing (the paper's SILO-creation role).
+    let eq = case.eq();
+    let gf = postprocess_wave_files(&dir, 0, case.cells, eq, dims).unwrap();
+    println!("reassembled global field: {:?} cells x {} equations", gf.n, gf.neq);
+
+    // Cross-check against the in-memory gather path.
+    let (reference, _) = run_distributed(&case, cfg, ranks, steps, Staging::DeviceDirect);
+    let diff = gf.max_abs_diff(&reference);
+    println!("max |file-based - gather-based| = {diff:.1e}");
+    assert_eq!(diff, 0.0, "post-processing must reproduce the gather exactly");
+
+    let vtk = dir.join("two_phase.vtk");
+    write_vtk_rectilinear(
+        &vtk,
+        &case.grid(),
+        &gf,
+        &[
+            ("alpha_rho_air", eq.cont(0)),
+            ("alpha_rho_water", eq.cont(1)),
+            ("energy", eq.energy()),
+            ("alpha_air", eq.adv(0)),
+        ],
+    )
+    .unwrap();
+    println!("wrote {} (open with Paraview/VisIt)", vtk.display());
+    println!("distributed I/O pipeline PASSED");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: a Sod shock tube, validated against the exact solution.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mfc::core::fluid::Fluid;
+use mfc::core::riemann::{ExactRiemann, PrimSide};
+use mfc::{presets, Context, Solver, SolverConfig};
+
+fn main() {
+    let n = 400;
+    let case = presets::sod(n);
+    let mut solver = Solver::new(&case, SolverConfig::default(), Context::new());
+
+    println!("Sod shock tube, {n} cells, WENO5 + HLLC + RK3");
+    solver.run_until(0.15, 100_000);
+    println!(
+        "reached t = {:.4} in {} steps (grind {:.1} ns/cell/PDE/RHS)",
+        solver.time(),
+        solver.steps(),
+        solver.grind().ns_per_cell_eq_rhs()
+    );
+
+    // Exact reference.
+    let air = Fluid::air();
+    let exact = ExactRiemann::solve(
+        PrimSide { rho: 1.0, u: 0.0, p: 1.0, fluid: air },
+        PrimSide { rho: 0.125, u: 0.0, p: 0.1, fluid: air },
+    );
+
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let ng = solver.domain().pad(0);
+    let t = solver.time();
+    let mut l1 = 0.0;
+    println!("\n  x       rho(sim)  rho(exact)   u(sim)     p(sim)");
+    for i in 0..n {
+        let x = (i as f64 + 0.5) / n as f64;
+        let (rho_ex, _, _) = exact.sample((x - 0.5) / t);
+        let rho = prim.get(i + ng, 0, 0, eq.cont(0));
+        l1 += (rho - rho_ex).abs() / n as f64;
+        if i % (n / 20) == 0 {
+            println!(
+                "{x:7.3} {rho:10.4} {rho_ex:10.4} {:10.4} {:10.4}",
+                prim.get(i + ng, 0, 0, eq.mom(0)),
+                prim.get(i + ng, 0, 0, eq.energy()),
+            );
+        }
+    }
+    println!("\ndensity L1 error vs exact solution: {l1:.5}");
+    assert!(l1 < 0.01, "validation failed");
+    println!("validation PASSED (L1 < 0.01)");
+}

@@ -1,0 +1,33 @@
+//! Roofline + grind-time report (Figs. 1 and 5–7).
+//!
+//! Profiles the real solver to extract per-kernel FLOP/byte intensities,
+//! then prints the modelled rooflines, GPU-vs-CPU speedups, and
+//! kernel-time breakdowns.
+
+use mfc::acc::KernelClass;
+use mfc::perfmodel::{figures, WorkloadProfile};
+
+fn main() {
+    println!("profiling the instrumented solver (24^3 two-phase, 2 steps)...");
+    let profile = WorkloadProfile::measure(24, 2);
+    println!(
+        "measured: {} cells, {} PDEs, {} RHS evaluations",
+        profile.cells, profile.neq, profile.rhs_evals
+    );
+    for class in [KernelClass::Weno, KernelClass::Riemann, KernelClass::Pack, KernelClass::Update] {
+        let c = profile.class(class);
+        println!(
+            "  {:<8} {:>9.1} FLOP/cell/RHS {:>9.1} B/cell/RHS  AI {:.3}",
+            class.name(),
+            c.flops_per_cell,
+            c.bytes_per_cell,
+            c.ai()
+        );
+    }
+    println!();
+    print!("{}", figures::render_fig1(&figures::fig1_roofline(&profile)));
+    println!();
+    print!("{}", figures::render_fig5(&figures::fig5_speedup()));
+    println!();
+    print!("{}", figures::render_fig6_fig7(&figures::fig6_fig7_breakdown()));
+}

@@ -1,0 +1,40 @@
+//! Scaling report: functional multi-rank runs + the Summit/Frontier
+//! scaling model (Figs. 2–4).
+//!
+//! Part 1 runs the *real* distributed solver (halo exchange over simulated
+//! ranks) and verifies it against the serial run. Part 2 prints the
+//! modelled weak/strong scaling curves for Summit and Frontier.
+
+use mfc::core::par::{run_distributed, run_single};
+use mfc::mpsim::Staging;
+use mfc::perfmodel::figures;
+use mfc::{presets, SolverConfig};
+
+fn main() {
+    println!("== Part 1: functional distributed runs (simulated ranks) ==");
+    let case = presets::two_phase_benchmark(2, [32, 32, 1]);
+    let cfg = SolverConfig::default();
+    let serial = run_single(&case, cfg, 5);
+    for ranks in [2usize, 4, 8] {
+        let (dist, stats) = run_distributed(&case, cfg, ranks, 5, Staging::DeviceDirect);
+        let diff = dist.max_abs_diff(&serial);
+        println!(
+            "{ranks} ranks: max |distributed - serial| = {diff:.1e}  \
+             (rank 0 sent {} msgs, {} bytes)",
+            stats.messages, stats.bytes
+        );
+        assert_eq!(diff, 0.0, "distributed must equal serial bitwise");
+    }
+    let (_, staged) = run_distributed(&case, cfg, 4, 5, Staging::HostStaged);
+    println!("host-staged run: same physics, {} msgs staged through the host", staged.messages);
+
+    println!("\n== Part 2: modelled scaling on Summit and Frontier ==");
+    print!("{}", figures::render_scaling("Fig 2 — weak scaling", &figures::fig2_weak_scaling()));
+    println!();
+    print!("{}", figures::render_scaling("Fig 3 — strong scaling", &figures::fig3_strong_scaling()));
+    println!();
+    print!("{}", figures::render_scaling(
+        "Fig 4 — strong scaling, GPU-aware vs host-staged MPI",
+        &figures::fig4_gpu_aware(),
+    ));
+}

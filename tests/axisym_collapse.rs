@@ -1,0 +1,140 @@
+//! Axisymmetric (spherical) bubble collapse — §III-F lists it among MFC's
+//! validation problems — plus steady-state checks for the axisymmetric
+//! geometric sources.
+
+use mfc::core::axisym::Geometry;
+use mfc::core::bc::{BcKind, BcSpec};
+use mfc::core::fluid::Fluid;
+use mfc::core::rhs::RhsConfig;
+use mfc::{CaseBuilder, Context, PatchState, Region, Solver, SolverConfig};
+
+fn collapse_case(n: usize, r0: f64, p_ambient: f64) -> CaseBuilder {
+    // x = axial in [-4R, 4R], y = radial in [0, 4R]; the bubble is a
+    // half-disk centered on the axis (a sphere in axisymmetric geometry).
+    CaseBuilder::new(vec![Fluid::air(), Fluid::water()], 2, [2 * n, n, 1])
+        .extent([-4.0 * r0, 0.0, 0.0], [4.0 * r0, 4.0 * r0, 1.0])
+        .bc(BcSpec {
+            lo: [BcKind::Transmissive, BcKind::Reflective, BcKind::Transmissive],
+            hi: [BcKind::Transmissive, BcKind::Transmissive, BcKind::Transmissive],
+        })
+        .smear(1.0)
+        .patch(
+            Region::All,
+            PatchState::two_fluid(1e-6, [1.2, 1000.0], [0.0; 3], p_ambient),
+        )
+        .patch(
+            Region::Sphere { center: [0.0, 0.0, 0.0], radius: r0 },
+            PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [0.0; 3], 101325.0),
+        )
+}
+
+fn axisym_config() -> SolverConfig {
+    SolverConfig {
+        rhs: RhsConfig {
+            geometry: Geometry::Axisymmetric,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Gas content weighted by the cylindrical volume element (r dr dx).
+fn gas_volume(solver: &Solver, case: &CaseBuilder) -> f64 {
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let dom = *solver.domain();
+    let grid = solver.grid();
+    let mut v = 0.0;
+    for (i, j, k) in dom.interior() {
+        let r = grid.y.centers()[j - dom.pad(1)];
+        let dv = grid.x.widths()[i - dom.pad(0)] * grid.y.widths()[j - dom.pad(1)] * r;
+        v += prim.get(i, j, k, eq.adv(0)) * dv;
+    }
+    v
+}
+
+#[test]
+fn quiescent_axisymmetric_state_is_steady() {
+    let r0 = 1.0e-3;
+    // No pressure difference: nothing should move.
+    let case = collapse_case(16, r0, 101325.0);
+    let mut solver = Solver::new(&case, axisym_config(), Context::serial());
+    solver.run_steps(10);
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let dom = *solver.domain();
+    let mut vmax = 0.0f64;
+    for (i, j, k) in dom.interior() {
+        vmax = vmax
+            .max(prim.get(i, j, k, eq.mom(0)).abs())
+            .max(prim.get(i, j, k, eq.mom(1)).abs());
+    }
+    assert!(vmax < 1e-7, "spurious axisymmetric velocity {vmax}");
+}
+
+#[test]
+fn pressurized_bubble_collapses_on_the_rayleigh_time_scale() {
+    let r0 = 1.0e-3;
+    let p_inf = 100.0 * 101325.0; // 100 atm drives the collapse
+    let case = collapse_case(24, r0, p_inf);
+    let mut solver = Solver::new(&case, axisym_config(), Context::serial());
+
+    let v0 = gas_volume(&solver, &case);
+    assert!(v0 > 0.0);
+
+    // Rayleigh collapse time: t_c = 0.915 R sqrt(rho/dp) ≈ 9.1 us here.
+    let t_c = 0.915 * r0 * (1000.0f64 / (p_inf - 101325.0)).sqrt();
+    let t_target = 0.35 * t_c;
+    let mut steps = 0;
+    while solver.time() < t_target && steps < 20_000 {
+        solver.step();
+        steps += 1;
+    }
+    let v1 = gas_volume(&solver, &case);
+    let ratio = v1 / v0;
+    // Early collapse: meaningful but partial compression.
+    assert!(ratio < 0.95, "bubble did not compress: V/V0 = {ratio}");
+    assert!(ratio > 0.2, "bubble collapsed implausibly fast: V/V0 = {ratio}");
+
+    // The inflowing water must be moving toward the bubble: radial
+    // velocity at a point outside the interface is negative (inward).
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let dom = *solver.domain();
+    let grid = solver.grid();
+    // Find the interior cell nearest (x=0, r=1.8 R).
+    let jx = grid
+        .y
+        .centers()
+        .iter()
+        .position(|&r| r > 1.8 * r0)
+        .unwrap();
+    let ix = grid.x.centers().iter().position(|&x| x > 0.0).unwrap();
+    let ur = prim.get(ix + dom.pad(0), jx + dom.pad(1), 0, eq.mom(1));
+    assert!(ur < 0.0, "water should flow inward: u_r = {ur}");
+}
+
+#[test]
+fn collapse_is_much_slower_without_the_pressure_difference() {
+    let r0 = 1.0e-3;
+    let driven = collapse_case(16, r0, 50.0 * 101325.0);
+    let undriven = collapse_case(16, r0, 101325.0);
+    let cfg = axisym_config();
+    let mut s1 = Solver::new(&driven, cfg, Context::serial());
+    let mut s2 = Solver::new(&undriven, cfg, Context::serial());
+    let (a0, b0) = (gas_volume(&s1, &driven), gas_volume(&s2, &undriven));
+    // March both to the same physical time.
+    let t_end = 2.0e-6;
+    while s1.time() < t_end {
+        s1.step();
+    }
+    while s2.time() < t_end {
+        s2.step();
+    }
+    let shrink_driven = gas_volume(&s1, &driven) / a0;
+    let shrink_undriven = gas_volume(&s2, &undriven) / b0;
+    assert!(
+        shrink_driven < shrink_undriven - 0.02,
+        "driven {shrink_driven} vs undriven {shrink_undriven}"
+    );
+}

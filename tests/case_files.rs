@@ -1,0 +1,67 @@
+//! The shipped JSON case files in `cases/` must all parse, validate, and
+//! run (briefly).
+
+use mfc_cli::CaseFile;
+
+fn cases_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../cases")
+}
+
+#[test]
+fn all_shipped_case_files_parse_and_validate() {
+    let mut found = 0;
+    for entry in std::fs::read_dir(cases_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        found += 1;
+        let cf = CaseFile::from_path(&path)
+            .unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
+        cf.to_case()
+            .unwrap_or_else(|e| panic!("{path:?} failed to validate: {e}"));
+        cf.numerics
+            .to_solver_config()
+            .unwrap_or_else(|e| panic!("{path:?} bad numerics: {e}"));
+    }
+    assert!(found >= 4, "expected the shipped case files, found {found}");
+}
+
+#[test]
+fn sod_case_file_runs_and_matches_preset() {
+    let mut cf = CaseFile::from_path(&cases_dir().join("sod.json")).unwrap();
+    // Shorten for the test.
+    cf.run.steps = 10;
+    cf.run.t_end = None;
+    cf.output.dir = std::env::temp_dir().join(format!("mfc_casefile_{}", std::process::id()));
+    cf.output.vtk = false;
+    let summary = mfc_cli::run_case(&cf).unwrap();
+    assert_eq!(summary.steps, 10);
+    assert_eq!(summary.cells, 200);
+    let _ = std::fs::remove_dir_all(&cf.output.dir);
+}
+
+#[test]
+fn taylor_green_case_runs_with_viscosity() {
+    let mut cf = CaseFile::from_path(&cases_dir().join("taylor_green.json")).unwrap();
+    assert!(cf.fluids[0].viscosity > 0.0);
+    cf.run.steps = 3;
+    cf.output.dir = std::env::temp_dir().join(format!("mfc_casefile_tgv_{}", std::process::id()));
+    let summary = mfc_cli::run_case(&cf).unwrap();
+    assert_eq!(summary.steps, 3);
+    let _ = std::fs::remove_dir_all(&cf.output.dir);
+}
+
+#[test]
+fn droplet_case_runs_briefly_and_writes_vtk() {
+    let mut cf = CaseFile::from_path(&cases_dir().join("shock_droplet_2d.json")).unwrap();
+    cf.cells = [32, 32, 1];
+    cf.run.steps = 3;
+    cf.output.dir = std::env::temp_dir().join(format!("mfc_casefile_drop_{}", std::process::id()));
+    cf.output.vtk = true;
+    let summary = mfc_cli::run_case(&cf).unwrap();
+    let vtk = summary.vtk_path.unwrap();
+    let text = std::fs::read_to_string(vtk).unwrap();
+    assert!(text.contains("SCALARS alpha_0 double 1"));
+    let _ = std::fs::remove_dir_all(&cf.output.dir);
+}

@@ -1,0 +1,236 @@
+//! 3-D cylindrical coordinates (§III-A: "Cartesian, axisymmetric, and
+//! cylindrical coordinates are supported").
+//!
+//! Axis convention: 0 = axial z, 1 = radial r, 2 = azimuthal theta
+//! (periodic, extent in radians).
+
+use mfc::core::axisym::Geometry;
+use mfc::core::bc::{BcKind, BcSpec};
+use mfc::core::fluid::Fluid;
+use mfc::core::rhs::RhsConfig;
+use mfc::core::solver::DtMode;
+use mfc::{CaseBuilder, Context, PatchState, Region, Solver, SolverConfig};
+
+fn cyl_case(n: [usize; 3]) -> CaseBuilder {
+    CaseBuilder::new(vec![Fluid::air()], 3, n)
+        // z in [0,1], r in [0.2, 1.2] (axis excluded), theta in [0, 2 pi).
+        .extent(
+            [0.0, 0.2, 0.0],
+            [1.0, 1.2, 2.0 * std::f64::consts::PI],
+        )
+        .bc(BcSpec {
+            lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
+            hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
+        })
+        .patch(Region::All, PatchState::single(1.2, [0.0; 3], 1.0e5))
+}
+
+fn cyl_config() -> SolverConfig {
+    SolverConfig {
+        rhs: RhsConfig {
+            geometry: Geometry::Cylindrical3D,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn quiescent_cylindrical_state_is_steady() {
+    let case = cyl_case([8, 8, 8]);
+    let mut solver = Solver::new(&case, cyl_config(), Context::serial());
+    solver.run_steps(8);
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let dom = *solver.domain();
+    let mut vmax = 0.0f64;
+    for (i, j, k) in dom.interior() {
+        for d in 0..3 {
+            vmax = vmax.max(prim.get(i, j, k, eq.mom(d)).abs());
+        }
+    }
+    assert!(vmax < 1e-7, "spurious velocity {vmax}");
+}
+
+#[test]
+fn uniform_axial_flow_is_steady() {
+    let case = CaseBuilder::new(vec![Fluid::air()], 3, [8, 8, 8])
+        .extent([0.0, 0.2, 0.0], [1.0, 1.2, 2.0 * std::f64::consts::PI])
+        .bc(BcSpec {
+            lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
+            hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
+        })
+        .patch(Region::All, PatchState::single(1.2, [40.0, 0.0, 0.0], 1.0e5));
+    let mut solver = Solver::new(&case, cyl_config(), Context::serial());
+    solver.run_steps(8);
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let dom = *solver.domain();
+    for (i, j, k) in dom.interior() {
+        let uz = prim.get(i, j, k, eq.mom(0));
+        let ur = prim.get(i, j, k, eq.mom(1));
+        let p = prim.get(i, j, k, eq.energy());
+        assert!((uz - 40.0).abs() < 1e-6, "uz = {uz}");
+        assert!(ur.abs() < 1e-6, "ur = {ur}");
+        assert!((p - 1.0e5).abs() / 1.0e5 < 1e-8, "p = {p}");
+    }
+}
+
+#[test]
+fn azimuthal_cfl_is_tighter_near_the_axis() {
+    // The theta cell width is r * dtheta: the same grid with a smaller
+    // inner radius must take smaller steps — the CFL restriction the
+    // paper's FFT filter exists to relax.
+    let mut near = cyl_case([8, 8, 32]);
+    near.lo[1] = 0.02;
+    near.hi[1] = 1.02;
+    let far = cyl_case([8, 8, 32]);
+    let mut s_near = Solver::new(&near, cyl_config(), Context::serial());
+    let mut s_far = Solver::new(&far, cyl_config(), Context::serial());
+    let dt_near = s_near.step();
+    let dt_far = s_far.step();
+    assert!(
+        dt_near < 0.6 * dt_far,
+        "dt near axis {dt_near:.3e} vs away {dt_far:.3e}"
+    );
+}
+
+#[test]
+fn solid_body_rotation_is_near_equilibrium() {
+    // u_theta = Omega r with dp/dr = rho Omega^2 r is an exact steady
+    // solution; the discrete solver should hold it to truncation error.
+    let n = [4usize, 24, 8];
+    let (r0, r1) = (0.2, 1.2);
+    let omega = 30.0; // max u_theta = 36 m/s, Mach ~0.1
+    let rho = 1.2;
+    let p_ref = 1.0e5;
+    let case = CaseBuilder::new(vec![Fluid::air()], 3, n)
+        .extent([0.0, r0, 0.0], [0.5, r1, 2.0 * std::f64::consts::PI])
+        .bc(BcSpec {
+            lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
+            hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
+        })
+        .patch(Region::All, PatchState::single(rho, [0.0; 3], p_ref));
+    let cfg = SolverConfig {
+        rhs: RhsConfig {
+            geometry: Geometry::Cylindrical3D,
+            ..Default::default()
+        },
+        dt: DtMode::Cfl(0.4),
+        ..Default::default()
+    };
+    let mut solver = Solver::new(&case, cfg, Context::serial());
+    let eq = case.eq();
+    let dom = *solver.domain();
+    let grid = solver.grid().clone();
+    {
+        let q = solver.state_mut();
+        for j in 0..dom.ext(1) {
+            let jr = j as isize - dom.pad(1) as isize;
+            let r = if jr < 0 {
+                grid.y.centers()[0] - (-jr) as f64 * grid.y.widths()[0]
+            } else if (jr as usize) < grid.y.n() {
+                grid.y.centers()[jr as usize]
+            } else {
+                grid.y.centers()[grid.y.n() - 1]
+                    + (jr as usize - grid.y.n() + 1) as f64 * grid.y.widths()[grid.y.n() - 1]
+            };
+            let ut = omega * r;
+            let p = p_ref + 0.5 * rho * omega * omega * (r * r - r0 * r0);
+            for k in 0..dom.ext(2) {
+                for i in 0..dom.ext(0) {
+                    let q_e = p / 0.4 + 0.5 * rho * ut * ut;
+                    q.set(i, j, k, eq.cont(0), rho);
+                    q.set(i, j, k, eq.mom(0), 0.0);
+                    q.set(i, j, k, eq.mom(1), 0.0);
+                    q.set(i, j, k, eq.mom(2), rho * ut);
+                    q.set(i, j, k, eq.energy(), q_e);
+                }
+            }
+        }
+    }
+    let ut_max = omega * r1;
+    for _ in 0..20 {
+        solver.step();
+    }
+    let prim = solver.primitives();
+    let mut ur_max = 0.0f64;
+    for (i, j, k) in dom.interior() {
+        ur_max = ur_max.max(prim.get(i, j, k, eq.mom(1)).abs());
+    }
+    // Radial velocities stay a small fraction of the rotation speed
+    // (truncation-level imbalance only).
+    assert!(
+        ur_max < 0.02 * ut_max,
+        "equilibrium broke: ur_max = {ur_max:.3} of u_theta {ut_max}"
+    );
+}
+
+#[test]
+fn azimuthally_uniform_cylindrical_matches_axisymmetric() {
+    // With no theta dependence and u_theta = 0, every theta slice of a
+    // cylindrical run must evolve exactly like the 2-D axisymmetric run
+    // (fixed dt to share the clock).
+    let nz = 12;
+    let nr = 10;
+    let mk3 = || {
+        CaseBuilder::new(vec![Fluid::air()], 3, [nz, nr, 4])
+            .extent([0.0, 0.2, 0.0], [1.0, 1.2, 2.0 * std::f64::consts::PI])
+            .bc(BcSpec {
+                lo: [BcKind::Transmissive, BcKind::Reflective, BcKind::Periodic],
+                hi: [BcKind::Transmissive, BcKind::Reflective, BcKind::Periodic],
+            })
+            .smear(1.0)
+            .patch(Region::All, PatchState::single(1.2, [0.0; 3], 1.0e5))
+            .patch(
+                Region::Box { lo: [0.0, 0.2, -9.0], hi: [0.4, 1.3, 9.0] },
+                PatchState::single(1.2, [0.0; 3], 3.0e5),
+            )
+    };
+    let mk2 = || {
+        CaseBuilder::new(vec![Fluid::air()], 2, [nz, nr, 1])
+            .extent([0.0, 0.2, 0.0], [1.0, 1.2, 1.0])
+            .bc(BcSpec {
+                lo: [BcKind::Transmissive, BcKind::Reflective, BcKind::Transmissive],
+                hi: [BcKind::Transmissive, BcKind::Reflective, BcKind::Transmissive],
+            })
+            .smear(1.0)
+            .patch(Region::All, PatchState::single(1.2, [0.0; 3], 1.0e5))
+            .patch(
+                Region::Box { lo: [0.0, 0.2, -9.0], hi: [0.4, 1.3, 9.0] },
+                PatchState::single(1.2, [0.0; 3], 3.0e5),
+            )
+    };
+    let dt = 1.0e-5;
+    let cfg3 = SolverConfig {
+        rhs: RhsConfig { geometry: Geometry::Cylindrical3D, ..Default::default() },
+        dt: DtMode::Fixed(dt),
+        ..Default::default()
+    };
+    let cfg2 = SolverConfig {
+        rhs: RhsConfig { geometry: Geometry::Axisymmetric, ..Default::default() },
+        dt: DtMode::Fixed(dt),
+        ..Default::default()
+    };
+    let case3 = mk3();
+    let case2 = mk2();
+    let mut s3 = Solver::new(&case3, cfg3, Context::serial());
+    let mut s2 = Solver::new(&case2, cfg2, Context::serial());
+    s3.run_steps(6);
+    s2.run_steps(6);
+    let (p3, p2) = (s3.primitives(), s2.primitives());
+    let eq3 = case3.eq();
+    let eq2 = case2.eq();
+    let ng = 3;
+    let mut max_diff = 0.0f64;
+    for j in 0..nr {
+        for i in 0..nz {
+            let a = p2.get(i + ng, j + ng, 0, eq2.energy());
+            for k in 0..4 {
+                let b = p3.get(i + ng, j + ng, k + ng, eq3.energy());
+                max_diff = max_diff.max((a - b).abs() / a.abs());
+            }
+        }
+    }
+    assert!(max_diff < 1e-10, "cyl vs axisym pressure diff {max_diff}");
+}

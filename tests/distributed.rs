@@ -1,0 +1,150 @@
+//! Distributed-vs-serial equivalence and the I/O strategies, exercising
+//! the real halo-exchange code on simulated ranks.
+
+use mfc::core::par::{run_distributed, run_single};
+use mfc::core::rhs::RhsConfig;
+use mfc::core::weno::WenoOrder;
+use mfc::mpsim::{SharedFileWriter, Staging, WaveWriter, World};
+use mfc::{presets, SolverConfig};
+
+#[test]
+fn distributed_matches_serial_bitwise_1d() {
+    let case = presets::sod(96);
+    let cfg = SolverConfig::default();
+    let serial = run_single(&case, cfg, 8);
+    for ranks in [2usize, 3, 4, 8] {
+        let (dist, _) = run_distributed(&case, cfg, ranks, 8, Staging::DeviceDirect);
+        assert_eq!(dist.max_abs_diff(&serial), 0.0, "{ranks} ranks");
+    }
+}
+
+#[test]
+fn distributed_matches_serial_bitwise_2d_and_3d() {
+    let cfg = SolverConfig::default();
+    let case2 = presets::two_phase_benchmark(2, [24, 24, 1]);
+    let serial2 = run_single(&case2, cfg, 4);
+    for ranks in [2usize, 4, 6] {
+        let (dist, _) = run_distributed(&case2, cfg, ranks, 4, Staging::DeviceDirect);
+        assert_eq!(dist.max_abs_diff(&serial2), 0.0, "2d {ranks} ranks");
+    }
+    let case3 = presets::two_phase_benchmark(3, [12, 12, 12]);
+    let serial3 = run_single(&case3, cfg, 2);
+    for ranks in [2usize, 4, 8] {
+        let (dist, _) = run_distributed(&case3, cfg, ranks, 2, Staging::DeviceDirect);
+        assert_eq!(dist.max_abs_diff(&serial3), 0.0, "3d {ranks} ranks");
+    }
+}
+
+#[test]
+fn distributed_matches_serial_with_weno3() {
+    let case = presets::two_phase_benchmark(2, [20, 20, 1]);
+    let cfg = SolverConfig {
+        rhs: RhsConfig { order: WenoOrder::Weno3, ..Default::default() },
+        ..Default::default()
+    };
+    let serial = run_single(&case, cfg, 4);
+    let (dist, _) = run_distributed(&case, cfg, 4, 4, Staging::DeviceDirect);
+    assert_eq!(dist.max_abs_diff(&serial), 0.0);
+}
+
+#[test]
+fn transmissive_case_distributes_correctly() {
+    // Non-periodic boundaries: ranks at the domain edge apply physical
+    // BCs, interior faces exchange halos.
+    let case = presets::shock_droplet_2d(32);
+    let cfg = SolverConfig::default();
+    let serial = run_single(&case, cfg, 3);
+    let (dist, _) = run_distributed(&case, cfg, 4, 3, Staging::DeviceDirect);
+    assert_eq!(dist.max_abs_diff(&serial), 0.0);
+}
+
+#[test]
+fn nonblocking_exchange_matches_sendrecv_bitwise() {
+    use mfc::core::par::{run_distributed_with_mode, ExchangeMode};
+    let case = presets::two_phase_benchmark(2, [20, 20, 1]);
+    let cfg = SolverConfig::default();
+    let (a, _) = run_distributed_with_mode(
+        &case,
+        cfg,
+        4,
+        4,
+        Staging::DeviceDirect,
+        ExchangeMode::Sendrecv,
+    );
+    let (b, _) = run_distributed_with_mode(
+        &case,
+        cfg,
+        4,
+        4,
+        Staging::DeviceDirect,
+        ExchangeMode::NonBlocking,
+    );
+    assert_eq!(a.max_abs_diff(&b), 0.0);
+    // And both equal the serial run.
+    let serial = run_single(&case, cfg, 4);
+    assert_eq!(a.max_abs_diff(&serial), 0.0);
+}
+
+#[test]
+fn host_staging_changes_cost_not_physics() {
+    let case = presets::two_phase_benchmark(2, [16, 16, 1]);
+    let cfg = SolverConfig::default();
+    let (a, _) = run_distributed(&case, cfg, 4, 3, Staging::DeviceDirect);
+    let (b, _) = run_distributed(&case, cfg, 4, 3, Staging::HostStaged);
+    assert_eq!(a.max_abs_diff(&b), 0.0);
+}
+
+#[test]
+fn halo_traffic_is_surface_not_volume() {
+    let cfg = SolverConfig::default();
+    let small = presets::two_phase_benchmark(3, [12, 12, 12]);
+    let big = presets::two_phase_benchmark(3, [24, 24, 24]);
+    let (_, s) = run_distributed(&small, cfg, 8, 1, Staging::DeviceDirect);
+    let (_, b) = run_distributed(&big, cfg, 8, 1, Staging::DeviceDirect);
+    // Linear dimension doubles: halo bytes should grow ~4x (surface), far
+    // less than the 8x volume growth.
+    let ratio = b.bytes as f64 / s.bytes as f64;
+    assert!(ratio > 2.0 && ratio < 6.0, "ratio = {ratio}");
+}
+
+#[test]
+fn wave_writer_round_trips_solver_output() {
+    // File-per-process output in waves of 2, then read back and compare.
+    let dir = std::env::temp_dir().join(format!("mfc_dist_io_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data_per_rank: Vec<Vec<f64>> = (0..6)
+        .map(|r| (0..32).map(|i| (r * 1000 + i) as f64).collect())
+        .collect();
+    let dref = &data_per_rank;
+    let dirref = &dir;
+    World::run(6, |c| {
+        WaveWriter::new(2)
+            .write(&c, dirref, 7, &dref[c.rank()])
+            .unwrap();
+    });
+    for (r, want) in data_per_rank.iter().enumerate() {
+        let got = WaveWriter::read(&dir, 7, r).unwrap();
+        assert_eq!(&got, want);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shared_file_and_wave_writer_agree() {
+    let dir = std::env::temp_dir().join(format!("mfc_dist_io2_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dirref = &dir;
+    World::run(4, |mut c| {
+        let data = vec![c.rank() as f64 + 0.5; 8];
+        WaveWriter::new(128).write(&c, dirref, 0, &data).unwrap();
+        SharedFileWriter.write(&mut c, dirref, 0, &data).unwrap();
+    });
+    for r in 0..4 {
+        let a = WaveWriter::read(&dir, 0, r).unwrap();
+        let b = SharedFileWriter::read_block(&dir, 0, r, 8).unwrap();
+        assert_eq!(a, b);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

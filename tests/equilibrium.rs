@@ -1,0 +1,144 @@
+//! Equilibrium and free-stream preservation — the properties that make
+//! diffuse-interface schemes usable (§II-A).
+
+use mfc::core::bc::BcSpec;
+use mfc::core::fluid::Fluid;
+use mfc::core::grid::Grid1D;
+use mfc::core::rhs::{compute_rhs, RhsConfig, RhsWorkspace};
+use mfc::core::state::StateField;
+use mfc::{CaseBuilder, Context, PatchState, Region, Solver, SolverConfig};
+
+/// A two-fluid material interface advected at uniform (p, u): pressure
+/// and velocity must stay uniform to round-off while the interface moves.
+#[test]
+fn advected_interface_keeps_equilibrium_in_2d() {
+    let case = CaseBuilder::new(vec![Fluid::air(), Fluid::water()], 2, [32, 32, 1])
+        .bc(BcSpec::periodic())
+        .smear(2.0)
+        .patch(
+            Region::All,
+            PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [50.0, -30.0, 0.0], 1.0e5),
+        )
+        .patch(
+            Region::Sphere { center: [0.5, 0.5, 0.0], radius: 0.2 },
+            PatchState::two_fluid(1e-6, [1.2, 1000.0], [50.0, -30.0, 0.0], 1.0e5),
+        );
+    let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
+    solver.run_steps(30);
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let ng = solver.domain().pad(0);
+    for j in 0..32 {
+        for i in 0..32 {
+            let p = prim.get(i + ng, j + ng, 0, eq.energy());
+            let u = prim.get(i + ng, j + ng, 0, eq.mom(0));
+            let v = prim.get(i + ng, j + ng, 0, eq.mom(1));
+            assert!((p - 1.0e5).abs() / 1.0e5 < 1e-7, "p[{i},{j}] = {p}");
+            assert!((u - 50.0).abs() < 1e-4, "u[{i},{j}] = {u}");
+            assert!((v + 30.0).abs() < 1e-4, "v[{i},{j}] = {v}");
+        }
+    }
+}
+
+/// The interface must actually move at the advection speed.
+#[test]
+fn interface_travels_at_flow_speed() {
+    let u = 80.0;
+    let case = CaseBuilder::new(vec![Fluid::air(), Fluid::water()], 1, [128, 1, 1])
+        .bc(BcSpec::periodic())
+        .smear(2.0)
+        .patch(
+            Region::All,
+            PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [u, 0.0, 0.0], 1.0e5),
+        )
+        .patch(
+            Region::Box { lo: [0.3, -1.0, -1.0], hi: [0.5, 2.0, 2.0] },
+            PatchState::two_fluid(1e-6, [1.2, 1000.0], [u, 0.0, 0.0], 1.0e5),
+        );
+    let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
+    // Interface centroid (water-weighted x) before/after.
+    let centroid = |solver: &Solver| -> f64 {
+        let prim = solver.primitives();
+        let eq = case.eq();
+        let (mut num, mut den) = (0.0, 0.0);
+        for i in 0..128 {
+            let w = 1.0 - prim.get(i + 3, 0, 0, eq.adv(0)); // water fraction
+            let x = (i as f64 + 0.5) / 128.0;
+            num += w * x;
+            den += w;
+        }
+        num / den
+    };
+    let x0 = centroid(&solver);
+    solver.run_steps(40);
+    let x1 = centroid(&solver);
+    let expected = u * solver.time();
+    assert!(
+        ((x1 - x0) - expected).abs() < 0.15 * expected,
+        "moved {} expected {expected}",
+        x1 - x0
+    );
+}
+
+/// Uniform flow on a tanh-stretched grid must have zero RHS (free-stream
+/// preservation on non-uniform meshes).
+#[test]
+fn free_stream_preserved_on_stretched_grid() {
+    use mfc::core::domain::Domain;
+    use mfc::core::eqidx::EqIdx;
+    use mfc::core::grid::Grid;
+
+    let eq = EqIdx::new(2, 1);
+    let n = 48;
+    let dom = Domain::new([n, 1, 1], 3, eq);
+    let grid = Grid::new_1d(Grid1D::stretched(n, 0.0, 1.0, 5.0, 0.5));
+    let fluids = [Fluid::air(), Fluid::water()];
+    let ctx = Context::serial();
+
+    let mut prim = StateField::zeros(dom);
+    for i in 0..dom.ext(0) {
+        prim.set(i, 0, 0, eq.cont(0), 1.2 * 0.4);
+        prim.set(i, 0, 0, eq.cont(1), 1000.0 * 0.6);
+        prim.set(i, 0, 0, eq.mom(0), 75.0);
+        prim.set(i, 0, 0, eq.energy(), 2.0e5);
+        prim.set(i, 0, 0, eq.adv(0), 0.4);
+    }
+    let mut cons = StateField::zeros(dom);
+    mfc::core::state::prim_to_cons_field(&ctx, &fluids, &prim, &mut cons);
+    let mut ws = RhsWorkspace::new(dom, &grid);
+    let mut rhs = StateField::zeros(dom);
+    compute_rhs(&ctx, &RhsConfig::default(), &fluids, &cons, &mut ws, &mut rhs);
+    let max = rhs.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    assert!(max < 1e-6, "max |rhs| = {max}");
+}
+
+/// A quiescent two-phase pool under uniform pressure stays quiescent
+/// (no spurious currents at the interface).
+#[test]
+fn no_spurious_currents_at_static_interface() {
+    let case = CaseBuilder::new(vec![Fluid::air(), Fluid::water()], 2, [24, 24, 1])
+        .bc(BcSpec::reflective())
+        .smear(2.0)
+        .patch(
+            Region::All,
+            PatchState::two_fluid(1e-6, [1.2, 1000.0], [0.0; 3], 1.0e5),
+        )
+        .patch(
+            Region::Sphere { center: [0.5, 0.5, 0.0], radius: 0.25 },
+            PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [0.0; 3], 1.0e5),
+        );
+    let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
+    solver.run_steps(25);
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let ng = solver.domain().pad(0);
+    let mut max_vel = 0.0f64;
+    for j in 0..24 {
+        for i in 0..24 {
+            max_vel = max_vel
+                .max(prim.get(i + ng, j + ng, 0, eq.mom(0)).abs())
+                .max(prim.get(i + ng, j + ng, 0, eq.mom(1)).abs());
+        }
+    }
+    assert!(max_vel < 1e-7, "spurious velocity {max_vel}");
+}

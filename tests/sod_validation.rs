@@ -1,0 +1,140 @@
+//! Validation against the exact Riemann solution (§III-F).
+
+use mfc::core::fluid::Fluid;
+use mfc::core::rhs::RhsConfig;
+use mfc::core::riemann::{ExactRiemann, PrimSide, RiemannSolver};
+use mfc::core::weno::WenoOrder;
+use mfc::{presets, Context, Solver, SolverConfig};
+
+fn sod_l1_error(n: usize, order: WenoOrder, solver_kind: RiemannSolver) -> f64 {
+    let case = presets::sod(n);
+    let cfg = SolverConfig {
+        rhs: RhsConfig {
+            order,
+            solver: solver_kind,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut solver = Solver::new(&case, cfg, Context::serial());
+    solver.run_until(0.15, 100_000);
+
+    let air = Fluid::air();
+    let exact = ExactRiemann::solve(
+        PrimSide { rho: 1.0, u: 0.0, p: 1.0, fluid: air },
+        PrimSide { rho: 0.125, u: 0.0, p: 0.1, fluid: air },
+    );
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let ng = solver.domain().pad(0);
+    let t = solver.time();
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 + 0.5) / n as f64;
+            let (rho_ex, _, _) = exact.sample((x - 0.5) / t);
+            (prim.get(i + ng, 0, 0, eq.cont(0)) - rho_ex).abs()
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+#[test]
+fn weno5_hllc_sod_converges() {
+    let coarse = sod_l1_error(100, WenoOrder::Weno5, RiemannSolver::Hllc);
+    let fine = sod_l1_error(400, WenoOrder::Weno5, RiemannSolver::Hllc);
+    assert!(coarse < 0.03, "coarse error {coarse}");
+    assert!(fine < 0.008, "fine error {fine}");
+    // Shock-dominated solutions converge at ~first order in L1.
+    assert!(fine < coarse / 2.0, "no convergence: {coarse} -> {fine}");
+}
+
+#[test]
+fn higher_order_reconstruction_is_more_accurate() {
+    let e1 = sod_l1_error(200, WenoOrder::First, RiemannSolver::Hllc);
+    let e3 = sod_l1_error(200, WenoOrder::Weno3, RiemannSolver::Hllc);
+    let e5 = sod_l1_error(200, WenoOrder::Weno5, RiemannSolver::Hllc);
+    assert!(e3 < e1, "WENO3 {e3} not better than first-order {e1}");
+    assert!(e5 < e3 * 1.05, "WENO5 {e5} much worse than WENO3 {e3}");
+}
+
+#[test]
+fn hllc_beats_the_more_diffusive_baselines() {
+    let hllc = sod_l1_error(200, WenoOrder::Weno5, RiemannSolver::Hllc);
+    let hll = sod_l1_error(200, WenoOrder::Weno5, RiemannSolver::Hll);
+    let rusanov = sod_l1_error(200, WenoOrder::Weno5, RiemannSolver::Rusanov);
+    // HLLC restores the contact wave; HLL and Rusanov smear it.
+    assert!(hllc < hll, "hllc {hllc} vs hll {hll}");
+    assert!(hllc < rusanov, "hllc {hllc} vs rusanov {rusanov}");
+}
+
+#[test]
+fn strong_shock_tube_stays_positive() {
+    // Toro test 3-like: pressure ratio 1e5 (scaled).
+    use mfc::core::bc::BcSpec;
+    use mfc::{CaseBuilder, PatchState, Region};
+    let case = CaseBuilder::new(vec![Fluid::air()], 1, [200, 1, 1])
+        .bc(BcSpec::transmissive())
+        .patch(Region::All, PatchState::single(1.0, [0.0; 3], 0.01))
+        .patch(
+            Region::HalfSpace { axis: 0, bound: 0.5 },
+            PatchState::single(1.0, [0.0; 3], 1000.0),
+        );
+    let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
+    solver.run_until(0.01, 100_000);
+    let prim = solver.primitives();
+    let eq = case.eq();
+    for i in 0..200 {
+        let rho = prim.get(i + 3, 0, 0, eq.cont(0));
+        let p = prim.get(i + 3, 0, 0, eq.energy());
+        assert!(rho > 0.0, "rho[{i}] = {rho}");
+        assert!(p > 0.0, "p[{i}] = {p}");
+    }
+}
+
+#[test]
+fn air_water_shock_tube_matches_stiffened_exact_solution() {
+    // High-pressure air driving into water: validates the multiphase
+    // solver against the exact two-EOS Riemann solution's star state.
+    use mfc::core::bc::BcSpec;
+    use mfc::{CaseBuilder, PatchState, Region};
+    let air = Fluid::air();
+    let water = Fluid::water();
+    let case = CaseBuilder::new(vec![air, water], 1, [400, 1, 1])
+        .bc(BcSpec::transmissive())
+        .smear(1.0)
+        .patch(
+            Region::All,
+            PatchState::two_fluid(1e-6, [1.2, 1000.0], [0.0; 3], 1.0e5),
+        )
+        .patch(
+            Region::HalfSpace { axis: 0, bound: 0.5 },
+            PatchState::two_fluid(1.0 - 1e-6, [100.0, 1000.0], [0.0; 3], 1.0e7),
+        );
+    let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
+    solver.run_until(5.0e-5, 100_000);
+
+    let exact = ExactRiemann::solve(
+        PrimSide { rho: 100.0, u: 0.0, p: 1.0e7, fluid: air },
+        PrimSide { rho: 1000.0, u: 0.0, p: 1.0e5, fluid: water },
+    );
+    // Sample the simulation in the star region behind the transmitted
+    // shock (between contact and shock).
+    let prim = solver.primitives();
+    let eq = case.eq();
+    let t = solver.time();
+    let xi = 0.5 * (exact.u_star + (exact.u_star + 300.0)); // inside right star
+    let x = 0.5 + xi * t;
+    let i = (x * 400.0) as usize;
+    let p_sim = prim.get(i + 3, 0, 0, eq.energy());
+    assert!(
+        (p_sim - exact.p_star).abs() / exact.p_star < 0.25,
+        "star pressure: sim {p_sim:.3e} vs exact {:.3e}",
+        exact.p_star
+    );
+    let u_sim = prim.get(i + 3, 0, 0, eq.mom(0));
+    assert!(
+        (u_sim - exact.u_star).abs() < 0.25 * exact.u_star.abs().max(1.0),
+        "star velocity: sim {u_sim} vs exact {}",
+        exact.u_star
+    );
+}
