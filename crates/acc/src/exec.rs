@@ -1,20 +1,25 @@
 //! Kernel execution — the `!$acc parallel loop` substitute.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-
-use rayon::prelude::*;
 
 use crate::config::LaunchConfig;
 use crate::cost::KernelCost;
 use crate::ledger::Ledger;
 
+/// Below this many work items a parallel launch falls back to the serial
+/// loop: the fork/join overhead of scoped threads would dominate.
+const PAR_MIN_ITEMS: usize = 1024;
+
 /// An execution context: one "device" plus its profiling ledger.
 ///
-/// With more than one worker thread the collapsed iteration space is split
-/// across a rayon pool (gangs ≙ work-stealing chunks, vector lanes ≙ the
-/// threads inside a chunk); with a single worker the loop runs serially —
-/// the paper's "compiled without OpenACC" CPU path.
+/// With more than one worker thread, the parallel entry points
+/// ([`Context::launch_par`], [`Context::launch_chunks`],
+/// [`Context::launch_max`]) split the collapsed iteration space into
+/// contiguous blocks, one per worker (gangs ≙ blocks, vector lanes ≙ the
+/// iterations inside a block); with a single worker every loop runs
+/// serially — the paper's "compiled without OpenACC" CPU path.
 #[derive(Clone)]
 pub struct Context {
     ledger: Arc<Ledger>,
@@ -26,7 +31,9 @@ impl Context {
     pub fn new() -> Self {
         Context {
             ledger: Arc::new(Ledger::new()),
-            workers: rayon::current_num_threads(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 
@@ -35,6 +42,14 @@ impl Context {
         Context {
             ledger: Arc::new(Ledger::new()),
             workers: 1,
+        }
+    }
+
+    /// A context with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Context {
+            ledger: Arc::new(Ledger::new()),
+            workers: workers.max(1),
         }
     }
 
@@ -53,12 +68,30 @@ impl Context {
         self.workers
     }
 
-    /// Launch a kernel over a collapsed iteration space of `n` items.
+    /// Partition `0..n` into up to `workers` contiguous blocks.
+    fn blocks(&self, n: usize) -> Vec<(usize, usize)> {
+        let threads = self.workers.min(n.max(1));
+        let base = n / threads;
+        let extra = n % threads;
+        let mut out = Vec::with_capacity(threads);
+        let mut start = 0;
+        for t in 0..threads {
+            let len = base + usize::from(t < extra);
+            out.push((start, start + len));
+            start += len;
+        }
+        out
+    }
+
+    /// Launch a kernel over a collapsed iteration space of `n` items,
+    /// running the body **sequentially on the calling thread** in index
+    /// order, regardless of the worker count.
     ///
-    /// The body observes iteration indices in an unspecified order (as on a
-    /// device); it must not rely on sequencing between iterations.
-    /// Sequential contexts run indices in order, which is what makes the
-    /// serial path reproducible.
+    /// This is the entry point for bodies that mutate captured state
+    /// (`FnMut`), which cannot be split across threads. Use
+    /// [`Context::launch_par`] for shared-read bodies (`Fn + Sync`) that
+    /// should scale with `workers()`, or [`Context::launch_chunks`] when
+    /// the output decomposes into disjoint slices.
     pub fn launch<F>(&self, cfg: &LaunchConfig, cost: KernelCost, n: usize, mut body: F)
     where
         F: FnMut(usize),
@@ -66,6 +99,39 @@ impl Context {
         let t0 = Instant::now();
         for i in 0..n {
             body(i);
+        }
+        self.ledger
+            .record_launch(cfg.label, cost, n as u64, t0.elapsed());
+    }
+
+    /// Launch a side-effect kernel over `n` items, splitting the
+    /// iteration space across the context's workers.
+    ///
+    /// The body observes iteration indices in an unspecified order (as on
+    /// a device); it must not rely on sequencing between iterations, and
+    /// any writes it performs must target disjoint locations per index
+    /// (interior mutability is the body's responsibility). Small spaces
+    /// and single-worker contexts run the serial in-order loop.
+    pub fn launch_par<F>(&self, cfg: &LaunchConfig, cost: KernelCost, n: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let t0 = Instant::now();
+        if self.workers > 1 && n >= PAR_MIN_ITEMS {
+            let body = &body;
+            std::thread::scope(|s| {
+                for (lo, hi) in self.blocks(n) {
+                    s.spawn(move || {
+                        for i in lo..hi {
+                            body(i);
+                        }
+                    });
+                }
+            });
+        } else {
+            for i in 0..n {
+                body(i);
+            }
         }
         self.ledger
             .record_launch(cfg.label, cost, n as u64, t0.elapsed());
@@ -100,10 +166,24 @@ impl Context {
         );
         let n = out.len() / chunk_len;
         let t0 = Instant::now();
-        if self.workers > 1 {
-            out.par_chunks_mut(chunk_len)
-                .enumerate()
-                .for_each(|(i, c)| body(i, c));
+        if self.workers > 1 && out.len() >= PAR_MIN_ITEMS && n > 1 {
+            // One contiguous run of whole chunks per worker.
+            let body = &body;
+            std::thread::scope(|s| {
+                let mut rest = out;
+                let mut first = 0;
+                for (lo, hi) in self.blocks(n) {
+                    let (mine, tail) = rest.split_at_mut((hi - lo) * chunk_len);
+                    rest = tail;
+                    s.spawn(move || {
+                        for (off, c) in mine.chunks_exact_mut(chunk_len).enumerate() {
+                            body(lo + off, c);
+                        }
+                    });
+                    first += hi - lo;
+                }
+                debug_assert_eq!(first, n);
+            });
         } else {
             for (i, c) in out.chunks_exact_mut(chunk_len).enumerate() {
                 body(i, c);
@@ -115,16 +195,36 @@ impl Context {
 
     /// Launch a reduction kernel returning the maximum of the body over the
     /// iteration space (used for the CFL time-step bound).
+    ///
+    /// The parallel path reduces each contiguous block on its own worker
+    /// and then folds the per-block maxima in block order; since `max` is
+    /// associative and commutative this is bitwise-identical to the serial
+    /// fold for any worker count.
     pub fn launch_max<F>(&self, cfg: &LaunchConfig, cost: KernelCost, n: usize, body: F) -> f64
     where
         F: Fn(usize) -> f64 + Sync,
     {
         let t0 = Instant::now();
-        let result = if self.workers > 1 {
-            (0..n)
-                .into_par_iter()
-                .map(&body)
-                .reduce(|| f64::NEG_INFINITY, f64::max)
+        let result = if self.workers > 1 && n >= PAR_MIN_ITEMS {
+            let body = &body;
+            let blocks = self.blocks(n);
+            let partials: Vec<AtomicU64> = blocks
+                .iter()
+                .map(|_| AtomicU64::new(f64::NEG_INFINITY.to_bits()))
+                .collect();
+            std::thread::scope(|s| {
+                for (b, &(lo, hi)) in blocks.iter().enumerate() {
+                    let slot = &partials[b];
+                    s.spawn(move || {
+                        let m = (lo..hi).map(body).fold(f64::NEG_INFINITY, f64::max);
+                        slot.store(m.to_bits(), Ordering::Relaxed);
+                    });
+                }
+            });
+            partials
+                .iter()
+                .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
+                .fold(f64::NEG_INFINITY, f64::max)
         } else {
             (0..n).map(&body).fold(f64::NEG_INFINITY, f64::max)
         };
@@ -144,6 +244,7 @@ impl Default for Context {
 mod tests {
     use super::*;
     use crate::cost::KernelClass;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn cost() -> KernelCost {
         KernelCost::new(KernelClass::Other, 1.0, 8.0, 8.0)
@@ -167,6 +268,19 @@ mod tests {
     }
 
     #[test]
+    fn launch_par_visits_every_index_once() {
+        // Above the grain threshold so a multi-worker context really forks.
+        let n = 4 * PAR_MIN_ITEMS;
+        let ctx = Context::with_workers(4);
+        let seen: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        ctx.launch_par(&LaunchConfig::tuned("p"), cost(), n, |i| {
+            seen[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert_eq!(ctx.ledger().kernel("p").unwrap().items, n as u64);
+    }
+
+    #[test]
     fn launch_chunks_gives_disjoint_chunks() {
         let ctx = Context::new();
         let mut out = vec![0.0f64; 64];
@@ -179,6 +293,34 @@ mod tests {
             assert_eq!(*v, i as f64);
         }
         assert_eq!(ctx.ledger().kernel("c").unwrap().items, 8);
+    }
+
+    #[test]
+    fn launch_chunks_parallel_matches_serial() {
+        let chunk = 16;
+        let n = 8 * PAR_MIN_ITEMS;
+        let fill = |i: usize, c: &mut [f64]| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = ((i * 31 + j * 7) % 1013) as f64 * 0.5;
+            }
+        };
+        let mut serial = vec![0.0f64; n];
+        Context::serial().launch_chunks(
+            &LaunchConfig::tuned("c"),
+            cost(),
+            &mut serial,
+            chunk,
+            fill,
+        );
+        let mut par = vec![0.0f64; n];
+        Context::with_workers(5).launch_chunks(
+            &LaunchConfig::tuned("c"),
+            cost(),
+            &mut par,
+            chunk,
+            fill,
+        );
+        assert_eq!(serial, par);
     }
 
     #[test]
@@ -196,6 +338,22 @@ mod tests {
             -((i as f64) - 500.5).abs()
         });
         assert_eq!(m, -0.5);
+    }
+
+    #[test]
+    fn launch_max_parallel_is_bitwise_deterministic() {
+        let n = 8 * PAR_MIN_ITEMS;
+        let body = |i: usize| ((i as f64) * 0.7315).sin() * 1.0e-3 + (i % 97) as f64;
+        let serial = Context::serial().launch_max(&LaunchConfig::tuned("m"), cost(), n, body);
+        for workers in [2, 3, 8] {
+            let par = Context::with_workers(workers).launch_max(
+                &LaunchConfig::tuned("m"),
+                cost(),
+                n,
+                body,
+            );
+            assert_eq!(serial.to_bits(), par.to_bits(), "workers = {workers}");
+        }
     }
 
     #[test]

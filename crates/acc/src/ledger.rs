@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use crate::cost::{KernelClass, KernelCost};
 
@@ -55,6 +55,48 @@ pub struct TransferStats {
     pub bytes: u64,
 }
 
+/// Kind of fault-tolerance event recorded by the resilient run driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ResilienceEventKind {
+    /// A checkpoint wave committed by all live ranks.
+    Checkpoint,
+    /// A rank-failure (or suspected failure) detected on the exchange path.
+    FaultDetected,
+    /// All ranks rolled back to the last committed checkpoint wave.
+    Rollback,
+    /// Steps re-executed after a rollback, up to the pre-fault step.
+    Replay,
+}
+
+impl ResilienceEventKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResilienceEventKind::Checkpoint => "checkpoint",
+            ResilienceEventKind::FaultDetected => "fault_detected",
+            ResilienceEventKind::Rollback => "rollback",
+            ResilienceEventKind::Replay => "replay",
+        }
+    }
+}
+
+/// One fault-tolerance event: what happened, where, and how long the
+/// handling took (detection latency, rollback time, replayed-step time).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResilienceEvent {
+    pub kind: ResilienceEventKind,
+    /// Rank that observed / drove the event.
+    pub rank: usize,
+    /// Solver step at which the event happened.
+    pub step: u64,
+    /// Checkpoint wave involved (committed, or rolled back to).
+    pub wave: u64,
+    /// Wall time attributed to the event.
+    pub wall: Duration,
+    /// Free-form context (e.g. which peer was declared dead).
+    pub detail: String,
+}
+
 /// Thread-safe accumulation of kernel launches and data transfers.
 ///
 /// This is the substitute for `nsys`/`rocprof` output: every number the
@@ -69,6 +111,7 @@ pub struct Ledger {
 struct LedgerInner {
     kernels: HashMap<&'static str, KernelStats>,
     transfers: HashMap<TransferDirection, TransferStats>,
+    events: Vec<ResilienceEvent>,
 }
 
 impl Ledger {
@@ -77,14 +120,8 @@ impl Ledger {
     }
 
     /// Record one kernel launch.
-    pub fn record_launch(
-        &self,
-        label: &'static str,
-        cost: KernelCost,
-        items: u64,
-        wall: Duration,
-    ) {
-        let mut inner = self.inner.lock();
+    pub fn record_launch(&self, label: &'static str, cost: KernelCost, items: u64, wall: Duration) {
+        let mut inner = self.inner.lock().unwrap();
         let e = inner.kernels.entry(label).or_insert_with(|| KernelStats {
             label: label.to_string(),
             class: Some(cost.class),
@@ -100,7 +137,7 @@ impl Ledger {
 
     /// Record a data-region transfer.
     pub fn record_transfer(&self, dir: TransferDirection, bytes: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let e = inner.transfers.entry(dir).or_default();
         e.count += 1;
         e.bytes += bytes;
@@ -109,20 +146,20 @@ impl Ledger {
     /// Snapshot of every kernel's statistics, sorted by descending wall
     /// time (the order a profile summary lists them in).
     pub fn kernel_stats(&self) -> Vec<KernelStats> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let mut v: Vec<_> = inner.kernels.values().cloned().collect();
-        v.sort_by(|a, b| b.wall.cmp(&a.wall));
+        v.sort_by_key(|s| std::cmp::Reverse(s.wall));
         v
     }
 
     /// Statistics for a single label, if it has launched.
     pub fn kernel(&self, label: &str) -> Option<KernelStats> {
-        self.inner.lock().kernels.get(label).cloned()
+        self.inner.lock().unwrap().kernels.get(label).cloned()
     }
 
     /// Totals aggregated by kernel class.
     pub fn by_class(&self) -> HashMap<KernelClass, KernelStats> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let mut out: HashMap<KernelClass, KernelStats> = HashMap::new();
         for s in inner.kernels.values() {
             let class = s.class.unwrap_or(KernelClass::Other);
@@ -145,6 +182,7 @@ impl Ledger {
     pub fn transfers(&self, dir: TransferDirection) -> TransferStats {
         self.inner
             .lock()
+            .unwrap()
             .transfers
             .get(&dir)
             .copied()
@@ -153,14 +191,44 @@ impl Ledger {
 
     /// Total wall time across all kernels.
     pub fn total_wall(&self) -> Duration {
-        self.inner.lock().kernels.values().map(|s| s.wall).sum()
+        self.inner
+            .lock()
+            .unwrap()
+            .kernels
+            .values()
+            .map(|s| s.wall)
+            .sum()
+    }
+
+    /// Record a fault-tolerance event (checkpoint commit, fault
+    /// detection, rollback, replay).
+    pub fn record_event(&self, event: ResilienceEvent) {
+        self.inner.lock().unwrap().events.push(event);
+    }
+
+    /// All recorded fault-tolerance events, in recording order.
+    pub fn events(&self) -> Vec<ResilienceEvent> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Events of one kind, in recording order.
+    pub fn events_of(&self, kind: ResilienceEventKind) -> Vec<ResilienceEvent> {
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
     }
 
     /// Forget everything (e.g. to exclude warm-up steps from a profile).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.kernels.clear();
         inner.transfers.clear();
+        inner.events.clear();
     }
 }
 
@@ -227,8 +295,45 @@ mod tests {
         let l = Ledger::new();
         l.record_launch("k", cost(), 1, Duration::from_millis(1));
         l.record_transfer(TransferDirection::DeviceToHost, 8);
+        l.record_event(ResilienceEvent {
+            kind: ResilienceEventKind::Checkpoint,
+            rank: 0,
+            step: 1,
+            wave: 0,
+            wall: Duration::ZERO,
+            detail: String::new(),
+        });
         l.reset();
         assert!(l.kernel("k").is_none());
         assert_eq!(l.transfers(TransferDirection::DeviceToHost).count, 0);
+        assert!(l.events().is_empty());
+    }
+
+    #[test]
+    fn events_filter_by_kind_and_keep_order() {
+        let l = Ledger::new();
+        for (i, kind) in [
+            ResilienceEventKind::FaultDetected,
+            ResilienceEventKind::Rollback,
+            ResilienceEventKind::Replay,
+            ResilienceEventKind::Rollback,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            l.record_event(ResilienceEvent {
+                kind,
+                rank: i,
+                step: i as u64,
+                wave: 0,
+                wall: Duration::from_millis(i as u64),
+                detail: format!("e{i}"),
+            });
+        }
+        assert_eq!(l.events().len(), 4);
+        let rollbacks = l.events_of(ResilienceEventKind::Rollback);
+        assert_eq!(rollbacks.len(), 2);
+        assert_eq!(rollbacks[0].rank, 1);
+        assert_eq!(rollbacks[1].rank, 3);
     }
 }

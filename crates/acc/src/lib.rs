@@ -8,10 +8,10 @@
 //!   `gang vector`, `collapse(n)`, `loop seq` on the inner field loop, and
 //!   whether `private` arrays are compile-time sized (§III-C/D).
 //! * [`Context::launch`] executes a kernel body over a collapsed iteration
-//!   space — on a rayon pool when more than one worker is configured (the
-//!   "CPU build without OpenACC" path the paper keeps working), serially
-//!   otherwise — and records wall time plus caller-declared FLOP/byte
-//!   counts in a [`Ledger`].
+//!   space serially (the "CPU build without OpenACC" path the paper keeps
+//!   working); `launch_par`/`launch_chunks`/`launch_max` split the space
+//!   across worker threads. All of them record wall time plus
+//!   caller-declared FLOP/byte counts in a [`Ledger`].
 //! * [`DeviceBuffer`] reproduces OpenACC data regions: `enter data`,
 //!   `update device/host`, `host_data use_device`.  Host and "device" are
 //!   the same memory here, so the copies are ledger entries rather than
@@ -34,6 +34,8 @@ pub use config::{LaunchConfig, Parallelism, PrivateMode};
 pub use cost::{KernelClass, KernelCost};
 pub use data::DeviceBuffer;
 pub use exec::Context;
-pub use ledger::{KernelStats, Ledger, TransferDirection, TransferStats};
+pub use ledger::{
+    KernelStats, Ledger, ResilienceEvent, ResilienceEventKind, TransferDirection, TransferStats,
+};
 pub use queue::QueueSet;
-pub use report::{hot_kernel_share, kernel_summary, transfer_summary};
+pub use report::{hot_kernel_share, kernel_summary, resilience_summary, transfer_summary};

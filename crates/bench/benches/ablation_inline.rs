@@ -28,8 +28,12 @@ fn eos_kernel_outlined(rho: f64, e: f64, gamma: f64, pi: f64) -> f64 {
 }
 
 fn inputs() -> (Vec<f64>, Vec<f64>) {
-    let rho: Vec<f64> = (0..N).map(|i| 1.0 + 0.3 * ((i as f64) * 1e-4).sin()).collect();
-    let e: Vec<f64> = (0..N).map(|i| 2.5e5 * (1.0 + 0.1 * ((i as f64) * 2e-4).cos())).collect();
+    let rho: Vec<f64> = (0..N)
+        .map(|i| 1.0 + 0.3 * ((i as f64) * 1e-4).sin())
+        .collect();
+    let e: Vec<f64> = (0..N)
+        .map(|i| 2.5e5 * (1.0 + 0.1 * ((i as f64) * 2e-4).cos()))
+        .collect();
     (rho, e)
 }
 

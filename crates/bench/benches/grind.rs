@@ -23,14 +23,21 @@ fn bench_grind(c: &mut Criterion) {
     g.throughput(Throughput::Elements((cells * 7 * 3) as u64));
     g.sample_size(10);
 
-    for pack in [PackStrategy::CollapsedLoops, PackStrategy::Tiled, PackStrategy::Geam] {
+    for pack in [
+        PackStrategy::CollapsedLoops,
+        PackStrategy::Tiled,
+        PackStrategy::Geam,
+    ] {
         g.bench_with_input(
             BenchmarkId::new("two_phase_3d_step", format!("{pack:?}")),
             &pack,
             |b, &pack| {
                 let case = presets::two_phase_benchmark(3, n);
                 let cfg = SolverConfig {
-                    rhs: RhsConfig { pack, ..Default::default() },
+                    rhs: RhsConfig {
+                        pack,
+                        ..Default::default()
+                    },
                     dt: DtMode::Cfl(0.4),
                     ..Default::default()
                 };
@@ -50,7 +57,10 @@ fn bench_grind(c: &mut Criterion) {
             |b, &order| {
                 let case = presets::two_phase_benchmark(3, n);
                 let cfg = SolverConfig {
-                    rhs: RhsConfig { order, ..Default::default() },
+                    rhs: RhsConfig {
+                        order,
+                        ..Default::default()
+                    },
                     dt: DtMode::Cfl(0.4),
                     ..Default::default()
                 };

@@ -14,14 +14,18 @@ fn bench_halo_exchange(c: &mut Criterion) {
     let mut g = c.benchmark_group("halo_exchange");
     g.sample_size(10);
     for ranks in [2usize, 4] {
-        g.bench_with_input(BenchmarkId::new("two_phase_2d_step", ranks), &ranks, |b, &r| {
-            let case = presets::two_phase_benchmark(2, [24, 24, 1]);
-            let cfg = SolverConfig::default();
-            b.iter(|| {
-                let (field, _) = run_distributed(&case, cfg, r, 1, Staging::DeviceDirect);
-                std::hint::black_box(field.data[0])
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("two_phase_2d_step", ranks),
+            &ranks,
+            |b, &r| {
+                let case = presets::two_phase_benchmark(2, [24, 24, 1]);
+                let cfg = SolverConfig::default();
+                b.iter(|| {
+                    let (field, _) = run_distributed(&case, cfg, r, 1, Staging::DeviceDirect);
+                    std::hint::black_box(field.data[0])
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -61,19 +65,28 @@ fn bench_wave_io(c: &mut Criterion) {
     let mut g = c.benchmark_group("wave_io");
     g.sample_size(10);
     for wave in [1usize, 4, 128] {
-        g.bench_with_input(BenchmarkId::new("file_per_process_8ranks", wave), &wave, |b, &w| {
-            let dirref = &dir;
-            b.iter(|| {
-                World::run(8, |comm| {
-                    let data = vec![comm.rank() as f64; 4096];
-                    WaveWriter::new(w).write(&comm, dirref, 0, &data).unwrap();
-                });
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("file_per_process_8ranks", wave),
+            &wave,
+            |b, &w| {
+                let dirref = &dir;
+                b.iter(|| {
+                    World::run(8, |comm| {
+                        let data = vec![comm.rank() as f64; 4096];
+                        WaveWriter::new(w).write(&comm, dirref, 0, &data).unwrap();
+                    });
+                })
+            },
+        );
     }
     g.finish();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_halo_exchange, bench_fft_filter, bench_wave_io);
+criterion_group!(
+    benches,
+    bench_halo_exchange,
+    bench_fft_filter,
+    bench_wave_io
+);
 criterion_main!(benches);

@@ -41,19 +41,31 @@ fn main() {
     }
     if all || which == "fig2" {
         let rows = fig2_weak_scaling();
-        print!("{}", render_scaling("Fig 2 — weak scaling (Summit & Frontier)", &rows));
+        print!(
+            "{}",
+            render_scaling("Fig 2 — weak scaling (Summit & Frontier)", &rows)
+        );
         println!();
         dump("fig2", to_json("fig2", &rows));
     }
     if all || which == "fig3" {
         let rows = fig3_strong_scaling();
-        print!("{}", render_scaling("Fig 3 — strong scaling (Summit & Frontier)", &rows));
+        print!(
+            "{}",
+            render_scaling("Fig 3 — strong scaling (Summit & Frontier)", &rows)
+        );
         println!();
         dump("fig3", to_json("fig3", &rows));
     }
     if all || which == "fig4" {
         let rows = fig4_gpu_aware();
-        print!("{}", render_scaling("Fig 4 — Frontier strong scaling, GPU-aware vs host-staged MPI", &rows));
+        print!(
+            "{}",
+            render_scaling(
+                "Fig 4 — Frontier strong scaling, GPU-aware vs host-staged MPI",
+                &rows
+            )
+        );
         println!();
         dump("fig4", to_json("fig4", &rows));
     }

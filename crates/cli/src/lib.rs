@@ -30,20 +30,24 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use mfc_acc::Context;
+use std::sync::Arc;
+
+use mfc_acc::{resilience_summary, Context, Ledger};
 use mfc_core::axisym::Geometry;
 use mfc_core::bc::{BcKind, BcSpec};
 use mfc_core::case::{CaseBuilder, Patch};
 use mfc_core::fluid::Fluid;
 use mfc_core::output::write_vtk_rectilinear;
+use mfc_core::par::{
+    run_distributed, run_distributed_resilient, run_single, GlobalField, ResilienceOpts,
+};
 use mfc_core::probes::{Probe, ProbeSet};
-use mfc_core::par::{run_distributed, run_single, GlobalField};
 use mfc_core::rhs::{PackStrategy, RhsConfig};
 use mfc_core::riemann::RiemannSolver;
 use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::time::TimeScheme;
 use mfc_core::weno::WenoOrder;
-use mfc_mpsim::Staging;
+use mfc_mpsim::{FaultCtx, FaultPlan, Staging};
 
 /// Boundary spec: one kind for all faces, or per-axis pairs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -119,7 +123,7 @@ impl NumericsConfig {
     }
 }
 
-/// Stopping criteria.
+/// Stopping criteria and execution shape.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 #[serde(default)]
 pub struct RunConfig {
@@ -129,6 +133,13 @@ pub struct RunConfig {
     pub t_end: Option<f64>,
     /// Simulated ranks (1 = serial).
     pub ranks: usize,
+    /// Checkpoint wave period in steps (0 = off). Any non-zero value —
+    /// or a fault plan — routes the run through the fault-tolerant
+    /// driver. Settable from the command line as `--checkpoint-every N`.
+    pub checkpoint_every: u64,
+    /// Path to a fault-plan JSON file (see `mfc_mpsim::FaultPlan`).
+    /// Settable from the command line as `--faults plan.json`.
+    pub faults: Option<PathBuf>,
 }
 
 /// Output options.
@@ -197,7 +208,8 @@ impl CaseFile {
     }
 
     pub fn from_path(path: &Path) -> Result<Self, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
         Self::from_json(&text)
     }
 
@@ -244,6 +256,10 @@ pub struct RunSummary {
     pub cells: usize,
     pub grind_ns: f64,
     pub vtk_path: Option<PathBuf>,
+    /// Rendered resilience event table (checkpoints, detections,
+    /// rollbacks, replays with per-event timing); empty when the run
+    /// did not use the fault-tolerant driver.
+    pub resilience: String,
 }
 
 /// Execute a case file end to end.
@@ -259,12 +275,58 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
     std::fs::create_dir_all(&case_file.output.dir)
         .map_err(|e| format!("cannot create output dir: {e}"))?;
 
-    let (global, steps_done, t_done, grind_ns) = if case_file.run.ranks > 1 {
+    // A fault plan or a checkpoint period routes the run through the
+    // fault-tolerant driver (on simulated ranks, even when ranks == 1).
+    let resilient = case_file.run.checkpoint_every > 0 || case_file.run.faults.is_some();
+    let mut resilience = String::new();
+
+    let (global, steps_done, t_done, grind_ns) = if resilient {
+        if case_file.run.t_end.is_some() {
+            return Err("t_end is only supported for serial runs; use run.steps".into());
+        }
+        let ranks = case_file.run.ranks.max(1);
+        let plan = match &case_file.run.faults {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read fault plan {path:?}: {e}"))?;
+                FaultPlan::from_json(&text).map_err(|e| format!("bad fault plan: {e}"))?
+            }
+            None => FaultPlan::none(),
+        };
+        let faults = if plan.is_empty() {
+            None
+        } else {
+            Some(Arc::new(FaultCtx::new(plan, ranks)))
+        };
+        let events = Arc::new(Ledger::default());
+        let opts = ResilienceOpts {
+            checkpoint_every: case_file.run.checkpoint_every,
+            ckpt_dir: case_file.output.dir.join("ckpt"),
+            faults,
+            events: Some(Arc::clone(&events)),
+        };
+        let t0 = std::time::Instant::now();
+        let (gf, _) =
+            run_distributed_resilient(&case, cfg, ranks, steps, Staging::DeviceDirect, &opts)
+                .map_err(|e| e.to_string())?;
+        let wall = t0.elapsed();
+        resilience = resilience_summary(&events);
+        let cells = gf.n.iter().product::<usize>();
+        let grind = wall.as_nanos() as f64
+            / (cells as f64 * gf.neq as f64 * (steps as f64 * cfg.scheme.stages() as f64).max(1.0));
+        (gf, steps as u64, f64::NAN, grind)
+    } else if case_file.run.ranks > 1 {
         if case_file.run.t_end.is_some() {
             return Err("t_end is only supported for serial runs; use run.steps".into());
         }
         let t0 = std::time::Instant::now();
-        let (gf, _) = run_distributed(&case, cfg, case_file.run.ranks, steps, Staging::DeviceDirect);
+        let (gf, _) = run_distributed(
+            &case,
+            cfg,
+            case_file.run.ranks,
+            steps,
+            Staging::DeviceDirect,
+        );
         let wall = t0.elapsed();
         let cells = gf.n.iter().product::<usize>();
         let grind = wall.as_nanos() as f64
@@ -279,7 +341,10 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
                 case_file
                     .probes
                     .iter()
-                    .map(|p| Probe { name: p.name.clone(), x: p.x })
+                    .map(|p| Probe {
+                        name: p.name.clone(),
+                        x: p.x,
+                    })
                     .collect(),
                 solver.domain(),
                 solver.grid(),
@@ -346,6 +411,7 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
         cells: global.n.iter().product(),
         grind_ns,
         vtk_path,
+        resilience,
     })
 }
 
@@ -436,7 +502,10 @@ mod tests {
     fn probes_write_time_series_csv() {
         let mut cf = CaseFile::from_json(&sod_json()).unwrap();
         cf.run.steps = 4;
-        cf.probes = vec![ProbeConfig { name: "mid".into(), x: [0.5, 0.0, 0.0] }];
+        cf.probes = vec![ProbeConfig {
+            name: "mid".into(),
+            x: [0.5, 0.0, 0.0],
+        }];
         cf.output.dir = std::env::temp_dir().join(format!("mfc_cli_probe_{}", std::process::id()));
         let summary = run_case(&cf).unwrap();
         assert_eq!(summary.steps, 4);
@@ -444,6 +513,56 @@ mod tests {
         assert_eq!(csv.lines().count(), 4);
         // Each row: t + 3 primitive values for 1-fluid 1-D.
         assert_eq!(csv.lines().next().unwrap().split(',').count(), 4);
+        let _ = std::fs::remove_dir_all(&cf.output.dir);
+    }
+
+    #[test]
+    fn resilient_case_run_reports_events() {
+        let mut cf = CaseFile::from_json(&sod_json()).unwrap();
+        cf.run.ranks = 2;
+        cf.run.steps = 8;
+        cf.run.checkpoint_every = 3;
+        cf.output.dir = std::env::temp_dir().join(format!("mfc_cli_resil_{}", std::process::id()));
+        std::fs::create_dir_all(&cf.output.dir).unwrap();
+        let plan_path = cf.output.dir.join("plan.json");
+        std::fs::write(&plan_path, r#"{ "deaths": [ { "rank": 1, "step": 4 } ] }"#).unwrap();
+        cf.run.faults = Some(plan_path);
+        let summary = run_case(&cf).unwrap();
+        assert_eq!(summary.steps, 8);
+        assert!(
+            summary.resilience.contains("checkpoint"),
+            "{}",
+            summary.resilience
+        );
+        assert!(
+            summary.resilience.contains("fault_detected"),
+            "{}",
+            summary.resilience
+        );
+        assert!(
+            summary.resilience.contains("rollback"),
+            "{}",
+            summary.resilience
+        );
+        assert!(
+            summary.resilience.contains("replay"),
+            "{}",
+            summary.resilience
+        );
+        let _ = std::fs::remove_dir_all(&cf.output.dir);
+    }
+
+    #[test]
+    fn resilient_fault_free_matches_plain_distributed() {
+        let mut cf = CaseFile::from_json(&sod_json()).unwrap();
+        cf.output.dir = std::env::temp_dir().join(format!("mfc_cli_rff_{}", std::process::id()));
+        let plain = run_case(&cf).unwrap();
+        assert!(plain.resilience.is_empty());
+        cf.run.ranks = 2;
+        cf.run.checkpoint_every = 2;
+        let resilient = run_case(&cf).unwrap();
+        // Checkpoint commits are recorded even without faults.
+        assert!(resilient.resilience.contains("checkpoint"));
         let _ = std::fs::remove_dir_all(&cf.output.dir);
     }
 

@@ -2,23 +2,60 @@
 
 use mfc_cli::{run_case, CaseFile};
 
+const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
+[--faults plan.json] [--checkpoint-every N]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let validate_only = args.iter().any(|a| a == "--validate");
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: mfc-run <case.json> [--validate]");
+    let mut validate_only = false;
+    let mut faults: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--validate" => validate_only = true,
+            "--faults" => match it.next() {
+                Some(v) => faults = Some(v.clone()),
+                None => die("--faults needs a plan file"),
+            },
+            "--checkpoint-every" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => checkpoint_every = Some(n),
+                _ => die("--checkpoint-every needs a step count"),
+            },
+            other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    die("only one case file may be given");
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
         eprintln!("see crates/cli/src/lib.rs for the case-file schema");
         std::process::exit(2);
     };
-    let case = match CaseFile::from_path(std::path::Path::new(path)) {
+    let mut case = match CaseFile::from_path(std::path::Path::new(&path)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     };
+    // Command-line resilience flags override the case file.
+    if let Some(plan) = faults {
+        case.run.faults = Some(plan.into());
+    }
+    if let Some(every) = checkpoint_every {
+        case.run.checkpoint_every = every;
+    }
     if validate_only {
-        match case.to_case().and_then(|_| case.numerics.to_solver_config()) {
+        match case
+            .to_case()
+            .and_then(|_| case.numerics.to_solver_config())
+        {
             Ok(_) => {
                 println!(
                     "case '{}' is valid ({:?} cells, {} fluids, {} patches)",
@@ -35,13 +72,22 @@ fn main() {
             }
         }
     }
-    println!("running case '{}' ({:?} cells, {} fluids)", case.name, case.cells, case.fluids.len());
+    println!(
+        "running case '{}' ({:?} cells, {} fluids)",
+        case.name,
+        case.cells,
+        case.fluids.len()
+    );
     match run_case(&case) {
         Ok(s) => {
             println!(
                 "done: {} steps, t = {:.4e}, {} cells, grind {:.1} ns/cell/PDE/RHS",
                 s.steps, s.time, s.cells, s.grind_ns
             );
+            if !s.resilience.is_empty() {
+                println!("resilience events:");
+                print!("{}", s.resilience);
+            }
             if let Some(p) = s.vtk_path {
                 println!("wrote {}", p.display());
             }
@@ -51,4 +97,10 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2)
 }

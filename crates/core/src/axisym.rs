@@ -13,8 +13,8 @@
 //! The volume-fraction rows need no geometric source: their `1/r` terms
 //! cancel between the conservative flux and the `alpha div(u)` closure.
 
-use serde::{Deserialize, Serialize};
 use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use serde::{Deserialize, Serialize};
 
 use crate::domain::Domain;
 use crate::fluid::Fluid;

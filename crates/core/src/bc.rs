@@ -4,8 +4,8 @@
 //! so edge/corner ghost regions are filled consistently by the sequence of
 //! sweeps — the same strategy as MFC's `s_populate_variables_buffers`.
 
-use serde::{Deserialize, Serialize};
 use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use serde::{Deserialize, Serialize};
 
 use crate::state::StateField;
 
@@ -78,7 +78,7 @@ pub fn apply_bcs(ctx: &Context, field: &mut StateField, bc: &BcSpec, skip: [(boo
     let neq = dom.eq.neq();
     let cost = KernelCost::new(KernelClass::Other, 1.0, 8.0 * neq as f64, 8.0 * neq as f64);
 
-    for axis in 0..dom.eq.ndim() {
+    for (axis, &(skip_lo, skip_hi)) in skip.iter().enumerate().take(dom.eq.ndim()) {
         let n = dom.n[axis];
         // Transverse extents (full, ghost-inclusive, so corners fill).
         let t1 = if axis == 0 { dom.ext(1) } else { dom.ext(0) };
@@ -86,7 +86,7 @@ pub fn apply_bcs(ctx: &Context, field: &mut StateField, bc: &BcSpec, skip: [(boo
         let plane = t1 * t2;
 
         for (side, is_hi) in [(0usize, false), (1usize, true)] {
-            if (side == 0 && skip[axis].0) || (side == 1 && skip[axis].1) {
+            if (side == 0 && skip_lo) || (side == 1 && skip_hi) {
                 continue;
             }
             let kind = if is_hi { bc.hi[axis] } else { bc.lo[axis] };
@@ -117,8 +117,7 @@ pub fn apply_bcs(ctx: &Context, field: &mut StateField, bc: &BcSpec, skip: [(boo
                 let (gi3, si3) = (to_coord(gi), to_coord(si));
                 for e in 0..neq {
                     let mut v = field.get(si3.0, si3.1, si3.2, e);
-                    let is_momentum =
-                        (0..dom.eq.ndim()).any(|d| e == dom.eq.mom(d));
+                    let is_momentum = (0..dom.eq.ndim()).any(|d| e == dom.eq.mom(d));
                     if (flip == 1 && e == dom.eq.mom(axis)) || (flip == 2 && is_momentum) {
                         v = -v;
                     }
@@ -189,7 +188,12 @@ mod tests {
             s.set(i, j, k, eq.mom(1), -2.0);
             s.set(i, j, k, eq.energy(), 9.0);
         }
-        apply_bcs(&ctx, &mut s, &BcSpec::all(BcKind::NoSlip), [(false, false); 3]);
+        apply_bcs(
+            &ctx,
+            &mut s,
+            &BcSpec::all(BcKind::NoSlip),
+            [(false, false); 3],
+        );
         // x-lo ghost mirrors interior 0 with BOTH velocities negated.
         assert_eq!(s.get(1, 2, 0, eq.mom(0)), -5.0);
         assert_eq!(s.get(1, 2, 0, eq.mom(1)), 2.0);
@@ -220,7 +224,12 @@ mod tests {
     fn skip_leaves_ghosts_untouched() {
         let ctx = Context::serial();
         let mut s = field_1d(4, 2);
-        apply_bcs(&ctx, &mut s, &BcSpec::periodic(), [(true, false), (false, false), (false, false)]);
+        apply_bcs(
+            &ctx,
+            &mut s,
+            &BcSpec::periodic(),
+            [(true, false), (false, false), (false, false)],
+        );
         assert_eq!(s.get(0, 0, 0, 0), 0.0); // lo skipped
         assert_ne!(s.get(6, 0, 0, 0), 0.0); // hi filled
     }

@@ -1,6 +1,5 @@
 //! Initial-condition patches and case construction (MFC's `patch_icpp`).
 
-use serde::{Deserialize, Serialize};
 use crate::bc::BcSpec;
 use crate::domain::Domain;
 use crate::eqidx::EqIdx;
@@ -8,6 +7,7 @@ use crate::fluid::Fluid;
 use crate::grid::Grid;
 use crate::state::StateField;
 use mfc_acc::Context;
+use serde::{Deserialize, Serialize};
 
 /// Geometric region of one patch.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -29,7 +29,9 @@ impl Region {
             Region::All => true,
             Region::Box { lo, hi } => (0..3).all(|d| x[d] >= lo[d] && x[d] < hi[d]),
             Region::Sphere { center, radius } => {
-                let d2: f64 = (0..3).map(|d| (x[d] - center[d]) * (x[d] - center[d])).sum();
+                let d2: f64 = (0..3)
+                    .map(|d| (x[d] - center[d]) * (x[d] - center[d]))
+                    .sum();
                 d2 < radius * radius
             }
             Region::HalfSpace { axis, bound } => x[axis] < bound,
@@ -43,7 +45,9 @@ impl Region {
         match *self {
             Region::All => None,
             Region::Sphere { center, radius } => {
-                let d2: f64 = (0..3).map(|d| (x[d] - center[d]) * (x[d] - center[d])).sum();
+                let d2: f64 = (0..3)
+                    .map(|d| (x[d] - center[d]) * (x[d] - center[d]))
+                    .sum();
                 Some(d2.sqrt() - radius)
             }
             Region::HalfSpace { axis, bound } => Some(x[axis] - bound),
@@ -123,8 +127,8 @@ pub struct CaseBuilder {
 impl CaseBuilder {
     pub fn new(fluids: Vec<Fluid>, ndim: usize, cells: [usize; 3]) -> Self {
         let mut c = cells;
-        for d in ndim..3 {
-            c[d] = 1;
+        for extent in c.iter_mut().skip(ndim) {
+            *extent = 1;
         }
         CaseBuilder {
             fluids,
@@ -176,7 +180,13 @@ impl CaseBuilder {
     /// Paint the initial *conservative* state onto a block whose interior
     /// covers global cells `offset .. offset + dom.n` (offset in cells;
     /// `[0,0,0]` for single-rank runs).
-    pub fn init_block(&self, ctx: &Context, dom: &Domain, grid: &Grid, offset: [usize; 3]) -> StateField {
+    pub fn init_block(
+        &self,
+        ctx: &Context,
+        dom: &Domain,
+        grid: &Grid,
+        offset: [usize; 3],
+    ) -> StateField {
         let eq = self.eq();
         assert_eq!(&eq, &dom.eq);
         let global = self.grid();
@@ -249,7 +259,12 @@ impl CaseBuilder {
 fn blend(a: &PatchState, b: &PatchState, t: f64) -> PatchState {
     let mix = |x: f64, y: f64| (1.0 - t) * x + t * y;
     PatchState {
-        alpha: a.alpha.iter().zip(&b.alpha).map(|(&x, &y)| mix(x, y)).collect(),
+        alpha: a
+            .alpha
+            .iter()
+            .zip(&b.alpha)
+            .map(|(&x, &y)| mix(x, y))
+            .collect(),
         rho: a.rho.iter().zip(&b.rho).map(|(&x, &y)| mix(x, y)).collect(),
         vel: [
             mix(a.vel[0], b.vel[0]),
@@ -288,7 +303,10 @@ pub mod presets {
             .bc(BcSpec::transmissive())
             .patch(Region::All, PatchState::single(0.125, [0.0; 3], 0.1))
             .patch(
-                Region::HalfSpace { axis: 0, bound: 0.5 },
+                Region::HalfSpace {
+                    axis: 0,
+                    bound: 0.5,
+                },
                 PatchState::single(1.0, [0.0; 3], 1.0),
             )
     }
@@ -318,12 +336,18 @@ pub mod presets {
             )
             // Post-shock air left of the shock.
             .patch(
-                Region::HalfSpace { axis: 0, bound: -2.5e-3 },
+                Region::HalfSpace {
+                    axis: 0,
+                    bound: -2.5e-3,
+                },
                 PatchState::two_fluid(1.0 - 1e-6, [rho2, 1000.0], [u2, 0.0, 0.0], p2),
             )
             // Water droplet of radius 1 mm at the origin.
             .patch(
-                Region::Sphere { center: [0.0; 3], radius: 1.0e-3 },
+                Region::Sphere {
+                    center: [0.0; 3],
+                    radius: 1.0e-3,
+                },
                 PatchState::two_fluid(1e-6, [rho1, 1000.0], [0.0; 3], p1),
             )
     }
@@ -345,12 +369,18 @@ pub mod presets {
                 PatchState::two_fluid(1e-6, [1.2, rho1], [0.0; 3], p1),
             )
             .patch(
-                Region::HalfSpace { axis: 0, bound: -3.5e-3 },
+                Region::HalfSpace {
+                    axis: 0,
+                    bound: -3.5e-3,
+                },
                 PatchState::two_fluid(1e-6, [1.2, rho1 * 1.2], [50.0, 0.0, 0.0], p2),
             );
         for &(c, r) in bubbles {
             cb = cb.patch(
-                Region::Sphere { center: c, radius: r },
+                Region::Sphere {
+                    center: c,
+                    radius: r,
+                },
                 PatchState::two_fluid(1.0 - 1e-6, [1.2, rho1], [0.0; 3], p1),
             );
         }
@@ -376,7 +406,10 @@ pub mod presets {
                 PatchState::two_fluid(1e-6, [1.2, 1000.0], [1.0, 0.5, 0.25], 1.0e5),
             )
             .patch(
-                Region::Sphere { center: [0.5, 0.5, if ndim == 3 { 0.5 } else { 0.0 }], radius: 0.2 },
+                Region::Sphere {
+                    center: [0.5, 0.5, if ndim == 3 { 0.5 } else { 0.0 }],
+                    radius: 0.2,
+                },
                 PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [1.0, 0.5, 0.25], 1.0e5),
             )
     }
@@ -389,13 +422,22 @@ mod tests {
     #[test]
     fn regions_classify_points() {
         assert!(Region::All.contains([1e9; 3]));
-        let b = Region::Box { lo: [0.0; 3], hi: [1.0; 3] };
+        let b = Region::Box {
+            lo: [0.0; 3],
+            hi: [1.0; 3],
+        };
         assert!(b.contains([0.5, 0.5, 0.0]));
         assert!(!b.contains([1.5, 0.5, 0.0]));
-        let s = Region::Sphere { center: [0.0; 3], radius: 1.0 };
+        let s = Region::Sphere {
+            center: [0.0; 3],
+            radius: 1.0,
+        };
         assert!(s.contains([0.5, 0.5, 0.5]));
         assert!(!s.contains([1.0, 1.0, 0.0]));
-        let h = Region::HalfSpace { axis: 1, bound: 0.0 };
+        let h = Region::HalfSpace {
+            axis: 1,
+            bound: 0.0,
+        };
         assert!(h.contains([5.0, -0.1, 0.0]));
         assert!(!h.contains([5.0, 0.1, 0.0]));
     }
@@ -445,7 +487,11 @@ mod tests {
         let cb = presets::shock_droplet_2d(64);
         // Just inside/outside the droplet radius the blend is intermediate.
         let near = cb.state_at([1.0e-3, 0.0, 0.0]);
-        assert!(near.alpha[0] > 0.3 && near.alpha[0] < 0.7, "alpha={}", near.alpha[0]);
+        assert!(
+            near.alpha[0] > 0.3 && near.alpha[0] < 0.7,
+            "alpha={}",
+            near.alpha[0]
+        );
         let center = cb.state_at([0.0, 0.0, 0.0]);
         assert!(center.alpha[1] > 0.99);
     }

@@ -83,7 +83,10 @@ pub fn max_dt_geom(
         }
         rate
     });
-    assert!(rate.is_finite() && rate > 0.0, "degenerate wave-speed rate {rate}");
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "degenerate wave-speed rate {rate}"
+    );
     cfl / rate
 }
 

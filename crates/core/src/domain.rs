@@ -25,16 +25,15 @@ pub struct Domain {
 
 impl Domain {
     pub fn new(n: [usize; 3], ng: usize, eq: EqIdx) -> Self {
-        for d in 0..eq.ndim() {
-            assert!(n[d] >= 1, "axis {d} must have at least one cell");
+        for (d, &nd) in n.iter().enumerate().take(eq.ndim()) {
+            assert!(nd >= 1, "axis {d} must have at least one cell");
             assert!(
-                n[d] >= ng,
-                "axis {d}: {} interior cells cannot feed {ng} ghost layers",
-                n[d]
+                nd >= ng,
+                "axis {d}: {nd} interior cells cannot feed {ng} ghost layers"
             );
         }
-        for d in eq.ndim()..3 {
-            assert_eq!(n[d], 1, "inactive axis {d} must have extent 1");
+        for (d, &nd) in n.iter().enumerate().skip(eq.ndim()) {
+            assert_eq!(nd, 1, "inactive axis {d} must have extent 1");
         }
         Domain { n, ng, eq }
     }

@@ -158,7 +158,10 @@ impl NacaAirfoil {
         let (c, s) = (self.alpha.cos(), self.alpha.sin());
         // Rotate by +alpha (nose-up AoA rotates the foil clockwise in
         // flow frame; equivalently rotate the point counterclockwise).
-        [(dx * c - dy * s) / self.chord, (dx * s + dy * c) / self.chord]
+        [
+            (dx * c - dy * s) / self.chord,
+            (dx * s + dy * c) / self.chord,
+        ]
     }
 }
 
@@ -206,13 +209,7 @@ impl GhostCellIbm {
     /// Operates on *primitive-convertible* conservative data: the field is
     /// converted per-cell as needed.  Call after every ghost fill, before
     /// the RHS.
-    pub fn apply(
-        &self,
-        ctx: &Context,
-        grid: &Grid,
-        fluids: &[Fluid],
-        q: &mut StateField,
-    ) {
+    pub fn apply(&self, ctx: &Context, grid: &Grid, fluids: &[Fluid], q: &mut StateField) {
         let dom = *q.domain();
         let eq = dom.eq;
         let neq = eq.neq();
@@ -261,12 +258,7 @@ impl GhostCellIbm {
         }
 
         // Pass 2: apply.
-        let cost = KernelCost::new(
-            KernelClass::Other,
-            30.0,
-            8.0 * neq as f64,
-            8.0 * neq as f64,
-        );
+        let cost = KernelCost::new(KernelClass::Other, 30.0, 8.0 * neq as f64, 8.0 * neq as f64);
         let cfg = LaunchConfig::tuned("s_ibm_ghost_cells");
         ctx.launch(&cfg, cost, updates.len(), |u| {
             let ((i, j, k), cell) = &updates[u];
@@ -315,11 +307,7 @@ impl CellCenters {
     }
 
     fn max_width(&self) -> f64 {
-        let w = |c: &[f64]| {
-            c.windows(2)
-                .map(|p| p[1] - p[0])
-                .fold(0.0f64, f64::max)
-        };
+        let w = |c: &[f64]| c.windows(2).map(|p| p[1] - p[0]).fold(0.0f64, f64::max);
         w(&self.cx).max(w(&self.cy)).max(w(&self.cz))
     }
 
@@ -337,11 +325,27 @@ impl CellCenters {
         let eq = self.dom.eq;
         let neq = eq.neq();
         let i0 = Self::locate(&self.cx, x[0]);
-        let j0 = if eq.ndim() >= 2 { Self::locate(&self.cy, x[1]) } else { 0 };
-        let k0 = if eq.ndim() >= 3 { Self::locate(&self.cz, x[2]) } else { 0 };
+        let j0 = if eq.ndim() >= 2 {
+            Self::locate(&self.cy, x[1])
+        } else {
+            0
+        };
+        let k0 = if eq.ndim() >= 3 {
+            Self::locate(&self.cz, x[2])
+        } else {
+            0
+        };
         let fx = frac(&self.cx, i0, x[0]);
-        let fy = if eq.ndim() >= 2 { frac(&self.cy, j0, x[1]) } else { 0.0 };
-        let fz = if eq.ndim() >= 3 { frac(&self.cz, k0, x[2]) } else { 0.0 };
+        let fy = if eq.ndim() >= 2 {
+            frac(&self.cy, j0, x[1])
+        } else {
+            0.0
+        };
+        let fz = if eq.ndim() >= 3 {
+            frac(&self.cz, k0, x[2])
+        } else {
+            0.0
+        };
 
         out[..neq].fill(0.0);
         let mut cons = [0.0; MAX_EQ];

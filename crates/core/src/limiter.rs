@@ -30,7 +30,6 @@ pub enum Limiter {
     ZhangShu,
 }
 
-
 /// Floor on partial densities and on the stiffened pressure, relative to
 /// the cell-average magnitude.
 const POS_EPS: f64 = 1e-12;
@@ -50,7 +49,10 @@ pub fn admissible(eq: &EqIdx, fluids: &[Fluid], prim: &[f64]) -> bool {
     if rho <= 0.0 {
         return false;
     }
-    let min_pi = fluids.iter().map(|f| f.pi_inf).fold(f64::INFINITY, f64::min);
+    let min_pi = fluids
+        .iter()
+        .map(|f| f.pi_inf)
+        .fold(f64::INFINITY, f64::min);
     prim[eq.energy()] + min_pi > 0.0
 }
 
@@ -96,7 +98,10 @@ pub fn limit_state(
                     }
                 }
             }
-            let min_pi = fluids.iter().map(|f| f.pi_inf).fold(f64::INFINITY, f64::min);
+            let min_pi = fluids
+                .iter()
+                .map(|f| f.pi_inf)
+                .fold(f64::INFINITY, f64::min);
             let e = eq.energy();
             let floor = POS_EPS * (mean[e].abs() + min_pi) - min_pi;
             if prim[e] < floor {
@@ -144,7 +149,13 @@ mod tests {
         let eq = eq2();
         let mean = [0.6, 400.0, 5.0, 1.0e5, 0.5];
         let mut prim = [-0.1, 380.0, 6.0, 1.1e5, 0.55];
-        let theta = limit_state(Limiter::FirstOrderFallback, &eq, &fluids(), &mean, &mut prim);
+        let theta = limit_state(
+            Limiter::FirstOrderFallback,
+            &eq,
+            &fluids(),
+            &mean,
+            &mut prim,
+        );
         assert_eq!(theta, 0.0);
         assert_eq!(prim, mean);
     }

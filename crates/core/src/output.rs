@@ -107,13 +107,14 @@ pub fn write_vtk_rectilinear(
     writeln!(w, "ASCII")?;
     writeln!(w, "DATASET RECTILINEAR_GRID")?;
     writeln!(w, "DIMENSIONS {} {} {}", nx + 1, ny + 1, nz + 1)?;
-    let write_coords = |w: &mut dyn Write, label: &str, faces: &[f64], n: usize| -> io::Result<()> {
-        writeln!(w, "{label}_COORDINATES {} double", n + 1)?;
-        for f in faces.iter().take(n + 1) {
-            write!(w, "{f} ")?;
-        }
-        writeln!(w)
-    };
+    let write_coords =
+        |w: &mut dyn Write, label: &str, faces: &[f64], n: usize| -> io::Result<()> {
+            writeln!(w, "{label}_COORDINATES {} double", n + 1)?;
+            for f in faces.iter().take(n + 1) {
+                write!(w, "{f} ")?;
+            }
+            writeln!(w)
+        };
     write_coords(&mut w, "X", grid.x.faces(), nx)?;
     write_coords(&mut w, "Y", grid.y.faces(), ny)?;
     write_coords(&mut w, "Z", grid.z.faces(), nz)?;
@@ -222,7 +223,9 @@ mod tests {
         let dir = tmpdir("badblock");
         let dirref = &dir;
         World::run(1, |c| {
-            WaveWriter::new(128).write(&c, dirref, 0, &[1.0, 2.0]).unwrap();
+            WaveWriter::new(128)
+                .write(&c, dirref, 0, &[1.0, 2.0])
+                .unwrap();
         });
         let r = postprocess_wave_files(&dir, 0, [4, 1, 1], EqIdx::new(1, 1), [1, 1, 1]);
         assert!(r.is_err());

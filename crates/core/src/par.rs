@@ -13,8 +13,13 @@
 //! receive; both land in the transfer ledger, and their modelled cost is
 //! Fig. 4's gap.
 
-use mfc_acc::{Context, TransferDirection};
-use mfc_mpsim::{best_block_dims, CartComm, Comm, Staging, World};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mfc_acc::{Context, Ledger, ResilienceEvent, ResilienceEventKind, TransferDirection};
+use mfc_mpsim::{best_block_dims, CartComm, Comm, CommFault, FaultCtx, Staging, World};
 use serde::{Deserialize, Serialize};
 
 use crate::bc::apply_bcs;
@@ -139,8 +144,8 @@ pub fn run_distributed_with_mode(
 
         // Faces whose ghosts come from a neighbour rather than physical BCs.
         let mut skip = [(false, false); 3];
-        for d in 0..eq.ndim() {
-            skip[d] = (
+        for (d, s) in skip.iter_mut().enumerate().take(eq.ndim()) {
+            *s = (
                 cart.neighbor(d, -1).is_some(),
                 cart.neighbor(d, 1).is_some(),
             );
@@ -194,11 +199,38 @@ pub fn run_distributed_with_mode(
     // Assemble on the host side from rank 0's gather.
     let (gathered, _, _, stats0) = results.remove(0);
     let blocks = gathered.expect("rank 0 holds the gather");
-    // Recompute every rank's extents (same arithmetic as inside the run)
-    // and sanity-check against what the ranks reported.
-    let mut offsets = vec![[0usize; 3]; n_ranks];
-    let mut sizes = vec![[1usize; 3]; n_ranks];
-    for rank in 0..n_ranks {
+    // Sanity-check the extents the ranks reported against the same
+    // arithmetic recomputed host-side (which `assemble_global` uses).
+    for (idx, reported) in results.iter().enumerate() {
+        let cart = CartComm::new(idx + 1, dims, periodic);
+        let mut off = [0usize; 3];
+        let mut n = [1usize; 3];
+        for d in 0..eq.ndim() {
+            let (o, l) = cart.local_extent(d, global_n[d]);
+            off[d] = o;
+            n[d] = l;
+        }
+        debug_assert_eq!(reported.1, off);
+        debug_assert_eq!(reported.2, n);
+    }
+    (
+        assemble_global(eq, global_n, dims, periodic, &blocks),
+        stats0,
+    )
+}
+
+/// Scatter per-rank interior blocks (in gather order) into one global
+/// field, recomputing each rank's extents from the decomposition.
+fn assemble_global(
+    eq: crate::eqidx::EqIdx,
+    global_n: [usize; 3],
+    dims: [usize; 3],
+    periodic: [bool; 3],
+    blocks: &[Vec<f64>],
+) -> GlobalField {
+    let neq = eq.neq();
+    let mut data = vec![0.0; global_n[0] * global_n[1] * global_n[2] * neq];
+    for (rank, block) in blocks.iter().enumerate() {
         let cart = CartComm::new(rank, dims, periodic);
         let mut off = [0usize; 3];
         let mut n = [1usize; 3];
@@ -207,20 +239,6 @@ pub fn run_distributed_with_mode(
             off[d] = o;
             n[d] = l;
         }
-        if rank > 0 {
-            let reported = &results[rank - 1];
-            debug_assert_eq!(reported.1, off);
-            debug_assert_eq!(reported.2, n);
-        }
-        offsets[rank] = off;
-        sizes[rank] = n;
-    }
-
-    let neq = eq.neq();
-    let mut data = vec![0.0; global_n[0] * global_n[1] * global_n[2] * neq];
-    for (rank, block) in blocks.iter().enumerate() {
-        let off = offsets[rank];
-        let n = sizes[rank];
         let mut it = block.iter();
         for e in 0..neq {
             for k in 0..n[2] {
@@ -236,14 +254,445 @@ pub fn run_distributed_with_mode(
             }
         }
     }
-    (
-        GlobalField {
-            n: global_n,
-            neq,
-            data,
-        },
+    GlobalField {
+        n: global_n,
+        neq,
+        data,
+    }
+}
+
+/// Options for [`run_distributed_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilienceOpts {
+    /// Steps between checkpoint waves; 0 disables checkpointing entirely,
+    /// in which case a rank death has nothing to roll back to and the run
+    /// ends with [`ResilienceError::Unrecoverable`] instead of hanging.
+    pub checkpoint_every: u64,
+    /// Directory receiving the per-rank `ckpt_r{rank}_w{wave}.bin` files.
+    pub ckpt_dir: PathBuf,
+    /// Fault script plus the shared failure-detector board; `None` runs
+    /// the same driver fault-free (plain blocking semantics).
+    pub faults: Option<Arc<FaultCtx>>,
+    /// Ledger receiving checkpoint / fault-detection / rollback / replay
+    /// events with per-event wall timing.
+    pub events: Option<Arc<Ledger>>,
+}
+
+impl ResilienceOpts {
+    /// Fault-free checkpointing setup (no fault script, no event ledger).
+    pub fn fault_free(ckpt_dir: impl Into<PathBuf>, checkpoint_every: u64) -> Self {
+        ResilienceOpts {
+            checkpoint_every,
+            ckpt_dir: ckpt_dir.into(),
+            faults: None,
+            events: None,
+        }
+    }
+}
+
+/// Terminal failure of a resilient run. Every rank returns the same
+/// variant (the decision is taken from shared board state after the
+/// recovery rendezvous), so the run ends cleanly rather than hanging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceError {
+    /// A fault was detected but no checkpoint wave had been committed,
+    /// so there is nothing to roll back to.
+    Unrecoverable { rank: usize, detail: String },
+}
+
+impl std::fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilienceError::Unrecoverable { rank, detail } => {
+                write!(f, "unrecoverable fault (rank {rank}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+/// What one rank's closure returns from a resilient run: the gathered
+/// per-rank blocks on rank 0 (`None` elsewhere) plus its comm counters.
+type RankOutcome = Result<(Option<Vec<Vec<f64>>>, CommStats), ResilienceError>;
+
+/// What a rank does after a policied operation fails or it executes a
+/// scripted death: roll back, or give up because nothing was committed.
+enum RecoveryOutcome {
+    /// Rolled back to this wave; resume stepping from its header.
+    RolledBack { wave: u64 },
+    /// No committed wave exists — the run is unrecoverable.
+    Abort,
+}
+
+/// Fault-tolerant [`run_distributed`]: same numerics and decomposition,
+/// but every step's collectives and halo exchanges go through the
+/// fault-aware ("policied") path, the conservative state is checkpointed
+/// every `opts.checkpoint_every` steps, and any detected failure —
+/// message loss beyond the retry budget, a silent rank, or a scripted
+/// rank death — triggers a global rollback to the last committed
+/// checkpoint wave and a replay.
+///
+/// Because checkpoints are bitwise snapshots and the numerics are
+/// deterministic, a faulty run that recovers produces output **bitwise
+/// identical** to a fault-free run — the resilience tests assert this.
+pub fn run_distributed_resilient(
+    case: &CaseBuilder,
+    cfg: SolverConfig,
+    n_ranks: usize,
+    steps: usize,
+    staging: Staging,
+    opts: &ResilienceOpts,
+) -> Result<(GlobalField, CommStats), ResilienceError> {
+    let eq = case.eq();
+    let ng = cfg.rhs.order.ghost_layers().max(1);
+    let global_n = case.cells;
+    let dims = best_block_dims(n_ranks, global_n);
+    assert_eq!(
+        dims.iter().product::<usize>(),
+        n_ranks,
+        "rank count must factorize onto the grid"
+    );
+    let periodic = [
+        case.bc.axis_periodic(0),
+        case.bc.axis_periodic(1),
+        case.bc.axis_periodic(2),
+    ];
+    let global_grid = case.grid();
+    if opts.checkpoint_every > 0 {
+        std::fs::create_dir_all(&opts.ckpt_dir).expect("checkpoint dir");
+    }
+    let total_steps = steps as u64;
+    let every = opts.checkpoint_every;
+
+    let body = |mut comm: Comm| -> RankOutcome {
+        let rank = comm.rank();
+        let ctx = Context::serial();
+        let cart = CartComm::new(rank, dims, periodic);
+        let mut n = [1usize; 3];
+        let mut off = [0usize; 3];
+        for d in 0..eq.ndim() {
+            let (o, l) = cart.local_extent(d, global_n[d]);
+            off[d] = o;
+            n[d] = l;
+        }
+        let dom = Domain::new(n, ng, eq);
+        let local_grid = Grid {
+            x: global_grid.x.slice(off[0], n[0]),
+            y: if eq.ndim() >= 2 {
+                global_grid.y.slice(off[1], n[1])
+            } else {
+                Grid1D::collapsed()
+            },
+            z: if eq.ndim() >= 3 {
+                global_grid.z.slice(off[2], n[2])
+            } else {
+                Grid1D::collapsed()
+            },
+        };
+        let mut q = case.init_block(&ctx, &dom, &global_grid, off);
+        let mut ws = RhsWorkspace::new(dom, &local_grid);
+        let mut rk = RkWorkspace::new(&q);
+        let mut stats = CommStats::default();
+        let mut skip = [(false, false); 3];
+        for (d, s) in skip.iter_mut().enumerate().take(eq.ndim()) {
+            *s = (
+                cart.neighbor(d, -1).is_some(),
+                cart.neighbor(d, 1).is_some(),
+            );
+        }
+        let widths = [
+            local_grid.x.widths_with_ghosts(dom.pad(0)),
+            local_grid.y.widths_with_ghosts(dom.pad(1)),
+            local_grid.z.widths_with_ghosts(dom.pad(2)),
+        ];
+
+        let note =
+            |kind: ResilienceEventKind, step: u64, wave: u64, wall: Duration, detail: String| {
+                if let Some(ledger) = &opts.events {
+                    ledger.record_event(ResilienceEvent {
+                        kind,
+                        rank,
+                        step,
+                        wave,
+                        wall,
+                        detail,
+                    });
+                }
+            };
+
+        let mut t = 0.0f64;
+        let mut step: u64 = 0;
+        let mut next_wave: u64 = 0;
+        let mut deaths_done: HashSet<usize> = HashSet::new();
+        // Set after a rollback: (pre-fault step to replay through, timer).
+        let mut replay_target: Option<(u64, Instant)> = None;
+        let mut needs_recovery = false;
+
+        while step < total_steps {
+            // ---- Recovery: rendezvous, roll back, resume (or abort). ----
+            if needs_recovery {
+                needs_recovery = false;
+                let faults = comm
+                    .fault_ctx()
+                    .expect("recovery requires a fault ctx")
+                    .clone();
+                let fault_step = step;
+                let t0 = Instant::now();
+                // Everyone — including the "dead" rank, which the
+                // simulator revives here (a restarted process) — meets at
+                // the rendezvous; the generation bump fences off every
+                // pre-fault message still in flight.
+                let gen = faults.board.rendezvous();
+                comm.finish_recovery(gen);
+                let outcome = match faults.board.committed_wave() {
+                    None => RecoveryOutcome::Abort,
+                    Some(wave) => RecoveryOutcome::RolledBack { wave },
+                };
+                match outcome {
+                    RecoveryOutcome::Abort => {
+                        return Err(ResilienceError::Unrecoverable {
+                            rank,
+                            detail: "fault before any committed checkpoint wave".into(),
+                        });
+                    }
+                    RecoveryOutcome::RolledBack { wave } => {
+                        let path = crate::restart::wave_path(&opts.ckpt_dir, rank, wave);
+                        let (header, restored) =
+                            crate::restart::load_checkpoint(&path).expect("checkpoint reload");
+                        debug_assert_eq!(header.domain(), dom);
+                        q = restored;
+                        t = header.t;
+                        step = header.steps;
+                        next_wave = wave + 1;
+                        let target =
+                            replay_target.map_or(fault_step, |(old, _)| old.max(fault_step));
+                        replay_target = Some((target, Instant::now()));
+                        if rank == 0 {
+                            note(
+                                ResilienceEventKind::Rollback,
+                                step,
+                                wave,
+                                t0.elapsed(),
+                                format!("all ranks rolled back to wave {wave} (step {step})"),
+                            );
+                        }
+                    }
+                }
+                continue;
+            }
+
+            if let Some(faults) = comm.fault_ctx().cloned() {
+                // Scripted death: drop all in-memory state and stop
+                // communicating; peers notice via the failure detector.
+                // Consumed by plan index so the death does not re-fire
+                // when the replay passes this step again.
+                if let Some(idx) = faults.plan.death_at(rank, step) {
+                    if deaths_done.insert(idx) {
+                        faults.board.mark_dead(rank);
+                        needs_recovery = true;
+                        continue;
+                    }
+                }
+                if let Some(hold) = faults.plan.stall_for(rank, step) {
+                    std::thread::sleep(hold);
+                }
+                if faults.board.recovery_pending() {
+                    needs_recovery = true;
+                    continue;
+                }
+            }
+
+            // ---- Checkpoint wave: save locally, commit collectively. ----
+            if every > 0 && step == next_wave * every {
+                let wave = next_wave;
+                let t0 = Instant::now();
+                let path = crate::restart::wave_path(&opts.ckpt_dir, rank, wave);
+                crate::restart::save_checkpoint(&path, &q, t, step).expect("checkpoint write");
+                // The commit is a policied collective: the wave only
+                // counts once every live rank has durably written its
+                // block, and a dead/silent rank fails the commit instead
+                // of hanging it.
+                match comm.allreduce_policied(wave as f64, f64::min) {
+                    Ok(_) => {
+                        if let Some(faults) = comm.fault_ctx() {
+                            faults.board.commit_wave(wave);
+                        }
+                        next_wave += 1;
+                        if rank == 0 {
+                            note(
+                                ResilienceEventKind::Checkpoint,
+                                step,
+                                wave,
+                                t0.elapsed(),
+                                format!("wave {wave} committed by {n_ranks} ranks"),
+                            );
+                        }
+                    }
+                    Err(fault) => {
+                        detect_fault(&comm, &fault, step, t0.elapsed(), &note);
+                        needs_recovery = true;
+                        continue;
+                    }
+                }
+            }
+
+            // ---- Global dt; the policied allreduce doubles as the
+            // per-step heartbeat (rank 0 touches every rank). ----
+            let t_op = Instant::now();
+            let local_dt = match cfg.dt {
+                DtMode::Fixed(dt) => dt,
+                DtMode::Cfl(c) => {
+                    crate::state::cons_to_prim_field(&ctx, &case.fluids, &q, &mut ws.prim);
+                    cfl::max_dt(
+                        &ctx,
+                        &case.fluids,
+                        &ws.prim,
+                        [&widths[0], &widths[1], &widths[2]],
+                        c,
+                    )
+                }
+            };
+            let dt = match comm.allreduce_policied(local_dt, f64::min) {
+                Ok(v) => v,
+                Err(fault) => {
+                    detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
+                    needs_recovery = true;
+                    continue;
+                }
+            };
+
+            // ---- RK stages with the fault-aware halo exchange. A halo
+            // failure abandons the remaining stages (the state will be
+            // rolled back anyway). ----
+            let mut halo_fault: Option<CommFault> = None;
+            {
+                let (comm_ref, stats_ref) = (&mut comm, &mut stats);
+                let fault_ref = &mut halo_fault;
+                let fluids = &case.fluids;
+                let bc = &case.bc;
+                let ws_ref = &mut ws;
+                let ctx_ref = &ctx;
+                rk_step(cfg.scheme, dt, &mut q, &mut rk, |q, rhs| {
+                    if fault_ref.is_none() {
+                        if let Err(f) =
+                            exchange_halos_policied(ctx_ref, comm_ref, &cart, q, staging, stats_ref)
+                        {
+                            *fault_ref = Some(f);
+                        }
+                    }
+                    if fault_ref.is_none() {
+                        apply_bcs(ctx_ref, q, bc, skip);
+                        compute_rhs(ctx_ref, &cfg.rhs, fluids, q, ws_ref, rhs);
+                    }
+                });
+            }
+            if let Some(fault) = halo_fault {
+                detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
+                needs_recovery = true;
+                continue;
+            }
+
+            t += dt;
+            step += 1;
+            if let Some((target, since)) = replay_target {
+                if step >= target {
+                    if rank == 0 {
+                        note(
+                            ResilienceEventKind::Replay,
+                            step,
+                            next_wave.saturating_sub(1),
+                            since.elapsed(),
+                            format!("replayed through pre-fault step {target}"),
+                        );
+                    }
+                    replay_target = None;
+                }
+            }
+        }
+
+        // All scripted faults are behind us (peers past their last death
+        // cannot re-die), so the final gather uses the plain path.
+        let mut block = Vec::with_capacity(dom.interior_cells() * eq.neq());
+        for e in 0..eq.neq() {
+            for (i, j, k) in dom.interior() {
+                block.push(q.get(i, j, k, e));
+            }
+        }
+        let gathered = comm.gather(block);
+        Ok((gathered, stats))
+    };
+
+    let mut results = match &opts.faults {
+        Some(faults) => World::run_with_faults(n_ranks, Arc::clone(faults), body),
+        None => World::run(n_ranks, body),
+    };
+    let rank0 = results.remove(0);
+    for r in results {
+        r?;
+    }
+    let (gathered, stats0) = rank0?;
+    let blocks = gathered.expect("rank 0 holds the gather");
+    Ok((
+        assemble_global(eq, global_n, dims, periodic, &blocks),
         stats0,
-    )
+    ))
+}
+
+/// Classify a policied-operation failure: the first rank to see a
+/// *primary* fault (dead peer, timeout) raises the recovery alarm and
+/// records the detection event; ranks that merely observe the alarm
+/// (`RecoveryRequested`) just join the rendezvous.
+fn detect_fault(
+    comm: &Comm,
+    fault: &CommFault,
+    step: u64,
+    latency: Duration,
+    note: &impl Fn(ResilienceEventKind, u64, u64, Duration, String),
+) {
+    if matches!(fault, CommFault::RecoveryRequested) {
+        return;
+    }
+    let faults = comm.fault_ctx().expect("policied fault without fault ctx");
+    if faults.board.request_recovery() {
+        let wave = faults.board.committed_wave().unwrap_or(0);
+        note(
+            ResilienceEventKind::FaultDetected,
+            step,
+            wave,
+            latency,
+            fault.to_string(),
+        );
+    }
+}
+
+/// Fault-aware [`exchange_halos`]: paired send + policied receive per
+/// axis and direction. Any detector verdict aborts the exchange.
+fn exchange_halos_policied(
+    ctx: &Context,
+    comm: &mut Comm,
+    cart: &CartComm,
+    q: &mut StateField,
+    staging: Staging,
+    stats: &mut CommStats,
+) -> Result<(), CommFault> {
+    let dom = *q.domain();
+    for axis in 0..dom.eq.ndim() {
+        for &(send_dir, tag) in &[(1i32, 0u64), (-1i32, 1u64)] {
+            let send_to = cart.neighbor(axis, send_dir);
+            let recv_from = cart.neighbor(axis, -send_dir);
+            let tag = (axis as u64) << 8 | tag;
+            if let Some(dest) = send_to {
+                let buf = pack_send_slab(ctx, q, axis, send_dir, staging, stats);
+                comm.send(dest, tag, buf);
+            }
+            if let Some(src) = recv_from {
+                let buf = comm.recv_policied(src, tag)?;
+                unpack_recv_slab(ctx, q, axis, send_dir, staging, &buf);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Run distributed and let every rank write its interior block with the
@@ -303,8 +752,8 @@ pub fn run_distributed_with_output(
         let mut rk = RkWorkspace::new(&q);
         let mut stats = CommStats::default();
         let mut skip = [(false, false); 3];
-        for d in 0..eq.ndim() {
-            skip[d] = (
+        for (d, s) in skip.iter_mut().enumerate().take(eq.ndim()) {
+            *s = (
                 cart.neighbor(d, -1).is_some(),
                 cart.neighbor(d, 1).is_some(),
             );
@@ -394,7 +843,7 @@ fn exchange_halos(
     stats: &mut CommStats,
 ) {
     let dom = *q.domain();
-    
+
     for axis in 0..dom.eq.ndim() {
         // dir = +1: send my high interior slab to the +1 neighbour, receive
         // my low ghost slab from the -1 neighbour. Then the reverse.
@@ -517,7 +966,11 @@ fn unpack_slab(q: &mut StateField, axis: usize, lo: usize, count: usize, buf: &[
     let dom = *q.domain();
     let (t1, t2) = transverse_extents(&dom, axis);
     let neq = dom.eq.neq();
-    assert_eq!(buf.len(), count * t1 * t2 * neq, "halo buffer size mismatch");
+    assert_eq!(
+        buf.len(),
+        count * t1 * t2 * neq,
+        "halo buffer size mismatch"
+    );
     let mut it = buf.iter();
     for e in 0..neq {
         for b in 0..t2 {
@@ -584,6 +1037,146 @@ mod tests {
         let (a, _) = run_distributed(&case, cfg, 2, 3, Staging::DeviceDirect);
         let (b, _) = run_distributed(&case, cfg, 2, 3, Staging::HostStaged);
         assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    fn resil_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mfc_resil_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn resilient_fault_free_matches_serial_bitwise() {
+        let case = presets::sod(32);
+        let cfg = SolverConfig::default();
+        let serial = run_single(&case, cfg, 8);
+        let dir = resil_dir("ff");
+        let opts = ResilienceOpts::fault_free(&dir, 3);
+        let (field, _) =
+            run_distributed_resilient(&case, cfg, 2, 8, Staging::DeviceDirect, &opts).unwrap();
+        assert_eq!(field.max_abs_diff(&serial), 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_recovers_from_rank_death_bitwise() {
+        use mfc_mpsim::{DetectorConfig, FaultPlan, RankDeath};
+
+        let case = presets::sod(32);
+        let cfg = SolverConfig::default();
+        let serial = run_single(&case, cfg, 10);
+        let dir = resil_dir("death");
+        let plan = FaultPlan {
+            deaths: vec![RankDeath { rank: 1, step: 6 }],
+            ..FaultPlan::none()
+        };
+        let faults = Arc::new(FaultCtx::new(plan, 2).with_detector(DetectorConfig {
+            slice_ms: 5,
+            retries: 8,
+            backoff: 1.5,
+        }));
+        let events = Arc::new(Ledger::default());
+        let opts = ResilienceOpts {
+            checkpoint_every: 4,
+            ckpt_dir: dir.clone(),
+            faults: Some(faults),
+            events: Some(Arc::clone(&events)),
+        };
+        let (field, _) =
+            run_distributed_resilient(&case, cfg, 2, 10, Staging::DeviceDirect, &opts).unwrap();
+        assert_eq!(
+            field.max_abs_diff(&serial),
+            0.0,
+            "recovered run must be bitwise identical to fault-free"
+        );
+        // The ledger tells the whole story: waves committed, the death
+        // detected, a rollback, and a completed replay.
+        use mfc_acc::ResilienceEventKind as K;
+        assert!(!events.events_of(K::Checkpoint).is_empty());
+        assert_eq!(events.events_of(K::FaultDetected).len(), 1);
+        assert_eq!(events.events_of(K::Rollback).len(), 1);
+        assert_eq!(events.events_of(K::Replay).len(), 1);
+        let rb = &events.events_of(K::Rollback)[0];
+        assert_eq!(rb.wave, 1, "death at step 6 rolls back to wave 1 (step 4)");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unrecoverable_death_reports_instead_of_hanging() {
+        use mfc_mpsim::{DetectorConfig, FaultPlan, RankDeath};
+
+        let case = presets::sod(32);
+        let cfg = SolverConfig::default();
+        let dir = resil_dir("unrec");
+        let plan = FaultPlan {
+            deaths: vec![RankDeath { rank: 1, step: 2 }],
+            ..FaultPlan::none()
+        };
+        let faults = Arc::new(FaultCtx::new(plan, 2).with_detector(DetectorConfig {
+            slice_ms: 5,
+            retries: 6,
+            backoff: 1.5,
+        }));
+        let opts = ResilienceOpts {
+            checkpoint_every: 0, // checkpointing disabled: nothing to roll back to
+            ckpt_dir: dir.clone(),
+            faults: Some(faults),
+            events: None,
+        };
+        let err = run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts)
+            .expect_err("death without checkpoints cannot be recovered");
+        assert!(matches!(err, ResilienceError::Unrecoverable { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_rides_through_message_faults_bitwise() {
+        use mfc_mpsim::{DetectorConfig, FaultPlan, MsgDelay, MsgFault};
+
+        let case = presets::sod(32);
+        let cfg = SolverConfig::default();
+        let serial = run_single(&case, cfg, 6);
+        let dir = resil_dir("msg");
+        let plan = FaultPlan {
+            drops: vec![
+                MsgFault {
+                    src: 0,
+                    dst: 1,
+                    nth: 3,
+                },
+                MsgFault {
+                    src: 1,
+                    dst: 0,
+                    nth: 7,
+                },
+            ],
+            delays: vec![MsgDelay {
+                src: 1,
+                dst: 0,
+                nth: 4,
+                hold: 2,
+            }],
+            ..FaultPlan::none()
+        };
+        let faults = Arc::new(FaultCtx::new(plan, 2).with_detector(DetectorConfig {
+            slice_ms: 5,
+            retries: 8,
+            backoff: 1.5,
+        }));
+        let opts = ResilienceOpts {
+            checkpoint_every: 3,
+            ckpt_dir: dir.clone(),
+            faults: Some(faults),
+            events: None,
+        };
+        let (field, _) =
+            run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts).unwrap();
+        assert_eq!(
+            field.max_abs_diff(&serial),
+            0.0,
+            "drops/delays are absorbed by retransmission, not physics"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl ProbeSet {
             .iter()
             .map(|p| {
                 let mut c = [0usize; 3];
-                for d in 0..dom.eq.ndim() {
+                for (d, cd) in c.iter_mut().enumerate().take(dom.eq.ndim()) {
                     let ax = grid.axis(d);
                     assert!(
                         p.x[d] >= ax.x0() && p.x[d] <= ax.x1(),
@@ -62,7 +62,7 @@ impl ProbeSet {
                         .windows(2)
                         .position(|w| p.x[d] >= w[0] && p.x[d] <= w[1])
                         .unwrap_or(ax.n() - 1);
-                    c[d] = idx + dom.pad(d);
+                    *cd = idx + dom.pad(d);
                 }
                 (c[0], c[1], c[2])
             })
@@ -143,7 +143,10 @@ mod tests {
         let dom = case.domain(3);
         let grid = case.grid();
         let ps = ProbeSet::new(
-            vec![Probe { name: "mid".into(), x: [0.55, 0.0, 0.0] }],
+            vec![Probe {
+                name: "mid".into(),
+                x: [0.55, 0.0, 0.0],
+            }],
             &dom,
             &grid,
         );
@@ -156,7 +159,10 @@ mod tests {
     fn probe_outside_domain_panics() {
         let case = presets::sod(10);
         let _ = ProbeSet::new(
-            vec![Probe { name: "bad".into(), x: [2.0, 0.0, 0.0] }],
+            vec![Probe {
+                name: "bad".into(),
+                x: [2.0, 0.0, 0.0],
+            }],
             &case.domain(3),
             &case.grid(),
         );
@@ -167,7 +173,10 @@ mod tests {
         let case = presets::sod(100);
         let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
         let mut probes = ProbeSet::new(
-            vec![Probe { name: "right".into(), x: [0.75, 0.0, 0.0] }],
+            vec![Probe {
+                name: "right".into(),
+                x: [0.75, 0.0, 0.0],
+            }],
             solver.domain(),
             solver.grid(),
         );
@@ -196,7 +205,10 @@ mod tests {
         let case = presets::sod(16);
         let solver = Solver::new(&case, SolverConfig::default(), Context::serial());
         let mut probes = ProbeSet::new(
-            vec![Probe { name: "a".into(), x: [0.25, 0.0, 0.0] }],
+            vec![Probe {
+                name: "a".into(),
+                x: [0.25, 0.0, 0.0],
+            }],
             solver.domain(),
             solver.grid(),
         );

@@ -8,7 +8,7 @@
 //! the integration test asserts.
 
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -33,13 +33,15 @@ impl CheckpointHeader {
     }
 }
 
+/// Path of rank `rank`'s checkpoint file for wave `wave` under `dir` —
+/// the per-rank naming used by the resilient driver
+/// ([`crate::par::run_distributed_resilient`]).
+pub fn wave_path(dir: &Path, rank: usize, wave: u64) -> PathBuf {
+    dir.join(format!("ckpt_r{rank}_w{wave}.bin"))
+}
+
 /// Write a checkpoint of `q` at simulation time `t` / step `steps`.
-pub fn save_checkpoint(
-    path: &Path,
-    q: &StateField,
-    t: f64,
-    steps: u64,
-) -> io::Result<()> {
+pub fn save_checkpoint(path: &Path, q: &StateField, t: f64, steps: u64) -> io::Result<()> {
     let dom = *q.domain();
     let header = CheckpointHeader {
         n: dom.n,

@@ -26,10 +26,10 @@ use mfc_layout::{
 
 use crate::axisym::Geometry;
 use crate::domain::{Domain, MAX_EQ};
-use crate::limiter::{limit_state, Limiter};
 use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
 use crate::grid::Grid;
+use crate::limiter::{limit_state, Limiter};
 use crate::riemann::RiemannSolver;
 use crate::state::StateField;
 use crate::weno::{reconstruct_sweep, WenoOrder};
@@ -125,8 +125,7 @@ impl RhsWorkspace {
                 centers[0] - (0 - jj) as f64 * grid.y.widths()[0]
             } else if jj as usize >= centers.len() {
                 centers[centers.len() - 1]
-                    + (jj as usize - centers.len() + 1) as f64
-                        * grid.y.widths()[centers.len() - 1]
+                    + (jj as usize - centers.len() + 1) as f64 * grid.y.widths()[centers.len() - 1]
             } else {
                 centers[jj as usize]
             };
@@ -210,7 +209,6 @@ pub fn compute_rhs(
     );
     let eq = dom.eq;
 
-
     // 1. Primitive variables everywhere (ghosts included).
     crate::state::cons_to_prim_field(ctx, fluids, cons, &mut ws.prim);
 
@@ -232,7 +230,12 @@ pub fn compute_rhs(
                 ws.packed[0]
                     .as_mut_slice()
                     .copy_from_slice(ws.vtemp.as_slice());
-                record_pack(ctx, "s_pack_sweep_x", ws.packed[0].dims().len(), t0.elapsed());
+                record_pack(
+                    ctx,
+                    "s_pack_sweep_x",
+                    ws.packed[0].dims().len(),
+                    t0.elapsed(),
+                );
             }
             1 => {
                 let t0 = Instant::now();
@@ -244,7 +247,12 @@ pub fn compute_rhs(
                         transpose_2134_geam(&ws.vtemp, &mut ws.packed[1])
                     }
                 }
-                record_pack(ctx, "s_reshape_sweep_y", ws.packed[1].dims().len(), t0.elapsed());
+                record_pack(
+                    ctx,
+                    "s_reshape_sweep_y",
+                    ws.packed[1].dims().len(),
+                    t0.elapsed(),
+                );
             }
             _ => {
                 let t0 = Instant::now();
@@ -257,17 +265,18 @@ pub fn compute_rhs(
                         transpose_3214_geam(&ws.vtemp, &mut ws.scratch, &mut ws.packed[2])
                     }
                 }
-                record_pack(ctx, "s_reshape_sweep_z", ws.packed[2].dims().len(), t0.elapsed());
+                record_pack(
+                    ctx,
+                    "s_reshape_sweep_z",
+                    ws.packed[2].dims().len(),
+                    t0.elapsed(),
+                );
             }
         }
 
         // 4. WENO reconstruction along the coalesced index.
         let n = dom.n[axis];
-        let (packed, left, right) = (
-            &ws.packed[axis],
-            &mut ws.left[axis],
-            &mut ws.right[axis],
-        );
+        let (packed, left, right) = (&ws.packed[axis], &mut ws.left[axis], &mut ws.right[axis]);
         reconstruct_sweep(ctx, cfg.order, packed, n, left, right);
 
         // 5. Riemann solve per face.
@@ -418,7 +427,10 @@ fn state_admissible(eq: &EqIdx, fluids: &[Fluid], prim: &[f64]) -> bool {
         return false;
     }
     let p = prim[eq.energy()];
-    let min_pi = fluids.iter().map(|f| f.pi_inf).fold(f64::INFINITY, f64::min);
+    let min_pi = fluids
+        .iter()
+        .map(|f| f.pi_inf)
+        .fold(f64::INFINITY, f64::min);
     p + min_pi > 0.0
 }
 
@@ -485,7 +497,13 @@ fn accumulate_divergence(
 }
 
 /// `rhs[alpha_i] += alpha_i * div(u)` over interior cells.
-fn alpha_source(ctx: &Context, dom: &Domain, prim: &StateField, divu: &[f64], rhs: &mut StateField) {
+fn alpha_source(
+    ctx: &Context,
+    dom: &Domain,
+    prim: &StateField,
+    divu: &[f64],
+    rhs: &mut StateField,
+) {
     let eq = dom.eq;
     if eq.n_adv() == 0 {
         return;
@@ -531,8 +549,8 @@ mod tests {
                         prim.set(i, j, k, eq.cont(1), 1000.0 * 0.4);
                         prim.set(i, j, k, eq.adv(0), 0.6);
                     }
-                    for d in 0..eq.ndim() {
-                        prim.set(i, j, k, eq.mom(d), u[d]);
+                    for (d, &ud) in u.iter().enumerate().take(eq.ndim()) {
+                        prim.set(i, j, k, eq.mom(d), ud);
                     }
                     prim.set(i, j, k, eq.energy(), p);
                 }
@@ -563,7 +581,11 @@ mod tests {
             apply_bcs(&ctx, &mut cons, &BcSpec::periodic(), [(false, false); 3]);
             let mut ws = RhsWorkspace::new(dom, &grid);
             let mut rhs = StateField::zeros(dom);
-            for pack in [PackStrategy::CollapsedLoops, PackStrategy::Tiled, PackStrategy::Geam] {
+            for pack in [
+                PackStrategy::CollapsedLoops,
+                PackStrategy::Tiled,
+                PackStrategy::Geam,
+            ] {
                 let cfg = RhsConfig {
                     pack,
                     ..Default::default()
@@ -640,7 +662,11 @@ mod tests {
         apply_bcs(&ctx, &mut cons, &BcSpec::periodic(), [(false, false); 3]);
 
         let mut results = Vec::new();
-        for pack in [PackStrategy::CollapsedLoops, PackStrategy::Tiled, PackStrategy::Geam] {
+        for pack in [
+            PackStrategy::CollapsedLoops,
+            PackStrategy::Tiled,
+            PackStrategy::Geam,
+        ] {
             let mut ws = RhsWorkspace::new(dom, &grid);
             let mut rhs = StateField::zeros(dom);
             let cfg = RhsConfig {
@@ -667,9 +693,21 @@ mod tests {
         apply_bcs(&ctx, &mut cons, &BcSpec::periodic(), [(false, false); 3]);
         let mut ws = RhsWorkspace::new(dom, &grid);
         let mut rhs = StateField::zeros(dom);
-        compute_rhs(&ctx, &RhsConfig::default(), &fluids, &cons, &mut ws, &mut rhs);
+        compute_rhs(
+            &ctx,
+            &RhsConfig::default(),
+            &fluids,
+            &cons,
+            &mut ws,
+            &mut rhs,
+        );
         let by_class = ctx.ledger().by_class();
-        for class in [KernelClass::Weno, KernelClass::Riemann, KernelClass::Pack, KernelClass::Update] {
+        for class in [
+            KernelClass::Weno,
+            KernelClass::Riemann,
+            KernelClass::Pack,
+            KernelClass::Update,
+        ] {
             assert!(by_class.contains_key(&class), "missing {class:?}");
         }
         assert!(by_class[&KernelClass::Weno].flops > 0.0);

@@ -47,10 +47,11 @@ impl ExactRiemann {
         // Initial guess: PVRS (primitive-variable solver), floored.
         let cl = left.sound_speed();
         let cr = right.sound_speed();
-        let p_pv = 0.5 * (left.p + right.p)
-            - 0.125 * du * (left.rho + right.rho) * (cl + cr);
+        let p_pv = 0.5 * (left.p + right.p) - 0.125 * du * (left.rho + right.rho) * (cl + cr);
         let floor = 1e-8 * (left.ps().max(right.ps()));
-        let mut p = p_pv.max(left.p.min(right.p)).max(floor - left.fluid.pi_inf.min(right.fluid.pi_inf));
+        let mut p = p_pv
+            .max(left.p.min(right.p))
+            .max(floor - left.fluid.pi_inf.min(right.fluid.pi_inf));
         if !(p.is_finite()) || p + left.fluid.pi_inf.min(right.fluid.pi_inf) <= 0.0 {
             p = 0.5 * (left.p + right.p);
         }
@@ -197,8 +198,16 @@ mod tests {
     fn toro_test3_strong_shock() {
         // Toro, Test 3: p* = 460.894, u* = 19.5975.
         let sol = ExactRiemann::solve(air_side(1.0, 0.0, 1000.0), air_side(1.0, 0.0, 0.01));
-        assert!((sol.p_star - 460.894).abs() / 460.894 < 1e-3, "p*={}", sol.p_star);
-        assert!((sol.u_star - 19.5975).abs() / 19.5975 < 1e-3, "u*={}", sol.u_star);
+        assert!(
+            (sol.p_star - 460.894).abs() / 460.894 < 1e-3,
+            "p*={}",
+            sol.p_star
+        );
+        assert!(
+            (sol.u_star - 19.5975).abs() / 19.5975 < 1e-3,
+            "u*={}",
+            sol.u_star
+        );
     }
 
     #[test]
@@ -251,7 +260,11 @@ mod tests {
             fluid: Fluid::water(),
         };
         let sol = ExactRiemann::solve(left, right);
-        assert!(sol.p_star > 1.0e5 && sol.p_star < 1.0e7, "p*={}", sol.p_star);
+        assert!(
+            sol.p_star > 1.0e5 && sol.p_star < 1.0e7,
+            "p*={}",
+            sol.p_star
+        );
         assert!(sol.u_star > 0.0); // contact moves into the water
         let (rho, _, p) = sol.sample(sol.u_star + 1.0);
         assert!(rho > 1000.0, "water compressed behind shock: rho={rho}");

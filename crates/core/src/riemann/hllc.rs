@@ -115,8 +115,18 @@ mod tests {
         hllc_flux(&eq, &fluids, 0, &priml, &primr, &mut f_hllc);
 
         let ex = ExactRiemann::solve(
-            PrimSide { rho: 1.0, u: 0.0, p: 1.0, fluid: air },
-            PrimSide { rho: 0.125, u: 0.0, p: 0.1, fluid: air },
+            PrimSide {
+                rho: 1.0,
+                u: 0.0,
+                p: 1.0,
+                fluid: air,
+            },
+            PrimSide {
+                rho: 0.125,
+                u: 0.0,
+                p: 0.1,
+                fluid: air,
+            },
         );
         let (rho, u, p) = ex.sample(0.0);
         let prim_g = [rho, u, p];

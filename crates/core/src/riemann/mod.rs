@@ -13,10 +13,10 @@ pub mod hll;
 pub mod hllc;
 pub mod rusanov;
 
-use serde::{Deserialize, Serialize};
-use crate::eqidx::EqIdx;
 use crate::eos::MAX_FLUIDS;
+use crate::eqidx::EqIdx;
 use crate::fluid::{Fluid, MixtureRules};
+use serde::{Deserialize, Serialize};
 
 pub use exact::{ExactRiemann, PrimSide};
 
@@ -176,7 +176,11 @@ mod tests {
         prim[eq.mom(1)] = -12.0;
         let mut want = vec![0.0; eq.neq()];
         physical_flux(&eq, &fluids, &prim, 0, &mut want);
-        for solver in [RiemannSolver::Hllc, RiemannSolver::Hll, RiemannSolver::Rusanov] {
+        for solver in [
+            RiemannSolver::Hllc,
+            RiemannSolver::Hll,
+            RiemannSolver::Rusanov,
+        ] {
             let mut got = vec![0.0; eq.neq()];
             solver.flux(&eq, &fluids, 0, &prim, &prim, &mut got);
             for (g, w) in got.iter().zip(&want) {
@@ -198,14 +202,27 @@ mod tests {
         let r = [0.8, -10.0, 0.9e5];
         let ml = [0.8, 10.0, 0.9e5];
         let mr = [1.2, -50.0, 1.5e5];
-        for solver in [RiemannSolver::Hllc, RiemannSolver::Hll, RiemannSolver::Rusanov] {
+        for solver in [
+            RiemannSolver::Hllc,
+            RiemannSolver::Hll,
+            RiemannSolver::Rusanov,
+        ] {
             let mut f = vec![0.0; 3];
             let mut fm = vec![0.0; 3];
             solver.flux(&eq, &fluids, 0, &l, &r, &mut f);
             solver.flux(&eq, &fluids, 0, &ml, &mr, &mut fm);
-            assert!((f[0] + fm[0]).abs() < 1e-9 * f[0].abs().max(1.0), "{solver:?}");
-            assert!((f[1] - fm[1]).abs() < 1e-9 * f[1].abs().max(1.0), "{solver:?}");
-            assert!((f[2] + fm[2]).abs() < 1e-6 * f[2].abs().max(1.0), "{solver:?}");
+            assert!(
+                (f[0] + fm[0]).abs() < 1e-9 * f[0].abs().max(1.0),
+                "{solver:?}"
+            );
+            assert!(
+                (f[1] - fm[1]).abs() < 1e-9 * f[1].abs().max(1.0),
+                "{solver:?}"
+            );
+            assert!(
+                (f[2] + fm[2]).abs() < 1e-6 * f[2].abs().max(1.0),
+                "{solver:?}"
+            );
         }
     }
 
@@ -216,7 +233,11 @@ mod tests {
         // Uniform rightward flow: interface velocity must be u.
         let prim = [1.2, 42.0, 1.0e5];
         let mut f = vec![0.0; 3];
-        for solver in [RiemannSolver::Hllc, RiemannSolver::Hll, RiemannSolver::Rusanov] {
+        for solver in [
+            RiemannSolver::Hllc,
+            RiemannSolver::Hll,
+            RiemannSolver::Rusanov,
+        ] {
             let s = solver.flux(&eq, &fluids, 0, &prim, &prim, &mut f);
             assert!((s - 42.0).abs() < 1e-9, "{solver:?}: s = {s}");
         }

@@ -155,7 +155,12 @@ impl Solver {
         let dt = match self.cfg.dt {
             DtMode::Fixed(dt) => dt,
             DtMode::Cfl(c) => {
-                crate::state::cons_to_prim_field(&self.ctx, &self.fluids, &self.q, &mut self.ws.prim);
+                crate::state::cons_to_prim_field(
+                    &self.ctx,
+                    &self.fluids,
+                    &self.q,
+                    &mut self.ws.prim,
+                );
                 let w = [
                     self.grid.x.widths_with_ghosts(self.dom.pad(0)),
                     self.grid.y.widths_with_ghosts(self.dom.pad(1)),
@@ -269,8 +274,18 @@ mod tests {
 
         let air = Fluid::air();
         let exact = ExactRiemann::solve(
-            PrimSide { rho: 1.0, u: 0.0, p: 1.0, fluid: air },
-            PrimSide { rho: 0.125, u: 0.0, p: 0.1, fluid: air },
+            PrimSide {
+                rho: 1.0,
+                u: 0.0,
+                p: 1.0,
+                fluid: air,
+            },
+            PrimSide {
+                rho: 0.125,
+                u: 0.0,
+                p: 0.1,
+                fluid: air,
+            },
         );
         let prim = solver.primitives();
         let eq = case.eq();
@@ -319,7 +334,10 @@ mod tests {
                 PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [100.0, 0.0, 0.0], 1.0e5),
             )
             .patch(
-                Region::Box { lo: [0.25, -1.0, -1.0], hi: [0.75, 2.0, 2.0] },
+                Region::Box {
+                    lo: [0.25, -1.0, -1.0],
+                    hi: [0.75, 2.0, 2.0],
+                },
                 PatchState::two_fluid(1e-6, [1.2, 1000.0], [100.0, 0.0, 0.0], 1.0e5),
             );
         let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
@@ -346,7 +364,11 @@ mod tests {
         assert_eq!(g.rhs_evals, 9); // 3 steps × RK3
         assert!(g.ns_per_cell_eq_rhs() > 0.0);
         // The ledger saw WENO work.
-        assert!(solver.context().ledger().kernel("s_weno_reconstruct").is_some());
+        assert!(solver
+            .context()
+            .ledger()
+            .kernel("s_weno_reconstruct")
+            .is_some());
     }
 
     #[test]

@@ -51,8 +51,8 @@ impl StateField {
     /// Write one cell's state vector back.
     #[inline(always)]
     pub fn store_cell(&mut self, i: usize, j: usize, k: usize, cell: &[f64]) {
-        for e in 0..self.dom.eq.neq() {
-            self.data.set(i, j, k, e, cell[e]);
+        for (e, &v) in cell.iter().enumerate().take(self.dom.eq.neq()) {
+            self.data.set(i, j, k, e, v);
         }
     }
 
@@ -123,7 +123,12 @@ fn convert_flops(dom: &Domain) -> f64 {
 
 /// Convert a whole field conservative→primitive (ghosts included; callers
 /// run it after the ghost fill so sweeps can reconstruct across faces).
-pub fn cons_to_prim_field(ctx: &Context, fluids: &[Fluid], cons: &StateField, prim: &mut StateField) {
+pub fn cons_to_prim_field(
+    ctx: &Context,
+    fluids: &[Fluid],
+    cons: &StateField,
+    prim: &mut StateField,
+) {
     let dom = *cons.domain();
     assert_eq!(prim.domain(), &dom);
     let d3 = dom.dims3();
@@ -149,7 +154,12 @@ pub fn cons_to_prim_field(ctx: &Context, fluids: &[Fluid], cons: &StateField, pr
 }
 
 /// Convert a whole field primitive→conservative.
-pub fn prim_to_cons_field(ctx: &Context, fluids: &[Fluid], prim: &StateField, cons: &mut StateField) {
+pub fn prim_to_cons_field(
+    ctx: &Context,
+    fluids: &[Fluid],
+    prim: &StateField,
+    cons: &mut StateField,
+) {
     let dom = *prim.domain();
     assert_eq!(cons.domain(), &dom);
     let d3 = dom.dims3();

@@ -113,13 +113,14 @@ pub fn add_viscous_fluxes(
         let idx = [c.0, c.1, c.2][axis];
         let h = 0.5 * (widths[axis][idx] + widths[axis][idx + 1]);
         let mu = 0.5
-            * (cell_mu(dom, fluids, prim, c.0, c.1, c.2) + cell_mu(dom, fluids, prim, nb.0, nb.1, nb.2));
+            * (cell_mu(dom, fluids, prim, c.0, c.1, c.2)
+                + cell_mu(dom, fluids, prim, nb.0, nb.1, nb.2));
         // Velocity gradients at the face: normal by a compact difference,
         // transverse by averaging the adjacent cell-centered centrals.
         let mut grad = [[0.0; 3]; 3]; // grad[comp][axis2] = d u_comp / d x_axis2
-        for comp in 0..ndim {
-            for ax2 in 0..ndim {
-                grad[comp][ax2] = if ax2 == axis {
+        for (comp, grad_c) in grad.iter_mut().enumerate().take(ndim) {
+            for (ax2, g) in grad_c.iter_mut().enumerate().take(ndim) {
+                *g = if ax2 == axis {
                     (vel(dom, prim, nb.0, nb.1, nb.2, comp) - vel(dom, prim, c.0, c.1, c.2, comp))
                         / h
                 } else {
@@ -138,10 +139,9 @@ pub fn add_viscous_fluxes(
         }
         // Energy flux: u_j (face average) * tau_{axis j}.
         let mut fe = 0.0;
-        for j in 0..ndim {
-            let uj = 0.5
-                * (vel(dom, prim, c.0, c.1, c.2, j) + vel(dom, prim, nb.0, nb.1, nb.2, j));
-            fe += uj * out[j];
+        for (j, &oj) in out.iter().enumerate().take(ndim) {
+            let uj = 0.5 * (vel(dom, prim, c.0, c.1, c.2, j) + vel(dom, prim, nb.0, nb.1, nb.2, j));
+            fe += uj * oj;
         }
         out[ndim] = fe;
     };

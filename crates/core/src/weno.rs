@@ -5,9 +5,9 @@
 //! consumes a direction-coalesced [`Flat4D`] buffer so the stencil reads
 //! are unit-stride — the access pattern whose absence costs 10x (§III-C).
 
-use serde::{Deserialize, Serialize};
 use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
 use mfc_layout::Flat4D;
+use serde::{Deserialize, Serialize};
 
 /// Reconstruction order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -146,7 +146,13 @@ fn sq(x: f64) -> f64 {
 /// `v` holds `n + 2*ng` cell values (`ng = order.ghost_layers()`);
 /// `left[m]`/`right[m]` receive the states on either side of face `m`
 /// (between padded cells `ng-1+m` and `ng+m`) for `m in 0..=n`.
-pub fn reconstruct_line(order: WenoOrder, v: &[f64], n: usize, left: &mut [f64], right: &mut [f64]) {
+pub fn reconstruct_line(
+    order: WenoOrder,
+    v: &[f64],
+    n: usize,
+    left: &mut [f64],
+    right: &mut [f64],
+) {
     let ng = order.ghost_layers();
     assert_eq!(v.len(), n + 2 * ng, "padded line length mismatch");
     assert!(left.len() > n && right.len() > n);
@@ -327,14 +333,24 @@ mod tests {
         let mut right = vec![0.0; n + 1];
         reconstruct_line(WenoOrder::Weno5, &v, n, &mut left, &mut right);
         for m in 0..=n {
-            assert!(left[m] > -1e-6 && left[m] < 1.0 + 1e-6, "left[{m}]={}", left[m]);
+            assert!(
+                left[m] > -1e-6 && left[m] < 1.0 + 1e-6,
+                "left[{m}]={}",
+                left[m]
+            );
             assert!(right[m] > -1e-6 && right[m] < 1.0 + 1e-6);
         }
     }
 
     #[test]
     fn constant_states_reconstruct_exactly() {
-        for order in [WenoOrder::First, WenoOrder::Weno3, WenoOrder::Weno5, WenoOrder::Weno5Z, WenoOrder::Weno5M] {
+        for order in [
+            WenoOrder::First,
+            WenoOrder::Weno3,
+            WenoOrder::Weno5,
+            WenoOrder::Weno5Z,
+            WenoOrder::Weno5M,
+        ] {
             let ng = order.ghost_layers();
             let n = 8;
             let v = vec![5.5; n + 2 * ng];
@@ -432,7 +448,13 @@ mod tests {
         for i4 in 0..2 {
             for i3 in 0..2 {
                 for i2 in 0..3 {
-                    reconstruct_line(WenoOrder::Weno5, packed.line(i2, i3, i4), n, &mut lref, &mut rref);
+                    reconstruct_line(
+                        WenoOrder::Weno5,
+                        packed.line(i2, i3, i4),
+                        n,
+                        &mut lref,
+                        &mut rref,
+                    );
                     for m in 0..=n {
                         assert_eq!(left.get(m, i2, i3, i4), lref[m]);
                         assert_eq!(right.get(m, i2, i3, i4), rref[m]);

@@ -192,9 +192,9 @@ mod tests {
         for rank in 0..4 {
             let c = CartComm::new(rank, dims, [false; 3]);
             let (off, len) = c.local_extent(0, global);
-            for i in off..off + len {
-                assert!(!covered[i], "cell {i} covered twice");
-                covered[i] = true;
+            for (i, cell) in covered.iter_mut().enumerate().skip(off).take(len) {
+                assert!(!*cell, "cell {i} covered twice");
+                *cell = true;
             }
         }
         assert!(covered.iter().all(|&b| b));

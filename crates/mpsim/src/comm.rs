@@ -1,16 +1,150 @@
-//! Ranks as threads, messages as channel sends.
+//! Ranks as threads, messages as mailbox deliveries.
+//!
+//! The transport is a per-rank mailbox (mutex + condvar) instead of a
+//! channel, because the fault-injection layer needs to see every message
+//! at the delivery point: dropped messages sit in a *limbo* store until
+//! the receiver's retry path asks for a retransmit, delayed messages sit
+//! in a countdown store ticked by subsequent deliveries, and per-flow
+//! FIFO (MPI's non-overtaking guarantee) is enforced even while other
+//! flows are reordered around a held message.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::fault::{CommFault, FaultCtx, SendFault};
+
+/// Safety net: a plain (non-policied) receive that waits longer than this
+/// panics instead of hanging the test suite; a correct fault-free program
+/// never gets near it.
+const PLAIN_RECV_DEADLINE: Duration = Duration::from_secs(120);
 
 /// A tagged point-to-point message.
 #[derive(Debug)]
 struct Message {
     src: usize,
     tag: u64,
+    /// Recovery generation the sender was in; receivers discard messages
+    /// from generations older than their own (stale pre-rollback data).
+    gen: u64,
+    /// Per-(src, dst) sequence number, used to restore flow order when
+    /// held messages are flushed.
+    seq: u64,
     payload: Vec<f64>,
+}
+
+#[derive(Debug, Default)]
+struct MailboxQ {
+    ready: VecDeque<Message>,
+    /// Dropped messages awaiting retransmit.
+    limbo: Vec<Message>,
+    /// Delayed messages: (deliveries still to wait, message).
+    delayed: Vec<(u32, Message)>,
+}
+
+#[derive(Debug, Default)]
+struct Mailbox {
+    q: Mutex<MailboxQ>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    /// Deliver one message, applying its send-side fault (if any) and
+    /// keeping every `(src, tag)` flow FIFO:
+    ///
+    /// 1. held messages of the same flow are flushed ahead of the new one;
+    /// 2. the new message is enqueued (or held, per its fault);
+    /// 3. delay countdowns tick, releasing expired messages *after* the
+    ///    new one — which is what actually reorders flows.
+    fn push(&self, msg: Message, fault: Option<SendFault>) {
+        let mut q = self.q.lock().unwrap();
+        Self::flush_flow(&mut q, msg.src, msg.tag);
+        match fault {
+            Some(SendFault::Drop) => q.limbo.push(msg),
+            Some(SendFault::Delay(hold)) => q.delayed.push((hold, msg)),
+            None => q.ready.push_back(msg),
+        }
+        Self::tick_delays(&mut q);
+        self.cv.notify_all();
+    }
+
+    /// Move held messages of flow `(src, tag)` into the ready queue in
+    /// sequence order (per-flow non-overtaking).
+    fn flush_flow(q: &mut MailboxQ, src: usize, tag: u64) {
+        let mut flushed: Vec<Message> = Vec::new();
+        let mut i = 0;
+        while i < q.limbo.len() {
+            if q.limbo[i].src == src && q.limbo[i].tag == tag {
+                flushed.push(q.limbo.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < q.delayed.len() {
+            if q.delayed[i].1.src == src && q.delayed[i].1.tag == tag {
+                flushed.push(q.delayed.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        flushed.sort_by_key(|m| m.seq);
+        q.ready.extend(flushed);
+    }
+
+    /// One delivery happened: tick every countdown, release expired holds.
+    fn tick_delays(q: &mut MailboxQ) {
+        for (hold, _) in q.delayed.iter_mut() {
+            *hold = hold.saturating_sub(1);
+        }
+        let mut released: Vec<Message> = Vec::new();
+        let mut i = 0;
+        while i < q.delayed.len() {
+            if q.delayed[i].0 == 0 {
+                released.push(q.delayed.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        released.sort_by_key(|m| m.seq);
+        q.ready.extend(released);
+    }
+
+    /// Retransmit everything recoverable (retry path): limbo and delayed
+    /// messages all move to ready. Returns how many were promoted.
+    fn promote_all(&self) -> usize {
+        let mut q = self.q.lock().unwrap();
+        let mut moved: Vec<Message> = q.limbo.drain(..).collect();
+        moved.extend(q.delayed.drain(..).map(|(_, m)| m));
+        moved.sort_by_key(|m| (m.src, m.tag, m.seq));
+        let n = moved.len();
+        q.ready.extend(moved);
+        if n > 0 {
+            self.cv.notify_all();
+        }
+        n
+    }
+
+    /// Pop the oldest ready message, waiting up to `timeout` for one.
+    fn pop(&self, timeout: Duration) -> Option<Message> {
+        let mut q = self.q.lock().unwrap();
+        if let Some(m) = q.ready.pop_front() {
+            return Some(m);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.cv.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+            if let Some(m) = q.ready.pop_front() {
+                return Some(m);
+            }
+        }
+    }
 }
 
 /// One rank's handle into the simulated world.
@@ -18,13 +152,25 @@ struct Message {
 /// Mirrors the slice of the MPI API MFC uses. Receives match on
 /// `(source, tag)`; out-of-order arrivals are buffered, so communication
 /// patterns that rely on MPI's non-overtaking guarantee work unchanged.
+/// The `*_policied` variants are the fault-aware exchange path: they
+/// return `Err(CommFault)` instead of blocking forever when a peer is
+/// dead, silent past the detector's patience, or when another rank has
+/// initiated recovery.
 pub struct Comm {
     rank: usize,
     size: usize,
-    senders: Arc<Vec<Sender<Message>>>,
-    inbox: Receiver<Message>,
+    mailboxes: Arc<Vec<Mailbox>>,
     pending: VecDeque<Message>,
     barrier: Arc<Barrier>,
+    faults: Option<Arc<FaultCtx>>,
+    /// Recovery generation this rank currently runs in.
+    gen: Cell<u64>,
+    /// Per-destination count of messages sent (fault keying + flow seq).
+    send_seq: Vec<Cell<u64>>,
+    /// Retransmits observed by this rank's retry path.
+    retransmits: Cell<u64>,
+    /// Retries burned by policied receives (detector activity).
+    retries: Cell<u64>,
 }
 
 impl Comm {
@@ -38,34 +184,127 @@ impl Comm {
         self.size
     }
 
+    /// The fault context this world runs under, if any.
+    pub fn fault_ctx(&self) -> Option<&Arc<FaultCtx>> {
+        self.faults.as_ref()
+    }
+
+    /// Retransmissions triggered by this rank's retries so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.get()
+    }
+
+    /// Detector retries burned by this rank so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
     /// Non-blocking-ish send (`MPI_Send` with buffering semantics).
     pub fn send(&self, dest: usize, tag: u64, payload: Vec<f64>) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
-        self.senders[dest]
-            .send(Message {
+        let nth = self.send_seq[dest].get();
+        self.send_seq[dest].set(nth + 1);
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.plan.send_fault(self.rank, dest, nth));
+        self.mailboxes[dest].push(
+            Message {
                 src: self.rank,
                 tag,
+                gen: self.gen.get(),
+                seq: nth,
                 payload,
-            })
-            .expect("destination rank hung up");
+            },
+            fault,
+        );
+    }
+
+    /// Take a matching message out of the local pending buffer, skipping
+    /// and discarding stale-generation messages.
+    fn take_pending(&mut self, source: usize, tag: u64) -> Option<Vec<f64>> {
+        let gen = self.gen.get();
+        self.pending.retain(|m| m.gen >= gen);
+        self.pending
+            .iter()
+            .position(|m| m.src == source && m.tag == tag)
+            .map(|pos| self.pending.remove(pos).unwrap().payload)
     }
 
     /// Blocking receive matching `(source, tag)` (`MPI_Recv`).
     pub fn recv(&mut self, source: usize, tag: u64) -> Vec<f64> {
-        // Check previously-buffered out-of-order messages first.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.src == source && m.tag == tag)
-        {
-            return self.pending.remove(pos).unwrap().payload;
+        if let Some(p) = self.take_pending(source, tag) {
+            return p;
         }
+        let deadline = Instant::now() + PLAIN_RECV_DEADLINE;
         loop {
-            let m = self.inbox.recv().expect("world shut down mid-receive");
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .expect("plain recv exceeded the deadlock safety net");
+            let m = self.mailboxes[self.rank]
+                .pop(remaining)
+                .expect("plain recv exceeded the deadlock safety net");
+            if m.gen < self.gen.get() {
+                continue;
+            }
             if m.src == source && m.tag == tag {
                 return m.payload;
             }
             self.pending.push_back(m);
+        }
+    }
+
+    /// Fault-aware receive: waits in detector-sized slices; every expired
+    /// slice re-checks the failure board (heartbeat), promotes
+    /// retransmittable messages, and backs off. Errors out if the peer is
+    /// dead, recovery was requested elsewhere, or patience runs out.
+    pub fn recv_policied(&mut self, source: usize, tag: u64) -> Result<Vec<f64>, CommFault> {
+        let faults = match self.faults.clone() {
+            Some(f) => f,
+            // No fault context: plain blocking semantics.
+            None => return Ok(self.recv(source, tag)),
+        };
+        if let Some(p) = self.take_pending(source, tag) {
+            return Ok(p);
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            let slice = faults.detector.slice(attempt);
+            let deadline = Instant::now() + slice;
+            // Drain whatever arrives within this slice.
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match self.mailboxes[self.rank].pop(deadline - now) {
+                    None => break,
+                    Some(m) => {
+                        if m.gen < self.gen.get() {
+                            continue;
+                        }
+                        if m.src == source && m.tag == tag {
+                            return Ok(m.payload);
+                        }
+                        self.pending.push_back(m);
+                    }
+                }
+            }
+            // Slice expired: heartbeat checks, then retransmit + retry.
+            if faults.board.recovery_pending() {
+                return Err(CommFault::RecoveryRequested);
+            }
+            if !faults.board.is_alive(source) {
+                return Err(CommFault::PeerDead { rank: source });
+            }
+            let promoted = self.mailboxes[self.rank].promote_all();
+            self.retransmits
+                .set(self.retransmits.get() + promoted as u64);
+            self.retries.set(self.retries.get() + 1);
+            attempt += 1;
+            if attempt > faults.detector.retries {
+                return Err(CommFault::Timeout { source, tag });
+            }
         }
     }
 
@@ -84,9 +323,28 @@ impl Comm {
         self.recv(source, recv_tag)
     }
 
+    /// Fault-aware [`Comm::sendrecv`].
+    pub fn sendrecv_policied(
+        &mut self,
+        dest: usize,
+        send_tag: u64,
+        payload: Vec<f64>,
+        source: usize,
+        recv_tag: u64,
+    ) -> Result<Vec<f64>, CommFault> {
+        self.send(dest, send_tag, payload);
+        self.recv_policied(source, recv_tag)
+    }
+
     /// Global synchronization (`MPI_Barrier`).
     pub fn barrier(&self) {
         self.barrier.wait();
+    }
+
+    /// Fault-aware barrier: message-based (star), so a dead or silent
+    /// rank surfaces as an error instead of a hang.
+    pub fn barrier_policied(&mut self) -> Result<(), CommFault> {
+        self.allreduce_policied(0.0, |a, b| a + b).map(|_| ())
     }
 
     /// All-reduce of one scalar (`MPI_Allreduce`): every rank receives
@@ -107,6 +365,32 @@ impl Comm {
         } else {
             self.send(0, REDUCE_TAG, vec![value]);
             self.recv(0, BCAST_TAG)[0]
+        }
+    }
+
+    /// Fault-aware [`Comm::allreduce`]. Doubles as the per-step
+    /// heartbeat: rank 0 touches every rank, so a dead rank is detected
+    /// within one detector slice of the next collective.
+    pub fn allreduce_policied(
+        &mut self,
+        value: f64,
+        op: impl Fn(f64, f64) -> f64,
+    ) -> Result<f64, CommFault> {
+        const REDUCE_TAG: u64 = u64::MAX - 1;
+        const BCAST_TAG: u64 = u64::MAX - 2;
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                let v = self.recv_policied(src, REDUCE_TAG)?;
+                acc = op(acc, v[0]);
+            }
+            for dst in 1..self.size {
+                self.send(dst, BCAST_TAG, vec![acc]);
+            }
+            Ok(acc)
+        } else {
+            self.send(0, REDUCE_TAG, vec![value]);
+            Ok(self.recv_policied(0, BCAST_TAG)?[0])
         }
     }
 
@@ -132,8 +416,8 @@ impl Comm {
         if self.rank == 0 {
             let mut out = vec![Vec::new(); self.size];
             out[0] = payload;
-            for src in 1..self.size {
-                out[src] = self.recv(src, GATHER_TAG);
+            for (src, slot) in out.iter_mut().enumerate().skip(1) {
+                *slot = self.recv(src, GATHER_TAG);
             }
             Some(out)
         } else {
@@ -173,6 +457,14 @@ impl Comm {
             self.recv(0, SCATTER_TAG)
         }
     }
+
+    /// Complete this rank's side of a recovery: discard every buffered
+    /// message from the old generation and enter the board's current one.
+    /// Call after [`crate::fault::FaultBoard::rendezvous`] returns.
+    pub fn finish_recovery(&mut self, gen: u64) {
+        self.pending.clear();
+        self.gen.set(gen);
+    }
 }
 
 /// A pending non-blocking receive (`MPI_Request` from `MPI_Irecv`).
@@ -204,6 +496,11 @@ impl Comm {
         self.recv(req.source, req.tag)
     }
 
+    /// Fault-aware [`Comm::wait`].
+    pub fn wait_policied(&mut self, req: RecvRequest) -> Result<Vec<f64>, CommFault> {
+        self.recv_policied(req.source, req.tag)
+    }
+
     /// Complete a batch of receive requests (`MPI_Waitall`); results are
     /// returned in the order the requests were posted.
     pub fn waitall(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<f64>> {
@@ -227,22 +524,50 @@ impl World {
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
+        Self::run_inner(size, None, body)
+    }
+
+    /// [`World::run`] under a fault script: the plan's message faults are
+    /// applied by the transport, and each rank's `Comm` carries the
+    /// shared [`FaultCtx`] for the policied exchange path.
+    pub fn run_with_faults<T, F>(size: usize, faults: Arc<FaultCtx>, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert_eq!(
+            faults.board.size(),
+            size,
+            "fault board sized for a different world"
+        );
+        Self::run_inner(size, Some(faults), body)
+    }
+
+    fn run_inner<T, F>(size: usize, faults: Option<Arc<FaultCtx>>, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
         assert!(size > 0, "world needs at least one rank");
-        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..size).map(|_| unbounded()).unzip();
-        let senders = Arc::new(senders);
+        let mailboxes: Arc<Vec<Mailbox>> =
+            Arc::new((0..size).map(|_| Mailbox::default()).collect());
         let barrier = Arc::new(Barrier::new(size));
 
         let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
-            for (rank, inbox) in inboxes.into_iter().enumerate() {
+            for rank in 0..size {
                 let comm = Comm {
                     rank,
                     size,
-                    senders: Arc::clone(&senders),
-                    inbox,
+                    mailboxes: Arc::clone(&mailboxes),
                     pending: VecDeque::new(),
                     barrier: Arc::clone(&barrier),
+                    faults: faults.clone(),
+                    gen: Cell::new(0),
+                    send_seq: (0..size).map(|_| Cell::new(0)).collect(),
+                    retransmits: Cell::new(0),
+                    retries: Cell::new(0),
                 };
                 let body = &body;
                 handles.push(scope.spawn(move || body(comm)));
@@ -258,6 +583,7 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{DetectorConfig, FaultPlan, MsgDelay, MsgFault};
 
     #[test]
     fn ranks_know_their_identity() {
@@ -319,7 +645,11 @@ mod tests {
     #[test]
     fn bcast_delivers_roots_buffer() {
         let got = World::run(4, |mut c| {
-            let local = if c.rank() == 0 { vec![7.0, 8.0] } else { vec![] };
+            let local = if c.rank() == 0 {
+                vec![7.0, 8.0]
+            } else {
+                vec![]
+            };
             c.bcast(local)
         });
         for v in got {
@@ -393,5 +723,169 @@ mod tests {
     fn single_rank_world_works() {
         let got = World::run(1, |mut c| c.allreduce_sum(5.0));
         assert_eq!(got, vec![5.0]);
+    }
+
+    // ------------------------------------------------ fault-layer tests
+
+    fn faulty(plan: FaultPlan, size: usize) -> Arc<FaultCtx> {
+        Arc::new(FaultCtx::new(plan, size).with_detector(DetectorConfig {
+            slice_ms: 5,
+            retries: 6,
+            backoff: 1.5,
+        }))
+    }
+
+    #[test]
+    fn dropped_message_is_retransmitted_on_retry() {
+        let plan = FaultPlan {
+            drops: vec![MsgFault {
+                src: 0,
+                dst: 1,
+                nth: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        let got = World::run_with_faults(2, faulty(plan, 2), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![42.0]);
+                0.0
+            } else {
+                let v = c.recv_policied(0, 3).expect("retransmit should recover");
+                assert!(c.retransmits() >= 1, "drop must go through the retry path");
+                v[0]
+            }
+        });
+        assert_eq!(got[1], 42.0);
+    }
+
+    #[test]
+    fn dropped_message_flushed_by_same_flow_successor() {
+        // The drop's retransmit also happens when a later message of the
+        // same (src, tag) flow arrives — per-flow FIFO is never violated.
+        let plan = FaultPlan {
+            drops: vec![MsgFault {
+                src: 0,
+                dst: 1,
+                nth: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        let got = World::run_with_faults(2, faulty(plan, 2), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![1.0]);
+                c.send(1, 3, vec![2.0]);
+                0.0
+            } else {
+                let a = c.recv_policied(0, 3).unwrap();
+                let b = c.recv_policied(0, 3).unwrap();
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(got[1], 12.0, "flow order must survive the drop");
+    }
+
+    #[test]
+    fn delayed_message_is_reordered_across_flows() {
+        // Tag 1 is held for one delivery, so tag 2 (sent later) is
+        // receivable first without buffering... but tag-matched recv makes
+        // order transparent; assert both still arrive correctly.
+        let plan = FaultPlan {
+            delays: vec![MsgDelay {
+                src: 0,
+                dst: 1,
+                nth: 0,
+                hold: 1,
+            }],
+            ..FaultPlan::default()
+        };
+        let got = World::run_with_faults(2, faulty(plan, 2), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1.0]);
+                c.send(1, 2, vec![2.0]);
+                0.0
+            } else {
+                let a = c.recv_policied(0, 1).unwrap();
+                let b = c.recv_policied(0, 2).unwrap();
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(got[1], 12.0);
+    }
+
+    #[test]
+    fn dead_peer_is_detected_not_hung() {
+        let ctx = faulty(FaultPlan::default(), 2);
+        let board_ctx = Arc::clone(&ctx);
+        let got = World::run_with_faults(2, ctx, move |mut c| {
+            if c.rank() == 1 {
+                board_ctx.board.mark_dead(1);
+                // Dead rank sends nothing and returns.
+                return 0;
+            }
+            match c.recv_policied(1, 9) {
+                Err(CommFault::PeerDead { rank: 1 }) => 1,
+                other => panic!("expected PeerDead, got {other:?}"),
+            }
+        });
+        assert_eq!(got[0], 1);
+    }
+
+    #[test]
+    fn silent_alive_peer_times_out_after_retries() {
+        let ctx = faulty(FaultPlan::default(), 2);
+        let got = World::run_with_faults(2, ctx, |mut c| {
+            if c.rank() == 1 {
+                // Alive but never sends.
+                c.barrier();
+                return 0;
+            }
+            let r = match c.recv_policied(1, 9) {
+                Err(CommFault::Timeout { source: 1, tag: 9 }) => 1,
+                other => panic!("expected Timeout, got {other:?}"),
+            };
+            c.barrier();
+            r
+        });
+        assert_eq!(got[0], 1);
+    }
+
+    #[test]
+    fn recovery_request_unblocks_policied_receivers() {
+        let ctx = faulty(FaultPlan::default(), 3);
+        let req_ctx = Arc::clone(&ctx);
+        let got = World::run_with_faults(3, ctx, move |mut c| {
+            if c.rank() == 2 {
+                req_ctx.board.request_recovery();
+                return 1;
+            }
+            // Ranks 0 and 1 block on each other; the alarm frees them.
+            match c.recv_policied(1 - c.rank(), 5) {
+                Err(CommFault::RecoveryRequested) => 1,
+                other => panic!("expected RecoveryRequested, got {other:?}"),
+            }
+        });
+        assert_eq!(got, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn stale_generation_messages_are_discarded() {
+        let ctx = faulty(FaultPlan::default(), 2);
+        let got = World::run_with_faults(2, ctx, |mut c| {
+            if c.rank() == 0 {
+                // Send in generation 0, then recover to generation 1 and
+                // send the real value.
+                c.send(1, 7, vec![-1.0]);
+                c.barrier();
+                c.finish_recovery(1);
+                c.send(1, 7, vec![99.0]);
+                0.0
+            } else {
+                c.barrier();
+                c.finish_recovery(1);
+                // The stale gen-0 message must be skipped.
+                c.recv(0, 7)[0]
+            }
+        });
+        assert_eq!(got[1], 99.0);
     }
 }

@@ -75,9 +75,7 @@ impl CommParams {
         let net = self.latency_s + bytes / self.net_bw;
         match self.staging {
             Staging::DeviceDirect => net,
-            Staging::HostStaged => {
-                net + 2.0 * (self.stage_latency_s + bytes / self.host_link_bw)
-            }
+            Staging::HostStaged => net + 2.0 * (self.stage_latency_s + bytes / self.host_link_bw),
         }
     }
 

@@ -1,0 +1,462 @@
+//! Deterministic fault injection for the rank simulator.
+//!
+//! A [`FaultPlan`] scripts transport- and rank-level faults against a
+//! simulated run: dropping, delaying, or reordering individual messages,
+//! stalling a rank at a step boundary, and killing a rank outright at a
+//! chosen step. Message faults are keyed on the per-(source, destination)
+//! message index, so for a fixed plan and a fixed program the same fault
+//! hits the same message every run — which is what lets the resilience
+//! tests assert *bitwise* identical output with and without faults.
+//!
+//! Fault *semantics* follow a lossy-but-retransmitting network:
+//!
+//! * **drop** — the first copy of the message is lost; the transport
+//!   retransmits when the receiver's timeout-based retry path asks for it
+//!   ([`crate::comm::Comm::recv_policied`]), or immediately when a later
+//!   message of the same `(source, tag)` flow arrives (per-flow FIFO, as
+//!   MPI's non-overtaking rule requires).
+//! * **delay** — the message is held back until `hold` subsequent
+//!   deliveries into the same mailbox have happened (deterministic, no
+//!   wall clock), again never overtaking its own flow.
+//! * **reorder** is a delay with `hold = 1`.
+//! * **stall** — the rank sleeps at a step boundary; if shorter than the
+//!   detector's patience nothing happens, if longer the peers declare the
+//!   rank failed (a *false positive*, which recovery still handles
+//!   safely).
+//! * **death** — the rank marks itself dead on the [`FaultBoard`] and
+//!   loses its in-memory state; peers detect the failure via the
+//!   heartbeat/timeout path and the whole world rolls back to the last
+//!   committed checkpoint wave.
+//!
+//! The [`FaultBoard`] is the shared-memory stand-in for the cluster
+//! fabric's failure detector plus the parallel file system's metadata:
+//! per-rank liveness flags, the recovery generation counter, and the last
+//! globally committed checkpoint wave.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A fault keyed to one point-to-point message: the `nth` (0-based)
+/// message sent from `src` to `dst` over the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgFault {
+    pub src: usize,
+    pub dst: usize,
+    pub nth: u64,
+}
+
+/// Hold the `nth` message from `src` to `dst` back until `hold` further
+/// deliveries have arrived in the destination mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgDelay {
+    pub src: usize,
+    pub dst: usize,
+    pub nth: u64,
+    pub hold: u32,
+}
+
+/// Put `rank` to sleep for `millis` when it reaches step `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankStall {
+    pub rank: usize,
+    pub step: u64,
+    pub millis: u64,
+}
+
+/// Kill `rank` when it reaches step `step` (before computing that step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankDeath {
+    pub rank: usize,
+    pub step: u64,
+}
+
+/// A scripted, deterministic set of faults for one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Free-form label for reports; not used by the machinery.
+    #[serde(default)]
+    pub seed: u64,
+    #[serde(default)]
+    pub drops: Vec<MsgFault>,
+    #[serde(default)]
+    pub delays: Vec<MsgDelay>,
+    /// Sugar for `delays` with `hold = 1`.
+    #[serde(default)]
+    pub reorders: Vec<MsgFault>,
+    #[serde(default)]
+    pub stalls: Vec<RankStall>,
+    #[serde(default)]
+    pub deaths: Vec<RankDeath>,
+}
+
+/// What the transport should do with one outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFault {
+    /// Lose the first copy (recovered by retransmit).
+    Drop,
+    /// Hold for this many subsequent deliveries.
+    Delay(u32),
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.drops.is_empty()
+            && self.delays.is_empty()
+            && self.reorders.is_empty()
+            && self.stalls.is_empty()
+            && self.deaths.is_empty()
+    }
+
+    /// Parse a plan from its JSON form (the `--faults plan.json` file).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad fault plan: {e}"))
+    }
+
+    /// Fault applying to the `nth` message `src -> dst`, if any.
+    pub fn send_fault(&self, src: usize, dst: usize, nth: u64) -> Option<SendFault> {
+        if self
+            .drops
+            .iter()
+            .any(|f| f.src == src && f.dst == dst && f.nth == nth)
+        {
+            return Some(SendFault::Drop);
+        }
+        if let Some(d) = self
+            .delays
+            .iter()
+            .find(|d| d.src == src && d.dst == dst && d.nth == nth)
+        {
+            return Some(SendFault::Delay(d.hold.max(1)));
+        }
+        if self
+            .reorders
+            .iter()
+            .any(|f| f.src == src && f.dst == dst && f.nth == nth)
+        {
+            return Some(SendFault::Delay(1));
+        }
+        None
+    }
+
+    /// Stall duration scheduled for `(rank, step)`, if any.
+    pub fn stall_for(&self, rank: usize, step: u64) -> Option<Duration> {
+        self.stalls
+            .iter()
+            .find(|s| s.rank == rank && s.step == step)
+            .map(|s| Duration::from_millis(s.millis))
+    }
+
+    /// Index into `deaths` scheduled for `(rank, step)`, if any. The
+    /// caller consumes each index once so a death does not re-fire when
+    /// the rank replays the same step after recovery.
+    pub fn death_at(&self, rank: usize, step: u64) -> Option<usize> {
+        self.deaths
+            .iter()
+            .position(|d| d.rank == rank && d.step == step)
+    }
+
+    /// Highest step at which any death is scheduled (detection horizon).
+    pub fn last_death_step(&self) -> Option<u64> {
+        self.deaths.iter().map(|d| d.step).max()
+    }
+}
+
+/// Failure raised by a policied (fault-aware) communication call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommFault {
+    /// The failure detector marked this peer dead.
+    PeerDead { rank: usize },
+    /// All retries exhausted without the expected message (an
+    /// alive-but-unresponsive peer; treated as a failure).
+    Timeout { source: usize, tag: u64 },
+    /// Another rank already initiated recovery; unwind and join it.
+    RecoveryRequested,
+}
+
+impl std::fmt::Display for CommFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommFault::PeerDead { rank } => write!(f, "peer rank {rank} is dead"),
+            CommFault::Timeout { source, tag } => {
+                write!(f, "timed out waiting on rank {source} (tag {tag:#x})")
+            }
+            CommFault::RecoveryRequested => write!(f, "recovery requested by another rank"),
+        }
+    }
+}
+
+/// Heartbeat/timeout failure-detection tuning for policied receives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Initial wait slice before the first retry, in milliseconds. Every
+    /// slice expiry re-checks peer liveness (the heartbeat read) and
+    /// promotes retransmittable messages.
+    pub slice_ms: u64,
+    /// Retries before an alive peer is declared failed.
+    pub retries: u32,
+    /// Multiplicative backoff applied to the slice per retry.
+    pub backoff: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        // Patience ~= 20ms * (1.5^8 - 1)/0.5 ~= 1s for an alive-but-silent
+        // peer; a dead peer is detected within one slice.
+        DetectorConfig {
+            slice_ms: 20,
+            retries: 8,
+            backoff: 1.5,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Slice duration for retry number `attempt` (0-based).
+    pub fn slice(&self, attempt: u32) -> Duration {
+        let ms = self.slice_ms as f64 * self.backoff.powi(attempt as i32);
+        Duration::from_micros((ms * 1000.0) as u64)
+    }
+}
+
+#[derive(Debug)]
+struct BoardInner {
+    alive: Vec<bool>,
+    recovery: bool,
+    gen: u64,
+    arrived: usize,
+    committed_wave: Option<u64>,
+}
+
+/// Shared failure-detector and recovery-rendezvous state.
+///
+/// Models the pieces of a real cluster that survive a rank failure: the
+/// fabric's liveness view of each rank, a recovery "alarm" any rank can
+/// pull, the recovery generation (epoch) counter, and the last checkpoint
+/// wave known globally committed (parallel-file-system metadata).
+#[derive(Debug)]
+pub struct FaultBoard {
+    size: usize,
+    inner: Mutex<BoardInner>,
+    cv: Condvar,
+}
+
+impl FaultBoard {
+    pub fn new(size: usize) -> Self {
+        FaultBoard {
+            size,
+            inner: Mutex::new(BoardInner {
+                alive: vec![true; size],
+                recovery: false,
+                gen: 0,
+                arrived: 0,
+                committed_wave: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Mark `rank` dead (called by the dying rank itself — the simulator
+    /// analog of the fabric noticing a vanished process).
+    pub fn mark_dead(&self, rank: usize) {
+        self.inner.lock().unwrap().alive[rank] = false;
+        self.cv.notify_all();
+    }
+
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.inner.lock().unwrap().alive[rank]
+    }
+
+    /// Pull the recovery alarm. Returns `true` for the first caller of
+    /// this generation (the detecting rank, which should log the event).
+    pub fn request_recovery(&self) -> bool {
+        let mut b = self.inner.lock().unwrap();
+        let first = !b.recovery;
+        b.recovery = true;
+        self.cv.notify_all();
+        first
+    }
+
+    /// Whether a recovery is pending that this rank should join.
+    pub fn recovery_pending(&self) -> bool {
+        self.inner.lock().unwrap().recovery
+    }
+
+    /// Current recovery generation (bumped once per completed rendezvous).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap().gen
+    }
+
+    /// Record that checkpoint wave `wave` is globally committed.
+    pub fn commit_wave(&self, wave: u64) {
+        let mut b = self.inner.lock().unwrap();
+        b.committed_wave = Some(b.committed_wave.map_or(wave, |w| w.max(wave)));
+    }
+
+    /// Last globally committed checkpoint wave, if any.
+    pub fn committed_wave(&self) -> Option<u64> {
+        self.inner.lock().unwrap().committed_wave
+    }
+
+    /// Recovery rendezvous: blocks until **all** ranks (the dead one
+    /// included — it "reboots" into this call) have arrived, then starts
+    /// the next generation: everyone is alive again, the alarm is reset,
+    /// and the new generation number is returned so stale in-flight
+    /// messages can be discarded by epoch.
+    pub fn rendezvous(&self) -> u64 {
+        let mut b = self.inner.lock().unwrap();
+        let my_gen = b.gen;
+        b.arrived += 1;
+        if b.arrived == self.size {
+            b.arrived = 0;
+            b.gen += 1;
+            b.recovery = false;
+            b.alive.iter_mut().for_each(|a| *a = true);
+            self.cv.notify_all();
+        } else {
+            while b.gen == my_gen {
+                b = self.cv.wait(b).unwrap();
+            }
+        }
+        b.gen
+    }
+}
+
+/// Everything a faulty world shares: the script plus the live board.
+#[derive(Debug)]
+pub struct FaultCtx {
+    pub plan: FaultPlan,
+    pub board: FaultBoard,
+    pub detector: DetectorConfig,
+}
+
+impl FaultCtx {
+    pub fn new(plan: FaultPlan, size: usize) -> Self {
+        FaultCtx {
+            plan,
+            board: FaultBoard::new(size),
+            detector: DetectorConfig::default(),
+        }
+    }
+
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan {
+            seed: 7,
+            drops: vec![MsgFault {
+                src: 0,
+                dst: 1,
+                nth: 3,
+            }],
+            delays: vec![MsgDelay {
+                src: 1,
+                dst: 0,
+                nth: 2,
+                hold: 2,
+            }],
+            reorders: vec![MsgFault {
+                src: 2,
+                dst: 0,
+                nth: 0,
+            }],
+            stalls: vec![RankStall {
+                rank: 1,
+                step: 4,
+                millis: 5,
+            }],
+            deaths: vec![RankDeath { rank: 2, step: 6 }],
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back.drops, plan.drops);
+        assert_eq!(back.delays, plan.delays);
+        assert_eq!(back.reorders, plan.reorders);
+        assert_eq!(back.stalls, plan.stalls);
+        assert_eq!(back.deaths, plan.deaths);
+    }
+
+    #[test]
+    fn plan_defaults_missing_sections_to_empty() {
+        let plan = FaultPlan::from_json(r#"{"deaths": [{"rank": 1, "step": 5}]}"#).unwrap();
+        assert_eq!(plan.deaths.len(), 1);
+        assert!(plan.drops.is_empty());
+        assert!(!plan.is_empty());
+        assert_eq!(plan.last_death_step(), Some(5));
+    }
+
+    #[test]
+    fn send_fault_lookup_matches_by_index() {
+        let plan = FaultPlan {
+            drops: vec![MsgFault {
+                src: 0,
+                dst: 1,
+                nth: 2,
+            }],
+            reorders: vec![MsgFault {
+                src: 1,
+                dst: 0,
+                nth: 5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.send_fault(0, 1, 2), Some(SendFault::Drop));
+        assert_eq!(plan.send_fault(0, 1, 3), None);
+        assert_eq!(plan.send_fault(1, 0, 5), Some(SendFault::Delay(1)));
+    }
+
+    #[test]
+    fn board_rendezvous_revives_and_bumps_generation() {
+        let board = std::sync::Arc::new(FaultBoard::new(3));
+        board.mark_dead(1);
+        assert!(!board.is_alive(1));
+        assert!(board.request_recovery());
+        assert!(!board.request_recovery(), "only the first requester wins");
+        let gens: Vec<u64> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let b = std::sync::Arc::clone(&board);
+                    s.spawn(move || b.rendezvous())
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(gens, vec![1, 1, 1]);
+        assert!(board.is_alive(1));
+        assert!(!board.recovery_pending());
+    }
+
+    #[test]
+    fn committed_wave_is_monotonic() {
+        let board = FaultBoard::new(2);
+        assert_eq!(board.committed_wave(), None);
+        board.commit_wave(1);
+        board.commit_wave(0);
+        assert_eq!(board.committed_wave(), Some(1));
+    }
+
+    #[test]
+    fn detector_backoff_grows() {
+        let d = DetectorConfig::default();
+        assert!(d.slice(3) > d.slice(0));
+    }
+}

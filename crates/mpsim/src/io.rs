@@ -59,13 +59,7 @@ impl WaveWriter {
     ///
     /// Every rank must call this (it synchronizes on barriers). Returns the
     /// wave index this rank wrote in.
-    pub fn write(
-        &self,
-        comm: &Comm,
-        dir: &Path,
-        step: usize,
-        data: &[f64],
-    ) -> io::Result<usize> {
+    pub fn write(&self, comm: &Comm, dir: &Path, step: usize, data: &[f64]) -> io::Result<usize> {
         let my_wave = comm.rank() / self.wave_size;
         let n_waves = comm.size().div_ceil(self.wave_size);
         for wave in 0..n_waves {
@@ -186,7 +180,10 @@ mod tests {
         });
         for rank in 0..n {
             let back = WaveWriter::read(&dir, 3, rank).unwrap();
-            assert_eq!(back, (0..4).map(|i| (rank * 10 + i) as f64).collect::<Vec<_>>());
+            assert_eq!(
+                back,
+                (0..4).map(|i| (rank * 10 + i) as f64).collect::<Vec<_>>()
+            );
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -195,7 +192,9 @@ mod tests {
     fn wave_indices_partition_ranks() {
         let dir = tmpdir("waveidx");
         let waves = World::run(5, |c| {
-            WaveWriter::new(2).write(&c, &dir, 0, &[c.rank() as f64]).unwrap()
+            WaveWriter::new(2)
+                .write(&c, &dir, 0, &[c.rank() as f64])
+                .unwrap()
         });
         assert_eq!(waves, vec![0, 0, 1, 1, 2]);
         std::fs::remove_dir_all(&dir).unwrap();

@@ -6,9 +6,11 @@
 //! of 128 writers.  No MPI launcher or multi-node fabric exists here, so
 //! this crate provides:
 //!
-//! * [`comm`]: ranks as OS threads exchanging typed messages over crossbeam
-//!   channels, with `send`/`recv`/`sendrecv`/`barrier`/`allreduce`/`gather`
-//!   — enough surface to run MFC's actual communication code unchanged.
+//! * [`comm`]: ranks as OS threads exchanging typed messages over
+//!   in-process mailboxes, with `send`/`recv`/`sendrecv`/`barrier`/
+//!   `allreduce`/`gather` — enough surface to run MFC's actual
+//!   communication code unchanged — plus fault-injecting variants
+//!   ([`fault`]) used by the resilience tests.
 //! * [`cart`]: the 3-D block ("cube over slab/pencil") cartesian
 //!   decomposition of §III-A, including the near-cubic factorization that
 //!   minimizes surface-to-volume ratio.
@@ -26,9 +28,14 @@
 pub mod cart;
 pub mod comm;
 pub mod costmodel;
+pub mod fault;
 pub mod io;
 
 pub use cart::{best_block_dims, CartComm};
 pub use comm::{Comm, RecvRequest, World};
 pub use costmodel::{CommParams, Staging};
+pub use fault::{
+    CommFault, DetectorConfig, FaultBoard, FaultCtx, FaultPlan, MsgDelay, MsgFault, RankDeath,
+    RankStall,
+};
 pub use io::{SharedFileWriter, WaveWriter};

@@ -67,19 +67,73 @@ impl DeviceGrind {
 /// A100 is the anchor: its split is chosen so the V100/MI250X ratio
 /// statements and the Fig. 5 speedup ranges hold simultaneously.
 pub const GRIND_TABLE: [DeviceGrind; 9] = [
-    DeviceGrind { device: "NV GH200", weno: 0.193, riemann: 0.138, pack: 0.157, other: 0.212 },
-    DeviceGrind { device: "NV H100 SXM", weno: 0.234, riemann: 0.168, pack: 0.191, other: 0.257 },
-    DeviceGrind { device: "NV A100 PCIe", weno: 0.302, riemann: 0.216, pack: 0.247, other: 0.335 },
+    DeviceGrind {
+        device: "NV GH200",
+        weno: 0.193,
+        riemann: 0.138,
+        pack: 0.157,
+        other: 0.212,
+    },
+    DeviceGrind {
+        device: "NV H100 SXM",
+        weno: 0.234,
+        riemann: 0.168,
+        pack: 0.191,
+        other: 0.257,
+    },
+    DeviceGrind {
+        device: "NV A100 PCIe",
+        weno: 0.302,
+        riemann: 0.216,
+        pack: 0.247,
+        other: 0.335,
+    },
     // V100: WENO 1.05x, Riemann 1.48x, pack 3.71x the A100 entries.
-    DeviceGrind { device: "NV V100 PCIe", weno: 0.317, riemann: 0.320, pack: 0.916, other: 0.847 },
+    DeviceGrind {
+        device: "NV V100 PCIe",
+        weno: 0.317,
+        riemann: 0.320,
+        pack: 0.916,
+        other: 0.847,
+    },
     // MI250X GCD: WENO 1.045x, Riemann 2.03x, pack 2.62x the A100 entries.
-    DeviceGrind { device: "AMD MI250X GCD", weno: 0.316, riemann: 0.438, pack: 0.647, other: 0.299 },
+    DeviceGrind {
+        device: "AMD MI250X GCD",
+        weno: 0.316,
+        riemann: 0.438,
+        pack: 0.647,
+        other: 0.299,
+    },
     // CPUs: only totals are meaningful (no packing stage is separated on
     // the CPU path); split roughly evenly between WENO/Riemann/other.
-    DeviceGrind { device: "AMD EPYC 9654 Genoa", weno: 1.45, riemann: 1.10, pack: 0.0, other: 1.05 },
-    DeviceGrind { device: "Intel Xeon Max 9468", weno: 2.90, riemann: 2.20, pack: 0.0, other: 2.10 },
-    DeviceGrind { device: "NV Grace CPU", weno: 3.00, riemann: 2.26, pack: 0.0, other: 2.14 },
-    DeviceGrind { device: "IBM Power10", weno: 8.80, riemann: 6.70, pack: 0.0, other: 6.40 },
+    DeviceGrind {
+        device: "AMD EPYC 9654 Genoa",
+        weno: 1.45,
+        riemann: 1.10,
+        pack: 0.0,
+        other: 1.05,
+    },
+    DeviceGrind {
+        device: "Intel Xeon Max 9468",
+        weno: 2.90,
+        riemann: 2.20,
+        pack: 0.0,
+        other: 2.10,
+    },
+    DeviceGrind {
+        device: "NV Grace CPU",
+        weno: 3.00,
+        riemann: 2.26,
+        pack: 0.0,
+        other: 2.14,
+    },
+    DeviceGrind {
+        device: "IBM Power10",
+        weno: 8.80,
+        riemann: 6.70,
+        pack: 0.0,
+        other: 6.40,
+    },
 ];
 
 /// Look up a device's calibrated grind decomposition by catalog name.
@@ -130,20 +184,33 @@ mod tests {
 
     #[test]
     fn fig5_speedup_ranges_hold() {
-        let totals: Vec<f64> = hw::GPUS
-            .iter()
-            .map(|d| g(d.name).total())
-            .collect();
+        let totals: Vec<f64> = hw::GPUS.iter().map(|d| g(d.name).total()).collect();
         let slowest_gpu = totals.iter().cloned().fold(0.0, f64::max);
         let fastest_gpu = totals.iter().cloned().fold(f64::INFINITY, f64::min);
 
         let epyc = g("AMD EPYC 9654 Genoa").total();
-        assert!((epyc / slowest_gpu - 1.5).abs() < 0.15, "min EPYC speedup {}", epyc / slowest_gpu);
-        assert!((epyc / fastest_gpu - 5.3).abs() < 0.4, "max EPYC speedup {}", epyc / fastest_gpu);
+        assert!(
+            (epyc / slowest_gpu - 1.5).abs() < 0.15,
+            "min EPYC speedup {}",
+            epyc / slowest_gpu
+        );
+        assert!(
+            (epyc / fastest_gpu - 5.3).abs() < 0.4,
+            "max EPYC speedup {}",
+            epyc / fastest_gpu
+        );
 
         let p10 = g("IBM Power10").total();
-        assert!((p10 / slowest_gpu - 9.1).abs() < 0.6, "min P10 speedup {}", p10 / slowest_gpu);
-        assert!((p10 / fastest_gpu - 31.3).abs() < 1.5, "max P10 speedup {}", p10 / fastest_gpu);
+        assert!(
+            (p10 / slowest_gpu - 9.1).abs() < 0.6,
+            "min P10 speedup {}",
+            p10 / slowest_gpu
+        );
+        assert!(
+            (p10 / fastest_gpu - 31.3).abs() < 1.5,
+            "max P10 speedup {}",
+            p10 / fastest_gpu
+        );
 
         for cpu in ["Intel Xeon Max 9468", "NV Grace CPU"] {
             let t = g(cpu).total();
@@ -162,7 +229,10 @@ mod tests {
         };
         for small_l2 in ["NV V100 PCIe", "AMD MI250X GCD"] {
             for big_l2 in ["NV GH200", "NV H100 SXM", "NV A100 PCIe"] {
-                assert!(share(small_l2) > share(big_l2) * 1.4, "{small_l2} vs {big_l2}");
+                assert!(
+                    share(small_l2) > share(big_l2) * 1.4,
+                    "{small_l2} vs {big_l2}"
+                );
             }
         }
     }

@@ -44,7 +44,11 @@ pub fn render_fig1(points: &[RooflinePoint]) -> String {
             p.achieved_gflops,
             p.attainable_gflops,
             100.0 * p.peak_fraction,
-            if p.memory_bound(&spec) { "memory" } else { "compute" },
+            if p.memory_bound(&spec) {
+                "memory"
+            } else {
+                "compute"
+            },
         ));
     }
     s
@@ -87,7 +91,10 @@ pub fn fig3_strong_scaling() -> Vec<ScalingRow> {
     let mut rows = Vec::new();
     let summit = ScalingModel::new(MachineModel::summit());
     let base_p = 8;
-    for p in summit.strong(8.0e6 * base_p as f64, &[base_p, 2 * base_p, 4 * base_p, 8 * base_p]) {
+    for p in summit.strong(
+        8.0e6 * base_p as f64,
+        &[base_p, 2 * base_p, 4 * base_p, 8 * base_p],
+    ) {
         rows.push(ScalingRow {
             machine: "Summit".into(),
             series: "8M cells/GPU base".into(),
@@ -95,7 +102,10 @@ pub fn fig3_strong_scaling() -> Vec<ScalingRow> {
         });
     }
     let frontier = ScalingModel::new(MachineModel::frontier(Staging::HostStaged));
-    for (label, cells) in [("32M cells/GCD base", 32.0e6), ("16M cells/GCD base", 16.0e6)] {
+    for (label, cells) in [
+        ("32M cells/GCD base", 32.0e6),
+        ("16M cells/GCD base", 16.0e6),
+    ] {
         for p in frontier.strong(
             cells * base_p as f64,
             &[base_p, 2 * base_p, 4 * base_p, 8 * base_p, 16 * base_p],
@@ -286,8 +296,7 @@ mod tests {
         let rows = fig2_weak_scaling();
         let last = |machine: &str| {
             rows.iter()
-                .filter(|r| r.machine == machine)
-                .next_back()
+                .rfind(|r| r.machine == machine)
                 .unwrap()
                 .point
                 .efficiency
@@ -301,8 +310,7 @@ mod tests {
         let rows = fig3_strong_scaling();
         let last = |series: &str| {
             rows.iter()
-                .filter(|r| r.series == series)
-                .next_back()
+                .rfind(|r| r.series == series)
                 .unwrap()
                 .point
                 .efficiency
@@ -317,8 +325,7 @@ mod tests {
         let rows = fig4_gpu_aware();
         let last = |series: &str| {
             rows.iter()
-                .filter(|r| r.series == series)
-                .next_back()
+                .rfind(|r| r.series == series)
                 .unwrap()
                 .point
                 .efficiency

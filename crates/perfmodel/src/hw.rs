@@ -150,9 +150,13 @@ mod tests {
     #[test]
     fn bandwidth_ordering_matches_paper() {
         // §V: V100 900 GB/s, A100 2 TB/s, H100 3.35 TB/s, GH200 4 TB/s.
-        assert!(V100_PCIE.mem_bw_gbs < A100_PCIE.mem_bw_gbs);
-        assert!(A100_PCIE.mem_bw_gbs < H100_SXM.mem_bw_gbs);
-        assert!(H100_SXM.mem_bw_gbs < GH200.mem_bw_gbs);
+        let bw = [
+            V100_PCIE.mem_bw_gbs,
+            A100_PCIE.mem_bw_gbs,
+            H100_SXM.mem_bw_gbs,
+            GH200.mem_bw_gbs,
+        ];
+        assert!(bw.windows(2).all(|w| w[0] < w[1]), "{bw:?}");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod workload;
 
 pub use calib::{DeviceGrind, GRIND_TABLE};
 pub use hw::{DeviceKind, DeviceSpec};
+pub use projection::{projection_report, ProjectionRow};
 pub use roofline::{attainable_gflops, RooflinePoint};
 pub use scaling::{ScalingModel, ScalingPoint};
-pub use projection::{projection_report, ProjectionRow};
 pub use workload::WorkloadProfile;

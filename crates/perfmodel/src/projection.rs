@@ -71,8 +71,7 @@ pub fn predicted_wall_s(c: &Campaign) -> f64 {
     let grind_ns = grind_for(c.device)
         .unwrap_or_else(|| panic!("no grind entry for {}", c.device))
         .total();
-    grind_ns * 1e-9 * c.cells * c.neq as f64 * c.rhs_per_step as f64 * c.steps
-        / c.devices as f64
+    grind_ns * 1e-9 * c.cells * c.neq as f64 * c.rhs_per_step as f64 * c.steps / c.devices as f64
 }
 
 /// One row of the projection report.

@@ -55,9 +55,9 @@ impl RooflinePoint {
 /// sweep for WENO; none for the pure-copy packs).
 pub fn effective_ai(class: KernelClass, ledger_ai: f64) -> f64 {
     let reuse = match class {
-        KernelClass::Weno => 5.0,   // 5-point stencil: each cell read once
+        KernelClass::Weno => 5.0,    // 5-point stencil: each cell read once
         KernelClass::Riemann => 1.2, // face states read twice (L/R share)
-        KernelClass::Pack => 1.0,   // pure data movement
+        KernelClass::Pack => 1.0,    // pure data movement
         _ => 1.0,
     };
     ledger_ai * reuse

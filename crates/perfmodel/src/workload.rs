@@ -100,7 +100,12 @@ mod tests {
     #[test]
     fn profile_contains_the_hot_classes() {
         let p = WorkloadProfile::measure(12, 1);
-        for class in [KernelClass::Weno, KernelClass::Riemann, KernelClass::Pack, KernelClass::Update] {
+        for class in [
+            KernelClass::Weno,
+            KernelClass::Riemann,
+            KernelClass::Pack,
+            KernelClass::Update,
+        ] {
             assert!(p.classes.contains_key(&class), "missing {class:?}");
         }
         assert!(p.total_flops_per_cell() > 100.0);

@@ -18,8 +18,7 @@ fn main() {
     let foil = NacaAirfoil::naca2412([-0.5, 0.0], 1.0);
     let sdf_probe = foil.sdf([0.0, 0.0, 0.0]);
     let ibm = GhostCellIbm::new(Box::new(foil));
-    let mut solver =
-        Solver::new(&case, SolverConfig::default(), Context::new()).with_body(ibm);
+    let mut solver = Solver::new(&case, SolverConfig::default(), Context::new()).with_body(ibm);
     let eq = case.eq();
     let ng = solver.domain().pad(0);
 
@@ -43,9 +42,17 @@ fn main() {
     let (i1, j1) = cell(-0.95, 1.0); // far field
     let u_stag = prim.get(i0, j0, 0, eq.mom(0));
     let u_far = prim.get(i1, j1, 0, eq.mom(0));
-    println!("u near leading edge: {u_stag:.1} m/s; far field: {u_far:.1} m/s (free stream {u_inf})");
-    assert!(u_stag < 0.9 * u_inf, "no deceleration at the body: {u_stag}");
-    assert!((u_far - u_inf).abs() < 0.25 * u_inf, "far field disturbed: {u_far}");
+    println!(
+        "u near leading edge: {u_stag:.1} m/s; far field: {u_far:.1} m/s (free stream {u_inf})"
+    );
+    assert!(
+        u_stag < 0.9 * u_inf,
+        "no deceleration at the body: {u_stag}"
+    );
+    assert!(
+        (u_far - u_inf).abs() < 0.25 * u_inf,
+        "far field disturbed: {u_far}"
+    );
 
     // Vorticity magnitude behind the trailing edge (the wake the paper
     // visualizes) should exceed the free-stream's.
@@ -59,7 +66,11 @@ fn main() {
     };
     let (iw, jw) = cell(0.75, -0.15);
     let (iq, jq) = cell(-0.9, 1.1);
-    println!("wake vorticity: {:.1} 1/s, quiescent corner: {:.1} 1/s", vort(iw, jw), vort(iq, jq));
+    println!(
+        "wake vorticity: {:.1} 1/s, quiescent corner: {:.1} 1/s",
+        vort(iw, jw),
+        vort(iq, jq)
+    );
     assert!(vort(iw, jw) > vort(iq, jq), "no wake vorticity generated");
     println!("IBM airfoil demo PASSED");
 }

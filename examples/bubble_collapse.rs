@@ -18,8 +18,16 @@ fn main() {
     let case = CaseBuilder::new(vec![Fluid::air(), Fluid::water()], 2, [2 * n, n, 1])
         .extent([-4.0 * r0, 0.0, 0.0], [4.0 * r0, 4.0 * r0, 1.0])
         .bc(BcSpec {
-            lo: [BcKind::Transmissive, BcKind::Reflective, BcKind::Transmissive],
-            hi: [BcKind::Transmissive, BcKind::Transmissive, BcKind::Transmissive],
+            lo: [
+                BcKind::Transmissive,
+                BcKind::Reflective,
+                BcKind::Transmissive,
+            ],
+            hi: [
+                BcKind::Transmissive,
+                BcKind::Transmissive,
+                BcKind::Transmissive,
+            ],
         })
         .smear(1.0)
         .patch(
@@ -27,7 +35,10 @@ fn main() {
             PatchState::two_fluid(1e-6, [1.2, 1000.0], [0.0; 3], p_inf),
         )
         .patch(
-            Region::Sphere { center: [0.0, 0.0, 0.0], radius: r0 },
+            Region::Sphere {
+                center: [0.0, 0.0, 0.0],
+                radius: r0,
+            },
             PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [0.0; 3], 101325.0),
         );
     let cfg = SolverConfig {

@@ -71,7 +71,10 @@ fn main() {
     };
 
     println!("Cylindrical swirl: annulus r in [{r0}, {r1}], Omega = {omega} rad/s, {n:?} cells");
-    println!("initial inner-ring high-mode amplitude: {:.3e}", high_mode_amp(&solver));
+    println!(
+        "initial inner-ring high-mode amplitude: {:.3e}",
+        high_mode_amp(&solver)
+    );
     for s in 0..60 {
         solver.step();
         // Filter every 10 steps (MFC applies it each step near the axis;
@@ -82,15 +85,24 @@ fn main() {
     }
     let amp = high_mode_amp(&solver);
     println!("final inner-ring high-mode amplitude:   {amp:.3e}");
-    println!("grind: {:.1} ns/cell/PDE/RHS", solver.grind().ns_per_cell_eq_rhs());
-    assert!(amp < 5.0e-4, "filter failed to control azimuthal noise: {amp:.3e}");
+    println!(
+        "grind: {:.1} ns/cell/PDE/RHS",
+        solver.grind().ns_per_cell_eq_rhs()
+    );
+    assert!(
+        amp < 5.0e-4,
+        "filter failed to control azimuthal noise: {amp:.3e}"
+    );
 
     // Swirl survives: u_theta at the outer ring stays near Omega*r.
     let prim = solver.primitives();
     let j_out = n[1] - 2 + dom.pad(1);
     let r_out = grid.y.centers()[n[1] - 2];
     let ut = prim.get(4 + dom.pad(0), j_out, 3 + dom.pad(2), eq.mom(2));
-    println!("outer-ring u_theta = {ut:.1} m/s (solid body: {:.1})", omega * r_out);
+    println!(
+        "outer-ring u_theta = {ut:.1} m/s (solid body: {:.1})",
+        omega * r_out
+    );
     assert!((ut - omega * r_out).abs() < 0.2 * omega * r_out);
     println!("cylindrical swirl demo PASSED");
 }

@@ -34,18 +34,27 @@ fn main() {
         2, // waves of 2 writers (128 in production)
         0, // output step id
     );
-    println!("rank files written under {} (decomposition {dims:?})", dir.display());
+    println!(
+        "rank files written under {} (decomposition {dims:?})",
+        dir.display()
+    );
 
     // Host-side post-processing (the paper's SILO-creation role).
     let eq = case.eq();
     let gf = postprocess_wave_files(&dir, 0, case.cells, eq, dims).unwrap();
-    println!("reassembled global field: {:?} cells x {} equations", gf.n, gf.neq);
+    println!(
+        "reassembled global field: {:?} cells x {} equations",
+        gf.n, gf.neq
+    );
 
     // Cross-check against the in-memory gather path.
     let (reference, _) = run_distributed(&case, cfg, ranks, steps, Staging::DeviceDirect);
     let diff = gf.max_abs_diff(&reference);
     println!("max |file-based - gather-based| = {diff:.1e}");
-    assert_eq!(diff, 0.0, "post-processing must reproduce the gather exactly");
+    assert_eq!(
+        diff, 0.0,
+        "post-processing must reproduce the gather exactly"
+    );
 
     let vtk = dir.join("two_phase.vtk");
     write_vtk_rectilinear(

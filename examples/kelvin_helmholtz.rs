@@ -20,7 +20,10 @@ fn main() {
             PatchState::two_fluid(1.0 - 1e-6, [1.0, 4.0], [u_top, 0.0, 0.0], 1.0e5),
         )
         .patch(
-            Region::Box { lo: [-1.0, -1.0, -1.0], hi: [2.0, 0.5, 2.0] },
+            Region::Box {
+                lo: [-1.0, -1.0, -1.0],
+                hi: [2.0, 0.5, 2.0],
+            },
             PatchState::two_fluid(1e-6, [1.0, 4.0], [u_bot, 0.0, 0.0], 1.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::new());
@@ -78,7 +81,10 @@ fn main() {
     }
     let span1 = interface_span(&solver);
     println!("final mixed-layer thickness: {span1:.4}");
-    println!("grind: {:.1} ns/cell/PDE/RHS", solver.grind().ns_per_cell_eq_rhs());
+    println!(
+        "grind: {:.1} ns/cell/PDE/RHS",
+        solver.grind().ns_per_cell_eq_rhs()
+    );
     assert!(span1 > 1.8 * span0, "no roll-up: {span0:.4} -> {span1:.4}");
     // Conservation still holds through the roll-up.
     let totals = solver.conservation();

@@ -23,8 +23,18 @@ fn main() {
     // Exact reference.
     let air = Fluid::air();
     let exact = ExactRiemann::solve(
-        PrimSide { rho: 1.0, u: 0.0, p: 1.0, fluid: air },
-        PrimSide { rho: 0.125, u: 0.0, p: 0.1, fluid: air },
+        PrimSide {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+            fluid: air,
+        },
+        PrimSide {
+            rho: 0.125,
+            u: 0.0,
+            p: 0.1,
+            fluid: air,
+        },
     );
 
     let prim = solver.primitives();

@@ -14,7 +14,12 @@ fn main() {
         "measured: {} cells, {} PDEs, {} RHS evaluations",
         profile.cells, profile.neq, profile.rhs_evals
     );
-    for class in [KernelClass::Weno, KernelClass::Riemann, KernelClass::Pack, KernelClass::Update] {
+    for class in [
+        KernelClass::Weno,
+        KernelClass::Riemann,
+        KernelClass::Pack,
+        KernelClass::Update,
+    ] {
         let c = profile.class(class);
         println!(
             "  {:<8} {:>9.1} FLOP/cell/RHS {:>9.1} B/cell/RHS  AI {:.3}",
@@ -25,9 +30,15 @@ fn main() {
         );
     }
     println!();
-    print!("{}", figures::render_fig1(&figures::fig1_roofline(&profile)));
+    print!(
+        "{}",
+        figures::render_fig1(&figures::fig1_roofline(&profile))
+    );
     println!();
     print!("{}", figures::render_fig5(&figures::fig5_speedup()));
     println!();
-    print!("{}", figures::render_fig6_fig7(&figures::fig6_fig7_breakdown()));
+    print!(
+        "{}",
+        figures::render_fig6_fig7(&figures::fig6_fig7_breakdown())
+    );
 }

@@ -26,15 +26,27 @@ fn main() {
         assert_eq!(diff, 0.0, "distributed must equal serial bitwise");
     }
     let (_, staged) = run_distributed(&case, cfg, 4, 5, Staging::HostStaged);
-    println!("host-staged run: same physics, {} msgs staged through the host", staged.messages);
+    println!(
+        "host-staged run: same physics, {} msgs staged through the host",
+        staged.messages
+    );
 
     println!("\n== Part 2: modelled scaling on Summit and Frontier ==");
-    print!("{}", figures::render_scaling("Fig 2 — weak scaling", &figures::fig2_weak_scaling()));
+    print!(
+        "{}",
+        figures::render_scaling("Fig 2 — weak scaling", &figures::fig2_weak_scaling())
+    );
     println!();
-    print!("{}", figures::render_scaling("Fig 3 — strong scaling", &figures::fig3_strong_scaling()));
+    print!(
+        "{}",
+        figures::render_scaling("Fig 3 — strong scaling", &figures::fig3_strong_scaling())
+    );
     println!();
-    print!("{}", figures::render_scaling(
-        "Fig 4 — strong scaling, GPU-aware vs host-staged MPI",
-        &figures::fig4_gpu_aware(),
-    ));
+    print!(
+        "{}",
+        figures::render_scaling(
+            "Fig 4 — strong scaling, GPU-aware vs host-staged MPI",
+            &figures::fig4_gpu_aware(),
+        )
+    );
 }

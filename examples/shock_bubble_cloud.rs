@@ -31,7 +31,10 @@ fn main() {
         v / (n * n) as f64
     };
 
-    println!("Shock bubble cloud: {} bubbles in water, {n}x{n} cells", bubbles.len());
+    println!(
+        "Shock bubble cloud: {} bubbles in water, {n}x{n} cells",
+        bubbles.len()
+    );
     let v0 = gas_volume(&solver);
     println!("initial gas volume fraction: {v0:.5}");
     for s in 0..180 {
@@ -49,8 +52,15 @@ fn main() {
     println!(
         "compression ratio so far: {:.3} (bubbles {} under the incoming wave)",
         v0 / v1,
-        if v1 < v0 { "are collapsing" } else { "have not yet been reached" }
+        if v1 < v0 {
+            "are collapsing"
+        } else {
+            "have not yet been reached"
+        }
     );
-    println!("grind time: {:.1} ns/cell/PDE/RHS", solver.grind().ns_per_cell_eq_rhs());
+    println!(
+        "grind time: {:.1} ns/cell/PDE/RHS",
+        solver.grind().ns_per_cell_eq_rhs()
+    );
     assert!(v1 <= v0 * 1.01, "gas volume should not grow before rebound");
 }

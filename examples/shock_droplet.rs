@@ -30,7 +30,10 @@ fn main() {
         (c1[0] - c0[0]).abs() / c0[0].abs(),
         (c1[1] - c0[1]).abs() / c0[1].abs()
     );
-    println!("grind time: {:.1} ns/cell/PDE/RHS", solver.grind().ns_per_cell_eq_rhs());
+    println!(
+        "grind time: {:.1} ns/cell/PDE/RHS",
+        solver.grind().ns_per_cell_eq_rhs()
+    );
 
     // Droplet deformation diagnostics: water volume and interface extent.
     let prim = solver.primitives();

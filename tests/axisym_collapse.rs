@@ -14,8 +14,16 @@ fn collapse_case(n: usize, r0: f64, p_ambient: f64) -> CaseBuilder {
     CaseBuilder::new(vec![Fluid::air(), Fluid::water()], 2, [2 * n, n, 1])
         .extent([-4.0 * r0, 0.0, 0.0], [4.0 * r0, 4.0 * r0, 1.0])
         .bc(BcSpec {
-            lo: [BcKind::Transmissive, BcKind::Reflective, BcKind::Transmissive],
-            hi: [BcKind::Transmissive, BcKind::Transmissive, BcKind::Transmissive],
+            lo: [
+                BcKind::Transmissive,
+                BcKind::Reflective,
+                BcKind::Transmissive,
+            ],
+            hi: [
+                BcKind::Transmissive,
+                BcKind::Transmissive,
+                BcKind::Transmissive,
+            ],
         })
         .smear(1.0)
         .patch(
@@ -23,7 +31,10 @@ fn collapse_case(n: usize, r0: f64, p_ambient: f64) -> CaseBuilder {
             PatchState::two_fluid(1e-6, [1.2, 1000.0], [0.0; 3], p_ambient),
         )
         .patch(
-            Region::Sphere { center: [0.0, 0.0, 0.0], radius: r0 },
+            Region::Sphere {
+                center: [0.0, 0.0, 0.0],
+                radius: r0,
+            },
             PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [0.0; 3], 101325.0),
         )
 }
@@ -94,7 +105,10 @@ fn pressurized_bubble_collapses_on_the_rayleigh_time_scale() {
     let ratio = v1 / v0;
     // Early collapse: meaningful but partial compression.
     assert!(ratio < 0.95, "bubble did not compress: V/V0 = {ratio}");
-    assert!(ratio > 0.2, "bubble collapsed implausibly fast: V/V0 = {ratio}");
+    assert!(
+        ratio > 0.2,
+        "bubble collapsed implausibly fast: V/V0 = {ratio}"
+    );
 
     // The inflowing water must be moving toward the bubble: radial
     // velocity at a point outside the interface is negative (inward).
@@ -103,12 +117,7 @@ fn pressurized_bubble_collapses_on_the_rayleigh_time_scale() {
     let dom = *solver.domain();
     let grid = solver.grid();
     // Find the interior cell nearest (x=0, r=1.8 R).
-    let jx = grid
-        .y
-        .centers()
-        .iter()
-        .position(|&r| r > 1.8 * r0)
-        .unwrap();
+    let jx = grid.y.centers().iter().position(|&r| r > 1.8 * r0).unwrap();
     let ix = grid.x.centers().iter().position(|&x| x > 0.0).unwrap();
     let ur = prim.get(ix + dom.pad(0), jx + dom.pad(1), 0, eq.mom(1));
     assert!(ur < 0.0, "water should flow inward: u_r = {ur}");

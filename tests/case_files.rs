@@ -16,8 +16,8 @@ fn all_shipped_case_files_parse_and_validate() {
             continue;
         }
         found += 1;
-        let cf = CaseFile::from_path(&path)
-            .unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
+        let cf =
+            CaseFile::from_path(&path).unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
         cf.to_case()
             .unwrap_or_else(|e| panic!("{path:?} failed to validate: {e}"));
         cf.numerics

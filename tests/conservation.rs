@@ -38,7 +38,10 @@ fn conserved_in_every_dimension() {
 fn conserved_for_every_order() {
     for order in [WenoOrder::First, WenoOrder::Weno3, WenoOrder::Weno5] {
         let cfg = SolverConfig {
-            rhs: RhsConfig { order, ..Default::default() },
+            rhs: RhsConfig {
+                order,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let d = drift(2, cfg, 5);
@@ -48,9 +51,16 @@ fn conserved_for_every_order() {
 
 #[test]
 fn conserved_for_every_solver() {
-    for solver in [RiemannSolver::Hllc, RiemannSolver::Hll, RiemannSolver::Rusanov] {
+    for solver in [
+        RiemannSolver::Hllc,
+        RiemannSolver::Hll,
+        RiemannSolver::Rusanov,
+    ] {
         let cfg = SolverConfig {
-            rhs: RhsConfig { solver, ..Default::default() },
+            rhs: RhsConfig {
+                solver,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let d = drift(2, cfg, 5);
@@ -60,9 +70,16 @@ fn conserved_for_every_solver() {
 
 #[test]
 fn conserved_for_every_pack_strategy() {
-    for pack in [PackStrategy::CollapsedLoops, PackStrategy::Tiled, PackStrategy::Geam] {
+    for pack in [
+        PackStrategy::CollapsedLoops,
+        PackStrategy::Tiled,
+        PackStrategy::Geam,
+    ] {
         let cfg = SolverConfig {
-            rhs: RhsConfig { pack, ..Default::default() },
+            rhs: RhsConfig {
+                pack,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let d = drift(3, cfg, 3);
@@ -74,13 +91,16 @@ fn conserved_for_every_pack_strategy() {
 fn reflective_box_conserves_mass_and_energy() {
     // Slip walls: mass and energy conserved; momentum is not (walls push).
     use mfc::core::bc::BcSpec;
-    use mfc::{CaseBuilder, PatchState, Region};
     use mfc::core::fluid::Fluid;
+    use mfc::{CaseBuilder, PatchState, Region};
     let case = CaseBuilder::new(vec![Fluid::air()], 2, [24, 24, 1])
         .bc(BcSpec::reflective())
         .patch(Region::All, PatchState::single(1.2, [0.0; 3], 1.0e5))
         .patch(
-            Region::Sphere { center: [0.5, 0.5, 0.0], radius: 0.2 },
+            Region::Sphere {
+                center: [0.5, 0.5, 0.0],
+                radius: 0.2,
+            },
             PatchState::single(1.2, [0.0; 3], 3.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
@@ -99,15 +119,18 @@ fn symmetric_blast_stays_symmetric() {
     // A centered 2-D pressure pulse must remain mirror-symmetric in x and
     // y for the whole run (catches any left/right bias in sweeps).
     use mfc::core::bc::BcSpec;
-    use mfc::{CaseBuilder, PatchState, Region};
     use mfc::core::fluid::Fluid;
+    use mfc::{CaseBuilder, PatchState, Region};
     let n = 24;
     let case = CaseBuilder::new(vec![Fluid::air()], 2, [n, n, 1])
         .bc(BcSpec::reflective())
         .smear(1.0)
         .patch(Region::All, PatchState::single(1.2, [0.0; 3], 1.0e5))
         .patch(
-            Region::Sphere { center: [0.5, 0.5, 0.0], radius: 0.15 },
+            Region::Sphere {
+                center: [0.5, 0.5, 0.0],
+                radius: 0.15,
+            },
             PatchState::single(1.2, [0.0; 3], 10.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());

@@ -31,7 +31,10 @@ fn one_period_error(n: usize, order: WenoOrder) -> f64 {
     let dt = period / steps as f64; // land exactly on one period
 
     let cfg = SolverConfig {
-        rhs: RhsConfig { order, ..Default::default() },
+        rhs: RhsConfig {
+            order,
+            ..Default::default()
+        },
         dt: DtMode::Fixed(dt),
         ..Default::default()
     };
@@ -83,7 +86,10 @@ fn weno5_solver_converges_at_high_order() {
 fn weno3_solver_converges_at_lower_order_than_weno5() {
     let e3_64 = one_period_error(64, WenoOrder::Weno3);
     let e5_64 = one_period_error(64, WenoOrder::Weno5);
-    assert!(e5_64 < e3_64 / 3.0, "weno5 {e5_64:.3e} vs weno3 {e3_64:.3e}");
+    assert!(
+        e5_64 < e3_64 / 3.0,
+        "weno5 {e5_64:.3e} vs weno3 {e3_64:.3e}"
+    );
     let e3_32 = one_period_error(32, WenoOrder::Weno3);
     let rate = (e3_32 / e3_64).log2();
     assert!(rate > 2.0, "WENO3 observed rate {rate:.2}");

@@ -14,10 +14,7 @@ use mfc::{CaseBuilder, Context, PatchState, Region, Solver, SolverConfig};
 fn cyl_case(n: [usize; 3]) -> CaseBuilder {
     CaseBuilder::new(vec![Fluid::air()], 3, n)
         // z in [0,1], r in [0.2, 1.2] (axis excluded), theta in [0, 2 pi).
-        .extent(
-            [0.0, 0.2, 0.0],
-            [1.0, 1.2, 2.0 * std::f64::consts::PI],
-        )
+        .extent([0.0, 0.2, 0.0], [1.0, 1.2, 2.0 * std::f64::consts::PI])
         .bc(BcSpec {
             lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
             hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
@@ -60,7 +57,10 @@ fn uniform_axial_flow_is_steady() {
             lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
             hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Periodic],
         })
-        .patch(Region::All, PatchState::single(1.2, [40.0, 0.0, 0.0], 1.0e5));
+        .patch(
+            Region::All,
+            PatchState::single(1.2, [40.0, 0.0, 0.0], 1.0e5),
+        );
     let mut solver = Solver::new(&case, cyl_config(), Context::serial());
     solver.run_steps(8);
     let prim = solver.primitives();
@@ -183,7 +183,10 @@ fn azimuthally_uniform_cylindrical_matches_axisymmetric() {
             .smear(1.0)
             .patch(Region::All, PatchState::single(1.2, [0.0; 3], 1.0e5))
             .patch(
-                Region::Box { lo: [0.0, 0.2, -9.0], hi: [0.4, 1.3, 9.0] },
+                Region::Box {
+                    lo: [0.0, 0.2, -9.0],
+                    hi: [0.4, 1.3, 9.0],
+                },
                 PatchState::single(1.2, [0.0; 3], 3.0e5),
             )
     };
@@ -191,24 +194,41 @@ fn azimuthally_uniform_cylindrical_matches_axisymmetric() {
         CaseBuilder::new(vec![Fluid::air()], 2, [nz, nr, 1])
             .extent([0.0, 0.2, 0.0], [1.0, 1.2, 1.0])
             .bc(BcSpec {
-                lo: [BcKind::Transmissive, BcKind::Reflective, BcKind::Transmissive],
-                hi: [BcKind::Transmissive, BcKind::Reflective, BcKind::Transmissive],
+                lo: [
+                    BcKind::Transmissive,
+                    BcKind::Reflective,
+                    BcKind::Transmissive,
+                ],
+                hi: [
+                    BcKind::Transmissive,
+                    BcKind::Reflective,
+                    BcKind::Transmissive,
+                ],
             })
             .smear(1.0)
             .patch(Region::All, PatchState::single(1.2, [0.0; 3], 1.0e5))
             .patch(
-                Region::Box { lo: [0.0, 0.2, -9.0], hi: [0.4, 1.3, 9.0] },
+                Region::Box {
+                    lo: [0.0, 0.2, -9.0],
+                    hi: [0.4, 1.3, 9.0],
+                },
                 PatchState::single(1.2, [0.0; 3], 3.0e5),
             )
     };
     let dt = 1.0e-5;
     let cfg3 = SolverConfig {
-        rhs: RhsConfig { geometry: Geometry::Cylindrical3D, ..Default::default() },
+        rhs: RhsConfig {
+            geometry: Geometry::Cylindrical3D,
+            ..Default::default()
+        },
         dt: DtMode::Fixed(dt),
         ..Default::default()
     };
     let cfg2 = SolverConfig {
-        rhs: RhsConfig { geometry: Geometry::Axisymmetric, ..Default::default() },
+        rhs: RhsConfig {
+            geometry: Geometry::Axisymmetric,
+            ..Default::default()
+        },
         dt: DtMode::Fixed(dt),
         ..Default::default()
     };

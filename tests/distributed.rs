@@ -39,7 +39,10 @@ fn distributed_matches_serial_bitwise_2d_and_3d() {
 fn distributed_matches_serial_with_weno3() {
     let case = presets::two_phase_benchmark(2, [20, 20, 1]);
     let cfg = SolverConfig {
-        rhs: RhsConfig { order: WenoOrder::Weno3, ..Default::default() },
+        rhs: RhsConfig {
+            order: WenoOrder::Weno3,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let serial = run_single(&case, cfg, 4);

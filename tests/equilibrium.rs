@@ -20,7 +20,10 @@ fn advected_interface_keeps_equilibrium_in_2d() {
             PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [50.0, -30.0, 0.0], 1.0e5),
         )
         .patch(
-            Region::Sphere { center: [0.5, 0.5, 0.0], radius: 0.2 },
+            Region::Sphere {
+                center: [0.5, 0.5, 0.0],
+                radius: 0.2,
+            },
             PatchState::two_fluid(1e-6, [1.2, 1000.0], [50.0, -30.0, 0.0], 1.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
@@ -52,7 +55,10 @@ fn interface_travels_at_flow_speed() {
             PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [u, 0.0, 0.0], 1.0e5),
         )
         .patch(
-            Region::Box { lo: [0.3, -1.0, -1.0], hi: [0.5, 2.0, 2.0] },
+            Region::Box {
+                lo: [0.3, -1.0, -1.0],
+                hi: [0.5, 2.0, 2.0],
+            },
             PatchState::two_fluid(1e-6, [1.2, 1000.0], [u, 0.0, 0.0], 1.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
@@ -107,7 +113,14 @@ fn free_stream_preserved_on_stretched_grid() {
     mfc::core::state::prim_to_cons_field(&ctx, &fluids, &prim, &mut cons);
     let mut ws = RhsWorkspace::new(dom, &grid);
     let mut rhs = StateField::zeros(dom);
-    compute_rhs(&ctx, &RhsConfig::default(), &fluids, &cons, &mut ws, &mut rhs);
+    compute_rhs(
+        &ctx,
+        &RhsConfig::default(),
+        &fluids,
+        &cons,
+        &mut ws,
+        &mut rhs,
+    );
     let max = rhs.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
     assert!(max < 1e-6, "max |rhs| = {max}");
 }
@@ -124,7 +137,10 @@ fn no_spurious_currents_at_static_interface() {
             PatchState::two_fluid(1e-6, [1.2, 1000.0], [0.0; 3], 1.0e5),
         )
         .patch(
-            Region::Sphere { center: [0.5, 0.5, 0.0], radius: 0.25 },
+            Region::Sphere {
+                center: [0.5, 0.5, 0.0],
+                radius: 0.25,
+            },
             PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [0.0; 3], 1.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());

@@ -16,9 +16,15 @@ use mfc::{presets, CaseBuilder, Context, PatchState, Region, Solver, SolverConfi
 fn viscous_distributed_matches_serial_bitwise() {
     let case = CaseBuilder::new(vec![Fluid::air().with_viscosity(0.05)], 2, [16, 16, 1])
         .bc(BcSpec::periodic())
-        .patch(Region::All, PatchState::single(1.2, [20.0, -5.0, 0.0], 1.0e5))
         .patch(
-            Region::Sphere { center: [0.5, 0.5, 0.0], radius: 0.2 },
+            Region::All,
+            PatchState::single(1.2, [20.0, -5.0, 0.0], 1.0e5),
+        )
+        .patch(
+            Region::Sphere {
+                center: [0.5, 0.5, 0.0],
+                radius: 0.2,
+            },
             PatchState::single(1.5, [20.0, -5.0, 0.0], 1.2e5),
         );
     let cfg = SolverConfig::default();
@@ -43,8 +49,18 @@ fn wenoz_solves_sod_accurately() {
     solver.run_until(0.15, 100_000);
     let air = Fluid::air();
     let exact = ExactRiemann::solve(
-        PrimSide { rho: 1.0, u: 0.0, p: 1.0, fluid: air },
-        PrimSide { rho: 0.125, u: 0.0, p: 0.1, fluid: air },
+        PrimSide {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+            fluid: air,
+        },
+        PrimSide {
+            rho: 0.125,
+            u: 0.0,
+            p: 0.1,
+            fluid: air,
+        },
     );
     let prim = solver.primitives();
     let eq = case.eq();
@@ -77,12 +93,12 @@ fn wenoz_distributed_matches_serial() {
 #[test]
 fn shock_on_stretched_grid_stays_stable_and_conservative_interiorwise() {
     // Sod tube on a grid refined around the initial diaphragm.
+    use mfc::core::bc::apply_bcs;
     use mfc::core::domain::Domain;
     use mfc::core::grid::{Grid, Grid1D};
     use mfc::core::rhs::{compute_rhs, RhsWorkspace};
     use mfc::core::state::StateField;
     use mfc::core::time::{rk_step, RkWorkspace};
-    use mfc::core::bc::apply_bcs;
 
     let n = 128;
     let eq = mfc::core::eqidx::EqIdx::new(1, 1);
@@ -149,7 +165,10 @@ fn mixed_bc_axes_work_together() {
             lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Transmissive],
             hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Transmissive],
         })
-        .patch(Region::All, PatchState::single(1.2, [80.0, 0.0, 0.0], 1.0e5));
+        .patch(
+            Region::All,
+            PatchState::single(1.2, [80.0, 0.0, 0.0], 1.0e5),
+        );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
     let c0 = solver.conservation();
     solver.run_steps(20);
@@ -192,7 +211,10 @@ fn pack_strategies_identical_in_distributed_runs() {
     let mut fields = Vec::new();
     for pack in [PackStrategy::CollapsedLoops, PackStrategy::Geam] {
         let cfg = SolverConfig {
-            rhs: RhsConfig { pack, ..Default::default() },
+            rhs: RhsConfig {
+                pack,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let (f, _) = run_distributed(&case, cfg, 2, 2, Staging::DeviceDirect);
@@ -235,7 +257,10 @@ fn rusanov_runs_the_two_phase_benchmark() {
     // it survives (diffusively) on multiphase problems.
     let case = presets::two_phase_benchmark(2, [16, 16, 1]);
     let cfg = SolverConfig {
-        rhs: RhsConfig { solver: RiemannSolver::Rusanov, ..Default::default() },
+        rhs: RhsConfig {
+            solver: RiemannSolver::Rusanov,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut solver = Solver::new(&case, cfg, Context::serial());
@@ -258,13 +283,22 @@ fn hll_runs_single_fluid_flows() {
     let case = CaseBuilder::new(vec![Fluid::air()], 2, [16, 16, 1])
         .bc(BcSpec::periodic())
         .smear(1.0)
-        .patch(Region::All, PatchState::single(1.2, [30.0, 10.0, 0.0], 1.0e5))
         .patch(
-            Region::Sphere { center: [0.5, 0.5, 0.0], radius: 0.2 },
+            Region::All,
+            PatchState::single(1.2, [30.0, 10.0, 0.0], 1.0e5),
+        )
+        .patch(
+            Region::Sphere {
+                center: [0.5, 0.5, 0.0],
+                radius: 0.2,
+            },
             PatchState::single(0.6, [30.0, 10.0, 0.0], 1.0e5),
         );
     let cfg = SolverConfig {
-        rhs: RhsConfig { solver: RiemannSolver::Hll, ..Default::default() },
+        rhs: RhsConfig {
+            solver: RiemannSolver::Hll,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut solver = Solver::new(&case, cfg, Context::serial());

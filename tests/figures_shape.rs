@@ -12,13 +12,21 @@ fn fig1_shape() {
     // Six points: {WENO, Riemann} x {V100, MI250X, A100}.
     assert_eq!(pts.len(), 6);
     let get = |dev: &str, k: KernelClass| {
-        pts.iter().find(|p| p.device == dev && p.kernel == k).unwrap()
+        pts.iter()
+            .find(|p| p.device == dev && p.kernel == k)
+            .unwrap()
     };
     // Paper's percentages.
     assert_eq!(get("NV V100 PCIe", KernelClass::Weno).peak_fraction, 0.45);
-    assert_eq!(get("NV V100 PCIe", KernelClass::Riemann).peak_fraction, 0.13);
+    assert_eq!(
+        get("NV V100 PCIe", KernelClass::Riemann).peak_fraction,
+        0.13
+    );
     assert_eq!(get("AMD MI250X GCD", KernelClass::Weno).peak_fraction, 0.21);
-    assert_eq!(get("AMD MI250X GCD", KernelClass::Riemann).peak_fraction, 0.03);
+    assert_eq!(
+        get("AMD MI250X GCD", KernelClass::Riemann).peak_fraction,
+        0.03
+    );
     // WENO has higher arithmetic intensity than Riemann.
     assert!(
         get("NV V100 PCIe", KernelClass::Weno).ai > get("NV V100 PCIe", KernelClass::Riemann).ai
@@ -32,13 +40,20 @@ fn fig2_shape() {
     for machine in ["Summit", "Frontier"] {
         let series: Vec<_> = rows.iter().filter(|r| r.machine == machine).collect();
         assert!(series.len() >= 5);
-        assert!(series.windows(2).all(|w| w[0].point.devices < w[1].point.devices));
+        assert!(series
+            .windows(2)
+            .all(|w| w[0].point.devices < w[1].point.devices));
         for r in &series {
-            assert!(r.point.efficiency > 0.93, "{machine} @ {}: {}", r.point.devices, r.point.efficiency);
+            assert!(
+                r.point.efficiency > 0.93,
+                "{machine} @ {}: {}",
+                r.point.devices,
+                r.point.efficiency
+            );
         }
     }
     // Abstract numbers.
-    let last = |m: &str| rows.iter().filter(|r| r.machine == m).next_back().unwrap().point;
+    let last = |m: &str| rows.iter().rfind(|r| r.machine == m).unwrap().point;
     assert_eq!(last("Summit").devices, 13824);
     assert_eq!(last("Frontier").devices, 65536);
     assert!((last("Summit").efficiency - 0.97).abs() < 0.015);
@@ -49,7 +64,11 @@ fn fig2_shape() {
 fn fig3_shape() {
     let rows = fig3_strong_scaling();
     // Efficiency decreases with device count within each series.
-    for series in ["8M cells/GPU base", "32M cells/GCD base", "16M cells/GCD base"] {
+    for series in [
+        "8M cells/GPU base",
+        "32M cells/GCD base",
+        "16M cells/GCD base",
+    ] {
         let pts: Vec<_> = rows.iter().filter(|r| r.series == series).collect();
         assert!(pts.len() >= 4, "{series}");
         for w in pts.windows(2) {
@@ -60,12 +79,24 @@ fn fig3_shape() {
         }
     }
     // Final efficiencies match the paper.
-    let last = |s: &str| rows.iter().filter(|r| r.series == s).next_back().unwrap().point.efficiency;
+    let last = |s: &str| {
+        rows.iter()
+            .rfind(|r| r.series == s)
+            .unwrap()
+            .point
+            .efficiency
+    };
     assert!((last("8M cells/GPU base") - 0.84).abs() < 0.02);
     assert!((last("32M cells/GCD base") - 0.81).abs() < 0.025);
     // The smaller problem scales worse at every shared device count.
-    let big: Vec<_> = rows.iter().filter(|r| r.series == "32M cells/GCD base").collect();
-    let small: Vec<_> = rows.iter().filter(|r| r.series == "16M cells/GCD base").collect();
+    let big: Vec<_> = rows
+        .iter()
+        .filter(|r| r.series == "32M cells/GCD base")
+        .collect();
+    let small: Vec<_> = rows
+        .iter()
+        .filter(|r| r.series == "16M cells/GCD base")
+        .collect();
     for (b, s) in big.iter().zip(&small) {
         assert!(s.point.efficiency <= b.point.efficiency + 1e-12);
     }
@@ -110,13 +141,18 @@ fn fig5_shape() {
     assert!((lo - 1.5).abs() < 0.2, "lo = {lo}");
     assert!((hi - 5.3).abs() < 0.4, "hi = {hi}");
     // Power10 is slowest → largest speedups (9.1–31.3).
-    let p10: Vec<f64> = hw::GPUS.iter().map(|g| speedup("IBM Power10", g.name)).collect();
+    let p10: Vec<f64> = hw::GPUS
+        .iter()
+        .map(|g| speedup("IBM Power10", g.name))
+        .collect();
     let lo = p10.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = p10.iter().cloned().fold(0.0, f64::max);
     assert!((lo - 9.1).abs() < 0.5, "lo = {lo}");
     assert!((hi - 31.3).abs() < 1.5, "hi = {hi}");
     // Ordering of CPUs: Genoa < XeonMax ~ Grace < Power10 in grind time.
-    assert!(speedup("AMD EPYC 9654 Genoa", "NV GH200") < speedup("Intel Xeon Max 9468", "NV GH200"));
+    assert!(
+        speedup("AMD EPYC 9654 Genoa", "NV GH200") < speedup("Intel Xeon Max 9468", "NV GH200")
+    );
     assert!(speedup("Intel Xeon Max 9468", "NV GH200") < speedup("IBM Power10", "NV GH200"));
 }
 
@@ -126,7 +162,13 @@ fn fig6_fig7_shape() {
     assert_eq!(rows.len(), 5);
     let g = |dev: &str| rows.iter().find(|r| r.device == dev).unwrap();
     // Grind-time ordering: GH200 < H100 < A100 < MI250X < V100.
-    let order = ["NV GH200", "NV H100 SXM", "NV A100 PCIe", "AMD MI250X GCD", "NV V100 PCIe"];
+    let order = [
+        "NV GH200",
+        "NV H100 SXM",
+        "NV A100 PCIe",
+        "AMD MI250X GCD",
+        "NV V100 PCIe",
+    ];
     for w in order.windows(2) {
         assert!(
             g(w[0]).total_grind_ns < g(w[1]).total_grind_ns,
@@ -144,7 +186,14 @@ fn fig6_fig7_shape() {
     assert!(weno("NV V100 PCIe") / weno("NV A100 PCIe") < 1.07);
     assert!(weno("AMD MI250X GCD") / weno("NV A100 PCIe") < 1.07);
     // Riemann +48% / +103%.
-    let riem = |dev: &str| g(dev).components.iter().find(|c| c.0 == "Riemann").unwrap().1;
+    let riem = |dev: &str| {
+        g(dev)
+            .components
+            .iter()
+            .find(|c| c.0 == "Riemann")
+            .unwrap()
+            .1
+    };
     assert!((riem("NV V100 PCIe") / riem("NV A100 PCIe") - 1.48).abs() < 0.03);
     assert!((riem("AMD MI250X GCD") / riem("NV A100 PCIe") - 2.03).abs() < 0.03);
 }

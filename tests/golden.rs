@@ -1,0 +1,205 @@
+//! Golden-file regression harness for the shipped case files.
+//!
+//! Every case under `cases/` runs for a short, fixed number of steps;
+//! after each step the harness records (a) the interior sum of every
+//! conserved quantity and (b) a probe trace at the domain-center cell.
+//! Both are stored as **bit-exact** hex-encoded `f64`s in
+//! `tests/golden/<case>.json`, so the comparison catches a single-ulp
+//! drift anywhere in the numerics.
+//!
+//! To regenerate after an intentional physics change:
+//!
+//! ```text
+//! MFC_BLESS=1 cargo test --test golden
+//! ```
+
+use mfc_acc::Context;
+use mfc_cli::CaseFile;
+use mfc_core::solver::Solver;
+use serde::{Deserialize, Serialize};
+
+fn cases_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../cases")
+}
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// One case's regression record. All floats are hex-encoded IEEE-754
+/// bits (`{:016x}` of `f64::to_bits`), so the file is exact and diffs
+/// are meaningful.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GoldenRecord {
+    case: String,
+    steps: usize,
+    /// Per step, per equation: interior sum of the conserved variable.
+    sums: Vec<Vec<String>>,
+    /// Per step, per equation: the state at the domain-center cell.
+    probes: Vec<Vec<String>>,
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn unhex(s: &str) -> f64 {
+    f64::from_bits(u64::from_str_radix(s, 16).expect("bad hex f64 in golden file"))
+}
+
+/// Distance in representable values between two floats (same sign
+/// assumed, which holds for matching physics); 0 means bitwise equal.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    (a.to_bits() as i64).abs_diff(b.to_bits() as i64)
+}
+
+/// Run `name` serially for `steps` steps, recording sums and probes.
+fn record_case(name: &str, steps: usize) -> GoldenRecord {
+    let cf = CaseFile::from_path(&cases_dir().join(format!("{name}.json")))
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let case = cf.to_case().unwrap();
+    let cfg = cf.numerics.to_solver_config().unwrap();
+    let mut solver = Solver::new(&case, cfg, Context::serial());
+    let dom = *solver.domain();
+    let neq = dom.eq.neq();
+    let center = (
+        dom.pad(0) + dom.n[0] / 2,
+        dom.pad(1) + dom.n[1] / 2,
+        dom.pad(2) + dom.n[2] / 2,
+    );
+    let mut sums = Vec::with_capacity(steps);
+    let mut probes = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        solver.step();
+        let q = solver.state();
+        let mut step_sums = Vec::with_capacity(neq);
+        let mut step_probe = Vec::with_capacity(neq);
+        for e in 0..neq {
+            // Fixed iteration order => bitwise-reproducible sum.
+            let mut acc = 0.0f64;
+            for (i, j, k) in dom.interior() {
+                acc += q.get(i, j, k, e);
+            }
+            step_sums.push(hex(acc));
+            step_probe.push(hex(q.get(center.0, center.1, center.2, e)));
+        }
+        sums.push(step_sums);
+        probes.push(step_probe);
+    }
+    GoldenRecord {
+        case: name.to_string(),
+        steps,
+        sums,
+        probes,
+    }
+}
+
+/// Bit-exact comparison; reports every mismatch with its ulp distance.
+fn compare(golden: &GoldenRecord, actual: &GoldenRecord) -> Result<(), String> {
+    if golden.steps != actual.steps {
+        return Err(format!(
+            "step count changed: golden {} vs actual {}",
+            golden.steps, actual.steps
+        ));
+    }
+    let mut report = String::new();
+    for (kind, g, a) in [
+        ("sum", &golden.sums, &actual.sums),
+        ("probe", &golden.probes, &actual.probes),
+    ] {
+        for (step, (gs, as_)) in g.iter().zip(a).enumerate() {
+            if gs.len() != as_.len() {
+                return Err(format!(
+                    "{kind} step {step}: equation count changed ({} vs {})",
+                    gs.len(),
+                    as_.len()
+                ));
+            }
+            for (e, (gh, ah)) in gs.iter().zip(as_).enumerate() {
+                if gh != ah {
+                    let (gv, av) = (unhex(gh), unhex(ah));
+                    report.push_str(&format!(
+                        "{kind} step {step} eq {e}: golden {gv:e} ({gh}) vs actual {av:e} ({ah}), {} ulp\n",
+                        ulp_distance(gv, av)
+                    ));
+                }
+            }
+        }
+    }
+    if report.is_empty() {
+        Ok(())
+    } else {
+        Err(report)
+    }
+}
+
+/// Run one case against its committed golden, or regenerate it when
+/// `MFC_BLESS=1` is set.
+fn check(name: &str, steps: usize) {
+    let actual = record_case(name, steps);
+    let path = golden_dir().join(format!("{name}.json"));
+    if std::env::var("MFC_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        let text = serde_json::to_string_pretty(&actual).unwrap();
+        std::fs::write(&path, text + "\n").unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path:?} ({e}); generate with MFC_BLESS=1 cargo test --test golden")
+    });
+    let golden: GoldenRecord = serde_json::from_str(&text).unwrap();
+    if let Err(diff) = compare(&golden, &actual) {
+        panic!(
+            "{name} drifted from its golden record:\n{diff}\
+             If the change is intentional, regenerate with \
+             MFC_BLESS=1 cargo test --test golden"
+        );
+    }
+}
+
+#[test]
+fn golden_sod() {
+    check("sod", 12);
+}
+
+#[test]
+fn golden_taylor_green() {
+    check("taylor_green", 6);
+}
+
+#[test]
+fn golden_shock_droplet_2d() {
+    check("shock_droplet_2d", 5);
+}
+
+#[test]
+fn golden_bubble_cloud_2d() {
+    check("bubble_cloud_2d", 5);
+}
+
+#[test]
+fn comparator_rejects_one_ulp_perturbation() {
+    let golden = GoldenRecord {
+        case: "synthetic".into(),
+        steps: 1,
+        sums: vec![vec![hex(1.0), hex(-2.5)]],
+        probes: vec![vec![hex(0.1), hex(3.75e5)]],
+    };
+    assert!(compare(&golden, &golden.clone()).is_ok());
+    let mut bumped = golden.clone();
+    bumped.sums[0][1] = hex(f64::from_bits(unhex(&golden.sums[0][1]).to_bits() + 1));
+    let err = compare(&golden, &bumped).unwrap_err();
+    assert!(err.contains("1 ulp"), "{err}");
+    let mut probe_bumped = golden.clone();
+    probe_bumped.probes[0][0] = hex(f64::from_bits(unhex(&golden.probes[0][0]).to_bits() - 1));
+    assert!(compare(&golden, &probe_bumped).is_err());
+}
+
+#[test]
+fn golden_round_trips_through_json() {
+    let rec = record_case("sod", 2);
+    let text = serde_json::to_string(&rec).unwrap();
+    let back: GoldenRecord = serde_json::from_str(&text).unwrap();
+    assert_eq!(rec, back, "hex encoding must be lossless");
+}

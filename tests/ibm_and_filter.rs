@@ -3,10 +3,10 @@
 
 use mfc::core::bc::{BcKind, BcSpec};
 use mfc::core::filter::apply_azimuthal_filter;
+use mfc::core::fluid::Fluid;
 use mfc::core::ibm::{Body, Circle, GhostCellIbm, NacaAirfoil};
 use mfc::fft::LowpassPlan;
 use mfc::{presets, CaseBuilder, Context, PatchState, Region, Solver, SolverConfig};
-use mfc::core::fluid::Fluid;
 
 #[test]
 fn flow_over_cylinder_stays_stable_and_decelerates_at_body() {
@@ -74,7 +74,10 @@ fn airfoil_at_aoa_deflects_flow_asymmetrically() {
 fn solid_interior_velocity_is_controlled() {
     // Deep solid cells are frozen to zero velocity each stage.
     let case = presets::uniform_flow(2, [40, 40, 1], [60.0, 0.0, 0.0]);
-    let body = Circle { center: [0.5, 0.5], radius: 0.2 };
+    let body = Circle {
+        center: [0.5, 0.5],
+        radius: 0.2,
+    };
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial())
         .with_body(GhostCellIbm::new(Box::new(body)));
     solver.run_steps(20);
@@ -93,7 +96,10 @@ fn azimuthal_filter_inside_a_3d_run() {
     let n = [8usize, 8, 16];
     let case = CaseBuilder::new(vec![Fluid::air()], 3, n)
         .bc(BcSpec::periodic())
-        .patch(Region::All, PatchState::single(1.2, [10.0, 0.0, 0.0], 1.0e5));
+        .patch(
+            Region::All,
+            PatchState::single(1.2, [10.0, 0.0, 0.0], 1.0e5),
+        );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
     let plan = LowpassPlan::new(n[1], n[2]);
 
@@ -115,8 +121,10 @@ fn azimuthal_filter_inside_a_3d_run() {
     apply_azimuthal_filter(&ctx, &plan, solver_state_mut(&mut solver));
     // Inner ring (j = 0): high-mode content mostly gone.
     let q = solver.state();
-    let mean: f64 =
-        (0..n[2]).map(|k| q.get(ng, ng, k + ng, eq.cont(0))).sum::<f64>() / n[2] as f64;
+    let mean: f64 = (0..n[2])
+        .map(|k| q.get(ng, ng, k + ng, eq.cont(0)))
+        .sum::<f64>()
+        / n[2] as f64;
     let dev: f64 = (0..n[2])
         .map(|k| (q.get(ng, ng, k + ng, eq.cont(0)) - mean).abs())
         .fold(0.0, f64::max);
@@ -129,7 +137,10 @@ fn solver_state_mut(solver: &mut Solver) -> &mut mfc::core::state::StateField {
 
 #[test]
 fn sdf_normals_point_outward() {
-    let c = Circle { center: [0.3, -0.2], radius: 0.5 };
+    let c = Circle {
+        center: [0.3, -0.2],
+        radius: 0.5,
+    };
     for (x, y) in [(1.0, -0.2), (0.3, 0.8), (-0.5, -0.2)] {
         let n = c.normal([x, y, 0.0]);
         // Moving along the normal increases the SDF.

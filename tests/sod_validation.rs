@@ -21,8 +21,18 @@ fn sod_l1_error(n: usize, order: WenoOrder, solver_kind: RiemannSolver) -> f64 {
 
     let air = Fluid::air();
     let exact = ExactRiemann::solve(
-        PrimSide { rho: 1.0, u: 0.0, p: 1.0, fluid: air },
-        PrimSide { rho: 0.125, u: 0.0, p: 0.1, fluid: air },
+        PrimSide {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+            fluid: air,
+        },
+        PrimSide {
+            rho: 0.125,
+            u: 0.0,
+            p: 0.1,
+            fluid: air,
+        },
     );
     let prim = solver.primitives();
     let eq = case.eq();
@@ -76,7 +86,10 @@ fn strong_shock_tube_stays_positive() {
         .bc(BcSpec::transmissive())
         .patch(Region::All, PatchState::single(1.0, [0.0; 3], 0.01))
         .patch(
-            Region::HalfSpace { axis: 0, bound: 0.5 },
+            Region::HalfSpace {
+                axis: 0,
+                bound: 0.5,
+            },
             PatchState::single(1.0, [0.0; 3], 1000.0),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
@@ -107,15 +120,28 @@ fn air_water_shock_tube_matches_stiffened_exact_solution() {
             PatchState::two_fluid(1e-6, [1.2, 1000.0], [0.0; 3], 1.0e5),
         )
         .patch(
-            Region::HalfSpace { axis: 0, bound: 0.5 },
+            Region::HalfSpace {
+                axis: 0,
+                bound: 0.5,
+            },
             PatchState::two_fluid(1.0 - 1e-6, [100.0, 1000.0], [0.0; 3], 1.0e7),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
     solver.run_until(5.0e-5, 100_000);
 
     let exact = ExactRiemann::solve(
-        PrimSide { rho: 100.0, u: 0.0, p: 1.0e7, fluid: air },
-        PrimSide { rho: 1000.0, u: 0.0, p: 1.0e5, fluid: water },
+        PrimSide {
+            rho: 100.0,
+            u: 0.0,
+            p: 1.0e7,
+            fluid: air,
+        },
+        PrimSide {
+            rho: 1000.0,
+            u: 0.0,
+            p: 1.0e5,
+            fluid: water,
+        },
     );
     // Sample the simulation in the star region behind the transmitted
     // shock (between contact and shock).

@@ -156,7 +156,10 @@ fn noslip_walls_decelerate_the_near_wall_flow_first() {
         u_wall < 0.8 * u_center,
         "wall {u_wall:.4} vs center {u_center:.4}"
     );
-    assert!(u_center > 0.9 * u0, "core flow should be barely touched yet");
+    assert!(
+        u_center > 0.9 * u0,
+        "core flow should be barely touched yet"
+    );
     assert!(u_wall > 0.0, "flow must not reverse");
 }
 

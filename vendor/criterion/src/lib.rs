@@ -1,0 +1,210 @@
+//! Vendored, offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! median-of-samples timer instead of criterion's full statistical
+//! machinery. Benches compile and run (`cargo bench`) and print one
+//! summary line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; forwards to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name + parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up (not timed).
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  {:.3e} elem/s", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!("  {:.3e} B/s", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: median {median:?} over {} samples{rate}",
+            self.name, self.sample_size
+        );
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.full.clone();
+        self.run_one(&name, |b| routine(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Benchmark driver; one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(&name)
+            .sample_size(10)
+            .bench_function("bench", routine);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` that runs each group, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes harness flags like `--bench`; nothing to parse
+            // in this stand-in.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        g.bench_function("inc", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::new("add", 5), &5u64, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! The `Deserialize` trait: rebuild a type from a [`Value`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::value::Value;
+
+/// Deserialization failure with a breadcrumb path for diagnostics.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    path: Vec<String>,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            path: Vec::new(),
+        }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {what}, got {}", got.kind()))
+    }
+
+    pub fn missing_field(field: &str) -> Self {
+        Error::custom(format!("missing field `{field}`"))
+    }
+
+    /// Push a field/index breadcrumb (outermost last).
+    pub fn in_field(mut self, field: &str) -> Self {
+        self.path.push(field.to_string());
+        self
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.path.is_empty() {
+            let path: Vec<&str> = self.path.iter().rev().map(String::as_str).collect();
+            write!(f, "at {}: ", path.join("."))?;
+        }
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Value to use when a struct field is absent; `None` means the field
+    /// is required. `Option<T>` overrides this so optional fields work
+    /// without `#[serde(default)]`, as with upstream serde.
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Derive-macro helper: resolve an absent field via [`Deserialize::missing`].
+pub fn missing_field<T: Deserialize>(field: &str) -> Result<T, Error> {
+    T::missing().ok_or_else(|| Error::missing_field(field))
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, x)| T::from_value(x).map_err(|e| e.in_field(&i.to_string())))
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($n:expr; $($name:ident : $idx:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                if arr.len() != $n {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, got array of {}", $n, arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    };
+}
+
+de_tuple!(1; A: 0);
+de_tuple!(2; A: 0, B: 1);
+de_tuple!(3; A: 0, B: 1, C: 2);
+de_tuple!(4; A: 0, B: 1, C: 2, D: 3);
+
+/// Reconstruct a map key from its JSON object-key text: try the string
+/// form first (String keys, unit enum variants), then the numeric form.
+fn key_from_text<K: Deserialize>(text: &str) -> Result<K, Error> {
+    match K::from_value(&Value::String(text.to_string())) {
+        Ok(k) => Ok(k),
+        Err(first) => {
+            if let Ok(i) = text.parse::<i64>() {
+                if let Ok(k) = K::from_value(&Value::Number(crate::value::Number::Int(i))) {
+                    return Ok(k);
+                }
+            }
+            if let Ok(x) = text.parse::<f64>() {
+                if let Ok(k) = K::from_value(&Value::Number(crate::value::Number::Float(x))) {
+                    return Ok(k);
+                }
+            }
+            Err(first)
+        }
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        obj.iter()
+            .map(|(k, x)| {
+                let key = key_from_text::<K>(k).map_err(|e| e.in_field(k))?;
+                V::from_value(x)
+                    .map(|x| (key, x))
+                    .map_err(|e| e.in_field(k))
+            })
+            .collect()
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        obj.iter()
+            .map(|(k, x)| {
+                let key = key_from_text::<K>(k).map_err(|e| e.in_field(k))?;
+                V::from_value(x)
+                    .map(|x| (key, x))
+                    .map_err(|e| e.in_field(k))
+            })
+            .collect()
+    }
+}
+
+/// `&'static str` deserializes by leaking the parsed string — the
+/// workspace only uses it for small device-name literals in config
+/// structs, where the leak is bounded and harmless.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Deserialize for PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(PathBuf::from)
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::expected("duration object", v))?;
+        let secs = obj
+            .get("secs")
+            .ok_or_else(|| Error::missing_field("secs"))
+            .and_then(u64::from_value)?;
+        let nanos = obj
+            .get("nanos")
+            .ok_or_else(|| Error::missing_field("nanos"))
+            .and_then(u32::from_value)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

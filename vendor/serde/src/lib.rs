@@ -1,0 +1,62 @@
+//! Vendored, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a minimal serde-compatible surface: `Serialize`/`Deserialize`
+//! traits lowered through a single self-describing [`Value`] tree, plus
+//! derive macros (`vendor/serde_derive`) covering the attribute subset the
+//! workspace uses: `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(rename_all = "snake_case")]`, and `#[serde(untagged)]`.
+//!
+//! Semantics intentionally mirror upstream serde where the workspace
+//! relies on them: missing `Option` fields deserialize to `None`, unknown
+//! fields are ignored, unit enum variants (de)serialize as strings, data
+//! variants as single-key objects, and `rename_all = "snake_case"` uses
+//! upstream's case-conversion rules.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Error};
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+// Derive macros live in the macro namespace, the traits in the type
+// namespace, so both `Serialize`s can be re-exported side by side —
+// exactly how upstream serde's `derive` feature works.
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0.5f64, -3.25, 1e300, f64::MIN_POSITIVE] {
+            let t = v.to_value();
+            assert_eq!(f64::from_value(&t).unwrap(), v);
+        }
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(<Option<f64>>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            <[usize; 3]>::from_value(&[1usize, 2, 3].to_value()).unwrap(),
+            [1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn display_renders_compact_json() {
+        let mut m = Map::new();
+        m.insert("a", vec![1.5f64, 2.0].to_value());
+        m.insert("b", "x\"y".to_value());
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), r#"{"a":[1.5,2.0],"b":"x\"y"}"#);
+    }
+
+    #[test]
+    fn missing_option_field_is_none() {
+        assert_eq!(de::missing_field::<Option<f64>>("x").unwrap(), None);
+        assert!(de::missing_field::<f64>("x").is_err());
+    }
+}

@@ -1,0 +1,646 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Parses the item with raw `proc_macro` tokens (no syn/quote in an
+//! offline build) and emits impls of the Value-based traits. Supported
+//! shapes: structs with named fields, tuple/newtype/unit structs, and
+//! enums with unit/newtype/tuple/struct variants. Supported attributes:
+//! container `#[serde(default)]`, `#[serde(rename_all = "snake_case")]`
+//! (also `"lowercase"`/`"UPPERCASE"`/`"camelCase"`), `#[serde(untagged)]`;
+//! field `#[serde(default)]` and `#[serde(default = "path")]`. Generic
+//! types are not supported (none exist in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ---------------------------------------------------------------- model
+
+#[derive(Default)]
+struct ContainerAttrs {
+    default: bool,
+    untagged: bool,
+    rename_all: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// --------------------------------------------------------------- parser
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: Iter = input.into_iter().peekable();
+    let attrs = parse_attrs(&mut it).0;
+
+    // Skip visibility.
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, attrs, body }
+}
+
+/// Consume leading `#[...]` attributes; collect serde ones into both a
+/// container view and a field view (caller picks the one it needs).
+fn parse_attrs(it: &mut Iter) -> (ContainerAttrs, FieldAttrs) {
+    let mut c = ContainerAttrs::default();
+    let mut f = FieldAttrs::default();
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let Some(TokenTree::Group(g)) = it.next() else {
+            panic!("serde_derive: malformed attribute")
+        };
+        let mut inner = g.stream().into_iter();
+        let Some(TokenTree::Ident(head)) = inner.next() else {
+            continue;
+        };
+        if head.to_string() != "serde" {
+            continue; // doc comment, cfg, etc.
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        for (key, value) in parse_attr_args(args.stream()) {
+            match key.as_str() {
+                "default" => f.default = Some(value.clone()),
+                "untagged" => c.untagged = true,
+                "rename_all" => c.rename_all = value.clone(),
+                _ => {} // tolerated: not used in this workspace
+            }
+            if key == "default" {
+                c.default = true;
+            }
+        }
+    }
+    (c, f)
+}
+
+/// Parse `ident [= "literal"]` pairs separated by commas.
+fn parse_attr_args(ts: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let mut value = None;
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            it.next();
+            if let Some(TokenTree::Literal(lit)) = it.next() {
+                value = Some(unquote(&lit.to_string()));
+            }
+        }
+        out.push((key.to_string(), value));
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() != ',') {
+            it.next();
+        }
+        it.next(); // the comma
+    }
+    out
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut it: Iter = ts.into_iter().peekable();
+    loop {
+        if it.peek().is_none() {
+            break;
+        }
+        let attrs = parse_attrs(&mut it).1;
+        if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            break; // trailing comma
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&mut it);
+        it.next(); // the comma, if any
+        out.push(Field {
+            name: name.to_string(),
+            attrs,
+        });
+    }
+    out
+}
+
+/// Skip a type, stopping at a top-level `,`. Tracks `<...>` nesting so
+/// commas inside generic arguments don't terminate early; (), [] and {}
+/// arrive as single groups and need no tracking.
+fn skip_type(it: &mut Iter) {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    return;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' && !prev_dash {
+                    depth -= 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        it.next();
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut it: Iter = ts.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        // Each iteration: attrs + optional vis + one type.
+        let _ = parse_attrs(&mut it);
+        if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        if it.peek().is_none() {
+            break;
+        }
+        skip_type(&mut it);
+        n += 1;
+        if it.next().is_none() {
+            break; // no trailing comma
+        }
+        if it.peek().is_none() {
+            break; // trailing comma
+        }
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut it: Iter = ts.into_iter().peekable();
+    loop {
+        if it.peek().is_none() {
+            break;
+        }
+        let _ = parse_attrs(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            break;
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to and past the separating comma (covers discriminants).
+        while matches!(it.peek(), Some(tt) if !matches!(tt, TokenTree::Punct(p) if p.as_char() == ','))
+        {
+            it.next();
+        }
+        it.next();
+        out.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------- case rules
+
+/// Upstream serde's rename rules for the subset this workspace uses.
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("camelCase") => {
+            let mut chars = name.chars();
+            match chars.next() {
+                Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        }
+        Some(other) => panic!("serde_derive (vendored): rename_all = \"{other}\" unsupported"),
+    }
+}
+
+// -------------------------------------------------------------- codegen
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::value::Map::new();\n");
+            for f in fields {
+                let key = rename(&f.name, item.attrs.rename_all.as_deref());
+                s += &format!(
+                    "__m.insert(\"{key}\", ::serde::ser::Serialize::to_value(&self.{}));\n",
+                    f.name
+                );
+            }
+            s += "::serde::value::Value::Object(__m)";
+            s
+        }
+        Body::TupleStruct(1) => "::serde::ser::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::ser::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = rename(&v.name, item.attrs.rename_all.as_deref());
+                let arm = match (&v.shape, item.attrs.untagged) {
+                    (Shape::Unit, false) => format!(
+                        "{name}::{v} => ::serde::value::Value::String(\"{key}\".to_string()),\n",
+                        v = v.name
+                    ),
+                    (Shape::Unit, true) => {
+                        format!("{name}::{v} => ::serde::value::Value::Null,\n", v = v.name)
+                    }
+                    (Shape::Tuple(n), untagged) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let content = if *n == 1 {
+                            "::serde::ser::Serialize::to_value(__x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::ser::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        let expr = if untagged {
+                            content
+                        } else {
+                            format!(
+                                "{{ let mut __m = ::serde::value::Map::new(); \
+                                 __m.insert(\"{key}\", {content}); \
+                                 ::serde::value::Value::Object(__m) }}"
+                            )
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => {expr},\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                    (Shape::Struct(fields), untagged) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut content =
+                            String::from("{ let mut __i = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            content += &format!(
+                                "__i.insert(\"{k}\", ::serde::ser::Serialize::to_value({k}));\n",
+                                k = f.name
+                            );
+                        }
+                        content += "::serde::value::Value::Object(__i) }";
+                        let expr = if untagged {
+                            content
+                        } else {
+                            format!(
+                                "{{ let mut __m = ::serde::value::Map::new(); \
+                                 __m.insert(\"{key}\", {content}); \
+                                 ::serde::value::Value::Object(__m) }}"
+                            )
+                        };
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {expr},\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                };
+                arms += &arm;
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .unwrap_or_else(|e| panic!("serde_derive internal error (Serialize {name}): {e}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => gen_struct_de(
+            name,
+            &format!("{name} {{"),
+            "}",
+            fields,
+            item.attrs.default,
+            item.attrs.rename_all.as_deref(),
+            "__v",
+        ),
+        Body::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::de::Deserialize::from_value(__v)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let mut s = format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::de::Error::expected(\"array for {name}\", __v))?;\n\
+                 if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::de::Error::custom(format!(\"expected {n} elements for {name}, got {{}}\", __arr.len()))); }}\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            s += &format!("::core::result::Result::Ok({name}({}))", items.join(", "));
+            s
+        }
+        Body::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Body::Enum(variants) if item.attrs.untagged => {
+            let mut s = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => {
+                        s += &format!(
+                            "if __v.is_null() {{ return ::core::result::Result::Ok({name}::{v}); }}\n",
+                            v = v.name
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        s += &format!(
+                            "if let ::core::result::Result::Ok(__x) = \
+                             ::serde::de::Deserialize::from_value(__v) {{ \
+                             return ::core::result::Result::Ok({name}::{v}(__x)); }}\n",
+                            v = v.name
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let mut attempt = format!(
+                            "if let ::core::option::Option::Some(__arr) = __v.as_array() {{\n\
+                             if __arr.len() == {n} {{\n\
+                             let __try = (|| -> ::core::result::Result<{name}, ::serde::de::Error> {{\n\
+                             ::core::result::Result::Ok({name}::{v}(",
+                            v = v.name
+                        );
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::de::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        attempt += &items.join(", ");
+                        attempt += "))\n})();\n\
+                             if let ::core::result::Result::Ok(__x) = __try { \
+                             return ::core::result::Result::Ok(__x); }\n}\n}\n";
+                        s += &attempt;
+                    }
+                    Shape::Struct(fields) => {
+                        let inner = gen_struct_de(
+                            name,
+                            &format!("{name}::{} {{", v.name),
+                            "}",
+                            fields,
+                            false,
+                            None,
+                            "__v",
+                        );
+                        s += &format!(
+                            "{{ let __try = (|| -> ::core::result::Result<{name}, ::serde::de::Error> {{\n\
+                             {inner}\n}})();\n\
+                             if let ::core::result::Result::Ok(__x) = __try {{ \
+                             return ::core::result::Result::Ok(__x); }} }}\n"
+                        );
+                    }
+                }
+            }
+            s += &format!(
+                "::core::result::Result::Err(::serde::de::Error::custom(\
+                 \"data did not match any variant of untagged enum {name}\"))"
+            );
+            s
+        }
+        Body::Enum(variants) => {
+            // Externally tagged: "variant" string, or { "variant": content }.
+            let mut unit_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let key = rename(&v.name, item.attrs.rename_all.as_deref());
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms += &format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        );
+                        obj_arms += &format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        obj_arms += &format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}(\
+                             ::serde::de::Deserialize::from_value(__content)\
+                             .map_err(|__e| __e.in_field(\"{key}\"))?)),\n",
+                            v = v.name
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::de::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        obj_arms += &format!(
+                            "\"{key}\" => {{\n\
+                             let __arr = __content.as_array().ok_or_else(|| \
+                             ::serde::de::Error::expected(\"array\", __content))?;\n\
+                             if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::de::Error::custom(\"wrong tuple arity for {name}::{v}\")); }}\n\
+                             ::core::result::Result::Ok({name}::{v}({items}))\n}},\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        );
+                    }
+                    Shape::Struct(fields) => {
+                        let inner = gen_struct_de(
+                            name,
+                            &format!("{name}::{} {{", v.name),
+                            "}",
+                            fields,
+                            false,
+                            None,
+                            "__content",
+                        );
+                        obj_arms += &format!("\"{key}\" => {{ {inner} }},\n");
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::value::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __content) = __m.iter().next().unwrap();\n\
+                 match __k.as_str() {{\n\
+                 {obj_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::de::Error::expected(\
+                 \"string or single-key object for enum {name}\", __v)),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::de::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) \
+         -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .unwrap_or_else(|e| panic!("serde_derive internal error (Deserialize {name}): {e}"))
+}
+
+/// Generate the named-field deserialization for a struct or struct
+/// variant: `head field: ..., field: ..., tail` wrapped in Ok(...).
+fn gen_struct_de(
+    type_name: &str,
+    head: &str,
+    tail: &str,
+    fields: &[Field],
+    container_default: bool,
+    rename_all: Option<&str>,
+    value_expr: &str,
+) -> String {
+    let mut s = format!(
+        "let __obj = {value_expr}.as_object().ok_or_else(|| \
+         ::serde::de::Error::expected(\"object for {type_name}\", {value_expr}))?;\n"
+    );
+    if container_default && !fields.is_empty() {
+        s += &format!("let __dflt: {type_name} = ::core::default::Default::default();\n");
+    }
+    s += &format!("::core::result::Result::Ok({head}\n");
+    for f in fields {
+        let key = rename(&f.name, rename_all);
+        let missing = match (&f.attrs.default, container_default) {
+            (Some(None), _) => "::core::default::Default::default()".to_string(),
+            (Some(Some(path)), _) => format!("{path}()"),
+            (None, true) => format!("__dflt.{}", f.name),
+            (None, false) => format!("::serde::de::missing_field(\"{key}\")?"),
+        };
+        s += &format!(
+            "{field}: match __obj.get(\"{key}\") {{\n\
+             ::core::option::Option::Some(__x) => \
+             ::serde::de::Deserialize::from_value(__x)\
+             .map_err(|__e| __e.in_field(\"{key}\"))?,\n\
+             ::core::option::Option::None => {missing},\n}},\n",
+            field = f.name
+        );
+    }
+    s += tail;
+    s += ")";
+    s
+}
