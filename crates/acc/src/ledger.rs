@@ -67,6 +67,16 @@ pub enum ResilienceEventKind {
     Rollback,
     /// Steps re-executed after a rollback, up to the pre-fault step.
     Replay,
+    /// The numerical-health watchdog flagged a nonphysical cell.
+    HealthFault,
+    /// A faulted step was rejected and retried from the saved state.
+    Retry,
+    /// The recovery ladder engaged a more dissipative policy rung.
+    Degrade,
+    /// Clean steps elapsed and the default policy was restored.
+    Restore,
+    /// Diagnostic crash-dump checkpoint written on unrecoverable abort.
+    CrashDump,
 }
 
 impl ResilienceEventKind {
@@ -76,6 +86,11 @@ impl ResilienceEventKind {
             ResilienceEventKind::FaultDetected => "fault_detected",
             ResilienceEventKind::Rollback => "rollback",
             ResilienceEventKind::Replay => "replay",
+            ResilienceEventKind::HealthFault => "health_fault",
+            ResilienceEventKind::Retry => "retry",
+            ResilienceEventKind::Degrade => "degrade",
+            ResilienceEventKind::Restore => "restore",
+            ResilienceEventKind::CrashDump => "crash_dump",
         }
     }
 }

@@ -43,7 +43,7 @@ fn bench_grind(c: &mut Criterion) {
                 };
                 let mut solver = Solver::new(&case, cfg, Context::serial());
                 b.iter(|| {
-                    solver.step();
+                    solver.step().unwrap();
                     std::hint::black_box(solver.time())
                 })
             },
@@ -66,7 +66,7 @@ fn bench_grind(c: &mut Criterion) {
                 };
                 let mut solver = Solver::new(&case, cfg, Context::serial());
                 b.iter(|| {
-                    solver.step();
+                    solver.step().unwrap();
                     std::hint::black_box(solver.time())
                 })
             },

@@ -21,7 +21,8 @@ fn bench_halo_exchange(c: &mut Criterion) {
                 let case = presets::two_phase_benchmark(2, [24, 24, 1]);
                 let cfg = SolverConfig::default();
                 b.iter(|| {
-                    let (field, _) = run_distributed(&case, cfg, r, 1, Staging::DeviceDirect);
+                    let (field, _) =
+                        run_distributed(&case, cfg, r, 1, Staging::DeviceDirect).unwrap();
                     std::hint::black_box(field.data[0])
                 })
             },

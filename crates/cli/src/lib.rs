@@ -42,11 +42,13 @@ use mfc_core::par::{
     run_distributed, run_distributed_resilient, run_single, GlobalField, ResilienceOpts,
 };
 use mfc_core::probes::{Probe, ProbeSet};
+use mfc_core::recovery::RecoveryPolicy;
 use mfc_core::rhs::{PackStrategy, RhsConfig};
 use mfc_core::riemann::RiemannSolver;
 use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::time::TimeScheme;
 use mfc_core::weno::WenoOrder;
+use mfc_core::HealthConfig;
 use mfc_mpsim::{FaultCtx, FaultPlan, Staging};
 
 /// Boundary spec: one kind for all faces, or per-axis pairs.
@@ -140,6 +142,15 @@ pub struct RunConfig {
     /// Path to a fault-plan JSON file (see `mfc_mpsim::FaultPlan`).
     /// Settable from the command line as `--faults plan.json`.
     pub faults: Option<PathBuf>,
+    /// Path to a recovery-ladder JSON file (see
+    /// `mfc_core::RecoveryPolicy`); arms the numerical-health watchdog
+    /// with graceful degradation. Settable from the command line as
+    /// `--recovery ladder.json`.
+    pub recovery: Option<PathBuf>,
+    /// Per-step retry budget override for the recovery ladder; arms the
+    /// default ladder when no `recovery` file is given. Settable from
+    /// the command line as `--max-retries N`.
+    pub max_retries: Option<u32>,
 }
 
 /// Output options.
@@ -257,39 +268,95 @@ pub struct RunSummary {
     pub grind_ns: f64,
     pub vtk_path: Option<PathBuf>,
     /// Rendered resilience event table (checkpoints, detections,
-    /// rollbacks, replays with per-event timing); empty when the run
-    /// did not use the fault-tolerant driver.
+    /// rollbacks, replays, health faults, retries with per-event
+    /// timing); empty when nothing eventful happened.
     pub resilience: String,
 }
 
+/// Typed failure of [`run_case`]. `mfc-run` maps each variant to a
+/// distinct process exit code (config → 2, I/O → 3, numerical → 4) so
+/// scripts can tell a bad case file from a solver blow-up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The case file or command-line configuration is invalid.
+    Config(String),
+    /// The filesystem said no (case/plan files, output dir, probes, VTK).
+    Io(String),
+    /// The numerical-health watchdog aborted the run (after exhausting
+    /// the recovery ladder, if one was armed).
+    Numerical(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(m) => write!(f, "invalid configuration: {m}"),
+            RunError::Io(m) => write!(f, "i/o failure: {m}"),
+            RunError::Numerical(m) => write!(f, "numerical failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Execute a case file end to end.
-pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
-    let case = case_file.to_case()?;
-    let cfg = case_file.numerics.to_solver_config()?;
+pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
+    let case = case_file.to_case().map_err(RunError::Config)?;
+    let cfg = case_file
+        .numerics
+        .to_solver_config()
+        .map_err(RunError::Config)?;
     let steps = if case_file.run.steps == 0 && case_file.run.t_end.is_none() {
-        return Err("run.steps or run.t_end must be set".into());
+        return Err(RunError::Config(
+            "run.steps or run.t_end must be set".into(),
+        ));
     } else {
         case_file.run.steps
     };
 
     std::fs::create_dir_all(&case_file.output.dir)
-        .map_err(|e| format!("cannot create output dir: {e}"))?;
+        .map_err(|e| RunError::Io(format!("cannot create output dir: {e}")))?;
 
-    // A fault plan or a checkpoint period routes the run through the
-    // fault-tolerant driver (on simulated ranks, even when ranks == 1).
-    let resilient = case_file.run.checkpoint_every > 0 || case_file.run.faults.is_some();
+    // Recovery ladder: an explicit file, or the default ladder when only
+    // a retry budget is given.
+    let mut recovery: Option<RecoveryPolicy> = match &case_file.run.recovery {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| RunError::Io(format!("cannot read recovery ladder {path:?}: {e}")))?;
+            Some(
+                serde_json::from_str(&text)
+                    .map_err(|e| RunError::Config(format!("bad recovery ladder: {e}")))?,
+            )
+        }
+        None => None,
+    };
+    if let Some(n) = case_file.run.max_retries {
+        recovery
+            .get_or_insert_with(RecoveryPolicy::default)
+            .max_retries = n;
+    }
+
+    // A fault plan, a checkpoint period, or a multi-rank recovery ladder
+    // routes the run through the fault-tolerant driver (on simulated
+    // ranks, even when ranks == 1).
+    let resilient = case_file.run.checkpoint_every > 0
+        || case_file.run.faults.is_some()
+        || (recovery.is_some() && case_file.run.ranks > 1);
     let mut resilience = String::new();
 
     let (global, steps_done, t_done, grind_ns) = if resilient {
         if case_file.run.t_end.is_some() {
-            return Err("t_end is only supported for serial runs; use run.steps".into());
+            return Err(RunError::Config(
+                "t_end is only supported for serial runs; use run.steps".into(),
+            ));
         }
         let ranks = case_file.run.ranks.max(1);
         let plan = match &case_file.run.faults {
             Some(path) => {
                 let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read fault plan {path:?}: {e}"))?;
-                FaultPlan::from_json(&text).map_err(|e| format!("bad fault plan: {e}"))?
+                    .map_err(|e| RunError::Io(format!("cannot read fault plan {path:?}: {e}")))?;
+                FaultPlan::from_json(&text)
+                    .map_err(|e| RunError::Config(format!("bad fault plan: {e}")))?
             }
             None => FaultPlan::none(),
         };
@@ -304,11 +371,13 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
             ckpt_dir: case_file.output.dir.join("ckpt"),
             faults,
             events: Some(Arc::clone(&events)),
+            recovery,
+            health: HealthConfig::default(),
         };
         let t0 = std::time::Instant::now();
         let (gf, _) =
             run_distributed_resilient(&case, cfg, ranks, steps, Staging::DeviceDirect, &opts)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| RunError::Numerical(e.to_string()))?;
         let wall = t0.elapsed();
         resilience = resilience_summary(&events);
         let cells = gf.n.iter().product::<usize>();
@@ -317,7 +386,9 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
         (gf, steps as u64, f64::NAN, grind)
     } else if case_file.run.ranks > 1 {
         if case_file.run.t_end.is_some() {
-            return Err("t_end is only supported for serial runs; use run.steps".into());
+            return Err(RunError::Config(
+                "t_end is only supported for serial runs; use run.steps".into(),
+            ));
         }
         let t0 = std::time::Instant::now();
         let (gf, _) = run_distributed(
@@ -326,7 +397,8 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
             case_file.run.ranks,
             steps,
             Staging::DeviceDirect,
-        );
+        )
+        .map_err(|e| RunError::Numerical(e.to_string()))?;
         let wall = t0.elapsed();
         let cells = gf.n.iter().product::<usize>();
         let grind = wall.as_nanos() as f64
@@ -334,6 +406,9 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
         (gf, steps as u64, f64::NAN, grind)
     } else {
         let mut solver = Solver::new(&case, cfg, Context::new());
+        if let Some(p) = recovery {
+            solver = solver.with_recovery(p);
+        }
         let mut probes = if case_file.probes.is_empty() {
             None
         } else {
@@ -354,7 +429,9 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
         let max_steps = if steps == 0 { usize::MAX } else { steps };
         let mut taken = 0usize;
         while taken < max_steps && solver.time() < t_end {
-            solver.step();
+            solver
+                .step()
+                .map_err(|e| RunError::Numerical(e.to_string()))?;
             taken += 1;
             if let Some(ps) = probes.as_mut() {
                 ps.sample(solver.time(), &case.fluids, solver.state());
@@ -367,11 +444,14 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
                     .dir
                     .join(format!("{}_probe.csv", ps.probe(idx).name));
                 let mut f = std::fs::File::create(&path)
-                    .map_err(|e| format!("cannot create probe file: {e}"))?;
+                    .map_err(|e| RunError::Io(format!("cannot create probe file: {e}")))?;
                 ps.write_csv(idx, &mut f)
-                    .map_err(|e| format!("probe write failed: {e}"))?;
+                    .map_err(|e| RunError::Io(format!("probe write failed: {e}")))?;
             }
         }
+        // Serial ladder activity (health faults, retries, rung changes)
+        // lands in the solver's own ledger.
+        resilience = resilience_summary(solver.context().ledger());
         (
             run_single_snapshot(&solver, &case),
             solver.steps(),
@@ -398,7 +478,7 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, String> {
         }
         let refs: Vec<(&str, usize)> = fields.iter().map(|(n, s)| (n.as_str(), *s)).collect();
         write_vtk_rectilinear(&path, &grid, &global, &refs)
-            .map_err(|e| format!("vtk write failed: {e}"))?;
+            .map_err(|e| RunError::Io(format!("vtk write failed: {e}")))?;
         Some(path)
     } else {
         None
@@ -437,7 +517,7 @@ fn run_single_snapshot(solver: &Solver, case: &CaseBuilder) -> GlobalField {
 fn _assert_snapshot_matches_par(case: &CaseBuilder, cfg: SolverConfig) {
     let a = run_single(case, cfg, 0);
     let mut solver = Solver::new(case, cfg, Context::serial());
-    solver.run_steps(0);
+    solver.run_steps(0).unwrap();
     let b = run_single_snapshot(&solver, case);
     assert_eq!(a.max_abs_diff(&b), 0.0);
 }

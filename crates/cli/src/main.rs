@@ -1,20 +1,53 @@
 //! `mfc-run <case.json>` — execute a JSON case file.
 
-use mfc_cli::{run_case, CaseFile};
+use mfc_cli::{run_case, CaseFile, RunError};
 
 const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
-[--faults plan.json] [--checkpoint-every N]";
+[--faults plan.json] [--checkpoint-every N] [--recovery ladder.json] \
+[--max-retries N]";
+
+const HELP: &str = "\
+mfc-run — execute a JSON case file on the MFC reproduction solver
+
+usage: mfc-run <case.json> [flags]
+
+flags:
+  --help                 print this help and exit
+  --validate             parse and validate the case, run nothing
+  --faults plan.json     fault-injection plan (mfc_mpsim::FaultPlan)
+  --checkpoint-every N   checkpoint wave period in steps; any non-zero
+                         value routes the run through the fault-tolerant
+                         driver
+  --recovery ladder.json numerical-recovery ladder (mfc_core::RecoveryPolicy
+                         JSON) arming the health watchdog with graceful
+                         degradation: retry with halved dt, Zhang-Shu
+                         limiting, WENO3, Rusanov
+  --max-retries N        per-step retry budget for the recovery ladder;
+                         arms the default ladder when --recovery is absent
+
+exit codes:
+  0  success
+  2  usage error or invalid case/configuration
+  3  I/O failure (case file, plans, output directory, probes, VTK)
+  4  numerical failure (health-watchdog abort after ladder exhaustion)
+";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut validate_only = false;
     let mut faults: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
+    let mut recovery: Option<String> = None;
+    let mut max_retries: Option<u32> = None;
     let mut path: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return;
+            }
             "--validate" => validate_only = true,
             "--faults" => match it.next() {
                 Some(v) => faults = Some(v.clone()),
@@ -23,6 +56,14 @@ fn main() {
             "--checkpoint-every" => match it.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(n)) => checkpoint_every = Some(n),
                 _ => die("--checkpoint-every needs a step count"),
+            },
+            "--recovery" => match it.next() {
+                Some(v) => recovery = Some(v.clone()),
+                None => die("--recovery needs a ladder file"),
+            },
+            "--max-retries" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => max_retries = Some(n),
+                _ => die("--max-retries needs a retry count"),
             },
             other if other.starts_with("--") => die(&format!("unknown flag {other}")),
             other => {
@@ -34,14 +75,21 @@ fn main() {
     }
     let Some(path) = path else {
         eprintln!("{USAGE}");
-        eprintln!("see crates/cli/src/lib.rs for the case-file schema");
+        eprintln!("see `mfc-run --help` or crates/cli/src/lib.rs for the schema");
         std::process::exit(2);
     };
-    let mut case = match CaseFile::from_path(std::path::Path::new(&path)) {
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: i/o failure: cannot read {path}: {e}");
+            std::process::exit(3);
+        }
+    };
+    let mut case = match CaseFile::from_json(&text) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            eprintln!("error: invalid configuration: {e}");
+            std::process::exit(2);
         }
     };
     // Command-line resilience flags override the case file.
@@ -50,6 +98,12 @@ fn main() {
     }
     if let Some(every) = checkpoint_every {
         case.run.checkpoint_every = every;
+    }
+    if let Some(ladder) = recovery {
+        case.run.recovery = Some(ladder.into());
+    }
+    if let Some(n) = max_retries {
+        case.run.max_retries = Some(n);
     }
     if validate_only {
         match case
@@ -67,8 +121,8 @@ fn main() {
                 return;
             }
             Err(e) => {
-                eprintln!("invalid case: {e}");
-                std::process::exit(1);
+                eprintln!("error: invalid configuration: {e}");
+                std::process::exit(2);
             }
         }
     }
@@ -94,7 +148,11 @@ fn main() {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(match e {
+                RunError::Config(_) => 2,
+                RunError::Io(_) => 3,
+                RunError::Numerical(_) => 4,
+            });
         }
     }
 }

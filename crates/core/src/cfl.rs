@@ -5,6 +5,7 @@ use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
 use crate::domain::MAX_EQ;
 use crate::eos::sound_speed;
 use crate::fluid::Fluid;
+use crate::recovery::StepFault;
 use crate::state::StateField;
 
 /// Largest stable time step for the given primitive state:
@@ -33,6 +34,26 @@ pub fn max_dt_geom(
     cfl: f64,
     radial_metric: Option<&[f64]>,
 ) -> f64 {
+    match try_max_dt_geom(ctx, fluids, prim, widths, cfl, radial_metric) {
+        Ok(dt) => dt,
+        Err(StepFault::DegenerateWaveSpeed { rate }) => {
+            panic!("degenerate wave-speed rate {rate}")
+        }
+        Err(f) => panic!("{f}"),
+    }
+}
+
+/// Fallible variant of [`max_dt_geom`]: a non-finite or non-positive
+/// wave-speed reduction (an all-NaN or vacuum state) becomes a typed
+/// [`StepFault`] for the recovery ladder instead of a panic.
+pub fn try_max_dt_geom(
+    ctx: &Context,
+    fluids: &[Fluid],
+    prim: &StateField,
+    widths: [&[f64]; 3],
+    cfl: f64,
+    radial_metric: Option<&[f64]>,
+) -> Result<f64, StepFault> {
     assert!(cfl > 0.0 && cfl <= 1.0, "cfl must be in (0, 1], got {cfl}");
     let dom = *prim.domain();
     let eq = dom.eq;
@@ -83,11 +104,11 @@ pub fn max_dt_geom(
         }
         rate
     });
-    assert!(
-        rate.is_finite() && rate > 0.0,
-        "degenerate wave-speed rate {rate}"
-    );
-    cfl / rate
+    if rate.is_finite() && rate > 0.0 {
+        Ok(cfl / rate)
+    } else {
+        Err(StepFault::DegenerateWaveSpeed { rate })
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +159,22 @@ mod tests {
         let slow = max_dt(&ctx, &[Fluid::air()], &mk(10.0), [&wx, &ones, &ones], 0.5);
         let fast = max_dt(&ctx, &[Fluid::air()], &mk(500.0), [&wx, &ones, &ones], 0.5);
         assert!(fast < slow);
+    }
+
+    #[test]
+    fn degenerate_state_is_a_typed_fault() {
+        // An all-zero "vacuum" state gives NaN sound speeds, which the
+        // NaN-ignoring max-reduction collapses to -inf: a typed fault.
+        let eq = EqIdx::new(1, 1);
+        let dom = Domain::new([8, 1, 1], 3, eq);
+        let ctx = Context::serial();
+        let prim = StateField::zeros(dom);
+        let g = Grid1D::uniform(8, 0.0, 1.0);
+        let wx = g.widths_with_ghosts(3);
+        let ones = vec![1.0];
+        let err = try_max_dt_geom(&ctx, &[Fluid::air()], &prim, [&wx, &ones, &ones], 0.5, None)
+            .unwrap_err();
+        assert!(matches!(err, StepFault::DegenerateWaveSpeed { .. }));
     }
 
     #[test]

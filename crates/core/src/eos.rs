@@ -32,7 +32,10 @@ pub fn cons_to_prim(eq: &EqIdx, fluids: &[Fluid], cons: &[f64], prim: &mut [f64]
         prim[eq.cont(i)] = ar;
         rho += ar;
     }
-    debug_assert!(rho > 0.0, "non-positive mixture density {rho}");
+    // A non-positive mixture density is *not* asserted here: IEEE division
+    // keeps the conversion well-defined (producing inf/NaN primitives) and
+    // the health scan reports the offending cell so the recovery ladder can
+    // retry the step instead of the process aborting.
 
     let mut kinetic = 0.0;
     for d in 0..eq.ndim() {

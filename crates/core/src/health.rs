@@ -1,0 +1,316 @@
+//! Numerical-health watchdog: a cheap per-step scan fused into the
+//! conservative→primitive pass.
+//!
+//! Diffuse-interface multiphase states go nonphysical mid-run — NaN from an
+//! over-aggressive time step, negative partial densities at a vanishing
+//! phase, vacuum pressure below the stiffened-gas floor `p = -Π`. MFC
+//! answers with the Zhang–Shu positivity limiter and low-dissipation
+//! fallbacks; this module supplies the *detection* half: scan the freshly
+//! updated conservative field, convert each interior cell to primitives
+//! (the work the next step needs anyway), and report the first offending
+//! cell so the recovery ladder in [`crate::recovery`] can react instead of
+//! the process aborting.
+//!
+//! The scan is instrumented as an `mfc-acc` kernel (`s_health_scan`) with
+//! FLOP/byte counts like every other sweep, and is read-only with respect
+//! to the conservative state — running it cannot perturb the trajectory,
+//! which is what keeps recovery-armed runs bitwise identical to plain runs
+//! when no fault triggers.
+
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::domain::MAX_EQ;
+use crate::eos::cons_to_prim;
+use crate::fluid::{Fluid, MixtureRules};
+use crate::state::StateField;
+
+/// Tolerances of the health scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct HealthConfig {
+    /// Allowed excursion of stored volume fractions outside `[0, 1]`.
+    ///
+    /// High-order reconstruction legitimately overshoots alpha by O(1e-3)
+    /// at diffuse interfaces (the EOS clamps before mixture evaluation);
+    /// only excursions beyond this slack are flagged as faults.
+    pub alpha_slack: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig { alpha_slack: 1e-2 }
+    }
+}
+
+/// What went nonphysical in a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ViolationKind {
+    /// A conservative component is NaN or infinite.
+    NotFinite,
+    /// The (unfloored) mixture density is `<= 0`.
+    NonPositiveDensity,
+    /// Pressure is NaN or below the mixture stiffened-gas floor
+    /// `p (1 + Gamma) + Pi <= 0`, where the frozen sound speed turns
+    /// imaginary. Stiffened liquids legitimately sustain tension
+    /// (`p < 0`) well above that floor.
+    VacuumPressure,
+    /// A stored volume fraction left `[0, 1]` by more than the slack.
+    AlphaOutOfRange,
+}
+
+impl ViolationKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ViolationKind::NotFinite => "not_finite",
+            ViolationKind::NonPositiveDensity => "non_positive_density",
+            ViolationKind::VacuumPressure => "vacuum_pressure",
+            ViolationKind::AlphaOutOfRange => "alpha_out_of_range",
+        }
+    }
+}
+
+/// First offending cell found by a health scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    /// Ghost-inclusive cell coordinates in the local block.
+    pub cell: [usize; 3],
+    /// Offending equation slot (first bad one for `NotFinite`/alpha).
+    pub eq: usize,
+    /// The offending value (density, pressure, alpha, or component).
+    pub value: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at cell ({}, {}, {}) eq {}: value {:e}",
+            self.kind.name(),
+            self.cell[0],
+            self.cell[1],
+            self.cell[2],
+            self.eq,
+            self.value
+        )
+    }
+}
+
+/// Scan the interior of a conservative field, writing primitives as a side
+/// product, and return the first violation (in x-fastest cell order).
+///
+/// The fused kernel does the conservative→primitive conversion the next
+/// step needs anyway, so the marginal cost of the watchdog is a handful of
+/// comparisons per cell. `prim` interior cells are overwritten; ghosts are
+/// left untouched (callers refill them before any sweep).
+pub fn scan_and_convert(
+    ctx: &Context,
+    fluids: &[Fluid],
+    health: &HealthConfig,
+    cons: &StateField,
+    prim: &mut StateField,
+) -> Option<Violation> {
+    let dom = *cons.domain();
+    assert_eq!(prim.domain(), &dom);
+    let eq = dom.eq;
+    let neq = eq.neq();
+    let (nx, ny, _nz) = (dom.n[0], dom.n[1], dom.n[2]);
+    let (px, py, pz) = (dom.pad(0), dom.pad(1), dom.pad(2));
+    let slack = health.alpha_slack;
+
+    // Conversion FLOPs plus the watchdog comparisons (~3 per equation)
+    // and the per-cell mixture-floor evaluation (~4 per fluid).
+    let cost = KernelCost::new(
+        KernelClass::Other,
+        (8 * eq.nf() + 7 * eq.ndim() + 13 + 3 * neq) as f64,
+        8.0 * neq as f64,
+        8.0 * neq as f64,
+    );
+    let cfg = LaunchConfig::tuned("s_health_scan");
+
+    let mut first: Option<Violation> = None;
+    let mut c = [0.0; MAX_EQ];
+    let mut p = [0.0; MAX_EQ];
+    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
+        if first.is_some() {
+            return; // first offender already captured; skip the rest
+        }
+        let i = item % nx + px;
+        let j = (item / nx) % ny + py;
+        let k = item / (nx * ny) + pz;
+        cons.load_cell(i, j, k, &mut c[..neq]);
+
+        for (e, &v) in c[..neq].iter().enumerate() {
+            if !v.is_finite() {
+                first = Some(Violation {
+                    kind: ViolationKind::NotFinite,
+                    cell: [i, j, k],
+                    eq: e,
+                    value: v,
+                });
+                return;
+            }
+        }
+        // Unfloored mixture density: the EOS floors each partial density
+        // at zero, so a positive unfloored sum guarantees a safe convert.
+        let mut rho = 0.0;
+        for f in 0..eq.nf() {
+            rho += c[eq.cont(f)];
+        }
+        if rho <= 0.0 {
+            first = Some(Violation {
+                kind: ViolationKind::NonPositiveDensity,
+                cell: [i, j, k],
+                eq: eq.cont(0),
+                value: rho,
+            });
+            return;
+        }
+        for a in 0..eq.n_adv() {
+            let alpha = c[eq.adv(a)];
+            if !(-slack..=1.0 + slack).contains(&alpha) {
+                first = Some(Violation {
+                    kind: ViolationKind::AlphaOutOfRange,
+                    cell: [i, j, k],
+                    eq: eq.adv(a),
+                    value: alpha,
+                });
+                return;
+            }
+        }
+        cons_to_prim(&eq, fluids, &c[..neq], &mut p[..neq]);
+        // The stiffened-gas floor is a *mixture* quantity: the frozen
+        // sound speed c^2 = (p (1 + Gamma) + Pi) / (Gamma rho) stays real
+        // iff p (1 + Gamma) + Pi > 0. A global per-fluid bound would flag
+        // admissible tension states in stiffened liquids.
+        let mut alphas = [0.0; crate::eos::MAX_FLUIDS];
+        eq.alphas(&c[..neq], &mut alphas[..eq.nf()]);
+        let mix = MixtureRules::evaluate(fluids, &alphas[..eq.nf()]);
+        let pres = p[eq.energy()];
+        if !pres.is_finite() || pres * (1.0 + mix.big_gamma) + mix.big_pi <= 0.0 {
+            first = Some(Violation {
+                kind: ViolationKind::VacuumPressure,
+                cell: [i, j, k],
+                eq: eq.energy(),
+                value: pres,
+            });
+            return;
+        }
+        prim.store_cell(i, j, k, &p[..neq]);
+    });
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::eqidx::EqIdx;
+    use crate::state::prim_to_cons_field;
+
+    fn setup() -> (Context, [Fluid; 2], Domain, StateField) {
+        let ctx = Context::serial();
+        let fluids = [Fluid::air(), Fluid::water()];
+        let dom = Domain::new([6, 4, 1], 2, EqIdx::new(2, 2));
+        let mut prim = StateField::zeros(dom);
+        let eq = dom.eq;
+        let d3 = dom.dims3();
+        for k in 0..d3.n3 {
+            for j in 0..d3.n2 {
+                for i in 0..d3.n1 {
+                    let a = 0.3 + 0.4 * (i as f64 / d3.n1 as f64);
+                    prim.set(i, j, k, eq.cont(0), 1.2 * a);
+                    prim.set(i, j, k, eq.cont(1), 1000.0 * (1.0 - a));
+                    prim.set(i, j, k, eq.mom(0), 5.0);
+                    prim.set(i, j, k, eq.mom(1), -2.0);
+                    prim.set(i, j, k, eq.energy(), 1.0e5);
+                    prim.set(i, j, k, eq.adv(0), a);
+                }
+            }
+        }
+        let mut cons = StateField::zeros(dom);
+        prim_to_cons_field(&ctx, &fluids, &prim, &mut cons);
+        (ctx, fluids, dom, cons)
+    }
+
+    #[test]
+    fn healthy_field_passes_and_converts() {
+        let (ctx, fluids, dom, cons) = setup();
+        let mut prim = StateField::zeros(dom);
+        let v = scan_and_convert(&ctx, &fluids, &HealthConfig::default(), &cons, &mut prim);
+        assert!(v.is_none(), "unexpected violation {v:?}");
+        // Interior primitives were written.
+        let (i, j) = (dom.pad(0), dom.pad(1));
+        assert!(prim.get(i, j, 0, dom.eq.energy()) > 0.0);
+        let stats = ctx.ledger().kernel("s_health_scan").unwrap();
+        assert_eq!(stats.items as usize, dom.interior_cells());
+    }
+
+    #[test]
+    fn nan_reports_first_offending_cell() {
+        let (ctx, fluids, dom, mut cons) = setup();
+        let eq = dom.eq;
+        // Plant NaN at two cells; the x-fastest-first one must be reported.
+        cons.set(4, 3, 0, eq.energy(), f64::NAN);
+        cons.set(3, 3, 0, eq.mom(0), f64::NAN);
+        let mut prim = StateField::zeros(dom);
+        let v = scan_and_convert(&ctx, &fluids, &HealthConfig::default(), &cons, &mut prim)
+            .expect("violation");
+        assert_eq!(v.kind, ViolationKind::NotFinite);
+        assert_eq!(v.cell, [3, 3, 0]);
+        assert_eq!(v.eq, eq.mom(0));
+    }
+
+    #[test]
+    fn negative_density_and_vacuum_pressure_detected() {
+        let (ctx, fluids, dom, cons) = setup();
+        let eq = dom.eq;
+        let mut prim = StateField::zeros(dom);
+
+        let mut bad = cons.clone();
+        bad.set(3, 2, 0, eq.cont(0), -2.0);
+        bad.set(3, 2, 0, eq.cont(1), 1.0);
+        let v = scan_and_convert(&ctx, &fluids, &HealthConfig::default(), &bad, &mut prim)
+            .expect("violation");
+        assert_eq!(v.kind, ViolationKind::NonPositiveDensity);
+
+        let mut bad = cons.clone();
+        // Drain the energy so the recovered pressure dives below -min_pi.
+        bad.set(3, 2, 0, eq.energy(), -1.0e9);
+        let v = scan_and_convert(&ctx, &fluids, &HealthConfig::default(), &bad, &mut prim)
+            .expect("violation");
+        assert_eq!(v.kind, ViolationKind::VacuumPressure);
+        assert_eq!(v.eq, eq.energy());
+    }
+
+    #[test]
+    fn alpha_slack_tolerates_small_overshoot_only() {
+        let (ctx, fluids, dom, cons) = setup();
+        let eq = dom.eq;
+        let mut prim = StateField::zeros(dom);
+        let h = HealthConfig::default();
+
+        let mut ok = cons.clone();
+        ok.set(2, 2, 0, eq.adv(0), 1.0 + h.alpha_slack / 2.0);
+        assert!(scan_and_convert(&ctx, &fluids, &h, &ok, &mut prim).is_none());
+
+        let mut bad = cons.clone();
+        bad.set(2, 2, 0, eq.adv(0), 1.5);
+        let v = scan_and_convert(&ctx, &fluids, &h, &bad, &mut prim).expect("violation");
+        assert_eq!(v.kind, ViolationKind::AlphaOutOfRange);
+        assert_eq!(v.value, 1.5);
+    }
+
+    #[test]
+    fn ghost_cells_are_not_scanned() {
+        let (ctx, fluids, dom, mut cons) = setup();
+        // Corrupt a ghost cell (i = 0 is outside the interior pad of 2).
+        cons.set(0, 0, 0, dom.eq.energy(), f64::NAN);
+        let mut prim = StateField::zeros(dom);
+        assert!(
+            scan_and_convert(&ctx, &fluids, &HealthConfig::default(), &cons, &mut prim).is_none()
+        );
+    }
+}

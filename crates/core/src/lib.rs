@@ -20,6 +20,10 @@
 //! * a single-device driver ([`solver`]) and a distributed driver running
 //!   the real pack/`sendrecv`/unpack halo exchange on simulated ranks
 //!   ([`par`]),
+//! * a numerical-health watchdog fused into the primitive-conversion pass
+//!   and a graceful-degradation recovery ladder that retries faulted steps
+//!   under progressively more dissipative policies ([`health`],
+//!   [`recovery`]), with crash-safe CRC-checked checkpoints ([`restart`]),
 //! * initial-condition patches for the paper's cases — shock tubes, shock
 //!   droplet, shock bubble cloud, airfoil flow ([`case`]),
 //! * conservation/error diagnostics and grind-time accounting ([`diag`]).
@@ -40,11 +44,13 @@ pub mod eqidx;
 pub mod filter;
 pub mod fluid;
 pub mod grid;
+pub mod health;
 pub mod ibm;
 pub mod limiter;
 pub mod output;
 pub mod par;
 pub mod probes;
+pub mod recovery;
 pub mod restart;
 pub mod rhs;
 pub mod riemann;
@@ -59,6 +65,8 @@ pub use domain::Domain;
 pub use eqidx::EqIdx;
 pub use fluid::{Fluid, MixtureRules};
 pub use grid::{Grid, Grid1D};
+pub use health::{HealthConfig, Violation, ViolationKind};
+pub use recovery::{RecoveryAction, RecoveryPolicy, SolverError, StepFault, StepOutcome};
 pub use solver::{Solver, SolverConfig};
 pub use state::StateField;
 pub use time::TimeScheme;

@@ -27,6 +27,8 @@ use crate::case::CaseBuilder;
 use crate::cfl;
 use crate::domain::Domain;
 use crate::grid::{Grid, Grid1D};
+use crate::health::{scan_and_convert, HealthConfig, Violation};
+use crate::recovery::{RecoveryPolicy, RecoveryState};
 use crate::rhs::{compute_rhs, RhsWorkspace};
 use crate::solver::{DtMode, SolverConfig};
 use crate::state::StateField;
@@ -83,11 +85,17 @@ pub fn run_distributed(
     n_ranks: usize,
     steps: usize,
     staging: Staging,
-) -> (GlobalField, CommStats) {
+) -> Result<(GlobalField, CommStats), ResilienceError> {
     run_distributed_with_mode(case, cfg, n_ranks, steps, staging, ExchangeMode::Sendrecv)
 }
 
 /// [`run_distributed`] with an explicit halo-exchange mode.
+///
+/// Step acceptance is a collective decision: each rank scans its block's
+/// health after the update and an allreduce-min over the per-rank verdicts
+/// (mirroring the global `dt` reduction) makes every rank agree — so on a
+/// numerical fault all ranks return the same typed error in lockstep
+/// instead of one rank panicking while its peers hang in a receive.
 pub fn run_distributed_with_mode(
     case: &CaseBuilder,
     cfg: SolverConfig,
@@ -95,7 +103,7 @@ pub fn run_distributed_with_mode(
     steps: usize,
     staging: Staging,
     mode: ExchangeMode,
-) -> (GlobalField, CommStats) {
+) -> Result<(GlobalField, CommStats), ResilienceError> {
     let eq = case.eq();
     let ng = cfg.rhs.order.ghost_layers().max(1);
     let global_n = case.cells;
@@ -157,32 +165,61 @@ pub fn run_distributed_with_mode(
             local_grid.z.widths_with_ghosts(dom.pad(2)),
         ];
 
-        for _ in 0..steps {
-            // Global dt.
+        let health = HealthConfig::default();
+        for s in 0..steps {
+            // Global dt. A locally degenerate CFL reduction (all-NaN or
+            // vacuum state) is encoded as a negative dt so the min-
+            // reduction carries the verdict to every rank.
             let dt = match cfg.dt {
                 DtMode::Fixed(dt) => dt,
                 DtMode::Cfl(c) => {
                     crate::state::cons_to_prim_field(&ctx, &case.fluids, &q, &mut ws.prim);
-                    let local = cfl::max_dt(
+                    let local = cfl::try_max_dt_geom(
                         &ctx,
                         &case.fluids,
                         &ws.prim,
                         [&widths[0], &widths[1], &widths[2]],
                         c,
-                    );
+                        None,
+                    )
+                    .unwrap_or(-1.0);
                     comm.allreduce_min(local)
                 }
             };
-            let (comm_ref, stats_ref) = (&mut comm, &mut stats);
-            let fluids = &case.fluids;
-            let bc = &case.bc;
-            let ws_ref = &mut ws;
-            let ctx_ref = &ctx;
-            rk_step(cfg.scheme, dt, &mut q, &mut rk, |q, rhs| {
-                exchange_halos(ctx_ref, comm_ref, &cart, q, staging, mode, stats_ref);
-                apply_bcs(ctx_ref, q, bc, skip);
-                compute_rhs(ctx_ref, &cfg.rhs, fluids, q, ws_ref, rhs);
-            });
+            if dt <= 0.0 {
+                return Err(ResilienceError::Numerical {
+                    rank: comm.rank(),
+                    step: s as u64,
+                    detail: "degenerate wave-speed rate in the CFL reduction".into(),
+                    violation: None,
+                });
+            }
+            {
+                let (comm_ref, stats_ref) = (&mut comm, &mut stats);
+                let fluids = &case.fluids;
+                let bc = &case.bc;
+                let ws_ref = &mut ws;
+                let ctx_ref = &ctx;
+                rk_step(cfg.scheme, dt, &mut q, &mut rk, |q, rhs| {
+                    exchange_halos(ctx_ref, comm_ref, &cart, q, staging, mode, stats_ref);
+                    apply_bcs(ctx_ref, q, bc, skip);
+                    compute_rhs(ctx_ref, &cfg.rhs, fluids, q, ws_ref, rhs);
+                });
+            }
+            // Collective step acceptance: the watchdog's verdict travels
+            // the same allreduce-min path as the global dt.
+            let viol = scan_and_convert(&ctx, &case.fluids, &health, &q, &mut ws.prim);
+            let verdict = comm.allreduce_min(if viol.is_some() { 0.0 } else { 1.0 });
+            if verdict < 1.0 {
+                return Err(ResilienceError::Numerical {
+                    rank: comm.rank(),
+                    step: s as u64,
+                    detail: viol
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "a peer rank reported a nonphysical state".into()),
+                    violation: viol,
+                });
+            }
         }
 
         // Ship the interior home.
@@ -193,11 +230,31 @@ pub fn run_distributed_with_mode(
             }
         }
         let gathered = comm.gather(block);
-        (gathered, off, n, stats)
+        Ok((gathered, off, n, stats))
     });
 
-    // Assemble on the host side from rank 0's gather.
-    let (gathered, _, _, stats0) = results.remove(0);
+    // Assemble on the host side from rank 0's gather. On a numerical
+    // abort every rank returns an error; prefer the one carrying the
+    // offending-cell report.
+    if results.iter().any(|r| r.is_err()) {
+        let mut first = None;
+        for r in results {
+            if let Err(e) = r {
+                if matches!(
+                    &e,
+                    ResilienceError::Numerical {
+                        violation: Some(_),
+                        ..
+                    }
+                ) {
+                    return Err(e);
+                }
+                first.get_or_insert(e);
+            }
+        }
+        return Err(first.expect("at least one rank errored"));
+    }
+    let (gathered, _, _, stats0) = results.remove(0).expect("checked above");
     let blocks = gathered.expect("rank 0 holds the gather");
     // Sanity-check the extents the ranks reported against the same
     // arithmetic recomputed host-side (which `assemble_global` uses).
@@ -210,13 +267,14 @@ pub fn run_distributed_with_mode(
             off[d] = o;
             n[d] = l;
         }
+        let reported = reported.as_ref().expect("checked above");
         debug_assert_eq!(reported.1, off);
         debug_assert_eq!(reported.2, n);
     }
-    (
+    Ok((
         assemble_global(eq, global_n, dims, periodic, &blocks),
         stats0,
-    )
+    ))
 }
 
 /// Scatter per-rank interior blocks (in gather order) into one global
@@ -276,6 +334,11 @@ pub struct ResilienceOpts {
     /// Ledger receiving checkpoint / fault-detection / rollback / replay
     /// events with per-event wall timing.
     pub events: Option<Arc<Ledger>>,
+    /// Graceful-degradation recovery ladder for numerical faults; `None`
+    /// aborts the run on the first health violation.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Health-watchdog tolerances.
+    pub health: HealthConfig,
 }
 
 impl ResilienceOpts {
@@ -286,18 +349,30 @@ impl ResilienceOpts {
             ckpt_dir: ckpt_dir.into(),
             faults: None,
             events: None,
+            recovery: None,
+            health: HealthConfig::default(),
         }
     }
 }
 
 /// Terminal failure of a resilient run. Every rank returns the same
 /// variant (the decision is taken from shared board state after the
-/// recovery rendezvous), so the run ends cleanly rather than hanging.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// recovery rendezvous, or from a collective health verdict), so the run
+/// ends cleanly rather than hanging.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ResilienceError {
     /// A fault was detected but no checkpoint wave had been committed,
     /// so there is nothing to roll back to.
     Unrecoverable { rank: usize, detail: String },
+    /// The numerical-health watchdog rejected a step and the recovery
+    /// ladder (if any) was exhausted. `violation` carries the offending
+    /// cell on the rank that observed it locally.
+    Numerical {
+        rank: usize,
+        step: u64,
+        detail: String,
+        violation: Option<Violation>,
+    },
 }
 
 impl std::fmt::Display for ResilienceError {
@@ -305,6 +380,11 @@ impl std::fmt::Display for ResilienceError {
         match self {
             ResilienceError::Unrecoverable { rank, detail } => {
                 write!(f, "unrecoverable fault (rank {rank}): {detail}")
+            }
+            ResilienceError::Numerical {
+                rank, step, detail, ..
+            } => {
+                write!(f, "numerical abort at step {step} (rank {rank}): {detail}")
             }
         }
     }
@@ -428,8 +508,13 @@ pub fn run_distributed_resilient(
         // Set after a rollback: (pre-fault step to replay through, timer).
         let mut replay_target: Option<(u64, Instant)> = None;
         let mut needs_recovery = false;
+        // Numerical-recovery ladder state and the q^n retry snapshot.
+        let policy = opts.recovery.clone();
+        let mut rec = RecoveryState::default();
+        let mut attempts: u32 = 0;
+        let mut q_save = q.clone();
 
-        while step < total_steps {
+        'steps: while step < total_steps {
             // ---- Recovery: rendezvous, roll back, resume (or abort). ----
             if needs_recovery {
                 needs_recovery = false;
@@ -457,14 +542,52 @@ pub fn run_distributed_resilient(
                         });
                     }
                     RecoveryOutcome::RolledBack { wave } => {
-                        let path = crate::restart::wave_path(&opts.ckpt_dir, rank, wave);
-                        let (header, restored) =
-                            crate::restart::load_checkpoint(&path).expect("checkpoint reload");
+                        // Walk back from the committed wave until one loads
+                        // on *every* rank: a truncated or bit-flipped file
+                        // fails its CRC locally, and the collective min
+                        // makes all ranks skip that wave together.
+                        let mut candidate = wave as i64;
+                        let (header, restored, loaded_wave) = loop {
+                            if candidate < 0 {
+                                return Err(ResilienceError::Unrecoverable {
+                                    rank,
+                                    detail: "no loadable checkpoint wave (all corrupt)".into(),
+                                });
+                            }
+                            let path =
+                                crate::restart::wave_path(&opts.ckpt_dir, rank, candidate as u64);
+                            let local = crate::restart::load_checkpoint(&path);
+                            // Post-rendezvous every rank is alive again, so
+                            // the plain (non-policied) collective is safe.
+                            let ok = comm.allreduce_min(if local.is_ok() { 1.0 } else { 0.0 });
+                            if ok >= 1.0 {
+                                let (h, r) = local.expect("agreed loadable");
+                                break (h, r, candidate as u64);
+                            }
+                            if rank == 0 {
+                                let why = match local {
+                                    Ok(_) => "a peer rank's block failed".to_string(),
+                                    Err(e) => e.to_string(),
+                                };
+                                note(
+                                    ResilienceEventKind::Rollback,
+                                    step,
+                                    candidate as u64,
+                                    t0.elapsed(),
+                                    format!("wave {candidate} unreadable, skipping: {why}"),
+                                );
+                            }
+                            candidate -= 1;
+                        };
                         debug_assert_eq!(header.domain(), dom);
                         q = restored;
                         t = header.t;
                         step = header.steps;
-                        next_wave = wave + 1;
+                        next_wave = loaded_wave + 1;
+                        // The replay is a fresh deterministic run from the
+                        // wave: restart the ladder state with it.
+                        rec = RecoveryState::default();
+                        attempts = 0;
                         let target =
                             replay_target.map_or(fault_step, |(old, _)| old.max(fault_step));
                         replay_target = Some((target, Instant::now()));
@@ -472,9 +595,11 @@ pub fn run_distributed_resilient(
                             note(
                                 ResilienceEventKind::Rollback,
                                 step,
-                                wave,
+                                loaded_wave,
                                 t0.elapsed(),
-                                format!("all ranks rolled back to wave {wave} (step {step})"),
+                                format!(
+                                    "all ranks rolled back to wave {loaded_wave} (step {step})"
+                                ),
                             );
                         }
                     }
@@ -537,64 +662,191 @@ pub fn run_distributed_resilient(
                 }
             }
 
-            // ---- Global dt; the policied allreduce doubles as the
-            // per-step heartbeat (rank 0 touches every rank). ----
-            let t_op = Instant::now();
-            let local_dt = match cfg.dt {
-                DtMode::Fixed(dt) => dt,
-                DtMode::Cfl(c) => {
-                    crate::state::cons_to_prim_field(&ctx, &case.fluids, &q, &mut ws.prim);
-                    cfl::max_dt(
-                        &ctx,
-                        &case.fluids,
-                        &ws.prim,
-                        [&widths[0], &widths[1], &widths[2]],
-                        c,
-                    )
-                }
-            };
-            let dt = match comm.allreduce_policied(local_dt, f64::min) {
-                Ok(v) => v,
-                Err(fault) => {
-                    detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
-                    needs_recovery = true;
-                    continue;
-                }
-            };
+            // ---- One step, under the numerical-recovery ladder. The
+            // q^n snapshot is what a rejected attempt retries from; the
+            // verdict allreduce mirrors the dt reduction, so every rank
+            // accepts, retries, or aborts the same attempt in lockstep.
+            q_save.as_mut_slice().copy_from_slice(q.as_slice());
+            let dt = loop {
+                let eff = match &policy {
+                    Some(p) => p.effective_config(&cfg, rec.rung),
+                    None => cfg,
+                };
 
-            // ---- RK stages with the fault-aware halo exchange. A halo
-            // failure abandons the remaining stages (the state will be
-            // rolled back anyway). ----
-            let mut halo_fault: Option<CommFault> = None;
-            {
-                let (comm_ref, stats_ref) = (&mut comm, &mut stats);
-                let fault_ref = &mut halo_fault;
-                let fluids = &case.fluids;
-                let bc = &case.bc;
-                let ws_ref = &mut ws;
-                let ctx_ref = &ctx;
-                rk_step(cfg.scheme, dt, &mut q, &mut rk, |q, rhs| {
-                    if fault_ref.is_none() {
-                        if let Err(f) =
-                            exchange_halos_policied(ctx_ref, comm_ref, &cart, q, staging, stats_ref)
-                        {
-                            *fault_ref = Some(f);
+                // ---- Global dt; the policied allreduce doubles as the
+                // per-step heartbeat (rank 0 touches every rank). A
+                // degenerate local CFL state is encoded as -1.0, which the
+                // min-reduction turns into a collective rejection. ----
+                let t_op = Instant::now();
+                let local_dt = match eff.dt {
+                    DtMode::Fixed(dt) => dt,
+                    DtMode::Cfl(c) => {
+                        crate::state::cons_to_prim_field(&ctx, &case.fluids, &q, &mut ws.prim);
+                        cfl::try_max_dt_geom(
+                            &ctx,
+                            &case.fluids,
+                            &ws.prim,
+                            [&widths[0], &widths[1], &widths[2]],
+                            c,
+                            None,
+                        )
+                        .unwrap_or(-1.0)
+                    }
+                };
+                let dt = match comm.allreduce_policied(local_dt, f64::min) {
+                    Ok(v) => v,
+                    Err(fault) => {
+                        detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
+                        needs_recovery = true;
+                        continue 'steps;
+                    }
+                };
+
+                let mut local_viol: Option<Violation> = None;
+                let degenerate = dt <= 0.0;
+                if !degenerate {
+                    // ---- RK stages with the fault-aware halo exchange. A
+                    // halo failure abandons the remaining stages (the
+                    // state will be rolled back anyway). ----
+                    let mut halo_fault: Option<CommFault> = None;
+                    {
+                        let (comm_ref, stats_ref) = (&mut comm, &mut stats);
+                        let fault_ref = &mut halo_fault;
+                        let fluids = &case.fluids;
+                        let bc = &case.bc;
+                        let ws_ref = &mut ws;
+                        let ctx_ref = &ctx;
+                        let rhs_cfg = &eff.rhs;
+                        rk_step(eff.scheme, dt, &mut q, &mut rk, |q, rhs| {
+                            if fault_ref.is_none() {
+                                if let Err(f) = exchange_halos_policied(
+                                    ctx_ref, comm_ref, &cart, q, staging, stats_ref,
+                                ) {
+                                    *fault_ref = Some(f);
+                                }
+                            }
+                            if fault_ref.is_none() {
+                                apply_bcs(ctx_ref, q, bc, skip);
+                                compute_rhs(ctx_ref, rhs_cfg, fluids, q, ws_ref, rhs);
+                            }
+                        });
+                    }
+                    if let Some(fault) = halo_fault {
+                        detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
+                        needs_recovery = true;
+                        continue 'steps;
+                    }
+
+                    // ---- Health verdict: local scan, then an
+                    // allreduce-min over 1.0 (clean) / 0.0 (faulted), so
+                    // acceptance is a collective decision. ----
+                    local_viol =
+                        scan_and_convert(&ctx, &case.fluids, &opts.health, &q, &mut ws.prim);
+                    let flag = if local_viol.is_some() { 0.0 } else { 1.0 };
+                    match comm.allreduce_policied(flag, f64::min) {
+                        Ok(v) if v >= 1.0 => break dt,
+                        Ok(_) => {}
+                        Err(fault) => {
+                            detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
+                            needs_recovery = true;
+                            continue 'steps;
                         }
                     }
-                    if fault_ref.is_none() {
-                        apply_bcs(ctx_ref, q, bc, skip);
-                        compute_rhs(ctx_ref, &cfg.rhs, fluids, q, ws_ref, rhs);
+                }
+
+                // ---- Rejected: restore q^n, then escalate or abort —
+                // deterministically, so every rank does the same. ----
+                let wave = next_wave.saturating_sub(1);
+                if let Some(v) = &local_viol {
+                    note(
+                        ResilienceEventKind::HealthFault,
+                        step,
+                        wave,
+                        t_op.elapsed(),
+                        v.to_string(),
+                    );
+                } else if degenerate && rank == 0 {
+                    note(
+                        ResilienceEventKind::HealthFault,
+                        step,
+                        wave,
+                        t_op.elapsed(),
+                        "degenerate wave-speed rate in the CFL reduction".into(),
+                    );
+                }
+                q.as_mut_slice().copy_from_slice(q_save.as_slice());
+                attempts += 1;
+                let exhausted = match &policy {
+                    None => true,
+                    Some(p) => attempts > p.max_retries || !rec.escalate(p),
+                };
+                if exhausted {
+                    let detail = local_viol.as_ref().map_or_else(
+                        || {
+                            if degenerate {
+                                "degenerate wave-speed rate in the CFL reduction".to_string()
+                            } else {
+                                "a peer rank reported a nonphysical state".to_string()
+                            }
+                        },
+                        |v| v.to_string(),
+                    );
+                    if let Some(dir) = policy.as_ref().and_then(|p| p.crash_dump_dir.as_ref()) {
+                        let _ = std::fs::create_dir_all(dir);
+                        let dump = dir.join(format!("crash_rank{rank}_step{step}.bin"));
+                        if crate::restart::save_checkpoint(&dump, &q, t, step).is_ok() {
+                            note(
+                                ResilienceEventKind::CrashDump,
+                                step,
+                                wave,
+                                t_op.elapsed(),
+                                format!("diagnostic checkpoint at {}", dump.display()),
+                            );
+                        }
                     }
-                });
-            }
-            if let Some(fault) = halo_fault {
-                detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
-                needs_recovery = true;
-                continue;
-            }
+                    return Err(ResilienceError::Numerical {
+                        rank,
+                        step,
+                        detail,
+                        violation: local_viol,
+                    });
+                }
+                if rank == 0 {
+                    let p = policy.as_ref().expect("exhausted is true when None");
+                    note(
+                        ResilienceEventKind::Retry,
+                        step,
+                        wave,
+                        t_op.elapsed(),
+                        format!("attempt {} from saved q^n", attempts + 1),
+                    );
+                    note(
+                        ResilienceEventKind::Degrade,
+                        step,
+                        wave,
+                        t_op.elapsed(),
+                        format!("rung {}: {}", rec.rung, p.ladder[rec.rung - 1].name()),
+                    );
+                }
+            };
 
             t += dt;
             step += 1;
+            attempts = 0;
+            if let Some(p) = &policy {
+                if rec.accept(p) && rank == 0 {
+                    note(
+                        ResilienceEventKind::Restore,
+                        step,
+                        next_wave.saturating_sub(1),
+                        Duration::ZERO,
+                        format!(
+                            "default policy restored after {} clean steps",
+                            p.restore_after
+                        ),
+                    );
+                }
+            }
             if let Some((target, since)) = replay_target {
                 if step >= target {
                     if rank == 0 {
@@ -812,7 +1064,9 @@ pub fn run_distributed_with_output(
 /// Serial reference producing the same [`GlobalField`] shape.
 pub fn run_single(case: &CaseBuilder, cfg: SolverConfig, steps: usize) -> GlobalField {
     let mut solver = crate::solver::Solver::new(case, cfg, Context::serial());
-    solver.run_steps(steps);
+    solver
+        .run_steps(steps)
+        .expect("serial reference run hit a numerical fault");
     let dom = *solver.domain();
     let eq = dom.eq;
     let q = solver.state();
@@ -1012,7 +1266,8 @@ mod tests {
         let cfg = SolverConfig::default();
         let serial = run_single(&case, cfg, 10);
         for ranks in [2usize, 4] {
-            let (dist, stats) = run_distributed(&case, cfg, ranks, 10, Staging::DeviceDirect);
+            let (dist, stats) =
+                run_distributed(&case, cfg, ranks, 10, Staging::DeviceDirect).unwrap();
             assert_eq!(dist.n, serial.n);
             let diff = dist.max_abs_diff(&serial);
             assert_eq!(diff, 0.0, "ranks={ranks}: max diff {diff:e}");
@@ -1025,7 +1280,7 @@ mod tests {
         let case = presets::two_phase_benchmark(2, [16, 16, 1]);
         let cfg = SolverConfig::default();
         let serial = run_single(&case, cfg, 4);
-        let (dist, _) = run_distributed(&case, cfg, 4, 4, Staging::DeviceDirect);
+        let (dist, _) = run_distributed(&case, cfg, 4, 4, Staging::DeviceDirect).unwrap();
         let diff = dist.max_abs_diff(&serial);
         assert_eq!(diff, 0.0, "max diff {diff:e}");
     }
@@ -1034,8 +1289,8 @@ mod tests {
     fn staged_and_direct_produce_identical_physics() {
         let case = presets::two_phase_benchmark(2, [16, 16, 1]);
         let cfg = SolverConfig::default();
-        let (a, _) = run_distributed(&case, cfg, 2, 3, Staging::DeviceDirect);
-        let (b, _) = run_distributed(&case, cfg, 2, 3, Staging::HostStaged);
+        let (a, _) = run_distributed(&case, cfg, 2, 3, Staging::DeviceDirect).unwrap();
+        let (b, _) = run_distributed(&case, cfg, 2, 3, Staging::HostStaged).unwrap();
         assert_eq!(a.max_abs_diff(&b), 0.0);
     }
 
@@ -1081,6 +1336,8 @@ mod tests {
             ckpt_dir: dir.clone(),
             faults: Some(faults),
             events: Some(Arc::clone(&events)),
+            recovery: None,
+            health: HealthConfig::default(),
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 10, Staging::DeviceDirect, &opts).unwrap();
@@ -1122,6 +1379,8 @@ mod tests {
             ckpt_dir: dir.clone(),
             faults: Some(faults),
             events: None,
+            recovery: None,
+            health: HealthConfig::default(),
         };
         let err = run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts)
             .expect_err("death without checkpoints cannot be recovered");
@@ -1168,6 +1427,8 @@ mod tests {
             ckpt_dir: dir.clone(),
             faults: Some(faults),
             events: None,
+            recovery: None,
+            health: HealthConfig::default(),
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts).unwrap();
@@ -1184,8 +1445,8 @@ mod tests {
         let cfg = SolverConfig::default();
         let small = presets::two_phase_benchmark(2, [16, 16, 1]);
         let big = presets::two_phase_benchmark(2, [32, 32, 1]);
-        let (_, s_small) = run_distributed(&small, cfg, 2, 1, Staging::DeviceDirect);
-        let (_, s_big) = run_distributed(&big, cfg, 2, 1, Staging::DeviceDirect);
+        let (_, s_small) = run_distributed(&small, cfg, 2, 1, Staging::DeviceDirect).unwrap();
+        let (_, s_big) = run_distributed(&big, cfg, 2, 1, Staging::DeviceDirect).unwrap();
         // Halo area doubles (one split axis, transverse extent doubles).
         assert!(s_big.bytes > s_small.bytes);
         assert_eq!(s_big.messages, s_small.messages);

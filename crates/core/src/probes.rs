@@ -182,7 +182,7 @@ mod tests {
         );
         let eq = case.eq();
         for _ in 0..400 {
-            solver.step();
+            solver.step().unwrap();
             probes.sample(solver.time(), &case.fluids, solver.state());
             if solver.time() > 0.17 {
                 break;

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
-use mfc_acc::Context;
+use mfc_acc::{Context, ResilienceEvent, ResilienceEventKind};
 
 use crate::bc::{apply_bcs, BcSpec};
 use crate::case::CaseBuilder;
@@ -12,13 +12,15 @@ use crate::diag::{grind_time, GrindTime};
 use crate::domain::Domain;
 use crate::fluid::Fluid;
 use crate::grid::Grid;
+use crate::health::{scan_and_convert, HealthConfig};
 use crate::ibm::GhostCellIbm;
+use crate::recovery::{RecoveryPolicy, RecoveryState, SolverError, StepFault, StepOutcome};
 use crate::rhs::{compute_rhs, RhsConfig, RhsWorkspace};
 use crate::state::StateField;
 use crate::time::{rk_step, RkWorkspace, TimeScheme};
 
 /// Time-step selection.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum DtMode {
     /// CFL-bounded adaptive step.
@@ -28,7 +30,7 @@ pub enum DtMode {
 }
 
 /// Solver options.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SolverConfig {
     pub rhs: RhsConfig,
     pub scheme: TimeScheme,
@@ -54,9 +56,14 @@ pub struct Solver {
     dom: Domain,
     grid: Grid,
     q: StateField,
+    /// Pre-step snapshot of `q` — the `q^n` a rejected step retries from.
+    q_save: StateField,
     ws: RhsWorkspace,
     rk: RkWorkspace,
     ibm: Option<GhostCellIbm>,
+    health: HealthConfig,
+    recovery: Option<RecoveryPolicy>,
+    rec: RecoveryState,
     t: f64,
     steps: u64,
     wall: Duration,
@@ -71,6 +78,7 @@ impl Solver {
         let q = case.init_block(&ctx, &dom, &grid, [0, 0, 0]);
         let ws = RhsWorkspace::new(dom, &grid);
         let rk = RkWorkspace::new(&q);
+        let q_save = q.clone();
         Solver {
             ctx,
             cfg,
@@ -79,9 +87,13 @@ impl Solver {
             dom,
             grid,
             q,
+            q_save,
             ws,
             rk,
             ibm: None,
+            health: HealthConfig::default(),
+            recovery: None,
+            rec: RecoveryState::default(),
             t: 0.0,
             steps: 0,
             wall: Duration::ZERO,
@@ -92,6 +104,30 @@ impl Solver {
     pub fn with_body(mut self, ibm: GhostCellIbm) -> Self {
         self.ibm = Some(ibm);
         self
+    }
+
+    /// Arm the graceful-degradation recovery ladder: faulted steps are
+    /// retried from `q^n` under progressively more dissipative policies
+    /// instead of aborting on the first violation.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Replace (or disarm) the recovery policy.
+    pub fn set_recovery(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+        self.rec = RecoveryState::default();
+    }
+
+    /// Adjust the health-watchdog tolerances.
+    pub fn set_health(&mut self, health: HealthConfig) {
+        self.health = health;
+    }
+
+    /// Ladder bookkeeping (current rung, total retries) for summaries.
+    pub fn recovery_state(&self) -> RecoveryState {
+        self.rec
     }
 
     pub fn context(&self) -> &Context {
@@ -149,10 +185,12 @@ impl Solver {
         prim
     }
 
-    /// Advance one time step; returns the dt taken.
-    pub fn step(&mut self) -> f64 {
-        let t0 = Instant::now();
-        let dt = match self.cfg.dt {
+    /// Run one RK update of `q` under `cfg`, returning the dt taken or the
+    /// first numerical fault (degenerate CFL reduction, or a post-step
+    /// health violation). On fault, `q` has already been mutated; the
+    /// caller restores from [`Solver::q_save`].
+    fn attempt_step(&mut self, cfg: &SolverConfig) -> Result<f64, StepFault> {
+        let dt = match cfg.dt {
             DtMode::Fixed(dt) => dt,
             DtMode::Cfl(c) => {
                 crate::state::cons_to_prim_field(
@@ -166,25 +204,24 @@ impl Solver {
                     self.grid.y.widths_with_ghosts(self.dom.pad(1)),
                     self.grid.z.widths_with_ghosts(self.dom.pad(2)),
                 ];
-                let metric = if self.cfg.rhs.geometry == crate::axisym::Geometry::Cylindrical3D {
+                let metric = if cfg.rhs.geometry == crate::axisym::Geometry::Cylindrical3D {
                     Some(self.ws.radii())
                 } else {
                     None
                 };
-                cfl::max_dt_geom(
+                cfl::try_max_dt_geom(
                     &self.ctx,
                     &self.fluids,
                     &self.ws.prim,
                     [&w[0], &w[1], &w[2]],
                     c,
                     metric,
-                )
+                )?
             }
         };
 
         let Solver {
             ctx,
-            cfg,
             fluids,
             bc,
             grid,
@@ -202,22 +239,150 @@ impl Solver {
             compute_rhs(ctx, &cfg.rhs, fluids, q, ws, rhs);
         });
 
-        self.t += dt;
-        self.steps += 1;
-        self.wall += t0.elapsed();
-        dt
+        // Post-step watchdog, fused with the primitive conversion the next
+        // step needs anyway. Read-only on q: a clean run is bitwise
+        // identical with or without the watchdog armed.
+        match scan_and_convert(
+            &self.ctx,
+            &self.fluids,
+            &self.health,
+            &self.q,
+            &mut self.ws.prim,
+        ) {
+            None => Ok(dt),
+            Some(v) => Err(StepFault::Unphysical(v)),
+        }
+    }
+
+    fn record_event(&self, kind: ResilienceEventKind, wall: Duration, detail: String) {
+        self.ctx.ledger().record_event(ResilienceEvent {
+            kind,
+            rank: 0,
+            step: self.steps,
+            wave: 0,
+            wall,
+            detail,
+        });
+    }
+
+    /// Abort bookkeeping: best-effort crash-dump checkpoint + event.
+    fn give_up(&mut self, fault: StepFault, attempts: u32) -> SolverError {
+        let crash_dump = self
+            .recovery
+            .as_ref()
+            .and_then(|p| p.crash_dump_dir.clone())
+            .and_then(|dir| {
+                let path = dir.join(format!("crash_step{}.bin", self.steps));
+                std::fs::create_dir_all(&dir).ok()?;
+                crate::restart::save_checkpoint(&path, &self.q_save, self.t, self.steps).ok()?;
+                Some(path)
+            });
+        if let Some(p) = &crash_dump {
+            self.record_event(
+                ResilienceEventKind::CrashDump,
+                Duration::ZERO,
+                p.display().to_string(),
+            );
+        }
+        // Leave the solver on the last accepted state, not the faulted one.
+        let saved = self.q_save.as_slice().to_vec();
+        self.q.as_mut_slice().copy_from_slice(&saved);
+        SolverError {
+            fault,
+            step: self.steps,
+            t: self.t,
+            attempts,
+            crash_dump,
+        }
+    }
+
+    /// Advance one time step.
+    ///
+    /// On success the outcome reports the dt taken plus any recovery-ladder
+    /// activity. A numerical fault with no (or an exhausted) recovery
+    /// policy returns a typed [`SolverError`] instead of panicking; the
+    /// state is left at the last accepted `q^n`.
+    pub fn step(&mut self) -> Result<StepOutcome, SolverError> {
+        let t0 = Instant::now();
+        {
+            let Solver { q, q_save, .. } = self;
+            q_save.as_mut_slice().copy_from_slice(q.as_slice());
+        }
+        let mut retries = 0u32;
+        loop {
+            let cfg = match &self.recovery {
+                Some(p) => p.effective_config(&self.cfg, self.rec.rung),
+                None => self.cfg,
+            };
+            match self.attempt_step(&cfg) {
+                Ok(dt) => {
+                    self.t += dt;
+                    self.steps += 1;
+                    self.wall += t0.elapsed();
+                    let rung = self.rec.rung;
+                    if let Some(p) = self.recovery.clone() {
+                        if self.rec.accept(&p) {
+                            self.record_event(
+                                ResilienceEventKind::Restore,
+                                t0.elapsed(),
+                                format!(
+                                    "default policy restored after {} clean steps",
+                                    p.restore_after
+                                ),
+                            );
+                        }
+                    }
+                    return Ok(StepOutcome { dt, retries, rung });
+                }
+                Err(fault) => {
+                    self.record_event(
+                        ResilienceEventKind::HealthFault,
+                        t0.elapsed(),
+                        fault.to_string(),
+                    );
+                    {
+                        let Solver { q, q_save, .. } = self;
+                        q.as_mut_slice().copy_from_slice(q_save.as_slice());
+                    }
+                    retries += 1;
+                    let policy = match self.recovery.clone() {
+                        None => {
+                            self.wall += t0.elapsed();
+                            return Err(self.give_up(fault, retries));
+                        }
+                        Some(p) => p,
+                    };
+                    if retries > policy.max_retries || !self.rec.escalate(&policy) {
+                        self.wall += t0.elapsed();
+                        return Err(self.give_up(fault, retries));
+                    }
+                    let engaged = policy.ladder[self.rec.rung - 1];
+                    self.record_event(
+                        ResilienceEventKind::Retry,
+                        t0.elapsed(),
+                        format!("attempt {} from saved q^n", retries + 1),
+                    );
+                    self.record_event(
+                        ResilienceEventKind::Degrade,
+                        t0.elapsed(),
+                        format!("rung {}: {}", self.rec.rung, engaged.name()),
+                    );
+                }
+            }
+        }
     }
 
     /// Advance `n` steps.
-    pub fn run_steps(&mut self, n: usize) {
+    pub fn run_steps(&mut self, n: usize) -> Result<(), SolverError> {
         for _ in 0..n {
-            self.step();
+            self.step()?;
         }
+        Ok(())
     }
 
     /// Advance until `t_end` (clipping the final step), bounded by
     /// `max_steps`.
-    pub fn run_until(&mut self, t_end: f64, max_steps: usize) {
+    pub fn run_until(&mut self, t_end: f64, max_steps: usize) -> Result<(), SolverError> {
         for _ in 0..max_steps {
             if self.t >= t_end {
                 break;
@@ -230,8 +395,9 @@ impl Solver {
                     self.cfg.dt = DtMode::Fixed(remaining);
                 }
             }
-            let dt = self.step();
+            let outcome = self.step();
             self.cfg.dt = saved;
+            let dt = outcome?.dt;
             if let DtMode::Cfl(_) = saved {
                 if dt > remaining {
                     // Walk back the overshoot: acceptable error O(dt) at
@@ -242,6 +408,7 @@ impl Solver {
                 }
             }
         }
+        Ok(())
     }
 
     /// Conserved-variable totals.
@@ -269,7 +436,7 @@ mod tests {
     fn sod_shock_tube_matches_exact_solution() {
         let case = presets::sod(200);
         let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-        solver.run_until(0.15, 10_000);
+        solver.run_until(0.15, 10_000).unwrap();
         assert!((solver.time() - 0.15).abs() < 1e-2);
 
         let air = Fluid::air();
@@ -305,7 +472,7 @@ mod tests {
         let case = presets::two_phase_benchmark(2, [24, 24, 1]);
         let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
         let before = solver.conservation();
-        solver.run_steps(10);
+        solver.run_steps(10).unwrap();
         let after = solver.conservation();
         let eq = case.eq();
         // Strictly conserved: partial densities, momentum, energy.
@@ -341,7 +508,7 @@ mod tests {
                 PatchState::two_fluid(1e-6, [1.2, 1000.0], [100.0, 0.0, 0.0], 1.0e5),
             );
         let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-        solver.run_steps(50);
+        solver.run_steps(50).unwrap();
         let prim = solver.primitives();
         let eq = case.eq();
         for i in 0..64 {
@@ -359,7 +526,7 @@ mod tests {
     fn grind_time_is_positive_and_recorded() {
         let case = presets::two_phase_benchmark(2, [16, 16, 1]);
         let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-        solver.run_steps(3);
+        solver.run_steps(3).unwrap();
         let g = solver.grind();
         assert_eq!(g.rhs_evals, 9); // 3 steps × RK3
         assert!(g.ns_per_cell_eq_rhs() > 0.0);
@@ -372,6 +539,92 @@ mod tests {
     }
 
     #[test]
+    fn injected_nan_is_a_typed_error_not_a_panic() {
+        let case = presets::sod(64);
+        let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
+        solver.run_steps(2).unwrap();
+        let eq = case.eq();
+        solver.state_mut().set(10, 0, 0, eq.energy(), f64::NAN);
+        let err = solver.step().unwrap_err();
+        match err.fault {
+            StepFault::Unphysical(v) => {
+                assert_eq!(v.kind, crate::health::ViolationKind::NotFinite)
+            }
+            other => panic!("unexpected fault {other:?}"),
+        }
+        assert_eq!(err.step, 2);
+        // The attempted step was rolled back to the saved q^n: the NaN did
+        // not propagate, so the injected cell is the only non-finite value.
+        let bad = solver
+            .state()
+            .as_slice()
+            .iter()
+            .filter(|v| !v.is_finite())
+            .count();
+        assert_eq!(bad, 1, "rollback must confine the NaN to the injected cell");
+    }
+
+    #[test]
+    fn ladder_recovers_overdriven_fixed_dt() {
+        use crate::recovery::RecoveryAction;
+        // Measure a stable dt, then drive the same case at 16x: RK3 + WENO5
+        // blows up within a few steps without recovery.
+        let case = presets::sod(64);
+        let mut probe = Solver::new(&case, SolverConfig::default(), Context::serial());
+        let dt0 = probe.step().unwrap().dt;
+
+        let cfg = SolverConfig {
+            dt: DtMode::Fixed(dt0 * 16.0),
+            ..Default::default()
+        };
+        let mut plain = Solver::new(&case, cfg, Context::serial());
+        assert!(
+            plain.run_steps(40).is_err(),
+            "16x-overdriven fixed dt should fault without recovery"
+        );
+
+        let policy = RecoveryPolicy {
+            ladder: vec![
+                RecoveryAction::HalveDt,
+                RecoveryAction::HalveDt,
+                RecoveryAction::HalveDt,
+                RecoveryAction::HalveDt,
+                RecoveryAction::ZhangShu,
+                RecoveryAction::Weno3,
+                RecoveryAction::Rusanov,
+            ],
+            max_retries: 16,
+            restore_after: 1_000, // stay degraded for this short run
+            crash_dump_dir: None,
+        };
+        let mut armed = Solver::new(&case, cfg, Context::serial()).with_recovery(policy);
+        armed.run_steps(40).expect("ladder should ride through");
+        assert!(armed.state().as_slice().iter().all(|v| v.is_finite()));
+        assert!(armed.recovery_state().total_retries > 0);
+        let ledger = armed.context().ledger();
+        assert!(!ledger
+            .events_of(ResilienceEventKind::HealthFault)
+            .is_empty());
+        assert!(!ledger.events_of(ResilienceEventKind::Degrade).is_empty());
+    }
+
+    #[test]
+    fn armed_recovery_is_bitwise_transparent_when_clean() {
+        let case = presets::sod(64);
+        let mut plain = Solver::new(&case, SolverConfig::default(), Context::serial());
+        plain.run_steps(10).unwrap();
+        let mut armed = Solver::new(&case, SolverConfig::default(), Context::serial())
+            .with_recovery(RecoveryPolicy::default());
+        armed.run_steps(10).unwrap();
+        assert_eq!(
+            plain.state().as_slice(),
+            armed.state().as_slice(),
+            "recovery arming must not perturb a clean run"
+        );
+        assert!(armed.context().ledger().events().is_empty());
+    }
+
+    #[test]
     fn fixed_dt_run_until_lands_exactly() {
         let case = presets::sod(64);
         let cfg = SolverConfig {
@@ -379,7 +632,7 @@ mod tests {
             ..Default::default()
         };
         let mut solver = Solver::new(&case, cfg, Context::serial());
-        solver.run_until(0.0105, 100);
+        solver.run_until(0.0105, 100).unwrap();
         assert!((solver.time() - 0.0105).abs() < 1e-12);
     }
 }

@@ -212,7 +212,20 @@ pub fn reconstruct_sweep(
 ) {
     let ng = order.ghost_layers();
     let pd = packed.dims();
-    assert_eq!(pd.n1, n + 2 * ng, "packed extent/ghost mismatch");
+    // Derive the pad from the buffer so a wider-than-necessary buffer (a
+    // WENO5-sized domain temporarily degraded to WENO3 by the recovery
+    // ladder) reconstructs in place: the stencil just ignores the extra
+    // ghost layers.
+    assert!(
+        pd.n1 > n && (pd.n1 - n).is_multiple_of(2),
+        "packed extent {} incompatible with {n} interior cells",
+        pd.n1
+    );
+    let pad = (pd.n1 - n) / 2;
+    assert!(
+        pad >= ng,
+        "packed pad {pad} narrower than the {ng}-layer stencil"
+    );
     let nlines = pd.n2 * pd.n3 * pd.n4;
     let fd = left.dims();
     assert_eq!((fd.n1, fd.n2, fd.n3, fd.n4), (n + 1, pd.n2, pd.n3, pd.n4));
@@ -234,7 +247,7 @@ pub fn reconstruct_sweep(
         let line = item / (n + 1);
         let m = item % (n + 1);
         let v = &src[line * ext..(line + 1) * ext];
-        let c = ng - 1 + m;
+        let c = pad - 1 + m;
         let (lv, rv) = match order {
             WenoOrder::First => (v[c], v[c + 1]),
             WenoOrder::Weno3 => (

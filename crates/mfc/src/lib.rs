@@ -23,7 +23,7 @@
 //!
 //! let case = presets::sod(64);
 //! let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-//! solver.run_steps(10);
+//! solver.run_steps(10).unwrap();
 //! assert!(solver.time() > 0.0);
 //! // Mass is conserved to round-off even across the shock.
 //! let totals = solver.conservation();

@@ -59,7 +59,9 @@ impl WorkloadProfile {
         };
         let mut solver = Solver::new(&case, cfg, Context::serial());
         solver.context().ledger().reset();
-        solver.run_steps(steps);
+        solver
+            .run_steps(steps)
+            .expect("perf-model workload run hit a numerical fault");
 
         let rhs_evals = solver.steps() * 3; // RK3
         let cells = solver.domain().interior_cells();

@@ -24,7 +24,7 @@ fn main() {
 
     println!("NACA 2412 at 15 deg AoA, {n}x{n} cells, chord = 1 (sdf at origin: {sdf_probe:.3})");
     for s in 0..120 {
-        solver.step();
+        solver.step().unwrap();
         if s % 30 == 0 {
             println!("step {s:4}: t = {:.3e} s", solver.time());
         }

@@ -70,7 +70,7 @@ fn main() {
     println!("   t/t_c    V/V0    (R/R0 est.)");
     let mut next_report = 0.0;
     while solver.time() < 0.6 * t_c {
-        solver.step();
+        solver.step().unwrap();
         if solver.time() >= next_report {
             let v = gas_volume(&solver) / v0;
             println!(

@@ -76,7 +76,7 @@ fn main() {
         high_mode_amp(&solver)
     );
     for s in 0..60 {
-        solver.step();
+        solver.step().unwrap();
         // Filter every 10 steps (MFC applies it each step near the axis;
         // the cadence here keeps the demo readable).
         if s % 10 == 9 {

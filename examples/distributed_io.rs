@@ -48,7 +48,7 @@ fn main() {
     );
 
     // Cross-check against the in-memory gather path.
-    let (reference, _) = run_distributed(&case, cfg, ranks, steps, Staging::DeviceDirect);
+    let (reference, _) = run_distributed(&case, cfg, ranks, steps, Staging::DeviceDirect).unwrap();
     let diff = gf.max_abs_diff(&reference);
     println!("max |file-based - gather-based| = {diff:.1e}");
     assert_eq!(

@@ -70,7 +70,7 @@ fn main() {
     let span0 = interface_span(&solver);
     println!("initial mixed-layer thickness: {span0:.4}");
     for s in 0..1200 {
-        solver.step();
+        solver.step().unwrap();
         if s % 200 == 0 {
             println!(
                 "step {s:4}: t = {:.3e} s, mixed-layer thickness = {:.4}",

@@ -12,7 +12,7 @@ fn main() {
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::new());
 
     println!("Sod shock tube, {n} cells, WENO5 + HLLC + RK3");
-    solver.run_until(0.15, 100_000);
+    solver.run_until(0.15, 100_000).unwrap();
     println!(
         "reached t = {:.4} in {} steps (grind {:.1} ns/cell/PDE/RHS)",
         solver.time(),

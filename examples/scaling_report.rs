@@ -16,7 +16,7 @@ fn main() {
     let cfg = SolverConfig::default();
     let serial = run_single(&case, cfg, 5);
     for ranks in [2usize, 4, 8] {
-        let (dist, stats) = run_distributed(&case, cfg, ranks, 5, Staging::DeviceDirect);
+        let (dist, stats) = run_distributed(&case, cfg, ranks, 5, Staging::DeviceDirect).unwrap();
         let diff = dist.max_abs_diff(&serial);
         println!(
             "{ranks} ranks: max |distributed - serial| = {diff:.1e}  \
@@ -25,7 +25,7 @@ fn main() {
         );
         assert_eq!(diff, 0.0, "distributed must equal serial bitwise");
     }
-    let (_, staged) = run_distributed(&case, cfg, 4, 5, Staging::HostStaged);
+    let (_, staged) = run_distributed(&case, cfg, 4, 5, Staging::HostStaged).unwrap();
     println!(
         "host-staged run: same physics, {} msgs staged through the host",
         staged.messages

@@ -38,7 +38,7 @@ fn main() {
     let v0 = gas_volume(&solver);
     println!("initial gas volume fraction: {v0:.5}");
     for s in 0..180 {
-        solver.step();
+        solver.step().unwrap();
         if s % 45 == 0 {
             println!(
                 "step {s:4}: t = {:.3e} s, gas volume fraction = {:.5}",

@@ -19,7 +19,7 @@ fn main() {
     let c0 = solver.conservation();
     let steps = 150;
     for s in 0..steps {
-        let dt = solver.step();
+        let dt = solver.step().unwrap().dt;
         if s % 30 == 0 {
             println!("step {s:4}: t = {:.3e} s, dt = {dt:.3e} s", solver.time());
         }

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Smoke-test mfc-run's exit-code contract and the resilience machinery
+# end-to-end through the CLI:
+#
+#   0  clean run / laddered recovery
+#   2  invalid configuration or usage
+#   3  I/O failure
+#   4  numerical failure after ladder exhaustion
+#
+# plus a checkpointed multi-rank run with an injected rank death
+# (rollback + replay), the checkpoint magic bytes, and the
+# corrupt-checkpoint-wave rollback test.
+#
+# Run from the repo root: bash scripts/resilience_smoke.sh
+set -u
+
+cargo build -q -p mfc-cli || exit 1
+BIN=target/debug/mfc-run
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+expect() { # expect <exit-code> <description> <cmd...>
+    local want=$1 desc=$2
+    shift 2
+    "$@" >"$TMP/out.log" 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc - expected exit $want, got $got"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+require_output() { # require_output <description> <grep-pattern>
+    if grep -q "$2" "$TMP/out.log"; then
+        echo "ok: $1"
+    else
+        echo "FAIL: $1 - output lacks '$2'"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    fi
+}
+
+sod_case() { # sod_case <name> <extra-run-json> <extra-numerics-json>
+    cat <<EOF
+{
+  "name": "$1",
+  "fluids": [{ "gamma": 1.4, "pi_inf": 0.0 }],
+  "ndim": 1,
+  "cells": [32, 1, 1],
+  "lo": [0.0, 0.0, 0.0],
+  "hi": [1.0, 1.0, 1.0],
+  "bc": "transmissive",
+  "patches": [
+    { "region": "all",
+      "state": { "alpha": [1.0], "rho": [0.125], "vel": [0, 0, 0], "p": 0.1 } },
+    { "region": { "half_space": { "axis": 0, "bound": 0.5 } },
+      "state": { "alpha": [1.0], "rho": [1.0], "vel": [0, 0, 0], "p": 1.0 } }
+  ],
+  "numerics": { "order": "weno5", "solver": "hllc", "cfl": 0.5$3 },
+  "run": { "steps": 12$2 },
+  "output": { "dir": "$TMP/out_$1", "vtk": false }
+}
+EOF
+}
+
+# --- exit 0: a clean serial run -------------------------------------------
+sod_case clean "" "" >"$TMP/clean.json"
+expect 0 "clean run exits 0" "$BIN" "$TMP/clean.json"
+
+# --- exit 2: usage / configuration errors ---------------------------------
+expect 2 "missing case file is a usage error" "$BIN"
+expect 2 "unknown flag is a usage error" "$BIN" "$TMP/clean.json" --no-such-flag
+echo '{ "name": "broken" }' >"$TMP/broken.json"
+expect 2 "invalid case schema exits 2" "$BIN" "$TMP/broken.json"
+require_output "config error names the cause" "invalid configuration"
+
+# --- exit 3: I/O failure ---------------------------------------------------
+expect 3 "unreadable case file exits 3" "$BIN" "$TMP/does_not_exist.json"
+require_output "i/o error names the cause" "i/o failure"
+
+# --- exit 4: numerical failure without a ladder ---------------------------
+# dt = 0.2 is ~8x the stable CFL step for 32-cell Sod: the run must blow
+# up, the health watchdog must catch it, and without a recovery ladder
+# that is a numerical abort.
+sod_case hot "" ', "dt": 0.2' >"$TMP/hot.json"
+expect 4 "overdriven dt without recovery exits 4" "$BIN" "$TMP/hot.json"
+require_output "numerical error names the cause" "numerical failure"
+
+# --- exit 0: the same fault recovered through the ladder ------------------
+cat >"$TMP/ladder.json" <<'EOF'
+{
+  "ladder": ["halve_dt", "halve_dt", "halve_dt", "halve_dt",
+             "halve_dt", "halve_dt", "zhang_shu", "weno3", "rusanov"],
+  "max_retries": 64,
+  "restore_after": 1000
+}
+EOF
+expect 0 "overdriven dt completes with --recovery" \
+    "$BIN" "$TMP/hot.json" --recovery "$TMP/ladder.json"
+require_output "ladder run logs health faults" "health_fault"
+require_output "ladder run logs retries" "retry"
+
+# --- checkpointed multi-rank run with an injected rank death --------------
+sod_case death ', "ranks": 2' "" >"$TMP/death.json"
+cat >"$TMP/plan.json" <<'EOF'
+{ "seed": 7, "deaths": [ { "rank": 1, "step": 10 } ] }
+EOF
+expect 0 "rank death recovers via checkpoint rollback" \
+    "$BIN" "$TMP/death.json" --faults "$TMP/plan.json" --checkpoint-every 3
+require_output "death run logs a rollback" "rollback"
+
+ckpt=$(find "$TMP/out_death/ckpt" -name 'ckpt_r*_w*.bin' | sort | head -1)
+if [ -n "$ckpt" ] && [ "$(head -c 8 "$ckpt")" = "MFCKPT01" ]; then
+    echo "ok: committed checkpoint carries the MFCKPT01 magic"
+else
+    echo "FAIL: no committed checkpoint with MFCKPT01 magic under out_death/ckpt"
+    fail=1
+fi
+
+# --- corrupt-checkpoint rollback (truncated wave skipped collectively) ----
+expect 0 "corrupt checkpoint wave is skipped during rollback" \
+    cargo test -q --test health_recovery \
+    corrupt_checkpoint_wave_is_skipped_during_rollback
+
+if [ "$fail" -ne 0 ]; then
+    echo "resilience smoke: FAILED"
+    exit 1
+fi
+echo "resilience smoke: all checks passed"

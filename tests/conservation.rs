@@ -16,7 +16,7 @@ fn drift(ndim: usize, cfg: SolverConfig, steps: usize) -> f64 {
     let case = presets::two_phase_benchmark(ndim, n);
     let mut solver = Solver::new(&case, cfg, Context::serial());
     let before = solver.conservation();
-    solver.run_steps(steps);
+    solver.run_steps(steps).unwrap();
     let after = solver.conservation();
     let eq = case.eq();
     // Conserved rows: partial densities, momentum, energy (alpha rows are
@@ -106,7 +106,7 @@ fn reflective_box_conserves_mass_and_energy() {
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
     let eq = case.eq();
     let before = solver.conservation();
-    solver.run_steps(20);
+    solver.run_steps(20).unwrap();
     let after = solver.conservation();
     let mass = (after[eq.cont(0)] - before[eq.cont(0)]).abs() / before[eq.cont(0)];
     let energy = (after[eq.energy()] - before[eq.energy()]).abs() / before[eq.energy()];
@@ -134,7 +134,7 @@ fn symmetric_blast_stays_symmetric() {
             PatchState::single(1.2, [0.0; 3], 10.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-    solver.run_steps(20);
+    solver.run_steps(20).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     let ng = solver.domain().pad(0);

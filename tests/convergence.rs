@@ -57,7 +57,7 @@ fn one_period_error(n: usize, order: WenoOrder) -> f64 {
         }
     }
 
-    solver.run_steps(steps);
+    solver.run_steps(steps).unwrap();
     assert!((solver.time() - period).abs() < 1e-12);
 
     let prim = solver.primitives();

@@ -13,7 +13,7 @@ fn distributed_matches_serial_bitwise_1d() {
     let cfg = SolverConfig::default();
     let serial = run_single(&case, cfg, 8);
     for ranks in [2usize, 3, 4, 8] {
-        let (dist, _) = run_distributed(&case, cfg, ranks, 8, Staging::DeviceDirect);
+        let (dist, _) = run_distributed(&case, cfg, ranks, 8, Staging::DeviceDirect).unwrap();
         assert_eq!(dist.max_abs_diff(&serial), 0.0, "{ranks} ranks");
     }
 }
@@ -24,13 +24,13 @@ fn distributed_matches_serial_bitwise_2d_and_3d() {
     let case2 = presets::two_phase_benchmark(2, [24, 24, 1]);
     let serial2 = run_single(&case2, cfg, 4);
     for ranks in [2usize, 4, 6] {
-        let (dist, _) = run_distributed(&case2, cfg, ranks, 4, Staging::DeviceDirect);
+        let (dist, _) = run_distributed(&case2, cfg, ranks, 4, Staging::DeviceDirect).unwrap();
         assert_eq!(dist.max_abs_diff(&serial2), 0.0, "2d {ranks} ranks");
     }
     let case3 = presets::two_phase_benchmark(3, [12, 12, 12]);
     let serial3 = run_single(&case3, cfg, 2);
     for ranks in [2usize, 4, 8] {
-        let (dist, _) = run_distributed(&case3, cfg, ranks, 2, Staging::DeviceDirect);
+        let (dist, _) = run_distributed(&case3, cfg, ranks, 2, Staging::DeviceDirect).unwrap();
         assert_eq!(dist.max_abs_diff(&serial3), 0.0, "3d {ranks} ranks");
     }
 }
@@ -46,7 +46,7 @@ fn distributed_matches_serial_with_weno3() {
         ..Default::default()
     };
     let serial = run_single(&case, cfg, 4);
-    let (dist, _) = run_distributed(&case, cfg, 4, 4, Staging::DeviceDirect);
+    let (dist, _) = run_distributed(&case, cfg, 4, 4, Staging::DeviceDirect).unwrap();
     assert_eq!(dist.max_abs_diff(&serial), 0.0);
 }
 
@@ -57,7 +57,7 @@ fn transmissive_case_distributes_correctly() {
     let case = presets::shock_droplet_2d(32);
     let cfg = SolverConfig::default();
     let serial = run_single(&case, cfg, 3);
-    let (dist, _) = run_distributed(&case, cfg, 4, 3, Staging::DeviceDirect);
+    let (dist, _) = run_distributed(&case, cfg, 4, 3, Staging::DeviceDirect).unwrap();
     assert_eq!(dist.max_abs_diff(&serial), 0.0);
 }
 
@@ -73,7 +73,8 @@ fn nonblocking_exchange_matches_sendrecv_bitwise() {
         4,
         Staging::DeviceDirect,
         ExchangeMode::Sendrecv,
-    );
+    )
+    .unwrap();
     let (b, _) = run_distributed_with_mode(
         &case,
         cfg,
@@ -81,7 +82,8 @@ fn nonblocking_exchange_matches_sendrecv_bitwise() {
         4,
         Staging::DeviceDirect,
         ExchangeMode::NonBlocking,
-    );
+    )
+    .unwrap();
     assert_eq!(a.max_abs_diff(&b), 0.0);
     // And both equal the serial run.
     let serial = run_single(&case, cfg, 4);
@@ -92,8 +94,8 @@ fn nonblocking_exchange_matches_sendrecv_bitwise() {
 fn host_staging_changes_cost_not_physics() {
     let case = presets::two_phase_benchmark(2, [16, 16, 1]);
     let cfg = SolverConfig::default();
-    let (a, _) = run_distributed(&case, cfg, 4, 3, Staging::DeviceDirect);
-    let (b, _) = run_distributed(&case, cfg, 4, 3, Staging::HostStaged);
+    let (a, _) = run_distributed(&case, cfg, 4, 3, Staging::DeviceDirect).unwrap();
+    let (b, _) = run_distributed(&case, cfg, 4, 3, Staging::HostStaged).unwrap();
     assert_eq!(a.max_abs_diff(&b), 0.0);
 }
 
@@ -102,8 +104,8 @@ fn halo_traffic_is_surface_not_volume() {
     let cfg = SolverConfig::default();
     let small = presets::two_phase_benchmark(3, [12, 12, 12]);
     let big = presets::two_phase_benchmark(3, [24, 24, 24]);
-    let (_, s) = run_distributed(&small, cfg, 8, 1, Staging::DeviceDirect);
-    let (_, b) = run_distributed(&big, cfg, 8, 1, Staging::DeviceDirect);
+    let (_, s) = run_distributed(&small, cfg, 8, 1, Staging::DeviceDirect).unwrap();
+    let (_, b) = run_distributed(&big, cfg, 8, 1, Staging::DeviceDirect).unwrap();
     // Linear dimension doubles: halo bytes should grow ~4x (surface), far
     // less than the 8x volume growth.
     let ratio = b.bytes as f64 / s.bytes as f64;

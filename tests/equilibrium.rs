@@ -27,7 +27,7 @@ fn advected_interface_keeps_equilibrium_in_2d() {
             PatchState::two_fluid(1e-6, [1.2, 1000.0], [50.0, -30.0, 0.0], 1.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-    solver.run_steps(30);
+    solver.run_steps(30).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     let ng = solver.domain().pad(0);
@@ -76,7 +76,7 @@ fn interface_travels_at_flow_speed() {
         num / den
     };
     let x0 = centroid(&solver);
-    solver.run_steps(40);
+    solver.run_steps(40).unwrap();
     let x1 = centroid(&solver);
     let expected = u * solver.time();
     assert!(
@@ -144,7 +144,7 @@ fn no_spurious_currents_at_static_interface() {
             PatchState::two_fluid(1.0 - 1e-6, [1.2, 1000.0], [0.0; 3], 1.0e5),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-    solver.run_steps(25);
+    solver.run_steps(25).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     let ng = solver.domain().pad(0);

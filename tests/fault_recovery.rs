@@ -57,6 +57,8 @@ fn run_with_plan(
             FaultCtx::new(plan, ranks).with_detector(fast_detector()),
         )),
         events: Some(Arc::clone(&events)),
+        recovery: None,
+        health: mfc_core::HealthConfig::default(),
     };
     let out = run_distributed_resilient(
         &presets::sod(32),

@@ -30,7 +30,7 @@ fn viscous_distributed_matches_serial_bitwise() {
     let cfg = SolverConfig::default();
     let serial = run_single(&case, cfg, 4);
     for ranks in [2usize, 4] {
-        let (dist, _) = run_distributed(&case, cfg, ranks, 4, Staging::DeviceDirect);
+        let (dist, _) = run_distributed(&case, cfg, ranks, 4, Staging::DeviceDirect).unwrap();
         assert_eq!(dist.max_abs_diff(&serial), 0.0, "{ranks} ranks");
     }
 }
@@ -46,7 +46,7 @@ fn wenoz_solves_sod_accurately() {
         ..Default::default()
     };
     let mut solver = Solver::new(&case, cfg, Context::serial());
-    solver.run_until(0.15, 100_000);
+    solver.run_until(0.15, 100_000).unwrap();
     let air = Fluid::air();
     let exact = ExactRiemann::solve(
         PrimSide {
@@ -86,7 +86,7 @@ fn wenoz_distributed_matches_serial() {
         ..Default::default()
     };
     let serial = run_single(&case, cfg, 3);
-    let (dist, _) = run_distributed(&case, cfg, 4, 3, Staging::DeviceDirect);
+    let (dist, _) = run_distributed(&case, cfg, 4, 3, Staging::DeviceDirect).unwrap();
     assert_eq!(dist.max_abs_diff(&serial), 0.0);
 }
 
@@ -171,7 +171,7 @@ fn mixed_bc_axes_work_together() {
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
     let c0 = solver.conservation();
-    solver.run_steps(20);
+    solver.run_steps(20).unwrap();
     let c1 = solver.conservation();
     let eq = case.eq();
     // Mass and energy conserved; the uniform axial flow is undisturbed.
@@ -195,7 +195,7 @@ fn every_time_scheme_solves_sod() {
             ..Default::default()
         };
         let mut solver = Solver::new(&case, cfg, Context::serial());
-        solver.run_until(0.1, 100_000);
+        solver.run_until(0.1, 100_000).unwrap();
         let prim = solver.primitives();
         let eq = case.eq();
         for i in 0..100 {
@@ -217,7 +217,7 @@ fn pack_strategies_identical_in_distributed_runs() {
             },
             ..Default::default()
         };
-        let (f, _) = run_distributed(&case, cfg, 2, 2, Staging::DeviceDirect);
+        let (f, _) = run_distributed(&case, cfg, 2, 2, Staging::DeviceDirect).unwrap();
         fields.push(f);
     }
     assert_eq!(fields[0].max_abs_diff(&fields[1]), 0.0);
@@ -231,11 +231,11 @@ fn restart_continues_bitwise() {
 
     // Reference: 15 uninterrupted steps.
     let mut reference = Solver::new(&case, cfg, Context::serial());
-    reference.run_steps(15);
+    reference.run_steps(15).unwrap();
 
     // Interrupted: 10 steps, checkpoint, new solver, restore, 5 more.
     let mut first = Solver::new(&case, cfg, Context::serial());
-    first.run_steps(10);
+    first.run_steps(10).unwrap();
     let path = std::env::temp_dir().join(format!("mfc_restart_{}.bin", std::process::id()));
     save_checkpoint(&path, first.state(), first.time(), first.steps()).unwrap();
     drop(first);
@@ -243,7 +243,7 @@ fn restart_continues_bitwise() {
     let (header, q) = load_checkpoint(&path).unwrap();
     let mut resumed = Solver::new(&case, cfg, Context::serial());
     resumed.restore(q, header.t, header.steps);
-    resumed.run_steps(5);
+    resumed.run_steps(5).unwrap();
     std::fs::remove_file(&path).unwrap();
 
     assert_eq!(resumed.steps(), 15);
@@ -264,7 +264,7 @@ fn rusanov_runs_the_two_phase_benchmark() {
         ..Default::default()
     };
     let mut solver = Solver::new(&case, cfg, Context::serial());
-    solver.run_steps(10);
+    solver.run_steps(10).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     let dom = *solver.domain();
@@ -302,7 +302,7 @@ fn hll_runs_single_fluid_flows() {
         ..Default::default()
     };
     let mut solver = Solver::new(&case, cfg, Context::serial());
-    solver.run_steps(15);
+    solver.run_steps(15).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     let dom = *solver.domain();

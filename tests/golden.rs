@@ -70,7 +70,7 @@ fn record_case(name: &str, steps: usize) -> GoldenRecord {
     let mut sums = Vec::with_capacity(steps);
     let mut probes = Vec::with_capacity(steps);
     for _ in 0..steps {
-        solver.step();
+        solver.step().unwrap();
         let q = solver.state();
         let mut step_sums = Vec::with_capacity(neq);
         let mut step_probe = Vec::with_capacity(neq);

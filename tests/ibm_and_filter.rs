@@ -19,7 +19,7 @@ fn flow_over_cylinder_stays_stable_and_decelerates_at_body() {
         radius: 0.12,
     }));
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial()).with_body(ibm);
-    solver.run_steps(60);
+    solver.run_steps(60).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     let ng = solver.domain().pad(0);
@@ -49,7 +49,7 @@ fn airfoil_at_aoa_deflects_flow_asymmetrically() {
     let foil = NacaAirfoil::naca2412([-0.4, 0.0], 0.8);
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial())
         .with_body(GhostCellIbm::new(Box::new(foil)));
-    solver.run_steps(50);
+    solver.run_steps(50).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     let ng = solver.domain().pad(0);
@@ -80,7 +80,7 @@ fn solid_interior_velocity_is_controlled() {
     };
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial())
         .with_body(GhostCellIbm::new(Box::new(body)));
-    solver.run_steps(20);
+    solver.run_steps(20).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     let ng = solver.domain().pad(0);

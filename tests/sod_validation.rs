@@ -17,7 +17,7 @@ fn sod_l1_error(n: usize, order: WenoOrder, solver_kind: RiemannSolver) -> f64 {
         ..Default::default()
     };
     let mut solver = Solver::new(&case, cfg, Context::serial());
-    solver.run_until(0.15, 100_000);
+    solver.run_until(0.15, 100_000).unwrap();
 
     let air = Fluid::air();
     let exact = ExactRiemann::solve(
@@ -93,7 +93,7 @@ fn strong_shock_tube_stays_positive() {
             PatchState::single(1.0, [0.0; 3], 1000.0),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-    solver.run_until(0.01, 100_000);
+    solver.run_until(0.01, 100_000).unwrap();
     let prim = solver.primitives();
     let eq = case.eq();
     for i in 0..200 {
@@ -127,7 +127,7 @@ fn air_water_shock_tube_matches_stiffened_exact_solution() {
             PatchState::two_fluid(1.0 - 1e-6, [100.0, 1000.0], [0.0; 3], 1.0e7),
         );
     let mut solver = Solver::new(&case, SolverConfig::default(), Context::serial());
-    solver.run_until(5.0e-5, 100_000);
+    solver.run_until(5.0e-5, 100_000).unwrap();
 
     let exact = ExactRiemann::solve(
         PrimSide {

@@ -49,7 +49,7 @@ fn sinusoidal_shear_decays_at_the_analytic_rate() {
     let a0 = amplitude(&solver);
     assert!((a0 - u0).abs() < 0.02);
     for _ in 0..350 {
-        solver.step();
+        solver.step().unwrap();
     }
     let t = solver.time();
     let a1 = amplitude(&solver);
@@ -108,7 +108,7 @@ fn taylor_green_kinetic_energy_decay() {
 
     let ke0 = kinetic(&solver);
     for _ in 0..250 {
-        solver.step();
+        solver.step().unwrap();
     }
     let t = solver.time();
     let ke1 = kinetic(&solver);
@@ -147,7 +147,7 @@ fn noslip_walls_decelerate_the_near_wall_flow_first() {
     let eq = case.eq();
     let ng = solver.domain().pad(0);
     for _ in 0..200 {
-        solver.step();
+        solver.step().unwrap();
     }
     let prim = solver.primitives();
     let u_wall = prim.get(8 + ng, ng, 0, eq.mom(0)); // first cell off the wall
@@ -202,7 +202,7 @@ fn inviscid_tgv_conserves_kinetic_energy_far_better() {
     };
     let ke0 = kinetic(&solver);
     for _ in 0..250 {
-        solver.step();
+        solver.step().unwrap();
     }
     let ratio = kinetic(&solver) / ke0;
     assert!(ratio > 0.995, "inviscid KE ratio {ratio}");
