@@ -23,6 +23,10 @@ pub enum KernelClass {
     Update,
     /// Halo buffer pack/unpack for MPI.
     Halo,
+    /// Orchestration of a fused pencil sweep (pack→WENO→Riemann→update in
+    /// one cache-resident pass); the per-stage work is still recorded under
+    /// the stage classes above so breakdown figures keep decomposing.
+    Fused,
     /// Everything else (BCs, sources, EOS sweeps, ...).
     Other,
 }
@@ -36,16 +40,18 @@ impl KernelClass {
             KernelClass::Pack => "Pack",
             KernelClass::Update => "Update",
             KernelClass::Halo => "Halo",
+            KernelClass::Fused => "Fused",
             KernelClass::Other => "Other",
         }
     }
 
-    pub const ALL: [KernelClass; 6] = [
+    pub const ALL: [KernelClass; 7] = [
         KernelClass::Weno,
         KernelClass::Riemann,
         KernelClass::Pack,
         KernelClass::Update,
         KernelClass::Halo,
+        KernelClass::Fused,
         KernelClass::Other,
     ];
 }

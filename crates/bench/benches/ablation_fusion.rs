@@ -1,0 +1,76 @@
+//! Fusion ablation: staged grid-sized sweep buffers vs the fused pencil
+//! engine (`RhsMode::Staged` vs `RhsMode::Fused`).
+//!
+//! The fused engine skips the ghost transverse lines the staged pipeline
+//! reconstructs and then discards, and replaces grid-sized intermediates
+//! with cache-resident per-pencil scratch. `mfc_perfmodel::fusionmodel`
+//! predicts the resulting bytes-moved ratio; before timing, this bench
+//! replays one step per mode against the ledger and prints the
+//! modeled-vs-measured ratio so a drift between the launch-site cost
+//! declarations and the model shows up next to the timings it explains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mfc_acc::Context;
+use mfc_core::case::presets;
+use mfc_core::rhs::RhsMode;
+use mfc_core::solver::{DtMode, Solver, SolverConfig};
+use mfc_perfmodel::fusionmodel;
+
+const N: usize = 24;
+
+fn solver_for(mode: RhsMode) -> Solver {
+    let case = presets::two_phase_benchmark(3, [N, N, N]);
+    let mut cfg = SolverConfig {
+        dt: DtMode::Cfl(0.4),
+        ..Default::default()
+    };
+    cfg.rhs.mode = mode;
+    Solver::new(&case, cfg, Context::serial())
+}
+
+fn measured_bytes(mode: RhsMode) -> f64 {
+    let mut solver = solver_for(mode);
+    solver.run_steps(1).unwrap();
+    let stats = solver.context().ledger().kernel_stats();
+    fusionmodel::measured_sweep_bytes(&stats, mode == RhsMode::Fused)
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let shape = fusionmodel::SweepShape {
+        n: [N, N, N],
+        ndim: 3,
+        ng: 3,
+        neq: 7,
+        stencil: 3,
+    };
+    let modeled = fusionmodel::traffic_ratio(&shape);
+    let measured = measured_bytes(RhsMode::Staged) / measured_bytes(RhsMode::Fused);
+    println!(
+        "staged/fused sweep traffic ratio: modeled {modeled:.3}, ledger-measured {measured:.3}"
+    );
+
+    let cells = N * N * N;
+    let mut g = c.benchmark_group("ablation_fusion");
+    g.throughput(Throughput::Elements((cells * 7 * 3) as u64));
+    g.sample_size(10);
+
+    for mode in [RhsMode::Staged, RhsMode::Fused] {
+        g.bench_with_input(
+            BenchmarkId::new("two_phase_3d_step", mode.name()),
+            &mode,
+            |b, &mode| {
+                let mut solver = solver_for(mode);
+                b.iter(|| {
+                    solver.step().unwrap();
+                    std::hint::black_box(solver.time())
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

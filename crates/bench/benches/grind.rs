@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use mfc_acc::Context;
 use mfc_core::case::presets;
-use mfc_core::rhs::{PackStrategy, RhsConfig};
+use mfc_core::rhs::{PackStrategy, RhsConfig, RhsMode};
 use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::weno::WenoOrder;
 
@@ -36,6 +36,9 @@ fn bench_grind(c: &mut Criterion) {
                 let cfg = SolverConfig {
                     rhs: RhsConfig {
                         pack,
+                        // Pack strategies only matter for the staged
+                        // pipeline's y/z reshapes.
+                        mode: RhsMode::Staged,
                         ..Default::default()
                     },
                     dt: DtMode::Cfl(0.4),
@@ -48,6 +51,25 @@ fn bench_grind(c: &mut Criterion) {
                 })
             },
         );
+    }
+
+    for mode in [RhsMode::Staged, RhsMode::Fused] {
+        g.bench_with_input(BenchmarkId::new("mode", mode.name()), &mode, |b, &mode| {
+            let case = presets::two_phase_benchmark(3, n);
+            let cfg = SolverConfig {
+                rhs: RhsConfig {
+                    mode,
+                    ..Default::default()
+                },
+                dt: DtMode::Cfl(0.4),
+                ..Default::default()
+            };
+            let mut solver = Solver::new(&case, cfg, Context::serial());
+            b.iter(|| {
+                solver.step().unwrap();
+                std::hint::black_box(solver.time())
+            })
+        });
     }
 
     for order in [WenoOrder::Weno3, WenoOrder::Weno5] {

@@ -1,0 +1,166 @@
+//! Perf-trajectory snapshot: staged vs fused grind time on a small fixed
+//! case, plus the modeled-vs-measured sweep traffic ratio.
+//!
+//! Usage:
+//!   `cargo run --release -p mfc-bench --bin bench_snapshot -- [--check] [PATH]`
+//!
+//! Without `--check`, measures and writes the snapshot JSON to `PATH`
+//! (default `BENCH_grind.json` at the repo root) — commit the result as the
+//! next point on the perf trajectory. With `--check`, measures, compares
+//! against the committed snapshot at `PATH`, and exits non-zero if
+//!
+//!   * fused grind is < 1.3x faster than staged on the 3-D benchmark case,
+//!   * the ledger-measured staged/fused traffic ratio drifts more than 25%
+//!     from the `fusionmodel` prediction, or
+//!   * fused grind regresses by more than 20% against the committed
+//!     baseline.
+//!
+//! Timings are best-of-`REPS` over `STEPS`-step runs to shave scheduler
+//! noise; run under `--release` or the numbers are meaningless.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mfc_acc::Context;
+use mfc_core::case::presets;
+use mfc_core::rhs::RhsMode;
+use mfc_core::solver::{DtMode, Solver, SolverConfig};
+use mfc_perfmodel::fusionmodel;
+
+const N: usize = 24;
+const WARMUP_STEPS: usize = 3;
+const STEPS: usize = 12;
+const REPS: usize = 3;
+
+const MIN_FUSED_SPEEDUP: f64 = 1.3;
+const MAX_MODEL_DRIFT: f64 = 0.25;
+const MAX_GRIND_REGRESSION: f64 = 0.20;
+
+fn solver_for(mode: RhsMode) -> Solver {
+    let case = presets::two_phase_benchmark(3, [N, N, N]);
+    let mut cfg = SolverConfig {
+        dt: DtMode::Cfl(0.4),
+        ..Default::default()
+    };
+    cfg.rhs.mode = mode;
+    Solver::new(&case, cfg, Context::serial())
+}
+
+/// Best-of-reps grind time in µs per cell per step, plus the sweep bytes
+/// the ledger recorded for one measured run.
+fn measure(mode: RhsMode) -> (f64, f64) {
+    let cells = (N * N * N) as f64;
+    let mut best = f64::INFINITY;
+    let mut bytes = 0.0;
+    for _ in 0..REPS {
+        let mut solver = solver_for(mode);
+        solver.run_steps(WARMUP_STEPS).unwrap();
+        let before = fusionmodel::measured_sweep_bytes(
+            &solver.context().ledger().kernel_stats(),
+            mode == RhsMode::Fused,
+        );
+        let t0 = Instant::now();
+        solver.run_steps(STEPS).unwrap();
+        let us = t0.elapsed().as_secs_f64() * 1e6 / (cells * STEPS as f64);
+        if us < best {
+            best = us;
+            bytes = fusionmodel::measured_sweep_bytes(
+                &solver.context().ledger().kernel_stats(),
+                mode == RhsMode::Fused,
+            ) - before;
+        }
+    }
+    (best, bytes)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let path: PathBuf = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_grind.json")
+        });
+
+    let (staged_us, staged_bytes) = measure(RhsMode::Staged);
+    let (fused_us, fused_bytes) = measure(RhsMode::Fused);
+    let speedup = staged_us / fused_us;
+    let measured_ratio = staged_bytes / fused_bytes;
+    let shape = fusionmodel::SweepShape {
+        n: [N, N, N],
+        ndim: 3,
+        ng: 3,
+        neq: 7,
+        stencil: 3,
+    };
+    let modeled_ratio = fusionmodel::traffic_ratio(&shape);
+
+    let snapshot = serde_json::json!({
+        "case": "two_phase_benchmark_3d",
+        "n": [N, N, N],
+        "steps": STEPS,
+        "staged_us_per_cell_step": staged_us,
+        "fused_us_per_cell_step": fused_us,
+        "fused_speedup": speedup,
+        "measured_traffic_ratio": measured_ratio,
+        "modeled_traffic_ratio": modeled_ratio,
+    });
+    println!("{}", serde_json::to_string_pretty(&snapshot).unwrap());
+
+    if !check {
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&snapshot).unwrap() + "\n",
+        )
+        .expect("write snapshot");
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    let mut failures = Vec::new();
+    if speedup < MIN_FUSED_SPEEDUP {
+        failures.push(format!(
+            "fused speedup {speedup:.3} < required {MIN_FUSED_SPEEDUP}"
+        ));
+    }
+    let drift = (measured_ratio / modeled_ratio - 1.0).abs();
+    if drift > MAX_MODEL_DRIFT {
+        failures.push(format!(
+            "measured traffic ratio {measured_ratio:.3} drifts {:.0}% from model {modeled_ratio:.3}",
+            drift * 100.0
+        ));
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let baseline: serde_json::Value =
+                serde_json::from_str(&text).expect("parse committed snapshot");
+            let base_fused = baseline["fused_us_per_cell_step"]
+                .as_f64()
+                .expect("fused_us_per_cell_step in baseline");
+            let regression = fused_us / base_fused - 1.0;
+            println!(
+                "fused grind: {fused_us:.4} us/cell/step vs committed {base_fused:.4} ({:+.1}%)",
+                regression * 100.0
+            );
+            if regression > MAX_GRIND_REGRESSION {
+                failures.push(format!(
+                    "fused grind regressed {:.0}% vs committed baseline (> {:.0}% allowed)",
+                    regression * 100.0,
+                    MAX_GRIND_REGRESSION * 100.0
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("no committed baseline at {}: {e}", path.display())),
+    }
+
+    if failures.is_empty() {
+        println!("perf snapshot OK");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

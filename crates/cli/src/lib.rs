@@ -43,7 +43,7 @@ use mfc_core::par::{
 };
 use mfc_core::probes::{Probe, ProbeSet};
 use mfc_core::recovery::RecoveryPolicy;
-use mfc_core::rhs::{PackStrategy, RhsConfig};
+use mfc_core::rhs::{PackStrategy, RhsConfig, RhsMode};
 use mfc_core::riemann::RiemannSolver;
 use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::time::TimeScheme;
@@ -75,6 +75,8 @@ pub struct NumericsConfig {
     pub order: WenoOrder,
     pub solver: RiemannSolver,
     pub pack: PackStrategy,
+    /// Sweep engine: staged grid-sized buffers or the fused pencil engine.
+    pub mode: RhsMode,
     /// Coordinate system: cartesian / axisymmetric / cylindrical3_d.
     pub geometry: Geometry,
     pub scheme: String,
@@ -89,6 +91,7 @@ impl Default for NumericsConfig {
             order: WenoOrder::Weno5,
             solver: RiemannSolver::Hllc,
             pack: PackStrategy::Tiled,
+            mode: RhsMode::default(),
             geometry: Geometry::Cartesian,
             scheme: "rk3".to_string(),
             cfl: 0.5,
@@ -113,6 +116,7 @@ impl NumericsConfig {
                 order: self.order,
                 solver: self.solver,
                 pack: self.pack,
+                mode: self.mode,
                 geometry: self.geometry,
                 ..Default::default()
             },

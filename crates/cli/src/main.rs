@@ -1,10 +1,11 @@
 //! `mfc-run <case.json>` — execute a JSON case file.
 
 use mfc_cli::{run_case, CaseFile, RunError};
+use mfc_core::rhs::RhsMode;
 
 const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
-[--faults plan.json] [--checkpoint-every N] [--recovery ladder.json] \
-[--max-retries N]";
+[--rhs-mode staged|fused] [--faults plan.json] [--checkpoint-every N] \
+[--recovery ladder.json] [--max-retries N]";
 
 const HELP: &str = "\
 mfc-run — execute a JSON case file on the MFC reproduction solver
@@ -14,6 +15,8 @@ usage: mfc-run <case.json> [flags]
 flags:
   --help                 print this help and exit
   --validate             parse and validate the case, run nothing
+  --rhs-mode MODE        sweep engine: 'staged' grid-sized buffers or the
+                         'fused' pencil engine (default; bitwise identical)
   --faults plan.json     fault-injection plan (mfc_mpsim::FaultPlan)
   --checkpoint-every N   checkpoint wave period in steps; any non-zero
                          value routes the run through the fault-tolerant
@@ -35,6 +38,7 @@ exit codes:
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut validate_only = false;
+    let mut rhs_mode: Option<RhsMode> = None;
     let mut faults: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut recovery: Option<String> = None;
@@ -49,6 +53,11 @@ fn main() {
                 return;
             }
             "--validate" => validate_only = true,
+            "--rhs-mode" => match it.next().map(String::as_str) {
+                Some("staged") => rhs_mode = Some(RhsMode::Staged),
+                Some("fused") => rhs_mode = Some(RhsMode::Fused),
+                _ => die("--rhs-mode needs 'staged' or 'fused'"),
+            },
             "--faults" => match it.next() {
                 Some(v) => faults = Some(v.clone()),
                 None => die("--faults needs a plan file"),
@@ -92,7 +101,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // Command-line resilience flags override the case file.
+    // Command-line flags override the case file.
+    if let Some(mode) = rhs_mode {
+        case.numerics.mode = mode;
+    }
     if let Some(plan) = faults {
         case.run.faults = Some(plan.into());
     }

@@ -1,0 +1,380 @@
+//! Fused, cache-blocked RHS sweep engine.
+//!
+//! The staged pipeline in [`crate::rhs`] streams the full grid through
+//! memory once per stage: reshape into a coalesced buffer, reconstruct
+//! every face, solve every Riemann problem, then accumulate the flux
+//! divergence — with grid-sized `left`/`right`/`flux`/`ustar`
+//! intermediates in between. That is exactly the traffic the paper's GPU
+//! kernel-fusion work eliminates; on a memory-bound CPU core the canonical
+//! analog is loop fusion with cache blocking.
+//!
+//! This engine processes *pencils* — batches of [`PENCIL_B`] transverse
+//! lines along the sweep axis — through pack → WENO → Riemann → update in
+//! a single pass. All intermediates live in a few KB of per-pencil scratch
+//! ([`FusedScratch`]) that stays resident in L1/L2, and the per-face
+//! variable vectors are stack-allocated at `MAX_EQ` (the compile-time-sized
+//! "private arrays" of §III-D). Two further sources of traffic disappear
+//! structurally:
+//!
+//! * no grid-sized packed buffer is materialized for any direction — the
+//!   gather stage copies each pencil's lines straight out of the canonical
+//!   primitive buffer (the x sweep needs no gather at all), batched along
+//!   the canonical-x coordinate so even the strided y/z gathers consume
+//!   whole cache lines;
+//! * ghost *transverse* lines are skipped. The staged kernels reconstruct
+//!   and solve along every line of the padded buffer, but the update stage
+//!   only ever reads faces on interior transverse coordinates, so roughly
+//!   `1 - (n/(n+2*ng))^2` of the staged WENO/Riemann work is dead. Skipping
+//!   it cannot change a single consumed bit.
+//!
+//! Per-line arithmetic is delegated to the *same* inlined kernels the
+//! staged path uses ([`crate::weno::reconstruct_line_padded`],
+//! [`crate::limiter::limit_state`], [`RiemannSolver::flux`]) in the same
+//! order, so the fused engine is bitwise identical to the staged one —
+//! `tests/rhs_fusion.rs` asserts this on every shipped case.
+//!
+//! Every stage still lands in the `mfc-acc` ledger under its own label
+//! (`f_sweep_gather`/`f_weno_reconstruct`/`f_riemann_solve`/
+//! `f_flux_divergence`) with the staged-equivalent per-item costs, so
+//! roofline and breakdown figures keep decomposing; an `s_fused_sweep`
+//! marker of class [`KernelClass::Fused`] carries the orchestration
+//! residual so total ledger wall time stays honest.
+
+use std::time::{Duration, Instant};
+
+use mfc_acc::{Context, KernelClass, KernelCost};
+
+use crate::axisym::Geometry;
+use crate::domain::{Domain, MAX_EQ};
+use crate::fluid::Fluid;
+use crate::limiter::limit_state;
+use crate::rhs::{state_admissible, sweep_to_canonical, RhsConfig, RhsWorkspace};
+use crate::state::StateField;
+use crate::weno::reconstruct_line_padded;
+
+/// Transverse lines per pencil. Eight 8-byte values span one 64-byte cache
+/// line, so the strided y/z gathers read (and fully consume) whole lines.
+pub(crate) const PENCIL_B: usize = 8;
+
+/// Per-pencil scratch of the fused engine: the only intermediates between
+/// the sweep stages, sized `PENCIL_B * neq * max_line` — a few KB total,
+/// resident in cache for the lifetime of the evaluation.
+pub(crate) struct FusedScratch {
+    /// Gathered pencil lines, `[b][e][s]`, line-contiguous.
+    v: Vec<f64>,
+    /// Reconstructed face states, `[b][e][m]`.
+    left: Vec<f64>,
+    right: Vec<f64>,
+    /// Face fluxes, `[b][e][m]`.
+    flux: Vec<f64>,
+    /// Contact speeds, `[b][m]`.
+    ustar: Vec<f64>,
+}
+
+impl FusedScratch {
+    pub(crate) fn new(dom: &Domain) -> Self {
+        let neq = dom.eq.neq();
+        let (mut vmax, mut fmax, mut umax) = (0, 0, 0);
+        for axis in 0..dom.eq.ndim() {
+            let ext = dom.ext(axis);
+            let nf = dom.n[axis] + 1;
+            vmax = vmax.max(PENCIL_B * neq * ext);
+            fmax = fmax.max(PENCIL_B * neq * nf);
+            umax = umax.max(PENCIL_B * nf);
+        }
+        FusedScratch {
+            v: vec![0.0; vmax],
+            left: vec![0.0; fmax],
+            right: vec![0.0; fmax],
+            flux: vec![0.0; fmax],
+            ustar: vec![0.0; umax],
+        }
+    }
+}
+
+/// Run the three directional sweeps (steps 2–6 of [`crate::rhs::compute_rhs`])
+/// through the fused pencil engine. Bitwise identical to the staged path.
+pub(crate) fn fused_sweeps(
+    ctx: &Context,
+    cfg: &RhsConfig,
+    fluids: &[Fluid],
+    ws: &mut RhsWorkspace,
+    rhs: &mut StateField,
+) {
+    let RhsWorkspace {
+        dom,
+        prim,
+        divu,
+        widths,
+        radii,
+        fused,
+        ..
+    } = ws;
+    let dom = *dom;
+    let eq = dom.eq;
+    let neq = eq.neq();
+    let fs = fused.get_or_insert_with(|| FusedScratch::new(&dom));
+    let FusedScratch {
+        v,
+        left,
+        right,
+        flux,
+        ustar,
+    } = fs;
+    let d3 = dom.dims3();
+    let (n1, n2, n3) = (d3.n1, d3.n2, d3.n3);
+    let cell_stride = n1 * n2 * n3;
+    let psl = prim.as_slice();
+    let rsl = rhs.as_mut_slice();
+    let gh = cfg.order.ghost_layers();
+
+    // `axis` indexes several parallel per-axis tables (`widths`, `dom.n`,
+    // `dom.pad`), not one iterable.
+    #[allow(clippy::needless_range_loop)]
+    for axis in 0..eq.ndim() {
+        let n = dom.n[axis];
+        let pad = dom.pad(axis);
+        let ext = dom.ext(axis);
+        let nf = n + 1;
+        let w = &widths[axis][..];
+        let radial = if axis == 2 && cfg.geometry == Geometry::Cylindrical3D {
+            Some(&radii[..])
+        } else {
+            None
+        };
+        // Interior transverse bounds in sweep coordinates (t1, t2) — the
+        // exact cell set the staged update stage consumes.
+        let (p1, n1i, p2, n2i) = match axis {
+            0 => (dom.pad(1), dom.n[1], dom.pad(2), dom.n[2]),
+            1 => (dom.pad(0), dom.n[0], dom.pad(2), dom.n[2]),
+            _ => (dom.pad(1), dom.n[1], dom.pad(0), dom.n[0]),
+        };
+        // Pencils batch over whichever transverse coordinate is canonical
+        // x (t1 for the x/y sweeps, t2 for z), so the strided gathers of a
+        // pencil read consecutive memory.
+        let batch_t1 = axis < 2;
+        let (bq, bcount, oq, ocount) = if batch_t1 {
+            (p1, n1i, p2, n2i)
+        } else {
+            (p2, n2i, p1, n1i)
+        };
+        let nlines = n1i * n2i;
+
+        let t_axis = Instant::now();
+        let (mut tg, mut tw, mut tr, mut tu) = (
+            Duration::ZERO,
+            Duration::ZERO,
+            Duration::ZERO,
+            Duration::ZERO,
+        );
+
+        let mut pl = [0.0; MAX_EQ];
+        let mut pr = [0.0; MAX_EQ];
+        let mut f = [0.0; MAX_EQ];
+        let mut mean = [0.0; MAX_EQ];
+
+        for o in 0..ocount {
+            let oc = oq + o;
+            let mut b0 = 0;
+            while b0 < bcount {
+                let bw = PENCIL_B.min(bcount - b0);
+                // Canonical flat offset of cell (s=0, line b, variable e):
+                // lines of one pencil are consecutive in canonical x.
+                let line_base = |b: usize, e: usize| -> usize {
+                    let (t1, t2) = if batch_t1 {
+                        (bq + b0 + b, oc)
+                    } else {
+                        (oc, bq + b0 + b)
+                    };
+                    let (i, j, k) = sweep_to_canonical(axis, 0, t1, t2);
+                    i + n1 * (j + n2 * (k + n3 * e))
+                };
+
+                // --- stage 1: gather (skipped for x: canonical lines are
+                //     already unit-stride in `prim`) ---
+                if axis != 0 {
+                    let t0 = Instant::now();
+                    let sweep_stride = if axis == 1 { n1 } else { n1 * n2 };
+                    for e in 0..neq {
+                        let base = line_base(0, e);
+                        for s in 0..ext {
+                            let src = base + s * sweep_stride;
+                            let dst = e * ext + s;
+                            for (b, vb) in
+                                v[dst..].iter_mut().step_by(neq * ext).take(bw).enumerate()
+                            {
+                                *vb = psl[src + b];
+                            }
+                        }
+                    }
+                    tg += t0.elapsed();
+                }
+
+                // --- stage 2: WENO reconstruction per line per variable ---
+                {
+                    let t0 = Instant::now();
+                    for b in 0..bw {
+                        for e in 0..neq {
+                            let fo = (b * neq + e) * nf;
+                            if axis == 0 {
+                                let base = line_base(b, e);
+                                reconstruct_line_padded(
+                                    cfg.order,
+                                    &psl[base..base + ext],
+                                    pad,
+                                    n,
+                                    &mut left[fo..fo + nf],
+                                    &mut right[fo..fo + nf],
+                                );
+                            } else {
+                                let lo = (b * neq + e) * ext;
+                                reconstruct_line_padded(
+                                    cfg.order,
+                                    &v[lo..lo + ext],
+                                    pad,
+                                    n,
+                                    &mut left[fo..fo + nf],
+                                    &mut right[fo..fo + nf],
+                                );
+                            }
+                        }
+                    }
+                    tw += t0.elapsed();
+                }
+
+                // --- stage 3: Riemann solve per face (same positivity
+                //     limiting and flux arithmetic as the staged kernel) ---
+                {
+                    let t0 = Instant::now();
+                    for b in 0..bw {
+                        // Cell value at sweep position `s` of line (b, e),
+                        // for the positivity-fallback means.
+                        let cell_val = |b: usize, e: usize, s: usize| -> f64 {
+                            if axis == 0 {
+                                psl[line_base(b, e) + s]
+                            } else {
+                                v[(b * neq + e) * ext + s]
+                            }
+                        };
+                        for m in 0..nf {
+                            for e in 0..neq {
+                                pl[e] = left[(b * neq + e) * nf + m];
+                                pr[e] = right[(b * neq + e) * nf + m];
+                            }
+                            let cl = pad - 1 + m;
+                            if !state_admissible(&eq, fluids, &pl[..neq]) {
+                                for (e, m) in mean.iter_mut().enumerate().take(neq) {
+                                    *m = cell_val(b, e, cl);
+                                }
+                                limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pl[..neq]);
+                            }
+                            if !state_admissible(&eq, fluids, &pr[..neq]) {
+                                for (e, m) in mean.iter_mut().enumerate().take(neq) {
+                                    *m = cell_val(b, e, cl + 1);
+                                }
+                                limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pr[..neq]);
+                            }
+                            let s = cfg.solver.flux(
+                                &eq,
+                                fluids,
+                                axis,
+                                &pl[..neq],
+                                &pr[..neq],
+                                &mut f[..neq],
+                            );
+                            for e in 0..neq {
+                                flux[(b * neq + e) * nf + m] = f[e];
+                            }
+                            ustar[b * nf + m] = s;
+                        }
+                    }
+                    tr += t0.elapsed();
+                }
+
+                // --- stage 4: flux divergence into the canonical RHS and
+                //     S* differences into div(u) ---
+                {
+                    let t0 = Instant::now();
+                    for b in 0..bw {
+                        let (t1, t2) = if batch_t1 {
+                            (bq + b0 + b, oc)
+                        } else {
+                            (oc, bq + b0 + b)
+                        };
+                        let metric = radial.map(|r| r[t1]).unwrap_or(1.0);
+                        let ub = b * nf;
+                        for s in 0..n {
+                            let inv_dx = 1.0 / (w[pad + s] * metric);
+                            let (i, j, k) = sweep_to_canonical(axis, pad + s, t1, t2);
+                            let cell = i + n1 * (j + n2 * k);
+                            for e in 0..neq {
+                                let fb = (b * neq + e) * nf + s;
+                                rsl[cell + e * cell_stride] += (flux[fb] - flux[fb + 1]) * inv_dx;
+                            }
+                            divu[cell] += (ustar[ub + s + 1] - ustar[ub + s]) * inv_dx;
+                        }
+                    }
+                    tu += t0.elapsed();
+                }
+
+                b0 += bw;
+            }
+        }
+
+        // Per-axis ledger records: each stage under its own label with the
+        // staged-equivalent per-item cost, plus the Fused-class marker
+        // carrying the orchestration residual.
+        let wall = t_axis.elapsed();
+        let ledger = ctx.ledger();
+        if axis != 0 {
+            ledger.record_launch(
+                "f_sweep_gather",
+                KernelCost::new(KernelClass::Pack, 0.0, 8.0, 8.0),
+                (nlines * neq * ext) as u64,
+                tg,
+            );
+        }
+        ledger.record_launch(
+            "f_weno_reconstruct",
+            KernelCost::new(
+                KernelClass::Weno,
+                cfg.order.flops_per_face(),
+                8.0 * (2 * gh + 1) as f64,
+                2.0 * 8.0,
+            ),
+            (nlines * neq * nf) as u64,
+            tw,
+        );
+        ledger.record_launch(
+            "f_riemann_solve",
+            KernelCost::new(
+                KernelClass::Riemann,
+                cfg.solver.flops_per_face(&eq),
+                2.0 * 8.0 * neq as f64,
+                8.0 * (neq + 1) as f64,
+            ),
+            (nlines * nf) as u64,
+            tr,
+        );
+        ledger.record_launch(
+            "f_flux_divergence",
+            KernelCost::new(
+                KernelClass::Update,
+                (2 * neq + 3) as f64,
+                8.0 * 2.0 * (neq + 1) as f64,
+                8.0 * (neq + 1) as f64,
+            ),
+            (nlines * n) as u64,
+            tu,
+        );
+        let residual = wall
+            .checked_sub(tg + tw + tr + tu)
+            .unwrap_or(Duration::ZERO);
+        ledger.record_launch(
+            "s_fused_sweep",
+            KernelCost::new(KernelClass::Fused, 0.0, 8.0, 8.0),
+            nlines as u64,
+            residual,
+        );
+    }
+}

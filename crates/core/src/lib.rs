@@ -43,6 +43,7 @@ pub mod eos;
 pub mod eqidx;
 pub mod filter;
 pub mod fluid;
+pub mod fused;
 pub mod grid;
 pub mod health;
 pub mod ibm;

@@ -3,8 +3,8 @@
 //! One RHS evaluation per direction does exactly what MFC does on the GPU:
 //!
 //! 1. pack the primitive state into a direction-coalesced flat buffer
-//!    (`v_temp` is built once for x and *reshaped* for y/z — Listings 3–4;
-//!    kernel class `Pack`),
+//!    (the canonical primitive buffer *is* the x-coalesced `v_temp`; it is
+//!    *reshaped* for y/z — Listings 3–4; kernel class `Pack`),
 //! 2. WENO-reconstruct left/right face states along the now-unit-stride
 //!    lines (class `Weno`),
 //! 3. solve an approximate Riemann problem per face (class `Riemann`),
@@ -14,6 +14,11 @@
 //!
 //! and finally closes the non-conservative volume-fraction equation with
 //! `rhs[alpha_i] += alpha_i * div(u)` plus optional axisymmetric sources.
+//!
+//! Steps 1–4 run either as full-grid *staged* passes (each stage streams
+//! the whole grid through memory) or through the cache-blocked *fused*
+//! pencil engine ([`crate::fused`]) — selected by [`RhsMode`], bitwise
+//! identically.
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -46,6 +51,33 @@ pub enum PackStrategy {
     Geam,
 }
 
+/// How the per-direction sweeps are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum RhsMode {
+    /// Full-grid stages with grid-sized intermediates: pack, WENO, Riemann
+    /// and update each stream the entire grid through memory. This mirrors
+    /// the unfused GPU pipeline and stays alive as the ablation baseline.
+    Staged,
+    /// Cache-blocked pencil engine ([`crate::fused`]): batches of
+    /// transverse lines flow through pack→WENO→Riemann→update in a single
+    /// pass with small per-pencil scratch instead of grid-sized
+    /// intermediates, and ghost transverse lines (whose staged outputs are
+    /// never consumed) are skipped. Bitwise identical to `Staged` with
+    /// substantially less memory traffic.
+    #[default]
+    Fused,
+}
+
+impl RhsMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            RhsMode::Staged => "staged",
+            RhsMode::Fused => "fused",
+        }
+    }
+}
+
 /// Numerical options of one RHS evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RhsConfig {
@@ -55,6 +87,9 @@ pub struct RhsConfig {
     pub geometry: Geometry,
     /// Positivity enforcement for reconstructed face states.
     pub limiter: Limiter,
+    /// Sweep execution engine (staged full-grid stages vs fused pencils).
+    #[serde(default)]
+    pub mode: RhsMode,
 }
 
 impl Default for RhsConfig {
@@ -65,19 +100,25 @@ impl Default for RhsConfig {
             pack: PackStrategy::Tiled,
             geometry: Geometry::Cartesian,
             limiter: Limiter::default(),
+            mode: RhsMode::default(),
         }
     }
 }
 
 /// Reusable buffers for RHS evaluations (the `v_temp`/`v_sf_t` analogs;
 /// allocated once, never inside the time loop).
+///
+/// The grid-sized staged intermediates (`packed`, `left`, `right`, `flux`,
+/// `ustar`) are grown lazily on the first `Staged` evaluation: the fused
+/// pencil engine replaces all of them with a few KB of per-pencil scratch
+/// ([`crate::fused::FusedScratch`]), so a fused-mode run never allocates
+/// them at all.
 pub struct RhsWorkspace {
-    dom: Domain,
+    pub(crate) dom: Domain,
     /// Primitive state, canonical (x-coalesced) layout.
     pub prim: StateField,
-    /// x-coalesced packed primitives (built once per evaluation).
-    vtemp: Flat4D,
-    /// Direction-coalesced buffer for the current sweep (y/z reshape target).
+    /// Direction-coalesced buffer for the current sweep (y/z reshape
+    /// target; the x sweep reads the canonical `prim` buffer directly).
     packed: Vec<Flat4D>,
     /// Face states and fluxes, per direction.
     left: Vec<Flat4D>,
@@ -85,33 +126,20 @@ pub struct RhsWorkspace {
     flux: Vec<Flat4D>,
     ustar: Vec<Flat4D>,
     /// Cell-centered velocity divergence, canonical spatial layout.
-    divu: Vec<f64>,
+    pub(crate) divu: Vec<f64>,
     /// Ghost-inclusive cell widths per axis.
-    widths: [Vec<f64>; 3],
+    pub(crate) widths: [Vec<f64>; 3],
     /// Radial centers (ghost-inclusive along y) for axisymmetric sources.
-    radii: Vec<f64>,
+    pub(crate) radii: Vec<f64>,
     /// GEAM scratch.
     scratch: Vec<f64>,
+    /// Per-pencil scratch of the fused sweep engine.
+    pub(crate) fused: Option<crate::fused::FusedScratch>,
 }
 
 impl RhsWorkspace {
     pub fn new(dom: Domain, grid: &Grid) -> Self {
         let d3 = dom.dims3();
-        let neq = dom.eq.neq();
-        let mut packed = Vec::new();
-        let mut left = Vec::new();
-        let mut right = Vec::new();
-        let mut flux = Vec::new();
-        let mut ustar = Vec::new();
-        for axis in 0..dom.eq.ndim() {
-            let (e1, t1, t2) = sweep_extents(&dom, axis);
-            packed.push(Flat4D::zeros(Dims4::new(e1, t1, t2, neq)));
-            let nf = dom.n[axis] + 1;
-            left.push(Flat4D::zeros(Dims4::new(nf, t1, t2, neq)));
-            right.push(Flat4D::zeros(Dims4::new(nf, t1, t2, neq)));
-            flux.push(Flat4D::zeros(Dims4::new(nf, t1, t2, neq)));
-            ustar.push(Flat4D::zeros(Dims4::new(nf, t1, t2, 1)));
-        }
         let widths = [
             grid.x.widths_with_ghosts(dom.pad(0)),
             grid.y.widths_with_ghosts(dom.pad(1)),
@@ -133,16 +161,46 @@ impl RhsWorkspace {
         RhsWorkspace {
             dom,
             prim: StateField::zeros(dom),
-            vtemp: Flat4D::zeros(dom.dims4()),
-            packed,
-            left,
-            right,
-            flux,
-            ustar,
+            packed: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            flux: Vec::new(),
+            ustar: Vec::new(),
             divu: vec![0.0; d3.len()],
             widths,
             radii,
-            scratch: Vec::new(),
+            // Preallocated so the first 3-D GEAM z-reshape never grows a
+            // buffer inside the time loop.
+            scratch: if dom.eq.ndim() == 3 {
+                vec![0.0; dom.dims4().len()]
+            } else {
+                Vec::new()
+            },
+            fused: None,
+        }
+    }
+
+    /// Grow the grid-sized staged sweep buffers on first staged use.
+    fn ensure_staged(&mut self) {
+        if !self.left.is_empty() {
+            return;
+        }
+        let dom = self.dom;
+        let neq = dom.eq.neq();
+        for axis in 0..dom.eq.ndim() {
+            let (e1, t1, t2) = sweep_extents(&dom, axis);
+            // The x sweep reads the canonical primitive buffer directly;
+            // only the y/z reshapes need a transpose target.
+            self.packed.push(if axis == 0 {
+                Flat4D::zeros(Dims4::new(1, 1, 1, 1))
+            } else {
+                Flat4D::zeros(Dims4::new(e1, t1, t2, neq))
+            });
+            let nf = dom.n[axis] + 1;
+            self.left.push(Flat4D::zeros(Dims4::new(nf, t1, t2, neq)));
+            self.right.push(Flat4D::zeros(Dims4::new(nf, t1, t2, neq)));
+            self.flux.push(Flat4D::zeros(Dims4::new(nf, t1, t2, neq)));
+            self.ustar.push(Flat4D::zeros(Dims4::new(nf, t1, t2, 1)));
         }
     }
 
@@ -172,7 +230,12 @@ fn sweep_extents(dom: &Domain, axis: usize) -> (usize, usize, usize) {
 
 /// Map sweep-layout coordinates `(s, t1, t2)` back to canonical `(i, j, k)`.
 #[inline(always)]
-fn sweep_to_canonical(axis: usize, s: usize, t1: usize, t2: usize) -> (usize, usize, usize) {
+pub(crate) fn sweep_to_canonical(
+    axis: usize,
+    s: usize,
+    t1: usize,
+    t2: usize,
+) -> (usize, usize, usize) {
     match axis {
         0 => (s, t1, t2),
         1 => (t1, s, t2),
@@ -210,7 +273,6 @@ pub fn compute_rhs(
         dom.ng,
         cfg.order.ghost_layers().max(1)
     );
-    let eq = dom.eq;
 
     // 1. Primitive variables everywhere (ghosts included).
     crate::state::cons_to_prim_field(ctx, fluids, cons, &mut ws.prim);
@@ -218,36 +280,62 @@ pub fn compute_rhs(
     rhs.fill(0.0);
     ws.divu.fill(0.0);
 
-    // 2. Build the x-coalesced v_temp once per evaluation (Listing 3).
-    {
-        let t0 = Instant::now();
-        ws.vtemp.as_mut_slice().copy_from_slice(ws.prim.as_slice());
-        record_pack(ctx, "s_pack_vtemp_x", ws.vtemp.dims().len(), t0.elapsed());
+    // 2–6. The per-direction sweeps: pack, WENO reconstruction, Riemann
+    // solve, flux-divergence update — as full-grid stages or as one fused
+    // cache-blocked pass, bitwise identically.
+    match cfg.mode {
+        RhsMode::Staged => staged_sweeps(ctx, cfg, fluids, ws, rhs),
+        RhsMode::Fused => crate::fused::fused_sweeps(ctx, cfg, fluids, ws, rhs),
     }
 
+    // 7. Non-conservative volume-fraction source: rhs[alpha] += alpha div u.
+    alpha_source(ctx, &dom, &ws.prim, &ws.divu, rhs);
+
+    // 8. Geometric sources (axisymmetric / cylindrical).
+    match cfg.geometry {
+        Geometry::Cartesian => {}
+        Geometry::Axisymmetric => {
+            crate::axisym::axisym_source(ctx, &dom, fluids, &ws.prim, &ws.radii, rhs);
+        }
+        Geometry::Cylindrical3D => {
+            crate::axisym::cylindrical_source(ctx, &dom, fluids, &ws.prim, &ws.radii, rhs);
+        }
+    }
+
+    // 9. Viscous fluxes (Navier-Stokes terms), when any fluid is viscous.
+    if crate::viscous::is_viscous(fluids) {
+        crate::viscous::add_viscous_fluxes(ctx, &dom, fluids, &ws.prim, &ws.widths, rhs);
+    }
+}
+
+/// The staged sweep pipeline: full-grid pack / WENO / Riemann / update
+/// stages with grid-sized intermediates (the unfused GPU-pipeline analog,
+/// kept as the fusion-ablation baseline).
+fn staged_sweeps(
+    ctx: &Context,
+    cfg: &RhsConfig,
+    fluids: &[Fluid],
+    ws: &mut RhsWorkspace,
+    rhs: &mut StateField,
+) {
+    let dom = ws.dom;
+    let eq = dom.eq;
+    ws.ensure_staged();
+
     for axis in 0..eq.ndim() {
-        // 3. Direction-coalesced buffer: identity for x, reshape for y/z.
+        // 3. Direction-coalesced buffer: the x sweep reads the canonical
+        //    primitive buffer directly (its lines are already unit-stride);
+        //    y/z reshape into the transpose target.
         match axis {
-            0 => {
-                let t0 = Instant::now();
-                ws.packed[0]
-                    .as_mut_slice()
-                    .copy_from_slice(ws.vtemp.as_slice());
-                record_pack(
-                    ctx,
-                    "s_pack_sweep_x",
-                    ws.packed[0].dims().len(),
-                    t0.elapsed(),
-                );
-            }
+            0 => {}
             1 => {
                 let t0 = Instant::now();
                 match cfg.pack {
                     PackStrategy::CollapsedLoops => {
-                        transpose_2134_naive(&ws.vtemp, &mut ws.packed[1])
+                        transpose_2134_naive(ws.prim.flat(), &mut ws.packed[1])
                     }
                     PackStrategy::Tiled | PackStrategy::Geam => {
-                        transpose_2134_geam(&ws.vtemp, &mut ws.packed[1])
+                        transpose_2134_geam(ws.prim.flat(), &mut ws.packed[1])
                     }
                 }
                 record_pack(
@@ -261,11 +349,11 @@ pub fn compute_rhs(
                 let t0 = Instant::now();
                 match cfg.pack {
                     PackStrategy::CollapsedLoops => {
-                        transpose_3214_naive(&ws.vtemp, &mut ws.packed[2])
+                        transpose_3214_naive(ws.prim.flat(), &mut ws.packed[2])
                     }
-                    PackStrategy::Tiled => transpose_3214_tiled(&ws.vtemp, &mut ws.packed[2]),
+                    PackStrategy::Tiled => transpose_3214_tiled(ws.prim.flat(), &mut ws.packed[2]),
                     PackStrategy::Geam => {
-                        transpose_3214_geam(&ws.vtemp, &mut ws.scratch, &mut ws.packed[2])
+                        transpose_3214_geam(ws.prim.flat(), &mut ws.scratch, &mut ws.packed[2])
                     }
                 }
                 record_pack(
@@ -279,8 +367,19 @@ pub fn compute_rhs(
 
         // 4. WENO reconstruction along the coalesced index.
         let n = dom.n[axis];
-        let (packed, left, right) = (&ws.packed[axis], &mut ws.left[axis], &mut ws.right[axis]);
-        reconstruct_sweep(ctx, cfg.order, packed, n, left, right);
+        let packed = if axis == 0 {
+            ws.prim.flat()
+        } else {
+            &ws.packed[axis]
+        };
+        reconstruct_sweep(
+            ctx,
+            cfg.order,
+            packed,
+            n,
+            &mut ws.left[axis],
+            &mut ws.right[axis],
+        );
 
         // 5. Riemann solve per face.
         riemann_sweep(
@@ -315,25 +414,6 @@ pub fn compute_rhs(
             rhs,
             &mut ws.divu,
         );
-    }
-
-    // 7. Non-conservative volume-fraction source: rhs[alpha] += alpha div u.
-    alpha_source(ctx, &dom, &ws.prim, &ws.divu, rhs);
-
-    // 8. Geometric sources (axisymmetric / cylindrical).
-    match cfg.geometry {
-        Geometry::Cartesian => {}
-        Geometry::Axisymmetric => {
-            crate::axisym::axisym_source(ctx, &dom, fluids, &ws.prim, &ws.radii, rhs);
-        }
-        Geometry::Cylindrical3D => {
-            crate::axisym::cylindrical_source(ctx, &dom, fluids, &ws.prim, &ws.radii, rhs);
-        }
-    }
-
-    // 9. Viscous fluxes (Navier-Stokes terms), when any fluid is viscous.
-    if crate::viscous::is_viscous(fluids) {
-        crate::viscous::add_viscous_fluxes(ctx, &dom, fluids, &ws.prim, &ws.widths, rhs);
     }
 }
 
@@ -419,7 +499,7 @@ fn riemann_sweep(
 /// A primitive state is admissible if its mixture density and stiffened
 /// pressure are positive.
 #[inline(always)]
-fn state_admissible(eq: &EqIdx, fluids: &[Fluid], prim: &[f64]) -> bool {
+pub(crate) fn state_admissible(eq: &EqIdx, fluids: &[Fluid], prim: &[f64]) -> bool {
     let mut rho = 0.0;
     for i in 0..eq.nf() {
         let ar = prim[eq.cont(i)];
@@ -586,19 +666,25 @@ mod tests {
             apply_bcs(&ctx, &mut cons, &BcSpec::periodic(), [(false, false); 3]);
             let mut ws = RhsWorkspace::new(dom, &grid);
             let mut rhs = StateField::zeros(dom);
-            for pack in [
-                PackStrategy::CollapsedLoops,
-                PackStrategy::Tiled,
-                PackStrategy::Geam,
-            ] {
-                let cfg = RhsConfig {
-                    pack,
-                    ..Default::default()
-                };
-                compute_rhs(&ctx, &cfg, &fluids, &cons, &mut ws, &mut rhs);
-                let max = rhs.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-                // Scale: energy flux ~ 1e5 * 30; relative tolerance.
-                assert!(max < 1e-4, "ndim={ndim} {pack:?}: max |rhs| = {max}");
+            for mode in [RhsMode::Staged, RhsMode::Fused] {
+                for pack in [
+                    PackStrategy::CollapsedLoops,
+                    PackStrategy::Tiled,
+                    PackStrategy::Geam,
+                ] {
+                    let cfg = RhsConfig {
+                        pack,
+                        mode,
+                        ..Default::default()
+                    };
+                    compute_rhs(&ctx, &cfg, &fluids, &cons, &mut ws, &mut rhs);
+                    let max = rhs.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+                    // Scale: energy flux ~ 1e5 * 30; relative tolerance.
+                    assert!(
+                        max < 1e-4,
+                        "ndim={ndim} {mode:?} {pack:?}: max |rhs| = {max}"
+                    );
+                }
             }
         }
     }
@@ -676,6 +762,19 @@ mod tests {
             let mut rhs = StateField::zeros(dom);
             let cfg = RhsConfig {
                 pack,
+                mode: RhsMode::Staged,
+                ..Default::default()
+            };
+            compute_rhs(&ctx, &cfg, &fluids, &cons, &mut ws, &mut rhs);
+            results.push(rhs);
+        }
+        // The fused pencil engine reorders memory, not arithmetic: it must
+        // land in the same bucket.
+        {
+            let mut ws = RhsWorkspace::new(dom, &grid);
+            let mut rhs = StateField::zeros(dom);
+            let cfg = RhsConfig {
+                mode: RhsMode::Fused,
                 ..Default::default()
             };
             compute_rhs(&ctx, &cfg, &fluids, &cons, &mut ws, &mut rhs);
@@ -683,6 +782,7 @@ mod tests {
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[1], results[2]);
+        assert_eq!(results[2], results[3]);
     }
 
     /// Kernel classes show up in the ledger with the paper's structure:
@@ -712,10 +812,30 @@ mod tests {
             KernelClass::Riemann,
             KernelClass::Pack,
             KernelClass::Update,
+            KernelClass::Fused,
         ] {
             assert!(by_class.contains_key(&class), "missing {class:?}");
         }
         assert!(by_class[&KernelClass::Weno].flops > 0.0);
         assert!(by_class[&KernelClass::Riemann].items > 0);
+
+        // The staged pipeline decomposes into the same classes (minus the
+        // fusion marker) and declares strictly more traffic: it sweeps
+        // ghost transverse lines the update never consumes.
+        let sctx = Context::serial();
+        let mut ws2 = RhsWorkspace::new(dom, &grid);
+        let cfg = RhsConfig {
+            mode: RhsMode::Staged,
+            ..Default::default()
+        };
+        compute_rhs(&sctx, &cfg, &fluids, &cons, &mut ws2, &mut rhs);
+        let staged = sctx.ledger().by_class();
+        assert!(!staged.contains_key(&KernelClass::Fused));
+        for class in [KernelClass::Weno, KernelClass::Riemann] {
+            assert!(
+                staged[&class].bytes_read > by_class[&class].bytes_read,
+                "{class:?}: staged should move more declared bytes than fused"
+            );
+        }
     }
 }

@@ -284,9 +284,12 @@ impl Solver {
                 p.display().to_string(),
             );
         }
-        // Leave the solver on the last accepted state, not the faulted one.
-        let saved = self.q_save.as_slice().to_vec();
-        self.q.as_mut_slice().copy_from_slice(&saved);
+        // Leave the solver on the last accepted state, not the faulted
+        // one — straight from the persistent snapshot, no temporary copy.
+        {
+            let Solver { q, q_save, .. } = self;
+            q.as_mut_slice().copy_from_slice(q_save.as_slice());
+        }
         SolverError {
             fault,
             step: self.steps,
@@ -530,11 +533,11 @@ mod tests {
         let g = solver.grind();
         assert_eq!(g.rhs_evals, 9); // 3 steps × RK3
         assert!(g.ns_per_cell_eq_rhs() > 0.0);
-        // The ledger saw WENO work.
+        // The ledger saw WENO work (fused label under the default mode).
         assert!(solver
             .context()
             .ledger()
-            .kernel("s_weno_reconstruct")
+            .kernel("f_weno_reconstruct")
             .is_some());
     }
 

@@ -155,6 +155,28 @@ pub fn reconstruct_line(
 ) {
     let ng = order.ghost_layers();
     assert_eq!(v.len(), n + 2 * ng, "padded line length mismatch");
+    reconstruct_line_padded(order, v, ng, n, left, right);
+}
+
+/// [`reconstruct_line`] with an explicit pad width, which may exceed the
+/// stencil's ghost requirement (a WENO5-sized line temporarily degraded to
+/// WENO3 by the recovery ladder): the stencil just ignores the extra
+/// layers. This is the per-pencil entry point of the fused sweep engine;
+/// it runs the exact same face arithmetic as the staged field kernel.
+pub fn reconstruct_line_padded(
+    order: WenoOrder,
+    v: &[f64],
+    pad: usize,
+    n: usize,
+    left: &mut [f64],
+    right: &mut [f64],
+) {
+    let ng = pad;
+    assert!(
+        pad >= order.ghost_layers(),
+        "line pad {pad} narrower than the stencil"
+    );
+    assert_eq!(v.len(), n + 2 * pad, "padded line length mismatch");
     assert!(left.len() > n && right.len() > n);
     match order {
         WenoOrder::First => {

@@ -17,6 +17,7 @@
 
 pub mod calib;
 pub mod figures;
+pub mod fusionmodel;
 pub mod hw;
 pub mod packmodel;
 pub mod projection;

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: staged vs fused grind on the fixed 24^3
+# two-phase case, plus the modeled-vs-measured sweep traffic ratio.
+#
+# Usage:
+#   scripts/bench_snapshot.sh            # measure and (re)write BENCH_grind.json
+#   scripts/bench_snapshot.sh --check    # compare against the committed
+#                                        # snapshot; non-zero exit on
+#                                        # regression (CI mode)
+#
+# Criterion detail for the same axes: cargo bench -p mfc-bench
+# --bench ablation_fusion / --bench grind.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p mfc-bench --bin bench_snapshot -- "$@"
