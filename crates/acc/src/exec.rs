@@ -2,7 +2,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use mfc_trace::{Category, LedgerRow, SpanGuard, TraceHandle};
 
 use crate::config::LaunchConfig;
 use crate::cost::KernelCost;
@@ -24,6 +26,9 @@ const PAR_MIN_ITEMS: usize = 1024;
 pub struct Context {
     ledger: Arc<Ledger>,
     workers: usize,
+    /// Measured-profile recording endpoint; `None` (the default) keeps
+    /// every launch on an untraced fast path — one branch per launch.
+    tracer: Option<Arc<TraceHandle>>,
 }
 
 impl Context {
@@ -34,6 +39,7 @@ impl Context {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            tracer: None,
         }
     }
 
@@ -42,6 +48,7 @@ impl Context {
         Context {
             ledger: Arc::new(Ledger::new()),
             workers: 1,
+            tracer: None,
         }
     }
 
@@ -50,6 +57,7 @@ impl Context {
         Context {
             ledger: Arc::new(Ledger::new()),
             workers: workers.max(1),
+            tracer: None,
         }
     }
 
@@ -66,6 +74,109 @@ impl Context {
     /// Number of worker threads the context schedules onto.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Attach a per-rank trace handle: every subsequent launch also emits
+    /// a kernel event carrying the ledger's per-launch byte/FLOP products.
+    pub fn set_tracer(&mut self, handle: Arc<TraceHandle>) {
+        self.tracer = Some(handle);
+    }
+
+    /// Builder form of [`Context::set_tracer`].
+    pub fn with_tracer(mut self, handle: Arc<TraceHandle>) -> Self {
+        self.tracer = Some(handle);
+        self
+    }
+
+    /// The attached trace handle, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Arc<TraceHandle>> {
+        self.tracer.as_ref()
+    }
+
+    /// Open a phase span on the attached trace (no-op when untraced).
+    pub fn span(&self, name: &'static str, cat: Category) -> Option<SpanGuard> {
+        self.tracer.as_ref().map(|t| t.span(name, cat))
+    }
+
+    /// Record a point-in-time marker on the attached trace.
+    pub fn trace_instant(&self, name: &'static str, cat: Category) {
+        if let Some(t) = &self.tracer {
+            t.instant(name, cat);
+        }
+    }
+
+    /// Sample a scalar counter on the attached trace.
+    pub fn trace_counter(&self, name: &'static str, value: f64) {
+        if let Some(t) = &self.tracer {
+            t.counter(name, value);
+        }
+    }
+
+    /// Attach this context's ledger snapshot to the trace so exporters can
+    /// cross-check traced aggregates against the analytic totals. Call at
+    /// the end of a traced run.
+    pub fn flush_ledger_to_trace(&self) {
+        if let Some(t) = &self.tracer {
+            let rows = self
+                .ledger
+                .kernel_stats()
+                .into_iter()
+                .map(|s| LedgerRow {
+                    label: s.label,
+                    launches: s.launches,
+                    items: s.items,
+                    flops: s.flops,
+                    bytes_read: s.bytes_read,
+                    bytes_written: s.bytes_written,
+                    wall_ns: s.wall.as_nanos() as u64,
+                })
+                .collect();
+            t.attach_ledger(rows);
+        }
+    }
+
+    /// Ledger bookkeeping shared by every launch entry point, plus the
+    /// traced kernel event when a handle is attached. The float products
+    /// passed to the trace are exactly the terms `record_launch`
+    /// accumulates, so per-label sums of the event stream reconcile with
+    /// the ledger bitwise.
+    fn record(&self, cfg: &LaunchConfig, cost: KernelCost, items: u64, t0: Instant) {
+        self.record_external(cfg.label, cost, items, t0);
+    }
+
+    /// Record a launch whose body ran outside the launch entry points
+    /// (e.g. the BLAS-style reshape transposes, which call a library
+    /// routine rather than a kernel body). Feeds the ledger and the
+    /// attached trace exactly like [`Context::launch`] does, so traced
+    /// aggregates still reconcile bitwise.
+    pub fn record_external(&self, label: &'static str, cost: KernelCost, items: u64, t0: Instant) {
+        self.record_external_timed(label, cost, items, t0, t0.elapsed());
+    }
+
+    /// Variant of [`Context::record_external`] taking an explicit
+    /// duration, for stage timings accumulated across inner batches (the
+    /// fused sweep records each stage once per axis with its summed
+    /// time). `start` places the event on the timeline.
+    pub fn record_external_timed(
+        &self,
+        label: &'static str,
+        cost: KernelCost,
+        items: u64,
+        start: Instant,
+        wall: Duration,
+    ) {
+        self.ledger.record_launch(label, cost, items, wall);
+        if let Some(t) = &self.tracer {
+            t.kernel(
+                label,
+                items,
+                cost.flops_per_item * items as f64,
+                cost.bytes_read_per_item * items as f64,
+                cost.bytes_written_per_item * items as f64,
+                start,
+                wall,
+            );
+        }
     }
 
     /// Partition `0..n` into up to `workers` contiguous blocks.
@@ -100,8 +211,7 @@ impl Context {
         for i in 0..n {
             body(i);
         }
-        self.ledger
-            .record_launch(cfg.label, cost, n as u64, t0.elapsed());
+        self.record(cfg, cost, n as u64, t0);
     }
 
     /// Launch a side-effect kernel over `n` items, splitting the
@@ -133,8 +243,7 @@ impl Context {
                 body(i);
             }
         }
-        self.ledger
-            .record_launch(cfg.label, cost, n as u64, t0.elapsed());
+        self.record(cfg, cost, n as u64, t0);
     }
 
     /// Launch a kernel whose output decomposes into disjoint `chunk_len`
@@ -189,8 +298,7 @@ impl Context {
                 body(i, c);
             }
         }
-        self.ledger
-            .record_launch(cfg.label, cost, n as u64, t0.elapsed());
+        self.record(cfg, cost, n as u64, t0);
     }
 
     /// Launch a reduction kernel returning the maximum of the body over the
@@ -228,8 +336,7 @@ impl Context {
         } else {
             (0..n).map(&body).fold(f64::NEG_INFINITY, f64::max)
         };
-        self.ledger
-            .record_launch(cfg.label, cost, n as u64, t0.elapsed());
+        self.record(cfg, cost, n as u64, t0);
         result
     }
 }
@@ -354,6 +461,33 @@ mod tests {
             );
             assert_eq!(serial.to_bits(), par.to_bits(), "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn traced_launches_reconcile_with_ledger_exactly() {
+        let tracer = mfc_trace::Tracer::new();
+        let mut ctx = Context::serial();
+        ctx.set_tracer(tracer.handle(0));
+        // Awkward item counts so the per-launch float products do not sum
+        // exactly unless the trace carries the ledger's own terms.
+        for items in [100usize, 37, 1013] {
+            ctx.launch(&LaunchConfig::tuned("k"), cost(), items, |_| {});
+        }
+        ctx.launch_max(&LaunchConfig::tuned("m"), cost(), 513, |i| i as f64);
+        ctx.flush_ledger_to_trace();
+        let json = mfc_trace::chrome::export_to_string(&tracer.snapshot());
+        let parsed = mfc_trace::chrome::parse_str(&json).unwrap();
+        assert!(mfc_trace::reconcile_trace(&parsed).is_ok());
+    }
+
+    #[test]
+    fn untraced_context_emits_nothing() {
+        let ctx = Context::serial();
+        assert!(ctx.tracer().is_none());
+        assert!(ctx.span("step", Category::Phase).is_none());
+        ctx.trace_instant("x", Category::Phase);
+        ctx.trace_counter("dt", 1.0);
+        ctx.flush_ledger_to_trace();
     }
 
     #[test]

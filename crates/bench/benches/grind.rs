@@ -5,6 +5,8 @@
 //! reconstruction orders — the numbers EXPERIMENTS.md reports next to the
 //! paper's per-socket CPU grind times.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use mfc_acc::Context;
@@ -12,6 +14,7 @@ use mfc_core::case::presets;
 use mfc_core::rhs::{PackStrategy, RhsConfig, RhsMode};
 use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::weno::WenoOrder;
+use mfc_trace::Tracer;
 
 fn bench_grind(c: &mut Criterion) {
     let n = [24usize, 24, 24];
@@ -70,6 +73,37 @@ fn bench_grind(c: &mut Criterion) {
                 std::hint::black_box(solver.time())
             })
         });
+    }
+
+    // Tracing axis on the fused engine: "disabled" is the no-tracer fast
+    // path (must be free — bench_snapshot gates it at 2%), "enabled" has a
+    // live span/kernel event stream attached.
+    for traced in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("tracing", if traced { "enabled" } else { "disabled" }),
+            &traced,
+            |b, &traced| {
+                let case = presets::two_phase_benchmark(3, n);
+                let cfg = SolverConfig {
+                    rhs: RhsConfig {
+                        mode: RhsMode::Fused,
+                        ..Default::default()
+                    },
+                    dt: DtMode::Cfl(0.4),
+                    ..Default::default()
+                };
+                let mut ctx = Context::serial();
+                let tracer = Arc::new(Tracer::new());
+                if traced {
+                    ctx.set_tracer(tracer.handle(0));
+                }
+                let mut solver = Solver::new(&case, cfg, ctx);
+                b.iter(|| {
+                    solver.step().unwrap();
+                    std::hint::black_box(solver.time())
+                })
+            },
+        );
     }
 
     for order in [WenoOrder::Weno3, WenoOrder::Weno5] {

@@ -37,9 +37,10 @@ use mfc_core::axisym::Geometry;
 use mfc_core::bc::{BcKind, BcSpec};
 use mfc_core::case::{CaseBuilder, Patch};
 use mfc_core::fluid::Fluid;
-use mfc_core::output::write_vtk_rectilinear;
+use mfc_core::output::{postprocess_wave_files, write_vtk_rectilinear};
 use mfc_core::par::{
-    run_distributed, run_distributed_resilient, run_single, GlobalField, ResilienceOpts,
+    run_distributed_resilient, run_distributed_traced, run_distributed_with_output, run_single,
+    ExchangeMode, GlobalField, ResilienceOpts,
 };
 use mfc_core::probes::{Probe, ProbeSet};
 use mfc_core::recovery::RecoveryPolicy;
@@ -49,7 +50,8 @@ use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::time::TimeScheme;
 use mfc_core::weno::WenoOrder;
 use mfc_core::HealthConfig;
-use mfc_mpsim::{FaultCtx, FaultPlan, Staging};
+use mfc_mpsim::{FaultCtx, FaultPlan, Staging, DEFAULT_WAVE_SIZE};
+use mfc_trace::Tracer;
 
 /// Boundary spec: one kind for all faces, or per-axis pairs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -155,6 +157,12 @@ pub struct RunConfig {
     /// default ladder when no `recovery` file is given. Settable from
     /// the command line as `--max-retries N`.
     pub max_retries: Option<u32>,
+    /// Write a chrome-trace JSON (per-rank span timelines, kernel events
+    /// with their ledger attributes, comm/collective/io events, and the
+    /// embedded analytic kernel ledger) to this path after the run.
+    /// Settable from the command line as `--trace out.json`. Load in
+    /// Perfetto / chrome://tracing, or summarize with `mfc-trace-report`.
+    pub trace: Option<PathBuf>,
 }
 
 /// Output options.
@@ -171,6 +179,30 @@ impl Default for OutputConfig {
         OutputConfig {
             dir: PathBuf::from("out"),
             vtk: false,
+        }
+    }
+}
+
+/// Wave-throttled I/O options (§III-A's writer waves).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
+pub struct IoConfig {
+    /// Writer-wave width for the file-per-process writer: at most this
+    /// many ranks hold open files at once. MFC's production value is 128
+    /// ([`mfc_mpsim::DEFAULT_WAVE_SIZE`]). Settable from the command line
+    /// as `--io-wave N`.
+    pub wave: usize,
+    /// Distributed runs only: write per-rank wave files and reassemble
+    /// the global field by post-processing them (the paper's I/O path)
+    /// instead of the in-memory gather. The two are bitwise identical.
+    pub wave_files: bool,
+}
+
+impl Default for IoConfig {
+    fn default() -> Self {
+        IoConfig {
+            wave: DEFAULT_WAVE_SIZE,
+            wave_files: false,
         }
     }
 }
@@ -203,6 +235,8 @@ pub struct CaseFile {
     pub run: RunConfig,
     #[serde(default)]
     pub output: OutputConfig,
+    #[serde(default)]
+    pub io: IoConfig,
     /// Time-series probes sampled every step (serial runs only); each
     /// writes `<name>_probe.csv` under the output directory.
     #[serde(default)]
@@ -318,8 +352,20 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
         case_file.run.steps
     };
 
+    if case_file.io.wave == 0 {
+        return Err(RunError::Config("io.wave must be at least 1".into()));
+    }
+
     std::fs::create_dir_all(&case_file.output.dir)
         .map_err(|e| RunError::Io(format!("cannot create output dir: {e}")))?;
+
+    // One span tracer for the whole run; every rank registers its own
+    // timeline against it. `None` keeps the per-launch fast path.
+    let tracer: Option<Arc<Tracer>> = case_file
+        .run
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(Tracer::new()));
 
     // Recovery ladder: an explicit file, or the default ladder when only
     // a retry budget is given.
@@ -377,6 +423,7 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
             events: Some(Arc::clone(&events)),
             recovery,
             health: HealthConfig::default(),
+            trace: tracer.clone(),
         };
         let t0 = std::time::Instant::now();
         let (gf, _) =
@@ -395,21 +442,51 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
             ));
         }
         let t0 = std::time::Instant::now();
-        let (gf, _) = run_distributed(
-            &case,
-            cfg,
-            case_file.run.ranks,
-            steps,
-            Staging::DeviceDirect,
-        )
-        .map_err(|e| RunError::Numerical(e.to_string()))?;
+        let gf = if case_file.io.wave_files {
+            // The paper's I/O path: every rank writes its block with the
+            // wave-throttled writer, then the host post-processes the
+            // files back into the global field (bitwise identical to the
+            // in-memory gather).
+            let wave_dir = case_file.output.dir.join("waves");
+            std::fs::create_dir_all(&wave_dir)
+                .map_err(|e| RunError::Io(format!("cannot create wave dir: {e}")))?;
+            let dims = run_distributed_with_output(
+                &case,
+                cfg,
+                case_file.run.ranks,
+                steps,
+                Staging::DeviceDirect,
+                &wave_dir,
+                case_file.io.wave,
+                steps,
+                tracer.clone(),
+            );
+            postprocess_wave_files(&wave_dir, steps, case.cells, case.eq(), dims)
+                .map_err(|e| RunError::Io(format!("wave post-processing failed: {e}")))?
+        } else {
+            let (gf, _) = run_distributed_traced(
+                &case,
+                cfg,
+                case_file.run.ranks,
+                steps,
+                Staging::DeviceDirect,
+                ExchangeMode::Sendrecv,
+                tracer.clone(),
+            )
+            .map_err(|e| RunError::Numerical(e.to_string()))?;
+            gf
+        };
         let wall = t0.elapsed();
         let cells = gf.n.iter().product::<usize>();
         let grind = wall.as_nanos() as f64
             / (cells as f64 * gf.neq as f64 * (steps as f64 * cfg.scheme.stages() as f64).max(1.0));
         (gf, steps as u64, f64::NAN, grind)
     } else {
-        let mut solver = Solver::new(&case, cfg, Context::new());
+        let mut ctx = Context::new();
+        if let Some(tr) = &tracer {
+            ctx.set_tracer(tr.handle(0));
+        }
+        let mut solver = Solver::new(&case, cfg, ctx);
         if let Some(p) = recovery {
             solver = solver.with_recovery(p);
         }
@@ -456,6 +533,7 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
         // Serial ladder activity (health faults, retries, rung changes)
         // lands in the solver's own ledger.
         resilience = resilience_summary(solver.context().ledger());
+        solver.context().flush_ledger_to_trace();
         (
             run_single_snapshot(&solver, &case),
             solver.steps(),
@@ -463,6 +541,11 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
             solver.grind().ns_per_cell_eq_rhs(),
         )
     };
+
+    if let (Some(path), Some(tr)) = (&case_file.run.trace, &tracer) {
+        mfc_trace::chrome::write_file(path, &tr.snapshot())
+            .map_err(|e| RunError::Io(format!("trace write failed: {e}")))?;
+    }
 
     let vtk_path = if case_file.output.vtk {
         let path = case_file.output.dir.join(format!("{}.vtk", case_file.name));

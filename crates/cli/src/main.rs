@@ -5,7 +5,7 @@ use mfc_core::rhs::RhsMode;
 
 const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
 [--rhs-mode staged|fused] [--faults plan.json] [--checkpoint-every N] \
-[--recovery ladder.json] [--max-retries N]";
+[--recovery ladder.json] [--max-retries N] [--trace out.json] [--io-wave N]";
 
 const HELP: &str = "\
 mfc-run — execute a JSON case file on the MFC reproduction solver
@@ -27,6 +27,15 @@ flags:
                          limiting, WENO3, Rusanov
   --max-retries N        per-step retry budget for the recovery ladder;
                          arms the default ladder when --recovery is absent
+  --trace out.json       record a hierarchical span trace of the run and
+                         write it as chrome-trace JSON (load in Perfetto /
+                         chrome://tracing, or run mfc-trace-report on it):
+                         per-rank timelines of step phases, every kernel
+                         launch with its FLOP/byte attributes, messages,
+                         collectives, I/O waves, and recovery activity
+  --io-wave N            writer-wave width for file-per-process output
+                         (io.wave case key; default 128, MFC's production
+                         value)
 
 exit codes:
   0  success
@@ -43,6 +52,8 @@ fn main() {
     let mut checkpoint_every: Option<u64> = None;
     let mut recovery: Option<String> = None;
     let mut max_retries: Option<u32> = None;
+    let mut trace: Option<String> = None;
+    let mut io_wave: Option<usize> = None;
     let mut path: Option<String> = None;
 
     let mut it = args.iter();
@@ -73,6 +84,14 @@ fn main() {
             "--max-retries" => match it.next().map(|v| v.parse::<u32>()) {
                 Some(Ok(n)) => max_retries = Some(n),
                 _ => die("--max-retries needs a retry count"),
+            },
+            "--trace" => match it.next() {
+                Some(v) => trace = Some(v.clone()),
+                None => die("--trace needs an output path"),
+            },
+            "--io-wave" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => io_wave = Some(n),
+                _ => die("--io-wave needs a positive wave width"),
             },
             other if other.starts_with("--") => die(&format!("unknown flag {other}")),
             other => {
@@ -117,6 +136,12 @@ fn main() {
     if let Some(n) = max_retries {
         case.run.max_retries = Some(n);
     }
+    if let Some(t) = trace {
+        case.run.trace = Some(t.into());
+    }
+    if let Some(w) = io_wave {
+        case.io.wave = w;
+    }
     if validate_only {
         match case
             .to_case()
@@ -156,6 +181,9 @@ fn main() {
             }
             if let Some(p) = s.vtk_path {
                 println!("wrote {}", p.display());
+            }
+            if let Some(p) = &case.run.trace {
+                println!("wrote trace {}", p.display());
             }
         }
         Err(e) => {

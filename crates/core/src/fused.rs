@@ -323,18 +323,19 @@ pub(crate) fn fused_sweeps(
 
         // Per-axis ledger records: each stage under its own label with the
         // staged-equivalent per-item cost, plus the Fused-class marker
-        // carrying the orchestration residual.
+        // carrying the orchestration residual. The stage events tile the
+        // axis interval back-to-back so traced timelines stay monotone.
         let wall = t_axis.elapsed();
-        let ledger = ctx.ledger();
         if axis != 0 {
-            ledger.record_launch(
+            ctx.record_external_timed(
                 "f_sweep_gather",
                 KernelCost::new(KernelClass::Pack, 0.0, 8.0, 8.0),
                 (nlines * neq * ext) as u64,
+                t_axis,
                 tg,
             );
         }
-        ledger.record_launch(
+        ctx.record_external_timed(
             "f_weno_reconstruct",
             KernelCost::new(
                 KernelClass::Weno,
@@ -343,9 +344,10 @@ pub(crate) fn fused_sweeps(
                 2.0 * 8.0,
             ),
             (nlines * neq * nf) as u64,
+            t_axis + tg,
             tw,
         );
-        ledger.record_launch(
+        ctx.record_external_timed(
             "f_riemann_solve",
             KernelCost::new(
                 KernelClass::Riemann,
@@ -354,9 +356,10 @@ pub(crate) fn fused_sweeps(
                 8.0 * (neq + 1) as f64,
             ),
             (nlines * nf) as u64,
+            t_axis + tg + tw,
             tr,
         );
-        ledger.record_launch(
+        ctx.record_external_timed(
             "f_flux_divergence",
             KernelCost::new(
                 KernelClass::Update,
@@ -365,15 +368,17 @@ pub(crate) fn fused_sweeps(
                 8.0 * (neq + 1) as f64,
             ),
             (nlines * n) as u64,
+            t_axis + tg + tw + tr,
             tu,
         );
         let residual = wall
             .checked_sub(tg + tw + tr + tu)
             .unwrap_or(Duration::ZERO);
-        ledger.record_launch(
+        ctx.record_external_timed(
             "s_fused_sweep",
             KernelCost::new(KernelClass::Fused, 0.0, 8.0, 8.0),
             nlines as u64,
+            t_axis + tg + tw + tr + tu,
             residual,
         );
     }

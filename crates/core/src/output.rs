@@ -5,7 +5,9 @@
 //! reproduction's pipeline:
 //!
 //! * each rank writes its interior block with the wave-throttled
-//!   [`mfc_mpsim::WaveWriter`] (file-per-process, waves of 128),
+//!   [`mfc_mpsim::WaveWriter`] (file-per-process; MFC's production wave
+//!   width is [`mfc_mpsim::DEFAULT_WAVE_SIZE`] = 128 writers, overridable
+//!   per run via `mfc-run --io-wave` / the `io.wave` case key),
 //! * [`postprocess_wave_files`] plays the host role: it reassembles the
 //!   global field from the per-rank files using the same decomposition
 //!   arithmetic the ranks used,
@@ -181,7 +183,9 @@ mod tests {
                     }
                 }
             }
-            WaveWriter::new(128).write(&c, dirref, 0, &block).unwrap();
+            WaveWriter::paper_default()
+                .write(&c, dirref, 0, &block)
+                .unwrap();
         });
         let gf = postprocess_wave_files(&dir, 0, global_n, eq, dims).unwrap();
         for e in 0..eq.neq() {
@@ -219,11 +223,49 @@ mod tests {
     }
 
     #[test]
+    fn postprocess_reports_missing_rank_file() {
+        // A 2-rank decomposition with only rank 0's file on disk: the
+        // reassembly must surface the missing file as an I/O error, not
+        // silently zero-fill the absent block.
+        let dir = tmpdir("missing");
+        let dirref = &dir;
+        World::run(1, |c| {
+            WaveWriter::paper_default()
+                .write(&c, dirref, 0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+                .unwrap();
+        });
+        let err = postprocess_wave_files(&dir, 0, [4, 1, 1], EqIdx::new(1, 1), [2, 1, 1])
+            .expect_err("rank 1's file is missing");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn postprocess_rejects_truncated_payload() {
+        // Truncate a rank file mid-payload (a crashed writer): the block
+        // comes back short and the reassembly must refuse it.
+        let dir = tmpdir("truncated");
+        let dirref = &dir;
+        World::run(1, |c| {
+            WaveWriter::paper_default()
+                .write(&c, dirref, 0, &[1.0, 2.0, 3.0, 4.0])
+                .unwrap();
+        });
+        let path = WaveWriter::rank_path(&dir, 0, 0);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = postprocess_wave_files(&dir, 0, [4, 1, 1], EqIdx::new(1, 1), [1, 1, 1])
+            .expect_err("truncated payload must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn postprocess_rejects_wrong_block_size() {
         let dir = tmpdir("badblock");
         let dirref = &dir;
         World::run(1, |c| {
-            WaveWriter::new(128)
+            WaveWriter::paper_default()
                 .write(&c, dirref, 0, &[1.0, 2.0])
                 .unwrap();
         });

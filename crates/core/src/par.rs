@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use mfc_acc::{Context, Ledger, ResilienceEvent, ResilienceEventKind, TransferDirection};
 use mfc_mpsim::{best_block_dims, CartComm, Comm, CommFault, FaultCtx, Staging, World};
+use mfc_trace::{Category, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::bc::apply_bcs;
@@ -104,6 +105,23 @@ pub fn run_distributed_with_mode(
     staging: Staging,
     mode: ExchangeMode,
 ) -> Result<(GlobalField, CommStats), ResilienceError> {
+    run_distributed_traced(case, cfg, n_ranks, steps, staging, mode, None)
+}
+
+/// [`run_distributed_with_mode`] with an optional span tracer: each rank
+/// attaches its per-rank [`mfc_trace::TraceHandle`] to both the launch
+/// context (kernel events) and the communicator (message events), wraps
+/// the step phases in spans, and flushes its kernel ledger into the trace
+/// at the end — `mfc-run --trace` builds its per-rank timelines from this.
+pub fn run_distributed_traced(
+    case: &CaseBuilder,
+    cfg: SolverConfig,
+    n_ranks: usize,
+    steps: usize,
+    staging: Staging,
+    mode: ExchangeMode,
+    tracer: Option<Arc<Tracer>>,
+) -> Result<(GlobalField, CommStats), ResilienceError> {
     let eq = case.eq();
     let ng = cfg.rhs.order.ghost_layers().max(1);
     let global_n = case.cells;
@@ -121,7 +139,12 @@ pub fn run_distributed_with_mode(
     let global_grid = case.grid();
 
     let mut results = World::run(n_ranks, |mut comm| {
-        let ctx = Context::serial();
+        let mut ctx = Context::serial();
+        if let Some(tr) = &tracer {
+            let h = tr.handle(comm.rank());
+            comm.set_tracer(Arc::clone(&h));
+            ctx.set_tracer(h);
+        }
         let cart = CartComm::new(comm.rank(), dims, periodic);
         // Local block.
         let mut n = [1usize; 3];
@@ -167,9 +190,11 @@ pub fn run_distributed_with_mode(
 
         let health = HealthConfig::default();
         for s in 0..steps {
+            let _step_span = ctx.span("step", Category::Phase);
             // Global dt. A locally degenerate CFL reduction (all-NaN or
             // vacuum state) is encoded as a negative dt so the min-
             // reduction carries the verdict to every rank.
+            let _dt_span = ctx.span("dt_reduce", Category::Phase);
             let dt = match cfg.dt {
                 DtMode::Fixed(dt) => dt,
                 DtMode::Cfl(c) => {
@@ -186,6 +211,8 @@ pub fn run_distributed_with_mode(
                     comm.allreduce_min(local)
                 }
             };
+            drop(_dt_span);
+            ctx.trace_counter("dt", dt);
             if dt <= 0.0 {
                 return Err(ResilienceError::Numerical {
                     rank: comm.rank(),
@@ -195,6 +222,7 @@ pub fn run_distributed_with_mode(
                 });
             }
             {
+                let _rk_span = ctx.span("rk_stages", Category::Phase);
                 let (comm_ref, stats_ref) = (&mut comm, &mut stats);
                 let fluids = &case.fluids;
                 let bc = &case.bc;
@@ -208,6 +236,7 @@ pub fn run_distributed_with_mode(
             }
             // Collective step acceptance: the watchdog's verdict travels
             // the same allreduce-min path as the global dt.
+            let _health_span = ctx.span("health_verdict", Category::Phase);
             let viol = scan_and_convert(&ctx, &case.fluids, &health, &q, &mut ws.prim);
             let verdict = comm.allreduce_min(if viol.is_some() { 0.0 } else { 1.0 });
             if verdict < 1.0 {
@@ -221,6 +250,8 @@ pub fn run_distributed_with_mode(
                 });
             }
         }
+
+        ctx.flush_ledger_to_trace();
 
         // Ship the interior home.
         let mut block = Vec::with_capacity(dom.interior_cells() * eq.neq());
@@ -339,6 +370,10 @@ pub struct ResilienceOpts {
     pub recovery: Option<RecoveryPolicy>,
     /// Health-watchdog tolerances.
     pub health: HealthConfig,
+    /// Span tracer: each rank attaches a per-rank timeline recording step
+    /// phases, checkpoint waves, rollbacks, and every kernel launch and
+    /// message (`mfc-run --trace`). `None` keeps the untraced fast path.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 impl ResilienceOpts {
@@ -351,6 +386,7 @@ impl ResilienceOpts {
             events: None,
             recovery: None,
             health: HealthConfig::default(),
+            trace: None,
         }
     }
 }
@@ -447,7 +483,12 @@ pub fn run_distributed_resilient(
 
     let body = |mut comm: Comm| -> RankOutcome {
         let rank = comm.rank();
-        let ctx = Context::serial();
+        let mut ctx = Context::serial();
+        if let Some(tr) = &opts.trace {
+            let h = tr.handle(rank);
+            comm.set_tracer(Arc::clone(&h));
+            ctx.set_tracer(h);
+        }
         let cart = CartComm::new(rank, dims, periodic);
         let mut n = [1usize; 3];
         let mut off = [0usize; 3];
@@ -518,6 +559,7 @@ pub fn run_distributed_resilient(
             // ---- Recovery: rendezvous, roll back, resume (or abort). ----
             if needs_recovery {
                 needs_recovery = false;
+                let _recovery_span = ctx.span("rollback", Category::Recovery);
                 let faults = comm
                     .fault_ctx()
                     .expect("recovery requires a fault ctx")
@@ -630,6 +672,7 @@ pub fn run_distributed_resilient(
 
             // ---- Checkpoint wave: save locally, commit collectively. ----
             if every > 0 && step == next_wave * every {
+                let _ckpt_span = ctx.span("checkpoint", Category::Io);
                 let wave = next_wave;
                 let t0 = Instant::now();
                 let path = crate::restart::wave_path(&opts.ckpt_dir, rank, wave);
@@ -666,6 +709,7 @@ pub fn run_distributed_resilient(
             // q^n snapshot is what a rejected attempt retries from; the
             // verdict allreduce mirrors the dt reduction, so every rank
             // accepts, retries, or aborts the same attempt in lockstep.
+            let _step_span = ctx.span("step", Category::Phase);
             q_save.as_mut_slice().copy_from_slice(q.as_slice());
             let dt = loop {
                 let eff = match &policy {
@@ -677,6 +721,7 @@ pub fn run_distributed_resilient(
                 // per-step heartbeat (rank 0 touches every rank). A
                 // degenerate local CFL state is encoded as -1.0, which the
                 // min-reduction turns into a collective rejection. ----
+                let _dt_span = ctx.span("dt_reduce", Category::Phase);
                 let t_op = Instant::now();
                 let local_dt = match eff.dt {
                     DtMode::Fixed(dt) => dt,
@@ -701,6 +746,8 @@ pub fn run_distributed_resilient(
                         continue 'steps;
                     }
                 };
+                drop(_dt_span);
+                ctx.trace_counter("dt", dt);
 
                 let mut local_viol: Option<Violation> = None;
                 let degenerate = dt <= 0.0;
@@ -710,6 +757,7 @@ pub fn run_distributed_resilient(
                     // state will be rolled back anyway). ----
                     let mut halo_fault: Option<CommFault> = None;
                     {
+                        let _rk_span = ctx.span("rk_stages", Category::Phase);
                         let (comm_ref, stats_ref) = (&mut comm, &mut stats);
                         let fault_ref = &mut halo_fault;
                         let fluids = &case.fluids;
@@ -740,6 +788,7 @@ pub fn run_distributed_resilient(
                     // ---- Health verdict: local scan, then an
                     // allreduce-min over 1.0 (clean) / 0.0 (faulted), so
                     // acceptance is a collective decision. ----
+                    let _health_span = ctx.span("health_verdict", Category::Phase);
                     local_viol =
                         scan_and_convert(&ctx, &case.fluids, &opts.health, &q, &mut ws.prim);
                     let flag = if local_viol.is_some() { 0.0 } else { 1.0 };
@@ -811,6 +860,8 @@ pub fn run_distributed_resilient(
                         violation: local_viol,
                     });
                 }
+                ctx.trace_instant("retry", Category::Recovery);
+                ctx.trace_instant("degrade", Category::Recovery);
                 if rank == 0 {
                     let p = policy.as_ref().expect("exhausted is true when None");
                     note(
@@ -862,6 +913,8 @@ pub fn run_distributed_resilient(
                 }
             }
         }
+
+        ctx.flush_ledger_to_trace();
 
         // All scripted faults are behind us (peers past their last death
         // cannot re-die), so the final gather uses the plain path.
@@ -928,6 +981,7 @@ fn exchange_halos_policied(
     staging: Staging,
     stats: &mut CommStats,
 ) -> Result<(), CommFault> {
+    let _span = ctx.span("halo_exchange", Category::Phase);
     let dom = *q.domain();
     for axis in 0..dom.eq.ndim() {
         for &(send_dir, tag) in &[(1i32, 0u64), (-1i32, 1u64)] {
@@ -962,6 +1016,7 @@ pub fn run_distributed_with_output(
     dir: &std::path::Path,
     wave_size: usize,
     step_id: usize,
+    tracer: Option<Arc<Tracer>>,
 ) -> [usize; 3] {
     let eq = case.eq();
     let ng = cfg.rhs.order.ghost_layers().max(1);
@@ -976,7 +1031,12 @@ pub fn run_distributed_with_output(
     let writer = mfc_mpsim::WaveWriter::new(wave_size);
 
     World::run(n_ranks, |mut comm| {
-        let ctx = Context::serial();
+        let mut ctx = Context::serial();
+        if let Some(tr) = &tracer {
+            let h = tr.handle(comm.rank());
+            comm.set_tracer(Arc::clone(&h));
+            ctx.set_tracer(h);
+        }
         let cart = CartComm::new(comm.rank(), dims, periodic);
         let mut n = [1usize; 3];
         let mut off = [0usize; 3];
@@ -1016,6 +1076,7 @@ pub fn run_distributed_with_output(
             local_grid.z.widths_with_ghosts(dom.pad(2)),
         ];
         for _ in 0..steps {
+            let _step_span = ctx.span("step", Category::Phase);
             let dt = match cfg.dt {
                 DtMode::Fixed(dt) => dt,
                 DtMode::Cfl(c) => {
@@ -1057,6 +1118,7 @@ pub fn run_distributed_with_output(
         writer
             .write(&comm, dir, step_id, &block)
             .expect("wave write failed");
+        ctx.flush_ledger_to_trace();
     });
     dims
 }
@@ -1096,6 +1158,7 @@ fn exchange_halos(
     mode: ExchangeMode,
     stats: &mut CommStats,
 ) {
+    let _span = ctx.span("halo_exchange", Category::Phase);
     let dom = *q.domain();
 
     for axis in 0..dom.eq.ndim() {
@@ -1338,6 +1401,7 @@ mod tests {
             events: Some(Arc::clone(&events)),
             recovery: None,
             health: HealthConfig::default(),
+            trace: None,
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 10, Staging::DeviceDirect, &opts).unwrap();
@@ -1381,6 +1445,7 @@ mod tests {
             events: None,
             recovery: None,
             health: HealthConfig::default(),
+            trace: None,
         };
         let err = run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts)
             .expect_err("death without checkpoints cannot be recovered");
@@ -1429,6 +1494,7 @@ mod tests {
             events: None,
             recovery: None,
             health: HealthConfig::default(),
+            trace: None,
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts).unwrap();

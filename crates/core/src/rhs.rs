@@ -245,9 +245,9 @@ pub(crate) fn sweep_to_canonical(
 
 /// Record a packing operation (performed by the layout library, outside
 /// the launch API) in the ledger.
-fn record_pack(ctx: &Context, label: &'static str, elems: usize, wall: std::time::Duration) {
+fn record_pack(ctx: &Context, label: &'static str, elems: usize, t0: Instant) {
     let cost = KernelCost::new(KernelClass::Pack, 0.0, 8.0, 8.0);
-    ctx.ledger().record_launch(label, cost, elems as u64, wall);
+    ctx.record_external(label, cost, elems as u64, t0);
 }
 
 /// Evaluate `rhs = L(cons)`.
@@ -338,12 +338,7 @@ fn staged_sweeps(
                         transpose_2134_geam(ws.prim.flat(), &mut ws.packed[1])
                     }
                 }
-                record_pack(
-                    ctx,
-                    "s_reshape_sweep_y",
-                    ws.packed[1].dims().len(),
-                    t0.elapsed(),
-                );
+                record_pack(ctx, "s_reshape_sweep_y", ws.packed[1].dims().len(), t0);
             }
             _ => {
                 let t0 = Instant::now();
@@ -356,12 +351,7 @@ fn staged_sweeps(
                         transpose_3214_geam(ws.prim.flat(), &mut ws.scratch, &mut ws.packed[2])
                     }
                 }
-                record_pack(
-                    ctx,
-                    "s_reshape_sweep_z",
-                    ws.packed[2].dims().len(),
-                    t0.elapsed(),
-                );
+                record_pack(ctx, "s_reshape_sweep_z", ws.packed[2].dims().len(), t0);
             }
         }
 

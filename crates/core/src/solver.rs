@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 use mfc_acc::{Context, ResilienceEvent, ResilienceEventKind};
+use mfc_trace::Category;
 
 use crate::bc::{apply_bcs, BcSpec};
 use crate::case::CaseBuilder;
@@ -190,6 +191,7 @@ impl Solver {
     /// health violation). On fault, `q` has already been mutated; the
     /// caller restores from [`Solver::q_save`].
     fn attempt_step(&mut self, cfg: &SolverConfig) -> Result<f64, StepFault> {
+        let _dt_span = self.ctx.span("dt_select", Category::Phase);
         let dt = match cfg.dt {
             DtMode::Fixed(dt) => dt,
             DtMode::Cfl(c) => {
@@ -219,7 +221,10 @@ impl Solver {
                 )?
             }
         };
+        drop(_dt_span);
+        self.ctx.trace_counter("dt", dt);
 
+        let _rk_span = self.ctx.span("rk_stages", Category::Phase);
         let Solver {
             ctx,
             fluids,
@@ -238,10 +243,12 @@ impl Solver {
             }
             compute_rhs(ctx, &cfg.rhs, fluids, q, ws, rhs);
         });
+        drop(_rk_span);
 
         // Post-step watchdog, fused with the primitive conversion the next
         // step needs anyway. Read-only on q: a clean run is bitwise
         // identical with or without the watchdog armed.
+        let _health_span = self.ctx.span("health_scan", Category::Phase);
         match scan_and_convert(
             &self.ctx,
             &self.fluids,
@@ -307,6 +314,7 @@ impl Solver {
     /// state is left at the last accepted `q^n`.
     pub fn step(&mut self) -> Result<StepOutcome, SolverError> {
         let t0 = Instant::now();
+        let _step_span = self.ctx.span("step", Category::Phase);
         {
             let Solver { q, q_save, .. } = self;
             q_save.as_mut_slice().copy_from_slice(q.as_slice());
@@ -338,6 +346,7 @@ impl Solver {
                     return Ok(StepOutcome { dt, retries, rung });
                 }
                 Err(fault) => {
+                    self.ctx.trace_instant("health_fault", Category::Recovery);
                     self.record_event(
                         ResilienceEventKind::HealthFault,
                         t0.elapsed(),
@@ -360,6 +369,8 @@ impl Solver {
                         return Err(self.give_up(fault, retries));
                     }
                     let engaged = policy.ladder[self.rec.rung - 1];
+                    self.ctx.trace_instant("retry", Category::Recovery);
+                    self.ctx.trace_instant("degrade", Category::Recovery);
                     self.record_event(
                         ResilienceEventKind::Retry,
                         t0.elapsed(),

@@ -14,6 +14,10 @@
 //! * [`mfc_fft`] (`fft`) — the radix-2 FFT behind the azimuthal filter.
 //! * [`mfc_perfmodel`] (`perfmodel`) — the hardware catalog, roofline, and
 //!   scaling models that regenerate the paper's figures.
+//! * [`mfc_trace`] (`trace`) — the hierarchical span tracer behind
+//!   `mfc-run --trace`: per-rank timelines, chrome-trace export, and the
+//!   exact cross-check against the kernel ledger (the NSight/rocprof
+//!   substitute).
 //!
 //! Start with `examples/quickstart.rs` (a Sod shock tube validated against
 //! the exact Riemann solution), or run one inline:
@@ -36,6 +40,7 @@ pub use mfc_fft as fft;
 pub use mfc_layout as layout;
 pub use mfc_mpsim as mpsim;
 pub use mfc_perfmodel as perfmodel;
+pub use mfc_trace as trace;
 
 pub use mfc_acc::Context;
 pub use mfc_core::case::{presets, CaseBuilder, PatchState, Region};

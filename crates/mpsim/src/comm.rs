@@ -13,6 +13,8 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use mfc_trace::{Category, CommOp, SpanGuard, TraceHandle};
+
 use crate::fault::{CommFault, FaultCtx, SendFault};
 
 /// Safety net: a plain (non-policied) receive that waits longer than this
@@ -171,6 +173,9 @@ pub struct Comm {
     retransmits: Cell<u64>,
     /// Retries burned by policied receives (detector activity).
     retries: Cell<u64>,
+    /// Measured-profile recording endpoint; `None` (the default) keeps
+    /// every operation on an untraced fast path.
+    tracer: Option<Arc<TraceHandle>>,
 }
 
 impl Comm {
@@ -189,6 +194,25 @@ impl Comm {
         self.faults.as_ref()
     }
 
+    /// Attach a per-rank trace handle: subsequent sends/receives emit
+    /// leaf comm events (payload bytes, blocked-wait time) and collectives
+    /// open spans, giving the measured per-rank comm/compute split.
+    pub fn set_tracer(&mut self, handle: Arc<TraceHandle>) {
+        self.tracer = Some(handle);
+    }
+
+    /// The attached trace handle, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Arc<TraceHandle>> {
+        self.tracer.as_ref()
+    }
+
+    /// Open a collective span on the attached trace (no-op untraced).
+    fn trace_collective(&self, name: &'static str, bytes: u64) -> Option<SpanGuard> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.span_bytes(name, Category::Collective, bytes))
+    }
+
     /// Retransmissions triggered by this rank's retries so far.
     pub fn retransmits(&self) -> u64 {
         self.retransmits.get()
@@ -202,6 +226,8 @@ impl Comm {
     /// Non-blocking-ish send (`MPI_Send` with buffering semantics).
     pub fn send(&self, dest: usize, tag: u64, payload: Vec<f64>) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        let t0 = Instant::now();
+        let bytes = (payload.len() * 8) as u64;
         let nth = self.send_seq[dest].get();
         self.send_seq[dest].set(nth + 1);
         let fault = self
@@ -218,6 +244,9 @@ impl Comm {
             },
             fault,
         );
+        if let Some(t) = &self.tracer {
+            t.comm(CommOp::Send, dest, bytes, t0);
+        }
     }
 
     /// Take a matching message out of the local pending buffer, skipping
@@ -233,6 +262,17 @@ impl Comm {
 
     /// Blocking receive matching `(source, tag)` (`MPI_Recv`).
     pub fn recv(&mut self, source: usize, tag: u64) -> Vec<f64> {
+        let t0 = Instant::now();
+        let payload = self.recv_blocking(source, tag);
+        if let Some(t) = &self.tracer {
+            t.comm(CommOp::Recv, source, (payload.len() * 8) as u64, t0);
+        }
+        payload
+    }
+
+    /// The untraced blocking-receive core shared by [`Comm::recv`],
+    /// [`Comm::wait`] and the policied path.
+    fn recv_blocking(&mut self, source: usize, tag: u64) -> Vec<f64> {
         if let Some(p) = self.take_pending(source, tag) {
             return p;
         }
@@ -259,10 +299,22 @@ impl Comm {
     /// retransmittable messages, and backs off. Errors out if the peer is
     /// dead, recovery was requested elsewhere, or patience runs out.
     pub fn recv_policied(&mut self, source: usize, tag: u64) -> Result<Vec<f64>, CommFault> {
+        let t0 = Instant::now();
+        let result = self.recv_policied_inner(source, tag);
+        if let Some(t) = &self.tracer {
+            // Failed receives still carry their blocked-wait time; the
+            // payload size is zero because nothing arrived.
+            let bytes = result.as_ref().map(|p| (p.len() * 8) as u64).unwrap_or(0);
+            t.comm(CommOp::Recv, source, bytes, t0);
+        }
+        result
+    }
+
+    fn recv_policied_inner(&mut self, source: usize, tag: u64) -> Result<Vec<f64>, CommFault> {
         let faults = match self.faults.clone() {
             Some(f) => f,
             // No fault context: plain blocking semantics.
-            None => return Ok(self.recv(source, tag)),
+            None => return Ok(self.recv_blocking(source, tag)),
         };
         if let Some(p) = self.take_pending(source, tag) {
             return Ok(p);
@@ -338,6 +390,7 @@ impl Comm {
 
     /// Global synchronization (`MPI_Barrier`).
     pub fn barrier(&self) {
+        let _span = self.trace_collective("barrier", 0);
         self.barrier.wait();
     }
 
@@ -350,6 +403,7 @@ impl Comm {
     /// All-reduce of one scalar (`MPI_Allreduce`): every rank receives
     /// `op` folded over every rank's contribution.
     pub fn allreduce(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        let _span = self.trace_collective("allreduce", 8);
         const REDUCE_TAG: u64 = u64::MAX - 1;
         const BCAST_TAG: u64 = u64::MAX - 2;
         if self.rank == 0 {
@@ -376,6 +430,7 @@ impl Comm {
         value: f64,
         op: impl Fn(f64, f64) -> f64,
     ) -> Result<f64, CommFault> {
+        let _span = self.trace_collective("allreduce", 8);
         const REDUCE_TAG: u64 = u64::MAX - 1;
         const BCAST_TAG: u64 = u64::MAX - 2;
         if self.rank == 0 {
@@ -412,6 +467,7 @@ impl Comm {
     /// Gather every rank's buffer to rank 0 (`MPI_Gatherv`).
     /// Rank 0 receives `Some(buffers_by_rank)`, everyone else `None`.
     pub fn gather(&mut self, payload: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let _span = self.trace_collective("gather", (payload.len() * 8) as u64);
         const GATHER_TAG: u64 = u64::MAX - 3;
         if self.rank == 0 {
             let mut out = vec![Vec::new(); self.size];
@@ -429,6 +485,7 @@ impl Comm {
     /// Broadcast rank 0's buffer to everyone (`MPI_Bcast`). Non-root
     /// callers pass their (ignored) placeholder and receive the root's.
     pub fn bcast(&mut self, payload: Vec<f64>) -> Vec<f64> {
+        let _span = self.trace_collective("bcast", (payload.len() * 8) as u64);
         const BCAST_TAG: u64 = u64::MAX - 4;
         if self.rank == 0 {
             for dst in 1..self.size {
@@ -444,6 +501,11 @@ impl Comm {
     /// `Some(chunks)` with one entry per rank, everyone else `None`; each
     /// rank receives its chunk.
     pub fn scatter(&mut self, chunks: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        let bytes = chunks
+            .as_ref()
+            .map(|c| c.iter().map(|v| v.len() * 8).sum::<usize>() as u64)
+            .unwrap_or(0);
+        let _span = self.trace_collective("scatter", bytes);
         const SCATTER_TAG: u64 = u64::MAX - 5;
         if self.rank == 0 {
             let mut chunks = chunks.expect("root must supply the chunks");
@@ -493,7 +555,12 @@ impl Comm {
 
     /// Complete one receive request (`MPI_Wait`).
     pub fn wait(&mut self, req: RecvRequest) -> Vec<f64> {
-        self.recv(req.source, req.tag)
+        let t0 = Instant::now();
+        let payload = self.recv_blocking(req.source, req.tag);
+        if let Some(t) = &self.tracer {
+            t.comm(CommOp::Wait, req.source, (payload.len() * 8) as u64, t0);
+        }
+        payload
     }
 
     /// Fault-aware [`Comm::wait`].
@@ -504,6 +571,7 @@ impl Comm {
     /// Complete a batch of receive requests (`MPI_Waitall`); results are
     /// returned in the order the requests were posted.
     pub fn waitall(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<f64>> {
+        let _span = self.trace_collective("waitall", 0);
         reqs.into_iter().map(|r| self.wait(r)).collect()
     }
 }
@@ -568,6 +636,7 @@ impl World {
                     send_seq: (0..size).map(|_| Cell::new(0)).collect(),
                     retransmits: Cell::new(0),
                     retries: Cell::new(0),
+                    tracer: None,
                 };
                 let body = &body;
                 handles.push(scope.spawn(move || body(comm)));

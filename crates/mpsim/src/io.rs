@@ -10,8 +10,16 @@
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use mfc_trace::Category;
 
 use crate::comm::Comm;
+
+/// MFC's production writer-wave width: "write access is allowed in waves
+/// of 128 processes". Overridable per run (`mfc-run --io-wave`, `io.wave`
+/// case key).
+pub const DEFAULT_WAVE_SIZE: usize = 128;
 
 /// File-per-process writer with wave throttling.
 #[derive(Debug, Clone)]
@@ -32,6 +40,12 @@ impl WaveWriter {
             wave_size,
             offset_flops: 0,
         }
+    }
+
+    /// A writer with the paper's production wave width
+    /// ([`DEFAULT_WAVE_SIZE`]).
+    pub fn paper_default() -> Self {
+        WaveWriter::new(DEFAULT_WAVE_SIZE)
     }
 
     /// Configure the inter-wave busy-work offset.
@@ -60,12 +74,19 @@ impl WaveWriter {
     /// Every rank must call this (it synchronizes on barriers). Returns the
     /// wave index this rank wrote in.
     pub fn write(&self, comm: &Comm, dir: &Path, step: usize, data: &[f64]) -> io::Result<usize> {
+        let _span = comm
+            .tracer()
+            .map(|t| t.span_bytes("io_wave_write", Category::Io, (data.len() * 8) as u64));
         let my_wave = comm.rank() / self.wave_size;
         let n_waves = comm.size().div_ceil(self.wave_size);
         for wave in 0..n_waves {
             if wave == my_wave {
+                let t0 = Instant::now();
                 let mut f = File::create(Self::rank_path(dir, step, comm.rank()))?;
                 write_doubles(&mut f, data)?;
+                if let Some(t) = comm.tracer() {
+                    t.io("wave_file", (data.len() * 8) as u64, t0);
+                }
             } else if wave < my_wave {
                 // Ranks in later waves burn the configured multiplication
                 // budget so waves stay offset in time.

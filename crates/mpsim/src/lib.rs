@@ -38,4 +38,4 @@ pub use fault::{
     CommFault, DetectorConfig, FaultBoard, FaultCtx, FaultPlan, MsgDelay, MsgFault, RankDeath,
     RankStall,
 };
-pub use io::{SharedFileWriter, WaveWriter};
+pub use io::{SharedFileWriter, WaveWriter, DEFAULT_WAVE_SIZE};

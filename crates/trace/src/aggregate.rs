@@ -1,0 +1,316 @@
+//! Aggregation of traced streams: per-kernel totals, the analytic-ledger
+//! cross-check, and the measured per-rank comm-vs-compute split.
+//!
+//! Reconciliation is *exact*: kernel events carry the per-launch products
+//! the ledger accumulates, in the ledger's accumulation order, so summing
+//! them per label reproduces the ledger's floating-point totals bitwise
+//! (and `float_roundtrip` preserves them through the JSON file). Any
+//! mismatch therefore means lost events (ring rotation) or a genuine
+//! instrumentation bug — never float noise.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+use crate::chrome::{ParsedEvent, ParsedTrace};
+use crate::event::LedgerRow;
+
+/// Per-label totals aggregated from one rank's kernel events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelAgg {
+    pub launches: u64,
+    pub items: u64,
+    pub flops: f64,
+    pub bytes_read: f64,
+    pub bytes_written: f64,
+    /// Measured wall time summed from event durations, µs. Compared
+    /// loosely (the ledger clock is the same but rounds ns→µs here).
+    pub wall_us: f64,
+}
+
+/// Sum one rank's kernel events per label, in stream order.
+pub fn aggregate_kernels(events: &[ParsedEvent]) -> BTreeMap<String, KernelAgg> {
+    let mut out: BTreeMap<String, KernelAgg> = BTreeMap::new();
+    for e in events {
+        if e.ph != 'X' || e.cat != "kernel" {
+            continue;
+        }
+        let a = out.entry(e.name.clone()).or_default();
+        a.launches += 1;
+        a.items += e.args.get("items").and_then(Value::as_u64).unwrap_or(0);
+        a.flops += e.args.get("flops").and_then(Value::as_f64).unwrap_or(0.0);
+        a.bytes_read += e
+            .args
+            .get("bytes_read")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        a.bytes_written += e
+            .args
+            .get("bytes_written")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        a.wall_us += e.dur_us;
+    }
+    out
+}
+
+/// Exactly reconcile one rank's aggregated kernel events against its
+/// embedded analytic-ledger snapshot. Returns every discrepancy found.
+pub fn reconcile(agg: &BTreeMap<String, KernelAgg>, ledger: &[LedgerRow]) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for row in ledger {
+        seen.insert(row.label.as_str());
+        let Some(a) = agg.get(&row.label) else {
+            errs.push(format!("ledger kernel {} absent from trace", row.label));
+            continue;
+        };
+        if a.launches != row.launches {
+            errs.push(format!(
+                "{}: launches {} (trace) != {} (ledger)",
+                row.label, a.launches, row.launches
+            ));
+        }
+        if a.items != row.items {
+            errs.push(format!(
+                "{}: items {} (trace) != {} (ledger)",
+                row.label, a.items, row.items
+            ));
+        }
+        for (what, t, l) in [
+            ("flops", a.flops, row.flops),
+            ("bytes_read", a.bytes_read, row.bytes_read),
+            ("bytes_written", a.bytes_written, row.bytes_written),
+        ] {
+            if t.to_bits() != l.to_bits() {
+                errs.push(format!(
+                    "{}: {what} {t:e} (trace) != {l:e} (ledger, diff {:e})",
+                    row.label,
+                    t - l
+                ));
+            }
+        }
+    }
+    for label in agg.keys() {
+        if !seen.contains(label.as_str()) {
+            errs.push(format!("trace kernel {label} absent from ledger"));
+        }
+    }
+    errs
+}
+
+/// Reconcile every rank of a parsed trace against its embedded ledger.
+/// Ranks whose ring dropped events cannot reconcile and are reported as
+/// such.
+pub fn reconcile_trace(trace: &ParsedTrace) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    for (rank, events) in &trace.ranks {
+        if trace.dropped.get(rank).copied().unwrap_or(0) > 0 {
+            errs.push(format!(
+                "rank {rank}: ring dropped events; stream incomplete, cannot reconcile"
+            ));
+            continue;
+        }
+        let Some(ledger) = trace.ledgers.get(rank) else {
+            // A rank without an attached ledger has nothing to check
+            // (e.g. a pure I/O helper lane).
+            continue;
+        };
+        let agg = aggregate_kernels(events);
+        for e in reconcile(&agg, ledger) {
+            errs.push(format!("rank {rank}: {e}"));
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Measured time decomposition for one rank, from leaf complete events —
+/// the per-rank comm-vs-compute split the paper reads off its Fig. 4
+/// timelines.
+#[derive(Debug, Clone, Default)]
+pub struct RankSplit {
+    pub rank: u64,
+    /// Σ kernel-event durations, µs.
+    pub kernel_us: f64,
+    /// Σ point-to-point comm durations (blocked waits + copies), µs.
+    pub comm_us: f64,
+    /// Σ leaf file-I/O durations, µs.
+    pub io_us: f64,
+    /// Wall extent of the rank's stream (first ts → last ts+dur), µs.
+    pub extent_us: f64,
+}
+
+impl RankSplit {
+    /// Fraction of accounted (kernel + comm) time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        let acc = self.kernel_us + self.comm_us;
+        if acc > 0.0 {
+            self.comm_us / acc
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Compute the leaf-event time split for one rank's stream.
+pub fn rank_split(rank: u64, events: &[ParsedEvent]) -> RankSplit {
+    let mut s = RankSplit {
+        rank,
+        ..Default::default()
+    };
+    let mut first = f64::INFINITY;
+    let mut last = f64::NEG_INFINITY;
+    for e in events {
+        first = first.min(e.ts_us);
+        last = last.max(e.ts_us + e.dur_us);
+        if e.ph != 'X' {
+            continue;
+        }
+        match e.cat.as_str() {
+            "kernel" => s.kernel_us += e.dur_us,
+            "comm" => s.comm_us += e.dur_us,
+            "io" => s.io_us += e.dur_us,
+            _ => {}
+        }
+    }
+    if last > first {
+        s.extent_us = last - first;
+    }
+    s
+}
+
+/// Per-rank splits for a whole parsed trace, sorted by rank.
+pub fn splits(trace: &ParsedTrace) -> Vec<RankSplit> {
+    trace
+        .ranks
+        .iter()
+        .map(|(rank, events)| rank_split(*rank, events))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{export_to_string, parse_str};
+    use crate::event::{Category, CommOp};
+    use crate::tracer::Tracer;
+    use std::time::{Duration, Instant};
+
+    /// Emit `n` launches of the same label with awkward float costs and a
+    /// matching hand-accumulated ledger; reconciliation must be exact.
+    #[test]
+    fn reconciliation_is_bitwise_across_json() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(0);
+        let (fpi, bri, bwi) = (0.1_f64, 3.7_f64, 0.3_f64);
+        let mut row = LedgerRow {
+            label: "k".into(),
+            launches: 0,
+            items: 0,
+            flops: 0.0,
+            bytes_read: 0.0,
+            bytes_written: 0.0,
+            wall_ns: 0,
+        };
+        for launch in 0..7 {
+            let items = 100 + launch * 13;
+            let t0 = Instant::now();
+            h.kernel(
+                "k",
+                items,
+                fpi * items as f64,
+                bri * items as f64,
+                bwi * items as f64,
+                t0,
+                Duration::from_nanos(50),
+            );
+            row.launches += 1;
+            row.items += items;
+            row.flops += fpi * items as f64;
+            row.bytes_read += bri * items as f64;
+            row.bytes_written += bwi * items as f64;
+        }
+        h.attach_ledger(vec![row]);
+        let parsed = parse_str(&export_to_string(&tracer.snapshot())).unwrap();
+        assert!(reconcile_trace(&parsed).is_ok());
+    }
+
+    #[test]
+    fn reconciliation_catches_missing_launches() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(0);
+        h.kernel(
+            "k",
+            10,
+            1.0,
+            2.0,
+            3.0,
+            Instant::now(),
+            Duration::from_nanos(10),
+        );
+        h.attach_ledger(vec![LedgerRow {
+            label: "k".into(),
+            launches: 2, // ledger saw two launches, trace only one
+            items: 20,
+            flops: 2.0,
+            bytes_read: 4.0,
+            bytes_written: 6.0,
+            wall_ns: 20,
+        }]);
+        let parsed = parse_str(&export_to_string(&tracer.snapshot())).unwrap();
+        let errs = reconcile_trace(&parsed).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("launches")));
+    }
+
+    #[test]
+    fn dropped_rings_refuse_to_reconcile() {
+        let tracer = Tracer::with_capacity(16);
+        let h = tracer.handle(0);
+        for _ in 0..40 {
+            h.kernel(
+                "k",
+                1,
+                1.0,
+                1.0,
+                1.0,
+                Instant::now(),
+                Duration::from_nanos(1),
+            );
+        }
+        h.attach_ledger(vec![]);
+        let parsed = parse_str(&export_to_string(&tracer.snapshot())).unwrap();
+        let errs = reconcile_trace(&parsed).unwrap_err();
+        assert!(errs[0].contains("incomplete"));
+    }
+
+    #[test]
+    fn split_sums_leaf_durations_by_category() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(2);
+        h.kernel(
+            "k",
+            1,
+            1.0,
+            1.0,
+            1.0,
+            Instant::now(),
+            Duration::from_micros(30),
+        );
+        // A blocked receive: fake the start in the past is not possible
+        // with a monotone clock, so just check categories route correctly.
+        h.comm(CommOp::Recv, 0, 64, Instant::now());
+        h.io("wave_file", 128, Instant::now());
+        {
+            let _s = h.span("barrier", Category::Collective);
+        }
+        let parsed = parse_str(&export_to_string(&tracer.snapshot())).unwrap();
+        let s = &splits(&parsed)[0];
+        assert_eq!(s.rank, 2);
+        assert!(s.kernel_us >= 30.0);
+        assert!(s.comm_fraction() < 0.5);
+    }
+}

@@ -1,0 +1,201 @@
+//! The trace event model.
+//!
+//! Events are what the per-rank ring buffers hold: hierarchical span
+//! begin/end pairs, complete ("X") events for kernel launches, point-to-point
+//! communication and file I/O, plus counters and instants. All names are
+//! `&'static str` so the hot path never allocates.
+
+use serde::{Deserialize, Serialize};
+
+/// What part of the stack a span or instant belongs to.
+///
+/// Categories are what the aggregation layer keys the comm-vs-compute
+/// split on: `Kernel`, `Comm` and `Io` complete events are leaves (they
+/// never contain other events), while `Phase`, `Collective` and
+/// `Recovery` annotate the hierarchy around them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Category {
+    /// Solver step phase (dt selection, RK stage, halo exchange, ...).
+    Phase,
+    /// A `mfc-acc` kernel launch.
+    Kernel,
+    /// Point-to-point communication (leaf: send, blocked recv/wait).
+    Comm,
+    /// A collective wrapper (allreduce, gather, barrier, waitall, ...).
+    Collective,
+    /// Checkpoint and wave-throttled output I/O.
+    Io,
+    /// Health-watchdog / recovery-ladder activity.
+    Recovery,
+}
+
+impl Category {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Category::Phase => "phase",
+            Category::Kernel => "kernel",
+            Category::Comm => "comm",
+            Category::Collective => "collective",
+            Category::Io => "io",
+            Category::Recovery => "recovery",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Category> {
+        Some(match s {
+            "phase" => Category::Phase,
+            "kernel" => Category::Kernel,
+            "comm" => Category::Comm,
+            "collective" => Category::Collective,
+            "io" => Category::Io,
+            "recovery" => Category::Recovery,
+            _ => return None,
+        })
+    }
+}
+
+/// Leaf point-to-point operation recorded as a complete event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CommOp {
+    /// Message posted to a peer mailbox (duration = pack/post time).
+    Send,
+    /// Message received (duration = blocked-wait plus copy time).
+    Recv,
+    /// Completion wait on a posted receive (duration = blocked time).
+    Wait,
+}
+
+impl CommOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CommOp::Send => "send",
+            CommOp::Recv => "recv",
+            CommOp::Wait => "wait",
+        }
+    }
+}
+
+/// One trace event as held in a rank's ring buffer.
+///
+/// `seq` is the deterministic per-rank span/event id: ranks execute their
+/// timelines deterministically, so the n-th event a rank emits is the same
+/// event on every run of the same case. Timestamps are nanoseconds since
+/// the owning [`crate::Tracer`]'s epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Deterministic per-rank sequence id (emission order).
+    pub seq: u64,
+    /// Start time, ns since the tracer epoch.
+    pub ts_ns: u64,
+    /// Duration in ns; zero for begin/end/counter/instant events.
+    pub dur_ns: u64,
+    pub kind: EventKind,
+}
+
+/// The payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Span opens. `bytes` carries a payload size for collective and I/O
+    /// spans (zero means "not applicable").
+    Begin {
+        name: &'static str,
+        cat: Category,
+        bytes: u64,
+    },
+    /// Span closes (LIFO with respect to `Begin` on the same rank).
+    End { name: &'static str },
+    /// A kernel launch: the ledger's per-launch attributes verbatim, i.e.
+    /// `flops = cost.flops_per_item * items as f64` exactly as
+    /// `Ledger::record_launch` accumulates it — summing these per label in
+    /// emission order reproduces the ledger totals bitwise.
+    Kernel {
+        label: &'static str,
+        items: u64,
+        flops: f64,
+        bytes_read: f64,
+        bytes_written: f64,
+    },
+    /// A leaf point-to-point operation with payload size and blocked time.
+    Comm { op: CommOp, peer: usize, bytes: u64 },
+    /// A leaf file-I/O operation (checkpoint slab, output wave file).
+    Io { name: &'static str, bytes: u64 },
+    /// A sampled scalar (dt, retry depth, ...), rendered as a counter
+    /// track by chrome://tracing.
+    Counter { name: &'static str, value: f64 },
+    /// A point-in-time marker (fault detected, ladder rung engaged, ...).
+    Instant { name: &'static str, cat: Category },
+}
+
+impl EventKind {
+    /// Display name (span/label/op name) of the event.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Begin { name, .. }
+            | EventKind::End { name }
+            | EventKind::Io { name, .. }
+            | EventKind::Counter { name, .. }
+            | EventKind::Instant { name, .. } => name,
+            EventKind::Kernel { label, .. } => label,
+            EventKind::Comm { op, .. } => op.as_str(),
+        }
+    }
+}
+
+/// One row of a rank's analytic kernel ledger, attached to the trace at
+/// the end of a run so exporters can cross-check the measured aggregation
+/// against the analytic totals without access to the live `Ledger`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRow {
+    pub label: String,
+    pub launches: u64,
+    pub items: u64,
+    pub flops: f64,
+    pub bytes_read: f64,
+    pub bytes_written: f64,
+    /// Total wall time the ledger attributed to this kernel, in ns.
+    pub wall_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_round_trips_through_str() {
+        for c in [
+            Category::Phase,
+            Category::Kernel,
+            Category::Comm,
+            Category::Collective,
+            Category::Io,
+            Category::Recovery,
+        ] {
+            assert_eq!(Category::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Category::parse("bogus"), None);
+    }
+
+    #[test]
+    fn event_kind_names() {
+        assert_eq!(
+            EventKind::Begin {
+                name: "step",
+                cat: Category::Phase,
+                bytes: 0
+            }
+            .name(),
+            "step"
+        );
+        assert_eq!(
+            EventKind::Comm {
+                op: CommOp::Recv,
+                peer: 1,
+                bytes: 64
+            }
+            .name(),
+            "recv"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Well-nestedness validation of span streams.
+//!
+//! A rank's timeline is well-nested when its `Begin`/`End` events form a
+//! balanced LIFO bracket sequence and every complete ("X") event fits
+//! strictly inside the innermost open span at its emission point. Both the
+//! live event stream (nanosecond-exact) and a re-parsed chrome-trace file
+//! (microsecond doubles, so containment uses a rounding tolerance) can be
+//! checked; the proptest suite drives the live form across random domains
+//! and both RHS modes.
+
+use crate::chrome::{ParsedEvent, ParsedTrace};
+use crate::event::{Event, EventKind};
+
+/// Rounding slack for microsecond-double comparisons (µs). One ns is
+/// 1e-3 µs; half-ulp effects of the ns→µs division stay far below this.
+const US_EPS: f64 = 1e-3;
+
+/// Check one rank's live event stream for well-nestedness. Returns the
+/// first violation found.
+pub fn check_events(events: &[Event]) -> Result<(), String> {
+    // Stack of (name, begin_ts).
+    let mut stack: Vec<(&'static str, u64)> = Vec::new();
+    let mut last_ts = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        if e.ts_ns < last_ts {
+            return Err(format!(
+                "event {i} ({:?}): ts {} goes backwards (prev {})",
+                e.kind.name(),
+                e.ts_ns,
+                last_ts
+            ));
+        }
+        last_ts = e.ts_ns;
+        match &e.kind {
+            EventKind::Begin { name, .. } => stack.push((name, e.ts_ns)),
+            EventKind::End { name } => match stack.pop() {
+                Some((open, begin_ts)) => {
+                    if open != *name {
+                        return Err(format!(
+                            "event {i}: End({name}) closes open span {open} (overlap)"
+                        ));
+                    }
+                    if e.ts_ns < begin_ts {
+                        return Err(format!("event {i}: End({name}) before its Begin"));
+                    }
+                }
+                None => return Err(format!("event {i}: orphan End({name})")),
+            },
+            EventKind::Kernel { .. } | EventKind::Comm { .. } | EventKind::Io { .. } => {
+                // Leaf X event: must start inside the enclosing span (if
+                // any); its end is bounded by the enclosing End because
+                // the End is emitted later on the same monotone clock.
+                if let Some((open, begin_ts)) = stack.last() {
+                    if e.ts_ns < *begin_ts {
+                        return Err(format!(
+                            "event {i} ({}): starts before enclosing span {open}",
+                            e.kind.name()
+                        ));
+                    }
+                }
+            }
+            EventKind::Counter { .. } | EventKind::Instant { .. } => {}
+        }
+    }
+    if let Some((open, _)) = stack.last() {
+        return Err(format!("orphan span {open} never closed"));
+    }
+    Ok(())
+}
+
+/// Check one rank's re-parsed chrome-trace stream (file order = emission
+/// order) for well-nestedness.
+pub fn check_parsed(events: &[ParsedEvent]) -> Result<(), String> {
+    let mut stack: Vec<(&str, f64)> = Vec::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, e) in events.iter().enumerate() {
+        if e.ts_us < last_ts - US_EPS {
+            return Err(format!(
+                "event {i} ({}): ts {} goes backwards (prev {})",
+                e.name, e.ts_us, last_ts
+            ));
+        }
+        last_ts = last_ts.max(e.ts_us);
+        match e.ph {
+            'B' => stack.push((e.name.as_str(), e.ts_us)),
+            'E' => match stack.pop() {
+                Some((open, begin_ts)) => {
+                    if open != e.name {
+                        return Err(format!(
+                            "event {i}: E({}) closes open span {open} (overlap)",
+                            e.name
+                        ));
+                    }
+                    if e.ts_us < begin_ts - US_EPS {
+                        return Err(format!("event {i}: E({}) before its B", e.name));
+                    }
+                }
+                None => return Err(format!("event {i}: orphan E({})", e.name)),
+            },
+            'X' => {
+                if let Some((open, begin_ts)) = stack.last() {
+                    if e.ts_us < begin_ts - US_EPS {
+                        return Err(format!(
+                            "event {i} ({}): starts before enclosing span {open}",
+                            e.name
+                        ));
+                    }
+                }
+            }
+            'C' | 'i' => {}
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    if let Some((open, _)) = stack.last() {
+        return Err(format!("orphan span {open} never closed"));
+    }
+    Ok(())
+}
+
+/// Check every rank of a parsed trace; returns per-rank violations.
+pub fn check_trace(trace: &ParsedTrace) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    for (rank, events) in &trace.ranks {
+        if let Err(e) = check_parsed(events) {
+            errs.push(format!("rank {rank}: {e}"));
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn balanced_stream_passes() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(0);
+        {
+            let _a = h.span("a", Category::Phase);
+            let _b = h.span("b", Category::Phase);
+            h.instant("mark", Category::Recovery);
+        }
+        assert!(check_events(&h.snapshot().events).is_ok());
+    }
+
+    #[test]
+    fn orphan_end_is_rejected() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(0);
+        h.begin("a", Category::Phase);
+        h.end("a");
+        // Bypass the stack discipline debug_assert by crafting raw events.
+        let mut events = h.snapshot().events;
+        events.push(Event {
+            seq: 99,
+            ts_ns: events.last().unwrap().ts_ns + 1,
+            dur_ns: 0,
+            kind: EventKind::End { name: "ghost" },
+        });
+        assert!(check_events(&events).unwrap_err().contains("orphan End"));
+    }
+
+    #[test]
+    fn unclosed_span_is_rejected() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(0);
+        h.begin("left_open", Category::Phase);
+        let err = check_events(&h.snapshot().events).unwrap_err();
+        assert!(err.contains("never closed"));
+    }
+
+    #[test]
+    fn interleaved_spans_are_rejected() {
+        let events = vec![
+            Event {
+                seq: 0,
+                ts_ns: 0,
+                dur_ns: 0,
+                kind: EventKind::Begin {
+                    name: "a",
+                    cat: Category::Phase,
+                    bytes: 0,
+                },
+            },
+            Event {
+                seq: 1,
+                ts_ns: 1,
+                dur_ns: 0,
+                kind: EventKind::Begin {
+                    name: "b",
+                    cat: Category::Phase,
+                    bytes: 0,
+                },
+            },
+            Event {
+                seq: 2,
+                ts_ns: 2,
+                dur_ns: 0,
+                kind: EventKind::End { name: "a" },
+            },
+        ];
+        assert!(check_events(&events).unwrap_err().contains("overlap"));
+    }
+
+    #[test]
+    fn parsed_round_trip_passes() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(0);
+        {
+            let _s = h.span("step", Category::Phase);
+            h.kernel(
+                "k",
+                1,
+                1.0,
+                8.0,
+                8.0,
+                std::time::Instant::now(),
+                std::time::Duration::from_nanos(100),
+            );
+        }
+        let s = crate::chrome::export_to_string(&tracer.snapshot());
+        let parsed = crate::chrome::parse_str(&s).unwrap();
+        assert!(check_trace(&parsed).is_ok());
+    }
+}

@@ -1,0 +1,186 @@
+//! Human-readable rendering of a parsed trace: the profile summary a
+//! `nsys stats` / `rocprof --stats` run would print.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::aggregate::{aggregate_kernels, reconcile_trace, splits, KernelAgg};
+use crate::chrome::ParsedTrace;
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.3} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.3} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.3} kB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Merge per-rank kernel aggregates into job-wide totals per label.
+fn job_totals(trace: &ParsedTrace) -> BTreeMap<String, KernelAgg> {
+    let mut out: BTreeMap<String, KernelAgg> = BTreeMap::new();
+    for events in trace.ranks.values() {
+        for (label, a) in aggregate_kernels(events) {
+            let e = out.entry(label).or_default();
+            e.launches += a.launches;
+            e.items += a.items;
+            e.flops += a.flops;
+            e.bytes_read += a.bytes_read;
+            e.bytes_written += a.bytes_written;
+            e.wall_us += a.wall_us;
+        }
+    }
+    out
+}
+
+/// Render the full report: per-kernel aggregate table (sorted by wall
+/// time), ledger reconciliation verdict, and the per-rank comm/compute
+/// split.
+pub fn render(trace: &ParsedTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mfc-trace report — {} rank(s)", trace.ranks.len());
+
+    let totals = job_totals(trace);
+    let mut rows: Vec<(&String, &KernelAgg)> = totals.iter().collect();
+    rows.sort_by(|a, b| b.1.wall_us.partial_cmp(&a.1.wall_us).unwrap());
+    let total_wall: f64 = rows.iter().map(|(_, a)| a.wall_us).sum();
+    let _ = writeln!(out, "\nper-kernel aggregate (all ranks):");
+    let _ = writeln!(
+        out,
+        "  {:<26} {:>9} {:>14} {:>12} {:>12} {:>12} {:>7}",
+        "kernel", "launches", "items", "flops", "read", "written", "wall%"
+    );
+    for (label, a) in &rows {
+        let _ = writeln!(
+            out,
+            "  {:<26} {:>9} {:>14} {:>12} {:>12} {:>12} {:>6.1}%",
+            label,
+            a.launches,
+            a.items,
+            format!("{:.3e}", a.flops),
+            fmt_bytes(a.bytes_read),
+            fmt_bytes(a.bytes_written),
+            if total_wall > 0.0 {
+                100.0 * a.wall_us / total_wall
+            } else {
+                0.0
+            }
+        );
+    }
+
+    let _ = writeln!(out, "\nledger cross-check:");
+    match reconcile_trace(trace) {
+        Ok(()) => {
+            let _ = writeln!(
+                out,
+                "  OK — traced per-kernel totals match the analytic ledger exactly"
+            );
+        }
+        Err(errs) => {
+            for e in &errs {
+                let _ = writeln!(out, "  MISMATCH {e}");
+            }
+        }
+    }
+
+    let _ = writeln!(out, "\nper-rank comm/compute split (leaf events):");
+    let _ = writeln!(
+        out,
+        "  {:>4} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "rank", "kernel ms", "comm ms", "io ms", "extent ms", "comm%"
+    );
+    for s in splits(trace) {
+        let _ = writeln!(
+            out,
+            "  {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>6.1}%",
+            s.rank,
+            s.kernel_us / 1e3,
+            s.comm_us / 1e3,
+            s.io_us / 1e3,
+            s.extent_us / 1e3,
+            100.0 * s.comm_fraction()
+        );
+    }
+
+    for (rank, n) in &trace.dropped {
+        if *n > 0 {
+            let _ = writeln!(
+                out,
+                "\nwarning: rank {rank} ring dropped {n} event(s); stream truncated"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{export_to_string, parse_str};
+    use crate::event::{Category, CommOp, LedgerRow};
+    use crate::tracer::Tracer;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn report_contains_table_verdict_and_split() {
+        let tracer = Tracer::new();
+        for rank in 0..2 {
+            let h = tracer.handle(rank);
+            let _s = h.span("step", Category::Phase);
+            h.kernel(
+                "weno_x",
+                50,
+                125.0,
+                400.0,
+                80.0,
+                Instant::now(),
+                Duration::from_micros(10),
+            );
+            h.comm(CommOp::Recv, 1 - rank, 256, Instant::now());
+            h.attach_ledger(vec![LedgerRow {
+                label: "weno_x".into(),
+                launches: 1,
+                items: 50,
+                flops: 125.0,
+                bytes_read: 400.0,
+                bytes_written: 80.0,
+                wall_ns: 10_000,
+            }]);
+        }
+        let parsed = parse_str(&export_to_string(&tracer.snapshot())).unwrap();
+        let text = render(&parsed);
+        assert!(text.contains("weno_x"));
+        assert!(text.contains("OK — traced per-kernel totals match"));
+        assert!(text.contains("comm/compute split"));
+        assert!(text.contains("rank"));
+    }
+
+    #[test]
+    fn report_flags_mismatches() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(0);
+        h.kernel(
+            "k",
+            1,
+            1.0,
+            1.0,
+            1.0,
+            Instant::now(),
+            Duration::from_nanos(5),
+        );
+        h.attach_ledger(vec![LedgerRow {
+            label: "k".into(),
+            launches: 1,
+            items: 1,
+            flops: 2.0,
+            bytes_read: 1.0,
+            bytes_written: 1.0,
+            wall_ns: 5,
+        }]);
+        let parsed = parse_str(&export_to_string(&tracer.snapshot())).unwrap();
+        assert!(render(&parsed).contains("MISMATCH"));
+    }
+}

@@ -31,8 +31,9 @@ fn main() {
         steps,
         Staging::DeviceDirect,
         &dir,
-        2, // waves of 2 writers (128 in production)
+        2, // waves of 2 writers (DEFAULT_WAVE_SIZE = 128 in production)
         0, // output step id
+        None,
     );
     println!(
         "rank files written under {} (decomposition {dims:?})",

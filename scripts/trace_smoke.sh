@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Traced 2-rank smoke run through the CLI: `mfc-run --trace` must emit
+# schema-valid chrome-trace JSON whose per-kernel aggregated totals
+# reconcile *exactly* with the analytic kernel ledger, and
+# `mfc-trace-report` must print the measured per-rank comm/compute split
+# (the reproduction's Fig. 4 counterpart). Also exercises the
+# configurable writer-wave width (`--io-wave`) so the wave-throttled I/O
+# spans land on the timeline.
+#
+# The tracing-disabled overhead gate rides in
+# `scripts/bench_snapshot.sh --check` (the perf CI job).
+#
+# Run from the repo root: bash scripts/trace_smoke.sh
+set -u
+
+cargo build -q -p mfc-cli -p mfc-trace || exit 1
+BIN=target/debug/mfc-run
+REPORT=target/debug/mfc-trace-report
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+expect() { # expect <exit-code> <description> <cmd...>
+    local want=$1 desc=$2
+    shift 2
+    "$@" >"$TMP/out.log" 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc - expected exit $want, got $got"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+require_output() { # require_output <description> <grep-pattern>
+    if grep -q "$2" "$TMP/out.log"; then
+        echo "ok: $1"
+    else
+        echo "FAIL: $1 - output lacks '$2'"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    fi
+}
+
+# A 2-rank Sod run with file-per-process wave output (wave width 1, so
+# the throttle barriers actually engage with 2 ranks).
+cat >"$TMP/sod2.json" <<EOF
+{
+  "name": "trace_smoke_sod2",
+  "fluids": [{ "gamma": 1.4, "pi_inf": 0.0 }],
+  "ndim": 1,
+  "cells": [64, 1, 1],
+  "lo": [0.0, 0.0, 0.0],
+  "hi": [1.0, 1.0, 1.0],
+  "bc": "transmissive",
+  "patches": [
+    { "region": "all",
+      "state": { "alpha": [1.0], "rho": [0.125], "vel": [0, 0, 0], "p": 0.1 } },
+    { "region": { "half_space": { "axis": 0, "bound": 0.5 } },
+      "state": { "alpha": [1.0], "rho": [1.0], "vel": [0, 0, 0], "p": 1.0 } }
+  ],
+  "numerics": { "order": "weno5", "solver": "hllc", "cfl": 0.5 },
+  "run": { "steps": 12, "ranks": 2 },
+  "io": { "wave_files": true },
+  "output": { "dir": "$TMP/out", "vtk": false }
+}
+EOF
+
+expect 0 "traced 2-rank wave-file run exits 0" \
+    "$BIN" "$TMP/sod2.json" --trace "$TMP/trace.json" --io-wave 1
+require_output "run reports the trace file" "wrote trace"
+
+if [ -s "$TMP/trace.json" ]; then
+    echo "ok: trace file is non-empty"
+else
+    echo "FAIL: trace file missing or empty"
+    fail=1
+fi
+
+# Schema validation + span nesting + exact ledger reconciliation, and the
+# measured per-rank comm/compute split, all through the report bin.
+expect 0 "mfc-trace-report --validate --reconcile passes" \
+    "$REPORT" "$TMP/trace.json" --validate --reconcile
+require_output "schema validates" "schema: OK"
+require_output "span streams are well-nested" "span nesting: OK"
+require_output "report covers both ranks" "2 rank(s)"
+require_output "report prints the comm/compute split" "comm/compute split"
+
+# A bad wave width must be rejected as a configuration error (exit 2).
+expect 2 "--io-wave 0 is a configuration error" \
+    "$BIN" "$TMP/sod2.json" --io-wave 0
+
+# A truncated trace file must fail validation, not pass silently.
+head -c 64 "$TMP/trace.json" >"$TMP/truncated.json"
+expect 3 "truncated trace fails to parse" \
+    "$REPORT" "$TMP/truncated.json" --validate
+
+if [ "$fail" -ne 0 ]; then
+    echo "trace smoke: FAILED"
+    exit 1
+fi
+echo "trace smoke: all checks passed"

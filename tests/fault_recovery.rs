@@ -59,6 +59,7 @@ fn run_with_plan(
         events: Some(Arc::clone(&events)),
         recovery: None,
         health: mfc_core::HealthConfig::default(),
+        trace: None,
     };
     let out = run_distributed_resilient(
         &presets::sod(32),

@@ -195,6 +195,7 @@ fn collective_ladder_matches_serial_ladder_bitwise() {
         events: Some(Arc::clone(&events)),
         recovery: Some(deep_ladder()),
         health: HealthConfig::default(),
+        trace: None,
     };
     let (field, _) = run_distributed_resilient(
         &case,
@@ -279,6 +280,7 @@ fn corrupt_checkpoint_wave_is_skipped_during_rollback() {
         events: Some(Arc::clone(&events)),
         recovery: None,
         health: HealthConfig::default(),
+        trace: None,
     };
     let (field, _) = run_distributed_resilient(
         &case,
