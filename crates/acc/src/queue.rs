@@ -126,6 +126,33 @@ mod tests {
     }
 
     #[test]
+    fn wait_all_after_partial_wait_is_deterministic() {
+        // The overlapped halo exchange waits queues one axis at a time
+        // and finishes with a wait_all; a partial wait must neither
+        // re-run drained work nor disturb the ascending-id drain order
+        // of what remains — including work enqueued *after* the partial
+        // wait, onto both old and already-drained queue ids.
+        let ctx = Context::serial();
+        let log = RefCell::new(Vec::new());
+        let mut qs = QueueSet::new(&ctx);
+        qs.enqueue(1, |_| log.borrow_mut().push("1a"));
+        qs.enqueue(2, |_| log.borrow_mut().push("2a"));
+        qs.enqueue(3, |_| log.borrow_mut().push("3a"));
+        qs.wait(2);
+        assert_eq!(*log.borrow(), vec!["2a"]);
+        assert_eq!(qs.pending(2), 0);
+        // Re-arm the drained queue and extend a pending one.
+        qs.enqueue(2, |_| log.borrow_mut().push("2b"));
+        qs.enqueue(1, |_| log.borrow_mut().push("1b"));
+        qs.wait_all();
+        assert_eq!(*log.borrow(), vec!["2a", "1a", "1b", "2b", "3a"]);
+        assert_eq!(qs.completed(), 5);
+        // Idempotent: nothing left, nothing re-runs.
+        qs.wait_all();
+        assert_eq!(qs.completed(), 5);
+    }
+
+    #[test]
     #[should_panic(expected = "without a wait")]
     fn dropping_pending_work_panics() {
         let ctx = Context::serial();

@@ -85,6 +85,11 @@ pub struct NumericsConfig {
     pub cfl: f64,
     /// Fixed dt overrides the CFL bound when set.
     pub dt: Option<f64>,
+    /// Distributed runs: overlap the halo exchange with the interior RHS
+    /// sweeps (async-queue analog of the paper's OpenACC overlap).
+    /// Bitwise identical to the default exchange. Settable from the
+    /// command line as `--overlap`.
+    pub overlap: bool,
 }
 
 impl Default for NumericsConfig {
@@ -98,11 +103,21 @@ impl Default for NumericsConfig {
             scheme: "rk3".to_string(),
             cfl: 0.5,
             dt: None,
+            overlap: false,
         }
     }
 }
 
 impl NumericsConfig {
+    /// The halo-exchange mode distributed drivers run with.
+    pub fn exchange(&self) -> ExchangeMode {
+        if self.overlap {
+            ExchangeMode::Overlapped
+        } else {
+            ExchangeMode::Sendrecv
+        }
+    }
+
     pub fn scheme(&self) -> Result<TimeScheme, String> {
         match self.scheme.as_str() {
             "rk1" | "euler" => Ok(TimeScheme::Rk1),
@@ -337,6 +352,15 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// A bad rank layout is a configuration problem (exit code 2), not a
+/// solver blow-up; everything else a distributed driver reports is.
+fn map_resilience_err(e: mfc_core::par::ResilienceError) -> RunError {
+    match &e {
+        mfc_core::par::ResilienceError::Decomposition { .. } => RunError::Config(e.to_string()),
+        _ => RunError::Numerical(e.to_string()),
+    }
+}
+
 /// Execute a case file end to end.
 pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
     let case = case_file.to_case().map_err(RunError::Config)?;
@@ -424,11 +448,12 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
             recovery,
             health: HealthConfig::default(),
             trace: tracer.clone(),
+            exchange: case_file.numerics.exchange(),
         };
         let t0 = std::time::Instant::now();
         let (gf, _) =
             run_distributed_resilient(&case, cfg, ranks, steps, Staging::DeviceDirect, &opts)
-                .map_err(|e| RunError::Numerical(e.to_string()))?;
+                .map_err(map_resilience_err)?;
         let wall = t0.elapsed();
         resilience = resilience_summary(&events);
         let cells = gf.n.iter().product::<usize>();
@@ -456,11 +481,13 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
                 case_file.run.ranks,
                 steps,
                 Staging::DeviceDirect,
+                case_file.numerics.exchange(),
                 &wave_dir,
                 case_file.io.wave,
                 steps,
                 tracer.clone(),
-            );
+            )
+            .map_err(map_resilience_err)?;
             postprocess_wave_files(&wave_dir, steps, case.cells, case.eq(), dims)
                 .map_err(|e| RunError::Io(format!("wave post-processing failed: {e}")))?
         } else {
@@ -470,10 +497,10 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
                 case_file.run.ranks,
                 steps,
                 Staging::DeviceDirect,
-                ExchangeMode::Sendrecv,
+                case_file.numerics.exchange(),
                 tracer.clone(),
             )
-            .map_err(|e| RunError::Numerical(e.to_string()))?;
+            .map_err(map_resilience_err)?;
             gf
         };
         let wall = t0.elapsed();
@@ -662,6 +689,35 @@ mod tests {
         cf.output.dir = std::env::temp_dir().join(format!("mfc_cli_par_{}", std::process::id()));
         let summary = run_case(&cf).unwrap();
         assert_eq!(summary.steps, 5);
+        let _ = std::fs::remove_dir_all(cf.output.dir);
+    }
+
+    #[test]
+    fn overlapped_distributed_run_matches_default() {
+        let mut cf = CaseFile::from_json(&sod_json()).unwrap();
+        cf.run.ranks = 2;
+        cf.output.dir = std::env::temp_dir().join(format!("mfc_cli_ov_{}", std::process::id()));
+        let plain = run_case(&cf).unwrap();
+        cf.numerics.overlap = true;
+        assert_eq!(cf.numerics.exchange(), ExchangeMode::Overlapped);
+        let overlapped = run_case(&cf).unwrap();
+        assert_eq!(plain.steps, overlapped.steps);
+        let _ = std::fs::remove_dir_all(cf.output.dir);
+    }
+
+    #[test]
+    fn thin_rank_case_is_a_config_error() {
+        // Regression (thin-rank halo bug): 64 cells over 32 ranks is 2
+        // cells per rank under a 3-layer halo — a config error (exit 2),
+        // not a rank panic.
+        let mut cf = CaseFile::from_json(&sod_json()).unwrap();
+        cf.run.ranks = 32;
+        cf.output.dir = std::env::temp_dir().join(format!("mfc_cli_thin_{}", std::process::id()));
+        let err = run_case(&cf).unwrap_err();
+        assert!(
+            matches!(&err, RunError::Config(m) if m.contains("decomposition")),
+            "{err}"
+        );
         let _ = std::fs::remove_dir_all(cf.output.dir);
     }
 

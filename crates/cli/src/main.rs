@@ -4,8 +4,9 @@ use mfc_cli::{run_case, CaseFile, RunError};
 use mfc_core::rhs::RhsMode;
 
 const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
-[--rhs-mode staged|fused] [--faults plan.json] [--checkpoint-every N] \
-[--recovery ladder.json] [--max-retries N] [--trace out.json] [--io-wave N]";
+[--rhs-mode staged|fused] [--overlap] [--faults plan.json] \
+[--checkpoint-every N] [--recovery ladder.json] [--max-retries N] \
+[--trace out.json] [--io-wave N]";
 
 const HELP: &str = "\
 mfc-run — execute a JSON case file on the MFC reproduction solver
@@ -17,6 +18,10 @@ flags:
   --validate             parse and validate the case, run nothing
   --rhs-mode MODE        sweep engine: 'staged' grid-sized buffers or the
                          'fused' pencil engine (default; bitwise identical)
+  --overlap              distributed runs: overlap the halo exchange with
+                         the interior RHS sweeps on async queues (the
+                         paper's OpenACC overlap; bitwise identical to the
+                         default exchange). numerics.overlap case key
   --faults plan.json     fault-injection plan (mfc_mpsim::FaultPlan)
   --checkpoint-every N   checkpoint wave period in steps; any non-zero
                          value routes the run through the fault-tolerant
@@ -47,6 +52,7 @@ exit codes:
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut validate_only = false;
+    let mut overlap = false;
     let mut rhs_mode: Option<RhsMode> = None;
     let mut faults: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
@@ -64,6 +70,7 @@ fn main() {
                 return;
             }
             "--validate" => validate_only = true,
+            "--overlap" => overlap = true,
             "--rhs-mode" => match it.next().map(String::as_str) {
                 Some("staged") => rhs_mode = Some(RhsMode::Staged),
                 Some("fused") => rhs_mode = Some(RhsMode::Fused),
@@ -123,6 +130,9 @@ fn main() {
     // Command-line flags override the case file.
     if let Some(mode) = rhs_mode {
         case.numerics.mode = mode;
+    }
+    if overlap {
+        case.numerics.overlap = true;
     }
     if let Some(plan) = faults {
         case.run.faults = Some(plan.into());

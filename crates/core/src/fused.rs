@@ -48,7 +48,9 @@ use crate::axisym::Geometry;
 use crate::domain::{Domain, MAX_EQ};
 use crate::fluid::Fluid;
 use crate::limiter::limit_state;
-use crate::rhs::{state_admissible, sweep_to_canonical, RhsConfig, RhsWorkspace};
+use crate::rhs::{
+    region_transverse, state_admissible, sweep_to_canonical, Region, RhsConfig, RhsWorkspace,
+};
 use crate::state::StateField;
 use crate::weno::reconstruct_line_padded;
 
@@ -101,6 +103,31 @@ pub(crate) fn fused_sweeps(
     ws: &mut RhsWorkspace,
     rhs: &mut StateField,
 ) {
+    let full = Region::full(&ws.dom);
+    for axis in 0..ws.dom.eq.ndim() {
+        fused_sweep_axis_region(ctx, cfg, fluids, ws, rhs, axis, &full);
+    }
+}
+
+/// One fused directional sweep restricted to `region` — the full-region
+/// call is the ordinary fused sweep (every index below reduces to the
+/// unrestricted value), and the overlapped stepping mode runs the same
+/// code over its interior core and boundary shells. Each pencil gathers
+/// the region's sweep window (`s_lo .. s_lo + s_n` plus `pad` cells each
+/// side), so the per-line slices feed [`reconstruct_line_padded`] the
+/// identical stencil values at every produced face.
+pub(crate) fn fused_sweep_axis_region(
+    ctx: &Context,
+    cfg: &RhsConfig,
+    fluids: &[Fluid],
+    ws: &mut RhsWorkspace,
+    rhs: &mut StateField,
+    axis: usize,
+    region: &Region,
+) {
+    if region.is_empty() {
+        return;
+    }
     let RhsWorkspace {
         dom,
         prim,
@@ -128,258 +155,252 @@ pub(crate) fn fused_sweeps(
     let rsl = rhs.as_mut_slice();
     let gh = cfg.order.ghost_layers();
 
-    // `axis` indexes several parallel per-axis tables (`widths`, `dom.n`,
-    // `dom.pad`), not one iterable.
-    #[allow(clippy::needless_range_loop)]
-    for axis in 0..eq.ndim() {
-        let n = dom.n[axis];
-        let pad = dom.pad(axis);
-        let ext = dom.ext(axis);
-        let nf = n + 1;
-        let w = &widths[axis][..];
-        let radial = if axis == 2 && cfg.geometry == Geometry::Cylindrical3D {
-            Some(&radii[..])
-        } else {
-            None
-        };
-        // Interior transverse bounds in sweep coordinates (t1, t2) — the
-        // exact cell set the staged update stage consumes.
-        let (p1, n1i, p2, n2i) = match axis {
-            0 => (dom.pad(1), dom.n[1], dom.pad(2), dom.n[2]),
-            1 => (dom.pad(0), dom.n[0], dom.pad(2), dom.n[2]),
-            _ => (dom.pad(1), dom.n[1], dom.pad(0), dom.n[0]),
-        };
-        // Pencils batch over whichever transverse coordinate is canonical
-        // x (t1 for the x/y sweeps, t2 for z), so the strided gathers of a
-        // pencil read consecutive memory.
-        let batch_t1 = axis < 2;
-        let (bq, bcount, oq, ocount) = if batch_t1 {
-            (p1, n1i, p2, n2i)
-        } else {
-            (p2, n2i, p1, n1i)
-        };
-        let nlines = n1i * n2i;
+    let pad = dom.pad(axis);
+    // The region's window along the sweep axis: cells `s_lo..s_lo + s_n`
+    // (interior coordinates), faces `s_lo..=s_lo + s_n`, and a gathered
+    // line extent of `s_n + 2*pad` covering every stencil read.
+    let (s_lo, s_n) = region.span(axis);
+    let rext = s_n + 2 * pad;
+    let rnf = s_n + 1;
+    let w = &widths[axis][..];
+    let radial = if axis == 2 && cfg.geometry == Geometry::Cylindrical3D {
+        Some(&radii[..])
+    } else {
+        None
+    };
+    // The region's transverse bounds in sweep coordinates (t1, t2) — the
+    // exact cell set this region's update stage consumes.
+    let (p1, n1i, p2, n2i) = region_transverse(&dom, axis, region);
+    // Pencils batch over whichever transverse coordinate is canonical
+    // x (t1 for the x/y sweeps, t2 for z), so the strided gathers of a
+    // pencil read consecutive memory.
+    let batch_t1 = axis < 2;
+    let (bq, bcount, oq, ocount) = if batch_t1 {
+        (p1, n1i, p2, n2i)
+    } else {
+        (p2, n2i, p1, n1i)
+    };
+    let nlines = n1i * n2i;
 
-        let t_axis = Instant::now();
-        let (mut tg, mut tw, mut tr, mut tu) = (
-            Duration::ZERO,
-            Duration::ZERO,
-            Duration::ZERO,
-            Duration::ZERO,
-        );
+    let t_axis = Instant::now();
+    let (mut tg, mut tw, mut tr, mut tu) = (
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+    );
 
-        let mut pl = [0.0; MAX_EQ];
-        let mut pr = [0.0; MAX_EQ];
-        let mut f = [0.0; MAX_EQ];
-        let mut mean = [0.0; MAX_EQ];
+    let mut pl = [0.0; MAX_EQ];
+    let mut pr = [0.0; MAX_EQ];
+    let mut f = [0.0; MAX_EQ];
+    let mut mean = [0.0; MAX_EQ];
 
-        for o in 0..ocount {
-            let oc = oq + o;
-            let mut b0 = 0;
-            while b0 < bcount {
-                let bw = PENCIL_B.min(bcount - b0);
-                // Canonical flat offset of cell (s=0, line b, variable e):
-                // lines of one pencil are consecutive in canonical x.
-                let line_base = |b: usize, e: usize| -> usize {
+    for o in 0..ocount {
+        let oc = oq + o;
+        let mut b0 = 0;
+        while b0 < bcount {
+            let bw = PENCIL_B.min(bcount - b0);
+            // Canonical flat offset of cell (s=0, line b, variable e):
+            // lines of one pencil are consecutive in canonical x.
+            let line_base = |b: usize, e: usize| -> usize {
+                let (t1, t2) = if batch_t1 {
+                    (bq + b0 + b, oc)
+                } else {
+                    (oc, bq + b0 + b)
+                };
+                let (i, j, k) = sweep_to_canonical(axis, 0, t1, t2);
+                i + n1 * (j + n2 * (k + n3 * e))
+            };
+
+            // --- stage 1: gather (skipped for x: canonical lines are
+            //     already unit-stride in `prim`) ---
+            if axis != 0 {
+                let t0 = Instant::now();
+                let sweep_stride = if axis == 1 { n1 } else { n1 * n2 };
+                for e in 0..neq {
+                    let base = line_base(0, e) + s_lo * sweep_stride;
+                    for s in 0..rext {
+                        let src = base + s * sweep_stride;
+                        let dst = e * rext + s;
+                        for (b, vb) in v[dst..].iter_mut().step_by(neq * rext).take(bw).enumerate()
+                        {
+                            *vb = psl[src + b];
+                        }
+                    }
+                }
+                tg += t0.elapsed();
+            }
+
+            // --- stage 2: WENO reconstruction per line per variable ---
+            {
+                let t0 = Instant::now();
+                for b in 0..bw {
+                    for e in 0..neq {
+                        let fo = (b * neq + e) * rnf;
+                        if axis == 0 {
+                            let base = line_base(b, e) + s_lo;
+                            reconstruct_line_padded(
+                                cfg.order,
+                                &psl[base..base + rext],
+                                pad,
+                                s_n,
+                                &mut left[fo..fo + rnf],
+                                &mut right[fo..fo + rnf],
+                            );
+                        } else {
+                            let lo = (b * neq + e) * rext;
+                            reconstruct_line_padded(
+                                cfg.order,
+                                &v[lo..lo + rext],
+                                pad,
+                                s_n,
+                                &mut left[fo..fo + rnf],
+                                &mut right[fo..fo + rnf],
+                            );
+                        }
+                    }
+                }
+                tw += t0.elapsed();
+            }
+
+            // --- stage 3: Riemann solve per face (same positivity
+            //     limiting and flux arithmetic as the staged kernel) ---
+            {
+                let t0 = Instant::now();
+                for b in 0..bw {
+                    // Cell value at window position `s` of line (b, e),
+                    // for the positivity-fallback means.
+                    let cell_val = |b: usize, e: usize, s: usize| -> f64 {
+                        if axis == 0 {
+                            psl[line_base(b, e) + s_lo + s]
+                        } else {
+                            v[(b * neq + e) * rext + s]
+                        }
+                    };
+                    for m in 0..rnf {
+                        for e in 0..neq {
+                            pl[e] = left[(b * neq + e) * rnf + m];
+                            pr[e] = right[(b * neq + e) * rnf + m];
+                        }
+                        let cl = pad - 1 + m;
+                        if !state_admissible(&eq, fluids, &pl[..neq]) {
+                            for (e, m) in mean.iter_mut().enumerate().take(neq) {
+                                *m = cell_val(b, e, cl);
+                            }
+                            limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pl[..neq]);
+                        }
+                        if !state_admissible(&eq, fluids, &pr[..neq]) {
+                            for (e, m) in mean.iter_mut().enumerate().take(neq) {
+                                *m = cell_val(b, e, cl + 1);
+                            }
+                            limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pr[..neq]);
+                        }
+                        let s = cfg.solver.flux(
+                            &eq,
+                            fluids,
+                            axis,
+                            &pl[..neq],
+                            &pr[..neq],
+                            &mut f[..neq],
+                        );
+                        for e in 0..neq {
+                            flux[(b * neq + e) * rnf + m] = f[e];
+                        }
+                        ustar[b * rnf + m] = s;
+                    }
+                }
+                tr += t0.elapsed();
+            }
+
+            // --- stage 4: flux divergence into the canonical RHS and
+            //     S* differences into div(u) ---
+            {
+                let t0 = Instant::now();
+                for b in 0..bw {
                     let (t1, t2) = if batch_t1 {
                         (bq + b0 + b, oc)
                     } else {
                         (oc, bq + b0 + b)
                     };
-                    let (i, j, k) = sweep_to_canonical(axis, 0, t1, t2);
-                    i + n1 * (j + n2 * (k + n3 * e))
-                };
-
-                // --- stage 1: gather (skipped for x: canonical lines are
-                //     already unit-stride in `prim`) ---
-                if axis != 0 {
-                    let t0 = Instant::now();
-                    let sweep_stride = if axis == 1 { n1 } else { n1 * n2 };
-                    for e in 0..neq {
-                        let base = line_base(0, e);
-                        for s in 0..ext {
-                            let src = base + s * sweep_stride;
-                            let dst = e * ext + s;
-                            for (b, vb) in
-                                v[dst..].iter_mut().step_by(neq * ext).take(bw).enumerate()
-                            {
-                                *vb = psl[src + b];
-                            }
-                        }
-                    }
-                    tg += t0.elapsed();
-                }
-
-                // --- stage 2: WENO reconstruction per line per variable ---
-                {
-                    let t0 = Instant::now();
-                    for b in 0..bw {
+                    let metric = radial.map(|r| r[t1]).unwrap_or(1.0);
+                    let ub = b * rnf;
+                    for s in 0..s_n {
+                        let sa = s_lo + s;
+                        let inv_dx = 1.0 / (w[pad + sa] * metric);
+                        let (i, j, k) = sweep_to_canonical(axis, pad + sa, t1, t2);
+                        let cell = i + n1 * (j + n2 * k);
                         for e in 0..neq {
-                            let fo = (b * neq + e) * nf;
-                            if axis == 0 {
-                                let base = line_base(b, e);
-                                reconstruct_line_padded(
-                                    cfg.order,
-                                    &psl[base..base + ext],
-                                    pad,
-                                    n,
-                                    &mut left[fo..fo + nf],
-                                    &mut right[fo..fo + nf],
-                                );
-                            } else {
-                                let lo = (b * neq + e) * ext;
-                                reconstruct_line_padded(
-                                    cfg.order,
-                                    &v[lo..lo + ext],
-                                    pad,
-                                    n,
-                                    &mut left[fo..fo + nf],
-                                    &mut right[fo..fo + nf],
-                                );
-                            }
+                            let fb = (b * neq + e) * rnf + s;
+                            rsl[cell + e * cell_stride] += (flux[fb] - flux[fb + 1]) * inv_dx;
                         }
+                        divu[cell] += (ustar[ub + s + 1] - ustar[ub + s]) * inv_dx;
                     }
-                    tw += t0.elapsed();
                 }
-
-                // --- stage 3: Riemann solve per face (same positivity
-                //     limiting and flux arithmetic as the staged kernel) ---
-                {
-                    let t0 = Instant::now();
-                    for b in 0..bw {
-                        // Cell value at sweep position `s` of line (b, e),
-                        // for the positivity-fallback means.
-                        let cell_val = |b: usize, e: usize, s: usize| -> f64 {
-                            if axis == 0 {
-                                psl[line_base(b, e) + s]
-                            } else {
-                                v[(b * neq + e) * ext + s]
-                            }
-                        };
-                        for m in 0..nf {
-                            for e in 0..neq {
-                                pl[e] = left[(b * neq + e) * nf + m];
-                                pr[e] = right[(b * neq + e) * nf + m];
-                            }
-                            let cl = pad - 1 + m;
-                            if !state_admissible(&eq, fluids, &pl[..neq]) {
-                                for (e, m) in mean.iter_mut().enumerate().take(neq) {
-                                    *m = cell_val(b, e, cl);
-                                }
-                                limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pl[..neq]);
-                            }
-                            if !state_admissible(&eq, fluids, &pr[..neq]) {
-                                for (e, m) in mean.iter_mut().enumerate().take(neq) {
-                                    *m = cell_val(b, e, cl + 1);
-                                }
-                                limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pr[..neq]);
-                            }
-                            let s = cfg.solver.flux(
-                                &eq,
-                                fluids,
-                                axis,
-                                &pl[..neq],
-                                &pr[..neq],
-                                &mut f[..neq],
-                            );
-                            for e in 0..neq {
-                                flux[(b * neq + e) * nf + m] = f[e];
-                            }
-                            ustar[b * nf + m] = s;
-                        }
-                    }
-                    tr += t0.elapsed();
-                }
-
-                // --- stage 4: flux divergence into the canonical RHS and
-                //     S* differences into div(u) ---
-                {
-                    let t0 = Instant::now();
-                    for b in 0..bw {
-                        let (t1, t2) = if batch_t1 {
-                            (bq + b0 + b, oc)
-                        } else {
-                            (oc, bq + b0 + b)
-                        };
-                        let metric = radial.map(|r| r[t1]).unwrap_or(1.0);
-                        let ub = b * nf;
-                        for s in 0..n {
-                            let inv_dx = 1.0 / (w[pad + s] * metric);
-                            let (i, j, k) = sweep_to_canonical(axis, pad + s, t1, t2);
-                            let cell = i + n1 * (j + n2 * k);
-                            for e in 0..neq {
-                                let fb = (b * neq + e) * nf + s;
-                                rsl[cell + e * cell_stride] += (flux[fb] - flux[fb + 1]) * inv_dx;
-                            }
-                            divu[cell] += (ustar[ub + s + 1] - ustar[ub + s]) * inv_dx;
-                        }
-                    }
-                    tu += t0.elapsed();
-                }
-
-                b0 += bw;
+                tu += t0.elapsed();
             }
-        }
 
-        // Per-axis ledger records: each stage under its own label with the
-        // staged-equivalent per-item cost, plus the Fused-class marker
-        // carrying the orchestration residual. The stage events tile the
-        // axis interval back-to-back so traced timelines stay monotone.
-        let wall = t_axis.elapsed();
-        if axis != 0 {
-            ctx.record_external_timed(
-                "f_sweep_gather",
-                KernelCost::new(KernelClass::Pack, 0.0, 8.0, 8.0),
-                (nlines * neq * ext) as u64,
-                t_axis,
-                tg,
-            );
+            b0 += bw;
         }
+    }
+
+    // Per-axis ledger records: each stage under its own label with the
+    // staged-equivalent per-item cost, plus the Fused-class marker
+    // carrying the orchestration residual. The stage events tile the
+    // axis interval back-to-back so traced timelines stay monotone.
+    let wall = t_axis.elapsed();
+    if axis != 0 {
         ctx.record_external_timed(
-            "f_weno_reconstruct",
-            KernelCost::new(
-                KernelClass::Weno,
-                cfg.order.flops_per_face(),
-                8.0 * (2 * gh + 1) as f64,
-                2.0 * 8.0,
-            ),
-            (nlines * neq * nf) as u64,
-            t_axis + tg,
-            tw,
-        );
-        ctx.record_external_timed(
-            "f_riemann_solve",
-            KernelCost::new(
-                KernelClass::Riemann,
-                cfg.solver.flops_per_face(&eq),
-                2.0 * 8.0 * neq as f64,
-                8.0 * (neq + 1) as f64,
-            ),
-            (nlines * nf) as u64,
-            t_axis + tg + tw,
-            tr,
-        );
-        ctx.record_external_timed(
-            "f_flux_divergence",
-            KernelCost::new(
-                KernelClass::Update,
-                (2 * neq + 3) as f64,
-                8.0 * 2.0 * (neq + 1) as f64,
-                8.0 * (neq + 1) as f64,
-            ),
-            (nlines * n) as u64,
-            t_axis + tg + tw + tr,
-            tu,
-        );
-        let residual = wall
-            .checked_sub(tg + tw + tr + tu)
-            .unwrap_or(Duration::ZERO);
-        ctx.record_external_timed(
-            "s_fused_sweep",
-            KernelCost::new(KernelClass::Fused, 0.0, 8.0, 8.0),
-            nlines as u64,
-            t_axis + tg + tw + tr + tu,
-            residual,
+            "f_sweep_gather",
+            KernelCost::new(KernelClass::Pack, 0.0, 8.0, 8.0),
+            (nlines * neq * rext) as u64,
+            t_axis,
+            tg,
         );
     }
+    ctx.record_external_timed(
+        "f_weno_reconstruct",
+        KernelCost::new(
+            KernelClass::Weno,
+            cfg.order.flops_per_face(),
+            8.0 * (2 * gh + 1) as f64,
+            2.0 * 8.0,
+        ),
+        (nlines * neq * rnf) as u64,
+        t_axis + tg,
+        tw,
+    );
+    ctx.record_external_timed(
+        "f_riemann_solve",
+        KernelCost::new(
+            KernelClass::Riemann,
+            cfg.solver.flops_per_face(&eq),
+            2.0 * 8.0 * neq as f64,
+            8.0 * (neq + 1) as f64,
+        ),
+        (nlines * rnf) as u64,
+        t_axis + tg + tw,
+        tr,
+    );
+    ctx.record_external_timed(
+        "f_flux_divergence",
+        KernelCost::new(
+            KernelClass::Update,
+            (2 * neq + 3) as f64,
+            8.0 * 2.0 * (neq + 1) as f64,
+            8.0 * (neq + 1) as f64,
+        ),
+        (nlines * s_n) as u64,
+        t_axis + tg + tw + tr,
+        tu,
+    );
+    let residual = wall
+        .checked_sub(tg + tw + tr + tu)
+        .unwrap_or(Duration::ZERO);
+    ctx.record_external_timed(
+        "s_fused_sweep",
+        KernelCost::new(KernelClass::Fused, 0.0, 8.0, 8.0),
+        nlines as u64,
+        t_axis + tg + tw + tr + tu,
+        residual,
+    );
 }

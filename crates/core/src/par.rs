@@ -13,24 +13,31 @@
 //! receive; both land in the transfer ledger, and their modelled cost is
 //! Fig. 4's gap.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mfc_acc::{Context, Ledger, ResilienceEvent, ResilienceEventKind, TransferDirection};
-use mfc_mpsim::{best_block_dims, CartComm, Comm, CommFault, FaultCtx, Staging, World};
+use mfc_acc::{Context, Ledger, QueueSet, ResilienceEvent, ResilienceEventKind, TransferDirection};
+use mfc_mpsim::{
+    best_block_dims, validate_halo_extents, CartComm, Comm, CommFault, FaultCtx, Staging, World,
+};
 use mfc_trace::{Category, Tracer};
 use serde::{Deserialize, Serialize};
 
-use crate::bc::apply_bcs;
+use crate::bc::{apply_bcs, BcSpec};
 use crate::case::CaseBuilder;
 use crate::cfl;
 use crate::domain::Domain;
+use crate::fluid::Fluid;
 use crate::grid::{Grid, Grid1D};
 use crate::health::{scan_and_convert, HealthConfig, Violation};
 use crate::recovery::{RecoveryPolicy, RecoveryState};
-use crate::rhs::{compute_rhs, RhsWorkspace};
+use crate::rhs::{
+    compute_rhs, rhs_overlap_begin, rhs_overlap_finish, rhs_overlap_interior_axis, OverlapPlan,
+    RhsConfig, RhsWorkspace,
+};
 use crate::solver::{DtMode, SolverConfig};
 use crate::state::StateField;
 use crate::time::{rk_step, RkWorkspace};
@@ -44,6 +51,12 @@ pub enum ExchangeMode {
     /// Post all receives, then all sends, then complete (`MPI_Irecv` /
     /// `MPI_Isend` / `MPI_Waitall`) — the overlap-friendly variant.
     NonBlocking,
+    /// Per axis, post the nonblocking exchange and run the interior RHS
+    /// sweep on an async queue while the messages are in flight; after
+    /// the drain, finish the boundary shells. The OpenACC `async(queue)`
+    /// overlap of the paper's §III-B, bitwise identical to the other
+    /// modes (the same per-face arithmetic runs in the same order).
+    Overlapped,
 }
 
 /// An assembled ghost-free global field, x-fastest then y, z, equation.
@@ -131,6 +144,9 @@ pub fn run_distributed_traced(
         n_ranks,
         "rank count must factorize onto the grid"
     );
+    validate_halo_extents(dims, global_n, ng).map_err(|e| ResilienceError::Decomposition {
+        detail: e.to_string(),
+    })?;
     let periodic = [
         case.bc.axis_periodic(0),
         case.bc.axis_periodic(1),
@@ -188,6 +204,8 @@ pub fn run_distributed_traced(
             local_grid.z.widths_with_ghosts(dom.pad(2)),
         ];
 
+        let plan = OverlapPlan::new(&dom);
+
         let health = HealthConfig::default();
         for s in 0..steps {
             let _step_span = ctx.span("step", Category::Phase);
@@ -229,9 +247,17 @@ pub fn run_distributed_traced(
                 let ws_ref = &mut ws;
                 let ctx_ref = &ctx;
                 rk_step(cfg.scheme, dt, &mut q, &mut rk, |q, rhs| {
-                    exchange_halos(ctx_ref, comm_ref, &cart, q, staging, mode, stats_ref);
-                    apply_bcs(ctx_ref, q, bc, skip);
-                    compute_rhs(ctx_ref, &cfg.rhs, fluids, q, ws_ref, rhs);
+                    if mode == ExchangeMode::Overlapped {
+                        overlapped_halo_rhs(
+                            ctx_ref, comm_ref, &cart, q, staging, stats_ref, &cfg.rhs, fluids, bc,
+                            skip, &plan, ws_ref, rhs, false,
+                        )
+                        .expect("plain (non-policied) waits cannot fault");
+                    } else {
+                        exchange_halos(ctx_ref, comm_ref, &cart, q, staging, mode, stats_ref);
+                        apply_bcs(ctx_ref, q, bc, skip);
+                        compute_rhs(ctx_ref, &cfg.rhs, fluids, q, ws_ref, rhs);
+                    }
                 });
             }
             // Collective step acceptance: the watchdog's verdict travels
@@ -374,6 +400,11 @@ pub struct ResilienceOpts {
     /// phases, checkpoint waves, rollbacks, and every kernel launch and
     /// message (`mfc-run --trace`). `None` keeps the untraced fast path.
     pub trace: Option<Arc<Tracer>>,
+    /// Halo-exchange mode. [`ExchangeMode::Sendrecv`] and
+    /// [`ExchangeMode::NonBlocking`] both run the policied paired
+    /// exchange; [`ExchangeMode::Overlapped`] hides the exchange behind
+    /// the interior sweeps with policied waits at the drain.
+    pub exchange: ExchangeMode,
 }
 
 impl ResilienceOpts {
@@ -387,6 +418,7 @@ impl ResilienceOpts {
             recovery: None,
             health: HealthConfig::default(),
             trace: None,
+            exchange: ExchangeMode::Sendrecv,
         }
     }
 }
@@ -409,6 +441,11 @@ pub enum ResilienceError {
         detail: String,
         violation: Option<Violation>,
     },
+    /// The rank layout makes some block thinner than the halo depth along
+    /// a split axis ([`mfc_mpsim::DecompositionError`]): its send slab
+    /// would overlap the opposite ghost region. Rejected host-side before
+    /// any rank is spawned.
+    Decomposition { detail: String },
 }
 
 impl std::fmt::Display for ResilienceError {
@@ -421,6 +458,9 @@ impl std::fmt::Display for ResilienceError {
                 rank, step, detail, ..
             } => {
                 write!(f, "numerical abort at step {step} (rank {rank}): {detail}")
+            }
+            ResilienceError::Decomposition { detail } => {
+                write!(f, "invalid decomposition: {detail}")
             }
         }
     }
@@ -469,6 +509,9 @@ pub fn run_distributed_resilient(
         n_ranks,
         "rank count must factorize onto the grid"
     );
+    validate_halo_extents(dims, global_n, ng).map_err(|e| ResilienceError::Decomposition {
+        detail: e.to_string(),
+    })?;
     let periodic = [
         case.bc.axis_periodic(0),
         case.bc.axis_periodic(1),
@@ -527,6 +570,7 @@ pub fn run_distributed_resilient(
             local_grid.y.widths_with_ghosts(dom.pad(1)),
             local_grid.z.widths_with_ghosts(dom.pad(2)),
         ];
+        let plan = OverlapPlan::new(&dom);
 
         let note =
             |kind: ResilienceEventKind, step: u64, wave: u64, wall: Duration, detail: String| {
@@ -765,15 +809,27 @@ pub fn run_distributed_resilient(
                         let ws_ref = &mut ws;
                         let ctx_ref = &ctx;
                         let rhs_cfg = &eff.rhs;
+                        let exchange = opts.exchange;
                         rk_step(eff.scheme, dt, &mut q, &mut rk, |q, rhs| {
-                            if fault_ref.is_none() {
+                            if fault_ref.is_some() {
+                                return;
+                            }
+                            if exchange == ExchangeMode::Overlapped {
+                                // A drain fault abandons the stage mid-
+                                // evaluation; q/rhs are rolled back anyway.
+                                if let Err(f) = overlapped_halo_rhs(
+                                    ctx_ref, comm_ref, &cart, q, staging, stats_ref, rhs_cfg,
+                                    fluids, bc, skip, &plan, ws_ref, rhs, true,
+                                ) {
+                                    *fault_ref = Some(f);
+                                }
+                            } else {
                                 if let Err(f) = exchange_halos_policied(
                                     ctx_ref, comm_ref, &cart, q, staging, stats_ref,
                                 ) {
                                     *fault_ref = Some(f);
+                                    return;
                                 }
-                            }
-                            if fault_ref.is_none() {
                                 apply_bcs(ctx_ref, q, bc, skip);
                                 compute_rhs(ctx_ref, rhs_cfg, fluids, q, ws_ref, rhs);
                             }
@@ -1013,15 +1069,19 @@ pub fn run_distributed_with_output(
     n_ranks: usize,
     steps: usize,
     staging: Staging,
+    mode: ExchangeMode,
     dir: &std::path::Path,
     wave_size: usize,
     step_id: usize,
     tracer: Option<Arc<Tracer>>,
-) -> [usize; 3] {
+) -> Result<[usize; 3], ResilienceError> {
     let eq = case.eq();
     let ng = cfg.rhs.order.ghost_layers().max(1);
     let global_n = case.cells;
     let dims = best_block_dims(n_ranks, global_n);
+    validate_halo_extents(dims, global_n, ng).map_err(|e| ResilienceError::Decomposition {
+        detail: e.to_string(),
+    })?;
     let periodic = [
         case.bc.axis_periodic(0),
         case.bc.axis_periodic(1),
@@ -1075,6 +1135,7 @@ pub fn run_distributed_with_output(
             local_grid.y.widths_with_ghosts(dom.pad(1)),
             local_grid.z.widths_with_ghosts(dom.pad(2)),
         ];
+        let plan = OverlapPlan::new(&dom);
         for _ in 0..steps {
             let _step_span = ctx.span("step", Category::Phase);
             let dt = match cfg.dt {
@@ -1097,17 +1158,17 @@ pub fn run_distributed_with_output(
             let ws_ref = &mut ws;
             let ctx_ref = &ctx;
             rk_step(cfg.scheme, dt, &mut q, &mut rk, |q, rhs| {
-                exchange_halos(
-                    ctx_ref,
-                    comm_ref,
-                    &cart,
-                    q,
-                    staging,
-                    ExchangeMode::Sendrecv,
-                    stats_ref,
-                );
-                apply_bcs(ctx_ref, q, bc, skip);
-                compute_rhs(ctx_ref, &cfg.rhs, fluids, q, ws_ref, rhs);
+                if mode == ExchangeMode::Overlapped {
+                    overlapped_halo_rhs(
+                        ctx_ref, comm_ref, &cart, q, staging, stats_ref, &cfg.rhs, fluids, bc,
+                        skip, &plan, ws_ref, rhs, false,
+                    )
+                    .expect("plain (non-policied) waits cannot fault");
+                } else {
+                    exchange_halos(ctx_ref, comm_ref, &cart, q, staging, mode, stats_ref);
+                    apply_bcs(ctx_ref, q, bc, skip);
+                    compute_rhs(ctx_ref, &cfg.rhs, fluids, q, ws_ref, rhs);
+                }
             });
         }
         // §III-A output: bring the state back to the host (a ledger
@@ -1120,7 +1181,7 @@ pub fn run_distributed_with_output(
             .expect("wave write failed");
         ctx.flush_ledger_to_trace();
     });
-    dims
+    Ok(dims)
 }
 
 /// Serial reference producing the same [`GlobalField`] shape.
@@ -1145,6 +1206,118 @@ pub fn run_single(case: &CaseBuilder, cfg: SolverConfig, steps: usize) -> Global
         neq: eq.neq(),
         data,
     }
+}
+
+/// One overlapped halo exchange + RHS evaluation: the async-queue analog
+/// of the paper's OpenACC `async(queue)` overlap (§III-B).
+///
+/// Per axis (x → y → z, preserving the corner-fill chain: axis *k*'s pack
+/// reads axis *k−1*'s unpacked ghosts), this posts the nonblocking
+/// receives and sends (`halo_post`), drains the interior sweep for that
+/// axis from its [`QueueSet`] queue while the messages are in flight
+/// (`interior_rhs`), then completes the receives and unpacks
+/// (`halo_drain` — the *exposed* communication time). Once every axis has
+/// exchanged, physical BCs are applied and [`rhs_overlap_finish`] runs
+/// the boundary shells plus the grid-global closures (`shell_rhs`).
+///
+/// Bitwise identical to `exchange_halos` + `apply_bcs` + `compute_rhs`:
+/// the interior region is inset `dom.ng` cells from every exchanged face,
+/// so its stencils never read a ghost, and each cell accumulates its
+/// axis contributions in the same x, y, z order either way.
+///
+/// With `policied`, the drain waits go through the fault detector; a
+/// verdict abandons the exchange (after letting leftover interior queues
+/// run, so no queued work is dropped) and the caller rolls back.
+#[allow(clippy::too_many_arguments)]
+fn overlapped_halo_rhs(
+    ctx: &Context,
+    comm: &mut Comm,
+    cart: &CartComm,
+    q: &mut StateField,
+    staging: Staging,
+    stats: &mut CommStats,
+    rhs_cfg: &RhsConfig,
+    fluids: &[Fluid],
+    bc: &BcSpec,
+    skip: [(bool, bool); 3],
+    plan: &OverlapPlan,
+    ws: &mut RhsWorkspace,
+    rhs: &mut StateField,
+    policied: bool,
+) -> Result<(), CommFault> {
+    let dom = *q.domain();
+    rhs_overlap_begin(ctx, rhs_cfg, fluids, q, ws, rhs);
+
+    let mut fault: Option<CommFault> = None;
+    {
+        // Interior sweeps live on per-axis async queues; the closures
+        // share the workspace through a RefCell because each runs at its
+        // queue's wait point, never concurrently.
+        let work = RefCell::new((&mut *ws, &mut *rhs));
+        let mut qs = QueueSet::new(ctx);
+        if let Some(interior) = &plan.interior {
+            for axis in 0..dom.eq.ndim() {
+                let work = &work;
+                qs.enqueue(axis as u32, move |ctx| {
+                    let mut guard = work.borrow_mut();
+                    let (ws, rhs) = &mut *guard;
+                    rhs_overlap_interior_axis(ctx, rhs_cfg, fluids, ws, rhs, interior, axis);
+                });
+            }
+        }
+        'axes: for axis in 0..dom.eq.ndim() {
+            let mut pending = Vec::new();
+            {
+                let _post = ctx.span("halo_post", Category::Phase);
+                for &(send_dir, tag) in &[(1i32, 0u64), (-1i32, 1u64)] {
+                    if let Some(src) = cart.neighbor(axis, -send_dir) {
+                        let tag = (axis as u64) << 8 | tag;
+                        pending.push((send_dir, comm.irecv(src, tag)));
+                    }
+                }
+                for &(send_dir, tag) in &[(1i32, 0u64), (-1i32, 1u64)] {
+                    if let Some(dest) = cart.neighbor(axis, send_dir) {
+                        let tag = (axis as u64) << 8 | tag;
+                        let buf = pack_send_slab(ctx, q, axis, send_dir, staging, stats);
+                        comm.isend(dest, tag, buf);
+                    }
+                }
+            }
+            if plan.interior.is_some() {
+                // The compute hidden behind this axis's messages.
+                let _interior = ctx.span("interior_rhs", Category::Phase);
+                qs.wait(axis as u32);
+            }
+            // What remains after the hiding is the exposed comm time.
+            let _drain = ctx.span("halo_drain", Category::Phase);
+            for (send_dir, req) in pending {
+                let buf = if policied {
+                    match comm.wait_policied(req) {
+                        Ok(b) => b,
+                        Err(f) => {
+                            fault = Some(f);
+                            break 'axes;
+                        }
+                    }
+                } else {
+                    comm.wait(req)
+                };
+                unpack_recv_slab(ctx, q, axis, send_dir, staging, &buf);
+            }
+        }
+        // On a fault, later axes' interior queues are still populated;
+        // run them out (the state is rolled back anyway) rather than
+        // dropping enqueued work.
+        qs.wait_all();
+    }
+    if let Some(f) = fault {
+        return Err(f);
+    }
+
+    apply_bcs(ctx, q, bc, skip);
+    let _shell = ctx.span("shell_rhs", Category::Phase);
+    rhs_overlap_finish(ctx, rhs_cfg, fluids, q, ws, rhs, plan);
+    Ok(())
 }
 
 /// One full halo exchange: per axis, both directions, ship `ng` layers.
@@ -1202,6 +1375,9 @@ fn exchange_halos(
                     let buf = comm.wait(req);
                     unpack_recv_slab(ctx, q, axis, send_dir, staging, &buf);
                 }
+            }
+            ExchangeMode::Overlapped => {
+                unreachable!("overlapped exchange goes through overlapped_halo_rhs")
             }
         }
     }
@@ -1402,6 +1578,7 @@ mod tests {
             recovery: None,
             health: HealthConfig::default(),
             trace: None,
+            exchange: ExchangeMode::Sendrecv,
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 10, Staging::DeviceDirect, &opts).unwrap();
@@ -1446,6 +1623,7 @@ mod tests {
             recovery: None,
             health: HealthConfig::default(),
             trace: None,
+            exchange: ExchangeMode::Sendrecv,
         };
         let err = run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts)
             .expect_err("death without checkpoints cannot be recovered");
@@ -1495,6 +1673,7 @@ mod tests {
             recovery: None,
             health: HealthConfig::default(),
             trace: None,
+            exchange: ExchangeMode::Sendrecv,
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts).unwrap();
@@ -1502,6 +1681,128 @@ mod tests {
             field.max_abs_diff(&serial),
             0.0,
             "drops/delays are absorbed by retransmission, not physics"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overlapped_exchange_matches_serial_bitwise() {
+        use crate::rhs::RhsMode;
+        let case = presets::sod(64);
+        for mode in [RhsMode::Staged, RhsMode::Fused] {
+            let mut cfg = SolverConfig::default();
+            cfg.rhs.mode = mode;
+            let serial = run_single(&case, cfg, 10);
+            for ranks in [2usize, 4] {
+                let (dist, stats) = run_distributed_with_mode(
+                    &case,
+                    cfg,
+                    ranks,
+                    10,
+                    Staging::DeviceDirect,
+                    ExchangeMode::Overlapped,
+                )
+                .unwrap();
+                let diff = dist.max_abs_diff(&serial);
+                assert_eq!(diff, 0.0, "{mode:?} ranks={ranks}: max diff {diff:e}");
+                assert!(stats.messages > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_exchange_matches_serial_2d_periodic() {
+        let case = presets::two_phase_benchmark(2, [16, 16, 1]);
+        let cfg = SolverConfig::default();
+        let serial = run_single(&case, cfg, 4);
+        let (dist, _) = run_distributed_with_mode(
+            &case,
+            cfg,
+            4,
+            4,
+            Staging::DeviceDirect,
+            ExchangeMode::Overlapped,
+        )
+        .unwrap();
+        assert_eq!(dist.max_abs_diff(&serial), 0.0);
+    }
+
+    #[test]
+    fn thin_rank_decomposition_is_a_typed_error() {
+        // Regression (thin-rank halo bug): 8 ranks over 16 cells of sod
+        // gives 2-cell blocks under a 3-layer halo. This used to spawn
+        // ranks and die inside `Domain::new` ("rank panicked"); now it is
+        // rejected host-side with a typed error naming the axis.
+        let case = presets::sod(16);
+        let cfg = SolverConfig::default();
+        let err = run_distributed(&case, cfg, 8, 1, Staging::DeviceDirect)
+            .expect_err("2-cell-wide ranks cannot source a 3-layer halo");
+        match err {
+            ResilienceError::Decomposition { detail } => {
+                assert!(detail.contains("axis 0"), "detail: {detail}");
+            }
+            other => panic!("expected Decomposition error, got {other:?}"),
+        }
+        // The resilient and output drivers reject it too.
+        let dir = resil_dir("thin");
+        let opts = ResilienceOpts::fault_free(&dir, 0);
+        let err = run_distributed_resilient(&case, cfg, 8, 1, Staging::DeviceDirect, &opts)
+            .expect_err("resilient driver must also reject thin ranks");
+        assert!(matches!(err, ResilienceError::Decomposition { .. }));
+        let err = run_distributed_with_output(
+            &case,
+            cfg,
+            8,
+            1,
+            Staging::DeviceDirect,
+            ExchangeMode::Sendrecv,
+            &dir,
+            4,
+            0,
+            None,
+        )
+        .expect_err("output driver must also reject thin ranks");
+        assert!(matches!(err, ResilienceError::Decomposition { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_overlapped_rides_through_message_faults_bitwise() {
+        use mfc_mpsim::{DetectorConfig, FaultPlan, MsgFault};
+
+        let case = presets::sod(32);
+        let cfg = SolverConfig::default();
+        let serial = run_single(&case, cfg, 6);
+        let dir = resil_dir("omsg");
+        let plan = FaultPlan {
+            drops: vec![MsgFault {
+                src: 0,
+                dst: 1,
+                nth: 3,
+            }],
+            ..FaultPlan::none()
+        };
+        let faults = Arc::new(FaultCtx::new(plan, 2).with_detector(DetectorConfig {
+            slice_ms: 5,
+            retries: 8,
+            backoff: 1.5,
+        }));
+        let opts = ResilienceOpts {
+            checkpoint_every: 3,
+            ckpt_dir: dir.clone(),
+            faults: Some(faults),
+            events: None,
+            recovery: None,
+            health: HealthConfig::default(),
+            trace: None,
+            exchange: ExchangeMode::Overlapped,
+        };
+        let (field, _) =
+            run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts).unwrap();
+        assert_eq!(
+            field.max_abs_diff(&serial),
+            0.0,
+            "a dropped halo under overlap is detected at the drain and rolled back"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -37,7 +37,7 @@ use crate::grid::Grid;
 use crate::limiter::{limit_state, Limiter};
 use crate::riemann::RiemannSolver;
 use crate::state::StateField;
-use crate::weno::{reconstruct_sweep, WenoOrder};
+use crate::weno::{reconstruct_sweep, reconstruct_sweep_region, WenoOrder};
 
 /// How the y/z coalescing reshapes are executed (§III-D ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -228,6 +228,127 @@ fn sweep_extents(dom: &Domain, axis: usize) -> (usize, usize, usize) {
     }
 }
 
+/// An axis-aligned box of interior cells (0-based interior coordinates,
+/// half-open on every axis) — the unit of the overlapped-stepping
+/// interior/shell decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub lo: [usize; 3],
+    pub hi: [usize; 3],
+}
+
+impl Region {
+    /// The whole interior.
+    pub fn full(dom: &Domain) -> Self {
+        Region {
+            lo: [0; 3],
+            hi: dom.n,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        (0..3).any(|d| self.hi[d] <= self.lo[d])
+    }
+
+    pub fn cells(&self) -> usize {
+        (0..3)
+            .map(|d| self.hi[d].saturating_sub(self.lo[d]))
+            .product()
+    }
+
+    /// `(start, length)` along `axis`.
+    #[inline]
+    pub(crate) fn span(&self, axis: usize) -> (usize, usize) {
+        (self.lo[axis], self.hi[axis] - self.lo[axis])
+    }
+}
+
+/// A region's transverse extent in sweep coordinates for `axis`:
+/// `(t1_start, t1_len, t2_start, t2_len)`, padded — the same mapping the
+/// staged update stage uses for its interior bounds.
+#[inline]
+pub(crate) fn region_transverse(
+    dom: &Domain,
+    axis: usize,
+    r: &Region,
+) -> (usize, usize, usize, usize) {
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (1, 0),
+    };
+    (
+        dom.pad(a1) + r.lo[a1],
+        r.hi[a1] - r.lo[a1],
+        dom.pad(a2) + r.lo[a2],
+        r.hi[a2] - r.lo[a2],
+    )
+}
+
+/// Interior/shell split for overlapped stepping.
+///
+/// `interior` holds the cells whose reconstruction stencils never read a
+/// ghost layer — their RHS contribution can be computed while halo
+/// messages are still in flight. `shells` are disjoint boxes tiling the
+/// rest of the interior exactly; they run after the exchange completes.
+/// On a block too thin to have any stencil-safe core (`n[d] <= 2*ng` on
+/// some padded axis) `interior` is `None` and the single shell is the
+/// full block: the overlapped driver degenerates to exchange-then-compute.
+#[derive(Debug, Clone)]
+pub struct OverlapPlan {
+    pub interior: Option<Region>,
+    pub shells: Vec<Region>,
+}
+
+impl OverlapPlan {
+    pub fn new(dom: &Domain) -> Self {
+        // Inset by the *domain* ghost width on every padded axis (not the
+        // active stencil's, which the recovery ladder may narrow): the
+        // split must not depend on the ladder rung, or a mid-replay
+        // degrade would change summation grouping.
+        let mut lo = [0usize; 3];
+        let mut hi = dom.n;
+        for d in 0..3 {
+            if dom.pad(d) > 0 {
+                lo[d] = dom.ng.min(dom.n[d]);
+                hi[d] = dom.n[d].saturating_sub(dom.ng).max(lo[d]);
+            }
+        }
+        let interior = Region { lo, hi };
+        let full = Region::full(dom);
+        if interior.is_empty() {
+            return OverlapPlan {
+                interior: None,
+                shells: vec![full],
+            };
+        }
+        // Peel shells off the full box axis by axis — low slab, high slab,
+        // shrink — leaving disjoint boxes that cover everything outside
+        // the interior core.
+        let mut shells = Vec::new();
+        let mut core = full;
+        for d in 0..3 {
+            if interior.lo[d] > core.lo[d] {
+                let mut s = core;
+                s.hi[d] = interior.lo[d];
+                shells.push(s);
+                core.lo[d] = interior.lo[d];
+            }
+            if interior.hi[d] < core.hi[d] {
+                let mut s = core;
+                s.lo[d] = interior.hi[d];
+                shells.push(s);
+                core.hi[d] = interior.hi[d];
+            }
+        }
+        debug_assert_eq!(core, interior);
+        OverlapPlan {
+            interior: Some(interior),
+            shells,
+        }
+    }
+}
+
 /// Map sweep-layout coordinates `(s, t1, t2)` back to canonical `(i, j, k)`.
 #[inline(always)]
 pub(crate) fn sweep_to_canonical(
@@ -326,34 +447,7 @@ fn staged_sweeps(
         // 3. Direction-coalesced buffer: the x sweep reads the canonical
         //    primitive buffer directly (its lines are already unit-stride);
         //    y/z reshape into the transpose target.
-        match axis {
-            0 => {}
-            1 => {
-                let t0 = Instant::now();
-                match cfg.pack {
-                    PackStrategy::CollapsedLoops => {
-                        transpose_2134_naive(ws.prim.flat(), &mut ws.packed[1])
-                    }
-                    PackStrategy::Tiled | PackStrategy::Geam => {
-                        transpose_2134_geam(ws.prim.flat(), &mut ws.packed[1])
-                    }
-                }
-                record_pack(ctx, "s_reshape_sweep_y", ws.packed[1].dims().len(), t0);
-            }
-            _ => {
-                let t0 = Instant::now();
-                match cfg.pack {
-                    PackStrategy::CollapsedLoops => {
-                        transpose_3214_naive(ws.prim.flat(), &mut ws.packed[2])
-                    }
-                    PackStrategy::Tiled => transpose_3214_tiled(ws.prim.flat(), &mut ws.packed[2]),
-                    PackStrategy::Geam => {
-                        transpose_3214_geam(ws.prim.flat(), &mut ws.scratch, &mut ws.packed[2])
-                    }
-                }
-                record_pack(ctx, "s_reshape_sweep_z", ws.packed[2].dims().len(), t0);
-            }
-        }
+        staged_reshape(ctx, cfg, ws, axis);
 
         // 4. WENO reconstruction along the coalesced index.
         let n = dom.n[axis];
@@ -405,6 +499,223 @@ fn staged_sweeps(
             &mut ws.divu,
         );
     }
+}
+
+/// Reshape the canonical primitive buffer into the direction-coalesced
+/// sweep buffer for `axis` (no-op for x, whose lines are already
+/// unit-stride).
+fn staged_reshape(ctx: &Context, cfg: &RhsConfig, ws: &mut RhsWorkspace, axis: usize) {
+    match axis {
+        0 => {}
+        1 => {
+            let t0 = Instant::now();
+            match cfg.pack {
+                PackStrategy::CollapsedLoops => {
+                    transpose_2134_naive(ws.prim.flat(), &mut ws.packed[1])
+                }
+                PackStrategy::Tiled | PackStrategy::Geam => {
+                    transpose_2134_geam(ws.prim.flat(), &mut ws.packed[1])
+                }
+            }
+            record_pack(ctx, "s_reshape_sweep_y", ws.packed[1].dims().len(), t0);
+        }
+        _ => {
+            let t0 = Instant::now();
+            match cfg.pack {
+                PackStrategy::CollapsedLoops => {
+                    transpose_3214_naive(ws.prim.flat(), &mut ws.packed[2])
+                }
+                PackStrategy::Tiled => transpose_3214_tiled(ws.prim.flat(), &mut ws.packed[2]),
+                PackStrategy::Geam => {
+                    transpose_3214_geam(ws.prim.flat(), &mut ws.scratch, &mut ws.packed[2])
+                }
+            }
+            record_pack(ctx, "s_reshape_sweep_z", ws.packed[2].dims().len(), t0);
+        }
+    }
+}
+
+/// Phase 1 of an overlapped evaluation: convert to primitives over the
+/// full padded grid and zero the accumulators.
+///
+/// Ghost primitives are *stale* at this point (the halo exchange has only
+/// been posted), which is safe because the conversion is pointwise —
+/// interior primitive values depend only on interior conservative values,
+/// which no exchange or BC ever writes — and the interior regions the
+/// phase-1 sweeps consume never read a ghost cell. Phase 2
+/// ([`rhs_overlap_finish`]) re-runs the conversion once ghosts are valid.
+pub fn rhs_overlap_begin(
+    ctx: &Context,
+    cfg: &RhsConfig,
+    fluids: &[Fluid],
+    cons: &StateField,
+    ws: &mut RhsWorkspace,
+    rhs: &mut StateField,
+) {
+    let dom = ws.dom;
+    assert_eq!(cons.domain(), &dom);
+    assert_eq!(rhs.domain(), &dom);
+    assert!(
+        dom.ng >= cfg.order.ghost_layers().max(1),
+        "domain ghost width {} does not cover the reconstruction stencil ({})",
+        dom.ng,
+        cfg.order.ghost_layers().max(1)
+    );
+    crate::state::cons_to_prim_field(ctx, fluids, cons, &mut ws.prim);
+    rhs.fill(0.0);
+    ws.divu.fill(0.0);
+    if cfg.mode == RhsMode::Staged {
+        ws.ensure_staged();
+    }
+}
+
+/// Interior contribution of one directional sweep, restricted to the
+/// stencil-safe `region` — enqueued on the async queue of `axis` by the
+/// overlapped driver and run while that axis's halo messages are in
+/// flight. Identical per-face arithmetic to the full sweep.
+pub fn rhs_overlap_interior_axis(
+    ctx: &Context,
+    cfg: &RhsConfig,
+    fluids: &[Fluid],
+    ws: &mut RhsWorkspace,
+    rhs: &mut StateField,
+    region: &Region,
+    axis: usize,
+) {
+    match cfg.mode {
+        RhsMode::Staged => {
+            staged_reshape(ctx, cfg, ws, axis);
+            staged_region_sweep(ctx, cfg, fluids, ws, rhs, axis, region);
+        }
+        RhsMode::Fused => {
+            crate::fused::fused_sweep_axis_region(ctx, cfg, fluids, ws, rhs, axis, region)
+        }
+    }
+}
+
+/// Phase 2 of an overlapped evaluation, after the exchange drained and
+/// physical BCs were applied: refresh the primitive ghosts, sweep the
+/// boundary shells (axis-major, so every cell still accumulates its x, y,
+/// z contributions in that order), then the grid-global closures exactly
+/// as [`compute_rhs`] steps 7–9.
+pub fn rhs_overlap_finish(
+    ctx: &Context,
+    cfg: &RhsConfig,
+    fluids: &[Fluid],
+    cons: &StateField,
+    ws: &mut RhsWorkspace,
+    rhs: &mut StateField,
+    plan: &OverlapPlan,
+) {
+    let dom = ws.dom;
+    // Re-converting the full grid reproduces every interior primitive
+    // bitwise (pointwise map of unchanged conservative cells) and makes
+    // the ghost primitives valid for the shell stencils.
+    crate::state::cons_to_prim_field(ctx, fluids, cons, &mut ws.prim);
+
+    for axis in 0..dom.eq.ndim() {
+        match cfg.mode {
+            RhsMode::Staged => {
+                staged_reshape(ctx, cfg, ws, axis);
+                for r in &plan.shells {
+                    staged_region_sweep(ctx, cfg, fluids, ws, rhs, axis, r);
+                }
+            }
+            RhsMode::Fused => {
+                for r in &plan.shells {
+                    crate::fused::fused_sweep_axis_region(ctx, cfg, fluids, ws, rhs, axis, r);
+                }
+            }
+        }
+    }
+
+    alpha_source(ctx, &dom, &ws.prim, &ws.divu, rhs);
+    match cfg.geometry {
+        Geometry::Cartesian => {}
+        Geometry::Axisymmetric => {
+            crate::axisym::axisym_source(ctx, &dom, fluids, &ws.prim, &ws.radii, rhs);
+        }
+        Geometry::Cylindrical3D => {
+            crate::axisym::cylindrical_source(ctx, &dom, fluids, &ws.prim, &ws.radii, rhs);
+        }
+    }
+    if crate::viscous::is_viscous(fluids) {
+        crate::viscous::add_viscous_fluxes(ctx, &dom, fluids, &ws.prim, &ws.widths, rhs);
+    }
+}
+
+/// One region-restricted staged sweep along `axis`: WENO, Riemann, and
+/// update over exactly the faces and transverse lines the region's cells
+/// consume. The reshape is hoisted to the caller (one transpose per axis
+/// per phase, shared by all shell regions). Unlike the full staged sweep
+/// this computes no dead ghost-line work — which cannot change a consumed
+/// bit, since the update stage of a region only reads its own faces.
+fn staged_region_sweep(
+    ctx: &Context,
+    cfg: &RhsConfig,
+    fluids: &[Fluid],
+    ws: &mut RhsWorkspace,
+    rhs: &mut StateField,
+    axis: usize,
+    region: &Region,
+) {
+    if region.is_empty() {
+        return;
+    }
+    let dom = ws.dom;
+    let eq = dom.eq;
+    let n = dom.n[axis];
+    let (f_lo, s_n) = region.span(axis);
+    let (t1_lo, t1_n, t2_lo, t2_n) = region_transverse(&dom, axis, region);
+    let packed = if axis == 0 {
+        ws.prim.flat()
+    } else {
+        &ws.packed[axis]
+    };
+    reconstruct_sweep_region(
+        ctx,
+        cfg.order,
+        packed,
+        n,
+        f_lo,
+        s_n + 1,
+        t1_lo,
+        t1_n,
+        t2_lo,
+        t2_n,
+        &mut ws.left[axis],
+        &mut ws.right[axis],
+    );
+    riemann_sweep_region(
+        ctx,
+        cfg,
+        fluids,
+        &eq,
+        axis,
+        packed,
+        &ws.left[axis],
+        &ws.right[axis],
+        &mut ws.flux[axis],
+        &mut ws.ustar[axis],
+        (f_lo, s_n + 1, t1_lo, t1_n, t2_lo, t2_n),
+    );
+    let radial_metric = if axis == 2 && cfg.geometry == Geometry::Cylindrical3D {
+        Some(&ws.radii[..])
+    } else {
+        None
+    };
+    accumulate_divergence_region(
+        ctx,
+        &dom,
+        axis,
+        &ws.flux[axis],
+        &ws.ustar[axis],
+        &ws.widths[axis],
+        radial_metric,
+        rhs,
+        &mut ws.divu,
+        region,
+    );
 }
 
 /// Solve a Riemann problem on every face of the sweep, with a first-order
@@ -461,6 +772,89 @@ fn riemann_sweep(
         // Positivity enforcement: limit reconstructed states toward the
         // adjacent cell averages when inadmissible (first-order fallback
         // or Zhang-Shu scaling, per the configuration).
+        let cell_l = (pad - 1 + m) + ext1 * line;
+        let cell_r = cell_l + 1;
+        let mut mean = [0.0; MAX_EQ];
+        if !state_admissible(eq, fluids, &pl[..neq]) {
+            for e in 0..neq {
+                mean[e] = psl[cell_l + e * cell_stride];
+            }
+            limit_state(cfg.limiter, eq, fluids, &mean[..neq], &mut pl[..neq]);
+        }
+        if !state_admissible(eq, fluids, &pr[..neq]) {
+            for e in 0..neq {
+                mean[e] = psl[cell_r + e * cell_stride];
+            }
+            limit_state(cfg.limiter, eq, fluids, &mean[..neq], &mut pr[..neq]);
+        }
+        let s = cfg
+            .solver
+            .flux(eq, fluids, axis, &pl[..neq], &pr[..neq], &mut f[..neq]);
+        for e in 0..neq {
+            fsl[face + e * face_stride] = f[e];
+        }
+        usl[face] = s;
+    });
+}
+
+/// Region-restricted [`riemann_sweep`]: the same gather / positivity
+/// limit / flux arithmetic on the face window `(f_lo, f_count)` ×
+/// transverse lines `(t1_lo, t1_n) × (t2_lo, t2_n)` only, writing each
+/// face at its absolute index.
+#[allow(clippy::too_many_arguments)]
+fn riemann_sweep_region(
+    ctx: &Context,
+    cfg: &RhsConfig,
+    fluids: &[Fluid],
+    eq: &EqIdx,
+    axis: usize,
+    packed: &Flat4D,
+    left: &Flat4D,
+    right: &Flat4D,
+    flux: &mut Flat4D,
+    ustar: &mut Flat4D,
+    window: (usize, usize, usize, usize, usize, usize),
+) {
+    let (f_lo, f_count, t1_lo, t1_n, t2_lo, t2_n) = window;
+    let fd = left.dims();
+    let (nf1, t1, t2) = (fd.n1, fd.n2, fd.n3);
+    let neq = eq.neq();
+    let face_stride = nf1 * t1 * t2;
+    let cell_stride = packed.dims().n1 * t1 * t2;
+    let ext1 = packed.dims().n1;
+    let pad = (ext1 + 1 - nf1) / 2;
+    assert!(f_lo + f_count <= nf1 && t1_lo + t1_n <= t1 && t2_lo + t2_n <= t2);
+    if f_count == 0 || t1_n == 0 || t2_n == 0 {
+        return;
+    }
+
+    let cost = KernelCost::new(
+        KernelClass::Riemann,
+        cfg.solver.flops_per_face(eq),
+        2.0 * 8.0 * neq as f64,
+        8.0 * (neq + 1) as f64,
+    );
+    let cfgl = LaunchConfig::tuned("s_riemann_solve");
+    let lsl = left.as_slice();
+    let rsl = right.as_slice();
+    let psl = packed.as_slice();
+    let fsl = flux.as_mut_slice();
+    let usl = ustar.as_mut_slice();
+
+    let mut pl = [0.0; MAX_EQ];
+    let mut pr = [0.0; MAX_EQ];
+    let mut f = [0.0; MAX_EQ];
+    ctx.launch(&cfgl, cost, f_count * t1_n * t2_n, |item| {
+        let m = f_lo + item % f_count;
+        let lr = item / f_count;
+        let t1i = t1_lo + lr % t1_n;
+        let t2i = t2_lo + lr / t1_n;
+        let line = t1i + t1 * t2i;
+        let face = m + nf1 * line;
+        for e in 0..neq {
+            pl[e] = lsl[face + e * face_stride];
+            pr[e] = rsl[face + e * face_stride];
+        }
         let cell_l = (pad - 1 + m) + ext1 * line;
         let cell_r = cell_l + 1;
         let mut mean = [0.0; MAX_EQ];
@@ -556,6 +950,64 @@ fn accumulate_divergence(
     ctx.launch(&cfg, cost, cells, |item| {
         let s = item % n;
         let r = item / n;
+        let (a, b) = (r % n1i + p1, r / n1i + p2);
+        let metric = radial_metric.map(|r| r[a]).unwrap_or(1.0);
+        let inv_dx = 1.0 / (widths[ng + s] * metric);
+        let face_lo = s + nf1 * (a + t1 * b);
+        let face_hi = face_lo + 1;
+        let (i, j, k) = sweep_to_canonical(axis, ng + s, a, b);
+        for e in 0..neq {
+            let d = (fsl[face_lo + e * face_stride] - fsl[face_hi + e * face_stride]) * inv_dx;
+            let cur = rhs.get(i, j, k, e);
+            rhs.set(i, j, k, e, cur + d);
+        }
+        divu[d3.idx(i, j, k)] += (usl[face_hi] - usl[face_lo]) * inv_dx;
+    });
+}
+
+/// Region-restricted [`accumulate_divergence`]: identical per-cell
+/// arithmetic, iterating only the region's cells.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_divergence_region(
+    ctx: &Context,
+    dom: &Domain,
+    axis: usize,
+    flux: &Flat4D,
+    ustar: &Flat4D,
+    widths: &[f64],
+    radial_metric: Option<&[f64]>,
+    rhs: &mut StateField,
+    divu: &mut [f64],
+    region: &Region,
+) {
+    let eq = dom.eq;
+    let neq = eq.neq();
+    let fd = flux.dims();
+    let (nf1, t1, t2) = (fd.n1, fd.n2, fd.n3);
+    let face_stride = nf1 * t1 * t2;
+    let ng = dom.pad(axis);
+    let d3 = dom.dims3();
+
+    let (s_lo, s_n) = region.span(axis);
+    let (p1, n1i, p2, n2i) = region_transverse(dom, axis, region);
+    debug_assert!(s_lo + s_n < nf1);
+
+    let cost = KernelCost::new(
+        KernelClass::Update,
+        (2 * neq + 3) as f64,
+        8.0 * 2.0 * (neq + 1) as f64,
+        8.0 * (neq + 1) as f64,
+    );
+    let cfg = LaunchConfig::tuned("s_flux_divergence");
+    let fsl = flux.as_slice();
+    let usl = ustar.as_slice();
+    let cells = s_n * n1i * n2i;
+    if cells == 0 {
+        return;
+    }
+    ctx.launch(&cfg, cost, cells, |item| {
+        let s = s_lo + item % s_n;
+        let r = item / s_n;
         let (a, b) = (r % n1i + p1, r / n1i + p2);
         let metric = radial_metric.map(|r| r[a]).unwrap_or(1.0);
         let inv_dx = 1.0 / (widths[ng + s] * metric);

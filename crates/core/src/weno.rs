@@ -269,26 +269,105 @@ pub fn reconstruct_sweep(
         let line = item / (n + 1);
         let m = item % (n + 1);
         let v = &src[line * ext..(line + 1) * ext];
-        let c = pad - 1 + m;
-        let (lv, rv) = match order {
-            WenoOrder::First => (v[c], v[c + 1]),
-            WenoOrder::Weno3 => (
-                weno3_face(&[v[c - 1], v[c], v[c + 1]]),
-                weno3_face(&[v[c + 2], v[c + 1], v[c]]),
-            ),
-            WenoOrder::Weno5 => (
-                weno5_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
-                weno5_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
-            ),
-            WenoOrder::Weno5Z => (
-                weno5z_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
-                weno5z_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
-            ),
-            WenoOrder::Weno5M => (
-                weno5m_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
-                weno5m_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
-            ),
-        };
+        let (lv, rv) = face_pair(order, v, pad - 1 + m);
+        lout[line * nf1 + m] = lv;
+        rout[line * nf1 + m] = rv;
+    });
+}
+
+/// Left/right reconstructed values at face `m` of a padded line, with the
+/// center cell at `c = pad - 1 + m` — the single per-face arithmetic both
+/// the full and region-restricted sweeps share.
+#[inline(always)]
+fn face_pair(order: WenoOrder, v: &[f64], c: usize) -> (f64, f64) {
+    match order {
+        WenoOrder::First => (v[c], v[c + 1]),
+        WenoOrder::Weno3 => (
+            weno3_face(&[v[c - 1], v[c], v[c + 1]]),
+            weno3_face(&[v[c + 2], v[c + 1], v[c]]),
+        ),
+        WenoOrder::Weno5 => (
+            weno5_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
+            weno5_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
+        ),
+        WenoOrder::Weno5Z => (
+            weno5z_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
+            weno5z_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
+        ),
+        WenoOrder::Weno5M => (
+            weno5m_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
+            weno5m_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
+        ),
+    }
+}
+
+/// Region-restricted [`reconstruct_sweep`]: reconstruct only faces
+/// `f_lo..f_lo + f_count` along the sweep axis, on the transverse line
+/// window `t1_lo..t1_lo + t1_n` × `t2_lo..t2_lo + t2_n` (padded sweep
+/// coordinates), for every variable. Face values land at their absolute
+/// indices in `left`/`right` through the identical per-face arithmetic,
+/// so the restricted faces are bitwise identical to a full sweep — the
+/// overlapped stepping mode builds its interior and shell passes from
+/// this.
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct_sweep_region(
+    ctx: &Context,
+    order: WenoOrder,
+    packed: &Flat4D,
+    n: usize,
+    f_lo: usize,
+    f_count: usize,
+    t1_lo: usize,
+    t1_n: usize,
+    t2_lo: usize,
+    t2_n: usize,
+    left: &mut Flat4D,
+    right: &mut Flat4D,
+) {
+    let ng = order.ghost_layers();
+    let pd = packed.dims();
+    assert!(
+        pd.n1 > n && (pd.n1 - n).is_multiple_of(2),
+        "packed extent {} incompatible with {n} interior cells",
+        pd.n1
+    );
+    let pad = (pd.n1 - n) / 2;
+    assert!(
+        pad >= ng,
+        "packed pad {pad} narrower than the {ng}-layer stencil"
+    );
+    assert!(f_lo + f_count <= n + 1, "face window outside the sweep");
+    assert!(t1_lo + t1_n <= pd.n2 && t2_lo + t2_n <= pd.n3);
+    let fd = left.dims();
+    assert_eq!((fd.n1, fd.n2, fd.n3, fd.n4), (n + 1, pd.n2, pd.n3, pd.n4));
+    assert_eq!(right.dims(), left.dims());
+    if f_count == 0 || t1_n == 0 || t2_n == 0 {
+        return;
+    }
+
+    let cost = KernelCost::new(
+        KernelClass::Weno,
+        order.flops_per_face(),
+        8.0 * (2 * ng + 1) as f64,
+        2.0 * 8.0,
+    );
+    let cfg = LaunchConfig::tuned("s_weno_reconstruct");
+    let src = packed.as_slice();
+    let lout = left.as_mut_slice();
+    let rout = right.as_mut_slice();
+    let ext = pd.n1;
+    let nf1 = fd.n1;
+    let rlines = t1_n * t2_n * pd.n4;
+    ctx.launch(&cfg, cost, rlines * f_count, |item| {
+        let m = f_lo + item % f_count;
+        let lr = item / f_count;
+        let t1i = t1_lo + lr % t1_n;
+        let rest = lr / t1_n;
+        let t2i = t2_lo + rest % t2_n;
+        let e = rest / t2_n;
+        let line = t1i + pd.n2 * (t2i + pd.n3 * e);
+        let v = &src[line * ext..(line + 1) * ext];
+        let (lv, rv) = face_pair(order, v, pad - 1 + m);
         lout[line * nf1 + m] = lv;
         rout[line * nf1 + m] = rv;
     });

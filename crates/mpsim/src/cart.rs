@@ -57,6 +57,67 @@ pub fn best_block_dims(n: usize, extents: [usize; 3]) -> [usize; 3] {
     best
 }
 
+/// A decomposition whose thinnest rank cannot source a full halo slab.
+///
+/// `pack_send_slab` ships the `ng` interior layers adjacent to each split
+/// face. On a rank whose local extent along that axis is below `ng`, those
+/// layers would overlap the *opposite* ghost region, silently sending
+/// stale ghost data as if it were interior. Such decompositions are a
+/// configuration error, rejected before any rank is spawned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompositionError {
+    /// Axis whose blocks are too thin.
+    pub axis: usize,
+    /// Rank count along that axis.
+    pub ranks: usize,
+    /// Global cell count along that axis.
+    pub global: usize,
+    /// Thinnest per-rank extent along that axis (`global / ranks`).
+    pub thinnest: usize,
+    /// Required halo depth.
+    pub ng: usize,
+}
+
+impl std::fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "decomposition splits axis {} ({} cells over {} ranks) into blocks as thin as \
+             {} cells, below the {}-layer halo depth; a send slab would overlap the \
+             opposite ghost region",
+            self.axis, self.global, self.ranks, self.thinnest, self.ng
+        )
+    }
+}
+
+impl std::error::Error for DecompositionError {}
+
+/// Validate that every rank of a `dims` decomposition of a `global` domain
+/// is at least `ng` cells wide along every *split* axis.
+///
+/// The thinnest block along an axis is `global / p` (the remainder goes to
+/// the low ranks), so the check is exact, not conservative. Unsplit axes
+/// (`p == 1`) never exchange halos and are not constrained.
+pub fn validate_halo_extents(
+    dims: [usize; 3],
+    global: [usize; 3],
+    ng: usize,
+) -> Result<(), DecompositionError> {
+    for axis in 0..3 {
+        let p = dims[axis];
+        if p > 1 && global[axis] / p < ng {
+            return Err(DecompositionError {
+                axis,
+                ranks: p,
+                global: global[axis],
+                thinnest: global[axis] / p,
+                ng,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// A cartesian topology over `size = p1*p2*p3` ranks.
 ///
 /// Rank ordering is x-fastest: `rank = c1 + p1*(c2 + p2*c3)`.
@@ -198,6 +259,25 @@ mod tests {
             }
         }
         assert!(covered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn thin_rank_decompositions_are_rejected() {
+        // Regression (thin-rank halo bug): a 2-cell-wide rank under a
+        // 3-layer halo would pack ghost cells into its send slab.
+        let err = validate_halo_extents([4, 1, 1], [8, 8, 1], 3).unwrap_err();
+        assert_eq!(err.axis, 0);
+        assert_eq!(err.thinnest, 2);
+        assert_eq!(err.ng, 3);
+        // 1-cell-wide ranks fail too.
+        assert!(validate_halo_extents([1, 8, 1], [16, 8, 1], 2).is_err());
+        // Exactly ng cells per rank is fine, as are unsplit thin axes.
+        assert!(validate_halo_extents([4, 1, 1], [12, 8, 1], 3).is_ok());
+        assert!(validate_halo_extents([1, 1, 1], [2, 1, 1], 3).is_ok());
+        // The remainder convention means global/p is the thinnest block:
+        // 13 cells over 4 ranks -> 4,3,3,3, rejected at ng=4 not ng=3.
+        assert!(validate_halo_extents([4, 1, 1], [13, 1, 1], 3).is_ok());
+        assert!(validate_halo_extents([4, 1, 1], [13, 1, 1], 4).is_err());
     }
 
     #[test]

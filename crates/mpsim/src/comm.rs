@@ -55,17 +55,24 @@ impl Mailbox {
     /// Deliver one message, applying its send-side fault (if any) and
     /// keeping every `(src, tag)` flow FIFO:
     ///
-    /// 1. held messages of the same flow are flushed ahead of the new one;
+    /// 1. if the new message is actually delivered, held messages of the
+    ///    same flow are flushed ahead of it — a *faulted* message must
+    ///    not rescue its held predecessors, or a dropped message would
+    ///    reach the receiver without the retry path ever running;
     /// 2. the new message is enqueued (or held, per its fault);
     /// 3. delay countdowns tick, releasing expired messages *after* the
-    ///    new one — which is what actually reorders flows.
+    ///    new one — which is what actually reorders flows — except that
+    ///    an expired message stays held while an earlier message of its
+    ///    own flow is still in limbo or delayed (non-overtaking).
     fn push(&self, msg: Message, fault: Option<SendFault>) {
         let mut q = self.q.lock().unwrap();
-        Self::flush_flow(&mut q, msg.src, msg.tag);
         match fault {
             Some(SendFault::Drop) => q.limbo.push(msg),
             Some(SendFault::Delay(hold)) => q.delayed.push((hold, msg)),
-            None => q.ready.push_back(msg),
+            None => {
+                Self::flush_flow(&mut q, msg.src, msg.tag);
+                q.ready.push_back(msg);
+            }
         }
         Self::tick_delays(&mut q);
         self.cv.notify_all();
@@ -96,17 +103,37 @@ impl Mailbox {
     }
 
     /// One delivery happened: tick every countdown, release expired holds.
+    ///
+    /// An expired message is NOT released while an earlier-sequence
+    /// message of the same `(src, tag)` flow is still held in limbo or
+    /// delayed — it stays parked (at hold 0) until `flush_flow` or
+    /// `promote_all` moves the whole flow in order.
     fn tick_delays(q: &mut MailboxQ) {
         for (hold, _) in q.delayed.iter_mut() {
             *hold = hold.saturating_sub(1);
         }
         let mut released: Vec<Message> = Vec::new();
-        let mut i = 0;
-        while i < q.delayed.len() {
-            if q.delayed[i].0 == 0 {
-                released.push(q.delayed.swap_remove(i).1);
-            } else {
-                i += 1;
+        loop {
+            let mut moved = false;
+            let mut i = 0;
+            while i < q.delayed.len() {
+                let (hold, m) = &q.delayed[i];
+                let blocked = *hold > 0
+                    || q.limbo
+                        .iter()
+                        .any(|h| h.src == m.src && h.tag == m.tag && h.seq < m.seq)
+                    || q.delayed.iter().enumerate().any(|(j, (_, h))| {
+                        j != i && h.src == m.src && h.tag == m.tag && h.seq < m.seq
+                    });
+                if blocked {
+                    i += 1;
+                } else {
+                    released.push(q.delayed.swap_remove(i).1);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
             }
         }
         released.sort_by_key(|m| m.seq);
@@ -851,6 +878,89 @@ mod tests {
             }
         });
         assert_eq!(got[1], 12.0, "flow order must survive the drop");
+    }
+
+    #[test]
+    fn two_dropped_same_tag_messages_need_retransmit_and_stay_fifo() {
+        // Regression: both messages of one (src, tag) flow are dropped.
+        // The second drop must NOT flush the first out of limbo (that
+        // would deliver a dropped message without the retry path ever
+        // running); both must come back through retransmission, in
+        // sequence order.
+        let plan = FaultPlan {
+            drops: vec![
+                MsgFault {
+                    src: 0,
+                    dst: 1,
+                    nth: 0,
+                },
+                MsgFault {
+                    src: 0,
+                    dst: 1,
+                    nth: 1,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let got = World::run_with_faults(2, faulty(plan, 2), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![1.0]);
+                c.send(1, 3, vec![2.0]);
+                0.0
+            } else {
+                let a = c.recv_policied(0, 3).expect("first retransmit");
+                let b = c.recv_policied(0, 3).expect("second retransmit");
+                assert!(
+                    c.retransmits() >= 2,
+                    "both drops must go through the retry path, saw {}",
+                    c.retransmits()
+                );
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(got[1], 12.0, "flow order must survive the double drop");
+    }
+
+    #[test]
+    fn delayed_successor_cannot_overtake_dropped_predecessor() {
+        // Regression: a dropped message followed by a delayed one in the
+        // same flow. The delay expiring must not release the successor
+        // ahead of the still-dropped predecessor, and the faulted
+        // successor must not silently flush the predecessor either.
+        let plan = FaultPlan {
+            drops: vec![MsgFault {
+                src: 0,
+                dst: 1,
+                nth: 0,
+            }],
+            delays: vec![MsgDelay {
+                src: 0,
+                dst: 1,
+                nth: 1,
+                hold: 1,
+            }],
+            ..FaultPlan::default()
+        };
+        let got = World::run_with_faults(2, faulty(plan, 2), |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![1.0]);
+                c.send(1, 3, vec![2.0]);
+                // Unrelated flow traffic ticks the delay countdown.
+                c.send(1, 9, vec![0.0]);
+                0.0
+            } else {
+                let a = c.recv_policied(0, 3).expect("dropped predecessor");
+                let b = c.recv_policied(0, 3).expect("delayed successor");
+                let _ = c.recv_policied(0, 9).unwrap();
+                assert!(
+                    c.retransmits() >= 1,
+                    "the drop must go through the retry path, saw {}",
+                    c.retransmits()
+                );
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(got[1], 12.0, "flow order must survive drop + delay");
     }
 
     #[test]

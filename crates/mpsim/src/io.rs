@@ -173,6 +173,18 @@ fn write_doubles(w: &mut impl Write, data: &[f64]) -> io::Result<()> {
 fn read_doubles(r: &mut impl Read) -> io::Result<Vec<f64>> {
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes)?;
+    if bytes.len() % 8 != 0 {
+        // A payload that is not a whole number of doubles is a truncated
+        // or corrupt wave file; decoding the prefix would silently lose
+        // the tail.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "wave file payload of {} bytes is not a multiple of 8",
+                bytes.len()
+            ),
+        ));
+    }
     Ok(bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -258,6 +270,29 @@ mod tests {
             SharedFileWriter.write(&mut c, &dir, 0, &[1.0]).unwrap();
         });
         assert!(SharedFileWriter::read_block(&dir, 0, 2, 1).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_wave_file_is_a_typed_error_not_a_panic_or_silent_drop() {
+        // Regression: a wave file whose byte length is not a multiple of
+        // 8 must surface as InvalidData — neither panic nor silently
+        // decode the prefix and drop the tail.
+        let dir = tmpdir("wavetrunc");
+        World::run(1, |c| {
+            WaveWriter::new(1).write(&c, &dir, 0, &[1.0, 2.0]).unwrap();
+        });
+        let path = WaveWriter::rank_path(&dir, 0, 0);
+        let full = std::fs::read(&path).unwrap();
+        assert_eq!(full.len(), 16);
+        std::fs::write(&path, &full[..11]).unwrap();
+
+        let err = WaveWriter::read(&dir, 0, 0).expect_err("truncated payload must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("multiple of 8"),
+            "unexpected error: {err}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

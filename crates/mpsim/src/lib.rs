@@ -31,7 +31,7 @@ pub mod costmodel;
 pub mod fault;
 pub mod io;
 
-pub use cart::{best_block_dims, CartComm};
+pub use cart::{best_block_dims, validate_halo_extents, CartComm, DecompositionError};
 pub use comm::{Comm, RecvRequest, World};
 pub use costmodel::{CommParams, Staging};
 pub use fault::{

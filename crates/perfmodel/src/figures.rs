@@ -143,6 +143,116 @@ pub fn fig4_gpu_aware() -> Vec<ScalingRow> {
     rows
 }
 
+/// Overlap analogs of Figs. 2–4: the same machines and series, each run
+/// twice — with the halo exchange exposed (as the paper measured) and
+/// hidden behind the interior sweeps (`t = max(t_comm, t_interior) +
+/// t_shell`). The gap between paired series is the hidden comm time.
+pub fn fig2_weak_scaling_overlap() -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for (machine, model, series, counts) in [
+        (
+            "Summit",
+            MachineModel::summit(),
+            "8M cells/GPU",
+            vec![128usize, 256, 512, 1024, 2048, 4096, 13824],
+        ),
+        (
+            "Frontier",
+            MachineModel::frontier(Staging::HostStaged),
+            "8M cells/GCD",
+            vec![128, 512, 2048, 8192, 32768, 65536],
+        ),
+    ] {
+        for (label, m) in [
+            (series.to_string(), ScalingModel::new(model)),
+            (
+                format!("{series} + overlap"),
+                ScalingModel::overlapped(model),
+            ),
+        ] {
+            for p in m.weak(8.0e6, &counts) {
+                rows.push(ScalingRow {
+                    machine: machine.into(),
+                    series: label.clone(),
+                    point: p,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 3 analog with overlap on/off (see [`fig2_weak_scaling_overlap`]).
+pub fn fig3_strong_scaling_overlap() -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    let base_p = 8;
+    let counts = [base_p, 2 * base_p, 4 * base_p, 8 * base_p, 16 * base_p];
+    for (machine, model, series, cells) in [
+        ("Summit", MachineModel::summit(), "8M cells/GPU base", 8.0e6),
+        (
+            "Frontier",
+            MachineModel::frontier(Staging::HostStaged),
+            "32M cells/GCD base",
+            32.0e6,
+        ),
+        (
+            "Frontier",
+            MachineModel::frontier(Staging::HostStaged),
+            "16M cells/GCD base",
+            16.0e6,
+        ),
+    ] {
+        for (label, m) in [
+            (series.to_string(), ScalingModel::new(model)),
+            (
+                format!("{series} + overlap"),
+                ScalingModel::overlapped(model),
+            ),
+        ] {
+            for p in m.strong(cells * base_p as f64, &counts) {
+                rows.push(ScalingRow {
+                    machine: machine.into(),
+                    series: label.clone(),
+                    point: p,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 4 analog with overlap on/off: the overlap narrows the GPU-aware
+/// vs host-staged gap, since the staged copies hide behind compute too.
+pub fn fig4_gpu_aware_overlap() -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    let base_p = 8;
+    let counts = [base_p, 2 * base_p, 4 * base_p, 8 * base_p, 16 * base_p];
+    for (series, staging) in [
+        ("host-staged MPI", Staging::HostStaged),
+        ("GPU-aware MPI", Staging::DeviceDirect),
+    ] {
+        for (label, m) in [
+            (
+                series.to_string(),
+                ScalingModel::new(MachineModel::frontier(staging)),
+            ),
+            (
+                format!("{series} + overlap"),
+                ScalingModel::overlapped(MachineModel::frontier(staging)),
+            ),
+        ] {
+            for p in m.strong(32.0e6 * base_p as f64, &counts) {
+                rows.push(ScalingRow {
+                    machine: "Frontier".into(),
+                    series: label.clone(),
+                    point: p,
+                });
+            }
+        }
+    }
+    rows
+}
+
 pub fn render_scaling(title: &str, rows: &[ScalingRow]) -> String {
     let mut s = format!(
         "{title}\nmachine    series                devices  cells/dev  t/step(s)  norm.time  efficiency\n"
@@ -334,6 +444,53 @@ mod tests {
         let staged = last("host-staged MPI");
         assert!((aware - 0.92).abs() < 0.025, "aware = {aware}");
         assert!((staged - 0.81).abs() < 0.025, "staged = {staged}");
+    }
+
+    #[test]
+    fn overlap_figures_pair_every_series_and_never_slow_a_point() {
+        // Efficiency is a *ratio* to the base point, so hiding the exchange
+        // can shift it either way (the collective term weighs more once the
+        // rest shrinks); the invariant is on absolute step time.
+        for rows in [
+            fig2_weak_scaling_overlap(),
+            fig3_strong_scaling_overlap(),
+            fig4_gpu_aware_overlap(),
+        ] {
+            for r in rows.iter().filter(|r| !r.series.ends_with("+ overlap")) {
+                let paired = rows
+                    .iter()
+                    .find(|o| {
+                        o.machine == r.machine
+                            && o.series == format!("{} + overlap", r.series)
+                            && o.point.devices == r.point.devices
+                    })
+                    .unwrap_or_else(|| panic!("no overlap twin for {}", r.series));
+                assert!(
+                    paired.point.step_time_s <= r.point.step_time_s + 1e-15,
+                    "overlap slowed {} @ {} devices",
+                    r.series,
+                    r.point.devices
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_recovers_strong_scaling_at_the_thin_end() {
+        // At 16x strong scaling the per-device blocks are thin and the
+        // exchange is a visible fraction of the step; hiding it behind the
+        // interior sweeps must claw back measurable efficiency.
+        let rows = fig3_strong_scaling_overlap();
+        let last = |series: &str| {
+            rows.iter()
+                .rfind(|r| r.series == series)
+                .unwrap()
+                .point
+                .efficiency
+        };
+        let plain = last("32M cells/GCD base");
+        let over = last("32M cells/GCD base + overlap");
+        assert!(over > plain + 0.005, "plain = {plain}, overlapped = {over}");
     }
 
     #[test]

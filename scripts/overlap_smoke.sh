@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Overlapped-exchange smoke: the shipped Sod case run on 2 ranks through
+# the CLI with the halo exchange plain and then hidden behind the
+# interior RHS sweeps (`--overlap`), with all output artifacts compared
+# byte-for-byte — the paper's §III-B overlap must be bitwise invisible.
+# The overlapped run is also traced: the trace must stay schema-valid,
+# reconcile *exactly* with the analytic kernel ledger, and carry the
+# overlap phases (halo_post / interior_rhs / halo_drain / shell_rhs)
+# that split hidden from exposed communication.
+#
+# A thin-rank layout (more ranks than the halo depth allows along an
+# axis) must be rejected up front as a configuration error (exit 2) —
+# the satellite halo-extent bug this PR fixed silently corrupted such
+# runs instead.
+#
+# Run from the repo root: bash scripts/overlap_smoke.sh
+set -u
+
+cargo build -q -p mfc-cli -p mfc-trace || exit 1
+BIN=target/debug/mfc-run
+REPORT=target/debug/mfc-trace-report
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+expect() { # expect <exit-code> <description> <cmd...>
+    local want=$1 desc=$2
+    shift 2
+    "$@" >"$TMP/out.log" 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc - expected exit $want, got $got"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+# Derive short 2-rank variants of the shipped case, differing only in
+# the output directory (the CLI has no --output-dir override).
+mk_case() { # mk_case <out-json> <out-dir> <ranks>
+    python3 - "$1" "$2" "$3" <<'EOF'
+import json, sys
+out_json, out_dir, ranks = sys.argv[1], sys.argv[2], int(sys.argv[3])
+with open("cases/sod.json") as f:
+    c = json.load(f)
+c["run"]["steps"] = 12
+c["run"]["t_end"] = None
+c["run"]["ranks"] = ranks
+c["output"] = {"dir": out_dir, "vtk": True}
+with open(out_json, "w") as f:
+    json.dump(c, f)
+EOF
+}
+
+mk_case "$TMP/plain.json" "$TMP/out_plain" 2
+mk_case "$TMP/overlap.json" "$TMP/out_overlap" 2
+
+expect 0 "plain 2-rank run exits 0" \
+    "$BIN" "$TMP/plain.json"
+expect 0 "overlapped 2-rank run exits 0 (traced)" \
+    "$BIN" "$TMP/overlap.json" --overlap --trace "$TMP/trace.json"
+
+# Bitwise identity: every artifact the two runs produced must match.
+if diff -r "$TMP/out_plain" "$TMP/out_overlap" >"$TMP/diff.log" 2>&1; then
+    echo "ok: overlapped output is byte-identical to the plain exchange"
+else
+    echo "FAIL: overlapped and plain runs differ"
+    sed 's/^/  | /' "$TMP/diff.log"
+    fail=1
+fi
+
+# The overlapped trace still reconciles exactly with the kernel ledger.
+expect 0 "overlapped trace validates and reconciles" \
+    "$REPORT" "$TMP/trace.json" --validate --reconcile
+
+# The overlap phases are on the timeline, splitting hidden from exposed
+# communication.
+for phase in halo_post interior_rhs halo_drain shell_rhs; do
+    if grep -q "\"$phase\"" "$TMP/trace.json"; then
+        echo "ok: trace carries the $phase span"
+    else
+        echo "FAIL: trace lacks the $phase span"
+        fail=1
+    fi
+done
+
+# Thin-rank layouts are a typed configuration error, not silent
+# corruption: 100 ranks over 200 cells leaves 2-cell blocks, thinner
+# than the 3-layer halo. Exit 2, naming the decomposition, before any
+# rank is spawned.
+mk_case "$TMP/thin.json" "$TMP/out_thin" 100
+expect 2 "thin-rank decomposition is rejected as a config error" \
+    "$BIN" "$TMP/thin.json" --overlap
+if grep -q "decomposition" "$TMP/out.log"; then
+    echo "ok: error names the decomposition"
+else
+    echo "FAIL: error does not mention the decomposition"
+    sed 's/^/  | /' "$TMP/out.log"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "overlap smoke: FAILED"
+    exit 1
+fi
+echo "overlap smoke: all checks passed"

@@ -91,6 +91,109 @@ fn nonblocking_exchange_matches_sendrecv_bitwise() {
 }
 
 #[test]
+fn overlapped_exchange_matches_serial_on_all_shipped_cases() {
+    // The tentpole guarantee: hiding the halo exchange behind the
+    // interior sweeps is bitwise invisible on every shipped case file.
+    use mfc::core::par::{run_distributed_with_mode, ExchangeMode};
+    use mfc_cli::CaseFile;
+    let cases_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../cases");
+    let mut found = 0;
+    for entry in std::fs::read_dir(&cases_dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        found += 1;
+        let cf = CaseFile::from_path(&path).unwrap();
+        let case = cf.to_case().unwrap();
+        let cfg = cf.numerics.to_solver_config().unwrap();
+        let steps = 3;
+        let serial = run_single(&case, cfg, steps);
+        let (dist, _) = run_distributed_with_mode(
+            &case,
+            cfg,
+            2,
+            steps,
+            Staging::DeviceDirect,
+            ExchangeMode::Overlapped,
+        )
+        .unwrap();
+        assert_eq!(dist.max_abs_diff(&serial), 0.0, "{path:?}");
+    }
+    assert!(found >= 4, "expected the shipped case files, found {found}");
+}
+
+#[test]
+fn exchange_modes_agree_bitwise_under_active_faults_4ranks() {
+    // Satellite regression: with message faults in flight (delays that
+    // reorder delivery *and* drops that force policied retransmits), the
+    // sendrecv, nonblocking, and overlapped exchanges must all still
+    // produce the fault-free serial answer, bitwise, at 4 ranks.
+    use std::sync::Arc;
+
+    use mfc::core::par::{run_distributed_resilient, ExchangeMode, ResilienceOpts};
+    use mfc::mpsim::{DetectorConfig, FaultCtx, FaultPlan, MsgDelay, MsgFault};
+    use mfc_core::HealthConfig;
+    let case = presets::two_phase_benchmark(2, [20, 20, 1]);
+    let cfg = SolverConfig::default();
+    let steps = 6;
+    let serial = run_single(&case, cfg, steps);
+    let plan = FaultPlan {
+        delays: vec![
+            MsgDelay {
+                src: 0,
+                dst: 1,
+                nth: 2,
+                hold: 2,
+            },
+            MsgDelay {
+                src: 3,
+                dst: 2,
+                nth: 4,
+                hold: 1,
+            },
+        ],
+        drops: vec![MsgFault {
+            src: 1,
+            dst: 3,
+            nth: 3,
+        }],
+        ..FaultPlan::none()
+    };
+    for mode in [
+        ExchangeMode::Sendrecv,
+        ExchangeMode::NonBlocking,
+        ExchangeMode::Overlapped,
+    ] {
+        let dir =
+            std::env::temp_dir().join(format!("mfc_fault_modes_{}_{mode:?}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faults = Arc::new(
+            FaultCtx::new(plan.clone(), 4).with_detector(DetectorConfig {
+                slice_ms: 5,
+                retries: 8,
+                backoff: 1.5,
+            }),
+        );
+        let opts = ResilienceOpts {
+            checkpoint_every: 2,
+            ckpt_dir: dir.clone(),
+            faults: Some(faults),
+            events: None,
+            recovery: None,
+            health: HealthConfig::default(),
+            trace: None,
+            exchange: mode,
+        };
+        let (dist, _) =
+            run_distributed_resilient(&case, cfg, 4, steps, Staging::DeviceDirect, &opts)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        assert_eq!(dist.max_abs_diff(&serial), 0.0, "{mode:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn host_staging_changes_cost_not_physics() {
     let case = presets::two_phase_benchmark(2, [16, 16, 1]);
     let cfg = SolverConfig::default();

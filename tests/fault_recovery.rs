@@ -12,7 +12,8 @@ use std::sync::{Arc, OnceLock};
 use mfc_acc::{Ledger, ResilienceEventKind};
 use mfc_core::case::presets;
 use mfc_core::par::{
-    run_distributed_resilient, run_single, GlobalField, ResilienceError, ResilienceOpts,
+    run_distributed_resilient, run_single, ExchangeMode, GlobalField, ResilienceError,
+    ResilienceOpts,
 };
 use mfc_core::solver::SolverConfig;
 use mfc_mpsim::{DetectorConfig, FaultCtx, FaultPlan, MsgDelay, MsgFault, RankDeath, RankStall};
@@ -60,6 +61,7 @@ fn run_with_plan(
         recovery: None,
         health: mfc_core::HealthConfig::default(),
         trace: None,
+        exchange: ExchangeMode::Sendrecv,
     };
     let out = run_distributed_resilient(
         &presets::sod(32),

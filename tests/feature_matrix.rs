@@ -288,6 +288,69 @@ fn rhs_modes_identical_with_viscosity_and_mixed_bcs() {
 }
 
 #[test]
+fn overlapped_exchange_composes_with_orders_staging_and_viscosity() {
+    // The overlap axis composes with the rest of the feature matrix: both
+    // RHS engines, both WENO-5 flavors, both staging modes, and a viscous
+    // mixed-BC case must all agree bitwise with the serial answer when
+    // the exchange hides behind the interior sweeps.
+    use mfc::core::par::{run_distributed_with_mode, ExchangeMode};
+    let case = presets::two_phase_benchmark(2, [20, 20, 1]);
+    for mode in [RhsMode::Staged, RhsMode::Fused] {
+        for order in [WenoOrder::Weno5, WenoOrder::Weno5Z] {
+            for staging in [Staging::DeviceDirect, Staging::HostStaged] {
+                let cfg = SolverConfig {
+                    rhs: RhsConfig {
+                        order,
+                        mode,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let serial = run_single(&case, cfg, 3);
+                let (dist, _) =
+                    run_distributed_with_mode(&case, cfg, 4, 3, staging, ExchangeMode::Overlapped)
+                        .unwrap();
+                assert_eq!(
+                    dist.max_abs_diff(&serial),
+                    0.0,
+                    "{mode:?} {order:?} {staging:?}"
+                );
+            }
+        }
+    }
+    // Viscous + mixed physical BCs: shells see reflective/transmissive
+    // ghosts, the interior never does.
+    let viscous = CaseBuilder::new(vec![Fluid::air().with_viscosity(0.05)], 2, [20, 12, 1])
+        .bc(BcSpec {
+            lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Transmissive],
+            hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Transmissive],
+        })
+        .patch(
+            Region::All,
+            PatchState::single(1.2, [30.0, 0.0, 0.0], 1.0e5),
+        )
+        .patch(
+            Region::Sphere {
+                center: [0.5, 0.5, 0.0],
+                radius: 0.2,
+            },
+            PatchState::single(1.5, [30.0, 0.0, 0.0], 1.2e5),
+        );
+    let cfg = SolverConfig::default();
+    let serial = run_single(&viscous, cfg, 4);
+    let (dist, _) = run_distributed_with_mode(
+        &viscous,
+        cfg,
+        4,
+        4,
+        Staging::DeviceDirect,
+        ExchangeMode::Overlapped,
+    )
+    .unwrap();
+    assert_eq!(dist.max_abs_diff(&serial), 0.0, "viscous mixed-BC overlap");
+}
+
+#[test]
 fn restart_continues_bitwise() {
     use mfc::core::restart::{load_checkpoint, save_checkpoint};
     let case = presets::two_phase_benchmark(2, [16, 16, 1]);

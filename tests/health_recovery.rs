@@ -19,7 +19,9 @@ use std::sync::Arc;
 use mfc_acc::{Context, Ledger, ResilienceEventKind};
 use mfc_cli::{run_case, CaseFile, RunError};
 use mfc_core::case::{presets, CaseBuilder};
-use mfc_core::par::{run_distributed_resilient, run_single, GlobalField, ResilienceOpts};
+use mfc_core::par::{
+    run_distributed_resilient, run_single, ExchangeMode, GlobalField, ResilienceOpts,
+};
 use mfc_core::recovery::{RecoveryAction, RecoveryPolicy};
 use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::HealthConfig;
@@ -196,6 +198,7 @@ fn collective_ladder_matches_serial_ladder_bitwise() {
         recovery: Some(deep_ladder()),
         health: HealthConfig::default(),
         trace: None,
+        exchange: ExchangeMode::Sendrecv,
     };
     let (field, _) = run_distributed_resilient(
         &case,
@@ -281,6 +284,7 @@ fn corrupt_checkpoint_wave_is_skipped_during_rollback() {
         recovery: None,
         health: HealthConfig::default(),
         trace: None,
+        exchange: ExchangeMode::Sendrecv,
     };
     let (field, _) = run_distributed_resilient(
         &case,

@@ -125,6 +125,69 @@ fn tracer_attachment_is_bitwise_transparent() {
     assert!(!tracer.snapshot().is_empty());
 }
 
+#[test]
+fn overlapped_run_traces_hidden_and_exposed_comm() {
+    // The overlap phases appear as spans on every rank — halo_post
+    // (posting sends/receives), interior_rhs (the compute hiding the
+    // messages), halo_drain (the *exposed* remainder of the exchange),
+    // shell_rhs (the boundary finish) — the stream stays well-nested,
+    // and the kernel ledger still reconciles exactly.
+    let case = presets::sod(64);
+    let cfg = cfg_for(RhsMode::Fused);
+    let tracer = Arc::new(Tracer::new());
+    let (traced, _) = run_distributed_traced(
+        &case,
+        cfg,
+        2,
+        6,
+        Staging::DeviceDirect,
+        ExchangeMode::Overlapped,
+        Some(Arc::clone(&tracer)),
+    )
+    .unwrap();
+    let (plain, _) = run_distributed(&case, cfg, 2, 6, Staging::DeviceDirect).unwrap();
+    assert_eq!(traced.max_abs_diff(&plain), 0.0);
+
+    let traces = tracer.snapshot();
+    assert_eq!(traces.len(), 2);
+    let text = chrome::export_to_string(&traces);
+    let parsed = chrome::parse_str(&text).unwrap();
+    nesting::check_trace(&parsed).expect("overlap spans must stay well-nested");
+    reconcile_trace(&parsed).expect("overlap must not break ledger reconciliation");
+    for (rank, events) in &parsed.ranks {
+        for phase in ["halo_post", "interior_rhs", "halo_drain", "shell_rhs"] {
+            assert!(
+                events.iter().any(|e| e.name == phase),
+                "rank {rank} lacks the {phase} span"
+            );
+        }
+        // The hidden/exposed accounting is measurable from the trace:
+        // spans are B/E pairs, so the per-phase total is the sum of the
+        // E−B gaps; the hidden-comm window (interior_rhs) must have
+        // accumulated real time on every rank.
+        let total = |name: &str| -> f64 {
+            let mut sum = 0.0;
+            let mut open: Option<f64> = None;
+            for e in events.iter().filter(|e| e.name == name) {
+                match e.ph {
+                    'B' => open = Some(e.ts_us),
+                    'E' => {
+                        sum += e.ts_us - open.take().expect("E without B");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open.is_none(), "unclosed {name} span on rank {rank}");
+            sum
+        };
+        assert!(
+            total("interior_rhs") > 0.0,
+            "rank {rank}: no hidden-comm window"
+        );
+        let _ = total("halo_drain");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -138,7 +201,7 @@ proptest! {
         ny_2d in 6usize..12,
         rank_sel in 0usize..3,
         fused in proptest::bool::ANY,
-        nonblocking in proptest::bool::ANY,
+        exchange_sel in 0usize..3,
         steps in 1usize..4,
     ) {
         let ny = if two_d { ny_2d } else { 1 };
@@ -146,11 +209,11 @@ proptest! {
         let ndim = if ny == 1 { 1 } else { 2 };
         let case = presets::two_phase_benchmark(ndim, [nx, ny, 1]);
         let mode = if fused { RhsMode::Fused } else { RhsMode::Staged };
-        let exchange = if nonblocking {
-            ExchangeMode::NonBlocking
-        } else {
-            ExchangeMode::Sendrecv
-        };
+        let exchange = [
+            ExchangeMode::Sendrecv,
+            ExchangeMode::NonBlocking,
+            ExchangeMode::Overlapped,
+        ][exchange_sel];
         let tracer = Arc::new(Tracer::new());
         run_distributed_traced(
             &case,
