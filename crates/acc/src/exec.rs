@@ -12,7 +12,7 @@ use crate::ledger::Ledger;
 
 /// Below this many work items a parallel launch falls back to the serial
 /// loop: the fork/join overhead of scoped threads would dominate.
-const PAR_MIN_ITEMS: usize = 1024;
+pub const PAR_MIN_ITEMS: usize = 1024;
 
 /// An execution context: one "device" plus its profiling ledger.
 ///
@@ -78,13 +78,16 @@ impl Context {
 
     /// Attach a per-rank trace handle: every subsequent launch also emits
     /// a kernel event carrying the ledger's per-launch byte/FLOP products.
+    /// A `threads` counter is emitted immediately so `mfc-trace-report`
+    /// shows how many workers the context actually schedules onto.
     pub fn set_tracer(&mut self, handle: Arc<TraceHandle>) {
+        handle.counter("threads", self.workers as f64);
         self.tracer = Some(handle);
     }
 
     /// Builder form of [`Context::set_tracer`].
     pub fn with_tracer(mut self, handle: Arc<TraceHandle>) -> Self {
-        self.tracer = Some(handle);
+        self.set_tracer(handle);
         self
     }
 
@@ -140,8 +143,8 @@ impl Context {
     /// passed to the trace are exactly the terms `record_launch`
     /// accumulates, so per-label sums of the event stream reconcile with
     /// the ledger bitwise.
-    fn record(&self, cfg: &LaunchConfig, cost: KernelCost, items: u64, t0: Instant) {
-        self.record_external(cfg.label, cost, items, t0);
+    fn record(&self, cfg: &LaunchConfig, cost: KernelCost, items: u64, gangs: usize, t0: Instant) {
+        self.record_external_gangs(cfg.label, cost, items, gangs as u32, t0, t0.elapsed());
     }
 
     /// Record a launch whose body ran outside the launch entry points
@@ -165,11 +168,29 @@ impl Context {
         start: Instant,
         wall: Duration,
     ) {
+        self.record_external_gangs(label, cost, items, 1, start, wall);
+    }
+
+    /// Variant of [`Context::record_external_timed`] that annotates the
+    /// traced kernel event with the gang count the launch actually used.
+    /// The ledger row is unchanged — ONE row per launch regardless of how
+    /// many gangs ran it — so ledger/trace reconciliation survives
+    /// threaded execution untouched.
+    pub fn record_external_gangs(
+        &self,
+        label: &'static str,
+        cost: KernelCost,
+        items: u64,
+        gangs: u32,
+        start: Instant,
+        wall: Duration,
+    ) {
         self.ledger.record_launch(label, cost, items, wall);
         if let Some(t) = &self.tracer {
-            t.kernel(
+            t.kernel_gangs(
                 label,
                 items,
+                gangs,
                 cost.flops_per_item * items as f64,
                 cost.bytes_read_per_item * items as f64,
                 cost.bytes_written_per_item * items as f64,
@@ -179,8 +200,11 @@ impl Context {
         }
     }
 
-    /// Partition `0..n` into up to `workers` contiguous blocks.
-    fn blocks(&self, n: usize) -> Vec<(usize, usize)> {
+    /// Partition `0..n` into up to `workers` contiguous gang blocks (the
+    /// fixed gang→index mapping every parallel entry point uses): `n %
+    /// gangs` leading blocks carry one extra item, so the decomposition is
+    /// a pure function of `(n, workers)` — never of scheduling.
+    pub fn gang_blocks(&self, n: usize) -> Vec<(usize, usize)> {
         let threads = self.workers.min(n.max(1));
         let base = n / threads;
         let extra = n % threads;
@@ -211,7 +235,7 @@ impl Context {
         for i in 0..n {
             body(i);
         }
-        self.record(cfg, cost, n as u64, t0);
+        self.record(cfg, cost, n as u64, 1, t0);
     }
 
     /// Launch a side-effect kernel over `n` items, splitting the
@@ -227,10 +251,12 @@ impl Context {
         F: Fn(usize) + Sync,
     {
         let t0 = Instant::now();
-        if self.workers > 1 && n >= PAR_MIN_ITEMS {
+        let gangs = if self.workers > 1 && n >= PAR_MIN_ITEMS {
             let body = &body;
+            let blocks = self.gang_blocks(n);
+            let gangs = blocks.len();
             std::thread::scope(|s| {
-                for (lo, hi) in self.blocks(n) {
+                for (lo, hi) in blocks {
                     s.spawn(move || {
                         for i in lo..hi {
                             body(i);
@@ -238,12 +264,14 @@ impl Context {
                     });
                 }
             });
+            gangs
         } else {
             for i in 0..n {
                 body(i);
             }
-        }
-        self.record(cfg, cost, n as u64, t0);
+            1
+        };
+        self.record(cfg, cost, n as u64, gangs, t0);
     }
 
     /// Launch a kernel whose output decomposes into disjoint `chunk_len`
@@ -275,13 +303,15 @@ impl Context {
         );
         let n = out.len() / chunk_len;
         let t0 = Instant::now();
-        if self.workers > 1 && out.len() >= PAR_MIN_ITEMS && n > 1 {
+        let gangs = if self.workers > 1 && out.len() >= PAR_MIN_ITEMS && n > 1 {
             // One contiguous run of whole chunks per worker.
             let body = &body;
+            let blocks = self.gang_blocks(n);
+            let gangs = blocks.len();
             std::thread::scope(|s| {
                 let mut rest = out;
                 let mut first = 0;
-                for (lo, hi) in self.blocks(n) {
+                for (lo, hi) in blocks {
                     let (mine, tail) = rest.split_at_mut((hi - lo) * chunk_len);
                     rest = tail;
                     s.spawn(move || {
@@ -293,12 +323,14 @@ impl Context {
                 }
                 debug_assert_eq!(first, n);
             });
+            gangs
         } else {
             for (i, c) in out.chunks_exact_mut(chunk_len).enumerate() {
                 body(i, c);
             }
-        }
-        self.record(cfg, cost, n as u64, t0);
+            1
+        };
+        self.record(cfg, cost, n as u64, gangs, t0);
     }
 
     /// Launch a reduction kernel returning the maximum of the body over the
@@ -313,9 +345,9 @@ impl Context {
         F: Fn(usize) -> f64 + Sync,
     {
         let t0 = Instant::now();
-        let result = if self.workers > 1 && n >= PAR_MIN_ITEMS {
+        let (result, gangs) = if self.workers > 1 && n >= PAR_MIN_ITEMS {
             let body = &body;
-            let blocks = self.blocks(n);
+            let blocks = self.gang_blocks(n);
             let partials: Vec<AtomicU64> = blocks
                 .iter()
                 .map(|_| AtomicU64::new(f64::NEG_INFINITY.to_bits()))
@@ -329,15 +361,104 @@ impl Context {
                     });
                 }
             });
-            partials
+            let m = partials
                 .iter()
                 .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
-                .fold(f64::NEG_INFINITY, f64::max)
+                .fold(f64::NEG_INFINITY, f64::max);
+            (m, blocks.len())
         } else {
-            (0..n).map(&body).fold(f64::NEG_INFINITY, f64::max)
+            ((0..n).map(&body).fold(f64::NEG_INFINITY, f64::max), 1)
         };
-        self.record(cfg, cost, n as u64, t0);
+        self.record(cfg, cost, n as u64, gangs, t0);
         result
+    }
+
+    /// Split `0..n` into gang blocks and run `body(gang, lo..hi, state)`
+    /// on one scoped thread per gang, with per-gang mutable `state` (the
+    /// per-worker scratch blocks of the fused sweep) and per-gang return
+    /// values collected **in gang order**. Runs serially — same mapping,
+    /// one gang — when the context has one worker, `n < 2`, or
+    /// `work_items < PAR_MIN_ITEMS` (callers pass the true collapsed item
+    /// count, which may exceed `n` units by a large per-unit factor).
+    ///
+    /// Returns `(per-gang results, gang count)`. Because the gang→range
+    /// mapping is the fixed [`Context::gang_blocks`] partition and results
+    /// are folded by the caller in gang order, any reduction over the
+    /// returned vector is bitwise-independent of scheduling.
+    ///
+    /// `state` must hold at least `workers` elements; gang `g` gets
+    /// exclusive use of `state[g]`.
+    pub fn gang_scope_with<S, R, F>(
+        &self,
+        n: usize,
+        work_items: u64,
+        state: &mut [S],
+        body: F,
+    ) -> (Vec<R>, usize)
+    where
+        S: Send,
+        R: Send,
+        F: Fn(usize, std::ops::Range<usize>, &mut S) -> R + Sync,
+    {
+        if self.workers > 1 && n > 1 && work_items >= PAR_MIN_ITEMS as u64 {
+            let blocks = self.gang_blocks(n);
+            let gangs = blocks.len();
+            assert!(
+                state.len() >= gangs,
+                "gang_scope_with: {} state blocks for {} gangs",
+                state.len(),
+                gangs
+            );
+            let body = &body;
+            let mut results: Vec<Option<R>> = Vec::with_capacity(gangs);
+            results.resize_with(gangs, || None);
+            std::thread::scope(|s| {
+                for ((g, (lo, hi)), (st, slot)) in blocks
+                    .into_iter()
+                    .enumerate()
+                    .zip(state.iter_mut().zip(results.iter_mut()))
+                {
+                    s.spawn(move || {
+                        *slot = Some(body(g, lo..hi, st));
+                    });
+                }
+            });
+            (results.into_iter().map(|r| r.unwrap()).collect(), gangs)
+        } else {
+            assert!(!state.is_empty(), "gang_scope_with: empty state");
+            (vec![body(0, 0..n, &mut state[0])], 1)
+        }
+    }
+
+    /// Stateless form of [`Context::gang_scope_with`].
+    pub fn gang_scope<R, F>(&self, n: usize, work_items: u64, body: F) -> (Vec<R>, usize)
+    where
+        R: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+    {
+        let mut state = vec![(); self.workers.max(1)];
+        self.gang_scope_with(n, work_items, &mut state, |g, range, _| body(g, range))
+    }
+
+    /// Launch a gang-decomposed kernel over `n` units, recording ONE
+    /// ledger row (items = `n`) with the gang count annotated on the
+    /// traced event. Per-gang results come back in gang order for
+    /// deterministic folding by the caller.
+    pub fn launch_gangs<R, F>(
+        &self,
+        cfg: &LaunchConfig,
+        cost: KernelCost,
+        n: usize,
+        body: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+    {
+        let t0 = Instant::now();
+        let (results, gangs) = self.gang_scope(n, n as u64, body);
+        self.record(cfg, cost, n as u64, gangs, t0);
+        results
     }
 }
 
@@ -495,5 +616,136 @@ mod tests {
         let ctx = Context::serial();
         let m = ctx.launch_max(&LaunchConfig::tuned("m0"), cost(), 0, |_| 1.0);
         assert_eq!(m, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gang_blocks_cover_space_with_remainders() {
+        // n % threads != 0: leading blocks absorb the remainder, coverage
+        // is exact and contiguous, and the partition depends only on
+        // (n, workers).
+        for workers in 1..=9 {
+            let ctx = Context::with_workers(workers);
+            for n in [1usize, 2, 7, 8, 9, 100, 1023, 1024, 1025] {
+                let blocks = ctx.gang_blocks(n);
+                assert!(blocks.len() <= workers);
+                assert_eq!(blocks.len(), workers.min(n.max(1)));
+                let mut next = 0;
+                for &(lo, hi) in &blocks {
+                    assert_eq!(lo, next, "gap at n={n} workers={workers}");
+                    assert!(hi > lo || n == 0);
+                    next = hi;
+                }
+                assert_eq!(next, n, "coverage at n={n} workers={workers}");
+                // Balanced: block lengths differ by at most one item.
+                let lens: Vec<usize> = blocks.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "imbalance at n={n} workers={workers}");
+            }
+        }
+    }
+
+    /// Count distinct OS threads a launch body ran on.
+    fn distinct_threads(f: impl FnOnce(&(dyn Fn() + Sync))) -> usize {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        f(&|| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let ids = ids.into_inner().unwrap();
+        ids.len()
+    }
+
+    #[test]
+    fn par_min_items_boundary_switches_paths() {
+        let ctx = Context::with_workers(4);
+        // One item below the threshold: serial path, calling thread only.
+        let below = distinct_threads(|mark| {
+            ctx.launch_par(&LaunchConfig::tuned("b"), cost(), PAR_MIN_ITEMS - 1, |_| {
+                mark()
+            });
+        });
+        assert_eq!(below, 1, "below-threshold launch must stay serial");
+        // At the threshold: forked path, more than one worker observed.
+        let at = distinct_threads(|mark| {
+            ctx.launch_par(&LaunchConfig::tuned("a"), cost(), PAR_MIN_ITEMS, |_| mark());
+        });
+        assert!(at > 1, "threshold launch must fork (saw {at} threads)");
+        // A single-worker context never forks, whatever the size.
+        let serial = distinct_threads(|mark| {
+            Context::serial().launch_par(
+                &LaunchConfig::tuned("s"),
+                cost(),
+                4 * PAR_MIN_ITEMS,
+                |_| mark(),
+            );
+        });
+        assert_eq!(serial, 1, "serial context must not fork");
+    }
+
+    #[test]
+    fn gang_scope_results_come_back_in_gang_order() {
+        let ctx = Context::with_workers(4);
+        let n = 4 * PAR_MIN_ITEMS + 7;
+        let (results, gangs) = ctx.gang_scope(n, n as u64, |g, range| (g, range.start, range.end));
+        assert_eq!(gangs, 4);
+        assert_eq!(results.len(), 4);
+        let mut next = 0;
+        for (i, &(g, lo, hi)) in results.iter().enumerate() {
+            assert_eq!(g, i);
+            assert_eq!(lo, next);
+            next = hi;
+        }
+        assert_eq!(next, n);
+        // Small spaces collapse to one gang covering everything.
+        let (results, gangs) = ctx.gang_scope(5, 5, |g, range| (g, range.start, range.end));
+        assert_eq!(gangs, 1);
+        assert_eq!(results, vec![(0, 0, 5)]);
+    }
+
+    #[test]
+    fn gang_scope_with_gives_each_gang_its_own_state() {
+        let ctx = Context::with_workers(3);
+        let n = 3 * PAR_MIN_ITEMS;
+        let mut scratch = vec![0u64; ctx.workers()];
+        let (sums, gangs) = ctx.gang_scope_with(n, n as u64, &mut scratch, |_, range, st| {
+            for i in range {
+                *st += i as u64;
+            }
+            *st
+        });
+        assert_eq!(gangs, 3);
+        let total: u64 = sums.iter().sum();
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+        assert_eq!(scratch, sums);
+    }
+
+    #[test]
+    fn launch_gangs_records_one_ledger_row() {
+        let ctx = Context::with_workers(4);
+        let n = 2 * PAR_MIN_ITEMS;
+        let parts = ctx.launch_gangs(&LaunchConfig::tuned("g"), cost(), n, |_, range| range.len());
+        assert_eq!(parts.iter().sum::<usize>(), n);
+        let s = ctx.ledger().kernel("g").unwrap();
+        assert_eq!(s.launches, 1, "one row per launch, not per gang");
+        assert_eq!(s.items, n as u64);
+    }
+
+    #[test]
+    fn traced_parallel_launches_reconcile_and_annotate_gangs() {
+        let tracer = mfc_trace::Tracer::new();
+        let mut ctx = Context::with_workers(4);
+        ctx.set_tracer(tracer.handle(0));
+        let n = 4 * PAR_MIN_ITEMS;
+        ctx.launch_par(&LaunchConfig::tuned("pk"), cost(), n, |_| {});
+        ctx.launch_gangs(&LaunchConfig::tuned("gk"), cost(), n, |_, _| ());
+        ctx.flush_ledger_to_trace();
+        let json = mfc_trace::chrome::export_to_string(&tracer.snapshot());
+        let parsed = mfc_trace::chrome::parse_str(&json).unwrap();
+        assert!(mfc_trace::reconcile_trace(&parsed).is_ok());
+        // The kernel events carry the gang count and the threads counter
+        // reports the context width.
+        assert!(json.contains("\"gangs\":4"));
+        assert!(json.contains("\"threads\""));
     }
 }

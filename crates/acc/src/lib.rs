@@ -29,13 +29,15 @@ pub mod exec;
 pub mod ledger;
 pub mod queue;
 pub mod report;
+pub mod shared;
 
 pub use config::{LaunchConfig, Parallelism, PrivateMode};
 pub use cost::{KernelClass, KernelCost};
 pub use data::DeviceBuffer;
-pub use exec::Context;
+pub use exec::{Context, PAR_MIN_ITEMS};
 pub use ledger::{
     KernelStats, Ledger, ResilienceEvent, ResilienceEventKind, TransferDirection, TransferStats,
 };
 pub use queue::QueueSet;
 pub use report::{hot_kernel_share, kernel_summary, resilience_summary, transfer_summary};
+pub use shared::ParSlice;

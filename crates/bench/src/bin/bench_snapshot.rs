@@ -54,6 +54,13 @@ const MAX_GRIND_REGRESSION: f64 = 0.20;
 const MAX_TRACE_OVERHEAD: f64 = 0.02;
 /// Ranks for the overlapped-exchange ablation axis.
 const OVERLAP_RANKS: usize = 2;
+/// Worker count of the thread-scaling axis.
+const THREAD_WORKERS: usize = 4;
+/// Floor on the 4-worker fused speedup over 1 worker. Enforced only when
+/// the host actually has `THREAD_WORKERS` hardware threads (CI runners
+/// do); an oversubscribed box still measures and records the axis, since
+/// bitwise identity is what the tests gate there.
+const MIN_THREAD_SPEEDUP_W4: f64 = 2.0;
 /// Ceiling on the overlapped/sendrecv grind ratio. The rank simulator is
 /// single-threaded, so the overlapped path cannot *win* wall time here —
 /// this axis pins down its bookkeeping cost (queue plumbing, region
@@ -74,14 +81,15 @@ fn thread_cpu_ns() -> Option<u64> {
     s.split_whitespace().next()?.parse().ok()
 }
 
-fn solver_for(mode: RhsMode, tracer: Option<&Arc<Tracer>>) -> Solver {
+fn solver_for(mode: RhsMode, workers: usize, tracer: Option<&Arc<Tracer>>) -> Solver {
     let case = presets::two_phase_benchmark(3, [N, N, N]);
     let mut cfg = SolverConfig {
         dt: DtMode::Cfl(0.4),
+        workers,
         ..Default::default()
     };
     cfg.rhs.mode = mode;
-    let mut ctx = Context::serial();
+    let mut ctx = Context::with_workers(workers);
     if let Some(tr) = tracer {
         ctx.set_tracer(tr.handle(0));
     }
@@ -91,13 +99,13 @@ fn solver_for(mode: RhsMode, tracer: Option<&Arc<Tracer>>) -> Solver {
 /// Best-of-reps grind time in µs per cell per step (wall and thread-CPU
 /// clocks), plus the sweep bytes the ledger recorded for one measured run.
 /// The CPU figure is -1 where schedstat is unavailable.
-fn measure(mode: RhsMode) -> (f64, f64, f64) {
+fn measure(mode: RhsMode, workers: usize) -> (f64, f64, f64) {
     let cells = (N * N * N) as f64;
     let mut best = f64::INFINITY;
     let mut best_cpu = f64::INFINITY;
     let mut bytes = 0.0;
     for _ in 0..REPS {
-        let mut solver = solver_for(mode, None);
+        let mut solver = solver_for(mode, workers, None);
         solver.run_steps(WARMUP_STEPS).unwrap();
         let before = fusionmodel::measured_sweep_bytes(
             &solver.context().ledger().kernel_stats(),
@@ -143,9 +151,9 @@ fn timed_step(solver: &mut Solver) -> f64 {
 /// blocks) cannot. Returns (overhead fraction, traced µs/cell/step).
 fn measure_trace_overhead() -> (f64, f64) {
     let cells = (N * N * N) as f64;
-    let mut plain = solver_for(RhsMode::Fused, None);
+    let mut plain = solver_for(RhsMode::Fused, 1, None);
     let tracer = Arc::new(Tracer::new());
-    let mut traced = solver_for(RhsMode::Fused, Some(&tracer));
+    let mut traced = solver_for(RhsMode::Fused, 1, Some(&tracer));
     plain.run_steps(WARMUP_STEPS).unwrap();
     traced.run_steps(WARMUP_STEPS).unwrap();
     let steps = REPS * STEPS;
@@ -204,8 +212,10 @@ fn main() {
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_grind.json")
         });
 
-    let (staged_us, staged_cpu_us, staged_bytes) = measure(RhsMode::Staged);
-    let (fused_us, fused_cpu_us, fused_bytes) = measure(RhsMode::Fused);
+    let (staged_us, staged_cpu_us, staged_bytes) = measure(RhsMode::Staged, 1);
+    let (fused_us, fused_cpu_us, fused_bytes) = measure(RhsMode::Fused, 1);
+    let (fused_w4_us, _, _) = measure(RhsMode::Fused, THREAD_WORKERS);
+    let thread_speedup = fused_us / fused_w4_us;
     let (trace_overhead, traced_fused_us) = measure_trace_overhead();
     let (sendrecv_us, overlapped_us) = measure_overlap_ablation();
     let overlap_overhead = overlapped_us / sendrecv_us - 1.0;
@@ -237,6 +247,9 @@ fn main() {
         "sendrecv_us_per_cell_step": sendrecv_us,
         "overlapped_us_per_cell_step": overlapped_us,
         "overlap_overhead_frac": overlap_overhead,
+        "threads": THREAD_WORKERS,
+        "fused_w4_us_per_cell_step": fused_w4_us,
+        "thread_speedup_w4": thread_speedup,
     });
     println!("{}", serde_json::to_string_pretty(&snapshot).unwrap());
 
@@ -255,6 +268,26 @@ fn main() {
         failures.push(format!(
             "fused speedup {speedup:.3} < required {MIN_FUSED_SPEEDUP}"
         ));
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "thread scaling: fused {fused_us:.4} (1 worker) vs {fused_w4_us:.4} \
+         ({THREAD_WORKERS} workers) us/cell/step — {thread_speedup:.2}x"
+    );
+    if host_threads >= THREAD_WORKERS {
+        if thread_speedup < MIN_THREAD_SPEEDUP_W4 {
+            failures.push(format!(
+                "{THREAD_WORKERS}-worker fused speedup {thread_speedup:.2}x < required \
+                 {MIN_THREAD_SPEEDUP_W4}x"
+            ));
+        }
+    } else {
+        println!(
+            "  (host has {host_threads} hardware thread(s); the \
+             {MIN_THREAD_SPEEDUP_W4}x@{THREAD_WORKERS}-worker gate needs {THREAD_WORKERS} — skipped)"
+        );
     }
     let drift = (measured_ratio / modeled_ratio - 1.0).abs();
     if drift > MAX_MODEL_DRIFT {

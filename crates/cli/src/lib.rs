@@ -90,6 +90,10 @@ pub struct NumericsConfig {
     /// Bitwise identical to the default exchange. Settable from the
     /// command line as `--overlap`.
     pub overlap: bool,
+    /// Worker threads per rank for the gang-parallel kernels. Results are
+    /// bitwise identical at every count; default 1 keeps goldens and
+    /// serial baselines untouched. Settable as `--workers N`.
+    pub workers: usize,
 }
 
 impl Default for NumericsConfig {
@@ -104,6 +108,7 @@ impl Default for NumericsConfig {
             cfl: 0.5,
             dt: None,
             overlap: false,
+            workers: 1,
         }
     }
 }
@@ -142,6 +147,7 @@ impl NumericsConfig {
                 Some(dt) => DtMode::Fixed(dt),
                 None => DtMode::Cfl(self.cfl),
             },
+            workers: self.workers.max(1),
         })
     }
 }
@@ -509,7 +515,10 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
             / (cells as f64 * gf.neq as f64 * (steps as f64 * cfg.scheme.stages() as f64).max(1.0));
         (gf, steps as u64, f64::NAN, grind)
     } else {
-        let mut ctx = Context::new();
+        // Explicit worker plumbing: the context uses exactly the
+        // configured count (default 1) instead of silently grabbing the
+        // machine's available parallelism.
+        let mut ctx = Context::with_workers(cfg.workers);
         if let Some(tr) = &tracer {
             ctx.set_tracer(tr.handle(0));
         }

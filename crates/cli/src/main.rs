@@ -4,7 +4,7 @@ use mfc_cli::{run_case, CaseFile, RunError};
 use mfc_core::rhs::RhsMode;
 
 const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
-[--rhs-mode staged|fused] [--overlap] [--faults plan.json] \
+[--rhs-mode staged|fused] [--overlap] [--workers N] [--faults plan.json] \
 [--checkpoint-every N] [--recovery ladder.json] [--max-retries N] \
 [--trace out.json] [--io-wave N]";
 
@@ -22,6 +22,9 @@ flags:
                          the interior RHS sweeps on async queues (the
                          paper's OpenACC overlap; bitwise identical to the
                          default exchange). numerics.overlap case key
+  --workers N            worker threads per rank for the gang-parallel
+                         kernels (numerics.workers case key; default 1).
+                         Results are bitwise identical at every count
   --faults plan.json     fault-injection plan (mfc_mpsim::FaultPlan)
   --checkpoint-every N   checkpoint wave period in steps; any non-zero
                          value routes the run through the fault-tolerant
@@ -53,6 +56,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut validate_only = false;
     let mut overlap = false;
+    let mut workers: Option<usize> = None;
     let mut rhs_mode: Option<RhsMode> = None;
     let mut faults: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
@@ -71,6 +75,10 @@ fn main() {
             }
             "--validate" => validate_only = true,
             "--overlap" => overlap = true,
+            "--workers" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => workers = Some(n),
+                _ => die("--workers needs a positive thread count"),
+            },
             "--rhs-mode" => match it.next().map(String::as_str) {
                 Some("staged") => rhs_mode = Some(RhsMode::Staged),
                 Some("fused") => rhs_mode = Some(RhsMode::Fused),
@@ -133,6 +141,9 @@ fn main() {
     }
     if overlap {
         case.numerics.overlap = true;
+    }
+    if let Some(n) = workers {
+        case.numerics.workers = n;
     }
     if let Some(plan) = faults {
         case.run.faults = Some(plan.into());

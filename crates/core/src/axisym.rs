@@ -13,7 +13,7 @@
 //! The volume-fraction rows need no geometric source: their `1/r` terms
 //! cancel between the conservative flux and the `alpha div(u)` closure.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
 use serde::{Deserialize, Serialize};
 
 use crate::domain::Domain;
@@ -65,30 +65,30 @@ pub fn axisym_source(
     );
     let cfg = LaunchConfig::tuned("s_axisym_source");
     let (nx, ny) = (dom.n[0], dom.n[1]);
-    let mut p = [0.0; crate::domain::MAX_EQ];
-    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
+    let d3 = dom.dims3();
+    let block = d3.len();
+    let rsl = ParSlice::new(rhs.as_mut_slice());
+    ctx.launch_par(&cfg, cost, dom.interior_cells(), |item| {
         let i = item % nx + dom.pad(0);
         let j = (item / nx) % ny + dom.pad(1);
         let k = item / (nx * ny) + dom.pad(2);
         let r = radii[j];
         debug_assert!(r > 0.0, "non-positive radius {r} at j={j}");
+        let mut p = [0.0; crate::domain::MAX_EQ];
         prim.load_cell(i, j, k, &mut p[..neq]);
         let fs = face_state(&eq, fluids, &p[..neq], 1);
         let ur = p[eq.mom(1)];
         let factor = -ur / r;
+        let cell = d3.idx(i, j, k);
         for f in 0..eq.nf() {
             let e = eq.cont(f);
-            let cur = rhs.get(i, j, k, e);
-            rhs.set(i, j, k, e, cur + factor * p[e]);
+            rsl.add(cell + e * block, factor * p[e]);
         }
         for d in 0..eq.ndim() {
             let e = eq.mom(d);
-            let cur = rhs.get(i, j, k, e);
-            rhs.set(i, j, k, e, cur + factor * fs.rho * p[e]);
+            rsl.add(cell + e * block, factor * fs.rho * p[e]);
         }
-        let e = eq.energy();
-        let cur = rhs.get(i, j, k, e);
-        rhs.set(i, j, k, e, cur + factor * (fs.rho_e + fs.p));
+        rsl.add(cell + eq.energy() * block, factor * (fs.rho_e + fs.p));
     });
 }
 
@@ -123,30 +123,32 @@ pub fn cylindrical_source(
     );
     let cfg = LaunchConfig::tuned("s_cylindrical_source");
     let (nx, ny) = (dom.n[0], dom.n[1]);
-    let mut p = [0.0; crate::domain::MAX_EQ];
-    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
+    let d3 = dom.dims3();
+    let block = d3.len();
+    let rsl = ParSlice::new(rhs.as_mut_slice());
+    ctx.launch_par(&cfg, cost, dom.interior_cells(), |item| {
         let i = item % nx + dom.pad(0);
         let j = (item / nx) % ny + dom.pad(1);
         let k = item / (nx * ny) + dom.pad(2);
         let r = radii[j];
         debug_assert!(r > 0.0, "non-positive radius {r} at j={j}");
+        let mut p = [0.0; crate::domain::MAX_EQ];
         prim.load_cell(i, j, k, &mut p[..neq]);
         let fs = face_state(&eq, fluids, &p[..neq], 1);
         let (uz, ur, ut) = (p[eq.mom(0)], p[eq.mom(1)], p[eq.mom(2)]);
         let inv_r = 1.0 / r;
+        let cell = d3.idx(i, j, k);
         for f in 0..eq.nf() {
             let e = eq.cont(f);
-            let cur = rhs.get(i, j, k, e);
-            rhs.set(i, j, k, e, cur - p[e] * ur * inv_r);
+            rsl.add(cell + e * block, -p[e] * ur * inv_r);
         }
-        let add = |rhs: &mut StateField, e: usize, v: f64| {
-            let cur = rhs.get(i, j, k, e);
-            rhs.set(i, j, k, e, cur + v);
-        };
-        add(rhs, eq.mom(0), -fs.rho * uz * ur * inv_r);
-        add(rhs, eq.mom(1), fs.rho * (ut * ut - ur * ur) * inv_r);
-        add(rhs, eq.mom(2), -2.0 * fs.rho * ur * ut * inv_r);
-        add(rhs, eq.energy(), -(fs.rho_e + fs.p) * ur * inv_r);
+        rsl.add(cell + eq.mom(0) * block, -fs.rho * uz * ur * inv_r);
+        rsl.add(
+            cell + eq.mom(1) * block,
+            fs.rho * (ut * ut - ur * ur) * inv_r,
+        );
+        rsl.add(cell + eq.mom(2) * block, -2.0 * fs.rho * ur * ut * inv_r);
+        rsl.add(cell + eq.energy() * block, -(fs.rho_e + fs.p) * ur * inv_r);
     });
 }
 

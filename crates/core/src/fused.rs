@@ -42,7 +42,7 @@
 
 use std::time::{Duration, Instant};
 
-use mfc_acc::{Context, KernelClass, KernelCost};
+use mfc_acc::{Context, KernelClass, KernelCost, ParSlice};
 
 use crate::axisym::Geometry;
 use crate::domain::{Domain, MAX_EQ};
@@ -140,19 +140,20 @@ pub(crate) fn fused_sweep_axis_region(
     let dom = *dom;
     let eq = dom.eq;
     let neq = eq.neq();
-    let fs = fused.get_or_insert_with(|| FusedScratch::new(&dom));
-    let FusedScratch {
-        v,
-        left,
-        right,
-        flux,
-        ustar,
-    } = fs;
+    // One scratch block per worker gang: each gang's pencils stream
+    // through its own buffers, so the decomposition never changes a
+    // single value any pencil reads (scratch is fully rewritten before
+    // every read within a unit of work).
+    let workers = ctx.workers().max(1);
+    if fused.len() < workers {
+        fused.resize_with(workers, || FusedScratch::new(&dom));
+    }
     let d3 = dom.dims3();
     let (n1, n2, n3) = (d3.n1, d3.n2, d3.n3);
     let cell_stride = n1 * n2 * n3;
     let psl = prim.as_slice();
-    let rsl = rhs.as_mut_slice();
+    let rsl = ParSlice::new(rhs.as_mut_slice());
+    let dsl = ParSlice::new(divu);
     let gh = cfg.order.ghost_layers();
 
     let pad = dom.pad(axis);
@@ -182,182 +183,224 @@ pub(crate) fn fused_sweep_axis_region(
     };
     let nlines = n1i * n2i;
 
+    // Gang decomposition: the sweep's unit of work is one pencil — an
+    // (outer transverse coordinate, batch of PENCIL_B lines) pair. Units
+    // are flattened with the batch index fastest, so the serial unit
+    // order reproduces the original (outer, batch) loop nest exactly;
+    // distinct units update disjoint cells, so the per-index writes
+    // commute and any gang count produces bitwise-identical fields.
+    let nbatches = bcount.div_ceil(PENCIL_B);
+    let units = ocount * nbatches;
+
     let t_axis = Instant::now();
+    let (stage_times, gangs) = ctx.gang_scope_with(
+        units,
+        (nlines * s_n) as u64,
+        &mut fused[..],
+        |_gang, range, fs| {
+            let FusedScratch {
+                v,
+                left,
+                right,
+                flux,
+                ustar,
+            } = fs;
+            let mut times = [Duration::ZERO; 4];
+            let mut pl = [0.0; MAX_EQ];
+            let mut pr = [0.0; MAX_EQ];
+            let mut f = [0.0; MAX_EQ];
+            let mut mean = [0.0; MAX_EQ];
+
+            for unit in range {
+                let o = unit / nbatches;
+                let b0 = (unit % nbatches) * PENCIL_B;
+                let oc = oq + o;
+                let bw = PENCIL_B.min(bcount - b0);
+                // Canonical flat offset of cell (s=0, line b, variable e):
+                // lines of one pencil are consecutive in canonical x.
+                let line_base = |b: usize, e: usize| -> usize {
+                    let (t1, t2) = if batch_t1 {
+                        (bq + b0 + b, oc)
+                    } else {
+                        (oc, bq + b0 + b)
+                    };
+                    let (i, j, k) = sweep_to_canonical(axis, 0, t1, t2);
+                    i + n1 * (j + n2 * (k + n3 * e))
+                };
+
+                // --- stage 1: gather (skipped for x: canonical lines are
+                //     already unit-stride in `prim`) ---
+                if axis != 0 {
+                    let t0 = Instant::now();
+                    let sweep_stride = if axis == 1 { n1 } else { n1 * n2 };
+                    for e in 0..neq {
+                        let base = line_base(0, e) + s_lo * sweep_stride;
+                        for s in 0..rext {
+                            let src = base + s * sweep_stride;
+                            let dst = e * rext + s;
+                            for (b, vb) in
+                                v[dst..].iter_mut().step_by(neq * rext).take(bw).enumerate()
+                            {
+                                *vb = psl[src + b];
+                            }
+                        }
+                    }
+                    times[0] += t0.elapsed();
+                }
+
+                // --- stage 2: WENO reconstruction per line per variable ---
+                {
+                    let t0 = Instant::now();
+                    for b in 0..bw {
+                        for e in 0..neq {
+                            let fo = (b * neq + e) * rnf;
+                            if axis == 0 {
+                                let base = line_base(b, e) + s_lo;
+                                reconstruct_line_padded(
+                                    cfg.order,
+                                    &psl[base..base + rext],
+                                    pad,
+                                    s_n,
+                                    &mut left[fo..fo + rnf],
+                                    &mut right[fo..fo + rnf],
+                                );
+                            } else {
+                                let lo = (b * neq + e) * rext;
+                                reconstruct_line_padded(
+                                    cfg.order,
+                                    &v[lo..lo + rext],
+                                    pad,
+                                    s_n,
+                                    &mut left[fo..fo + rnf],
+                                    &mut right[fo..fo + rnf],
+                                );
+                            }
+                        }
+                    }
+                    times[1] += t0.elapsed();
+                }
+
+                // --- stage 3: Riemann solve per face (same positivity
+                //     limiting and flux arithmetic as the staged kernel) ---
+                {
+                    let t0 = Instant::now();
+                    for b in 0..bw {
+                        // Cell value at window position `s` of line (b, e),
+                        // for the positivity-fallback means.
+                        let cell_val = |b: usize, e: usize, s: usize| -> f64 {
+                            if axis == 0 {
+                                psl[line_base(b, e) + s_lo + s]
+                            } else {
+                                v[(b * neq + e) * rext + s]
+                            }
+                        };
+                        for m in 0..rnf {
+                            for e in 0..neq {
+                                pl[e] = left[(b * neq + e) * rnf + m];
+                                pr[e] = right[(b * neq + e) * rnf + m];
+                            }
+                            let cl = pad - 1 + m;
+                            if !state_admissible(&eq, fluids, &pl[..neq]) {
+                                for (e, m) in mean.iter_mut().enumerate().take(neq) {
+                                    *m = cell_val(b, e, cl);
+                                }
+                                limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pl[..neq]);
+                            }
+                            if !state_admissible(&eq, fluids, &pr[..neq]) {
+                                for (e, m) in mean.iter_mut().enumerate().take(neq) {
+                                    *m = cell_val(b, e, cl + 1);
+                                }
+                                limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pr[..neq]);
+                            }
+                            let s = cfg.solver.flux(
+                                &eq,
+                                fluids,
+                                axis,
+                                &pl[..neq],
+                                &pr[..neq],
+                                &mut f[..neq],
+                            );
+                            for e in 0..neq {
+                                flux[(b * neq + e) * rnf + m] = f[e];
+                            }
+                            ustar[b * rnf + m] = s;
+                        }
+                    }
+                    times[2] += t0.elapsed();
+                }
+
+                // --- stage 4: flux divergence into the canonical RHS and
+                //     S* differences into div(u) ---
+                {
+                    let t0 = Instant::now();
+                    for b in 0..bw {
+                        let (t1, t2) = if batch_t1 {
+                            (bq + b0 + b, oc)
+                        } else {
+                            (oc, bq + b0 + b)
+                        };
+                        let metric = radial.map(|r| r[t1]).unwrap_or(1.0);
+                        let ub = b * rnf;
+                        for s in 0..s_n {
+                            let sa = s_lo + s;
+                            let inv_dx = 1.0 / (w[pad + sa] * metric);
+                            let (i, j, k) = sweep_to_canonical(axis, pad + sa, t1, t2);
+                            let cell = i + n1 * (j + n2 * k);
+                            for e in 0..neq {
+                                let fb = (b * neq + e) * rnf + s;
+                                rsl.add(cell + e * cell_stride, (flux[fb] - flux[fb + 1]) * inv_dx);
+                            }
+                            dsl.add(cell, (ustar[ub + s + 1] - ustar[ub + s]) * inv_dx);
+                        }
+                    }
+                    times[3] += t0.elapsed();
+                }
+            }
+            times
+        },
+    );
+    // Per-stage CPU time summed over gangs in fixed gang order (exceeds
+    // the axis wall clock when gangs overlap; the residual clamps at 0).
     let (mut tg, mut tw, mut tr, mut tu) = (
         Duration::ZERO,
         Duration::ZERO,
         Duration::ZERO,
         Duration::ZERO,
     );
-
-    let mut pl = [0.0; MAX_EQ];
-    let mut pr = [0.0; MAX_EQ];
-    let mut f = [0.0; MAX_EQ];
-    let mut mean = [0.0; MAX_EQ];
-
-    for o in 0..ocount {
-        let oc = oq + o;
-        let mut b0 = 0;
-        while b0 < bcount {
-            let bw = PENCIL_B.min(bcount - b0);
-            // Canonical flat offset of cell (s=0, line b, variable e):
-            // lines of one pencil are consecutive in canonical x.
-            let line_base = |b: usize, e: usize| -> usize {
-                let (t1, t2) = if batch_t1 {
-                    (bq + b0 + b, oc)
-                } else {
-                    (oc, bq + b0 + b)
-                };
-                let (i, j, k) = sweep_to_canonical(axis, 0, t1, t2);
-                i + n1 * (j + n2 * (k + n3 * e))
-            };
-
-            // --- stage 1: gather (skipped for x: canonical lines are
-            //     already unit-stride in `prim`) ---
-            if axis != 0 {
-                let t0 = Instant::now();
-                let sweep_stride = if axis == 1 { n1 } else { n1 * n2 };
-                for e in 0..neq {
-                    let base = line_base(0, e) + s_lo * sweep_stride;
-                    for s in 0..rext {
-                        let src = base + s * sweep_stride;
-                        let dst = e * rext + s;
-                        for (b, vb) in v[dst..].iter_mut().step_by(neq * rext).take(bw).enumerate()
-                        {
-                            *vb = psl[src + b];
-                        }
-                    }
-                }
-                tg += t0.elapsed();
-            }
-
-            // --- stage 2: WENO reconstruction per line per variable ---
-            {
-                let t0 = Instant::now();
-                for b in 0..bw {
-                    for e in 0..neq {
-                        let fo = (b * neq + e) * rnf;
-                        if axis == 0 {
-                            let base = line_base(b, e) + s_lo;
-                            reconstruct_line_padded(
-                                cfg.order,
-                                &psl[base..base + rext],
-                                pad,
-                                s_n,
-                                &mut left[fo..fo + rnf],
-                                &mut right[fo..fo + rnf],
-                            );
-                        } else {
-                            let lo = (b * neq + e) * rext;
-                            reconstruct_line_padded(
-                                cfg.order,
-                                &v[lo..lo + rext],
-                                pad,
-                                s_n,
-                                &mut left[fo..fo + rnf],
-                                &mut right[fo..fo + rnf],
-                            );
-                        }
-                    }
-                }
-                tw += t0.elapsed();
-            }
-
-            // --- stage 3: Riemann solve per face (same positivity
-            //     limiting and flux arithmetic as the staged kernel) ---
-            {
-                let t0 = Instant::now();
-                for b in 0..bw {
-                    // Cell value at window position `s` of line (b, e),
-                    // for the positivity-fallback means.
-                    let cell_val = |b: usize, e: usize, s: usize| -> f64 {
-                        if axis == 0 {
-                            psl[line_base(b, e) + s_lo + s]
-                        } else {
-                            v[(b * neq + e) * rext + s]
-                        }
-                    };
-                    for m in 0..rnf {
-                        for e in 0..neq {
-                            pl[e] = left[(b * neq + e) * rnf + m];
-                            pr[e] = right[(b * neq + e) * rnf + m];
-                        }
-                        let cl = pad - 1 + m;
-                        if !state_admissible(&eq, fluids, &pl[..neq]) {
-                            for (e, m) in mean.iter_mut().enumerate().take(neq) {
-                                *m = cell_val(b, e, cl);
-                            }
-                            limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pl[..neq]);
-                        }
-                        if !state_admissible(&eq, fluids, &pr[..neq]) {
-                            for (e, m) in mean.iter_mut().enumerate().take(neq) {
-                                *m = cell_val(b, e, cl + 1);
-                            }
-                            limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pr[..neq]);
-                        }
-                        let s = cfg.solver.flux(
-                            &eq,
-                            fluids,
-                            axis,
-                            &pl[..neq],
-                            &pr[..neq],
-                            &mut f[..neq],
-                        );
-                        for e in 0..neq {
-                            flux[(b * neq + e) * rnf + m] = f[e];
-                        }
-                        ustar[b * rnf + m] = s;
-                    }
-                }
-                tr += t0.elapsed();
-            }
-
-            // --- stage 4: flux divergence into the canonical RHS and
-            //     S* differences into div(u) ---
-            {
-                let t0 = Instant::now();
-                for b in 0..bw {
-                    let (t1, t2) = if batch_t1 {
-                        (bq + b0 + b, oc)
-                    } else {
-                        (oc, bq + b0 + b)
-                    };
-                    let metric = radial.map(|r| r[t1]).unwrap_or(1.0);
-                    let ub = b * rnf;
-                    for s in 0..s_n {
-                        let sa = s_lo + s;
-                        let inv_dx = 1.0 / (w[pad + sa] * metric);
-                        let (i, j, k) = sweep_to_canonical(axis, pad + sa, t1, t2);
-                        let cell = i + n1 * (j + n2 * k);
-                        for e in 0..neq {
-                            let fb = (b * neq + e) * rnf + s;
-                            rsl[cell + e * cell_stride] += (flux[fb] - flux[fb + 1]) * inv_dx;
-                        }
-                        divu[cell] += (ustar[ub + s + 1] - ustar[ub + s]) * inv_dx;
-                    }
-                }
-                tu += t0.elapsed();
-            }
-
-            b0 += bw;
-        }
+    for t in &stage_times {
+        tg += t[0];
+        tw += t[1];
+        tr += t[2];
+        tu += t[3];
     }
 
     // Per-axis ledger records: each stage under its own label with the
     // staged-equivalent per-item cost, plus the Fused-class marker
     // carrying the orchestration residual. The stage events tile the
-    // axis interval back-to-back so traced timelines stay monotone.
+    // axis interval back-to-back so traced timelines stay monotone;
+    // with >1 gang the timers sum CPU time across workers and can
+    // exceed the wall interval, so scale them down to fit it.
     let wall = t_axis.elapsed();
+    let total = tg + tw + tr + tu;
+    if total > wall && total > Duration::ZERO {
+        let scale = wall.as_secs_f64() / total.as_secs_f64();
+        tg = tg.mul_f64(scale);
+        tw = tw.mul_f64(scale);
+        tr = tr.mul_f64(scale);
+        tu = tu.mul_f64(scale);
+    }
+    let gangs = gangs as u32;
     if axis != 0 {
-        ctx.record_external_timed(
+        ctx.record_external_gangs(
             "f_sweep_gather",
             KernelCost::new(KernelClass::Pack, 0.0, 8.0, 8.0),
             (nlines * neq * rext) as u64,
+            gangs,
             t_axis,
             tg,
         );
     }
-    ctx.record_external_timed(
+    ctx.record_external_gangs(
         "f_weno_reconstruct",
         KernelCost::new(
             KernelClass::Weno,
@@ -366,10 +409,11 @@ pub(crate) fn fused_sweep_axis_region(
             2.0 * 8.0,
         ),
         (nlines * neq * rnf) as u64,
+        gangs,
         t_axis + tg,
         tw,
     );
-    ctx.record_external_timed(
+    ctx.record_external_gangs(
         "f_riemann_solve",
         KernelCost::new(
             KernelClass::Riemann,
@@ -378,10 +422,11 @@ pub(crate) fn fused_sweep_axis_region(
             8.0 * (neq + 1) as f64,
         ),
         (nlines * rnf) as u64,
+        gangs,
         t_axis + tg + tw,
         tr,
     );
-    ctx.record_external_timed(
+    ctx.record_external_gangs(
         "f_flux_divergence",
         KernelCost::new(
             KernelClass::Update,
@@ -390,16 +435,18 @@ pub(crate) fn fused_sweep_axis_region(
             8.0 * (neq + 1) as f64,
         ),
         (nlines * s_n) as u64,
+        gangs,
         t_axis + tg + tw + tr,
         tu,
     );
     let residual = wall
         .checked_sub(tg + tw + tr + tu)
         .unwrap_or(Duration::ZERO);
-    ctx.record_external_timed(
+    ctx.record_external_gangs(
         "s_fused_sweep",
         KernelCost::new(KernelClass::Fused, 0.0, 8.0, 8.0),
         nlines as u64,
+        gangs,
         t_axis + tg + tw + tr + tu,
         residual,
     );

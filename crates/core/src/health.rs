@@ -17,7 +17,7 @@
 //! which is what keeps recovery-armed runs bitwise identical to plain runs
 //! when no fault triggers.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
 use serde::{Deserialize, Serialize};
 
 use crate::domain::MAX_EQ;
@@ -130,77 +130,96 @@ pub fn scan_and_convert(
     );
     let cfg = LaunchConfig::tuned("s_health_scan");
 
-    let mut first: Option<Violation> = None;
-    let mut c = [0.0; MAX_EQ];
-    let mut p = [0.0; MAX_EQ];
-    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
-        if first.is_some() {
-            return; // first offender already captured; skip the rest
-        }
-        let i = item % nx + px;
-        let j = (item / nx) % ny + py;
-        let k = item / (nx * ny) + pz;
-        cons.load_cell(i, j, k, &mut c[..neq]);
+    // Gang-decomposed scan: each gang walks its contiguous item range in
+    // x-fastest order and stops at its first offender; folding the
+    // per-gang results in gang order reproduces the serial scan's "first
+    // violation" exactly (gangs partition the space in ascending order).
+    // On a faulted step later gangs may convert cells the serial scan
+    // would have skipped, but faulted steps are discarded and retried, so
+    // the extra primitive stores never reach a sweep.
+    let d3 = dom.dims3();
+    let block = d3.len();
+    let out = ParSlice::new(prim.as_mut_slice());
+    let results = ctx.launch_gangs(&cfg, cost, dom.interior_cells(), |_gang, range| {
+        let mut first: Option<Violation> = None;
+        let mut c = [0.0; MAX_EQ];
+        let mut p = [0.0; MAX_EQ];
+        'items: for item in range {
+            let i = item % nx + px;
+            let j = (item / nx) % ny + py;
+            let k = item / (nx * ny) + pz;
+            cons.load_cell(i, j, k, &mut c[..neq]);
 
-        for (e, &v) in c[..neq].iter().enumerate() {
-            if !v.is_finite() {
-                first = Some(Violation {
-                    kind: ViolationKind::NotFinite,
-                    cell: [i, j, k],
-                    eq: e,
-                    value: v,
-                });
-                return;
+            for (e, &v) in c[..neq].iter().enumerate() {
+                if !v.is_finite() {
+                    first = Some(Violation {
+                        kind: ViolationKind::NotFinite,
+                        cell: [i, j, k],
+                        eq: e,
+                        value: v,
+                    });
+                    break 'items;
+                }
             }
-        }
-        // Unfloored mixture density: the EOS floors each partial density
-        // at zero, so a positive unfloored sum guarantees a safe convert.
-        let mut rho = 0.0;
-        for f in 0..eq.nf() {
-            rho += c[eq.cont(f)];
-        }
-        if rho <= 0.0 {
-            first = Some(Violation {
-                kind: ViolationKind::NonPositiveDensity,
-                cell: [i, j, k],
-                eq: eq.cont(0),
-                value: rho,
-            });
-            return;
-        }
-        for a in 0..eq.n_adv() {
-            let alpha = c[eq.adv(a)];
-            if !(-slack..=1.0 + slack).contains(&alpha) {
+            // Unfloored mixture density: the EOS floors each partial
+            // density at zero, so a positive unfloored sum guarantees a
+            // safe convert.
+            let mut rho = 0.0;
+            for f in 0..eq.nf() {
+                rho += c[eq.cont(f)];
+            }
+            if rho <= 0.0 {
+                first = Some(Violation {
+                    kind: ViolationKind::NonPositiveDensity,
+                    cell: [i, j, k],
+                    eq: eq.cont(0),
+                    value: rho,
+                });
+                break 'items;
+            }
+            let mut alpha_bad = None;
+            for a in 0..eq.n_adv() {
+                let alpha = c[eq.adv(a)];
+                if !(-slack..=1.0 + slack).contains(&alpha) {
+                    alpha_bad = Some((eq.adv(a), alpha));
+                    break;
+                }
+            }
+            if let Some((e, alpha)) = alpha_bad {
                 first = Some(Violation {
                     kind: ViolationKind::AlphaOutOfRange,
                     cell: [i, j, k],
-                    eq: eq.adv(a),
+                    eq: e,
                     value: alpha,
                 });
-                return;
+                break 'items;
+            }
+            cons_to_prim(&eq, fluids, &c[..neq], &mut p[..neq]);
+            // The stiffened-gas floor is a *mixture* quantity: the frozen
+            // sound speed c^2 = (p (1 + Gamma) + Pi) / (Gamma rho) stays
+            // real iff p (1 + Gamma) + Pi > 0. A global per-fluid bound
+            // would flag admissible tension states in stiffened liquids.
+            let mut alphas = [0.0; crate::eos::MAX_FLUIDS];
+            eq.alphas(&c[..neq], &mut alphas[..eq.nf()]);
+            let mix = MixtureRules::evaluate(fluids, &alphas[..eq.nf()]);
+            let pres = p[eq.energy()];
+            if !pres.is_finite() || pres * (1.0 + mix.big_gamma) + mix.big_pi <= 0.0 {
+                first = Some(Violation {
+                    kind: ViolationKind::VacuumPressure,
+                    cell: [i, j, k],
+                    eq: eq.energy(),
+                    value: pres,
+                });
+                break 'items;
+            }
+            let cell = d3.idx(i, j, k);
+            for (e, &v) in p[..neq].iter().enumerate() {
+                out.set(cell + e * block, v);
             }
         }
-        cons_to_prim(&eq, fluids, &c[..neq], &mut p[..neq]);
-        // The stiffened-gas floor is a *mixture* quantity: the frozen
-        // sound speed c^2 = (p (1 + Gamma) + Pi) / (Gamma rho) stays real
-        // iff p (1 + Gamma) + Pi > 0. A global per-fluid bound would flag
-        // admissible tension states in stiffened liquids.
-        let mut alphas = [0.0; crate::eos::MAX_FLUIDS];
-        eq.alphas(&c[..neq], &mut alphas[..eq.nf()]);
-        let mix = MixtureRules::evaluate(fluids, &alphas[..eq.nf()]);
-        let pres = p[eq.energy()];
-        if !pres.is_finite() || pres * (1.0 + mix.big_gamma) + mix.big_pi <= 0.0 {
-            first = Some(Violation {
-                kind: ViolationKind::VacuumPressure,
-                cell: [i, j, k],
-                eq: eq.energy(),
-                value: pres,
-            });
-            return;
-        }
-        prim.store_cell(i, j, k, &p[..neq]);
+        first
     });
-    first
+    results.into_iter().flatten().next()
 }
 
 #[cfg(test)]

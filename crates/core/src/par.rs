@@ -155,7 +155,7 @@ pub fn run_distributed_traced(
     let global_grid = case.grid();
 
     let mut results = World::run(n_ranks, |mut comm| {
-        let mut ctx = Context::serial();
+        let mut ctx = Context::with_workers(cfg.workers);
         if let Some(tr) = &tracer {
             let h = tr.handle(comm.rank());
             comm.set_tracer(Arc::clone(&h));
@@ -526,7 +526,7 @@ pub fn run_distributed_resilient(
 
     let body = |mut comm: Comm| -> RankOutcome {
         let rank = comm.rank();
-        let mut ctx = Context::serial();
+        let mut ctx = Context::with_workers(cfg.workers);
         if let Some(tr) = &opts.trace {
             let h = tr.handle(rank);
             comm.set_tracer(Arc::clone(&h));
@@ -1091,7 +1091,7 @@ pub fn run_distributed_with_output(
     let writer = mfc_mpsim::WaveWriter::new(wave_size);
 
     World::run(n_ranks, |mut comm| {
-        let mut ctx = Context::serial();
+        let mut ctx = Context::with_workers(cfg.workers);
         if let Some(tr) = &tracer {
             let h = tr.handle(comm.rank());
             comm.set_tracer(Arc::clone(&h));
@@ -1186,7 +1186,7 @@ pub fn run_distributed_with_output(
 
 /// Serial reference producing the same [`GlobalField`] shape.
 pub fn run_single(case: &CaseBuilder, cfg: SolverConfig, steps: usize) -> GlobalField {
-    let mut solver = crate::solver::Solver::new(case, cfg, Context::serial());
+    let mut solver = crate::solver::Solver::new(case, cfg, Context::with_workers(cfg.workers));
     solver
         .run_steps(steps)
         .expect("serial reference run hit a numerical fault");

@@ -23,7 +23,7 @@
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
 use mfc_layout::{
     transpose_2134_geam, transpose_2134_naive, transpose_3214_geam, transpose_3214_naive,
     transpose_3214_tiled, Dims4, Flat4D,
@@ -133,8 +133,9 @@ pub struct RhsWorkspace {
     pub(crate) radii: Vec<f64>,
     /// GEAM scratch.
     scratch: Vec<f64>,
-    /// Per-pencil scratch of the fused sweep engine.
-    pub(crate) fused: Option<crate::fused::FusedScratch>,
+    /// Per-pencil scratch of the fused sweep engine, one block per worker
+    /// gang (grown lazily to the context's worker count on first use).
+    pub(crate) fused: Vec<crate::fused::FusedScratch>,
 }
 
 impl RhsWorkspace {
@@ -176,7 +177,7 @@ impl RhsWorkspace {
             } else {
                 Vec::new()
             },
-            fused: None,
+            fused: Vec::new(),
         }
     }
 
@@ -754,17 +755,17 @@ fn riemann_sweep(
     let lsl = left.as_slice();
     let rsl = right.as_slice();
     let psl = packed.as_slice();
-    let fsl = flux.as_mut_slice();
-    let usl = ustar.as_mut_slice();
+    let fsl = ParSlice::new(flux.as_mut_slice());
+    let usl = ParSlice::new(ustar.as_mut_slice());
 
-    let mut pl = [0.0; MAX_EQ];
-    let mut pr = [0.0; MAX_EQ];
-    let mut f = [0.0; MAX_EQ];
-    ctx.launch(&cfgl, cost, nfaces, |face| {
+    ctx.launch_par(&cfgl, cost, nfaces, |face| {
         // face = m + nf1*(t1i + t1*t2i); gather the variable vector with
         // stride face_stride (the seq inner loop of Listing 1).
         let m = face % nf1;
         let line = face / nf1;
+        let mut pl = [0.0; MAX_EQ];
+        let mut pr = [0.0; MAX_EQ];
+        let mut f = [0.0; MAX_EQ];
         for e in 0..neq {
             pl[e] = lsl[face + e * face_stride];
             pr[e] = rsl[face + e * face_stride];
@@ -790,10 +791,10 @@ fn riemann_sweep(
         let s = cfg
             .solver
             .flux(eq, fluids, axis, &pl[..neq], &pr[..neq], &mut f[..neq]);
-        for e in 0..neq {
-            fsl[face + e * face_stride] = f[e];
+        for (e, &v) in f[..neq].iter().enumerate() {
+            fsl.set(face + e * face_stride, v);
         }
-        usl[face] = s;
+        usl.set(face, s);
     });
 }
 
@@ -838,19 +839,19 @@ fn riemann_sweep_region(
     let lsl = left.as_slice();
     let rsl = right.as_slice();
     let psl = packed.as_slice();
-    let fsl = flux.as_mut_slice();
-    let usl = ustar.as_mut_slice();
+    let fsl = ParSlice::new(flux.as_mut_slice());
+    let usl = ParSlice::new(ustar.as_mut_slice());
 
-    let mut pl = [0.0; MAX_EQ];
-    let mut pr = [0.0; MAX_EQ];
-    let mut f = [0.0; MAX_EQ];
-    ctx.launch(&cfgl, cost, f_count * t1_n * t2_n, |item| {
+    ctx.launch_par(&cfgl, cost, f_count * t1_n * t2_n, |item| {
         let m = f_lo + item % f_count;
         let lr = item / f_count;
         let t1i = t1_lo + lr % t1_n;
         let t2i = t2_lo + lr / t1_n;
         let line = t1i + t1 * t2i;
         let face = m + nf1 * line;
+        let mut pl = [0.0; MAX_EQ];
+        let mut pr = [0.0; MAX_EQ];
+        let mut f = [0.0; MAX_EQ];
         for e in 0..neq {
             pl[e] = lsl[face + e * face_stride];
             pr[e] = rsl[face + e * face_stride];
@@ -873,10 +874,10 @@ fn riemann_sweep_region(
         let s = cfg
             .solver
             .flux(eq, fluids, axis, &pl[..neq], &pr[..neq], &mut f[..neq]);
-        for e in 0..neq {
-            fsl[face + e * face_stride] = f[e];
+        for (e, &v) in f[..neq].iter().enumerate() {
+            fsl.set(face + e * face_stride, v);
         }
-        usl[face] = s;
+        usl.set(face, s);
     });
 }
 
@@ -947,7 +948,10 @@ fn accumulate_divergence(
     let fsl = flux.as_slice();
     let usl = ustar.as_slice();
     let cells = n * n1i * n2i;
-    ctx.launch(&cfg, cost, cells, |item| {
+    let block = d3.len();
+    let rsl = ParSlice::new(rhs.as_mut_slice());
+    let dsl = ParSlice::new(divu);
+    ctx.launch_par(&cfg, cost, cells, |item| {
         let s = item % n;
         let r = item / n;
         let (a, b) = (r % n1i + p1, r / n1i + p2);
@@ -956,12 +960,12 @@ fn accumulate_divergence(
         let face_lo = s + nf1 * (a + t1 * b);
         let face_hi = face_lo + 1;
         let (i, j, k) = sweep_to_canonical(axis, ng + s, a, b);
+        let cell = d3.idx(i, j, k);
         for e in 0..neq {
             let d = (fsl[face_lo + e * face_stride] - fsl[face_hi + e * face_stride]) * inv_dx;
-            let cur = rhs.get(i, j, k, e);
-            rhs.set(i, j, k, e, cur + d);
+            rsl.add(cell + e * block, d);
         }
-        divu[d3.idx(i, j, k)] += (usl[face_hi] - usl[face_lo]) * inv_dx;
+        dsl.add(cell, (usl[face_hi] - usl[face_lo]) * inv_dx);
     });
 }
 
@@ -1005,7 +1009,10 @@ fn accumulate_divergence_region(
     if cells == 0 {
         return;
     }
-    ctx.launch(&cfg, cost, cells, |item| {
+    let block = d3.len();
+    let rsl = ParSlice::new(rhs.as_mut_slice());
+    let dsl = ParSlice::new(divu);
+    ctx.launch_par(&cfg, cost, cells, |item| {
         let s = s_lo + item % s_n;
         let r = item / s_n;
         let (a, b) = (r % n1i + p1, r / n1i + p2);
@@ -1014,12 +1021,12 @@ fn accumulate_divergence_region(
         let face_lo = s + nf1 * (a + t1 * b);
         let face_hi = face_lo + 1;
         let (i, j, k) = sweep_to_canonical(axis, ng + s, a, b);
+        let cell = d3.idx(i, j, k);
         for e in 0..neq {
             let d = (fsl[face_lo + e * face_stride] - fsl[face_hi + e * face_stride]) * inv_dx;
-            let cur = rhs.get(i, j, k, e);
-            rhs.set(i, j, k, e, cur + d);
+            rsl.add(cell + e * block, d);
         }
-        divu[d3.idx(i, j, k)] += (usl[face_hi] - usl[face_lo]) * inv_dx;
+        dsl.add(cell, (usl[face_hi] - usl[face_lo]) * inv_dx);
     });
 }
 
@@ -1044,16 +1051,18 @@ fn alpha_source(
     );
     let cfg = LaunchConfig::tuned("s_alpha_source");
     let (nx, ny) = (dom.n[0], dom.n[1]);
-    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
+    let block = d3.len();
+    let rsl = ParSlice::new(rhs.as_mut_slice());
+    ctx.launch_par(&cfg, cost, dom.interior_cells(), |item| {
         let i = item % nx + dom.pad(0);
         let j = (item / nx) % ny + dom.pad(1);
         let k = item / (nx * ny) + dom.pad(2);
-        let dv = divu[d3.idx(i, j, k)];
+        let cell = d3.idx(i, j, k);
+        let dv = divu[cell];
         for a in 0..eq.n_adv() {
             let e = eq.adv(a);
             let alpha = prim.get(i, j, k, e);
-            let cur = rhs.get(i, j, k, e);
-            rhs.set(i, j, k, e, cur + alpha * dv);
+            rsl.add(cell + e * block, alpha * dv);
         }
     });
 }

@@ -36,6 +36,15 @@ pub struct SolverConfig {
     pub rhs: RhsConfig,
     pub scheme: TimeScheme,
     pub dt: DtMode,
+    /// Worker threads (gangs) the execution context schedules kernels
+    /// onto. Results are bitwise identical at every worker count; 1 runs
+    /// everything on the calling thread.
+    #[serde(default = "default_workers")]
+    pub workers: usize,
+}
+
+fn default_workers() -> usize {
+    1
 }
 
 impl Default for SolverConfig {
@@ -44,6 +53,7 @@ impl Default for SolverConfig {
             rhs: RhsConfig::default(),
             scheme: TimeScheme::Rk3,
             dt: DtMode::Cfl(0.5),
+            workers: 1,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The flow state: a flattened, x-coalesced 4-D array plus sweep kernels.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
 use mfc_layout::Flat4D;
 
 use crate::domain::{Domain, MAX_EQ};
@@ -141,15 +141,19 @@ pub fn cons_to_prim_field(
     );
     let cfg = LaunchConfig::tuned("s_convert_to_primitive");
     let (n1, n2) = (d3.n1, d3.n2);
-    let mut c = [0.0; MAX_EQ];
-    let mut p = [0.0; MAX_EQ];
-    ctx.launch(&cfg, cost, d3.len(), |idx| {
+    let block = d3.len();
+    let out = ParSlice::new(prim.as_mut_slice());
+    ctx.launch_par(&cfg, cost, block, |idx| {
         let i = idx % n1;
         let j = (idx / n1) % n2;
         let k = idx / (n1 * n2);
+        let mut c = [0.0; MAX_EQ];
+        let mut p = [0.0; MAX_EQ];
         cons.load_cell(i, j, k, &mut c[..neq]);
         cons_to_prim(&dom.eq, fluids, &c[..neq], &mut p[..neq]);
-        prim.store_cell(i, j, k, &p[..neq]);
+        for (e, &v) in p[..neq].iter().enumerate() {
+            out.set(idx + e * block, v);
+        }
     });
 }
 
@@ -172,15 +176,19 @@ pub fn prim_to_cons_field(
     );
     let cfg = LaunchConfig::tuned("s_convert_to_conservative");
     let (n1, n2) = (d3.n1, d3.n2);
-    let mut p = [0.0; MAX_EQ];
-    let mut c = [0.0; MAX_EQ];
-    ctx.launch(&cfg, cost, d3.len(), |idx| {
+    let block = d3.len();
+    let out = ParSlice::new(cons.as_mut_slice());
+    ctx.launch_par(&cfg, cost, block, |idx| {
         let i = idx % n1;
         let j = (idx / n1) % n2;
         let k = idx / (n1 * n2);
+        let mut p = [0.0; MAX_EQ];
+        let mut c = [0.0; MAX_EQ];
         prim.load_cell(i, j, k, &mut p[..neq]);
         prim_to_cons(&dom.eq, fluids, &p[..neq], &mut c[..neq]);
-        cons.store_cell(i, j, k, &c[..neq]);
+        for (e, &v) in c[..neq].iter().enumerate() {
+            out.set(idx + e * block, v);
+        }
     });
 }
 

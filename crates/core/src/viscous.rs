@@ -9,7 +9,7 @@
 //! `lambda = -2/3 mu` and volume-fraction-weighted mixture viscosity
 //! `mu = sum_i alpha_i mu_i`.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
 
 use crate::domain::{Domain, MAX_EQ};
 use crate::eos::MAX_FLUIDS;
@@ -146,11 +146,15 @@ pub fn add_viscous_fluxes(
         out[ndim] = fe;
     };
 
-    ctx.launch(&cfg, cost, dom.interior_cells(), |item| {
+    let d3 = dom.dims3();
+    let block = d3.len();
+    let rsl = ParSlice::new(rhs.as_mut_slice());
+    ctx.launch_par(&cfg, cost, dom.interior_cells(), |item| {
         let i = item % nx + dom.pad(0);
         let j = (item / nx) % ny + dom.pad(1);
         let k = item / (nx * ny) + dom.pad(2);
         let c = (i, j, k);
+        let cell = d3.idx(i, j, k);
         for axis in 0..ndim {
             let lo_cell = shift(c, axis, -1);
             let idx = [i, j, k][axis];
@@ -160,13 +164,9 @@ pub fn add_viscous_fluxes(
             face_flux(c, axis, &mut f_hi);
             face_flux(lo_cell, axis, &mut f_lo);
             for d in 0..ndim {
-                let e = eq.mom(d);
-                let cur = rhs.get(i, j, k, e);
-                rhs.set(i, j, k, e, cur + (f_hi[d] - f_lo[d]) / h);
+                rsl.add(cell + eq.mom(d) * block, (f_hi[d] - f_lo[d]) / h);
             }
-            let e = eq.energy();
-            let cur = rhs.get(i, j, k, e);
-            rhs.set(i, j, k, e, cur + (f_hi[ndim] - f_lo[ndim]) / h);
+            rsl.add(cell + eq.energy() * block, (f_hi[ndim] - f_lo[ndim]) / h);
         }
     });
 }

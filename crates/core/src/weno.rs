@@ -5,7 +5,7 @@
 //! consumes a direction-coalesced [`Flat4D`] buffer so the stencil reads
 //! are unit-stride — the access pattern whose absence costs 10x (§III-C).
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
 use mfc_layout::Flat4D;
 use serde::{Deserialize, Serialize};
 
@@ -261,17 +261,17 @@ pub fn reconstruct_sweep(
     );
     let cfg = LaunchConfig::tuned("s_weno_reconstruct");
     let src = packed.as_slice();
-    let lout = left.as_mut_slice();
-    let rout = right.as_mut_slice();
+    let lout = ParSlice::new(left.as_mut_slice());
+    let rout = ParSlice::new(right.as_mut_slice());
     let ext = pd.n1;
     let nf1 = fd.n1;
-    ctx.launch(&cfg, cost, nlines * (n + 1), |item| {
+    ctx.launch_par(&cfg, cost, nlines * (n + 1), |item| {
         let line = item / (n + 1);
         let m = item % (n + 1);
         let v = &src[line * ext..(line + 1) * ext];
         let (lv, rv) = face_pair(order, v, pad - 1 + m);
-        lout[line * nf1 + m] = lv;
-        rout[line * nf1 + m] = rv;
+        lout.set(line * nf1 + m, lv);
+        rout.set(line * nf1 + m, rv);
     });
 }
 
@@ -353,12 +353,12 @@ pub fn reconstruct_sweep_region(
     );
     let cfg = LaunchConfig::tuned("s_weno_reconstruct");
     let src = packed.as_slice();
-    let lout = left.as_mut_slice();
-    let rout = right.as_mut_slice();
+    let lout = ParSlice::new(left.as_mut_slice());
+    let rout = ParSlice::new(right.as_mut_slice());
     let ext = pd.n1;
     let nf1 = fd.n1;
     let rlines = t1_n * t2_n * pd.n4;
-    ctx.launch(&cfg, cost, rlines * f_count, |item| {
+    ctx.launch_par(&cfg, cost, rlines * f_count, |item| {
         let m = f_lo + item % f_count;
         let lr = item / f_count;
         let t1i = t1_lo + lr % t1_n;
@@ -368,8 +368,8 @@ pub fn reconstruct_sweep_region(
         let line = t1i + pd.n2 * (t2i + pd.n3 * e);
         let v = &src[line * ext..(line + 1) * ext];
         let (lv, rv) = face_pair(order, v, pad - 1 + m);
-        lout[line * nf1 + m] = lv;
-        rout[line * nf1 + m] = rv;
+        lout.set(line * nf1 + m, lv);
+        rout.set(line * nf1 + m, rv);
     });
 }
 

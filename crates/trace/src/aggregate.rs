@@ -26,6 +26,10 @@ pub struct KernelAgg {
     /// Measured wall time summed from event durations, µs. Compared
     /// loosely (the ledger clock is the same but rounds ns→µs here).
     pub wall_us: f64,
+    /// Widest gang decomposition any launch of this label used (1 = every
+    /// launch ran serially). Annotation only — the ledger carries no gang
+    /// column, so reconciliation ignores it.
+    pub gangs_max: u64,
 }
 
 /// Sum one rank's kernel events per label, in stream order.
@@ -50,6 +54,9 @@ pub fn aggregate_kernels(events: &[ParsedEvent]) -> BTreeMap<String, KernelAgg> 
             .and_then(Value::as_f64)
             .unwrap_or(0.0);
         a.wall_us += e.dur_us;
+        a.gangs_max = a
+            .gangs_max
+            .max(e.args.get("gangs").and_then(Value::as_u64).unwrap_or(1));
     }
     out
 }

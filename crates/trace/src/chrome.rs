@@ -83,6 +83,7 @@ fn render_event(tid: u64, e: &crate::event::Event) -> Value {
         EventKind::Kernel {
             label,
             items,
+            gangs,
             flops,
             bytes_read,
             bytes_written,
@@ -90,7 +91,7 @@ fn render_event(tid: u64, e: &crate::event::Event) -> Value {
             "name": *label, "cat": "kernel", "ph": "X",
             "ts": ts, "dur": us(e.dur_ns), "pid": PID, "tid": tid,
             "args": json!({
-                "seq": e.seq, "items": *items, "flops": *flops,
+                "seq": e.seq, "items": *items, "gangs": *gangs, "flops": *flops,
                 "bytes_read": *bytes_read, "bytes_written": *bytes_written
             })
         }),

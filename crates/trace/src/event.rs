@@ -113,6 +113,10 @@ pub enum EventKind {
     Kernel {
         label: &'static str,
         items: u64,
+        /// How many worker gangs the launch was split across (1 for serial
+        /// execution). Annotation only: items/flops/bytes are whole-launch
+        /// totals regardless of the gang count.
+        gangs: u32,
         flops: f64,
         bytes_read: f64,
         bytes_written: f64,

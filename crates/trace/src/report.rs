@@ -31,6 +31,23 @@ fn job_totals(trace: &ParsedTrace) -> BTreeMap<String, KernelAgg> {
             e.bytes_read += a.bytes_read;
             e.bytes_written += a.bytes_written;
             e.wall_us += a.wall_us;
+            e.gangs_max = e.gangs_max.max(a.gangs_max);
+        }
+    }
+    out
+}
+
+/// Last-sampled `threads` counter per rank (the worker count each rank's
+/// context scheduled kernels onto), if any rank emitted one.
+fn threads_per_rank(trace: &ParsedTrace) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for (rank, events) in &trace.ranks {
+        for e in events {
+            if e.ph == 'C' && e.name == "threads" {
+                if let Some(v) = e.args.get("threads").and_then(|v| v.as_f64()) {
+                    out.insert(*rank, v as u64);
+                }
+            }
         }
     }
     out
@@ -42,6 +59,14 @@ fn job_totals(trace: &ParsedTrace) -> BTreeMap<String, KernelAgg> {
 pub fn render(trace: &ParsedTrace) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "mfc-trace report — {} rank(s)", trace.ranks.len());
+    let threads = threads_per_rank(trace);
+    if !threads.is_empty() {
+        let per_rank: Vec<String> = threads
+            .iter()
+            .map(|(rank, n)| format!("rank {rank}: {n}"))
+            .collect();
+        let _ = writeln!(out, "worker threads — {}", per_rank.join(", "));
+    }
 
     let totals = job_totals(trace);
     let mut rows: Vec<(&String, &KernelAgg)> = totals.iter().collect();
@@ -50,16 +75,17 @@ pub fn render(trace: &ParsedTrace) -> String {
     let _ = writeln!(out, "\nper-kernel aggregate (all ranks):");
     let _ = writeln!(
         out,
-        "  {:<26} {:>9} {:>14} {:>12} {:>12} {:>12} {:>7}",
-        "kernel", "launches", "items", "flops", "read", "written", "wall%"
+        "  {:<26} {:>9} {:>14} {:>6} {:>12} {:>12} {:>12} {:>7}",
+        "kernel", "launches", "items", "gangs", "flops", "read", "written", "wall%"
     );
     for (label, a) in &rows {
         let _ = writeln!(
             out,
-            "  {:<26} {:>9} {:>14} {:>12} {:>12} {:>12} {:>6.1}%",
+            "  {:<26} {:>9} {:>14} {:>6} {:>12} {:>12} {:>12} {:>6.1}%",
             label,
             a.launches,
             a.items,
+            a.gangs_max,
             format!("{:.3e}", a.flops),
             fmt_bytes(a.bytes_read),
             fmt_bytes(a.bytes_written),

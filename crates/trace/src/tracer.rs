@@ -203,6 +203,33 @@ impl TraceHandle {
         start: Instant,
         wall: Duration,
     ) {
+        self.kernel_gangs(
+            label,
+            items,
+            1,
+            flops,
+            bytes_read,
+            bytes_written,
+            start,
+            wall,
+        );
+    }
+
+    /// [`TraceHandle::kernel`] with the gang count the launch actually used
+    /// (1 = serial). Gangs annotate the event; the accounted totals are
+    /// whole-launch values either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn kernel_gangs(
+        &self,
+        label: &'static str,
+        items: u64,
+        gangs: u32,
+        flops: f64,
+        bytes_read: f64,
+        bytes_written: f64,
+        start: Instant,
+        wall: Duration,
+    ) {
         let ts = self.ns_since_epoch(start);
         let mut inner = self.inner.lock().unwrap();
         self.push(
@@ -212,6 +239,7 @@ impl TraceHandle {
             EventKind::Kernel {
                 label,
                 items,
+                gangs,
                 flops,
                 bytes_read,
                 bytes_written,

@@ -12,7 +12,17 @@
 # corrupt-checkpoint-wave rollback test.
 #
 # Run from the repo root: bash scripts/resilience_smoke.sh
+# Pass `--workers N` to run every solver invocation on N gang-parallel
+# worker threads (results are bitwise identical, so every check below
+# holds unchanged at any worker count).
 set -u
+
+WORKERS=1
+if [ "${1:-}" = "--workers" ]; then
+    WORKERS=${2:?--workers needs a thread count}
+fi
+WFLAGS=""
+[ "$WORKERS" -gt 1 ] && WFLAGS="--workers $WORKERS"
 
 cargo build -q -p mfc-cli || exit 1
 BIN=target/debug/mfc-run
@@ -69,7 +79,7 @@ EOF
 
 # --- exit 0: a clean serial run -------------------------------------------
 sod_case clean "" "" >"$TMP/clean.json"
-expect 0 "clean run exits 0" "$BIN" "$TMP/clean.json"
+expect 0 "clean run exits 0" "$BIN" "$TMP/clean.json" $WFLAGS
 
 # --- exit 2: usage / configuration errors ---------------------------------
 expect 2 "missing case file is a usage error" "$BIN"
@@ -87,7 +97,7 @@ require_output "i/o error names the cause" "i/o failure"
 # up, the health watchdog must catch it, and without a recovery ladder
 # that is a numerical abort.
 sod_case hot "" ', "dt": 0.2' >"$TMP/hot.json"
-expect 4 "overdriven dt without recovery exits 4" "$BIN" "$TMP/hot.json"
+expect 4 "overdriven dt without recovery exits 4" "$BIN" "$TMP/hot.json" $WFLAGS
 require_output "numerical error names the cause" "numerical failure"
 
 # --- exit 0: the same fault recovered through the ladder ------------------
@@ -100,7 +110,7 @@ cat >"$TMP/ladder.json" <<'EOF'
 }
 EOF
 expect 0 "overdriven dt completes with --recovery" \
-    "$BIN" "$TMP/hot.json" --recovery "$TMP/ladder.json"
+    "$BIN" "$TMP/hot.json" --recovery "$TMP/ladder.json" $WFLAGS
 require_output "ladder run logs health faults" "health_fault"
 require_output "ladder run logs retries" "retry"
 
@@ -110,7 +120,7 @@ cat >"$TMP/plan.json" <<'EOF'
 { "seed": 7, "deaths": [ { "rank": 1, "step": 10 } ] }
 EOF
 expect 0 "rank death recovers via checkpoint rollback" \
-    "$BIN" "$TMP/death.json" --faults "$TMP/plan.json" --checkpoint-every 3
+    "$BIN" "$TMP/death.json" --faults "$TMP/plan.json" --checkpoint-every 3 $WFLAGS
 require_output "death run logs a rollback" "rollback"
 
 ckpt=$(find "$TMP/out_death/ckpt" -name 'ckpt_r*_w*.bin' | sort | head -1)
@@ -127,7 +137,7 @@ expect 0 "corrupt checkpoint wave is skipped during rollback" \
     corrupt_checkpoint_wave_is_skipped_during_rollback
 
 if [ "$fail" -ne 0 ]; then
-    echo "resilience smoke: FAILED"
+    echo "resilience smoke: FAILED (workers=$WORKERS)"
     exit 1
 fi
-echo "resilience smoke: all checks passed"
+echo "resilience smoke: all checks passed (workers=$WORKERS)"

@@ -11,7 +11,17 @@
 # `scripts/bench_snapshot.sh --check` (the perf CI job).
 #
 # Run from the repo root: bash scripts/trace_smoke.sh
+# Pass `--workers N` to run the traced solver on N gang-parallel worker
+# threads: the timeline gains gang annotations and a `threads` counter,
+# and the ledger reconciliation must stay exact.
 set -u
+
+WORKERS=1
+if [ "${1:-}" = "--workers" ]; then
+    WORKERS=${2:?--workers needs a thread count}
+fi
+WFLAGS=""
+[ "$WORKERS" -gt 1 ] && WFLAGS="--workers $WORKERS"
 
 cargo build -q -p mfc-cli -p mfc-trace || exit 1
 BIN=target/debug/mfc-run
@@ -69,7 +79,7 @@ cat >"$TMP/sod2.json" <<EOF
 EOF
 
 expect 0 "traced 2-rank wave-file run exits 0" \
-    "$BIN" "$TMP/sod2.json" --trace "$TMP/trace.json" --io-wave 1
+    "$BIN" "$TMP/sod2.json" --trace "$TMP/trace.json" --io-wave 1 $WFLAGS
 require_output "run reports the trace file" "wrote trace"
 
 if [ -s "$TMP/trace.json" ]; then
@@ -87,6 +97,10 @@ require_output "schema validates" "schema: OK"
 require_output "span streams are well-nested" "span nesting: OK"
 require_output "report covers both ranks" "2 rank(s)"
 require_output "report prints the comm/compute split" "comm/compute split"
+if [ "$WORKERS" -gt 1 ]; then
+    require_output "report shows the per-rank worker count" \
+        "worker threads — rank 0: $WORKERS"
+fi
 
 # A bad wave width must be rejected as a configuration error (exit 2).
 expect 2 "--io-wave 0 is a configuration error" \
@@ -98,7 +112,7 @@ expect 3 "truncated trace fails to parse" \
     "$REPORT" "$TMP/truncated.json" --validate
 
 if [ "$fail" -ne 0 ]; then
-    echo "trace smoke: FAILED"
+    echo "trace smoke: FAILED (workers=$WORKERS)"
     exit 1
 fi
-echo "trace smoke: all checks passed"
+echo "trace smoke: all checks passed (workers=$WORKERS)"

@@ -14,7 +14,7 @@ fn drift(ndim: usize, cfg: SolverConfig, steps: usize) -> f64 {
         _ => [10, 10, 10],
     };
     let case = presets::two_phase_benchmark(ndim, n);
-    let mut solver = Solver::new(&case, cfg, Context::serial());
+    let mut solver = Solver::new(&case, cfg, Context::with_workers(cfg.workers));
     let before = solver.conservation();
     solver.run_steps(steps).unwrap();
     let after = solver.conservation();
@@ -84,6 +84,21 @@ fn conserved_for_every_pack_strategy() {
         };
         let d = drift(3, cfg, 3);
         assert!(d < 1e-11, "{pack:?}: drift {d}");
+    }
+}
+
+#[test]
+fn conserved_at_every_worker_count() {
+    // Gang-parallel sweeps keep the telescoping-flux property: the
+    // divergence accumulation writes each cell from exactly one gang, so
+    // the discrete sums are the serial ones bit for bit.
+    for workers in [2usize, 3, 4, 8] {
+        let cfg = SolverConfig {
+            workers,
+            ..Default::default()
+        };
+        let d = drift(3, cfg, 3);
+        assert!(d < 1e-11, "workers={workers}: drift {d}");
     }
 }
 

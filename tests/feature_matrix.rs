@@ -351,6 +351,78 @@ fn overlapped_exchange_composes_with_orders_staging_and_viscosity() {
 }
 
 #[test]
+fn worker_gangs_compose_with_orders_schemes_and_modes() {
+    // The worker-count axis composes with the rest of the matrix: every
+    // (order, mode) pair at 3 workers reproduces its serial answer
+    // bitwise, RK2 and RK3 alike.
+    let case = presets::two_phase_benchmark(2, [16, 16, 1]);
+    for scheme in [TimeScheme::Rk2, TimeScheme::Rk3] {
+        for order in [WenoOrder::Weno3, WenoOrder::Weno5Z] {
+            for mode in [RhsMode::Staged, RhsMode::Fused] {
+                let mut cfg = SolverConfig {
+                    rhs: RhsConfig {
+                        order,
+                        mode,
+                        ..Default::default()
+                    },
+                    scheme,
+                    ..Default::default()
+                };
+                let serial = run_single(&case, cfg, 3);
+                cfg.workers = 3;
+                let par = run_single(&case, cfg, 3);
+                assert_eq!(
+                    par.max_abs_diff(&serial),
+                    0.0,
+                    "{scheme:?} {order:?} {mode:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_gangs_compose_with_viscous_overlapped_exchange() {
+    // The heaviest composition: viscous stresses + mixed physical BCs +
+    // 4 simulated ranks + overlapped halo exchange + 4 worker gangs per
+    // rank, against the 1-worker serial answer.
+    use mfc::core::par::{run_distributed_with_mode, ExchangeMode};
+    let case = CaseBuilder::new(vec![Fluid::air().with_viscosity(0.05)], 2, [20, 12, 1])
+        .bc(BcSpec {
+            lo: [BcKind::Periodic, BcKind::Reflective, BcKind::Transmissive],
+            hi: [BcKind::Periodic, BcKind::Reflective, BcKind::Transmissive],
+        })
+        .patch(
+            Region::All,
+            PatchState::single(1.2, [30.0, 0.0, 0.0], 1.0e5),
+        )
+        .patch(
+            Region::Sphere {
+                center: [0.5, 0.5, 0.0],
+                radius: 0.2,
+            },
+            PatchState::single(1.5, [30.0, 0.0, 0.0], 1.2e5),
+        );
+    let mut cfg = SolverConfig::default();
+    let serial = run_single(&case, cfg, 4);
+    cfg.workers = 4;
+    let (dist, _) = run_distributed_with_mode(
+        &case,
+        cfg,
+        4,
+        4,
+        Staging::DeviceDirect,
+        ExchangeMode::Overlapped,
+    )
+    .unwrap();
+    assert_eq!(
+        dist.max_abs_diff(&serial),
+        0.0,
+        "viscous mixed-BC overlap at 4 ranks x 4 workers"
+    );
+}
+
+#[test]
 fn restart_continues_bitwise() {
     use mfc::core::restart::{load_checkpoint, save_checkpoint};
     let case = presets::two_phase_benchmark(2, [16, 16, 1]);
