@@ -77,6 +77,15 @@ pub enum ResilienceEventKind {
     Restore,
     /// Diagnostic crash-dump checkpoint written on unrecoverable abort.
     CrashDump,
+    /// Survivors reconfigured the communicator to the smaller rank count
+    /// after a permanent rank loss (`FailurePolicy::Shrink`).
+    Shrink,
+    /// A committed checkpoint wave was redistributed cross-shard onto a
+    /// reconfigured decomposition.
+    Redistribute,
+    /// A hot spare was promoted into a permanently dead rank's slot
+    /// (`FailurePolicy::Spare`).
+    PromoteSpare,
 }
 
 impl ResilienceEventKind {
@@ -91,6 +100,9 @@ impl ResilienceEventKind {
             ResilienceEventKind::Degrade => "degrade",
             ResilienceEventKind::Restore => "restore",
             ResilienceEventKind::CrashDump => "crash_dump",
+            ResilienceEventKind::Shrink => "shrink",
+            ResilienceEventKind::Redistribute => "redistribute",
+            ResilienceEventKind::PromoteSpare => "promote_spare",
         }
     }
 }

@@ -50,7 +50,7 @@ use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::time::TimeScheme;
 use mfc_core::weno::WenoOrder;
 use mfc_core::HealthConfig;
-use mfc_mpsim::{FaultCtx, FaultPlan, Staging, DEFAULT_WAVE_SIZE};
+use mfc_mpsim::{FailurePolicy, FaultCtx, FaultPlan, Staging, DEFAULT_WAVE_SIZE};
 use mfc_trace::Tracer;
 
 /// Boundary spec: one kind for all faces, or per-axis pairs.
@@ -153,7 +153,7 @@ impl NumericsConfig {
 }
 
 /// Stopping criteria and execution shape.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(default)]
 pub struct RunConfig {
     /// Step budget (0 = until t_end only).
@@ -184,6 +184,38 @@ pub struct RunConfig {
     /// Settable from the command line as `--trace out.json`. Load in
     /// Perfetto / chrome://tracing, or summarize with `mfc-trace-report`.
     pub trace: Option<PathBuf>,
+    /// What the survivors do about a *permanent* rank death: `revive`
+    /// (transient semantics — a permanent loss is unrecoverable),
+    /// `shrink` (survivor consensus, smaller decomposition, checkpoint
+    /// redistribution), or `spare` (promote a hot spare into the slot).
+    /// Settable from the command line as `--failure-policy P`.
+    pub failure_policy: FailurePolicy,
+    /// Hot spare ranks provisioned outside the decomposition for
+    /// `failure_policy: spare`. Settable from the command line as
+    /// `--spares N`.
+    pub spares: usize,
+    /// Checkpoint retention: keep this many newest committed waves per
+    /// rank (at least 1; the newest committed wave is never deleted).
+    /// Settable from the command line as `--ckpt-keep N`.
+    pub ckpt_keep: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            steps: 0,
+            t_end: None,
+            ranks: 0,
+            checkpoint_every: 0,
+            faults: None,
+            recovery: None,
+            max_retries: None,
+            trace: None,
+            failure_policy: FailurePolicy::Revive,
+            spares: 0,
+            ckpt_keep: 2,
+        }
+    }
 }
 
 /// Output options.
@@ -358,11 +390,14 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// A bad rank layout is a configuration problem (exit code 2), not a
-/// solver blow-up; everything else a distributed driver reports is.
+/// A bad rank layout or an inconsistent fault plan is a configuration
+/// problem (exit code 2), a failed checkpoint write is I/O (exit code
+/// 3); everything else a distributed driver reports is a solver blow-up.
 fn map_resilience_err(e: mfc_core::par::ResilienceError) -> RunError {
     match &e {
-        mfc_core::par::ResilienceError::Decomposition { .. } => RunError::Config(e.to_string()),
+        mfc_core::par::ResilienceError::Decomposition { .. }
+        | mfc_core::par::ResilienceError::Plan { .. } => RunError::Config(e.to_string()),
+        mfc_core::par::ResilienceError::Io { .. } => RunError::Io(e.to_string()),
         _ => RunError::Numerical(e.to_string()),
     }
 }
@@ -440,10 +475,13 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
             }
             None => FaultPlan::none(),
         };
-        let faults = if plan.is_empty() {
+        plan.validate_for(ranks)
+            .map_err(|e| RunError::Config(format!("bad fault plan: {e}")))?;
+        let spares = case_file.run.spares;
+        let faults = if plan.is_empty() && spares == 0 {
             None
         } else {
-            Some(Arc::new(FaultCtx::new(plan, ranks)))
+            Some(Arc::new(FaultCtx::new_with_spares(plan, ranks, spares)))
         };
         let events = Arc::new(Ledger::default());
         let opts = ResilienceOpts {
@@ -455,6 +493,9 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
             health: HealthConfig::default(),
             trace: tracer.clone(),
             exchange: case_file.numerics.exchange(),
+            failure_policy: case_file.run.failure_policy,
+            spares,
+            ckpt_keep: case_file.run.ckpt_keep,
         };
         let t0 = std::time::Instant::now();
         let (gf, _) =

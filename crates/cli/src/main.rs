@@ -5,7 +5,8 @@ use mfc_core::rhs::RhsMode;
 
 const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
 [--rhs-mode staged|fused] [--overlap] [--workers N] [--faults plan.json] \
-[--checkpoint-every N] [--recovery ladder.json] [--max-retries N] \
+[--checkpoint-every N] [--ckpt-keep N] [--failure-policy revive|shrink|spare] \
+[--spares N] [--recovery ladder.json] [--max-retries N] \
 [--trace out.json] [--io-wave N]";
 
 const HELP: &str = "\
@@ -29,6 +30,17 @@ flags:
   --checkpoint-every N   checkpoint wave period in steps; any non-zero
                          value routes the run through the fault-tolerant
                          driver
+  --ckpt-keep N          checkpoint retention: keep the N newest committed
+                         waves per rank (default 2; the newest committed
+                         wave is never garbage-collected)
+  --failure-policy P     what survivors do about a *permanent* rank death:
+                         'revive' (transient semantics; a permanent loss is
+                         unrecoverable), 'shrink' (survivor consensus on a
+                         smaller decomposition, the last committed wave is
+                         redistributed cross-shard), or 'spare' (promote an
+                         idle hot spare into the vacant slot)
+  --spares N             hot spare ranks provisioned outside the
+                         decomposition for --failure-policy spare
   --recovery ladder.json numerical-recovery ladder (mfc_core::RecoveryPolicy
                          JSON) arming the health watchdog with graceful
                          degradation: retry with halved dt, Zhang-Shu
@@ -61,6 +73,9 @@ fn main() {
     let mut faults: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut recovery: Option<String> = None;
+    let mut ckpt_keep: Option<usize> = None;
+    let mut failure_policy: Option<mfc_mpsim::FailurePolicy> = None;
+    let mut spares: Option<usize> = None;
     let mut max_retries: Option<u32> = None;
     let mut trace: Option<String> = None;
     let mut io_wave: Option<usize> = None;
@@ -91,6 +106,21 @@ fn main() {
             "--checkpoint-every" => match it.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(n)) => checkpoint_every = Some(n),
                 _ => die("--checkpoint-every needs a step count"),
+            },
+            "--ckpt-keep" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => ckpt_keep = Some(n),
+                _ => die("--ckpt-keep needs a positive wave count"),
+            },
+            "--failure-policy" => match it.next() {
+                Some(v) => match mfc_mpsim::FailurePolicy::from_flag(v) {
+                    Ok(p) => failure_policy = Some(p),
+                    Err(e) => die(&e),
+                },
+                None => die("--failure-policy needs 'revive', 'shrink', or 'spare'"),
+            },
+            "--spares" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => spares = Some(n),
+                _ => die("--spares needs a rank count"),
             },
             "--recovery" => match it.next() {
                 Some(v) => recovery = Some(v.clone()),
@@ -153,6 +183,15 @@ fn main() {
     }
     if let Some(ladder) = recovery {
         case.run.recovery = Some(ladder.into());
+    }
+    if let Some(n) = ckpt_keep {
+        case.run.ckpt_keep = n;
+    }
+    if let Some(p) = failure_policy {
+        case.run.failure_policy = p;
+    }
+    if let Some(n) = spares {
+        case.run.spares = n;
     }
     if let Some(n) = max_retries {
         case.run.max_retries = Some(n);

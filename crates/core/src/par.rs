@@ -13,7 +13,7 @@
 //! receive; both land in the transfer ledger, and their modelled cost is
 //! Fig. 4's gap.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 
 use mfc_acc::{Context, Ledger, QueueSet, ResilienceEvent, ResilienceEventKind, TransferDirection};
 use mfc_mpsim::{
-    best_block_dims, validate_halo_extents, CartComm, Comm, CommFault, FaultCtx, Staging, World,
+    best_block_dims, validate_halo_extents, CartComm, Comm, CommFault, FailurePolicy, FaultCtx,
+    SpareWake, Staging, World,
 };
 use mfc_trace::{Category, Tracer};
 use serde::{Deserialize, Serialize};
@@ -405,6 +406,20 @@ pub struct ResilienceOpts {
     /// exchange; [`ExchangeMode::Overlapped`] hides the exchange behind
     /// the interior sweeps with policied waits at the drain.
     pub exchange: ExchangeMode,
+    /// What the survivors do when a rank death is *permanent* (the
+    /// simulated process never restarts): resurrect in place (the
+    /// transient default, which makes a permanent loss unrecoverable),
+    /// shrink the communicator and redistribute the last committed wave,
+    /// or promote a hot spare into the vacant slot.
+    pub failure_policy: FailurePolicy,
+    /// Hot spare ranks provisioned outside the decomposition, idle until
+    /// [`FailurePolicy::Spare`] promotes one. Ignored fault-free.
+    pub spares: usize,
+    /// Checkpoint retention: keep the newest `ckpt_keep` committed waves
+    /// per rank, garbage-collecting older files after each commit.
+    /// Clamped to at least 1 — the newest committed wave is never
+    /// deleted.
+    pub ckpt_keep: usize,
 }
 
 impl ResilienceOpts {
@@ -419,6 +434,9 @@ impl ResilienceOpts {
             health: HealthConfig::default(),
             trace: None,
             exchange: ExchangeMode::Sendrecv,
+            failure_policy: FailurePolicy::Revive,
+            spares: 0,
+            ckpt_keep: 2,
         }
     }
 }
@@ -446,6 +464,15 @@ pub enum ResilienceError {
     /// would overlap the opposite ghost region. Rejected host-side before
     /// any rank is spawned.
     Decomposition { detail: String },
+    /// A checkpoint write (or the checkpoint directory creation) failed.
+    /// The abort is collective: every rank learns of the failed write
+    /// through the commit reduction and returns this in lockstep.
+    Io { rank: usize, detail: String },
+    /// The fault script or resilience configuration is inconsistent with
+    /// the run — a death targets a rank outside the world, the scripted
+    /// permanent deaths leave no survivor quorum, or the fault board was
+    /// sized without the spare pool. Rejected host-side.
+    Plan { detail: String },
 }
 
 impl std::fmt::Display for ResilienceError {
@@ -461,6 +488,12 @@ impl std::fmt::Display for ResilienceError {
             }
             ResilienceError::Decomposition { detail } => {
                 write!(f, "invalid decomposition: {detail}")
+            }
+            ResilienceError::Io { rank, detail } => {
+                write!(f, "checkpoint I/O failure (rank {rank}): {detail}")
+            }
+            ResilienceError::Plan { detail } => {
+                write!(f, "invalid fault plan: {detail}")
             }
         }
     }
@@ -479,6 +512,17 @@ enum RecoveryOutcome {
     RolledBack { wave: u64 },
     /// No committed wave exists — the run is unrecoverable.
     Abort,
+}
+
+/// One decomposition epoch in a resilient run: checkpoint waves from
+/// `first_wave` onward were written by `size` ranks laid out as `dims`.
+/// A shrink appends a new entry, so a rollback can tell whether a wave's
+/// shards match the current layout or need cross-shard redistribution.
+#[derive(Debug, Clone, Copy)]
+struct Era {
+    first_wave: u64,
+    dims: [usize; 3],
+    size: usize,
 }
 
 /// Fault-tolerant [`run_distributed`]: same numerics and decomposition,
@@ -518,66 +562,129 @@ pub fn run_distributed_resilient(
         case.bc.axis_periodic(2),
     ];
     let global_grid = case.grid();
+    if let Some(faults) = &opts.faults {
+        // Reject plans that cannot end well before any rank is spawned: a
+        // death outside the world would never fire (the run would hang
+        // waiting for it under Spare), and permanent deaths that leave no
+        // survivor quorum have no one left to reach consensus.
+        faults
+            .plan
+            .validate_for(n_ranks)
+            .map_err(|detail| ResilienceError::Plan { detail })?;
+        if faults.board.size() != n_ranks + opts.spares {
+            return Err(ResilienceError::Plan {
+                detail: format!(
+                    "fault board sized for {} physical ranks but the run needs {} \
+                     ({n_ranks} active + {} spare); build it with FaultCtx::new_with_spares",
+                    faults.board.size(),
+                    n_ranks + opts.spares,
+                    opts.spares
+                ),
+            });
+        }
+        faults.board.set_policy(opts.failure_policy);
+    }
     if opts.checkpoint_every > 0 {
-        std::fs::create_dir_all(&opts.ckpt_dir).expect("checkpoint dir");
+        std::fs::create_dir_all(&opts.ckpt_dir).map_err(|e| ResilienceError::Io {
+            rank: 0,
+            detail: format!("creating checkpoint dir {}: {e}", opts.ckpt_dir.display()),
+        })?;
     }
     let total_steps = steps as u64;
     let every = opts.checkpoint_every;
 
-    let body = |mut comm: Comm| -> RankOutcome {
-        let rank = comm.rank();
+    let rank_body = |mut comm: &mut Comm| -> RankOutcome {
+        let phys = comm.phys_rank();
         let mut ctx = Context::with_workers(cfg.workers);
         if let Some(tr) = &opts.trace {
-            let h = tr.handle(rank);
+            let h = tr.handle(phys);
             comm.set_tracer(Arc::clone(&h));
             ctx.set_tracer(h);
         }
-        let cart = CartComm::new(rank, dims, periodic);
-        let mut n = [1usize; 3];
-        let mut off = [0usize; 3];
-        for d in 0..eq.ndim() {
-            let (o, l) = cart.local_extent(d, global_n[d]);
-            off[d] = o;
-            n[d] = l;
+        let mut stats = CommStats::default();
+        let mut needs_recovery = false;
+        // Set once when a hot spare is woken into a vacant slot; consumed
+        // after the rendezvous to record the promotion exactly once.
+        let mut promoted_into: Option<usize> = None;
+
+        if comm.is_spare() {
+            // Hot spares idle outside the decomposition until the board
+            // either promotes one into a dead rank's slot or the run ends.
+            let faults = comm
+                .fault_ctx()
+                .expect("spare ranks require a fault ctx")
+                .clone();
+            match faults.board.spare_wait(phys) {
+                SpareWake::Shutdown => {
+                    ctx.flush_ledger_to_trace();
+                    return Ok((None, stats));
+                }
+                SpareWake::Promote { slot } => {
+                    promoted_into = Some(slot);
+                    needs_recovery = true;
+                }
+            }
         }
-        let dom = Domain::new(n, ng, eq);
-        let local_grid = Grid {
-            x: global_grid.x.slice(off[0], n[0]),
-            y: if eq.ndim() >= 2 {
-                global_grid.y.slice(off[1], n[1])
-            } else {
-                Grid1D::collapsed()
-            },
-            z: if eq.ndim() >= 3 {
-                global_grid.z.slice(off[2], n[2])
-            } else {
-                Grid1D::collapsed()
-            },
+
+        // Logical rank: the slot in the current epoch's roster. It moves
+        // when the communicator shrinks or a spare is promoted, so every
+        // use goes through the cell.
+        let me = Cell::new(promoted_into.unwrap_or_else(|| comm.rank()));
+        // Current decomposition epoch; a shrink recomputes both.
+        let mut dims_cur = dims;
+        let mut size_cur = n_ranks;
+
+        let build_layout = |logical: usize, dims_now: [usize; 3]| {
+            let cart = CartComm::new(logical, dims_now, periodic);
+            let mut n = [1usize; 3];
+            let mut off = [0usize; 3];
+            for d in 0..eq.ndim() {
+                let (o, l) = cart.local_extent(d, global_n[d]);
+                off[d] = o;
+                n[d] = l;
+            }
+            let dom = Domain::new(n, ng, eq);
+            let local_grid = Grid {
+                x: global_grid.x.slice(off[0], n[0]),
+                y: if eq.ndim() >= 2 {
+                    global_grid.y.slice(off[1], n[1])
+                } else {
+                    Grid1D::collapsed()
+                },
+                z: if eq.ndim() >= 3 {
+                    global_grid.z.slice(off[2], n[2])
+                } else {
+                    Grid1D::collapsed()
+                },
+            };
+            let mut skip = [(false, false); 3];
+            for (d, s) in skip.iter_mut().enumerate().take(eq.ndim()) {
+                *s = (
+                    cart.neighbor(d, -1).is_some(),
+                    cart.neighbor(d, 1).is_some(),
+                );
+            }
+            let widths = [
+                local_grid.x.widths_with_ghosts(dom.pad(0)),
+                local_grid.y.widths_with_ghosts(dom.pad(1)),
+                local_grid.z.widths_with_ghosts(dom.pad(2)),
+            ];
+            (cart, dom, local_grid, off, skip, widths)
         };
+
+        let (mut cart, mut dom, mut local_grid, mut off, mut skip, mut widths) =
+            build_layout(me.get(), dims_cur);
         let mut q = case.init_block(&ctx, &dom, &global_grid, off);
         let mut ws = RhsWorkspace::new(dom, &local_grid);
         let mut rk = RkWorkspace::new(&q);
-        let mut stats = CommStats::default();
-        let mut skip = [(false, false); 3];
-        for (d, s) in skip.iter_mut().enumerate().take(eq.ndim()) {
-            *s = (
-                cart.neighbor(d, -1).is_some(),
-                cart.neighbor(d, 1).is_some(),
-            );
-        }
-        let widths = [
-            local_grid.x.widths_with_ghosts(dom.pad(0)),
-            local_grid.y.widths_with_ghosts(dom.pad(1)),
-            local_grid.z.widths_with_ghosts(dom.pad(2)),
-        ];
-        let plan = OverlapPlan::new(&dom);
+        let mut plan = OverlapPlan::new(&dom);
 
         let note =
             |kind: ResilienceEventKind, step: u64, wave: u64, wall: Duration, detail: String| {
                 if let Some(ledger) = &opts.events {
                     ledger.record_event(ResilienceEvent {
                         kind,
-                        rank,
+                        rank: me.get(),
                         step,
                         wave,
                         wall,
@@ -592,7 +699,16 @@ pub fn run_distributed_resilient(
         let mut deaths_done: HashSet<usize> = HashSet::new();
         // Set after a rollback: (pre-fault step to replay through, timer).
         let mut replay_target: Option<(u64, Instant)> = None;
-        let mut needs_recovery = false;
+        // Which decomposition wrote each checkpoint wave: waves at or past
+        // `first_wave` of the last entry belong to the current epoch, so a
+        // rollback knows whether a wave loads directly or must be
+        // redistributed from the old layout's shards. Deterministic and
+        // identical on every survivor.
+        let mut eras: Vec<Era> = vec![Era {
+            first_wave: 0,
+            dims,
+            size: n_ranks,
+        }];
         // Numerical-recovery ladder state and the q^n retry snapshot.
         let policy = opts.recovery.clone();
         let mut rec = RecoveryState::default();
@@ -600,7 +716,8 @@ pub fn run_distributed_resilient(
         let mut q_save = q.clone();
 
         'steps: while step < total_steps {
-            // ---- Recovery: rendezvous, roll back, resume (or abort). ----
+            // ---- Recovery: rendezvous, reconfigure, roll back, resume
+            // (or abort). ----
             if needs_recovery {
                 needs_recovery = false;
                 let _recovery_span = ctx.span("rollback", Category::Recovery);
@@ -610,12 +727,83 @@ pub fn run_distributed_resilient(
                     .clone();
                 let fault_step = step;
                 let t0 = Instant::now();
-                // Everyone — including the "dead" rank, which the
-                // simulator revives here (a restarted process) — meets at
-                // the rendezvous; the generation bump fences off every
-                // pre-fault message still in flight.
-                let gen = faults.board.rendezvous();
-                comm.finish_recovery(gen);
+                // Everyone meets at the rendezvous. A transiently dead
+                // rank is revived in place (a restarted process); a
+                // permanently dead one never arrives, and the survivors'
+                // consensus either shrinks the roster around the hole or
+                // waits for a promoted spare to fill it. The generation
+                // bump fences off every pre-fault message still in flight.
+                let reconf = faults.board.rendezvous();
+                comm.finish_recovery(reconf.gen);
+                if !reconf.lost.is_empty() {
+                    let detail = match faults.board.policy() {
+                        FailurePolicy::Revive => format!(
+                            "rank slot(s) {:?} lost permanently under FailurePolicy::Revive \
+                             (no shrink, no spares)",
+                            reconf.lost
+                        ),
+                        FailurePolicy::Spare => format!(
+                            "spare pool exhausted with rank slot(s) {:?} still vacant",
+                            reconf.lost
+                        ),
+                        FailurePolicy::Shrink => {
+                            format!("rank slot(s) {:?} unrecoverable", reconf.lost)
+                        }
+                    };
+                    return Err(ResilienceError::Unrecoverable {
+                        rank: me.get(),
+                        detail,
+                    });
+                }
+                let prev_size = comm.size();
+                comm.adopt_roster(reconf.roster);
+                me.set(comm.rank());
+                let shrunk = comm.size() < prev_size;
+                if shrunk {
+                    // Survivor consensus reached: recompute the Cartesian
+                    // decomposition for the smaller world and rebuild
+                    // every layout-derived structure. Deterministic on
+                    // each survivor, so a rejection is collective.
+                    let _shrink_span = ctx.span("shrink", Category::Recovery);
+                    size_cur = comm.size();
+                    dims_cur = best_block_dims(size_cur, global_n);
+                    if let Err(e) = validate_halo_extents(dims_cur, global_n, ng) {
+                        return Err(ResilienceError::Decomposition {
+                            detail: format!("after shrinking to {size_cur} ranks: {e}"),
+                        });
+                    }
+                    let built = build_layout(me.get(), dims_cur);
+                    cart = built.0;
+                    dom = built.1;
+                    local_grid = built.2;
+                    off = built.3;
+                    skip = built.4;
+                    widths = built.5;
+                    ws = RhsWorkspace::new(dom, &local_grid);
+                    plan = OverlapPlan::new(&dom);
+                    if me.get() == 0 {
+                        note(
+                            ResilienceEventKind::Shrink,
+                            step,
+                            faults.board.committed_wave().unwrap_or(0),
+                            t0.elapsed(),
+                            format!(
+                                "survivor consensus: {prev_size} -> {size_cur} ranks, \
+                                 dims {dims_cur:?}"
+                            ),
+                        );
+                    }
+                }
+                if let Some(slot) = promoted_into.take() {
+                    let _promote_span = ctx.span("promote_spare", Category::Recovery);
+                    note(
+                        ResilienceEventKind::PromoteSpare,
+                        step,
+                        faults.board.committed_wave().unwrap_or(0),
+                        t0.elapsed(),
+                        format!("physical rank {phys} promoted into logical slot {slot}"),
+                    );
+                }
                 let outcome = match faults.board.committed_wave() {
                     None => RecoveryOutcome::Abort,
                     Some(wave) => RecoveryOutcome::RolledBack { wave },
@@ -623,7 +811,7 @@ pub fn run_distributed_resilient(
                 match outcome {
                     RecoveryOutcome::Abort => {
                         return Err(ResilienceError::Unrecoverable {
-                            rank,
+                            rank: me.get(),
                             detail: "fault before any committed checkpoint wave".into(),
                         });
                     }
@@ -631,26 +819,51 @@ pub fn run_distributed_resilient(
                         // Walk back from the committed wave until one loads
                         // on *every* rank: a truncated or bit-flipped file
                         // fails its CRC locally, and the collective min
-                        // makes all ranks skip that wave together.
+                        // makes all ranks skip that wave together. A wave
+                        // written by an older (pre-shrink) decomposition is
+                        // reassembled cross-shard: each new owner loads
+                        // exactly the cells it now owns from the old
+                        // layout's files.
                         let mut candidate = wave as i64;
-                        let (header, restored, loaded_wave) = loop {
+                        let (header, restored, loaded_wave, redistributed) = loop {
                             if candidate < 0 {
                                 return Err(ResilienceError::Unrecoverable {
-                                    rank,
+                                    rank: me.get(),
                                     detail: "no loadable checkpoint wave (all corrupt)".into(),
                                 });
                             }
-                            let path =
-                                crate::restart::wave_path(&opts.ckpt_dir, rank, candidate as u64);
-                            let local = crate::restart::load_checkpoint(&path);
-                            // Post-rendezvous every rank is alive again, so
-                            // the plain (non-policied) collective is safe.
+                            let cand = candidate as u64;
+                            let era = *eras
+                                .iter()
+                                .rev()
+                                .find(|e| e.first_wave <= cand)
+                                .expect("era list covers wave 0");
+                            let same_layout = era.dims == dims_cur && era.size == size_cur;
+                            let local = if same_layout {
+                                let path =
+                                    crate::restart::wave_path(&opts.ckpt_dir, me.get(), cand);
+                                crate::restart::load_checkpoint(&path)
+                            } else {
+                                let _redist_span = ctx.span("redistribute", Category::Recovery);
+                                crate::restart::load_redistributed(
+                                    &opts.ckpt_dir,
+                                    cand,
+                                    era.dims,
+                                    era.size,
+                                    global_n,
+                                    dom,
+                                    off,
+                                )
+                            };
+                            // Post-rendezvous every roster slot is alive
+                            // again, so the plain (non-policied)
+                            // collective is safe.
                             let ok = comm.allreduce_min(if local.is_ok() { 1.0 } else { 0.0 });
                             if ok >= 1.0 {
                                 let (h, r) = local.expect("agreed loadable");
-                                break (h, r, candidate as u64);
+                                break (h, r, cand, !same_layout);
                             }
-                            if rank == 0 {
+                            if me.get() == 0 {
                                 let why = match local {
                                     Ok(_) => "a peer rank's block failed".to_string(),
                                     Err(e) => e.to_string(),
@@ -658,7 +871,7 @@ pub fn run_distributed_resilient(
                                 note(
                                     ResilienceEventKind::Rollback,
                                     step,
-                                    candidate as u64,
+                                    cand,
                                     t0.elapsed(),
                                     format!("wave {candidate} unreadable, skipping: {why}"),
                                 );
@@ -670,6 +883,36 @@ pub fn run_distributed_resilient(
                         t = header.t;
                         step = header.steps;
                         next_wave = loaded_wave + 1;
+                        if redistributed && me.get() == 0 {
+                            let era = eras
+                                .iter()
+                                .rev()
+                                .find(|e| e.first_wave <= loaded_wave)
+                                .expect("era list covers wave 0");
+                            note(
+                                ResilienceEventKind::Redistribute,
+                                step,
+                                loaded_wave,
+                                t0.elapsed(),
+                                format!(
+                                    "wave {loaded_wave} re-sharded from {} ranks {:?} onto \
+                                     {size_cur} ranks {dims_cur:?}",
+                                    era.size, era.dims
+                                ),
+                            );
+                        }
+                        if shrunk {
+                            // Checkpoints from here on belong to the new
+                            // decomposition; their wave numbers strictly
+                            // exceed every pre-shrink wave.
+                            eras.push(Era {
+                                first_wave: next_wave,
+                                dims: dims_cur,
+                                size: size_cur,
+                            });
+                            rk = RkWorkspace::new(&q);
+                            q_save = q.clone();
+                        }
                         // The replay is a fresh deterministic run from the
                         // wave: restart the ladder state with it.
                         rec = RecoveryState::default();
@@ -677,7 +920,7 @@ pub fn run_distributed_resilient(
                         let target =
                             replay_target.map_or(fault_step, |(old, _)| old.max(fault_step));
                         replay_target = Some((target, Instant::now()));
-                        if rank == 0 {
+                        if me.get() == 0 {
                             note(
                                 ResilienceEventKind::Rollback,
                                 step,
@@ -697,15 +940,26 @@ pub fn run_distributed_resilient(
                 // Scripted death: drop all in-memory state and stop
                 // communicating; peers notice via the failure detector.
                 // Consumed by plan index so the death does not re-fire
-                // when the replay passes this step again.
-                if let Some(idx) = faults.plan.death_at(rank, step) {
+                // when the replay passes this step again. Deaths are
+                // scripted against *physical* ranks — the machine dies,
+                // whatever logical slot it currently holds.
+                if let Some(idx) = faults.plan.death_at(phys, step) {
                     if deaths_done.insert(idx) {
-                        faults.board.mark_dead(rank);
+                        if faults.plan.deaths[idx].permanent {
+                            // Permanent loss: this simulated process never
+                            // restarts. It must not release the spare pool
+                            // (its own slot may still need a spare), so no
+                            // shutdown — just flush and leave.
+                            faults.board.mark_dead_permanent(phys);
+                            ctx.flush_ledger_to_trace();
+                            return Ok((None, stats));
+                        }
+                        faults.board.mark_dead(phys);
                         needs_recovery = true;
                         continue;
                     }
                 }
-                if let Some(hold) = faults.plan.stall_for(rank, step) {
+                if let Some(hold) = faults.plan.stall_for(phys, step) {
                     std::thread::sleep(hold);
                 }
                 if faults.board.recovery_pending() {
@@ -719,30 +973,56 @@ pub fn run_distributed_resilient(
                 let _ckpt_span = ctx.span("checkpoint", Category::Io);
                 let wave = next_wave;
                 let t0 = Instant::now();
-                let path = crate::restart::wave_path(&opts.ckpt_dir, rank, wave);
-                crate::restart::save_checkpoint(&path, &q, t, step).expect("checkpoint write");
+                let path = crate::restart::wave_path(&opts.ckpt_dir, me.get(), wave);
+                let saved = crate::restart::save_checkpoint(&path, &q, t, step);
                 // The commit is a policied collective: the wave only
                 // counts once every live rank has durably written its
                 // block, and a dead/silent rank fails the commit instead
-                // of hanging it.
-                match comm.allreduce_policied(wave as f64, f64::min) {
-                    Ok(_) => {
+                // of hanging it. A *failed write* travels the same min-
+                // reduction, so every rank aborts with the same typed
+                // error instead of one rank panicking mid-collective.
+                let flag = if saved.is_ok() { 1.0 } else { 0.0 };
+                match comm.allreduce_policied(flag, f64::min) {
+                    Ok(v) if v >= 1.0 => {
                         if let Some(faults) = comm.fault_ctx() {
                             faults.board.commit_wave(wave);
                         }
+                        // Retention: drop the oldest wave outside the keep
+                        // window. Exactly one candidate per commit, always
+                        // strictly older than the newest committed wave,
+                        // and GC only ever runs here — between commits —
+                        // so it cannot race a rollback's candidate scan.
+                        let keep = opts.ckpt_keep.max(1) as u64;
+                        if let Some(old) = wave.checked_sub(keep) {
+                            let _ = std::fs::remove_file(crate::restart::wave_path(
+                                &opts.ckpt_dir,
+                                me.get(),
+                                old,
+                            ));
+                        }
                         next_wave += 1;
-                        if rank == 0 {
+                        if me.get() == 0 {
                             note(
                                 ResilienceEventKind::Checkpoint,
                                 step,
                                 wave,
                                 t0.elapsed(),
-                                format!("wave {wave} committed by {n_ranks} ranks"),
+                                format!("wave {wave} committed by {} ranks", comm.size()),
                             );
                         }
                     }
+                    Ok(_) => {
+                        let detail = match saved {
+                            Err(e) => format!("writing {}: {e}", path.display()),
+                            Ok(()) => "a peer rank failed its checkpoint write".into(),
+                        };
+                        return Err(ResilienceError::Io {
+                            rank: me.get(),
+                            detail,
+                        });
+                    }
                     Err(fault) => {
-                        detect_fault(&comm, &fault, step, t0.elapsed(), &note);
+                        detect_fault(comm, &fault, step, t0.elapsed(), &note);
                         needs_recovery = true;
                         continue;
                     }
@@ -785,7 +1065,7 @@ pub fn run_distributed_resilient(
                 let dt = match comm.allreduce_policied(local_dt, f64::min) {
                     Ok(v) => v,
                     Err(fault) => {
-                        detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
+                        detect_fault(comm, &fault, step, t_op.elapsed(), &note);
                         needs_recovery = true;
                         continue 'steps;
                     }
@@ -836,7 +1116,7 @@ pub fn run_distributed_resilient(
                         });
                     }
                     if let Some(fault) = halo_fault {
-                        detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
+                        detect_fault(comm, &fault, step, t_op.elapsed(), &note);
                         needs_recovery = true;
                         continue 'steps;
                     }
@@ -852,7 +1132,7 @@ pub fn run_distributed_resilient(
                         Ok(v) if v >= 1.0 => break dt,
                         Ok(_) => {}
                         Err(fault) => {
-                            detect_fault(&comm, &fault, step, t_op.elapsed(), &note);
+                            detect_fault(comm, &fault, step, t_op.elapsed(), &note);
                             needs_recovery = true;
                             continue 'steps;
                         }
@@ -870,7 +1150,7 @@ pub fn run_distributed_resilient(
                         t_op.elapsed(),
                         v.to_string(),
                     );
-                } else if degenerate && rank == 0 {
+                } else if degenerate && me.get() == 0 {
                     note(
                         ResilienceEventKind::HealthFault,
                         step,
@@ -898,7 +1178,7 @@ pub fn run_distributed_resilient(
                     );
                     if let Some(dir) = policy.as_ref().and_then(|p| p.crash_dump_dir.as_ref()) {
                         let _ = std::fs::create_dir_all(dir);
-                        let dump = dir.join(format!("crash_rank{rank}_step{step}.bin"));
+                        let dump = dir.join(format!("crash_rank{}_step{step}.bin", me.get()));
                         if crate::restart::save_checkpoint(&dump, &q, t, step).is_ok() {
                             note(
                                 ResilienceEventKind::CrashDump,
@@ -910,7 +1190,7 @@ pub fn run_distributed_resilient(
                         }
                     }
                     return Err(ResilienceError::Numerical {
-                        rank,
+                        rank: me.get(),
                         step,
                         detail,
                         violation: local_viol,
@@ -918,7 +1198,7 @@ pub fn run_distributed_resilient(
                 }
                 ctx.trace_instant("retry", Category::Recovery);
                 ctx.trace_instant("degrade", Category::Recovery);
-                if rank == 0 {
+                if me.get() == 0 {
                     let p = policy.as_ref().expect("exhausted is true when None");
                     note(
                         ResilienceEventKind::Retry,
@@ -941,7 +1221,7 @@ pub fn run_distributed_resilient(
             step += 1;
             attempts = 0;
             if let Some(p) = &policy {
-                if rec.accept(p) && rank == 0 {
+                if rec.accept(p) && me.get() == 0 {
                     note(
                         ResilienceEventKind::Restore,
                         step,
@@ -956,7 +1236,7 @@ pub fn run_distributed_resilient(
             }
             if let Some((target, since)) = replay_target {
                 if step >= target {
-                    if rank == 0 {
+                    if me.get() == 0 {
                         note(
                             ResilienceEventKind::Replay,
                             step,
@@ -984,18 +1264,65 @@ pub fn run_distributed_resilient(
         Ok((gathered, stats))
     };
 
-    let mut results = match &opts.faults {
-        Some(faults) => World::run_with_faults(n_ranks, Arc::clone(faults), body),
+    let body = |mut comm: Comm| -> RankOutcome {
+        let out = rank_body(&mut comm);
+        // Idle spares block in spare_wait until someone raises the
+        // shutdown flag. Every exit releases them — except a permanently
+        // dead rank, whose own vacant slot may still be waiting for a
+        // spare to claim it.
+        let perm_dead = comm
+            .fault_ctx()
+            .is_some_and(|f| f.board.is_perm_dead(comm.phys_rank()));
+        if !perm_dead {
+            if let Some(f) = comm.fault_ctx() {
+                f.board.shutdown();
+            }
+        }
+        out
+    };
+
+    let results = match &opts.faults {
+        Some(faults) => World::run_with_spares(n_ranks, opts.spares, Arc::clone(faults), body),
         None => World::run(n_ranks, body),
     };
-    let rank0 = results.remove(0);
-    for r in results {
-        r?;
+    // Prefer the violation-carrying numerical error; then any error.
+    // (Every terminal error is collective, so the survivors agree.)
+    let mut first_err = None;
+    for r in &results {
+        if let Err(e) = r {
+            if matches!(
+                e,
+                ResilienceError::Numerical {
+                    violation: Some(_),
+                    ..
+                }
+            ) {
+                return Err(e.clone());
+            }
+            if first_err.is_none() {
+                first_err = Some(e.clone());
+            }
+        }
     }
-    let (gathered, stats0) = rank0?;
-    let blocks = gathered.expect("rank 0 holds the gather");
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    // The gather lands on whichever physical rank holds logical slot 0 at
+    // the end — not necessarily physical rank 0 (it may have died
+    // permanently, or a spare may hold its slot).
+    let mut assembled = None;
+    for r in results {
+        let (gathered, stats) = r.expect("errors handled above");
+        if let Some(blocks) = gathered {
+            assembled = Some((blocks, stats));
+        }
+    }
+    let (blocks, stats0) = assembled.expect("some rank holds the gather");
+    // `blocks.len()` is the world size at exit; after a shrink it is
+    // smaller than `n_ranks` and the layout is the reconfigured one.
+    let dims_final = best_block_dims(blocks.len(), global_n);
     Ok((
-        assemble_global(eq, global_n, dims, periodic, &blocks),
+        assemble_global(eq, global_n, dims_final, periodic, &blocks),
         stats0,
     ))
 }
@@ -1561,7 +1888,11 @@ mod tests {
         let serial = run_single(&case, cfg, 10);
         let dir = resil_dir("death");
         let plan = FaultPlan {
-            deaths: vec![RankDeath { rank: 1, step: 6 }],
+            deaths: vec![RankDeath {
+                rank: 1,
+                step: 6,
+                permanent: false,
+            }],
             ..FaultPlan::none()
         };
         let faults = Arc::new(FaultCtx::new(plan, 2).with_detector(DetectorConfig {
@@ -1579,6 +1910,9 @@ mod tests {
             health: HealthConfig::default(),
             trace: None,
             exchange: ExchangeMode::Sendrecv,
+            failure_policy: FailurePolicy::Revive,
+            spares: 0,
+            ckpt_keep: 2,
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 10, Staging::DeviceDirect, &opts).unwrap();
@@ -1607,7 +1941,11 @@ mod tests {
         let cfg = SolverConfig::default();
         let dir = resil_dir("unrec");
         let plan = FaultPlan {
-            deaths: vec![RankDeath { rank: 1, step: 2 }],
+            deaths: vec![RankDeath {
+                rank: 1,
+                step: 2,
+                permanent: false,
+            }],
             ..FaultPlan::none()
         };
         let faults = Arc::new(FaultCtx::new(plan, 2).with_detector(DetectorConfig {
@@ -1624,6 +1962,9 @@ mod tests {
             health: HealthConfig::default(),
             trace: None,
             exchange: ExchangeMode::Sendrecv,
+            failure_policy: FailurePolicy::Revive,
+            spares: 0,
+            ckpt_keep: 2,
         };
         let err = run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts)
             .expect_err("death without checkpoints cannot be recovered");
@@ -1674,6 +2015,9 @@ mod tests {
             health: HealthConfig::default(),
             trace: None,
             exchange: ExchangeMode::Sendrecv,
+            failure_policy: FailurePolicy::Revive,
+            spares: 0,
+            ckpt_keep: 2,
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts).unwrap();
@@ -1796,6 +2140,9 @@ mod tests {
             health: HealthConfig::default(),
             trace: None,
             exchange: ExchangeMode::Overlapped,
+            failure_policy: FailurePolicy::Revive,
+            spares: 0,
+            ckpt_keep: 2,
         };
         let (field, _) =
             run_distributed_resilient(&case, cfg, 2, 6, Staging::DeviceDirect, &opts).unwrap();

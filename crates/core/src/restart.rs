@@ -257,6 +257,100 @@ pub fn load_checkpoint(path: &Path) -> Result<(CheckpointHeader, StateField), Ch
     Ok((header, q))
 }
 
+/// Rebuild one rank's state for a **new** decomposition from the wave
+/// shards of an **old** one — the state-redistribution step of
+/// shrink-and-continue recovery.
+///
+/// The caller owns global interior cells `off .. off + dom.n` under the
+/// new layout; each old rank's block under `(old_dims, old_size)` is
+/// located with [`mfc_mpsim::block_extents`], every shard that intersects
+/// is loaded (CRC-verified like any checkpoint), and exactly the owned
+/// cells are copied across. Ghost layers are left zeroed: every consumer
+/// of post-rollback state refreshes ghosts via halo exchange + boundary
+/// conditions before reading them, which is what makes the redistributed
+/// trajectory bitwise identical to a fresh run from this wave at the new
+/// rank count.
+///
+/// All intersecting shards must agree on `(t, steps)` bitwise and carry
+/// the layout the old decomposition implies; anything else is a
+/// [`CheckpointError::BadHeader`], which the collective rollback treats
+/// as "this wave is gone" and walks back further.
+pub fn load_redistributed(
+    dir: &Path,
+    wave: u64,
+    old_dims: [usize; 3],
+    old_size: usize,
+    global_n: [usize; 3],
+    dom: Domain,
+    off: [usize; 3],
+) -> Result<(CheckpointHeader, StateField), CheckpointError> {
+    let eq = dom.eq;
+    let ndim = eq.ndim();
+    let mut q = StateField::zeros(dom);
+    let mut meta: Option<(f64, u64)> = None;
+    let my_hi = [off[0] + dom.n[0], off[1] + dom.n[1], off[2] + dom.n[2]];
+    for old in 0..old_size {
+        let (ooff, on) = mfc_mpsim::block_extents(old, old_dims, global_n, ndim);
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        let mut empty = false;
+        for d in 0..3 {
+            lo[d] = off[d].max(ooff[d]);
+            hi[d] = my_hi[d].min(ooff[d] + on[d]);
+            empty |= lo[d] >= hi[d];
+        }
+        if empty {
+            continue;
+        }
+        let (h, oldq) = load_checkpoint(&wave_path(dir, old, wave))?;
+        if h.n != on || h.ng != dom.ng || h.nf != eq.nf() || h.ndim != ndim {
+            return Err(CheckpointError::BadHeader(format!(
+                "shard r{old} w{wave}: layout n={:?} ng={} nf={} ndim={} does not match \
+                 the {:?}-block the old {old_dims:?} decomposition implies",
+                h.n, h.ng, h.nf, h.ndim, on
+            )));
+        }
+        match meta {
+            None => meta = Some((h.t, h.steps)),
+            Some((t, s)) if t.to_bits() == h.t.to_bits() && s == h.steps => {}
+            Some((t, s)) => {
+                return Err(CheckpointError::BadHeader(format!(
+                    "shard r{old} w{wave} is at (t={}, step={}) but earlier shards are at \
+                     (t={t}, step={s}); the wave is not a consistent snapshot",
+                    h.t, h.steps
+                )))
+            }
+        }
+        let odom = *oldq.domain();
+        for e in 0..eq.neq() {
+            for gz in lo[2]..hi[2] {
+                for gy in lo[1]..hi[1] {
+                    for gx in lo[0]..hi[0] {
+                        let (oi, oj, ok) =
+                            odom.to_padded([gx - ooff[0], gy - ooff[1], gz - ooff[2]]);
+                        let (ni, nj, nk) = dom.to_padded([gx - off[0], gy - off[1], gz - off[2]]);
+                        q.set(ni, nj, nk, e, oldq.get(oi, oj, ok, e));
+                    }
+                }
+            }
+        }
+    }
+    let (t, steps) = meta.ok_or_else(|| {
+        CheckpointError::BadHeader(format!(
+            "no shard of the old {old_dims:?} decomposition intersects block at {off:?}"
+        ))
+    })?;
+    let header = CheckpointHeader {
+        n: dom.n,
+        ng: dom.ng,
+        nf: eq.nf(),
+        ndim,
+        t,
+        steps,
+    };
+    Ok((header, q))
+}
+
 fn read_or_truncated(
     r: &mut impl Read,
     buf: &mut [u8],
@@ -307,6 +401,67 @@ mod tests {
         // No temp file left behind.
         assert!(!tmp_path(&path).exists());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn redistribution_reassembles_interiors_across_layouts() {
+        use mfc_mpsim::{best_block_dims, block_extents};
+        let eq = EqIdx::new(1, 2);
+        let global = [12, 10, 1];
+        let ng = 3;
+        let dir = std::env::temp_dir().join(format!("mfc_redist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Write 4-rank shards of an analytic field (value = equation*1000
+        // + global linear index), ghosts poisoned with NaN to prove the
+        // redistribution never copies a ghost cell.
+        let old_dims = best_block_dims(4, global);
+        for r in 0..4 {
+            let (off, n) = block_extents(r, old_dims, global, 2);
+            let dom = Domain::new(n, ng, eq);
+            let mut q = StateField::zeros(dom);
+            q.fill(f64::NAN);
+            for e in 0..eq.neq() {
+                for gy in off[1]..off[1] + n[1] {
+                    for gx in off[0]..off[0] + n[0] {
+                        let (i, j, k) = dom.to_padded([gx - off[0], gy - off[1], 0]);
+                        q.set(i, j, k, e, (e * 1000 + gy * 12 + gx) as f64);
+                    }
+                }
+            }
+            save_checkpoint(&wave_path(&dir, r, 5), &q, 0.25, 7).unwrap();
+        }
+        // Redistribute onto every smaller rank count.
+        for new_ranks in [1usize, 2, 3] {
+            let new_dims = best_block_dims(new_ranks, global);
+            for r in 0..new_ranks {
+                let (off, n) = block_extents(r, new_dims, global, 2);
+                let dom = Domain::new(n, ng, eq);
+                let (h, q) = load_redistributed(&dir, 5, old_dims, 4, global, dom, off).unwrap();
+                assert_eq!(h.t, 0.25);
+                assert_eq!(h.steps, 7);
+                assert_eq!(h.n, n);
+                for e in 0..eq.neq() {
+                    for gy in off[1]..off[1] + n[1] {
+                        for gx in off[0]..off[0] + n[0] {
+                            let (i, j, k) = dom.to_padded([gx - off[0], gy - off[1], 0]);
+                            assert_eq!(
+                                q.get(i, j, k, e),
+                                (e * 1000 + gy * 12 + gx) as f64,
+                                "rank {r}/{new_ranks} cell ({gx},{gy}) eq {e}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // A missing shard surfaces as a typed error, not garbage.
+        std::fs::remove_file(wave_path(&dir, 0, 5)).unwrap();
+        let (off, n) = block_extents(0, best_block_dims(2, global), global, 2);
+        assert!(
+            load_redistributed(&dir, 5, old_dims, 4, global, Domain::new(n, ng, eq), off).is_err()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -196,6 +196,29 @@ impl CartComm {
     }
 }
 
+/// The `(offset, extent)` cell block a rank owns under a decomposition:
+/// `local_extent` applied per axis for the first `ndim` axes, with the
+/// trailing degenerate axes pinned to `(0, 1)` exactly as the distributed
+/// drivers lay ranks out. A pure function of `(rank, dims)`, so recovery
+/// code can locate *another* rank's checkpoint shard — including ranks of
+/// a decomposition that no longer exists after a shrink.
+pub fn block_extents(
+    rank: usize,
+    dims: [usize; 3],
+    global: [usize; 3],
+    ndim: usize,
+) -> ([usize; 3], [usize; 3]) {
+    let cart = CartComm::new(rank, dims, [false; 3]);
+    let mut off = [0usize; 3];
+    let mut n = [1usize; 3];
+    for d in 0..ndim {
+        let (o, len) = cart.local_extent(d, global[d]);
+        off[d] = o;
+        n[d] = len;
+    }
+    (off, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +301,26 @@ mod tests {
         // 13 cells over 4 ranks -> 4,3,3,3, rejected at ng=4 not ng=3.
         assert!(validate_halo_extents([4, 1, 1], [13, 1, 1], 3).is_ok());
         assert!(validate_halo_extents([4, 1, 1], [13, 1, 1], 4).is_err());
+    }
+
+    #[test]
+    fn block_extents_tile_the_domain_exactly() {
+        let dims = [2, 3, 1];
+        let global = [10, 7, 1];
+        let mut covered = [false; 70];
+        for rank in 0..6 {
+            let (off, n) = block_extents(rank, dims, global, 2);
+            assert_eq!(off[2], 0);
+            assert_eq!(n[2], 1);
+            for j in off[1]..off[1] + n[1] {
+                for i in off[0]..off[0] + n[0] {
+                    let idx = j * 10 + i;
+                    assert!(!covered[idx], "cell ({i},{j}) covered twice");
+                    covered[idx] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
     }
 
     #[test]

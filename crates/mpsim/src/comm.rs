@@ -186,15 +186,27 @@ impl Mailbox {
 /// dead, silent past the detector's patience, or when another rank has
 /// initiated recovery.
 pub struct Comm {
-    rank: usize,
-    size: usize,
+    /// Physical identity: this rank's mailbox index, fixed for the whole
+    /// run. Fault plans and the [`crate::fault::FaultBoard`] speak
+    /// physical ranks.
+    phys: usize,
+    /// Logical identity: this rank's slot in the current epoch's roster
+    /// (`usize::MAX` for an idle hot spare outside the decomposition).
+    /// All public operations — `rank()`, `send`, `recv`, collectives —
+    /// speak logical ranks and translate through the roster, so a spare
+    /// promotion or a communicator shrink is invisible to exchange code.
+    logical: usize,
+    /// Logical slot -> physical rank translation table for the epoch
+    /// this rank currently runs in (see [`Comm::adopt_roster`]).
+    roster: Vec<usize>,
     mailboxes: Arc<Vec<Mailbox>>,
     pending: VecDeque<Message>,
     barrier: Arc<Barrier>,
     faults: Option<Arc<FaultCtx>>,
     /// Recovery generation this rank currently runs in.
     gen: Cell<u64>,
-    /// Per-destination count of messages sent (fault keying + flow seq).
+    /// Per-physical-destination count of messages sent (fault keying +
+    /// flow seq).
     send_seq: Vec<Cell<u64>>,
     /// Retransmits observed by this rank's retry path.
     retransmits: Cell<u64>,
@@ -206,14 +218,40 @@ pub struct Comm {
 }
 
 impl Comm {
-    /// This rank's id (`MPI_Comm_rank`).
+    /// This rank's logical id in the current epoch (`MPI_Comm_rank`).
     pub fn rank(&self) -> usize {
-        self.rank
+        self.logical
     }
 
-    /// Number of ranks (`MPI_Comm_size`).
+    /// Number of logical ranks in the current epoch (`MPI_Comm_size`).
+    /// Shrinks when a permanent loss is healed by dropping dead slots.
     pub fn size(&self) -> usize {
-        self.size
+        self.roster.len()
+    }
+
+    /// This rank's fixed physical id (mailbox index): the identity fault
+    /// plans and the fault board use.
+    pub fn phys_rank(&self) -> usize {
+        self.phys
+    }
+
+    /// Whether this rank is an idle hot spare outside the decomposition
+    /// (no logical slot yet; promoted by [`Comm::adopt_roster`]).
+    pub fn is_spare(&self) -> bool {
+        self.logical == usize::MAX
+    }
+
+    /// Enter a reconfigured epoch: install the rendezvous' new
+    /// logical->physical roster and recompute this rank's logical id (a
+    /// promoted spare gains one; survivors of a shrink may keep theirs
+    /// or slide down). Panics if this physical rank is not in the roster
+    /// — a permanently dead rank must not adopt the epoch it left.
+    pub fn adopt_roster(&mut self, roster: Vec<usize>) {
+        self.logical = roster
+            .iter()
+            .position(|&p| p == self.phys)
+            .expect("physical rank absent from the adopted roster");
+        self.roster = roster;
     }
 
     /// The fault context this world runs under, if any.
@@ -251,19 +289,25 @@ impl Comm {
     }
 
     /// Non-blocking-ish send (`MPI_Send` with buffering semantics).
+    /// `dest` is a logical rank, translated through the epoch roster.
     pub fn send(&self, dest: usize, tag: u64, payload: Vec<f64>) {
-        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        assert!(
+            dest < self.roster.len(),
+            "send to rank {dest} of {}",
+            self.roster.len()
+        );
+        let dest_phys = self.roster[dest];
         let t0 = Instant::now();
         let bytes = (payload.len() * 8) as u64;
-        let nth = self.send_seq[dest].get();
-        self.send_seq[dest].set(nth + 1);
+        let nth = self.send_seq[dest_phys].get();
+        self.send_seq[dest_phys].set(nth + 1);
         let fault = self
             .faults
             .as_ref()
-            .and_then(|f| f.plan.send_fault(self.rank, dest, nth));
-        self.mailboxes[dest].push(
+            .and_then(|f| f.plan.send_fault(self.phys, dest_phys, nth));
+        self.mailboxes[dest_phys].push(
             Message {
-                src: self.rank,
+                src: self.phys,
                 tag,
                 gen: self.gen.get(),
                 seq: nth,
@@ -277,13 +321,14 @@ impl Comm {
     }
 
     /// Take a matching message out of the local pending buffer, skipping
-    /// and discarding stale-generation messages.
+    /// and discarding stale-generation messages. `source` is logical.
     fn take_pending(&mut self, source: usize, tag: u64) -> Option<Vec<f64>> {
         let gen = self.gen.get();
+        let src_phys = self.roster[source];
         self.pending.retain(|m| m.gen >= gen);
         self.pending
             .iter()
-            .position(|m| m.src == source && m.tag == tag)
+            .position(|m| m.src == src_phys && m.tag == tag)
             .map(|pos| self.pending.remove(pos).unwrap().payload)
     }
 
@@ -303,18 +348,19 @@ impl Comm {
         if let Some(p) = self.take_pending(source, tag) {
             return p;
         }
+        let src_phys = self.roster[source];
         let deadline = Instant::now() + PLAIN_RECV_DEADLINE;
         loop {
             let remaining = deadline
                 .checked_duration_since(Instant::now())
                 .expect("plain recv exceeded the deadlock safety net");
-            let m = self.mailboxes[self.rank]
+            let m = self.mailboxes[self.phys]
                 .pop(remaining)
                 .expect("plain recv exceeded the deadlock safety net");
             if m.gen < self.gen.get() {
                 continue;
             }
-            if m.src == source && m.tag == tag {
+            if m.src == src_phys && m.tag == tag {
                 return m.payload;
             }
             self.pending.push_back(m);
@@ -346,6 +392,7 @@ impl Comm {
         if let Some(p) = self.take_pending(source, tag) {
             return Ok(p);
         }
+        let src_phys = self.roster[source];
         let mut attempt: u32 = 0;
         loop {
             let slice = faults.detector.slice(attempt);
@@ -356,13 +403,13 @@ impl Comm {
                 if now >= deadline {
                     break;
                 }
-                match self.mailboxes[self.rank].pop(deadline - now) {
+                match self.mailboxes[self.phys].pop(deadline - now) {
                     None => break,
                     Some(m) => {
                         if m.gen < self.gen.get() {
                             continue;
                         }
-                        if m.src == source && m.tag == tag {
+                        if m.src == src_phys && m.tag == tag {
                             return Ok(m.payload);
                         }
                         self.pending.push_back(m);
@@ -373,10 +420,10 @@ impl Comm {
             if faults.board.recovery_pending() {
                 return Err(CommFault::RecoveryRequested);
             }
-            if !faults.board.is_alive(source) {
+            if !faults.board.is_alive(src_phys) {
                 return Err(CommFault::PeerDead { rank: source });
             }
-            let promoted = self.mailboxes[self.rank].promote_all();
+            let promoted = self.mailboxes[self.phys].promote_all();
             self.retransmits
                 .set(self.retransmits.get() + promoted as u64);
             self.retries.set(self.retries.get() + 1);
@@ -433,13 +480,13 @@ impl Comm {
         let _span = self.trace_collective("allreduce", 8);
         const REDUCE_TAG: u64 = u64::MAX - 1;
         const BCAST_TAG: u64 = u64::MAX - 2;
-        if self.rank == 0 {
+        if self.logical == 0 {
             let mut acc = value;
-            for src in 1..self.size {
+            for src in 1..self.size() {
                 let v = self.recv(src, REDUCE_TAG);
                 acc = op(acc, v[0]);
             }
-            for dst in 1..self.size {
+            for dst in 1..self.size() {
                 self.send(dst, BCAST_TAG, vec![acc]);
             }
             acc
@@ -460,13 +507,13 @@ impl Comm {
         let _span = self.trace_collective("allreduce", 8);
         const REDUCE_TAG: u64 = u64::MAX - 1;
         const BCAST_TAG: u64 = u64::MAX - 2;
-        if self.rank == 0 {
+        if self.logical == 0 {
             let mut acc = value;
-            for src in 1..self.size {
+            for src in 1..self.size() {
                 let v = self.recv_policied(src, REDUCE_TAG)?;
                 acc = op(acc, v[0]);
             }
-            for dst in 1..self.size {
+            for dst in 1..self.size() {
                 self.send(dst, BCAST_TAG, vec![acc]);
             }
             Ok(acc)
@@ -496,8 +543,8 @@ impl Comm {
     pub fn gather(&mut self, payload: Vec<f64>) -> Option<Vec<Vec<f64>>> {
         let _span = self.trace_collective("gather", (payload.len() * 8) as u64);
         const GATHER_TAG: u64 = u64::MAX - 3;
-        if self.rank == 0 {
-            let mut out = vec![Vec::new(); self.size];
+        if self.logical == 0 {
+            let mut out = vec![Vec::new(); self.size()];
             out[0] = payload;
             for (src, slot) in out.iter_mut().enumerate().skip(1) {
                 *slot = self.recv(src, GATHER_TAG);
@@ -514,8 +561,8 @@ impl Comm {
     pub fn bcast(&mut self, payload: Vec<f64>) -> Vec<f64> {
         let _span = self.trace_collective("bcast", (payload.len() * 8) as u64);
         const BCAST_TAG: u64 = u64::MAX - 4;
-        if self.rank == 0 {
-            for dst in 1..self.size {
+        if self.logical == 0 {
+            for dst in 1..self.size() {
                 self.send(dst, BCAST_TAG, payload.clone());
             }
             payload
@@ -534,9 +581,9 @@ impl Comm {
             .unwrap_or(0);
         let _span = self.trace_collective("scatter", bytes);
         const SCATTER_TAG: u64 = u64::MAX - 5;
-        if self.rank == 0 {
+        if self.logical == 0 {
             let mut chunks = chunks.expect("root must supply the chunks");
-            assert_eq!(chunks.len(), self.size, "need one chunk per rank");
+            assert_eq!(chunks.len(), self.size(), "need one chunk per rank");
             for (dst, chunk) in chunks.iter().enumerate().skip(1) {
                 self.send(dst, SCATTER_TAG, chunk.clone());
             }
@@ -619,7 +666,7 @@ impl World {
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
-        Self::run_inner(size, None, body)
+        Self::run_inner(size, 0, None, body)
     }
 
     /// [`World::run`] under a fault script: the plan's message faults are
@@ -635,15 +682,44 @@ impl World {
             size,
             "fault board sized for a different world"
         );
-        Self::run_inner(size, Some(faults), body)
+        Self::run_inner(size, 0, Some(faults), body)
     }
 
-    fn run_inner<T, F>(size: usize, faults: Option<Arc<FaultCtx>>, body: F) -> Vec<T>
+    /// [`World::run_with_faults`] plus `spares` hot-spare ranks: physical
+    /// ranks `active..active + spares` start outside the decomposition
+    /// ([`Comm::is_spare`]) and idle on the fault board until a recovery
+    /// under `FailurePolicy::Spare` promotes one into a dead rank's
+    /// logical slot. Results are ordered by physical rank (spares last).
+    pub fn run_with_spares<T, F>(
+        active: usize,
+        spares: usize,
+        faults: Arc<FaultCtx>,
+        body: F,
+    ) -> Vec<T>
     where
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
-        assert!(size > 0, "world needs at least one rank");
+        assert_eq!(
+            faults.board.size(),
+            active + spares,
+            "fault board sized for a different world"
+        );
+        Self::run_inner(active, spares, Some(faults), body)
+    }
+
+    fn run_inner<T, F>(
+        active: usize,
+        spares: usize,
+        faults: Option<Arc<FaultCtx>>,
+        body: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(active > 0, "world needs at least one rank");
+        let size = active + spares;
         let mailboxes: Arc<Vec<Mailbox>> =
             Arc::new((0..size).map(|_| Mailbox::default()).collect());
         let barrier = Arc::new(Barrier::new(size));
@@ -653,8 +729,9 @@ impl World {
             let mut handles = Vec::with_capacity(size);
             for rank in 0..size {
                 let comm = Comm {
-                    rank,
-                    size,
+                    phys: rank,
+                    logical: if rank < active { rank } else { usize::MAX },
+                    roster: (0..active).collect(),
                     mailboxes: Arc::clone(&mailboxes),
                     pending: VecDeque::new(),
                     barrier: Arc::clone(&barrier),
@@ -1066,5 +1143,45 @@ mod tests {
             }
         });
         assert_eq!(got[1], 99.0);
+    }
+
+    #[test]
+    fn shrunk_roster_translates_logical_ranks() {
+        // 3 ranks; rank 1 "leaves": ranks 0 and 2 adopt the shrunk
+        // roster [0, 2] and keep exchanging under logical ids 0 and 1,
+        // with the translation to physical mailboxes hidden inside Comm.
+        let got = World::run(3, |mut c| {
+            if c.phys_rank() == 1 {
+                return -1.0;
+            }
+            c.adopt_roster(vec![0, 2]);
+            assert_eq!(c.size(), 2);
+            let me = c.rank();
+            let peer = 1 - me;
+            let r = c.sendrecv(peer, 3, vec![me as f64], peer, 3);
+            r[0]
+        });
+        assert_eq!(got, vec![1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn spare_world_runs_actives_and_releases_spares() {
+        use crate::fault::{FaultCtx, SpareWake};
+        let ctx = Arc::new(FaultCtx::new_with_spares(FaultPlan::none(), 2, 1));
+        let bctx = Arc::clone(&ctx);
+        let got = World::run_with_spares(2, 1, ctx, move |mut c| {
+            if c.is_spare() {
+                assert_eq!(c.phys_rank(), 2);
+                return match bctx.board.spare_wait(c.phys_rank()) {
+                    SpareWake::Shutdown => -1.0,
+                    SpareWake::Promote { .. } => panic!("no deaths scheduled"),
+                };
+            }
+            assert_eq!(c.size(), 2, "spares sit outside the communicator");
+            let s = c.allreduce_sum(1.0);
+            bctx.board.shutdown();
+            s
+        });
+        assert_eq!(got, vec![2.0, 2.0, -1.0]);
     }
 }

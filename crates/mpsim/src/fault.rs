@@ -66,10 +66,55 @@ pub struct RankStall {
 }
 
 /// Kill `rank` when it reaches step `step` (before computing that step).
+///
+/// A default (`permanent: false`) death is transient: the rank "reboots"
+/// into the recovery rendezvous and rejoins the world. A `permanent`
+/// death models a lost node — the rank never comes back, and completing
+/// the run requires a [`FailurePolicy`] that heals the loss (shrinking
+/// the world or promoting a hot spare).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RankDeath {
     pub rank: usize,
     pub step: u64,
+    /// Defaults to `false` so every pre-existing plan JSON is unchanged.
+    #[serde(default)]
+    pub permanent: bool,
+}
+
+/// What the world does about a *permanent* rank loss, ULFM-style.
+///
+/// * `Revive` (default) — the historical behavior: recovery assumes every
+///   dead rank reboots. A permanent death under this policy is reported
+///   as a typed unrecoverable error instead of hanging.
+/// * `Shrink` — the survivors agree on the survivor set (the mpsim analog
+///   of `MPI_Comm_shrink`), recompute the Cartesian decomposition at the
+///   smaller rank count, and redistribute the last committed checkpoint
+///   wave onto the new layout.
+/// * `Spare` — hot-spare ranks provisioned outside the decomposition
+///   idle until the detector promotes one into the dead rank's slot; it
+///   loads the dead rank's shard and the run resumes at the original
+///   decomposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FailurePolicy {
+    #[default]
+    Revive,
+    Shrink,
+    Spare,
+}
+
+impl FailurePolicy {
+    /// Parse the CLI spelling (`--failure-policy revive|shrink|spare`).
+    pub fn from_flag(s: &str) -> Result<Self, String> {
+        match s {
+            "revive" => Ok(FailurePolicy::Revive),
+            "shrink" => Ok(FailurePolicy::Shrink),
+            "spare" => Ok(FailurePolicy::Spare),
+            other => Err(format!(
+                "unknown failure policy '{other}' (expected revive, shrink, or spare)"
+            )),
+        }
+    }
 }
 
 /// A scripted, deterministic set of faults for one run.
@@ -166,6 +211,35 @@ impl FaultPlan {
     pub fn last_death_step(&self) -> Option<u64> {
         self.deaths.iter().map(|d| d.step).max()
     }
+
+    /// Validate the plan against a world of `active` ranks: every death
+    /// must target a real rank, and at least one rank must survive all
+    /// permanent deaths (the survivor quorum that consensus-based
+    /// recovery needs). Returns a human-readable configuration error —
+    /// callers surface it as a typed config failure instead of letting
+    /// the run hang at an impossible rendezvous.
+    pub fn validate_for(&self, active: usize) -> Result<(), String> {
+        for d in &self.deaths {
+            if d.rank >= active {
+                return Err(format!(
+                    "fault plan kills rank {} but the world has only {active} ranks",
+                    d.rank
+                ));
+            }
+        }
+        let perm: std::collections::BTreeSet<usize> = self
+            .deaths
+            .iter()
+            .filter(|d| d.permanent)
+            .map(|d| d.rank)
+            .collect();
+        if !perm.is_empty() && perm.len() >= active {
+            return Err(format!(
+                "fault plan permanently kills all {active} ranks; no survivor quorum remains"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Failure raised by a policied (fault-aware) communication call.
@@ -228,10 +302,43 @@ impl DetectorConfig {
 #[derive(Debug)]
 struct BoardInner {
     alive: Vec<bool>,
+    /// Permanently lost physical ranks — never revived by a rendezvous.
+    perm_dead: Vec<bool>,
+    /// Logical slot -> physical rank translation table for the current
+    /// epoch. Starts as the identity over the active ranks; a spare
+    /// promotion patches one slot, a shrink drops the dead slots.
+    roster: Vec<usize>,
+    /// Physical ranks of hot spares still idling outside the roster.
+    idle_spares: Vec<usize>,
+    policy: FailurePolicy,
     recovery: bool,
     gen: u64,
     arrived: usize,
     committed_wave: Option<u64>,
+    /// Set when the run is over (success or collective abort): releases
+    /// any spare still parked in [`FaultBoard::spare_wait`].
+    shutdown: bool,
+}
+
+/// Outcome of a completed recovery rendezvous: the new epoch number, the
+/// (possibly reconfigured) logical->physical roster, and any logical
+/// slots whose owner is permanently dead and was *not* healed by the
+/// failure policy — a non-empty `lost` means the run cannot continue.
+#[derive(Debug, Clone)]
+pub struct Reconfig {
+    pub gen: u64,
+    pub roster: Vec<usize>,
+    pub lost: Vec<usize>,
+}
+
+/// What woke an idle hot spare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpareWake {
+    /// The spare was promoted into logical slot `slot`; it must join the
+    /// in-progress recovery rendezvous and load that slot's shard.
+    Promote { slot: usize },
+    /// The run ended without needing this spare.
+    Shutdown,
 }
 
 /// Shared failure-detector and recovery-rendezvous state.
@@ -249,21 +356,45 @@ pub struct FaultBoard {
 
 impl FaultBoard {
     pub fn new(size: usize) -> Self {
+        FaultBoard::with_spares(size, 0)
+    }
+
+    /// A board for `active` computing ranks plus `spares` hot spares
+    /// (physical ranks `active..active + spares`) idling outside the
+    /// decomposition until promoted.
+    pub fn with_spares(active: usize, spares: usize) -> Self {
+        let size = active + spares;
         FaultBoard {
             size,
             inner: Mutex::new(BoardInner {
                 alive: vec![true; size],
+                perm_dead: vec![false; size],
+                roster: (0..active).collect(),
+                idle_spares: (active..size).collect(),
+                policy: FailurePolicy::default(),
                 recovery: false,
                 gen: 0,
                 arrived: 0,
                 committed_wave: None,
+                shutdown: false,
             }),
             cv: Condvar::new(),
         }
     }
 
+    /// Total physical ranks backed by this board (active + spares).
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Select how a permanent rank loss is healed. The driver sets this
+    /// once before the run from its resilience options.
+    pub fn set_policy(&self, policy: FailurePolicy) {
+        self.inner.lock().unwrap().policy = policy;
+    }
+
+    pub fn policy(&self) -> FailurePolicy {
+        self.inner.lock().unwrap().policy
     }
 
     /// Mark `rank` dead (called by the dying rank itself — the simulator
@@ -273,8 +404,26 @@ impl FaultBoard {
         self.cv.notify_all();
     }
 
+    /// Mark `rank` permanently lost: it never reboots, and the next
+    /// rendezvous runs the failure policy instead of reviving it.
+    pub fn mark_dead_permanent(&self, rank: usize) {
+        let mut b = self.inner.lock().unwrap();
+        b.alive[rank] = false;
+        b.perm_dead[rank] = true;
+        self.cv.notify_all();
+    }
+
     pub fn is_alive(&self, rank: usize) -> bool {
         self.inner.lock().unwrap().alive[rank]
+    }
+
+    pub fn is_perm_dead(&self, rank: usize) -> bool {
+        self.inner.lock().unwrap().perm_dead[rank]
+    }
+
+    /// Current logical->physical roster (snapshot).
+    pub fn roster(&self) -> Vec<usize> {
+        self.inner.lock().unwrap().roster.clone()
     }
 
     /// Pull the recovery alarm. Returns `true` for the first caller of
@@ -308,27 +457,100 @@ impl FaultBoard {
         self.inner.lock().unwrap().committed_wave
     }
 
-    /// Recovery rendezvous: blocks until **all** ranks (the dead one
-    /// included — it "reboots" into this call) have arrived, then starts
-    /// the next generation: everyone is alive again, the alarm is reset,
-    /// and the new generation number is returned so stale in-flight
-    /// messages can be discarded by epoch.
-    pub fn rendezvous(&self) -> u64 {
+    /// Recovery rendezvous: blocks until every *expected* participant has
+    /// arrived, then starts the next epoch. Transiently dead ranks are
+    /// expected (they "reboot" into this call) and revived; permanently
+    /// dead ranks never arrive, and the completion runs the failure
+    /// policy instead:
+    ///
+    /// * `Shrink` — dead slots are dropped from the roster (the survivor
+    ///   consensus: everyone observes the same shrunk translation table
+    ///   under the one board lock).
+    /// * `Spare` — completion additionally waits for an idle spare to
+    ///   claim each dead slot (see [`FaultBoard::spare_wait`]); the
+    ///   promoted spare then arrives as a participant. With the pool
+    ///   exhausted, the unhealed slots are reported in `lost`.
+    /// * `Revive` — dead slots stay in the roster and are reported in
+    ///   `lost` (a typed unrecoverable error for the caller, not a hang).
+    ///
+    /// The returned epoch number (`gen`) fences stale in-flight messages:
+    /// [`crate::comm::Comm::finish_recovery`] discards everything tagged
+    /// with an older generation.
+    pub fn rendezvous(&self) -> Reconfig {
         let mut b = self.inner.lock().unwrap();
         let my_gen = b.gen;
         b.arrived += 1;
-        if b.arrived == self.size {
-            b.arrived = 0;
-            b.gen += 1;
-            b.recovery = false;
-            b.alive.iter_mut().for_each(|a| *a = true);
-            self.cv.notify_all();
-        } else {
-            while b.gen == my_gen {
-                b = self.cv.wait(b).unwrap();
+        self.cv.notify_all();
+        loop {
+            if b.gen != my_gen {
+                break;
             }
+            let expected = b.roster.iter().filter(|&&p| !b.perm_dead[p]).count();
+            let lost_slot = b.roster.iter().any(|&p| b.perm_dead[p]);
+            let awaiting_spare =
+                b.policy == FailurePolicy::Spare && lost_slot && !b.idle_spares.is_empty();
+            if b.arrived >= expected && !awaiting_spare {
+                if b.policy == FailurePolicy::Shrink {
+                    let perm = &b.perm_dead;
+                    let kept: Vec<usize> = b.roster.iter().copied().filter(|&p| !perm[p]).collect();
+                    b.roster = kept;
+                }
+                b.arrived = 0;
+                b.gen += 1;
+                b.recovery = false;
+                for r in 0..self.size {
+                    b.alive[r] = !b.perm_dead[r];
+                }
+                self.cv.notify_all();
+                break;
+            }
+            b = self.cv.wait(b).unwrap();
         }
-        b.gen
+        let lost = b
+            .roster
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| b.perm_dead[p])
+            .map(|(slot, _)| slot)
+            .collect();
+        Reconfig {
+            gen: b.gen,
+            roster: b.roster.clone(),
+            lost,
+        }
+    }
+
+    /// Park an idle hot spare (physical rank `phys`). Blocks until either
+    /// a recovery under `FailurePolicy::Spare` promotes it into a dead
+    /// rank's logical slot (the claim patches the roster under the board
+    /// lock, so the survivors' rendezvous completion waits for the spare
+    /// to arrive) or the run shuts down.
+    pub fn spare_wait(&self, phys: usize) -> SpareWake {
+        let mut b = self.inner.lock().unwrap();
+        loop {
+            if b.shutdown {
+                return SpareWake::Shutdown;
+            }
+            if b.recovery && b.policy == FailurePolicy::Spare && b.idle_spares.contains(&phys) {
+                let perm = &b.perm_dead;
+                if let Some(slot) = b.roster.iter().position(|&p| perm[p]) {
+                    b.roster[slot] = phys;
+                    b.idle_spares.retain(|&s| s != phys);
+                    b.alive[phys] = true;
+                    self.cv.notify_all();
+                    return SpareWake::Promote { slot };
+                }
+            }
+            b = self.cv.wait(b).unwrap();
+        }
+    }
+
+    /// Release any still-idle spares: the run is over (normal completion
+    /// or a collective abort). Idempotent; a no-op for boards without
+    /// spares.
+    pub fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.cv.notify_all();
     }
 }
 
@@ -345,6 +567,16 @@ impl FaultCtx {
         FaultCtx {
             plan,
             board: FaultBoard::new(size),
+            detector: DetectorConfig::default(),
+        }
+    }
+
+    /// A fault context for `active` computing ranks plus `spares` hot
+    /// spares (for worlds run with [`crate::comm::World::run_with_spares`]).
+    pub fn new_with_spares(plan: FaultPlan, active: usize, spares: usize) -> Self {
+        FaultCtx {
+            plan,
+            board: FaultBoard::with_spares(active, spares),
             detector: DetectorConfig::default(),
         }
     }
@@ -384,7 +616,11 @@ mod tests {
                 step: 4,
                 millis: 5,
             }],
-            deaths: vec![RankDeath { rank: 2, step: 6 }],
+            deaths: vec![RankDeath {
+                rank: 2,
+                step: 6,
+                permanent: true,
+            }],
         };
         let json = serde_json::to_string(&plan).unwrap();
         let back = FaultPlan::from_json(&json).unwrap();
@@ -399,9 +635,38 @@ mod tests {
     fn plan_defaults_missing_sections_to_empty() {
         let plan = FaultPlan::from_json(r#"{"deaths": [{"rank": 1, "step": 5}]}"#).unwrap();
         assert_eq!(plan.deaths.len(), 1);
+        assert!(
+            !plan.deaths[0].permanent,
+            "legacy plan JSON must stay transient"
+        );
         assert!(plan.drops.is_empty());
         assert!(!plan.is_empty());
         assert_eq!(plan.last_death_step(), Some(5));
+    }
+
+    #[test]
+    fn plan_quorum_validation_rejects_total_permanent_loss() {
+        let kill = |rank| RankDeath {
+            rank,
+            step: 3,
+            permanent: true,
+        };
+        let plan = FaultPlan {
+            deaths: vec![kill(0), kill(1)],
+            ..FaultPlan::none()
+        };
+        assert!(plan.validate_for(2).is_err(), "no survivor quorum");
+        assert!(plan.validate_for(3).is_ok(), "one survivor remains");
+        let out_of_range = FaultPlan {
+            deaths: vec![RankDeath {
+                rank: 9,
+                step: 0,
+                permanent: false,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(out_of_range.validate_for(4).is_err());
+        assert!(FaultPlan::none().validate_for(1).is_ok());
     }
 
     #[test]
@@ -435,7 +700,7 @@ mod tests {
             let hs: Vec<_> = (0..3)
                 .map(|_| {
                     let b = std::sync::Arc::clone(&board);
-                    s.spawn(move || b.rendezvous())
+                    s.spawn(move || b.rendezvous().gen)
                 })
                 .collect();
             hs.into_iter().map(|h| h.join().unwrap()).collect()
@@ -443,6 +708,101 @@ mod tests {
         assert_eq!(gens, vec![1, 1, 1]);
         assert!(board.is_alive(1));
         assert!(!board.recovery_pending());
+        assert_eq!(
+            board.roster(),
+            vec![0, 1, 2],
+            "transient death: no reconfig"
+        );
+    }
+
+    #[test]
+    fn shrink_rendezvous_drops_permanently_dead_slots() {
+        let board = std::sync::Arc::new(FaultBoard::new(4));
+        board.set_policy(FailurePolicy::Shrink);
+        board.mark_dead_permanent(2);
+        board.request_recovery();
+        let reconfs: Vec<Reconfig> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let b = std::sync::Arc::clone(&board);
+                    s.spawn(move || b.rendezvous())
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for rc in &reconfs {
+            assert_eq!(rc.gen, 1);
+            assert_eq!(rc.roster, vec![0, 1, 3], "survivor consensus");
+            assert!(rc.lost.is_empty(), "shrink heals the loss");
+        }
+        assert!(!board.is_alive(2), "permanent death is never revived");
+    }
+
+    #[test]
+    fn spare_rendezvous_promotes_an_idle_spare() {
+        // 3 active ranks + 1 spare (physical rank 3); rank 1 dies
+        // permanently, the spare takes its slot.
+        let board = std::sync::Arc::new(FaultBoard::with_spares(3, 1));
+        board.set_policy(FailurePolicy::Spare);
+        board.mark_dead_permanent(1);
+        board.request_recovery();
+        let (survivors, wake) = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = std::sync::Arc::clone(&board);
+                    s.spawn(move || b.rendezvous())
+                })
+                .collect();
+            let spare = {
+                let b = std::sync::Arc::clone(&board);
+                s.spawn(move || {
+                    let wake = b.spare_wait(3);
+                    if let SpareWake::Promote { .. } = wake {
+                        b.rendezvous();
+                    }
+                    wake
+                })
+            };
+            let survivors: Vec<Reconfig> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+            (survivors, spare.join().unwrap())
+        });
+        assert_eq!(wake, SpareWake::Promote { slot: 1 });
+        for rc in &survivors {
+            assert_eq!(rc.roster, vec![0, 3, 2], "spare fills the dead slot");
+            assert!(rc.lost.is_empty());
+        }
+    }
+
+    #[test]
+    fn exhausted_spare_pool_reports_lost_slots() {
+        let board = std::sync::Arc::new(FaultBoard::new(3));
+        board.set_policy(FailurePolicy::Spare);
+        board.mark_dead_permanent(1);
+        board.request_recovery();
+        let reconfs: Vec<Reconfig> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = std::sync::Arc::clone(&board);
+                    s.spawn(move || b.rendezvous())
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for rc in &reconfs {
+            assert_eq!(rc.lost, vec![1], "no spare left to heal slot 1");
+        }
+    }
+
+    #[test]
+    fn shutdown_releases_idle_spares() {
+        let board = std::sync::Arc::new(FaultBoard::with_spares(2, 1));
+        let wake = std::thread::scope(|s| {
+            let b = std::sync::Arc::clone(&board);
+            let h = s.spawn(move || b.spare_wait(2));
+            board.shutdown();
+            h.join().unwrap()
+        });
+        assert_eq!(wake, SpareWake::Shutdown);
     }
 
     #[test]

@@ -31,11 +31,13 @@ pub mod costmodel;
 pub mod fault;
 pub mod io;
 
-pub use cart::{best_block_dims, validate_halo_extents, CartComm, DecompositionError};
+pub use cart::{
+    best_block_dims, block_extents, validate_halo_extents, CartComm, DecompositionError,
+};
 pub use comm::{Comm, RecvRequest, World};
 pub use costmodel::{CommParams, Staging};
 pub use fault::{
-    CommFault, DetectorConfig, FaultBoard, FaultCtx, FaultPlan, MsgDelay, MsgFault, RankDeath,
-    RankStall,
+    CommFault, DetectorConfig, FailurePolicy, FaultBoard, FaultCtx, FaultPlan, MsgDelay, MsgFault,
+    RankDeath, RankStall, Reconfig, SpareWake,
 };
 pub use io::{SharedFileWriter, WaveWriter, DEFAULT_WAVE_SIZE};

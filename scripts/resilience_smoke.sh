@@ -131,6 +131,24 @@ else
     fail=1
 fi
 
+# --- permanent rank death: fatal by default, survivable under shrink ------
+# The revive policy only covers transient deaths (the simulated process
+# restarts); a permanent loss must abort numerically, and the same plan
+# must complete once survivors are allowed to shrink the decomposition.
+# scripts/shrink_smoke.sh covers the full policy matrix.
+sod_case perm ', "ranks": 4' "" >"$TMP/perm.json"
+cat >"$TMP/perm_plan.json" <<'EOF'
+{ "seed": 7, "deaths": [ { "rank": 2, "step": 7, "permanent": true } ] }
+EOF
+expect 4 "permanent rank death under the default policy exits 4" \
+    "$BIN" "$TMP/perm.json" --faults "$TMP/perm_plan.json" \
+    --checkpoint-every 3 $WFLAGS
+require_output "permanent-death abort names the policy" "Revive"
+expect 0 "the same permanent death completes with --failure-policy shrink" \
+    "$BIN" "$TMP/perm.json" --faults "$TMP/perm_plan.json" \
+    --checkpoint-every 3 --failure-policy shrink $WFLAGS
+require_output "shrink recovery logs the survivor consensus" "shrink"
+
 # --- corrupt-checkpoint rollback (truncated wave skipped collectively) ----
 expect 0 "corrupt checkpoint wave is skipped during rollback" \
     cargo test -q --test health_recovery \

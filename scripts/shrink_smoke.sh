@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Smoke-test permanent-rank-loss recovery end-to-end through the CLI:
+# a 4-rank checkpointed run in which physical rank 2 dies *permanently*
+# (the simulated process never restarts), driven through both recovery
+# policies:
+#
+#   --failure-policy shrink   survivors agree on a 3-rank world and the
+#                             last committed wave is redistributed
+#                             cross-shard (exit 0, `shrink` +
+#                             `redistribute` events in the summary)
+#   --failure-policy spare    a hot spare provisioned with --spares 1 is
+#                             promoted into the vacant slot (exit 0,
+#                             `promote_spare` event, no shrink)
+#
+# plus the failure modes: the default revive policy cannot resurrect a
+# permanent loss (numerical exit 4), and a plan whose permanent deaths
+# leave no survivor quorum is rejected as configuration (exit 2).
+#
+# The bitwise compare against a fresh from-checkpoint reference at the
+# corresponding rank count is enforced by the shrink_spare test suite,
+# which this script runs last.
+#
+# Run from the repo root: bash scripts/shrink_smoke.sh
+# Pass `--workers N` to run the solver on N gang-parallel worker threads.
+set -u
+
+WORKERS=1
+if [ "${1:-}" = "--workers" ]; then
+    WORKERS=${2:?--workers needs a thread count}
+fi
+WFLAGS=""
+[ "$WORKERS" -gt 1 ] && WFLAGS="--workers $WORKERS"
+
+cargo build -q -p mfc-cli || exit 1
+BIN=target/debug/mfc-run
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+expect() { # expect <exit-code> <description> <cmd...>
+    local want=$1 desc=$2
+    shift 2
+    "$@" >"$TMP/out.log" 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc - expected exit $want, got $got"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+require_output() { # require_output <description> <grep-pattern>
+    if grep -q "$2" "$TMP/out.log"; then
+        echo "ok: $1"
+    else
+        echo "FAIL: $1 - output lacks '$2'"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    fi
+}
+
+forbid_output() { # forbid_output <description> <grep-pattern>
+    if grep -q "$2" "$TMP/out.log"; then
+        echo "FAIL: $1 - output unexpectedly contains '$2'"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    else
+        echo "ok: $1"
+    fi
+}
+
+sod_case() { # sod_case <name>
+    cat <<EOF
+{
+  "name": "$1",
+  "fluids": [{ "gamma": 1.4, "pi_inf": 0.0 }],
+  "ndim": 1,
+  "cells": [32, 1, 1],
+  "lo": [0.0, 0.0, 0.0],
+  "hi": [1.0, 1.0, 1.0],
+  "bc": "transmissive",
+  "patches": [
+    { "region": "all",
+      "state": { "alpha": [1.0], "rho": [0.125], "vel": [0, 0, 0], "p": 0.1 } },
+    { "region": { "half_space": { "axis": 0, "bound": 0.5 } },
+      "state": { "alpha": [1.0], "rho": [1.0], "vel": [0, 0, 0], "p": 1.0 } }
+  ],
+  "numerics": { "order": "weno5", "solver": "hllc", "cfl": 0.5 },
+  "run": { "steps": 12, "ranks": 4 },
+  "output": { "dir": "$TMP/out_$1", "vtk": false }
+}
+EOF
+}
+
+# Physical rank 2 dies for good at step 7, one step after the wave-2
+# commit at step 6 under --checkpoint-every 3.
+cat >"$TMP/perm_plan.json" <<'EOF'
+{ "seed": 11, "deaths": [ { "rank": 2, "step": 7, "permanent": true } ] }
+EOF
+
+# --- shrink-and-continue ---------------------------------------------------
+sod_case shrink >"$TMP/shrink.json"
+expect 0 "permanent death recovers under --failure-policy shrink" \
+    "$BIN" "$TMP/shrink.json" --faults "$TMP/perm_plan.json" \
+    --checkpoint-every 3 --failure-policy shrink $WFLAGS
+require_output "shrink run logs the survivor consensus" "shrink"
+require_output "shrink run re-shards the committed wave" "redistribute"
+require_output "shrink run rolls back" "rollback"
+forbid_output "shrink run promotes no spare" "promote_spare"
+
+# --- spare-rank takeover ---------------------------------------------------
+sod_case spare >"$TMP/spare.json"
+expect 0 "permanent death recovers under --failure-policy spare --spares 1" \
+    "$BIN" "$TMP/spare.json" --faults "$TMP/perm_plan.json" \
+    --checkpoint-every 3 --failure-policy spare --spares 1 $WFLAGS
+require_output "spare run logs the promotion" "promote_spare"
+forbid_output "spare run keeps the decomposition (no shrink)" "shrink"
+
+# --- default revive policy cannot absorb a permanent loss ------------------
+sod_case revive >"$TMP/revive.json"
+expect 4 "permanent death under the default policy is unrecoverable" \
+    "$BIN" "$TMP/revive.json" --faults "$TMP/perm_plan.json" \
+    --checkpoint-every 3 $WFLAGS
+require_output "revive failure names the policy" "Revive"
+
+# --- a plan with no survivor quorum is a config error ----------------------
+cat >"$TMP/wipeout.json" <<'EOF'
+{ "seed": 11, "deaths": [
+  { "rank": 0, "step": 4, "permanent": true },
+  { "rank": 1, "step": 4, "permanent": true },
+  { "rank": 2, "step": 4, "permanent": true },
+  { "rank": 3, "step": 4, "permanent": true }
+] }
+EOF
+sod_case wipeout >"$TMP/wipeout_case.json"
+expect 2 "plan killing every rank permanently is rejected host-side" \
+    "$BIN" "$TMP/wipeout_case.json" --faults "$TMP/wipeout.json" \
+    --checkpoint-every 3 --failure-policy shrink $WFLAGS
+require_output "quorum error names the cause" "quorum"
+
+# --- bad flag values -------------------------------------------------------
+expect 2 "unknown failure policy is a usage error" \
+    "$BIN" "$TMP/shrink.json" --failure-policy immortal
+
+# --- bitwise equivalence vs the from-checkpoint reference ------------------
+expect 0 "shrink and spare recoveries are bitwise serial-equivalent" \
+    cargo test -q --test shrink_spare
+
+if [ "$fail" -ne 0 ]; then
+    echo "shrink smoke: FAILED (workers=$WORKERS)"
+    exit 1
+fi
+echo "shrink smoke: all checks passed (workers=$WORKERS)"

@@ -132,7 +132,7 @@ fn exchange_modes_agree_bitwise_under_active_faults_4ranks() {
     use std::sync::Arc;
 
     use mfc::core::par::{run_distributed_resilient, ExchangeMode, ResilienceOpts};
-    use mfc::mpsim::{DetectorConfig, FaultCtx, FaultPlan, MsgDelay, MsgFault};
+    use mfc::mpsim::{DetectorConfig, FailurePolicy, FaultCtx, FaultPlan, MsgDelay, MsgFault};
     use mfc_core::HealthConfig;
     let case = presets::two_phase_benchmark(2, [20, 20, 1]);
     let cfg = SolverConfig::default();
@@ -184,6 +184,9 @@ fn exchange_modes_agree_bitwise_under_active_faults_4ranks() {
             health: HealthConfig::default(),
             trace: None,
             exchange: mode,
+            failure_policy: FailurePolicy::Revive,
+            spares: 0,
+            ckpt_keep: 2,
         };
         let (dist, _) =
             run_distributed_resilient(&case, cfg, 4, steps, Staging::DeviceDirect, &opts)

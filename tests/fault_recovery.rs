@@ -16,7 +16,9 @@ use mfc_core::par::{
     ResilienceOpts,
 };
 use mfc_core::solver::SolverConfig;
-use mfc_mpsim::{DetectorConfig, FaultCtx, FaultPlan, MsgDelay, MsgFault, RankDeath, RankStall};
+use mfc_mpsim::{
+    DetectorConfig, FailurePolicy, FaultCtx, FaultPlan, MsgDelay, MsgFault, RankDeath, RankStall,
+};
 use proptest::prelude::*;
 
 const STEPS: usize = 12;
@@ -62,6 +64,9 @@ fn run_with_plan(
         health: mfc_core::HealthConfig::default(),
         trace: None,
         exchange: ExchangeMode::Sendrecv,
+        failure_policy: FailurePolicy::Revive,
+        spares: 0,
+        ckpt_keep: 2,
     };
     let out = run_distributed_resilient(
         &presets::sod(32),
@@ -83,8 +88,16 @@ fn multi_rank_deaths_recover_bitwise_identical() {
     // still matches the serial fault-free run bit for bit.
     let plan = FaultPlan {
         deaths: vec![
-            RankDeath { rank: 1, step: 5 },
-            RankDeath { rank: 3, step: 9 },
+            RankDeath {
+                rank: 1,
+                step: 5,
+                permanent: false,
+            },
+            RankDeath {
+                rank: 3,
+                step: 9,
+                permanent: false,
+            },
         ],
         ..FaultPlan::none()
     };
@@ -139,7 +152,11 @@ fn mixed_fault_plan_recovers_bitwise_identical() {
             step: 3,
             millis: 15,
         }],
-        deaths: vec![RankDeath { rank: 0, step: 7 }],
+        deaths: vec![RankDeath {
+            rank: 0,
+            step: 7,
+            permanent: false,
+        }],
     };
     let (out, events) = run_with_plan("mixed", plan, 2, 4);
     let field = out.expect("plan is recoverable");
@@ -150,7 +167,11 @@ fn mixed_fault_plan_recovers_bitwise_identical() {
 #[test]
 fn recovery_events_carry_timing() {
     let plan = FaultPlan {
-        deaths: vec![RankDeath { rank: 1, step: 6 }],
+        deaths: vec![RankDeath {
+            rank: 1,
+            step: 6,
+            permanent: false,
+        }],
         ..FaultPlan::none()
     };
     let (out, events) = run_with_plan("timing", plan, 2, 4);
@@ -166,7 +187,11 @@ fn recovery_events_carry_timing() {
 #[test]
 fn death_without_checkpoints_errors_instead_of_hanging() {
     let plan = FaultPlan {
-        deaths: vec![RankDeath { rank: 1, step: 4 }],
+        deaths: vec![RankDeath {
+            rank: 1,
+            step: 4,
+            permanent: false,
+        }],
         ..FaultPlan::none()
     };
     let (out, _) = run_with_plan("nockpt", plan, 2, 0);
@@ -181,7 +206,11 @@ fn death_before_first_commit_errors_instead_of_hanging() {
     // The rank dies at step 0, before the wave-0 commit collective can
     // complete — so there is no consistent checkpoint to roll back to.
     let plan = FaultPlan {
-        deaths: vec![RankDeath { rank: 1, step: 0 }],
+        deaths: vec![RankDeath {
+            rank: 1,
+            step: 0,
+            permanent: false,
+        }],
         ..FaultPlan::none()
     };
     let (out, _) = run_with_plan("early", plan, 2, 4);
@@ -214,7 +243,11 @@ proptest! {
                 .map(|(i, &nth)| MsgFault { src: i % 2, dst: (i + 1) % 2, nth })
                 .collect(),
             delays: vec![MsgDelay { src: 1, dst: 0, nth: delay_nth, hold: delay_hold }],
-            deaths: vec![RankDeath { rank: kill_rank, step: death_step }],
+            deaths: vec![RankDeath {
+                rank: kill_rank,
+                step: death_step,
+                permanent: false,
+            }],
             ..FaultPlan::none()
         };
         let tag = format!("prop{seed}_{death_step}_{kill_rank}");

@@ -25,6 +25,7 @@ use mfc_core::par::{
 use mfc_core::recovery::{RecoveryAction, RecoveryPolicy};
 use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::HealthConfig;
+use mfc_mpsim::FailurePolicy;
 
 fn cases_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../cases")
@@ -199,6 +200,9 @@ fn collective_ladder_matches_serial_ladder_bitwise() {
         health: HealthConfig::default(),
         trace: None,
         exchange: ExchangeMode::Sendrecv,
+        failure_policy: FailurePolicy::Revive,
+        spares: 0,
+        ckpt_keep: 2,
     };
     let (field, _) = run_distributed_resilient(
         &case,
@@ -261,7 +265,11 @@ fn corrupt_checkpoint_wave_is_skipped_during_rollback() {
         })
     };
     let plan = FaultPlan {
-        deaths: vec![RankDeath { rank: 1, step: 10 }],
+        deaths: vec![RankDeath {
+            rank: 1,
+            step: 10,
+            permanent: false,
+        }],
         stalls: vec![RankStall {
             rank: 0,
             step: 10,
@@ -285,6 +293,9 @@ fn corrupt_checkpoint_wave_is_skipped_during_rollback() {
         health: HealthConfig::default(),
         trace: None,
         exchange: ExchangeMode::Sendrecv,
+        failure_policy: FailurePolicy::Revive,
+        spares: 0,
+        ckpt_keep: 2,
     };
     let (field, _) = run_distributed_resilient(
         &case,
