@@ -9,6 +9,8 @@ use mfc_trace::{Category, LedgerRow, SpanGuard, TraceHandle};
 use crate::config::LaunchConfig;
 use crate::cost::KernelCost;
 use crate::ledger::Ledger;
+use crate::vector::{validate_width, Lane, LaneGangBody, LaneKernel, LaneMaxKernel, DEFAULT_WIDTH};
+use crate::with_lane_width;
 
 /// Below this many work items a parallel launch falls back to the serial
 /// loop: the fork/join overhead of scoped threads would dominate.
@@ -26,6 +28,15 @@ pub const PAR_MIN_ITEMS: usize = 1024;
 pub struct Context {
     ledger: Arc<Ledger>,
     workers: usize,
+    /// Lane width of the vector entry points ([`Context::launch_vec`] and
+    /// friends); validated power of two ≤ `vector::MAX_WIDTH`. Results
+    /// are bitwise identical at every width by the [`Lane`] contract.
+    vector_width: usize,
+    /// Full lane packets / scalar-tail elements executed so far, shared
+    /// across clones like the ledger (the remainder-fraction counter the
+    /// perfmodel's effective-width term consumes).
+    lane_packets: Arc<AtomicU64>,
+    lane_tail: Arc<AtomicU64>,
     /// Measured-profile recording endpoint; `None` (the default) keeps
     /// every launch on an untraced fast path — one branch per launch.
     tracer: Option<Arc<TraceHandle>>,
@@ -34,22 +45,16 @@ pub struct Context {
 impl Context {
     /// A context using every available worker thread.
     pub fn new() -> Self {
-        Context {
-            ledger: Arc::new(Ledger::new()),
-            workers: std::thread::available_parallelism()
+        Context::with_workers(
+            std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
-            tracer: None,
-        }
+        )
     }
 
     /// A strictly serial context (reference results, bitwise determinism).
     pub fn serial() -> Self {
-        Context {
-            ledger: Arc::new(Ledger::new()),
-            workers: 1,
-            tracer: None,
-        }
+        Context::with_workers(1)
     }
 
     /// A context with an explicit worker count.
@@ -57,8 +62,35 @@ impl Context {
         Context {
             ledger: Arc::new(Ledger::new()),
             workers: workers.max(1),
+            vector_width: DEFAULT_WIDTH,
+            lane_packets: Arc::new(AtomicU64::new(0)),
+            lane_tail: Arc::new(AtomicU64::new(0)),
             tracer: None,
         }
+    }
+
+    /// Builder form: set the lane width of the vector entry points.
+    ///
+    /// # Panics
+    /// On an invalid width (not a power of two, or > `MAX_WIDTH`); callers
+    /// taking user input validate with [`crate::vector::validate_width`]
+    /// first and surface a typed configuration error instead.
+    pub fn with_vector_width(mut self, width: usize) -> Self {
+        self.set_vector_width(width);
+        self
+    }
+
+    /// Set the lane width (same validation as [`Context::with_vector_width`]).
+    pub fn set_vector_width(&mut self, width: usize) {
+        if let Err(e) = validate_width(width) {
+            panic!("{e}");
+        }
+        self.vector_width = width;
+    }
+
+    /// Lane width of the vector entry points.
+    pub fn vector_width(&self) -> usize {
+        self.vector_width
     }
 
     /// The profiling ledger.
@@ -82,6 +114,7 @@ impl Context {
     /// shows how many workers the context actually schedules onto.
     pub fn set_tracer(&mut self, handle: Arc<TraceHandle>) {
         handle.counter("threads", self.workers as f64);
+        handle.counter("vector_width", self.vector_width as f64);
         self.tracer = Some(handle);
     }
 
@@ -118,8 +151,44 @@ impl Context {
     /// Attach this context's ledger snapshot to the trace so exporters can
     /// cross-check traced aggregates against the analytic totals. Call at
     /// the end of a traced run.
+    /// Account lane tiling of a vector-executed launch: `full_packets`
+    /// whole packets plus `tail_elems` scalar-remainder elements. The
+    /// vector entry points do this themselves; bodies that tile inside a
+    /// gang scope (the fused pencil engine, the health scan) report here.
+    pub fn note_lane_tiling(&self, full_packets: u64, tail_elems: u64) {
+        self.lane_packets.fetch_add(full_packets, Ordering::Relaxed);
+        self.lane_tail.fetch_add(tail_elems, Ordering::Relaxed);
+    }
+
+    /// Cumulative `(full_packets, tail_elems)` over all vector launches.
+    pub fn lane_stats(&self) -> (u64, u64) {
+        (
+            self.lane_packets.load(Ordering::Relaxed),
+            self.lane_tail.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Fraction of vector-launch elements that fell into scalar remainder
+    /// tails (0 when no vector launch ran), and the effective lane width
+    /// `W·full_packets/(full_packets + tail_elems)` the perfmodel uses.
+    pub fn lane_efficiency(&self) -> (f64, f64) {
+        let (packets, tail) = self.lane_stats();
+        let elems = self.vector_width as u64 * packets + tail;
+        if elems == 0 {
+            return (0.0, self.vector_width as f64);
+        }
+        let tail_fraction = tail as f64 / elems as f64;
+        let effective = self.vector_width as f64 * packets as f64 / (packets + tail) as f64;
+        (tail_fraction, effective)
+    }
+
     pub fn flush_ledger_to_trace(&self) {
         if let Some(t) = &self.tracer {
+            let (packets, tail) = self.lane_stats();
+            if packets + tail > 0 {
+                let (tail_fraction, _) = self.lane_efficiency();
+                t.counter("lane_tail_fraction", tail_fraction);
+            }
             let rows = self
                 .ledger
                 .kernel_stats()
@@ -145,6 +214,27 @@ impl Context {
     /// the ledger bitwise.
     fn record(&self, cfg: &LaunchConfig, cost: KernelCost, items: u64, gangs: usize, t0: Instant) {
         self.record_external_gangs(cfg.label, cost, items, gangs as u32, t0, t0.elapsed());
+    }
+
+    /// [`Context::record`] for the vector entry points: the traced event
+    /// additionally carries the configured lane width.
+    fn record_vec(
+        &self,
+        cfg: &LaunchConfig,
+        cost: KernelCost,
+        items: u64,
+        gangs: usize,
+        t0: Instant,
+    ) {
+        self.record_external_vec(
+            cfg.label,
+            cost,
+            items,
+            gangs as u32,
+            self.vector_width as u32,
+            t0,
+            t0.elapsed(),
+        );
     }
 
     /// Record a launch whose body ran outside the launch entry points
@@ -185,12 +275,32 @@ impl Context {
         start: Instant,
         wall: Duration,
     ) {
+        self.record_external_vec(label, cost, items, gangs, 1, start, wall);
+    }
+
+    /// Variant of [`Context::record_external_gangs`] that also annotates
+    /// the traced kernel event with the lane width the launch executed at.
+    /// Like `gangs`, `lanes` is an annotation only: FLOP/byte counts are
+    /// per-element, so ledger/trace reconciliation stays exact at every
+    /// width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_external_vec(
+        &self,
+        label: &'static str,
+        cost: KernelCost,
+        items: u64,
+        gangs: u32,
+        lanes: u32,
+        start: Instant,
+        wall: Duration,
+    ) {
         self.ledger.record_launch(label, cost, items, wall);
         if let Some(t) = &self.tracer {
-            t.kernel_gangs(
+            t.kernel_vec(
                 label,
                 items,
                 gangs,
+                lanes,
                 cost.flops_per_item * items as f64,
                 cost.bytes_read_per_item * items as f64,
                 cost.bytes_written_per_item * items as f64,
@@ -373,6 +483,144 @@ impl Context {
         result
     }
 
+    /// Launch a lane-vectorized kernel over a `rows × row_len` space —
+    /// the `vector` half of `gang vector`: gangs split the rows across
+    /// workers, and within each row the columns are tiled into full
+    /// packets of [`Context::vector_width`] lanes plus a scalar remainder
+    /// tail. Packets never cross a row boundary, so per-row unit-stride
+    /// data (a WENO line, a face sweep line) supports in-bounds lane
+    /// loads relative to the packet column.
+    ///
+    /// The kernel body is written once against [`Lane`] and monomorphized
+    /// here per width; by the `Lane` contract the results are bitwise
+    /// identical at every width and worker count. The traced event is
+    /// annotated with the lane width (`lanes`); the ledger row is
+    /// unchanged, so reconciliation stays exact.
+    pub fn launch_vec<K: LaneKernel>(
+        &self,
+        cfg: &LaunchConfig,
+        cost: KernelCost,
+        rows: usize,
+        row_len: usize,
+        kernel: &K,
+    ) {
+        let t0 = Instant::now();
+        let w = self.vector_width;
+        let gangs = with_lane_width!(w, L => self.run_vec::<L, K>(rows, row_len, kernel));
+        self.note_lane_tiling((rows * (row_len / w)) as u64, (rows * (row_len % w)) as u64);
+        self.record_vec(cfg, cost, (rows * row_len) as u64, gangs, t0);
+    }
+
+    fn run_vec<L: Lane, K: LaneKernel>(&self, rows: usize, row_len: usize, kernel: &K) -> usize {
+        let n = rows * row_len;
+        if self.workers > 1 && rows > 1 && n >= PAR_MIN_ITEMS {
+            let blocks = self.gang_blocks(rows);
+            let gangs = blocks.len();
+            std::thread::scope(|s| {
+                for (lo, hi) in blocks {
+                    s.spawn(move || {
+                        for row in lo..hi {
+                            vec_row::<L, K>(kernel, row, row_len);
+                        }
+                    });
+                }
+            });
+            gangs
+        } else {
+            for row in 0..rows {
+                vec_row::<L, K>(kernel, row, row_len);
+            }
+            1
+        }
+    }
+
+    /// Lane-vectorized max reduction over a `rows × row_len` space (the
+    /// CFL bound). Each packet's lanes are extracted and folded in
+    /// ascending lane order, so the fold visits items in exactly the
+    /// serial order within each gang; per-gang maxima fold in gang order
+    /// as in [`Context::launch_max`]. Bitwise identical to the scalar
+    /// reduction at every width and worker count.
+    pub fn launch_max_vec<K: LaneMaxKernel>(
+        &self,
+        cfg: &LaunchConfig,
+        cost: KernelCost,
+        rows: usize,
+        row_len: usize,
+        kernel: &K,
+    ) -> f64 {
+        let t0 = Instant::now();
+        let w = self.vector_width;
+        let (result, gangs) =
+            with_lane_width!(w, L => self.run_max_vec::<L, K>(rows, row_len, kernel));
+        self.note_lane_tiling((rows * (row_len / w)) as u64, (rows * (row_len % w)) as u64);
+        self.record_vec(cfg, cost, (rows * row_len) as u64, gangs, t0);
+        result
+    }
+
+    fn run_max_vec<L: Lane, K: LaneMaxKernel>(
+        &self,
+        rows: usize,
+        row_len: usize,
+        kernel: &K,
+    ) -> (f64, usize) {
+        let n = rows * row_len;
+        if self.workers > 1 && rows > 1 && n >= PAR_MIN_ITEMS {
+            let blocks = self.gang_blocks(rows);
+            let partials: Vec<AtomicU64> = blocks
+                .iter()
+                .map(|_| AtomicU64::new(f64::NEG_INFINITY.to_bits()))
+                .collect();
+            std::thread::scope(|s| {
+                for (b, &(lo, hi)) in blocks.iter().enumerate() {
+                    let slot = &partials[b];
+                    s.spawn(move || {
+                        let mut m = f64::NEG_INFINITY;
+                        for row in lo..hi {
+                            m = max_vec_row::<L, K>(kernel, row, row_len, m);
+                        }
+                        slot.store(m.to_bits(), Ordering::Relaxed);
+                    });
+                }
+            });
+            let m = partials
+                .iter()
+                .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
+                .fold(f64::NEG_INFINITY, f64::max);
+            (m, blocks.len())
+        } else {
+            let mut m = f64::NEG_INFINITY;
+            for row in 0..rows {
+                m = max_vec_row::<L, K>(kernel, row, row_len, m);
+            }
+            (m, 1)
+        }
+    }
+
+    /// Lane-dispatching form of [`Context::gang_scope_with`]: the body is
+    /// written once against [`Lane`] (a [`LaneGangBody`]) and runs at the
+    /// context's vector width, handling its own packet/tail tiling inside
+    /// each gang range (the fused pencil engine's shape). Recording is the
+    /// caller's job, as with `gang_scope_with`.
+    pub fn gang_vec_scope<S, R, B>(
+        &self,
+        n: usize,
+        work_items: u64,
+        state: &mut [S],
+        body: &B,
+    ) -> (Vec<R>, usize)
+    where
+        S: Send,
+        R: Send,
+        B: LaneGangBody<S, R>,
+    {
+        with_lane_width!(self.vector_width, L => self.gang_scope_with(
+            n,
+            work_items,
+            state,
+            |g, range, st| body.run::<L>(g, range, st),
+        ))
+    }
+
     /// Split `0..n` into gang blocks and run `body(gang, lo..hi, state)`
     /// on one scoped thread per gang, with per-gang mutable `state` (the
     /// per-worker scratch blocks of the fused sweep) and per-gang return
@@ -460,6 +708,46 @@ impl Context {
         self.record(cfg, cost, n as u64, gangs, t0);
         results
     }
+}
+
+/// One row of a vector launch: full packets, then the scalar tail as
+/// 1-wide (`f64`) packets. Item order within the row is strictly
+/// ascending, so serial execution order is preserved exactly.
+#[inline]
+fn vec_row<L: Lane, K: LaneKernel>(kernel: &K, row: usize, row_len: usize) {
+    let mut col = 0;
+    while col + L::WIDTH <= row_len {
+        kernel.packet::<L>(row, col);
+        col += L::WIDTH;
+    }
+    while col < row_len {
+        kernel.packet::<f64>(row, col);
+        col += 1;
+    }
+}
+
+/// One row of a vector max-reduction: lanes of each packet fold into the
+/// accumulator in ascending lane order (= serial item order).
+#[inline]
+fn max_vec_row<L: Lane, K: LaneMaxKernel>(
+    kernel: &K,
+    row: usize,
+    row_len: usize,
+    mut acc: f64,
+) -> f64 {
+    let mut col = 0;
+    while col + L::WIDTH <= row_len {
+        let v = kernel.packet::<L>(row, col);
+        for i in 0..L::WIDTH {
+            acc = acc.max(v.lane(i));
+        }
+        col += L::WIDTH;
+    }
+    while col < row_len {
+        acc = acc.max(kernel.packet::<f64>(row, col).lane(0));
+        col += 1;
+    }
+    acc
 }
 
 impl Default for Context {
@@ -747,5 +1035,136 @@ mod tests {
         // reports the context width.
         assert!(json.contains("\"gangs\":4"));
         assert!(json.contains("\"threads\""));
+    }
+
+    use crate::shared::ParSlice;
+    use crate::vector::{Lane, LaneKernel, LaneMaxKernel};
+
+    /// A stencil-shaped lane kernel: out[row][col] from in[row][col..+3].
+    struct Stencil<'a> {
+        src: &'a [f64],
+        out: ParSlice<'a>,
+        row_len: usize,
+    }
+
+    impl LaneKernel for Stencil<'_> {
+        fn packet<L: Lane>(&self, row: usize, col: usize) {
+            let base = row * (self.row_len + 2) + col;
+            let a = L::load(&self.src[base..]);
+            let b = L::load(&self.src[base + 1..]);
+            let c = L::load(&self.src[base + 2..]);
+            let v = (a + c) * L::splat(0.25) + b * L::splat(0.5) + a * b * c;
+            self.out.set_lanes(row * self.row_len + col, v);
+        }
+    }
+
+    #[test]
+    fn launch_vec_is_bitwise_identical_across_widths_and_workers() {
+        // Row length chosen to leave a scalar tail at every width > 1.
+        let (rows, row_len) = (37, 101);
+        let src: Vec<f64> = (0..rows * (row_len + 2))
+            .map(|i| ((i as f64) * 0.7311).sin() * 3.0 + (i % 13) as f64)
+            .collect();
+        let run = |width: usize, workers: usize| {
+            let ctx = Context::with_workers(workers).with_vector_width(width);
+            let mut out = vec![0.0f64; rows * row_len];
+            let k = Stencil {
+                src: &src,
+                out: ParSlice::new(&mut out),
+                row_len,
+            };
+            ctx.launch_vec(&LaunchConfig::tuned("stencil"), cost(), rows, row_len, &k);
+            (out, ctx.lane_stats())
+        };
+        let (reference, _) = run(1, 1);
+        for width in [2, 4, 8] {
+            for workers in [1, 4] {
+                let (got, (packets, tail)) = run(width, workers);
+                for (a, b) in reference.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "w={width} workers={workers}");
+                }
+                assert_eq!(packets as usize, rows * (row_len / width));
+                assert_eq!(tail as usize, rows * (row_len % width));
+            }
+        }
+    }
+
+    struct MaxBody;
+    impl LaneMaxKernel for MaxBody {
+        fn packet<L: Lane>(&self, row: usize, col: usize) -> L {
+            L::from_lanes(|i| {
+                let item = (row * 131 + col + i) as f64;
+                (item * 0.519).sin() * 100.0 + (item % 89.0)
+            })
+        }
+    }
+
+    #[test]
+    fn launch_max_vec_matches_scalar_fold_bitwise() {
+        let (rows, row_len) = (64, 131);
+        let reference = Context::with_workers(1)
+            .with_vector_width(1)
+            .launch_max_vec(&LaunchConfig::tuned("mv"), cost(), rows, row_len, &MaxBody);
+        for width in [2, 4, 8] {
+            for workers in [1, 4] {
+                let got = Context::with_workers(workers)
+                    .with_vector_width(width)
+                    .launch_max_vec(&LaunchConfig::tuned("mv"), cost(), rows, row_len, &MaxBody);
+                assert_eq!(reference.to_bits(), got.to_bits(), "w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_vector_launch_annotates_lanes_and_reconciles() {
+        let tracer = mfc_trace::Tracer::new();
+        let mut ctx = Context::with_workers(4).with_vector_width(4);
+        ctx.set_tracer(tracer.handle(0));
+        let (rows, row_len) = (64, 33);
+        let src = vec![1.0f64; rows * (row_len + 2)];
+        let mut out = vec![0.0f64; rows * row_len];
+        let k = Stencil {
+            src: &src,
+            out: ParSlice::new(&mut out),
+            row_len,
+        };
+        ctx.launch_vec(&LaunchConfig::tuned("vk"), cost(), rows, row_len, &k);
+        ctx.flush_ledger_to_trace();
+        let json = mfc_trace::chrome::export_to_string(&tracer.snapshot());
+        let parsed = mfc_trace::chrome::parse_str(&json).unwrap();
+        assert!(mfc_trace::reconcile_trace(&parsed).is_ok());
+        assert!(json.contains("\"lanes\":4"), "lanes annotation missing");
+        assert!(json.contains("\"vector_width\""), "width counter missing");
+        assert!(
+            json.contains("\"lane_tail_fraction\""),
+            "tail counter missing"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_vector_width_is_rejected() {
+        let _ = Context::serial().with_vector_width(3);
+    }
+
+    #[test]
+    fn gang_vec_scope_runs_every_unit_once_at_any_width() {
+        struct Body;
+        impl crate::vector::LaneGangBody<u64, u64> for Body {
+            fn run<L: Lane>(&self, _g: usize, range: std::ops::Range<usize>, st: &mut u64) -> u64 {
+                for u in range {
+                    *st += u as u64 + L::WIDTH as u64 - L::WIDTH as u64;
+                }
+                *st
+            }
+        }
+        for width in [1, 2, 4, 8] {
+            let ctx = Context::with_workers(3).with_vector_width(width);
+            let n = 3 * PAR_MIN_ITEMS;
+            let mut scratch = vec![0u64; ctx.workers()];
+            let (sums, gangs) = ctx.gang_vec_scope(n, n as u64, &mut scratch, &Body);
+            assert_eq!(gangs, 3);
+            assert_eq!(sums.iter().sum::<u64>(), (n as u64 - 1) * n as u64 / 2);
+        }
     }
 }

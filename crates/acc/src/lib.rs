@@ -30,6 +30,7 @@ pub mod ledger;
 pub mod queue;
 pub mod report;
 pub mod shared;
+pub mod vector;
 
 pub use config::{LaunchConfig, Parallelism, PrivateMode};
 pub use cost::{KernelClass, KernelCost};
@@ -41,3 +42,7 @@ pub use ledger::{
 pub use queue::QueueSet;
 pub use report::{hot_kernel_share, kernel_summary, resilience_summary, transfer_summary};
 pub use shared::ParSlice;
+pub use vector::{
+    hw_lane_width, validate_width, Lane, LaneGangBody, LaneKernel, LaneMaxKernel, VecF64,
+    DEFAULT_WIDTH, MAX_WIDTH,
+};

@@ -17,6 +17,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::vector::Lane;
+
 // `ParSlice::new` reinterprets `&mut [f64]` as `&[AtomicU64]`; both must
 // agree on size and alignment (they do on every target with 64-bit
 // atomics).
@@ -70,6 +72,38 @@ impl<'a> ParSlice<'a> {
     #[inline(always)]
     pub fn add(&self, i: usize, v: f64) {
         self.set(i, self.get(i) + v);
+    }
+
+    /// Lane load of `L::WIDTH` consecutive slots starting at `i`.
+    #[inline(always)]
+    pub fn get_lanes<L: Lane>(&self, i: usize) -> L {
+        L::from_lanes(|lane| self.get(i + lane))
+    }
+
+    /// Lane store into `L::WIDTH` consecutive slots starting at `i`.
+    #[inline(always)]
+    pub fn set_lanes<L: Lane>(&self, i: usize, v: L) {
+        for lane in 0..L::WIDTH {
+            self.set(i + lane, v.lane(lane));
+        }
+    }
+
+    /// Lanewise `+=` into consecutive slots starting at `i`. Lane order is
+    /// immaterial: the slots are disjoint.
+    #[inline(always)]
+    pub fn add_lanes<L: Lane>(&self, i: usize, v: L) {
+        for lane in 0..L::WIDTH {
+            self.add(i + lane, v.lane(lane));
+        }
+    }
+
+    /// Lanewise `+=` into slots `i, i + stride, ..` — the cell stride of a
+    /// canonical-order divergence store when the sweep axis is not x.
+    #[inline(always)]
+    pub fn add_lanes_strided<L: Lane>(&self, i: usize, stride: usize, v: L) {
+        for lane in 0..L::WIDTH {
+            self.add(i + lane * stride, v.lane(lane));
+        }
     }
 }
 

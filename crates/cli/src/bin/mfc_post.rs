@@ -7,35 +7,118 @@
 //! Usage:
 //! ```text
 //! mfc-post <dir> <step> <nx> <ny> <nz> <nfluids> <ndim> <px> <py> <pz> <out.vtk>
+//! mfc-post --case <case.json> <step> <out.vtk>
 //! ```
+//!
+//! The `--case` form re-derives the wave directory, global extents, and
+//! rank decomposition from the case file that produced the run. Because
+//! post-processing is a pure byte reshuffle — no kernels run — a case
+//! file that explicitly pins `numerics.vector_width` is rejected here as
+//! a config error: the key cannot affect this tool's output and its
+//! presence usually means the wrong file was passed.
 
+use mfc_cli::CaseFile;
 use mfc_core::eqidx::EqIdx;
 use mfc_core::grid::Grid;
 use mfc_core::output::{postprocess_wave_files, write_vtk_rectilinear};
+use mfc_mpsim::best_block_dims;
+
+const USAGE: &str = "usage: mfc-post <dir> <step> <nx> <ny> <nz> <nfluids> <ndim> <px> <py> <pz> <out.vtk>\n       mfc-post --case <case.json> <step> <out.vtk>";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct PostJob {
+    dir: std::path::PathBuf,
+    step: usize,
+    n: [usize; 3],
+    eq: EqIdx,
+    dims: [usize; 3],
+    out: std::path::PathBuf,
+}
+
+/// The `--case` form: everything about the run geometry comes from the
+/// case file, exactly as `mfc-run` derived it.
+fn job_from_case(args: &[String]) -> PostJob {
+    if args.len() != 3 {
+        die("--case needs <case.json> <step> <out.vtk>");
+    }
+    let path = std::path::PathBuf::from(&args[0]);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(3);
+    });
+    // Post-processing runs no kernels, so a case that explicitly pins
+    // the SIMD lane width is using the wrong knob for this tool.
+    let raw: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("case file parse error: {e}")));
+    if raw
+        .get("numerics")
+        .and_then(|n| n.get("vector_width"))
+        .is_some()
+    {
+        die("numerics.vector_width is meaningless for post-processing \
+             (no kernels run); remove it from the case file or use \
+             `mfc-run --vector-width`");
+    }
+    let case = CaseFile::from_json(&text).unwrap_or_else(|e| die(&e));
+    let builder = case.to_case().unwrap_or_else(|e| die(&e));
+    let step = args[1].parse::<usize>().unwrap_or_else(|_| {
+        die(&format!("'{}' is not a non-negative integer", args[1]));
+    });
+    PostJob {
+        dir: case.output.dir.join("waves"),
+        step,
+        n: case.cells,
+        eq: builder.eq(),
+        dims: best_block_dims(case.run.ranks, case.cells),
+        out: std::path::PathBuf::from(&args[2]),
+    }
+}
+
+/// The positional form: geometry spelled out on the command line.
+fn job_from_args(args: &[String]) -> PostJob {
+    if args.len() != 11 {
+        die("expected 11 positional arguments");
+    }
+    let parse = |s: &String| -> usize {
+        s.parse()
+            .unwrap_or_else(|_| die(&format!("'{s}' is not a non-negative integer")))
+    };
+    let nfluids = parse(&args[5]);
+    let ndim = parse(&args[6]);
+    PostJob {
+        dir: std::path::PathBuf::from(&args[0]),
+        step: parse(&args[1]),
+        n: [parse(&args[2]), parse(&args[3]), parse(&args[4])],
+        eq: EqIdx::new(nfluids, ndim),
+        dims: [parse(&args[7]), parse(&args[8]), parse(&args[9])],
+        out: std::path::PathBuf::from(&args[10]),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() != 11 {
-        eprintln!(
-            "usage: mfc-post <dir> <step> <nx> <ny> <nz> <nfluids> <ndim> <px> <py> <pz> <out.vtk>"
-        );
-        std::process::exit(2);
-    }
-    let dir = std::path::PathBuf::from(&args[0]);
-    let parse = |s: &String| -> usize {
-        s.parse().unwrap_or_else(|_| {
-            eprintln!("error: '{s}' is not a non-negative integer");
-            std::process::exit(2);
-        })
+    let job = match args.first().map(|s| s.as_str()) {
+        Some("--case") => job_from_case(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return;
+        }
+        _ => job_from_args(&args),
     };
-    let step = parse(&args[1]);
-    let n = [parse(&args[2]), parse(&args[3]), parse(&args[4])];
-    let nfluids = parse(&args[5]);
-    let ndim = parse(&args[6]);
-    let dims = [parse(&args[7]), parse(&args[8]), parse(&args[9])];
-    let out = std::path::PathBuf::from(&args[10]);
+    let PostJob {
+        dir,
+        step,
+        n,
+        eq,
+        dims,
+        out,
+    } = job;
 
-    let eq = EqIdx::new(nfluids, ndim);
     let gf = match postprocess_wave_files(&dir, step, n, eq, dims) {
         Ok(gf) => gf,
         Err(e) => {

@@ -94,6 +94,10 @@ pub struct NumericsConfig {
     /// bitwise identical at every count; default 1 keeps goldens and
     /// serial baselines untouched. Settable as `--workers N`.
     pub workers: usize,
+    /// SIMD lane width for the vectorized kernels (OpenACC `vector`
+    /// analog). Must be a power of two in 1..=8; results are bitwise
+    /// identical at every width. Settable as `--vector-width N`.
+    pub vector_width: usize,
 }
 
 impl Default for NumericsConfig {
@@ -109,6 +113,7 @@ impl Default for NumericsConfig {
             dt: None,
             overlap: false,
             workers: 1,
+            vector_width: mfc_acc::DEFAULT_WIDTH,
         }
     }
 }
@@ -133,6 +138,7 @@ impl NumericsConfig {
     }
 
     pub fn to_solver_config(&self) -> Result<SolverConfig, String> {
+        mfc_acc::validate_width(self.vector_width)?;
         Ok(SolverConfig {
             rhs: RhsConfig {
                 order: self.order,
@@ -148,6 +154,7 @@ impl NumericsConfig {
                 None => DtMode::Cfl(self.cfl),
             },
             workers: self.workers.max(1),
+            vector_width: self.vector_width,
         })
     }
 }
@@ -559,7 +566,7 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
         // Explicit worker plumbing: the context uses exactly the
         // configured count (default 1) instead of silently grabbing the
         // machine's available parallelism.
-        let mut ctx = Context::with_workers(cfg.workers);
+        let mut ctx = Context::with_workers(cfg.workers).with_vector_width(cfg.vector_width);
         if let Some(tr) = &tracer {
             ctx.set_tracer(tr.handle(0));
         }

@@ -4,7 +4,8 @@ use mfc_cli::{run_case, CaseFile, RunError};
 use mfc_core::rhs::RhsMode;
 
 const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
-[--rhs-mode staged|fused] [--overlap] [--workers N] [--faults plan.json] \
+[--rhs-mode staged|fused] [--overlap] [--workers N] [--vector-width N] \
+[--faults plan.json] \
 [--checkpoint-every N] [--ckpt-keep N] [--failure-policy revive|shrink|spare] \
 [--spares N] [--recovery ladder.json] [--max-retries N] \
 [--trace out.json] [--io-wave N]";
@@ -26,6 +27,10 @@ flags:
   --workers N            worker threads per rank for the gang-parallel
                          kernels (numerics.workers case key; default 1).
                          Results are bitwise identical at every count
+  --vector-width N       SIMD lane width for the vectorized kernels
+                         (numerics.vector_width case key; default 4).
+                         Must be a power of two in 1..=8; results are
+                         bitwise identical at every width
   --faults plan.json     fault-injection plan (mfc_mpsim::FaultPlan)
   --checkpoint-every N   checkpoint wave period in steps; any non-zero
                          value routes the run through the fault-tolerant
@@ -69,6 +74,7 @@ fn main() {
     let mut validate_only = false;
     let mut overlap = false;
     let mut workers: Option<usize> = None;
+    let mut vector_width: Option<usize> = None;
     let mut rhs_mode: Option<RhsMode> = None;
     let mut faults: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
@@ -90,6 +96,13 @@ fn main() {
             }
             "--validate" => validate_only = true,
             "--overlap" => overlap = true,
+            "--vector-width" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => match mfc_acc::validate_width(n) {
+                    Ok(()) => vector_width = Some(n),
+                    Err(e) => die(&format!("--vector-width: {e}")),
+                },
+                _ => die("--vector-width needs a lane count (power of two, <=8)"),
+            },
             "--workers" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => workers = Some(n),
                 _ => die("--workers needs a positive thread count"),
@@ -174,6 +187,9 @@ fn main() {
     }
     if let Some(n) = workers {
         case.numerics.workers = n;
+    }
+    if let Some(w) = vector_width {
+        case.numerics.vector_width = w;
     }
     if let Some(plan) = faults {
         case.run.faults = Some(plan.into());

@@ -13,10 +13,11 @@
 //! The volume-fraction rows need no geometric source: their `1/r` terms
 //! cancel between the conservative flux and the `alpha div(u)` closure.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
+use mfc_acc::{Context, KernelClass, KernelCost, Lane, LaneKernel, LaunchConfig, ParSlice};
 use serde::{Deserialize, Serialize};
 
-use crate::domain::Domain;
+use crate::domain::{Domain, MAX_EQ};
+use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
 use crate::riemann::face_state_public as face_state;
 use crate::state::StateField;
@@ -64,32 +65,71 @@ pub fn axisym_source(
         8.0 * neq as f64,
     );
     let cfg = LaunchConfig::tuned("s_axisym_source");
-    let (nx, ny) = (dom.n[0], dom.n[1]);
     let d3 = dom.dims3();
-    let block = d3.len();
-    let rsl = ParSlice::new(rhs.as_mut_slice());
-    ctx.launch_par(&cfg, cost, dom.interior_cells(), |item| {
-        let i = item % nx + dom.pad(0);
-        let j = (item / nx) % ny + dom.pad(1);
-        let k = item / (nx * ny) + dom.pad(2);
-        let r = radii[j];
+    let kernel = AxisymKernel {
+        eq,
+        fluids,
+        src: prim.as_slice(),
+        radii,
+        ny: dom.n[1],
+        pad: [dom.pad(0), dom.pad(1), dom.pad(2)],
+        ext1: d3.n1,
+        ext2: d3.n2,
+        block: d3.len(),
+        rsl: ParSlice::new(rhs.as_mut_slice()),
+    };
+    ctx.launch_vec(&cfg, cost, dom.n[1] * dom.n[2], dom.n[0], &kernel);
+}
+
+/// Lane kernel of [`axisym_source`]: row = (j, k) interior line, col =
+/// interior x offset. The radius is uniform per row and enters as a
+/// splat; the per-cell face-state evaluation is the generic
+/// [`face_state`], so each lane is bitwise the scalar source of its cell.
+struct AxisymKernel<'a> {
+    eq: EqIdx,
+    fluids: &'a [Fluid],
+    src: &'a [f64],
+    radii: &'a [f64],
+    /// Interior cells along y.
+    ny: usize,
+    pad: [usize; 3],
+    ext1: usize,
+    ext2: usize,
+    /// Ghost-inclusive cells per equation block.
+    block: usize,
+    rsl: ParSlice<'a>,
+}
+
+impl LaneKernel for AxisymKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, row: usize, col: usize) {
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let i = col + self.pad[0];
+        let j = row % self.ny + self.pad[1];
+        let k = row / self.ny + self.pad[2];
+        let r = self.radii[j];
         debug_assert!(r > 0.0, "non-positive radius {r} at j={j}");
-        let mut p = [0.0; crate::domain::MAX_EQ];
-        prim.load_cell(i, j, k, &mut p[..neq]);
-        let fs = face_state(&eq, fluids, &p[..neq], 1);
+        let cell = i + self.ext1 * (j + self.ext2 * k);
+        let mut p = [L::splat(0.0); MAX_EQ];
+        for (e, v) in p.iter_mut().enumerate().take(neq) {
+            *v = L::load(&self.src[cell + e * self.block..]);
+        }
+        let fs = face_state(eq, self.fluids, &p[..neq], 1);
         let ur = p[eq.mom(1)];
-        let factor = -ur / r;
-        let cell = d3.idx(i, j, k);
+        let factor = -ur / L::splat(r);
         for f in 0..eq.nf() {
             let e = eq.cont(f);
-            rsl.add(cell + e * block, factor * p[e]);
+            self.rsl.add_lanes(cell + e * self.block, factor * p[e]);
         }
         for d in 0..eq.ndim() {
             let e = eq.mom(d);
-            rsl.add(cell + e * block, factor * fs.rho * p[e]);
+            self.rsl
+                .add_lanes(cell + e * self.block, factor * fs.rho * p[e]);
         }
-        rsl.add(cell + eq.energy() * block, factor * (fs.rho_e + fs.p));
-    });
+        self.rsl
+            .add_lanes(cell + eq.energy() * self.block, factor * (fs.rho_e + fs.p));
+    }
 }
 
 /// Add the full 3-D cylindrical geometric sources over interior cells:
@@ -122,34 +162,77 @@ pub fn cylindrical_source(
         8.0 * neq as f64,
     );
     let cfg = LaunchConfig::tuned("s_cylindrical_source");
-    let (nx, ny) = (dom.n[0], dom.n[1]);
     let d3 = dom.dims3();
-    let block = d3.len();
-    let rsl = ParSlice::new(rhs.as_mut_slice());
-    ctx.launch_par(&cfg, cost, dom.interior_cells(), |item| {
-        let i = item % nx + dom.pad(0);
-        let j = (item / nx) % ny + dom.pad(1);
-        let k = item / (nx * ny) + dom.pad(2);
-        let r = radii[j];
+    let kernel = CylindricalKernel {
+        eq,
+        fluids,
+        src: prim.as_slice(),
+        radii,
+        ny: dom.n[1],
+        pad: [dom.pad(0), dom.pad(1), dom.pad(2)],
+        ext1: d3.n1,
+        ext2: d3.n2,
+        block: d3.len(),
+        rsl: ParSlice::new(rhs.as_mut_slice()),
+    };
+    ctx.launch_vec(&cfg, cost, dom.n[1] * dom.n[2], dom.n[0], &kernel);
+}
+
+/// Lane kernel of [`cylindrical_source`] — same decode and splat-radius
+/// structure as [`AxisymKernel`] with the three-axis source rows.
+struct CylindricalKernel<'a> {
+    eq: EqIdx,
+    fluids: &'a [Fluid],
+    src: &'a [f64],
+    radii: &'a [f64],
+    /// Interior cells along y.
+    ny: usize,
+    pad: [usize; 3],
+    ext1: usize,
+    ext2: usize,
+    /// Ghost-inclusive cells per equation block.
+    block: usize,
+    rsl: ParSlice<'a>,
+}
+
+impl LaneKernel for CylindricalKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, row: usize, col: usize) {
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let i = col + self.pad[0];
+        let j = row % self.ny + self.pad[1];
+        let k = row / self.ny + self.pad[2];
+        let r = self.radii[j];
         debug_assert!(r > 0.0, "non-positive radius {r} at j={j}");
-        let mut p = [0.0; crate::domain::MAX_EQ];
-        prim.load_cell(i, j, k, &mut p[..neq]);
-        let fs = face_state(&eq, fluids, &p[..neq], 1);
+        let cell = i + self.ext1 * (j + self.ext2 * k);
+        let mut p = [L::splat(0.0); MAX_EQ];
+        for (e, v) in p.iter_mut().enumerate().take(neq) {
+            *v = L::load(&self.src[cell + e * self.block..]);
+        }
+        let fs = face_state(eq, self.fluids, &p[..neq], 1);
         let (uz, ur, ut) = (p[eq.mom(0)], p[eq.mom(1)], p[eq.mom(2)]);
-        let inv_r = 1.0 / r;
-        let cell = d3.idx(i, j, k);
+        let inv_r = L::splat(1.0 / r);
         for f in 0..eq.nf() {
             let e = eq.cont(f);
-            rsl.add(cell + e * block, -p[e] * ur * inv_r);
+            self.rsl
+                .add_lanes(cell + e * self.block, -p[e] * ur * inv_r);
         }
-        rsl.add(cell + eq.mom(0) * block, -fs.rho * uz * ur * inv_r);
-        rsl.add(
-            cell + eq.mom(1) * block,
+        self.rsl
+            .add_lanes(cell + eq.mom(0) * self.block, -fs.rho * uz * ur * inv_r);
+        self.rsl.add_lanes(
+            cell + eq.mom(1) * self.block,
             fs.rho * (ut * ut - ur * ur) * inv_r,
         );
-        rsl.add(cell + eq.mom(2) * block, -2.0 * fs.rho * ur * ut * inv_r);
-        rsl.add(cell + eq.energy() * block, -(fs.rho_e + fs.p) * ur * inv_r);
-    });
+        self.rsl.add_lanes(
+            cell + eq.mom(2) * self.block,
+            L::splat(-2.0) * fs.rho * ur * ut * inv_r,
+        );
+        self.rsl.add_lanes(
+            cell + eq.energy() * self.block,
+            -(fs.rho_e + fs.p) * ur * inv_r,
+        );
+    }
 }
 
 #[cfg(test)]

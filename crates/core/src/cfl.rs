@@ -1,9 +1,10 @@
 //! CFL-based time-step selection.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig};
+use mfc_acc::{Context, KernelClass, KernelCost, Lane, LaneMaxKernel, LaunchConfig};
 
 use crate::domain::MAX_EQ;
 use crate::eos::sound_speed;
+use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
 use crate::recovery::StepFault;
 use crate::state::StateField;
@@ -66,48 +67,94 @@ pub fn try_max_dt_geom(
         8.0,
     );
     let cfg = LaunchConfig::tuned("s_compute_dt");
-    let viscous = crate::viscous::is_viscous(fluids);
-    let rate = ctx.launch_max(&cfg, cost, dom.interior_cells(), |item| {
-        let i = item % nx + dom.pad(0);
-        let j = (item / nx) % ny + dom.pad(1);
-        let k = item / (nx * ny) + dom.pad(2);
-        let mut p = [0.0; MAX_EQ];
-        prim.load_cell(i, j, k, &mut p[..neq]);
-        let (rho, _, c) = sound_speed(&eq, fluids, &p[..neq]);
-        // Mixture kinematic viscosity for the diffusive stability bound.
-        let nu = if viscous {
-            let mut alphas = [0.0; crate::eos::MAX_FLUIDS];
-            eq.alphas(&p[..neq], &mut alphas[..eq.nf()]);
-            fluids
-                .iter()
-                .zip(&alphas[..eq.nf()])
-                .map(|(f, &a)| a * f.viscosity)
-                .sum::<f64>()
-                / rho.max(1e-300)
-        } else {
-            0.0
-        };
-        let mut rate = 0.0;
-        for d in 0..eq.ndim() {
-            let idx = match d {
-                0 => i,
-                1 => j,
-                _ => k,
-            };
-            let mut h = widths[d][idx];
-            if d == 2 {
-                if let Some(r) = radial_metric {
-                    h *= r[j];
-                }
-            }
-            rate += (p[eq.mom(d)].abs() + c) / h + 2.0 * nu / (h * h);
-        }
-        rate
-    });
+    // Lane-tiled max reduction: packets along the unit-stride x row, and
+    // the horizontal fold extracts lanes in ascending order, so the
+    // reduction visits bitwise the scalar per-cell rates in the scalar
+    // item order.
+    let kernel = DtKernel {
+        eq,
+        fluids,
+        src: prim.as_slice(),
+        widths,
+        radial_metric,
+        viscous: crate::viscous::is_viscous(fluids),
+        ny,
+        pad: [dom.pad(0), dom.pad(1), dom.pad(2)],
+        ext1: dom.ext(0),
+        ext2: dom.ext(1),
+        block: dom.ext(0) * dom.ext(1) * dom.ext(2),
+    };
+    let nz = dom.n[2];
+    let rate = ctx.launch_max_vec(&cfg, cost, ny * nz, nx, &kernel);
     if rate.is_finite() && rate > 0.0 {
         Ok(cfl / rate)
     } else {
         Err(StepFault::DegenerateWaveSpeed { rate })
+    }
+}
+
+/// Lane kernel of the CFL reduction: row = (j, k) interior line, col =
+/// interior x offset. Each lane computes the scalar wave-speed rate of
+/// its own cell; transverse widths and the azimuthal metric are uniform
+/// per row and enter as splats.
+struct DtKernel<'a> {
+    eq: EqIdx,
+    fluids: &'a [Fluid],
+    src: &'a [f64],
+    widths: [&'a [f64]; 3],
+    radial_metric: Option<&'a [f64]>,
+    viscous: bool,
+    /// Interior cells along y.
+    ny: usize,
+    pad: [usize; 3],
+    ext1: usize,
+    ext2: usize,
+    /// Ghost-inclusive cells per equation block.
+    block: usize,
+}
+
+impl LaneMaxKernel for DtKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, row: usize, col: usize) -> L {
+        let eq = &self.eq;
+        let i = col + self.pad[0];
+        let j = row % self.ny + self.pad[1];
+        let k = row / self.ny + self.pad[2];
+        let base = i + self.ext1 * (j + self.ext2 * k);
+        let neq = eq.neq();
+        let mut p = [L::splat(0.0); MAX_EQ];
+        for (e, v) in p.iter_mut().enumerate().take(neq) {
+            *v = L::load(&self.src[base + e * self.block..]);
+        }
+        let (rho, _, c) = sound_speed(eq, self.fluids, &p[..neq]);
+        // Mixture kinematic viscosity for the diffusive stability bound.
+        let nu = if self.viscous {
+            let mut alphas = [L::splat(0.0); crate::eos::MAX_FLUIDS];
+            eq.alphas(&p[..neq], &mut alphas[..eq.nf()]);
+            let mut s = L::splat(0.0);
+            for (f, a) in self.fluids.iter().zip(&alphas[..eq.nf()]) {
+                s = s + *a * L::splat(f.viscosity);
+            }
+            s / rho.max(L::splat(1e-300))
+        } else {
+            L::splat(0.0)
+        };
+        let mut rate = L::splat(0.0);
+        for d in 0..eq.ndim() {
+            let h = match d {
+                0 => L::load(&self.widths[0][i..]),
+                1 => L::splat(self.widths[1][j]),
+                _ => {
+                    let mut h = L::splat(self.widths[2][k]);
+                    if let Some(r) = self.radial_metric {
+                        h = h * L::splat(r[j]);
+                    }
+                    h
+                }
+            };
+            rate = rate + ((p[eq.mom(d)].abs() + c) / h + L::splat(2.0) * nu / (h * h));
+        }
+        rate
     }
 }
 

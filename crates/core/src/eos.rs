@@ -3,6 +3,8 @@
 //! These are the per-cell bodies of MFC's `s_convert_*` kernels; the
 //! sweep-level kernels in [`crate::state`] call them for every cell.
 
+use mfc_acc::Lane;
+
 use crate::eqidx::EqIdx;
 use crate::fluid::{Fluid, MixtureRules};
 
@@ -17,8 +19,13 @@ pub const MAX_FLUIDS: usize = 8;
 /// per [`EqIdx`].
 ///
 /// Returns the mixture density (handy for callers that need it anyway).
+///
+/// Generic over [`Lane`]: at `L = f64` this is the scalar original; at a
+/// packed width each lane performs exactly the same operation sequence on
+/// its own cell, so lane `i` of the packed result is bitwise the scalar
+/// result for cell `i`.
 #[inline]
-pub fn cons_to_prim(eq: &EqIdx, fluids: &[Fluid], cons: &[f64], prim: &mut [f64]) -> f64 {
+pub fn cons_to_prim<L: Lane>(eq: &EqIdx, fluids: &[Fluid], cons: &[L], prim: &mut [L]) -> L {
     debug_assert_eq!(cons.len(), eq.neq());
     debug_assert_eq!(prim.len(), eq.neq());
     debug_assert!(fluids.len() <= MAX_FLUIDS);
@@ -26,25 +33,25 @@ pub fn cons_to_prim(eq: &EqIdx, fluids: &[Fluid], cons: &[f64], prim: &mut [f64]
     // Partial densities are floored at zero: high-order reconstruction can
     // drive a vanishing phase's alpha*rho slightly negative at diffuse
     // interfaces (MFC bounds the same way with its `sgm_eps` floor).
-    let mut rho = 0.0;
+    let mut rho = L::splat(0.0);
     for i in 0..eq.nf() {
-        let ar = cons[eq.cont(i)].max(0.0);
+        let ar = cons[eq.cont(i)].max(L::splat(0.0));
         prim[eq.cont(i)] = ar;
-        rho += ar;
+        rho = rho + ar;
     }
     // A non-positive mixture density is *not* asserted here: IEEE division
     // keeps the conversion well-defined (producing inf/NaN primitives) and
     // the health scan reports the offending cell so the recovery ladder can
     // retry the step instead of the process aborting.
 
-    let mut kinetic = 0.0;
+    let mut kinetic = L::splat(0.0);
     for d in 0..eq.ndim() {
         let u = cons[eq.mom(d)] / rho;
         prim[eq.mom(d)] = u;
-        kinetic += 0.5 * rho * u * u;
+        kinetic = kinetic + L::splat(0.5) * rho * u * u;
     }
 
-    let mut alphas = [0.0; MAX_FLUIDS];
+    let mut alphas = [L::splat(0.0); MAX_FLUIDS];
     eq.alphas(cons, &mut alphas[..eq.nf()]);
     for i in 0..eq.n_adv() {
         prim[eq.adv(i)] = cons[eq.adv(i)];
@@ -57,25 +64,25 @@ pub fn cons_to_prim(eq: &EqIdx, fluids: &[Fluid], cons: &[f64], prim: &mut [f64]
 
 /// Convert one cell's primitive vector to conservatives.
 #[inline]
-pub fn prim_to_cons(eq: &EqIdx, fluids: &[Fluid], prim: &[f64], cons: &mut [f64]) {
+pub fn prim_to_cons<L: Lane>(eq: &EqIdx, fluids: &[Fluid], prim: &[L], cons: &mut [L]) {
     debug_assert_eq!(cons.len(), eq.neq());
     debug_assert_eq!(prim.len(), eq.neq());
 
-    let mut rho = 0.0;
+    let mut rho = L::splat(0.0);
     for i in 0..eq.nf() {
         let ar = prim[eq.cont(i)];
         cons[eq.cont(i)] = ar;
-        rho += ar;
+        rho = rho + ar;
     }
 
-    let mut kinetic = 0.0;
+    let mut kinetic = L::splat(0.0);
     for d in 0..eq.ndim() {
         let u = prim[eq.mom(d)];
         cons[eq.mom(d)] = rho * u;
-        kinetic += 0.5 * rho * u * u;
+        kinetic = kinetic + L::splat(0.5) * rho * u * u;
     }
 
-    let mut alphas = [0.0; MAX_FLUIDS];
+    let mut alphas = [L::splat(0.0); MAX_FLUIDS];
     eq.alphas(prim, &mut alphas[..eq.nf()]);
     for i in 0..eq.n_adv() {
         cons[eq.adv(i)] = prim[eq.adv(i)];
@@ -87,13 +94,13 @@ pub fn prim_to_cons(eq: &EqIdx, fluids: &[Fluid], prim: &[f64], cons: &mut [f64]
 
 /// Mixture density, pressure, and frozen sound speed of a primitive cell.
 #[inline]
-pub fn sound_speed(eq: &EqIdx, fluids: &[Fluid], prim: &[f64]) -> (f64, f64, f64) {
-    let mut rho = 0.0;
+pub fn sound_speed<L: Lane>(eq: &EqIdx, fluids: &[Fluid], prim: &[L]) -> (L, L, L) {
+    let mut rho = L::splat(0.0);
     for i in 0..eq.nf() {
-        rho += prim[eq.cont(i)];
+        rho = rho + prim[eq.cont(i)];
     }
     let p = prim[eq.energy()];
-    let mut alphas = [0.0; MAX_FLUIDS];
+    let mut alphas = [L::splat(0.0); MAX_FLUIDS];
     eq.alphas(prim, &mut alphas[..eq.nf()]);
     let mix = MixtureRules::evaluate(fluids, &alphas[..eq.nf()]);
     (rho, p, mix.sound_speed(rho, p))

@@ -15,6 +15,8 @@
 //! slots: partial densities, velocity components, pressure, volume
 //! fractions (MFC's convention).
 
+use mfc_acc::Lane;
+
 /// Index map for one problem's equation layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EqIdx {
@@ -82,16 +84,19 @@ impl EqIdx {
 
     /// Reconstruct the full `nf`-entry volume-fraction vector (the last
     /// entry by complement) from a state slice, clamped to `[0, 1]`.
+    ///
+    /// Generic over [`Lane`] so packed kernels evaluate it on whole lane
+    /// packets; at `L = f64` every operation is the scalar original.
     #[inline]
-    pub fn alphas(&self, state: &[f64], out: &mut [f64]) {
+    pub fn alphas<L: Lane>(&self, state: &[L], out: &mut [L]) {
         debug_assert_eq!(out.len(), self.nf);
-        let mut sum = 0.0;
+        let mut sum = L::splat(0.0);
         for i in 0..self.n_adv() {
             let a = state[self.adv(i)].clamp(0.0, 1.0);
             out[i] = a;
-            sum += a;
+            sum = sum + a;
         }
-        out[self.nf - 1] = (1.0 - sum).clamp(0.0, 1.0);
+        out[self.nf - 1] = (L::splat(1.0) - sum).clamp(0.0, 1.0);
     }
 }
 

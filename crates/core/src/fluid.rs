@@ -1,5 +1,6 @@
 //! Fluid definitions and the Allaire mixture rules.
 
+use mfc_acc::Lane;
 use serde::{Deserialize, Serialize};
 
 /// One fluid component, closed by the stiffened-gas EOS
@@ -82,28 +83,31 @@ impl Fluid {
 /// `Pi = sum_i alpha_i gamma_i pi_i/(gamma_i - 1)`, the mixture internal
 /// energy is `rho e = Gamma p + Pi`, which is what keeps pressure free of
 /// spurious oscillations across material interfaces.
+/// Generic over [`Lane`] (defaulting to plain `f64`) so packed kernels
+/// evaluate the rules on whole lane packets; every operation is
+/// elementwise, so each lane performs exactly the scalar sequence.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MixtureRules {
+pub struct MixtureRules<L = f64> {
     /// `sum alpha_i / (gamma_i - 1)`.
-    pub big_gamma: f64,
+    pub big_gamma: L,
     /// `sum alpha_i gamma_i pi_i / (gamma_i - 1)`.
-    pub big_pi: f64,
+    pub big_pi: L,
 }
 
-impl MixtureRules {
+impl<L: Lane> MixtureRules<L> {
     /// Evaluate the mixture coefficients for the given volume fractions.
     ///
     /// `alphas` must have one entry per fluid; entries should be in
     /// `[0, 1]` and sum to 1 (enforced elsewhere; small diffuse-interface
     /// excursions are tolerated).
     #[inline]
-    pub fn evaluate(fluids: &[Fluid], alphas: &[f64]) -> Self {
+    pub fn evaluate(fluids: &[Fluid], alphas: &[L]) -> Self {
         debug_assert_eq!(fluids.len(), alphas.len());
-        let mut big_gamma = 0.0;
-        let mut big_pi = 0.0;
+        let mut big_gamma = L::splat(0.0);
+        let mut big_pi = L::splat(0.0);
         for (f, &a) in fluids.iter().zip(alphas) {
-            big_gamma += a * f.big_gamma();
-            big_pi += a * f.big_pi();
+            big_gamma = big_gamma + a * L::splat(f.big_gamma());
+            big_pi = big_pi + a * L::splat(f.big_pi());
         }
         MixtureRules { big_gamma, big_pi }
     }
@@ -111,13 +115,13 @@ impl MixtureRules {
     /// Mixture pressure from total energy:
     /// `p = (rho E - 1/2 rho |u|^2 - Pi) / Gamma`.
     #[inline(always)]
-    pub fn pressure(&self, rho_e_internal: f64) -> f64 {
+    pub fn pressure(&self, rho_e_internal: L) -> L {
         (rho_e_internal - self.big_pi) / self.big_gamma
     }
 
     /// Mixture internal energy density `rho e = Gamma p + Pi`.
     #[inline(always)]
-    pub fn internal_energy(&self, p: f64) -> f64 {
+    pub fn internal_energy(&self, p: L) -> L {
         self.big_gamma * p + self.big_pi
     }
 
@@ -126,9 +130,9 @@ impl MixtureRules {
     ///
     /// Reduces to `gamma (p + pi)/rho` for a single fluid.
     #[inline(always)]
-    pub fn sound_speed(&self, rho: f64, p: f64) -> f64 {
-        let c2 = (p * (1.0 + self.big_gamma) + self.big_pi) / (self.big_gamma * rho);
-        c2.max(0.0).sqrt()
+    pub fn sound_speed(&self, rho: L, p: L) -> L {
+        let c2 = (p * (L::splat(1.0) + self.big_gamma) + self.big_pi) / (self.big_gamma * rho);
+        c2.max(L::splat(0.0)).sqrt()
     }
 }
 

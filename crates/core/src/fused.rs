@@ -28,10 +28,18 @@
 //!   it cannot change a single consumed bit.
 //!
 //! Per-line arithmetic is delegated to the *same* inlined kernels the
-//! staged path uses ([`crate::weno::reconstruct_line_padded`],
+//! staged path uses ([`crate::weno::reconstruct_line_padded_vec`],
 //! [`crate::limiter::limit_state`], [`RiemannSolver::flux`]) in the same
 //! order, so the fused engine is bitwise identical to the staged one —
 //! `tests/rhs_fusion.rs` asserts this on every shipped case.
+//!
+//! Unlike the staged stages, which tile lanes across whole grid rows, the
+//! fused WENO/Riemann/update stages tile lane packets along the
+//! *unit-stride face index within each pencil line* (OpenACC's `vector`
+//! level nested inside the pencil `gang`s). Each lane still performs the
+//! exact scalar op sequence on its own face, so every width remains
+//! bitwise identical to the scalar engine; the gather stage stays scalar
+//! (it is a pure byte shuffle with no arithmetic to vectorize).
 //!
 //! Every stage still lands in the `mfc-acc` ledger under its own label
 //! (`f_sweep_gather`/`f_weno_reconstruct`/`f_riemann_solve`/
@@ -42,17 +50,20 @@
 
 use std::time::{Duration, Instant};
 
-use mfc_acc::{Context, KernelClass, KernelCost, ParSlice};
+use mfc_acc::{Context, KernelClass, KernelCost, Lane, LaneGangBody, ParSlice};
 
 use crate::axisym::Geometry;
 use crate::domain::{Domain, MAX_EQ};
+use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
-use crate::limiter::limit_state;
+use crate::limiter::{limit_state, Limiter};
 use crate::rhs::{
-    region_transverse, state_admissible, sweep_to_canonical, Region, RhsConfig, RhsWorkspace,
+    admissible_mask, region_transverse, state_admissible, sweep_to_canonical, Region, RhsConfig,
+    RhsWorkspace,
 };
+use crate::riemann::RiemannSolver;
 use crate::state::StateField;
-use crate::weno::reconstruct_line_padded;
+use crate::weno::{reconstruct_line_padded_vec, WenoOrder};
 
 /// Transverse lines per pencil. Eight 8-byte values span one 64-byte cache
 /// line, so the strided y/z gathers read (and fully consume) whole lines.
@@ -74,15 +85,21 @@ pub(crate) struct FusedScratch {
 }
 
 impl FusedScratch {
-    pub(crate) fn new(dom: &Domain) -> Self {
+    /// Allocate scratch for `dom` at lane width `vector_width`: per-line
+    /// extents are rounded up to a lane multiple so a debug-asserted
+    /// full-packet load anchored at any in-line index stays inside the
+    /// allocation even on the buffer's final line.
+    pub(crate) fn new(dom: &Domain, vector_width: usize) -> Self {
+        let vw = vector_width.max(1);
+        let round = |n: usize| n.div_ceil(vw) * vw;
         let neq = dom.eq.neq();
         let (mut vmax, mut fmax, mut umax) = (0, 0, 0);
         for axis in 0..dom.eq.ndim() {
             let ext = dom.ext(axis);
             let nf = dom.n[axis] + 1;
-            vmax = vmax.max(PENCIL_B * neq * ext);
-            fmax = fmax.max(PENCIL_B * neq * nf);
-            umax = umax.max(PENCIL_B * nf);
+            vmax = vmax.max(PENCIL_B * neq * round(ext));
+            fmax = fmax.max(PENCIL_B * neq * round(nf));
+            umax = umax.max(PENCIL_B * round(nf));
         }
         FusedScratch {
             v: vec![0.0; vmax],
@@ -114,8 +131,8 @@ pub(crate) fn fused_sweeps(
 /// unrestricted value), and the overlapped stepping mode runs the same
 /// code over its interior core and boundary shells. Each pencil gathers
 /// the region's sweep window (`s_lo .. s_lo + s_n` plus `pad` cells each
-/// side), so the per-line slices feed [`reconstruct_line_padded`] the
-/// identical stencil values at every produced face.
+/// side), so the per-line slices feed the reconstruction the identical
+/// stencil values at every produced face.
 pub(crate) fn fused_sweep_axis_region(
     ctx: &Context,
     cfg: &RhsConfig,
@@ -146,7 +163,7 @@ pub(crate) fn fused_sweep_axis_region(
     // every read within a unit of work).
     let workers = ctx.workers().max(1);
     if fused.len() < workers {
-        fused.resize_with(workers, || FusedScratch::new(&dom));
+        fused.resize_with(workers, || FusedScratch::new(&dom, ctx.vector_width()));
     }
     let d3 = dom.dims3();
     let (n1, n2, n3) = (d3.n1, d3.n2, d3.n3);
@@ -192,173 +209,41 @@ pub(crate) fn fused_sweep_axis_region(
     let nbatches = bcount.div_ceil(PENCIL_B);
     let units = ocount * nbatches;
 
-    let t_axis = Instant::now();
-    let (stage_times, gangs) = ctx.gang_scope_with(
-        units,
-        (nlines * s_n) as u64,
-        &mut fused[..],
-        |_gang, range, fs| {
-            let FusedScratch {
-                v,
-                left,
-                right,
-                flux,
-                ustar,
-            } = fs;
-            let mut times = [Duration::ZERO; 4];
-            let mut pl = [0.0; MAX_EQ];
-            let mut pr = [0.0; MAX_EQ];
-            let mut f = [0.0; MAX_EQ];
-            let mut mean = [0.0; MAX_EQ];
-
-            for unit in range {
-                let o = unit / nbatches;
-                let b0 = (unit % nbatches) * PENCIL_B;
-                let oc = oq + o;
-                let bw = PENCIL_B.min(bcount - b0);
-                // Canonical flat offset of cell (s=0, line b, variable e):
-                // lines of one pencil are consecutive in canonical x.
-                let line_base = |b: usize, e: usize| -> usize {
-                    let (t1, t2) = if batch_t1 {
-                        (bq + b0 + b, oc)
-                    } else {
-                        (oc, bq + b0 + b)
-                    };
-                    let (i, j, k) = sweep_to_canonical(axis, 0, t1, t2);
-                    i + n1 * (j + n2 * (k + n3 * e))
-                };
-
-                // --- stage 1: gather (skipped for x: canonical lines are
-                //     already unit-stride in `prim`) ---
-                if axis != 0 {
-                    let t0 = Instant::now();
-                    let sweep_stride = if axis == 1 { n1 } else { n1 * n2 };
-                    for e in 0..neq {
-                        let base = line_base(0, e) + s_lo * sweep_stride;
-                        for s in 0..rext {
-                            let src = base + s * sweep_stride;
-                            let dst = e * rext + s;
-                            for (b, vb) in
-                                v[dst..].iter_mut().step_by(neq * rext).take(bw).enumerate()
-                            {
-                                *vb = psl[src + b];
-                            }
-                        }
-                    }
-                    times[0] += t0.elapsed();
-                }
-
-                // --- stage 2: WENO reconstruction per line per variable ---
-                {
-                    let t0 = Instant::now();
-                    for b in 0..bw {
-                        for e in 0..neq {
-                            let fo = (b * neq + e) * rnf;
-                            if axis == 0 {
-                                let base = line_base(b, e) + s_lo;
-                                reconstruct_line_padded(
-                                    cfg.order,
-                                    &psl[base..base + rext],
-                                    pad,
-                                    s_n,
-                                    &mut left[fo..fo + rnf],
-                                    &mut right[fo..fo + rnf],
-                                );
-                            } else {
-                                let lo = (b * neq + e) * rext;
-                                reconstruct_line_padded(
-                                    cfg.order,
-                                    &v[lo..lo + rext],
-                                    pad,
-                                    s_n,
-                                    &mut left[fo..fo + rnf],
-                                    &mut right[fo..fo + rnf],
-                                );
-                            }
-                        }
-                    }
-                    times[1] += t0.elapsed();
-                }
-
-                // --- stage 3: Riemann solve per face (same positivity
-                //     limiting and flux arithmetic as the staged kernel) ---
-                {
-                    let t0 = Instant::now();
-                    for b in 0..bw {
-                        // Cell value at window position `s` of line (b, e),
-                        // for the positivity-fallback means.
-                        let cell_val = |b: usize, e: usize, s: usize| -> f64 {
-                            if axis == 0 {
-                                psl[line_base(b, e) + s_lo + s]
-                            } else {
-                                v[(b * neq + e) * rext + s]
-                            }
-                        };
-                        for m in 0..rnf {
-                            for e in 0..neq {
-                                pl[e] = left[(b * neq + e) * rnf + m];
-                                pr[e] = right[(b * neq + e) * rnf + m];
-                            }
-                            let cl = pad - 1 + m;
-                            if !state_admissible(&eq, fluids, &pl[..neq]) {
-                                for (e, m) in mean.iter_mut().enumerate().take(neq) {
-                                    *m = cell_val(b, e, cl);
-                                }
-                                limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pl[..neq]);
-                            }
-                            if !state_admissible(&eq, fluids, &pr[..neq]) {
-                                for (e, m) in mean.iter_mut().enumerate().take(neq) {
-                                    *m = cell_val(b, e, cl + 1);
-                                }
-                                limit_state(cfg.limiter, &eq, fluids, &mean[..neq], &mut pr[..neq]);
-                            }
-                            let s = cfg.solver.flux(
-                                &eq,
-                                fluids,
-                                axis,
-                                &pl[..neq],
-                                &pr[..neq],
-                                &mut f[..neq],
-                            );
-                            for e in 0..neq {
-                                flux[(b * neq + e) * rnf + m] = f[e];
-                            }
-                            ustar[b * rnf + m] = s;
-                        }
-                    }
-                    times[2] += t0.elapsed();
-                }
-
-                // --- stage 4: flux divergence into the canonical RHS and
-                //     S* differences into div(u) ---
-                {
-                    let t0 = Instant::now();
-                    for b in 0..bw {
-                        let (t1, t2) = if batch_t1 {
-                            (bq + b0 + b, oc)
-                        } else {
-                            (oc, bq + b0 + b)
-                        };
-                        let metric = radial.map(|r| r[t1]).unwrap_or(1.0);
-                        let ub = b * rnf;
-                        for s in 0..s_n {
-                            let sa = s_lo + s;
-                            let inv_dx = 1.0 / (w[pad + sa] * metric);
-                            let (i, j, k) = sweep_to_canonical(axis, pad + sa, t1, t2);
-                            let cell = i + n1 * (j + n2 * k);
-                            for e in 0..neq {
-                                let fb = (b * neq + e) * rnf + s;
-                                rsl.add(cell + e * cell_stride, (flux[fb] - flux[fb + 1]) * inv_dx);
-                            }
-                            dsl.add(cell, (ustar[ub + s + 1] - ustar[ub + s]) * inv_dx);
-                        }
-                    }
-                    times[3] += t0.elapsed();
-                }
-            }
-            times
+    let body = FusedBody {
+        eq,
+        fluids,
+        order: cfg.order,
+        solver: cfg.solver,
+        limiter: cfg.limiter,
+        axis,
+        psl,
+        rsl,
+        dsl,
+        w,
+        radial,
+        n1,
+        n2,
+        n3,
+        cell_stride,
+        sweep_stride: match axis {
+            0 => 1,
+            1 => n1,
+            _ => n1 * n2,
         },
-    );
+        pad,
+        s_lo,
+        s_n,
+        rext,
+        rnf,
+        batch_t1,
+        bq,
+        bcount,
+        oq,
+        nbatches,
+    };
+    let t_axis = Instant::now();
+    let (stage_times, gangs) =
+        ctx.gang_vec_scope(units, (nlines * s_n) as u64, &mut fused[..], &body);
     // Per-stage CPU time summed over gangs in fixed gang order (exceeds
     // the axis wall clock when gangs overlap; the residual clamps at 0).
     let (mut tg, mut tw, mut tr, mut tu) = (
@@ -389,7 +274,18 @@ pub(crate) fn fused_sweep_axis_region(
         tr = tr.mul_f64(scale);
         tu = tu.mul_f64(scale);
     }
+    // Analytic lane tiling of the vector stages (the same convention as
+    // `launch_vec`): WENO tiles `neq` face lines and Riemann one face
+    // line of `rnf` faces per pencil line; the update tiles `s_n` cells
+    // per line. The scalar gather contributes no vector elements.
+    let vw = ctx.vector_width();
+    let face_rows = (nlines * (neq + 1)) as u64;
+    ctx.note_lane_tiling(
+        face_rows * (rnf / vw) as u64 + nlines as u64 * (s_n / vw) as u64,
+        face_rows * (rnf % vw) as u64 + nlines as u64 * (s_n % vw) as u64,
+    );
     let gangs = gangs as u32;
+    let lanes = vw as u32;
     if axis != 0 {
         ctx.record_external_gangs(
             "f_sweep_gather",
@@ -400,7 +296,7 @@ pub(crate) fn fused_sweep_axis_region(
             tg,
         );
     }
-    ctx.record_external_gangs(
+    ctx.record_external_vec(
         "f_weno_reconstruct",
         KernelCost::new(
             KernelClass::Weno,
@@ -410,10 +306,11 @@ pub(crate) fn fused_sweep_axis_region(
         ),
         (nlines * neq * rnf) as u64,
         gangs,
+        lanes,
         t_axis + tg,
         tw,
     );
-    ctx.record_external_gangs(
+    ctx.record_external_vec(
         "f_riemann_solve",
         KernelCost::new(
             KernelClass::Riemann,
@@ -423,10 +320,11 @@ pub(crate) fn fused_sweep_axis_region(
         ),
         (nlines * rnf) as u64,
         gangs,
+        lanes,
         t_axis + tg + tw,
         tr,
     );
-    ctx.record_external_gangs(
+    ctx.record_external_vec(
         "f_flux_divergence",
         KernelCost::new(
             KernelClass::Update,
@@ -436,6 +334,7 @@ pub(crate) fn fused_sweep_axis_region(
         ),
         (nlines * s_n) as u64,
         gangs,
+        lanes,
         t_axis + tg + tw + tr,
         tu,
     );
@@ -450,4 +349,321 @@ pub(crate) fn fused_sweep_axis_region(
         t_axis + tg + tw + tr + tu,
         residual,
     );
+}
+
+/// Shared environment of one fused directional sweep, executable at any
+/// lane width ([`LaneGangBody`]): each gang streams its pencil range
+/// through the four stages with its own [`FusedScratch`], tiling lane
+/// packets along the unit-stride face index within every pencil line.
+struct FusedBody<'a> {
+    eq: EqIdx,
+    fluids: &'a [Fluid],
+    order: WenoOrder,
+    solver: RiemannSolver,
+    limiter: Limiter,
+    axis: usize,
+    /// Canonical primitive buffer.
+    psl: &'a [f64],
+    rsl: ParSlice<'a>,
+    dsl: ParSlice<'a>,
+    /// Ghost-inclusive cell widths along the sweep axis.
+    w: &'a [f64],
+    /// Radii by first transverse coordinate (cylindrical azimuthal sweeps).
+    radial: Option<&'a [f64]>,
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    /// Ghost-inclusive cells per equation block.
+    cell_stride: usize,
+    /// Canonical flat stride of one step along the sweep axis.
+    sweep_stride: usize,
+    pad: usize,
+    s_lo: usize,
+    s_n: usize,
+    /// Gathered line extent (`s_n + 2*pad`).
+    rext: usize,
+    /// Faces per line (`s_n + 1`).
+    rnf: usize,
+    batch_t1: bool,
+    bq: usize,
+    bcount: usize,
+    oq: usize,
+    nbatches: usize,
+}
+
+impl FusedBody<'_> {
+    /// Sweep coordinates (t1, t2) of batch line `b` of the unit at outer
+    /// coordinate `oc`, batch origin `b0`.
+    #[inline(always)]
+    fn line_t(&self, oc: usize, b0: usize, b: usize) -> (usize, usize) {
+        if self.batch_t1 {
+            (self.bq + b0 + b, oc)
+        } else {
+            (oc, self.bq + b0 + b)
+        }
+    }
+
+    /// Canonical flat offset of cell (s = 0) of line (t1, t2), variable
+    /// `e` — lines of one pencil are consecutive in canonical x.
+    #[inline(always)]
+    fn line_base(&self, t1: usize, t2: usize, e: usize) -> usize {
+        let (i, j, k) = sweep_to_canonical(self.axis, 0, t1, t2);
+        i + self.n1 * (j + self.n2 * (k + self.n3 * e))
+    }
+
+    /// Cell value at window position `s` of line (b, e), for the
+    /// positivity-fallback means.
+    #[inline(always)]
+    fn cell_val(&self, v: &[f64], t1: usize, t2: usize, b: usize, e: usize, s: usize) -> f64 {
+        if self.axis == 0 {
+            self.psl[self.line_base(t1, t2, e) + self.s_lo + s]
+        } else {
+            v[(b * self.eq.neq() + e) * self.rext + s]
+        }
+    }
+
+    /// One face through the scalar Riemann path (the exact staged
+    /// semantics): gather face states, positivity-limit toward the cell
+    /// means where inadmissible, solve, store flux and contact speed.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn solve_face_scalar(
+        &self,
+        v: &[f64],
+        left: &[f64],
+        right: &[f64],
+        flux: &mut [f64],
+        ustar: &mut [f64],
+        t1: usize,
+        t2: usize,
+        b: usize,
+        m: usize,
+    ) {
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let rnf = self.rnf;
+        let mut pl = [0.0; MAX_EQ];
+        let mut pr = [0.0; MAX_EQ];
+        let mut f = [0.0; MAX_EQ];
+        let mut mean = [0.0; MAX_EQ];
+        for e in 0..neq {
+            pl[e] = left[(b * neq + e) * rnf + m];
+            pr[e] = right[(b * neq + e) * rnf + m];
+        }
+        let cl = self.pad - 1 + m;
+        if !state_admissible(eq, self.fluids, &pl[..neq]) {
+            for (e, mv) in mean.iter_mut().enumerate().take(neq) {
+                *mv = self.cell_val(v, t1, t2, b, e, cl);
+            }
+            limit_state(self.limiter, eq, self.fluids, &mean[..neq], &mut pl[..neq]);
+        }
+        if !state_admissible(eq, self.fluids, &pr[..neq]) {
+            for (e, mv) in mean.iter_mut().enumerate().take(neq) {
+                *mv = self.cell_val(v, t1, t2, b, e, cl + 1);
+            }
+            limit_state(self.limiter, eq, self.fluids, &mean[..neq], &mut pr[..neq]);
+        }
+        let s = self.solver.flux(
+            eq,
+            self.fluids,
+            self.axis,
+            &pl[..neq],
+            &pr[..neq],
+            &mut f[..neq],
+        );
+        for e in 0..neq {
+            flux[(b * neq + e) * rnf + m] = f[e];
+        }
+        ustar[b * rnf + m] = s;
+    }
+}
+
+impl LaneGangBody<FusedScratch, [Duration; 4]> for FusedBody<'_> {
+    fn run<L: Lane>(
+        &self,
+        _gang: usize,
+        range: std::ops::Range<usize>,
+        fs: &mut FusedScratch,
+    ) -> [Duration; 4] {
+        let FusedScratch {
+            v,
+            left,
+            right,
+            flux,
+            ustar,
+        } = fs;
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let (rext, rnf, s_n, pad, axis) = (self.rext, self.rnf, self.s_n, self.pad, self.axis);
+        let mut times = [Duration::ZERO; 4];
+
+        for unit in range {
+            let o = unit / self.nbatches;
+            let b0 = (unit % self.nbatches) * PENCIL_B;
+            let oc = self.oq + o;
+            let bw = PENCIL_B.min(self.bcount - b0);
+
+            // --- stage 1: gather (scalar pack; skipped for x: canonical
+            //     lines are already unit-stride in `prim`) ---
+            if axis != 0 {
+                let t0 = Instant::now();
+                let sweep_stride = self.sweep_stride;
+                let (t1, t2) = self.line_t(oc, b0, 0);
+                for e in 0..neq {
+                    let base = self.line_base(t1, t2, e) + self.s_lo * sweep_stride;
+                    for s in 0..rext {
+                        let src = base + s * sweep_stride;
+                        let dst = e * rext + s;
+                        for (b, vb) in v[dst..].iter_mut().step_by(neq * rext).take(bw).enumerate()
+                        {
+                            *vb = self.psl[src + b];
+                        }
+                    }
+                }
+                times[0] += t0.elapsed();
+            }
+
+            // --- stage 2: WENO reconstruction per line per variable,
+            //     lane packets along the face index ---
+            {
+                let t0 = Instant::now();
+                for b in 0..bw {
+                    let (t1, t2) = self.line_t(oc, b0, b);
+                    for e in 0..neq {
+                        let fo = (b * neq + e) * rnf;
+                        if axis == 0 {
+                            let base = self.line_base(t1, t2, e) + self.s_lo;
+                            reconstruct_line_padded_vec::<L>(
+                                self.order,
+                                &self.psl[base..base + rext],
+                                pad,
+                                s_n,
+                                &mut left[fo..fo + rnf],
+                                &mut right[fo..fo + rnf],
+                            );
+                        } else {
+                            let lo = (b * neq + e) * rext;
+                            reconstruct_line_padded_vec::<L>(
+                                self.order,
+                                &v[lo..lo + rext],
+                                pad,
+                                s_n,
+                                &mut left[fo..fo + rnf],
+                                &mut right[fo..fo + rnf],
+                            );
+                        }
+                    }
+                }
+                times[1] += t0.elapsed();
+            }
+
+            // --- stage 3: Riemann solve per face (same positivity
+            //     limiting and flux arithmetic as the staged kernel):
+            //     all-admissible packets solve lane-wide, any flagged
+            //     lane replays the whole packet through the scalar path ---
+            {
+                let t0 = Instant::now();
+                for b in 0..bw {
+                    let (t1, t2) = self.line_t(oc, b0, b);
+                    let mut m = 0;
+                    while m + L::WIDTH <= rnf {
+                        let mut pl = [L::splat(0.0); MAX_EQ];
+                        let mut pr = [L::splat(0.0); MAX_EQ];
+                        for e in 0..neq {
+                            pl[e] = L::load(&left[(b * neq + e) * rnf + m..]);
+                            pr[e] = L::load(&right[(b * neq + e) * rnf + m..]);
+                        }
+                        let ok = L::mask_and(
+                            admissible_mask(eq, self.fluids, &pl[..neq]),
+                            admissible_mask(eq, self.fluids, &pr[..neq]),
+                        );
+                        if L::mask_all(ok) {
+                            let mut f = [L::splat(0.0); MAX_EQ];
+                            let s = self.solver.flux(
+                                eq,
+                                self.fluids,
+                                axis,
+                                &pl[..neq],
+                                &pr[..neq],
+                                &mut f[..neq],
+                            );
+                            for e in 0..neq {
+                                f[e].store(&mut flux[(b * neq + e) * rnf + m..]);
+                            }
+                            s.store(&mut ustar[b * rnf + m..]);
+                        } else {
+                            for lane in 0..L::WIDTH {
+                                self.solve_face_scalar(
+                                    v,
+                                    left,
+                                    right,
+                                    flux,
+                                    ustar,
+                                    t1,
+                                    t2,
+                                    b,
+                                    m + lane,
+                                );
+                            }
+                        }
+                        m += L::WIDTH;
+                    }
+                    while m < rnf {
+                        self.solve_face_scalar(v, left, right, flux, ustar, t1, t2, b, m);
+                        m += 1;
+                    }
+                }
+                times[2] += t0.elapsed();
+            }
+
+            // --- stage 4: flux divergence into the canonical RHS and
+            //     S* differences into div(u), lane packets along the
+            //     sweep index with the canonical per-axis cell stride ---
+            {
+                let t0 = Instant::now();
+                for b in 0..bw {
+                    let (t1, t2) = self.line_t(oc, b0, b);
+                    let metric = self.radial.map(|r| r[t1]).unwrap_or(1.0);
+                    let ub = b * rnf;
+                    let cs = self.sweep_stride;
+                    let mut s = 0;
+                    while s + L::WIDTH <= s_n {
+                        let sa = self.s_lo + s;
+                        let inv_dx =
+                            L::splat(1.0) / (L::load(&self.w[pad + sa..]) * L::splat(metric));
+                        let (i, j, k) = sweep_to_canonical(axis, pad + sa, t1, t2);
+                        let cell = i + self.n1 * (j + self.n2 * k);
+                        for e in 0..neq {
+                            let fb = (b * neq + e) * rnf + s;
+                            let d = (L::load(&flux[fb..]) - L::load(&flux[fb + 1..])) * inv_dx;
+                            self.rsl
+                                .add_lanes_strided(cell + e * self.cell_stride, cs, d);
+                        }
+                        let dv =
+                            (L::load(&ustar[ub + s + 1..]) - L::load(&ustar[ub + s..])) * inv_dx;
+                        self.dsl.add_lanes_strided(cell, cs, dv);
+                        s += L::WIDTH;
+                    }
+                    while s < s_n {
+                        let sa = self.s_lo + s;
+                        let inv_dx = 1.0 / (self.w[pad + sa] * metric);
+                        let (i, j, k) = sweep_to_canonical(axis, pad + sa, t1, t2);
+                        let cell = i + self.n1 * (j + self.n2 * k);
+                        for e in 0..neq {
+                            let fb = (b * neq + e) * rnf + s;
+                            self.rsl.add(
+                                cell + e * self.cell_stride,
+                                (flux[fb] - flux[fb + 1]) * inv_dx,
+                            );
+                        }
+                        self.dsl
+                            .add(cell, (ustar[ub + s + 1] - ustar[ub + s]) * inv_dx);
+                        s += 1;
+                    }
+                }
+                times[3] += t0.elapsed();
+            }
+        }
+        times
+    }
 }

@@ -17,11 +17,12 @@
 //! which is what keeps recovery-armed runs bitwise identical to plain runs
 //! when no fault triggers.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
+use mfc_acc::{with_lane_width, Context, KernelClass, KernelCost, Lane, LaunchConfig, ParSlice};
 use serde::{Deserialize, Serialize};
 
 use crate::domain::MAX_EQ;
-use crate::eos::cons_to_prim;
+use crate::eos::{cons_to_prim, MAX_FLUIDS};
+use crate::eqidx::EqIdx;
 use crate::fluid::{Fluid, MixtureRules};
 use crate::state::StateField;
 
@@ -137,89 +138,198 @@ pub fn scan_and_convert(
     // On a faulted step later gangs may convert cells the serial scan
     // would have skipped, but faulted steps are discarded and retried, so
     // the extra primitive stores never reach a sweep.
+    //
+    // Within a gang the walk is lane-tiled: a full packet that passes
+    // every check lane-wide converts and stores `WIDTH` cells at once;
+    // any flagged lane drops the packet back to the scalar walk, which
+    // preserves the exact "first violation in x-fastest order" semantics
+    // (and bitwise-identical primitive stores, since the lane conversion
+    // is the generic scalar op sequence per lane).
     let d3 = dom.dims3();
-    let block = d3.len();
-    let out = ParSlice::new(prim.as_mut_slice());
-    let results = ctx.launch_gangs(&cfg, cost, dom.interior_cells(), |_gang, range| {
-        let mut first: Option<Violation> = None;
-        let mut c = [0.0; MAX_EQ];
-        let mut p = [0.0; MAX_EQ];
-        'items: for item in range {
-            let i = item % nx + px;
-            let j = (item / nx) % ny + py;
-            let k = item / (nx * ny) + pz;
-            cons.load_cell(i, j, k, &mut c[..neq]);
+    let scanner = HealthScanner {
+        eq,
+        fluids,
+        slack,
+        src: cons.as_slice(),
+        out: ParSlice::new(prim.as_mut_slice()),
+        nx,
+        ny,
+        pad: [px, py, pz],
+        ext1: d3.n1,
+        ext2: d3.n2,
+        block: d3.len(),
+    };
+    let vw = ctx.vector_width();
+    let results = ctx.launch_gangs(
+        &cfg,
+        cost,
+        dom.interior_cells(),
+        |_gang, range| with_lane_width!(vw, L => scanner.scan_range::<L>(range)),
+    );
+    results.into_iter().flatten().next()
+}
 
-            for (e, &v) in c[..neq].iter().enumerate() {
-                if !v.is_finite() {
-                    first = Some(Violation {
-                        kind: ViolationKind::NotFinite,
-                        cell: [i, j, k],
-                        eq: e,
-                        value: v,
-                    });
-                    break 'items;
-                }
+/// State of the fused health scan, shared by the lane fast path and the
+/// scalar fallback walk.
+struct HealthScanner<'a> {
+    eq: EqIdx,
+    fluids: &'a [Fluid],
+    slack: f64,
+    src: &'a [f64],
+    out: ParSlice<'a>,
+    nx: usize,
+    ny: usize,
+    pad: [usize; 3],
+    ext1: usize,
+    ext2: usize,
+    /// Ghost-inclusive cells per equation block.
+    block: usize,
+}
+
+impl HealthScanner<'_> {
+    /// Walk a contiguous interior item range, lane packets first, and
+    /// return the first violation.
+    fn scan_range<L: Lane>(&self, range: std::ops::Range<usize>) -> Option<Violation> {
+        let mut item = range.start;
+        while item < range.end {
+            // Packets never cross an x row (loads are unit-stride in x).
+            let avail = (range.end - item).min(self.nx - item % self.nx);
+            if L::WIDTH > 1 && avail >= L::WIDTH && self.packet_healthy::<L>(item) {
+                item += L::WIDTH;
+                continue;
             }
-            // Unfloored mixture density: the EOS floors each partial
-            // density at zero, so a positive unfloored sum guarantees a
-            // safe convert.
-            let mut rho = 0.0;
-            for f in 0..eq.nf() {
-                rho += c[eq.cont(f)];
+            if let Some(v) = self.scan_cell(item) {
+                return Some(v);
             }
-            if rho <= 0.0 {
-                first = Some(Violation {
-                    kind: ViolationKind::NonPositiveDensity,
-                    cell: [i, j, k],
-                    eq: eq.cont(0),
-                    value: rho,
-                });
-                break 'items;
-            }
-            let mut alpha_bad = None;
-            for a in 0..eq.n_adv() {
-                let alpha = c[eq.adv(a)];
-                if !(-slack..=1.0 + slack).contains(&alpha) {
-                    alpha_bad = Some((eq.adv(a), alpha));
-                    break;
-                }
-            }
-            if let Some((e, alpha)) = alpha_bad {
-                first = Some(Violation {
-                    kind: ViolationKind::AlphaOutOfRange,
+            item += 1;
+        }
+        None
+    }
+
+    /// Check one full packet lane-wide; on an all-healthy verdict the
+    /// converted primitives are stored and `true` returned. `false` means
+    /// "at least one lane needs the ordered scalar walk" — it is always
+    /// safe, never a verdict by itself.
+    #[inline(always)]
+    fn packet_healthy<L: Lane>(&self, item: usize) -> bool {
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let i = item % self.nx + self.pad[0];
+        let j = (item / self.nx) % self.ny + self.pad[1];
+        let k = item / (self.nx * self.ny) + self.pad[2];
+        let cell = i + self.ext1 * (j + self.ext2 * k);
+        let mut c = [L::splat(0.0); MAX_EQ];
+        for (e, v) in c.iter_mut().enumerate().take(neq) {
+            *v = L::load(&self.src[cell + e * self.block..]);
+        }
+        let mut ok = L::splat(0.0).ge(L::splat(0.0)); // all-true
+        for v in &c[..neq] {
+            ok = L::mask_and(ok, v.finite());
+        }
+        let mut rho = L::splat(0.0);
+        for f in 0..eq.nf() {
+            rho = rho + c[eq.cont(f)];
+        }
+        ok = L::mask_and(ok, rho.gt(L::splat(0.0)));
+        for a in 0..eq.n_adv() {
+            let alpha = c[eq.adv(a)];
+            ok = L::mask_and(ok, alpha.ge(L::splat(-self.slack)));
+            ok = L::mask_and(ok, alpha.le(L::splat(1.0 + self.slack)));
+        }
+        if !L::mask_all(ok) {
+            return false;
+        }
+        let mut p = [L::splat(0.0); MAX_EQ];
+        cons_to_prim(eq, self.fluids, &c[..neq], &mut p[..neq]);
+        let mut alphas = [L::splat(0.0); MAX_FLUIDS];
+        eq.alphas(&c[..neq], &mut alphas[..eq.nf()]);
+        let mix = MixtureRules::evaluate(self.fluids, &alphas[..eq.nf()]);
+        let pres = p[eq.energy()];
+        let floor = pres * (L::splat(1.0) + mix.big_gamma) + mix.big_pi;
+        // Healthy iff finite and NOT (floor <= 0) — the exact complement
+        // of the scalar flag, so a NaN floor stays healthy on both paths.
+        ok = L::mask_and(pres.finite(), L::mask_not(floor.le(L::splat(0.0))));
+        if !L::mask_all(ok) {
+            return false;
+        }
+        for (e, v) in p.iter().enumerate().take(neq) {
+            self.out.set_lanes(cell + e * self.block, *v);
+        }
+        true
+    }
+
+    /// The scalar per-cell scan: flag the first violation or store the
+    /// converted primitives.
+    fn scan_cell(&self, item: usize) -> Option<Violation> {
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let i = item % self.nx + self.pad[0];
+        let j = (item / self.nx) % self.ny + self.pad[1];
+        let k = item / (self.nx * self.ny) + self.pad[2];
+        let cell = i + self.ext1 * (j + self.ext2 * k);
+        let mut c = [0.0; MAX_EQ];
+        for (e, v) in c.iter_mut().enumerate().take(neq) {
+            *v = self.src[cell + e * self.block];
+        }
+
+        for (e, &v) in c[..neq].iter().enumerate() {
+            if !v.is_finite() {
+                return Some(Violation {
+                    kind: ViolationKind::NotFinite,
                     cell: [i, j, k],
                     eq: e,
-                    value: alpha,
+                    value: v,
                 });
-                break 'items;
-            }
-            cons_to_prim(&eq, fluids, &c[..neq], &mut p[..neq]);
-            // The stiffened-gas floor is a *mixture* quantity: the frozen
-            // sound speed c^2 = (p (1 + Gamma) + Pi) / (Gamma rho) stays
-            // real iff p (1 + Gamma) + Pi > 0. A global per-fluid bound
-            // would flag admissible tension states in stiffened liquids.
-            let mut alphas = [0.0; crate::eos::MAX_FLUIDS];
-            eq.alphas(&c[..neq], &mut alphas[..eq.nf()]);
-            let mix = MixtureRules::evaluate(fluids, &alphas[..eq.nf()]);
-            let pres = p[eq.energy()];
-            if !pres.is_finite() || pres * (1.0 + mix.big_gamma) + mix.big_pi <= 0.0 {
-                first = Some(Violation {
-                    kind: ViolationKind::VacuumPressure,
-                    cell: [i, j, k],
-                    eq: eq.energy(),
-                    value: pres,
-                });
-                break 'items;
-            }
-            let cell = d3.idx(i, j, k);
-            for (e, &v) in p[..neq].iter().enumerate() {
-                out.set(cell + e * block, v);
             }
         }
-        first
-    });
-    results.into_iter().flatten().next()
+        // Unfloored mixture density: the EOS floors each partial density
+        // at zero, so a positive unfloored sum guarantees a safe convert.
+        let mut rho = 0.0;
+        for f in 0..eq.nf() {
+            rho += c[eq.cont(f)];
+        }
+        if rho <= 0.0 {
+            return Some(Violation {
+                kind: ViolationKind::NonPositiveDensity,
+                cell: [i, j, k],
+                eq: eq.cont(0),
+                value: rho,
+            });
+        }
+        for a in 0..eq.n_adv() {
+            let alpha = c[eq.adv(a)];
+            if !(-self.slack..=1.0 + self.slack).contains(&alpha) {
+                return Some(Violation {
+                    kind: ViolationKind::AlphaOutOfRange,
+                    cell: [i, j, k],
+                    eq: eq.adv(a),
+                    value: alpha,
+                });
+            }
+        }
+        let mut p = [0.0; MAX_EQ];
+        cons_to_prim(eq, self.fluids, &c[..neq], &mut p[..neq]);
+        // The stiffened-gas floor is a *mixture* quantity: the frozen
+        // sound speed c^2 = (p (1 + Gamma) + Pi) / (Gamma rho) stays
+        // real iff p (1 + Gamma) + Pi > 0. A global per-fluid bound
+        // would flag admissible tension states in stiffened liquids.
+        let mut alphas = [0.0; MAX_FLUIDS];
+        eq.alphas(&c[..neq], &mut alphas[..eq.nf()]);
+        let mix = MixtureRules::evaluate(self.fluids, &alphas[..eq.nf()]);
+        let pres = p[eq.energy()];
+        if !pres.is_finite() || pres * (1.0 + mix.big_gamma) + mix.big_pi <= 0.0 {
+            return Some(Violation {
+                kind: ViolationKind::VacuumPressure,
+                cell: [i, j, k],
+                eq: eq.energy(),
+                value: pres,
+            });
+        }
+        for (e, &v) in p[..neq].iter().enumerate() {
+            self.out.set(cell + e * self.block, v);
+        }
+        None
+    }
 }
 
 #[cfg(test)]

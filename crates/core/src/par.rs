@@ -156,7 +156,7 @@ pub fn run_distributed_traced(
     let global_grid = case.grid();
 
     let mut results = World::run(n_ranks, |mut comm| {
-        let mut ctx = Context::with_workers(cfg.workers);
+        let mut ctx = Context::with_workers(cfg.workers).with_vector_width(cfg.vector_width);
         if let Some(tr) = &tracer {
             let h = tr.handle(comm.rank());
             comm.set_tracer(Arc::clone(&h));
@@ -595,7 +595,7 @@ pub fn run_distributed_resilient(
 
     let rank_body = |mut comm: &mut Comm| -> RankOutcome {
         let phys = comm.phys_rank();
-        let mut ctx = Context::with_workers(cfg.workers);
+        let mut ctx = Context::with_workers(cfg.workers).with_vector_width(cfg.vector_width);
         if let Some(tr) = &opts.trace {
             let h = tr.handle(phys);
             comm.set_tracer(Arc::clone(&h));
@@ -1418,7 +1418,7 @@ pub fn run_distributed_with_output(
     let writer = mfc_mpsim::WaveWriter::new(wave_size);
 
     World::run(n_ranks, |mut comm| {
-        let mut ctx = Context::with_workers(cfg.workers);
+        let mut ctx = Context::with_workers(cfg.workers).with_vector_width(cfg.vector_width);
         if let Some(tr) = &tracer {
             let h = tr.handle(comm.rank());
             comm.set_tracer(Arc::clone(&h));
@@ -1513,7 +1513,11 @@ pub fn run_distributed_with_output(
 
 /// Serial reference producing the same [`GlobalField`] shape.
 pub fn run_single(case: &CaseBuilder, cfg: SolverConfig, steps: usize) -> GlobalField {
-    let mut solver = crate::solver::Solver::new(case, cfg, Context::with_workers(cfg.workers));
+    let mut solver = crate::solver::Solver::new(
+        case,
+        cfg,
+        Context::with_workers(cfg.workers).with_vector_width(cfg.vector_width),
+    );
     solver
         .run_steps(steps)
         .expect("serial reference run hit a numerical fault");

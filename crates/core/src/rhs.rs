@@ -23,10 +23,10 @@
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
+use mfc_acc::{Context, KernelClass, KernelCost, Lane, LaneKernel, LaunchConfig, ParSlice};
 use mfc_layout::{
     transpose_2134_geam, transpose_2134_naive, transpose_3214_geam, transpose_3214_naive,
-    transpose_3214_tiled, Dims4, Flat4D,
+    transpose_3214_tiled, Dims3, Dims4, Flat4D,
 };
 
 use crate::axisym::Geometry;
@@ -734,68 +734,13 @@ fn riemann_sweep(
     flux: &mut Flat4D,
     ustar: &mut Flat4D,
 ) {
+    // The full sweep is the region sweep over the whole face grid: item
+    // decode, ordering and per-face arithmetic coincide exactly.
     let fd = left.dims();
-    let (nf1, t1, t2) = (fd.n1, fd.n2, fd.n3);
-    let nfaces = nf1 * t1 * t2;
-    let neq = eq.neq();
-    let face_stride = nf1 * t1 * t2;
-    let cell_stride = packed.dims().n1 * t1 * t2;
-    let ext1 = packed.dims().n1;
-    // Pad of the packed buffer (nf1 = n + 1 faces, ext1 = n + 2*pad); may
-    // exceed the stencil width when the ladder degrades the order.
-    let pad = (ext1 + 1 - nf1) / 2;
-
-    let cost = KernelCost::new(
-        KernelClass::Riemann,
-        cfg.solver.flops_per_face(eq),
-        2.0 * 8.0 * neq as f64,
-        8.0 * (neq + 1) as f64,
+    let window = (0, fd.n1, 0, fd.n2, 0, fd.n3);
+    riemann_sweep_region(
+        ctx, cfg, fluids, eq, axis, packed, left, right, flux, ustar, window,
     );
-    let cfgl = LaunchConfig::tuned("s_riemann_solve");
-    let lsl = left.as_slice();
-    let rsl = right.as_slice();
-    let psl = packed.as_slice();
-    let fsl = ParSlice::new(flux.as_mut_slice());
-    let usl = ParSlice::new(ustar.as_mut_slice());
-
-    ctx.launch_par(&cfgl, cost, nfaces, |face| {
-        // face = m + nf1*(t1i + t1*t2i); gather the variable vector with
-        // stride face_stride (the seq inner loop of Listing 1).
-        let m = face % nf1;
-        let line = face / nf1;
-        let mut pl = [0.0; MAX_EQ];
-        let mut pr = [0.0; MAX_EQ];
-        let mut f = [0.0; MAX_EQ];
-        for e in 0..neq {
-            pl[e] = lsl[face + e * face_stride];
-            pr[e] = rsl[face + e * face_stride];
-        }
-        // Positivity enforcement: limit reconstructed states toward the
-        // adjacent cell averages when inadmissible (first-order fallback
-        // or Zhang-Shu scaling, per the configuration).
-        let cell_l = (pad - 1 + m) + ext1 * line;
-        let cell_r = cell_l + 1;
-        let mut mean = [0.0; MAX_EQ];
-        if !state_admissible(eq, fluids, &pl[..neq]) {
-            for e in 0..neq {
-                mean[e] = psl[cell_l + e * cell_stride];
-            }
-            limit_state(cfg.limiter, eq, fluids, &mean[..neq], &mut pl[..neq]);
-        }
-        if !state_admissible(eq, fluids, &pr[..neq]) {
-            for e in 0..neq {
-                mean[e] = psl[cell_r + e * cell_stride];
-            }
-            limit_state(cfg.limiter, eq, fluids, &mean[..neq], &mut pr[..neq]);
-        }
-        let s = cfg
-            .solver
-            .flux(eq, fluids, axis, &pl[..neq], &pr[..neq], &mut f[..neq]);
-        for (e, &v) in f[..neq].iter().enumerate() {
-            fsl.set(face + e * face_stride, v);
-        }
-        usl.set(face, s);
-    });
 }
 
 /// Region-restricted [`riemann_sweep`]: the same gather / positivity
@@ -836,49 +781,159 @@ fn riemann_sweep_region(
         8.0 * (neq + 1) as f64,
     );
     let cfgl = LaunchConfig::tuned("s_riemann_solve");
-    let lsl = left.as_slice();
-    let rsl = right.as_slice();
-    let psl = packed.as_slice();
-    let fsl = ParSlice::new(flux.as_mut_slice());
-    let usl = ParSlice::new(ustar.as_mut_slice());
+    // Lane-tiled: rows are transverse lines of the window, lanes pack
+    // along the face index (unit stride in every per-variable plane). The
+    // generic select-form solvers make each lane bitwise the scalar solve
+    // of its own face; a packet containing any inadmissible state replays
+    // through the scalar path so the positivity limiter stays the scalar
+    // arithmetic.
+    let kernel = RiemannKernel {
+        eq: *eq,
+        fluids,
+        solver: cfg.solver,
+        limiter: cfg.limiter,
+        axis,
+        lsl: left.as_slice(),
+        rsl: right.as_slice(),
+        psl: packed.as_slice(),
+        fsl: ParSlice::new(flux.as_mut_slice()),
+        usl: ParSlice::new(ustar.as_mut_slice()),
+        nf1,
+        f_lo,
+        t1_lo,
+        t1_n,
+        t2_lo,
+        t1,
+        face_stride,
+        cell_stride,
+        ext1,
+        pad,
+    };
+    ctx.launch_vec(&cfgl, cost, t1_n * t2_n, f_count, &kernel);
+}
 
-    ctx.launch_par(&cfgl, cost, f_count * t1_n * t2_n, |item| {
-        let m = f_lo + item % f_count;
-        let lr = item / f_count;
-        let t1i = t1_lo + lr % t1_n;
-        let t2i = t2_lo + lr / t1_n;
-        let line = t1i + t1 * t2i;
-        let face = m + nf1 * line;
+/// Lane kernel of the Riemann sweeps: row = transverse line of the
+/// window, col = offset into the face window.
+struct RiemannKernel<'a> {
+    eq: EqIdx,
+    fluids: &'a [Fluid],
+    solver: RiemannSolver,
+    limiter: Limiter,
+    axis: usize,
+    lsl: &'a [f64],
+    rsl: &'a [f64],
+    psl: &'a [f64],
+    fsl: ParSlice<'a>,
+    usl: ParSlice<'a>,
+    nf1: usize,
+    f_lo: usize,
+    t1_lo: usize,
+    t1_n: usize,
+    t2_lo: usize,
+    /// Full first transverse extent of the face buffers.
+    t1: usize,
+    face_stride: usize,
+    cell_stride: usize,
+    ext1: usize,
+    pad: usize,
+}
+
+impl RiemannKernel<'_> {
+    /// `(m, line)` of one window item.
+    #[inline(always)]
+    fn decode(&self, lr: usize, col: usize) -> (usize, usize) {
+        let m = self.f_lo + col;
+        let t1i = self.t1_lo + lr % self.t1_n;
+        let t2i = self.t2_lo + lr / self.t1_n;
+        (m, t1i + self.t1 * t2i)
+    }
+
+    /// One face through the scalar path — gather, positivity enforcement
+    /// (limit reconstructed states toward the adjacent cell averages when
+    /// inadmissible: first-order fallback or Zhang-Shu scaling, per the
+    /// configuration), solve, scatter.
+    fn solve_scalar(&self, m: usize, line: usize) {
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let face = m + self.nf1 * line;
         let mut pl = [0.0; MAX_EQ];
         let mut pr = [0.0; MAX_EQ];
         let mut f = [0.0; MAX_EQ];
         for e in 0..neq {
-            pl[e] = lsl[face + e * face_stride];
-            pr[e] = rsl[face + e * face_stride];
+            pl[e] = self.lsl[face + e * self.face_stride];
+            pr[e] = self.rsl[face + e * self.face_stride];
         }
-        let cell_l = (pad - 1 + m) + ext1 * line;
+        let cell_l = (self.pad - 1 + m) + self.ext1 * line;
         let cell_r = cell_l + 1;
         let mut mean = [0.0; MAX_EQ];
-        if !state_admissible(eq, fluids, &pl[..neq]) {
-            for e in 0..neq {
-                mean[e] = psl[cell_l + e * cell_stride];
+        if !state_admissible(eq, self.fluids, &pl[..neq]) {
+            for (e, mv) in mean.iter_mut().enumerate().take(neq) {
+                *mv = self.psl[cell_l + e * self.cell_stride];
             }
-            limit_state(cfg.limiter, eq, fluids, &mean[..neq], &mut pl[..neq]);
+            limit_state(self.limiter, eq, self.fluids, &mean[..neq], &mut pl[..neq]);
         }
-        if !state_admissible(eq, fluids, &pr[..neq]) {
-            for e in 0..neq {
-                mean[e] = psl[cell_r + e * cell_stride];
+        if !state_admissible(eq, self.fluids, &pr[..neq]) {
+            for (e, mv) in mean.iter_mut().enumerate().take(neq) {
+                *mv = self.psl[cell_r + e * self.cell_stride];
             }
-            limit_state(cfg.limiter, eq, fluids, &mean[..neq], &mut pr[..neq]);
+            limit_state(self.limiter, eq, self.fluids, &mean[..neq], &mut pr[..neq]);
         }
-        let s = cfg
-            .solver
-            .flux(eq, fluids, axis, &pl[..neq], &pr[..neq], &mut f[..neq]);
+        let s = self.solver.flux(
+            eq,
+            self.fluids,
+            self.axis,
+            &pl[..neq],
+            &pr[..neq],
+            &mut f[..neq],
+        );
         for (e, &v) in f[..neq].iter().enumerate() {
-            fsl.set(face + e * face_stride, v);
+            self.fsl.set(face + e * self.face_stride, v);
         }
-        usl.set(face, s);
-    });
+        self.usl.set(face, s);
+    }
+}
+
+impl LaneKernel for RiemannKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, lr: usize, col: usize) {
+        let (m, line) = self.decode(lr, col);
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let face = m + self.nf1 * line;
+        let mut pl = [L::splat(0.0); MAX_EQ];
+        let mut pr = [L::splat(0.0); MAX_EQ];
+        let mut f = [L::splat(0.0); MAX_EQ];
+        for e in 0..neq {
+            pl[e] = L::load(&self.lsl[face + e * self.face_stride..]);
+            pr[e] = L::load(&self.rsl[face + e * self.face_stride..]);
+        }
+        let ok = L::mask_and(
+            admissible_mask(eq, self.fluids, &pl[..neq]),
+            admissible_mask(eq, self.fluids, &pr[..neq]),
+        );
+        if !L::mask_all(ok) {
+            // A lane needs the positivity limiter (rare, and branchy by
+            // nature): replay the whole packet face by face through the
+            // scalar path, which is bitwise what the scalar sweep does —
+            // including for the admissible lanes.
+            for lane in 0..L::WIDTH {
+                self.solve_scalar(m + lane, line);
+            }
+            return;
+        }
+        let s = self.solver.flux(
+            eq,
+            self.fluids,
+            self.axis,
+            &pl[..neq],
+            &pr[..neq],
+            &mut f[..neq],
+        );
+        for (e, v) in f.iter().enumerate().take(neq) {
+            self.fsl.set_lanes(face + e * self.face_stride, *v);
+        }
+        self.usl.set_lanes(face, s);
+    }
 }
 
 /// A primitive state is admissible if its mixture density and stiffened
@@ -904,6 +959,30 @@ pub(crate) fn state_admissible(eq: &EqIdx, fluids: &[Fluid], prim: &[f64]) -> bo
     p + min_pi > 0.0
 }
 
+/// Lane-wide [`state_admissible`]: each mask lane holds exactly the
+/// scalar predicate of its own state (the scalar early returns become a
+/// conjunction; NaNs compare false on every branch in both forms, so the
+/// fall-through semantics match). Used only to pick the all-admissible
+/// fast path — the mask never enters float arithmetic.
+#[inline(always)]
+pub(crate) fn admissible_mask<L: Lane>(eq: &EqIdx, fluids: &[Fluid], prim: &[L]) -> L::Mask {
+    // All-true start: 0 >= 0 holds in every lane.
+    let mut ok = L::splat(0.0).ge(L::splat(0.0));
+    let mut rho = L::splat(0.0);
+    for i in 0..eq.nf() {
+        let ar = prim[eq.cont(i)];
+        ok = L::mask_and(ok, L::mask_not(ar.lt(L::splat(0.0))));
+        rho = rho + ar;
+    }
+    ok = L::mask_and(ok, L::mask_not(rho.le(L::splat(0.0))));
+    let p = prim[eq.energy()];
+    let min_pi = fluids
+        .iter()
+        .map(|f| f.pi_inf)
+        .fold(f64::INFINITY, f64::min);
+    L::mask_and(ok, (p + L::splat(min_pi)).gt(L::splat(0.0)))
+}
+
 /// `rhs[cell] += (F[m] - F[m+1]) / dx`, `divu[cell] += (S*[m+1] - S*[m]) / dx`.
 ///
 /// `radial_metric` (3-D cylindrical azimuthal sweeps only) holds the
@@ -921,52 +1000,22 @@ fn accumulate_divergence(
     rhs: &mut StateField,
     divu: &mut [f64],
 ) {
-    let eq = dom.eq;
-    let neq = eq.neq();
-    let n = dom.n[axis];
-    let fd = flux.dims();
-    let (nf1, t1, t2) = (fd.n1, fd.n2, fd.n3);
-    debug_assert_eq!(nf1, n + 1);
-    let face_stride = nf1 * t1 * t2;
-    let ng = dom.pad(axis);
-    let d3 = dom.dims3();
-
-    // Transverse interior bounds in sweep coordinates.
-    let (p1, n1i, p2, n2i) = match axis {
-        0 => (dom.pad(1), dom.n[1], dom.pad(2), dom.n[2]),
-        1 => (dom.pad(0), dom.n[0], dom.pad(2), dom.n[2]),
-        _ => (dom.pad(1), dom.n[1], dom.pad(0), dom.n[0]),
-    };
-
-    let cost = KernelCost::new(
-        KernelClass::Update,
-        (2 * neq + 3) as f64,
-        8.0 * 2.0 * (neq + 1) as f64,
-        8.0 * (neq + 1) as f64,
+    // The full update is the region update over the whole interior: the
+    // transverse bounds of `Region::full` reduce to the interior pads and
+    // extents, and item decode/ordering coincide exactly.
+    debug_assert_eq!(flux.dims().n1, dom.n[axis] + 1);
+    accumulate_divergence_region(
+        ctx,
+        dom,
+        axis,
+        flux,
+        ustar,
+        widths,
+        radial_metric,
+        rhs,
+        divu,
+        &Region::full(dom),
     );
-    let cfg = LaunchConfig::tuned("s_flux_divergence");
-    let fsl = flux.as_slice();
-    let usl = ustar.as_slice();
-    let cells = n * n1i * n2i;
-    let block = d3.len();
-    let rsl = ParSlice::new(rhs.as_mut_slice());
-    let dsl = ParSlice::new(divu);
-    ctx.launch_par(&cfg, cost, cells, |item| {
-        let s = item % n;
-        let r = item / n;
-        let (a, b) = (r % n1i + p1, r / n1i + p2);
-        let metric = radial_metric.map(|r| r[a]).unwrap_or(1.0);
-        let inv_dx = 1.0 / (widths[ng + s] * metric);
-        let face_lo = s + nf1 * (a + t1 * b);
-        let face_hi = face_lo + 1;
-        let (i, j, k) = sweep_to_canonical(axis, ng + s, a, b);
-        let cell = d3.idx(i, j, k);
-        for e in 0..neq {
-            let d = (fsl[face_lo + e * face_stride] - fsl[face_hi + e * face_stride]) * inv_dx;
-            rsl.add(cell + e * block, d);
-        }
-        dsl.add(cell, (usl[face_hi] - usl[face_lo]) * inv_dx);
-    });
 }
 
 /// Region-restricted [`accumulate_divergence`]: identical per-cell
@@ -1003,31 +1052,91 @@ fn accumulate_divergence_region(
         8.0 * (neq + 1) as f64,
     );
     let cfg = LaunchConfig::tuned("s_flux_divergence");
-    let fsl = flux.as_slice();
-    let usl = ustar.as_slice();
     let cells = s_n * n1i * n2i;
     if cells == 0 {
         return;
     }
-    let block = d3.len();
-    let rsl = ParSlice::new(rhs.as_mut_slice());
-    let dsl = ParSlice::new(divu);
-    ctx.launch_par(&cfg, cost, cells, |item| {
-        let s = s_lo + item % s_n;
-        let r = item / s_n;
-        let (a, b) = (r % n1i + p1, r / n1i + p2);
-        let metric = radial_metric.map(|r| r[a]).unwrap_or(1.0);
-        let inv_dx = 1.0 / (widths[ng + s] * metric);
-        let face_lo = s + nf1 * (a + t1 * b);
+    // Lane-tiled: lanes pack along the sweep coordinate, so face reads
+    // are unit-stride while the canonical-cell accumulations use the
+    // sweep axis's cell stride (1 / ext1 / ext1*ext2). Each cell is
+    // written by exactly one lane of one item, so the `+=` order per cell
+    // is unchanged.
+    let kernel = UpdateKernel {
+        neq,
+        axis,
+        s_lo,
+        ng,
+        nf1,
+        t1,
+        p1,
+        n1i,
+        p2,
+        d3,
+        block: d3.len(),
+        cell_stride: match axis {
+            0 => 1,
+            1 => d3.n1,
+            _ => d3.n1 * d3.n2,
+        },
+        widths,
+        radial_metric,
+        fsl: flux.as_slice(),
+        usl: ustar.as_slice(),
+        face_stride,
+        rsl: ParSlice::new(rhs.as_mut_slice()),
+        dsl: ParSlice::new(divu),
+    };
+    ctx.launch_vec(&cfg, cost, n1i * n2i, s_n, &kernel);
+}
+
+/// Lane kernel of the flux-divergence update: row = transverse cell pair,
+/// col = offset along the sweep axis within the region.
+struct UpdateKernel<'a> {
+    neq: usize,
+    axis: usize,
+    s_lo: usize,
+    ng: usize,
+    nf1: usize,
+    t1: usize,
+    p1: usize,
+    n1i: usize,
+    p2: usize,
+    d3: Dims3,
+    block: usize,
+    /// Canonical cell-index stride of one step along the sweep axis.
+    cell_stride: usize,
+    widths: &'a [f64],
+    radial_metric: Option<&'a [f64]>,
+    fsl: &'a [f64],
+    usl: &'a [f64],
+    face_stride: usize,
+    rsl: ParSlice<'a>,
+    dsl: ParSlice<'a>,
+}
+
+impl LaneKernel for UpdateKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, r: usize, col: usize) {
+        let s = self.s_lo + col;
+        let (a, b) = (r % self.n1i + self.p1, r / self.n1i + self.p2);
+        let metric = self.radial_metric.map(|rm| rm[a]).unwrap_or(1.0);
+        let inv_dx = L::splat(1.0) / (L::load(&self.widths[self.ng + s..]) * L::splat(metric));
+        let face_lo = s + self.nf1 * (a + self.t1 * b);
         let face_hi = face_lo + 1;
-        let (i, j, k) = sweep_to_canonical(axis, ng + s, a, b);
-        let cell = d3.idx(i, j, k);
-        for e in 0..neq {
-            let d = (fsl[face_lo + e * face_stride] - fsl[face_hi + e * face_stride]) * inv_dx;
-            rsl.add(cell + e * block, d);
+        let (i, j, k) = sweep_to_canonical(self.axis, self.ng + s, a, b);
+        let cell = self.d3.idx(i, j, k);
+        for e in 0..self.neq {
+            let flo = L::load(&self.fsl[face_lo + e * self.face_stride..]);
+            let fhi = L::load(&self.fsl[face_hi + e * self.face_stride..]);
+            let d = (flo - fhi) * inv_dx;
+            self.rsl
+                .add_lanes_strided(cell + e * self.block, self.cell_stride, d);
         }
-        dsl.add(cell, (usl[face_hi] - usl[face_lo]) * inv_dx);
-    });
+        let ulo = L::load(&self.usl[face_lo..]);
+        let uhi = L::load(&self.usl[face_hi..]);
+        self.dsl
+            .add_lanes_strided(cell, self.cell_stride, (uhi - ulo) * inv_dx);
+    }
 }
 
 /// `rhs[alpha_i] += alpha_i * div(u)` over interior cells.
@@ -1050,21 +1159,48 @@ fn alpha_source(
         8.0 * eq.n_adv() as f64,
     );
     let cfg = LaunchConfig::tuned("s_alpha_source");
-    let (nx, ny) = (dom.n[0], dom.n[1]);
-    let block = d3.len();
-    let rsl = ParSlice::new(rhs.as_mut_slice());
-    ctx.launch_par(&cfg, cost, dom.interior_cells(), |item| {
-        let i = item % nx + dom.pad(0);
-        let j = (item / nx) % ny + dom.pad(1);
-        let k = item / (nx * ny) + dom.pad(2);
-        let cell = d3.idx(i, j, k);
-        let dv = divu[cell];
-        for a in 0..eq.n_adv() {
-            let e = eq.adv(a);
-            let alpha = prim.get(i, j, k, e);
-            rsl.add(cell + e * block, alpha * dv);
+    // Lane-tiled over interior x rows: alpha, div(u) and the RHS slots
+    // are all unit-stride in i within a row.
+    let kernel = AlphaSourceKernel {
+        eq,
+        ny: dom.n[1],
+        pad: [dom.pad(0), dom.pad(1), dom.pad(2)],
+        d3,
+        block: d3.len(),
+        prim: prim.as_slice(),
+        divu,
+        rsl: ParSlice::new(rhs.as_mut_slice()),
+    };
+    ctx.launch_vec(&cfg, cost, dom.n[1] * dom.n[2], dom.n[0], &kernel);
+}
+
+/// Lane kernel of the alpha source: row = interior (j, k) line, col =
+/// interior x offset.
+struct AlphaSourceKernel<'a> {
+    eq: EqIdx,
+    ny: usize,
+    pad: [usize; 3],
+    d3: Dims3,
+    block: usize,
+    prim: &'a [f64],
+    divu: &'a [f64],
+    rsl: ParSlice<'a>,
+}
+
+impl LaneKernel for AlphaSourceKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, row: usize, col: usize) {
+        let i = col + self.pad[0];
+        let j = row % self.ny + self.pad[1];
+        let k = row / self.ny + self.pad[2];
+        let cell = self.d3.idx(i, j, k);
+        let dv = L::load(&self.divu[cell..]);
+        for a in 0..self.eq.n_adv() {
+            let e = self.eq.adv(a);
+            let alpha = L::load(&self.prim[cell + e * self.block..]);
+            self.rsl.add_lanes(cell + e * self.block, alpha * dv);
         }
-    });
+    }
 }
 
 #[cfg(test)]

@@ -11,62 +11,66 @@ use crate::domain::MAX_EQ;
 use crate::eos::prim_to_cons;
 use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
+use mfc_acc::Lane;
 
 use super::{face_state, physical_flux};
 
 /// Compute the HLL flux across one face; returns the HLLC-style contact
 /// speed estimate (for the alpha source, kept consistent across solvers).
+///
+/// Select form over [`Lane`] like [`super::hllc::hllc_flux`]: all wave
+/// patterns are fully evaluated and bit-selected in the scalar solver's
+/// priority order, so the `L = f64` instantiation is bitwise the branchy
+/// original and packed lanes match it per face.
 #[inline]
-pub fn hll_flux(
+pub fn hll_flux<L: Lane>(
     eq: &EqIdx,
     fluids: &[Fluid],
     axis: usize,
-    priml: &[f64],
-    primr: &[f64],
-    flux: &mut [f64],
-) -> f64 {
+    priml: &[L],
+    primr: &[L],
+    flux: &mut [L],
+) -> L {
     let neq = eq.neq();
     let l = face_state(eq, fluids, priml, axis);
     let r = face_state(eq, fluids, primr, axis);
     let sl = (l.un - l.c).min(r.un - r.c);
     let sr = (l.un + l.c).max(r.un + r.c);
     let denom = l.rho * (sl - l.un) - r.rho * (sr - r.un);
-    let s_star = if denom.abs() < 1e-300 {
-        0.5 * (l.un + r.un)
-    } else {
-        (r.p - l.p + l.rho * l.un * (sl - l.un) - r.rho * r.un * (sr - r.un)) / denom
-    };
+    let s_star = L::select(
+        denom.abs().lt(L::splat(1e-300)),
+        L::splat(0.5) * (l.un + r.un),
+        (r.p - l.p + l.rho * l.un * (sl - l.un) - r.rho * r.un * (sr - r.un)) / denom,
+    );
 
-    if sl >= 0.0 {
-        physical_flux(eq, fluids, priml, axis, flux);
-        return s_star;
-    }
-    if sr <= 0.0 {
-        physical_flux(eq, fluids, primr, axis, flux);
-        return s_star;
-    }
-
-    let mut fl = [0.0; MAX_EQ];
-    let mut fr = [0.0; MAX_EQ];
+    let mut fl = [L::splat(0.0); MAX_EQ];
+    let mut fr = [L::splat(0.0); MAX_EQ];
     physical_flux(eq, fluids, priml, axis, &mut fl[..neq]);
     physical_flux(eq, fluids, primr, axis, &mut fr[..neq]);
-    let mut ql = [0.0; MAX_EQ];
-    let mut qr = [0.0; MAX_EQ];
+    let mut ql = [L::splat(0.0); MAX_EQ];
+    let mut qr = [L::splat(0.0); MAX_EQ];
     prim_to_cons(eq, fluids, priml, &mut ql[..neq]);
     prim_to_cons(eq, fluids, primr, &mut qr[..neq]);
 
-    let inv = 1.0 / (sr - sl);
-    for e in 0..neq {
-        flux[e] = (sr * fl[e] - sl * fr[e] + sl * sr * (qr[e] - ql[e])) * inv;
+    let mut sub = [L::splat(0.0); MAX_EQ];
+    let inv = L::splat(1.0) / (sr - sl);
+    for (e, s) in sub.iter_mut().enumerate().take(neq) {
+        *s = (sr * fl[e] - sl * fr[e] + sl * sr * (qr[e] - ql[e])) * inv;
     }
     // Volume fractions are material invariants (see the HLLC module): the
     // HLL average treats them like conserved densities, which couples
     // alpha to the acoustic waves and destabilizes the alpha*div(u)
     // closure. Upwind them by the contact estimate instead.
+    let side = s_star.ge(L::splat(0.0));
     for i in 0..eq.n_adv() {
         let e = eq.adv(i);
-        let alpha_up = if s_star >= 0.0 { priml[e] } else { primr[e] };
-        flux[e] = alpha_up * s_star;
+        sub[e] = L::select(side, priml[e], primr[e]) * s_star;
+    }
+
+    let sup_l = sl.ge(L::splat(0.0));
+    let sup_r = sr.le(L::splat(0.0));
+    for e in 0..neq {
+        flux[e] = L::select(sup_l, fl[e], L::select(sup_r, fr[e], sub[e]));
     }
     s_star
 }

@@ -10,19 +10,30 @@ use crate::domain::MAX_EQ;
 use crate::eos::prim_to_cons;
 use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
+use mfc_acc::Lane;
 
 use super::{face_state, physical_flux};
 
 /// Compute the HLLC flux across one face; returns the contact speed `S*`.
+///
+/// Written once against [`Lane`] in *select form*: every wave-pattern
+/// alternative (supersonic left/right, star region of either side) is
+/// fully evaluated and the `if` cascade of the scalar solver becomes a
+/// cascade of bit selects in the same priority order. Each select picks
+/// the exact bits of an expression that is, op for op, the scalar
+/// solver's expression for that case — so at `L = f64` the result is
+/// bitwise the branchy original, and a packed lane equals the scalar
+/// solve of its own face. IEEE arithmetic never traps, so evaluating the
+/// discarded alternatives (which may produce inf/NaN) is harmless.
 #[inline]
-pub fn hllc_flux(
+pub fn hllc_flux<L: Lane>(
     eq: &EqIdx,
     fluids: &[Fluid],
     axis: usize,
-    priml: &[f64],
-    primr: &[f64],
-    flux: &mut [f64],
-) -> f64 {
+    priml: &[L],
+    primr: &[L],
+    flux: &mut [L],
+) -> L {
     let neq = eq.neq();
     let l = face_state(eq, fluids, priml, axis);
     let r = face_state(eq, fluids, primr, axis);
@@ -30,39 +41,40 @@ pub fn hllc_flux(
     // Davis estimates.
     let sl = (l.un - l.c).min(r.un - r.c);
     let sr = (l.un + l.c).max(r.un + r.c);
-    // Contact speed.
+    // Contact speed. A vanishing denominator falls back to the mean normal
+    // velocity (the `denom.abs() < 1e-300` guard of the scalar solver).
     let denom = l.rho * (sl - l.un) - r.rho * (sr - r.un);
-    let s_star = if denom.abs() < 1e-300 {
-        0.5 * (l.un + r.un)
-    } else {
-        (r.p - l.p + l.rho * l.un * (sl - l.un) - r.rho * r.un * (sr - r.un)) / denom
-    };
+    let s_star = L::select(
+        denom.abs().lt(L::splat(1e-300)),
+        L::splat(0.5) * (l.un + r.un),
+        (r.p - l.p + l.rho * l.un * (sl - l.un) - r.rho * r.un * (sr - r.un)) / denom,
+    );
 
-    if sl >= 0.0 {
-        physical_flux(eq, fluids, priml, axis, flux);
-        return s_star;
-    }
-    if sr <= 0.0 {
-        physical_flux(eq, fluids, primr, axis, flux);
-        return s_star;
-    }
+    let mut fl = [L::splat(0.0); MAX_EQ];
+    let mut fr = [L::splat(0.0); MAX_EQ];
+    physical_flux(eq, fluids, priml, axis, &mut fl[..neq]);
+    physical_flux(eq, fluids, primr, axis, &mut fr[..neq]);
+    let mut ql = [L::splat(0.0); MAX_EQ];
+    let mut qr = [L::splat(0.0); MAX_EQ];
+    prim_to_cons(eq, fluids, priml, &mut ql[..neq]);
+    prim_to_cons(eq, fluids, primr, &mut qr[..neq]);
 
     // Star-region correction on the subsonic side containing x/t = 0:
-    // F = F_K + S_K (q*_K - q_K).
-    let (prim, fs, sk) = if s_star >= 0.0 {
-        (priml, l, sl)
-    } else {
-        (primr, r, sr)
-    };
-    physical_flux(eq, fluids, prim, axis, flux);
-    let mut q = [0.0; MAX_EQ];
-    prim_to_cons(eq, fluids, prim, &mut q[..neq]);
-    let chi = (sk - fs.un) / (sk - s_star);
+    // F = F_K + S_K (q*_K - q_K), K picked by the sign of S* exactly like
+    // the scalar solver's `if s_star >= 0.0`.
+    let side = s_star.ge(L::splat(0.0));
+    let sk = L::select(side, sl, sr);
+    let fs_un = L::select(side, l.un, r.un);
+    let fs_rho = L::select(side, l.rho, r.rho);
+    let fs_p = L::select(side, l.p, r.p);
+    let chi = (sk - fs_un) / (sk - s_star);
 
+    let mut sub = [L::splat(0.0); MAX_EQ];
     // Partial densities scale by chi like the mixture density.
     for i in 0..eq.nf() {
         let e = eq.cont(i);
-        flux[e] += sk * (chi * q[e] - q[e]);
+        let q = L::select(side, ql[e], qr[e]);
+        sub[e] = L::select(side, fl[e], fr[e]) + sk * (chi * q - q);
     }
     // Volume fractions are material invariants: constant across the
     // acoustic waves, jumping only at the contact, and the star-region
@@ -72,23 +84,33 @@ pub fn hllc_flux(
     // the alpha*div(u) closure.)
     for i in 0..eq.n_adv() {
         let e = eq.adv(i);
-        flux[e] = q[e] * s_star;
+        sub[e] = L::select(side, ql[e], qr[e]) * s_star;
     }
     // Momentum: normal component jumps to S*, tangential are advected.
     for d in 0..eq.ndim() {
         let e = eq.mom(d);
+        let q = L::select(side, ql[e], qr[e]);
         let q_star = if d == axis {
-            chi * fs.rho * s_star
+            chi * fs_rho * s_star
         } else {
-            chi * q[e]
+            chi * q
         };
-        flux[e] += sk * (q_star - q[e]);
+        sub[e] = L::select(side, fl[e], fr[e]) + sk * (q_star - q);
     }
     // Energy.
     let e = eq.energy();
-    let e_star = chi * (q[e] + (s_star - fs.un) * (fs.rho * s_star + fs.p / (sk - fs.un)));
-    flux[e] += sk * (e_star - q[e]);
+    let q = L::select(side, ql[e], qr[e]);
+    let e_star = chi * (q + (s_star - fs_un) * (fs_rho * s_star + fs_p / (sk - fs_un)));
+    sub[e] = L::select(side, fl[e], fr[e]) + sk * (e_star - q);
 
+    // Wave-pattern cascade, in the scalar solver's priority order: a
+    // supersonic-left lane takes F(qL), else supersonic-right takes F(qR),
+    // else the star-region flux.
+    let sup_l = sl.ge(L::splat(0.0));
+    let sup_r = sr.le(L::splat(0.0));
+    for e in 0..neq {
+        flux[e] = L::select(sup_l, fl[e], L::select(sup_r, fr[e], sub[e]));
+    }
     s_star
 }
 

@@ -16,6 +16,7 @@ pub mod rusanov;
 use crate::eos::MAX_FLUIDS;
 use crate::eqidx::EqIdx;
 use crate::fluid::{Fluid, MixtureRules};
+use mfc_acc::Lane;
 use serde::{Deserialize, Serialize};
 
 pub use exact::{ExactRiemann, PrimSide};
@@ -46,16 +47,21 @@ impl RiemannSolver {
     /// Solve one face: primitive states on both sides → flux and the
     /// interface (contact) velocity that closes the volume-fraction source
     /// term `alpha_i div(u)`.
+    ///
+    /// Generic over [`Lane`]: at `L = f64` this is the scalar solver; at a
+    /// packed width each lane solves its own face with the identical op
+    /// sequence (wave-pattern branches become bit selects of fully
+    /// evaluated alternatives), so the result is bitwise the scalar one.
     #[inline]
-    pub fn flux(
+    pub fn flux<L: Lane>(
         self,
         eq: &EqIdx,
         fluids: &[Fluid],
         axis: usize,
-        priml: &[f64],
-        primr: &[f64],
-        flux: &mut [f64],
-    ) -> f64 {
+        priml: &[L],
+        primr: &[L],
+        flux: &mut [L],
+    ) -> L {
         match self {
             RiemannSolver::Hllc => hllc::hllc_flux(eq, fluids, axis, priml, primr, flux),
             RiemannSolver::Hll => hll::hll_flux(eq, fluids, axis, priml, primr, flux),
@@ -66,42 +72,48 @@ impl RiemannSolver {
 
 /// Crate-public alias for [`face_state`], used by source-term kernels.
 #[inline(always)]
-pub(crate) fn face_state_public(
+pub(crate) fn face_state_public<L: Lane>(
     eq: &EqIdx,
     fluids: &[Fluid],
-    prim: &[f64],
+    prim: &[L],
     axis: usize,
-) -> FaceState {
+) -> FaceState<L> {
     face_state(eq, fluids, prim, axis)
 }
 
-/// Scalar face quantities derived from one primitive state.
+/// Scalar face quantities derived from one primitive state (one value per
+/// lane when `L` is a packed width).
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct FaceState {
-    pub rho: f64,
+pub(crate) struct FaceState<L = f64> {
+    pub rho: L,
     /// Normal velocity.
-    pub un: f64,
-    pub p: f64,
-    pub c: f64,
+    pub un: L,
+    pub p: L,
+    pub c: L,
     /// Total energy density `rho E`.
-    pub rho_e: f64,
+    pub rho_e: L,
 }
 
 /// Evaluate density, pressure, sound speed, and total energy of a
 /// primitive state (normal along `axis`).
 #[inline(always)]
-pub(crate) fn face_state(eq: &EqIdx, fluids: &[Fluid], prim: &[f64], axis: usize) -> FaceState {
-    let mut rho = 0.0;
+pub(crate) fn face_state<L: Lane>(
+    eq: &EqIdx,
+    fluids: &[Fluid],
+    prim: &[L],
+    axis: usize,
+) -> FaceState<L> {
+    let mut rho = L::splat(0.0);
     for i in 0..eq.nf() {
-        rho += prim[eq.cont(i)];
+        rho = rho + prim[eq.cont(i)];
     }
     let p = prim[eq.energy()];
-    let mut alphas = [0.0; MAX_FLUIDS];
+    let mut alphas = [L::splat(0.0); MAX_FLUIDS];
     eq.alphas(prim, &mut alphas[..eq.nf()]);
     let mix = MixtureRules::evaluate(fluids, &alphas[..eq.nf()]);
-    let mut kinetic = 0.0;
+    let mut kinetic = L::splat(0.0);
     for d in 0..eq.ndim() {
-        kinetic += 0.5 * rho * prim[eq.mom(d)] * prim[eq.mom(d)];
+        kinetic = kinetic + L::splat(0.5) * rho * prim[eq.mom(d)] * prim[eq.mom(d)];
     }
     FaceState {
         rho,
@@ -117,12 +129,12 @@ pub(crate) fn face_state(eq: &EqIdx, fluids: &[Fluid], prim: &[f64], axis: usize
 /// the conservative `alpha u_n` part; the non-conservative `alpha div(u)`
 /// source is handled by the RHS using the returned interface velocities.
 #[inline(always)]
-pub(crate) fn physical_flux(
+pub(crate) fn physical_flux<L: Lane>(
     eq: &EqIdx,
     fluids: &[Fluid],
-    prim: &[f64],
+    prim: &[L],
     axis: usize,
-    out: &mut [f64],
+    out: &mut [L],
 ) {
     let fs = face_state(eq, fluids, prim, axis);
     for i in 0..eq.nf() {
@@ -131,7 +143,7 @@ pub(crate) fn physical_flux(
     for d in 0..eq.ndim() {
         out[eq.mom(d)] = fs.rho * prim[eq.mom(d)] * fs.un;
     }
-    out[eq.mom(axis)] += fs.p;
+    out[eq.mom(axis)] = out[eq.mom(axis)] + fs.p;
     out[eq.energy()] = (fs.rho_e + fs.p) * fs.un;
     for i in 0..eq.n_adv() {
         out[eq.adv(i)] = prim[eq.adv(i)] * fs.un;

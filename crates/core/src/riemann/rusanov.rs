@@ -5,38 +5,42 @@ use crate::domain::MAX_EQ;
 use crate::eos::prim_to_cons;
 use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
+use mfc_acc::Lane;
 
 use super::{face_state, physical_flux};
 
 /// Compute the Rusanov flux; returns the mean normal velocity as the
 /// interface-velocity estimate.
+///
+/// Already branch-free, so the [`Lane`] version is a direct elementwise
+/// transcription: each packed lane performs the scalar op sequence.
 #[inline]
-pub fn rusanov_flux(
+pub fn rusanov_flux<L: Lane>(
     eq: &EqIdx,
     fluids: &[Fluid],
     axis: usize,
-    priml: &[f64],
-    primr: &[f64],
-    flux: &mut [f64],
-) -> f64 {
+    priml: &[L],
+    primr: &[L],
+    flux: &mut [L],
+) -> L {
     let neq = eq.neq();
     let l = face_state(eq, fluids, priml, axis);
     let r = face_state(eq, fluids, primr, axis);
     let smax = (l.un.abs() + l.c).max(r.un.abs() + r.c);
 
-    let mut fl = [0.0; MAX_EQ];
-    let mut fr = [0.0; MAX_EQ];
+    let mut fl = [L::splat(0.0); MAX_EQ];
+    let mut fr = [L::splat(0.0); MAX_EQ];
     physical_flux(eq, fluids, priml, axis, &mut fl[..neq]);
     physical_flux(eq, fluids, primr, axis, &mut fr[..neq]);
-    let mut ql = [0.0; MAX_EQ];
-    let mut qr = [0.0; MAX_EQ];
+    let mut ql = [L::splat(0.0); MAX_EQ];
+    let mut qr = [L::splat(0.0); MAX_EQ];
     prim_to_cons(eq, fluids, priml, &mut ql[..neq]);
     prim_to_cons(eq, fluids, primr, &mut qr[..neq]);
 
     for e in 0..neq {
-        flux[e] = 0.5 * (fl[e] + fr[e]) - 0.5 * smax * (qr[e] - ql[e]);
+        flux[e] = L::splat(0.5) * (fl[e] + fr[e]) - L::splat(0.5) * smax * (qr[e] - ql[e]);
     }
-    0.5 * (l.un + r.un)
+    L::splat(0.5) * (l.un + r.un)
 }
 
 #[cfg(test)]

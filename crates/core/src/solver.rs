@@ -41,10 +41,19 @@ pub struct SolverConfig {
     /// everything on the calling thread.
     #[serde(default = "default_workers")]
     pub workers: usize,
+    /// SIMD lane width for the vectorized kernels (OpenACC `vector`
+    /// analog). Must be a power of two in 1..=8. Results are bitwise
+    /// identical at every width; 1 disables lane packets entirely.
+    #[serde(default = "default_vector_width")]
+    pub vector_width: usize,
 }
 
 fn default_workers() -> usize {
     1
+}
+
+fn default_vector_width() -> usize {
+    mfc_acc::DEFAULT_WIDTH
 }
 
 impl Default for SolverConfig {
@@ -54,6 +63,7 @@ impl Default for SolverConfig {
             scheme: TimeScheme::Rk3,
             dt: DtMode::Cfl(0.5),
             workers: 1,
+            vector_width: mfc_acc::DEFAULT_WIDTH,
         }
     }
 }

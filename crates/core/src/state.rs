@@ -1,10 +1,11 @@
 //! The flow state: a flattened, x-coalesced 4-D array plus sweep kernels.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
+use mfc_acc::{Context, KernelClass, KernelCost, Lane, LaneKernel, LaunchConfig, ParSlice};
 use mfc_layout::Flat4D;
 
 use crate::domain::{Domain, MAX_EQ};
 use crate::eos::{cons_to_prim, prim_to_cons};
+use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
 
 /// The state of one block: ghost-inclusive cells × equations, stored as a
@@ -140,21 +141,20 @@ pub fn cons_to_prim_field(
         8.0 * neq as f64,
     );
     let cfg = LaunchConfig::tuned("s_convert_to_primitive");
-    let (n1, n2) = (d3.n1, d3.n2);
-    let block = d3.len();
-    let out = ParSlice::new(prim.as_mut_slice());
-    ctx.launch_par(&cfg, cost, block, |idx| {
-        let i = idx % n1;
-        let j = (idx / n1) % n2;
-        let k = idx / (n1 * n2);
-        let mut c = [0.0; MAX_EQ];
-        let mut p = [0.0; MAX_EQ];
-        cons.load_cell(i, j, k, &mut c[..neq]);
-        cons_to_prim(&dom.eq, fluids, &c[..neq], &mut p[..neq]);
-        for (e, &v) in p[..neq].iter().enumerate() {
-            out.set(idx + e * block, v);
-        }
-    });
+    // Lane-tiled over the x-coalesced cell index: each equation is a
+    // contiguous block, so a packet loads `WIDTH` consecutive cells of
+    // each variable with unit stride. Item count/ordering match the
+    // scalar launch exactly.
+    let kernel = ConvertKernel {
+        eq: dom.eq,
+        fluids,
+        src: cons.as_slice(),
+        out: ParSlice::new(prim.as_mut_slice()),
+        n1: d3.n1,
+        block: d3.len(),
+        to_prim: true,
+    };
+    ctx.launch_vec(&cfg, cost, d3.n2 * d3.n3, d3.n1, &kernel);
 }
 
 /// Convert a whole field primitive→conservative.
@@ -175,21 +175,53 @@ pub fn prim_to_cons_field(
         8.0 * neq as f64,
     );
     let cfg = LaunchConfig::tuned("s_convert_to_conservative");
-    let (n1, n2) = (d3.n1, d3.n2);
-    let block = d3.len();
-    let out = ParSlice::new(cons.as_mut_slice());
-    ctx.launch_par(&cfg, cost, block, |idx| {
-        let i = idx % n1;
-        let j = (idx / n1) % n2;
-        let k = idx / (n1 * n2);
-        let mut p = [0.0; MAX_EQ];
-        let mut c = [0.0; MAX_EQ];
-        prim.load_cell(i, j, k, &mut p[..neq]);
-        prim_to_cons(&dom.eq, fluids, &p[..neq], &mut c[..neq]);
-        for (e, &v) in c[..neq].iter().enumerate() {
-            out.set(idx + e * block, v);
+    let kernel = ConvertKernel {
+        eq: dom.eq,
+        fluids,
+        src: prim.as_slice(),
+        out: ParSlice::new(cons.as_mut_slice()),
+        n1: d3.n1,
+        block: d3.len(),
+        to_prim: false,
+    };
+    ctx.launch_vec(&cfg, cost, d3.n2 * d3.n3, d3.n1, &kernel);
+}
+
+/// Lane kernel of the two field conversions: row = (j, k) line, col = i.
+/// The per-cell EOS arithmetic is the generic [`cons_to_prim`] /
+/// [`prim_to_cons`], so each lane is bitwise the scalar conversion of its
+/// own cell; `to_prim` selects the direction uniformly per launch.
+struct ConvertKernel<'a> {
+    eq: EqIdx,
+    fluids: &'a [Fluid],
+    src: &'a [f64],
+    out: ParSlice<'a>,
+    /// Cells along the coalesced x direction.
+    n1: usize,
+    /// Cells per equation block.
+    block: usize,
+    to_prim: bool,
+}
+
+impl LaneKernel for ConvertKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, row: usize, col: usize) {
+        let idx = row * self.n1 + col;
+        let neq = self.eq.neq();
+        let mut a = [L::splat(0.0); MAX_EQ];
+        let mut b = [L::splat(0.0); MAX_EQ];
+        for (e, v) in a.iter_mut().enumerate().take(neq) {
+            *v = L::load(&self.src[idx + e * self.block..]);
         }
-    });
+        if self.to_prim {
+            cons_to_prim(&self.eq, self.fluids, &a[..neq], &mut b[..neq]);
+        } else {
+            prim_to_cons(&self.eq, self.fluids, &a[..neq], &mut b[..neq]);
+        }
+        for (e, v) in b.iter().enumerate().take(neq) {
+            self.out.set_lanes(idx + e * self.block, *v);
+        }
+    }
 }
 
 #[cfg(test)]

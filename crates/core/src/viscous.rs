@@ -9,10 +9,11 @@
 //! `lambda = -2/3 mu` and volume-fraction-weighted mixture viscosity
 //! `mu = sum_i alpha_i mu_i`.
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
+use mfc_acc::{Context, KernelClass, KernelCost, Lane, LaneKernel, LaunchConfig, ParSlice};
 
 use crate::domain::{Domain, MAX_EQ};
 use crate::eos::MAX_FLUIDS;
+use crate::eqidx::EqIdx;
 use crate::fluid::Fluid;
 use crate::state::StateField;
 
@@ -51,37 +52,6 @@ pub fn max_kinematic_viscosity(dom: &Domain, fluids: &[Fluid], prim: &StateField
     nu_max
 }
 
-/// Velocity at a cell (ghost-inclusive indices).
-#[inline(always)]
-fn vel(dom: &Domain, prim: &StateField, i: usize, j: usize, k: usize, d: usize) -> f64 {
-    prim.get(i, j, k, dom.eq.mom(d))
-}
-
-/// Shift a coordinate along an axis by `s` (±1).
-#[inline(always)]
-fn shift(c: (usize, usize, usize), axis: usize, s: isize) -> (usize, usize, usize) {
-    let mut v = [c.0 as isize, c.1 as isize, c.2 as isize];
-    v[axis] += s;
-    (v[0] as usize, v[1] as usize, v[2] as usize)
-}
-
-/// Central derivative of velocity component `comp` along `axis` at a cell.
-#[inline(always)]
-fn cell_dudx(
-    dom: &Domain,
-    prim: &StateField,
-    widths: &[Vec<f64>; 3],
-    c: (usize, usize, usize),
-    comp: usize,
-    axis: usize,
-) -> f64 {
-    let lo = shift(c, axis, -1);
-    let hi = shift(c, axis, 1);
-    let idx = [c.0, c.1, c.2][axis];
-    let h = widths[axis][idx];
-    (vel(dom, prim, hi.0, hi.1, hi.2, comp) - vel(dom, prim, lo.0, lo.1, lo.2, comp)) / (2.0 * h)
-}
-
 /// Add the viscous flux divergence to `rhs` over interior cells.
 ///
 /// `prim` must have valid ghost values (one layer beyond each interior
@@ -97,7 +67,6 @@ pub fn add_viscous_fluxes(
 ) {
     let eq = dom.eq;
     let ndim = eq.ndim();
-    let (nx, ny) = (dom.n[0], dom.n[1]);
     let cost = KernelCost::new(
         KernelClass::Other,
         (ndim * ndim * 20 + 30) as f64,
@@ -105,70 +74,179 @@ pub fn add_viscous_fluxes(
         8.0 * (ndim + 1) as f64,
     );
     let cfg = LaunchConfig::tuned("s_viscous_flux");
+    let d3 = dom.dims3();
+    let kernel = ViscousKernel {
+        eq,
+        fluids,
+        src: prim.as_slice(),
+        widths: [&widths[0], &widths[1], &widths[2]],
+        ndim,
+        ny: dom.n[1],
+        pad: [dom.pad(0), dom.pad(1), dom.pad(2)],
+        stride: [1, d3.n1, d3.n1 * d3.n2],
+        block: d3.len(),
+        rsl: ParSlice::new(rhs.as_mut_slice()),
+    };
+    ctx.launch_vec(&cfg, cost, dom.n[1] * dom.n[2], dom.n[0], &kernel);
+}
 
-    // Flux of j-momentum (and of energy) through the face between cell c
-    // and its +1 neighbour along `axis`.
-    let face_flux = |c: (usize, usize, usize), axis: usize, out: &mut [f64]| {
-        let nb = shift(c, axis, 1);
-        let idx = [c.0, c.1, c.2][axis];
-        let h = 0.5 * (widths[axis][idx] + widths[axis][idx + 1]);
-        let mu = 0.5
-            * (cell_mu(dom, fluids, prim, c.0, c.1, c.2)
-                + cell_mu(dom, fluids, prim, nb.0, nb.1, nb.2));
+/// A stencil cell of the viscous kernel: flat base index of the packet's
+/// first lane plus the (ghost-inclusive) grid coordinates of that lane.
+/// Lanes occupy `base..base + WIDTH` along the unit-stride x axis, so a
+/// shift along any axis is a single base offset.
+#[derive(Clone, Copy)]
+struct CellRef {
+    base: usize,
+    c: [usize; 3],
+}
+
+/// Lane kernel of the viscous flux divergence: row = (j, k) interior
+/// line, col = interior x offset. Every stencil access is unit-stride in
+/// x, so shifted packets load ghost values exactly where the scalar
+/// stencil would; transverse cell widths are uniform per packet and enter
+/// as splats.
+struct ViscousKernel<'a> {
+    eq: EqIdx,
+    fluids: &'a [Fluid],
+    src: &'a [f64],
+    widths: [&'a [f64]; 3],
+    ndim: usize,
+    /// Interior cells along y.
+    ny: usize,
+    pad: [usize; 3],
+    /// Flat strides of the three axes.
+    stride: [usize; 3],
+    /// Ghost-inclusive cells per equation block.
+    block: usize,
+    rsl: ParSlice<'a>,
+}
+
+impl ViscousKernel<'_> {
+    /// Shift a stencil cell along an axis by `s` (±1).
+    #[inline(always)]
+    fn shifted(&self, cell: CellRef, axis: usize, s: isize) -> CellRef {
+        let mut c = cell.c;
+        c[axis] = (c[axis] as isize + s) as usize;
+        CellRef {
+            base: (cell.base as isize + s * self.stride[axis] as isize) as usize,
+            c,
+        }
+    }
+
+    /// Cell width along `axis`: lane-varying along x, uniform (splat)
+    /// transversally.
+    #[inline(always)]
+    fn width_at<L: Lane>(&self, axis: usize, cell: CellRef) -> L {
+        if axis == 0 {
+            L::load(&self.widths[0][cell.c[0]..])
+        } else {
+            L::splat(self.widths[axis][cell.c[axis]])
+        }
+    }
+
+    /// Velocity component `d` at a stencil cell.
+    #[inline(always)]
+    fn vel<L: Lane>(&self, cell: CellRef, d: usize) -> L {
+        L::load(&self.src[cell.base + self.eq.mom(d) * self.block..])
+    }
+
+    /// Mixture dynamic viscosity (volume-fraction weighted), per lane —
+    /// the lane transcription of [`cell_mu`].
+    #[inline(always)]
+    fn mu_at<L: Lane>(&self, cell: CellRef) -> L {
+        let eq = &self.eq;
+        let neq = eq.neq();
+        let mut p = [L::splat(0.0); MAX_EQ];
+        for (e, v) in p.iter_mut().enumerate().take(neq) {
+            *v = L::load(&self.src[cell.base + e * self.block..]);
+        }
+        let mut alphas = [L::splat(0.0); MAX_FLUIDS];
+        eq.alphas(&p[..neq], &mut alphas[..eq.nf()]);
+        let mut mu = L::splat(0.0);
+        for (f, a) in self.fluids.iter().zip(&alphas[..eq.nf()]) {
+            mu = mu + *a * L::splat(f.viscosity);
+        }
+        mu
+    }
+
+    /// Central derivative of velocity component `comp` along `axis`.
+    #[inline(always)]
+    fn cell_dudx<L: Lane>(&self, cell: CellRef, comp: usize, axis: usize) -> L {
+        let lo = self.shifted(cell, axis, -1);
+        let hi = self.shifted(cell, axis, 1);
+        let h = self.width_at::<L>(axis, cell);
+        (self.vel::<L>(hi, comp) - self.vel::<L>(lo, comp)) / (L::splat(2.0) * h)
+    }
+
+    /// Flux of j-momentum (and of energy) through the face between `cell`
+    /// and its +1 neighbour along `axis`.
+    #[inline(always)]
+    fn face_flux<L: Lane>(&self, cell: CellRef, axis: usize, out: &mut [L; 4]) {
+        let ndim = self.ndim;
+        let nb = self.shifted(cell, axis, 1);
+        let h = L::splat(0.5) * (self.width_at::<L>(axis, cell) + self.width_at::<L>(axis, nb));
+        let mu = L::splat(0.5) * (self.mu_at::<L>(cell) + self.mu_at::<L>(nb));
         // Velocity gradients at the face: normal by a compact difference,
         // transverse by averaging the adjacent cell-centered centrals.
-        let mut grad = [[0.0; 3]; 3]; // grad[comp][axis2] = d u_comp / d x_axis2
+        let mut grad = [[L::splat(0.0); 3]; 3]; // grad[comp][axis2] = d u_comp / d x_axis2
         for (comp, grad_c) in grad.iter_mut().enumerate().take(ndim) {
             for (ax2, g) in grad_c.iter_mut().enumerate().take(ndim) {
                 *g = if ax2 == axis {
-                    (vel(dom, prim, nb.0, nb.1, nb.2, comp) - vel(dom, prim, c.0, c.1, c.2, comp))
-                        / h
+                    (self.vel::<L>(nb, comp) - self.vel::<L>(cell, comp)) / h
                 } else {
-                    0.5 * (cell_dudx(dom, prim, widths, c, comp, ax2)
-                        + cell_dudx(dom, prim, widths, nb, comp, ax2))
+                    L::splat(0.5)
+                        * (self.cell_dudx::<L>(cell, comp, ax2)
+                            + self.cell_dudx::<L>(nb, comp, ax2))
                 };
             }
         }
-        let div: f64 = (0..ndim).map(|d| grad[d][d]).sum();
+        let mut div = L::splat(0.0);
+        for (d, g) in grad.iter().enumerate().take(ndim) {
+            div = div + g[d];
+        }
         for (j, o) in out.iter_mut().enumerate().take(ndim) {
             let mut tau = mu * (grad[j][axis] + grad[axis][j]);
             if j == axis {
-                tau -= 2.0 / 3.0 * mu * div;
+                tau = tau - L::splat(2.0 / 3.0) * mu * div;
             }
             *o = tau;
         }
         // Energy flux: u_j (face average) * tau_{axis j}.
-        let mut fe = 0.0;
+        let mut fe = L::splat(0.0);
         for (j, &oj) in out.iter().enumerate().take(ndim) {
-            let uj = 0.5 * (vel(dom, prim, c.0, c.1, c.2, j) + vel(dom, prim, nb.0, nb.1, nb.2, j));
-            fe += uj * oj;
+            let uj = L::splat(0.5) * (self.vel::<L>(cell, j) + self.vel::<L>(nb, j));
+            fe = fe + uj * oj;
         }
         out[ndim] = fe;
-    };
+    }
+}
 
-    let d3 = dom.dims3();
-    let block = d3.len();
-    let rsl = ParSlice::new(rhs.as_mut_slice());
-    ctx.launch_par(&cfg, cost, dom.interior_cells(), |item| {
-        let i = item % nx + dom.pad(0);
-        let j = (item / nx) % ny + dom.pad(1);
-        let k = item / (nx * ny) + dom.pad(2);
-        let c = (i, j, k);
-        let cell = d3.idx(i, j, k);
-        for axis in 0..ndim {
-            let lo_cell = shift(c, axis, -1);
-            let idx = [i, j, k][axis];
-            let h = widths[axis][idx];
-            let mut f_hi = [0.0; 4];
-            let mut f_lo = [0.0; 4];
-            face_flux(c, axis, &mut f_hi);
-            face_flux(lo_cell, axis, &mut f_lo);
-            for d in 0..ndim {
-                rsl.add(cell + eq.mom(d) * block, (f_hi[d] - f_lo[d]) / h);
+impl LaneKernel for ViscousKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, row: usize, col: usize) {
+        let eq = &self.eq;
+        let i = col + self.pad[0];
+        let j = row % self.ny + self.pad[1];
+        let k = row / self.ny + self.pad[2];
+        let base = i + self.stride[1] * j + self.stride[2] * k;
+        let cell = CellRef { base, c: [i, j, k] };
+        for axis in 0..self.ndim {
+            let lo_cell = self.shifted(cell, axis, -1);
+            let h = self.width_at::<L>(axis, cell);
+            let mut f_hi = [L::splat(0.0); 4];
+            let mut f_lo = [L::splat(0.0); 4];
+            self.face_flux(cell, axis, &mut f_hi);
+            self.face_flux(lo_cell, axis, &mut f_lo);
+            for d in 0..self.ndim {
+                self.rsl
+                    .add_lanes(base + eq.mom(d) * self.block, (f_hi[d] - f_lo[d]) / h);
             }
-            rsl.add(cell + eq.energy() * block, (f_hi[ndim] - f_lo[ndim]) / h);
+            self.rsl.add_lanes(
+                base + eq.energy() * self.block,
+                (f_hi[self.ndim] - f_lo[self.ndim]) / h,
+            );
         }
-    });
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! consumes a direction-coalesced [`Flat4D`] buffer so the stencil reads
 //! are unit-stride — the access pattern whose absence costs 10x (§III-C).
 
-use mfc_acc::{Context, KernelClass, KernelCost, LaunchConfig, ParSlice};
+use mfc_acc::{Context, KernelClass, KernelCost, Lane, LaneKernel, LaunchConfig, ParSlice};
 use mfc_layout::Flat4D;
 use serde::{Deserialize, Serialize};
 
@@ -58,20 +58,27 @@ const EPS: f64 = 1e-6;
 
 /// Fifth-order upwind-biased value at the right face of the center cell,
 /// from the five cell averages `v[0..5]` (center at `v[2]`).
+///
+/// Generic over [`Lane`] — like every face function here — with scalar
+/// literals broadcast via `splat` around the identical op sequence, so
+/// each packed lane computes bitwise the `f64` result for its face.
 #[inline(always)]
-pub fn weno5_face(v: &[f64; 5]) -> f64 {
+pub fn weno5_face<L: Lane>(v: &[L; 5]) -> L {
     // Candidate stencil reconstructions at x_{i+1/2}.
-    let q0 = (2.0 * v[0] - 7.0 * v[1] + 11.0 * v[2]) / 6.0;
-    let q1 = (-v[1] + 5.0 * v[2] + 2.0 * v[3]) / 6.0;
-    let q2 = (2.0 * v[2] + 5.0 * v[3] - v[4]) / 6.0;
+    let q0 = (L::splat(2.0) * v[0] - L::splat(7.0) * v[1] + L::splat(11.0) * v[2]) / L::splat(6.0);
+    let q1 = (-v[1] + L::splat(5.0) * v[2] + L::splat(2.0) * v[3]) / L::splat(6.0);
+    let q2 = (L::splat(2.0) * v[2] + L::splat(5.0) * v[3] - v[4]) / L::splat(6.0);
     // Smoothness indicators.
-    let b0 = 13.0 / 12.0 * sq(v[0] - 2.0 * v[1] + v[2]) + 0.25 * sq(v[0] - 4.0 * v[1] + 3.0 * v[2]);
-    let b1 = 13.0 / 12.0 * sq(v[1] - 2.0 * v[2] + v[3]) + 0.25 * sq(v[1] - v[3]);
-    let b2 = 13.0 / 12.0 * sq(v[2] - 2.0 * v[3] + v[4]) + 0.25 * sq(3.0 * v[2] - 4.0 * v[3] + v[4]);
+    let b0 = L::splat(13.0 / 12.0) * sq(v[0] - L::splat(2.0) * v[1] + v[2])
+        + L::splat(0.25) * sq(v[0] - L::splat(4.0) * v[1] + L::splat(3.0) * v[2]);
+    let b1 = L::splat(13.0 / 12.0) * sq(v[1] - L::splat(2.0) * v[2] + v[3])
+        + L::splat(0.25) * sq(v[1] - v[3]);
+    let b2 = L::splat(13.0 / 12.0) * sq(v[2] - L::splat(2.0) * v[3] + v[4])
+        + L::splat(0.25) * sq(L::splat(3.0) * v[2] - L::splat(4.0) * v[3] + v[4]);
     // Nonlinear weights from the optimal linear weights (1/10, 6/10, 3/10).
-    let a0 = 0.1 / sq(EPS + b0);
-    let a1 = 0.6 / sq(EPS + b1);
-    let a2 = 0.3 / sq(EPS + b2);
+    let a0 = L::splat(0.1) / sq(L::splat(EPS) + b0);
+    let a1 = L::splat(0.6) / sq(L::splat(EPS) + b1);
+    let a2 = L::splat(0.3) / sq(L::splat(EPS) + b2);
     (a0 * q0 + a1 * q1 + a2 * q2) / (a0 + a1 + a2)
 }
 
@@ -80,42 +87,52 @@ const EPS_Z: f64 = 1e-40;
 
 /// Fifth-order WENO-Z value at the right face of the center cell.
 #[inline(always)]
-pub fn weno5z_face(v: &[f64; 5]) -> f64 {
-    let q0 = (2.0 * v[0] - 7.0 * v[1] + 11.0 * v[2]) / 6.0;
-    let q1 = (-v[1] + 5.0 * v[2] + 2.0 * v[3]) / 6.0;
-    let q2 = (2.0 * v[2] + 5.0 * v[3] - v[4]) / 6.0;
-    let b0 = 13.0 / 12.0 * sq(v[0] - 2.0 * v[1] + v[2]) + 0.25 * sq(v[0] - 4.0 * v[1] + 3.0 * v[2]);
-    let b1 = 13.0 / 12.0 * sq(v[1] - 2.0 * v[2] + v[3]) + 0.25 * sq(v[1] - v[3]);
-    let b2 = 13.0 / 12.0 * sq(v[2] - 2.0 * v[3] + v[4]) + 0.25 * sq(3.0 * v[2] - 4.0 * v[3] + v[4]);
+pub fn weno5z_face<L: Lane>(v: &[L; 5]) -> L {
+    let q0 = (L::splat(2.0) * v[0] - L::splat(7.0) * v[1] + L::splat(11.0) * v[2]) / L::splat(6.0);
+    let q1 = (-v[1] + L::splat(5.0) * v[2] + L::splat(2.0) * v[3]) / L::splat(6.0);
+    let q2 = (L::splat(2.0) * v[2] + L::splat(5.0) * v[3] - v[4]) / L::splat(6.0);
+    let b0 = L::splat(13.0 / 12.0) * sq(v[0] - L::splat(2.0) * v[1] + v[2])
+        + L::splat(0.25) * sq(v[0] - L::splat(4.0) * v[1] + L::splat(3.0) * v[2]);
+    let b1 = L::splat(13.0 / 12.0) * sq(v[1] - L::splat(2.0) * v[2] + v[3])
+        + L::splat(0.25) * sq(v[1] - v[3]);
+    let b2 = L::splat(13.0 / 12.0) * sq(v[2] - L::splat(2.0) * v[3] + v[4])
+        + L::splat(0.25) * sq(L::splat(3.0) * v[2] - L::splat(4.0) * v[3] + v[4]);
     // Global fifth-order smoothness indicator.
     let tau5 = (b0 - b2).abs();
-    let a0 = 0.1 * (1.0 + tau5 / (b0 + EPS_Z));
-    let a1 = 0.6 * (1.0 + tau5 / (b1 + EPS_Z));
-    let a2 = 0.3 * (1.0 + tau5 / (b2 + EPS_Z));
+    let a0 = L::splat(0.1) * (L::splat(1.0) + tau5 / (b0 + L::splat(EPS_Z)));
+    let a1 = L::splat(0.6) * (L::splat(1.0) + tau5 / (b1 + L::splat(EPS_Z)));
+    let a2 = L::splat(0.3) * (L::splat(1.0) + tau5 / (b2 + L::splat(EPS_Z)));
     (a0 * q0 + a1 * q1 + a2 * q2) / (a0 + a1 + a2)
 }
 
 /// Henrick's mapping: pulls a nonlinear weight toward its optimal value
 /// `g` at fifth order, `g_k(w) = w (g + g^2 - 3 g w + w^2) / (g^2 + w (1 - 2 g))`.
 #[inline(always)]
-fn henrick_map(w: f64, g: f64) -> f64 {
-    w * (g + g * g - 3.0 * g * w + w * w) / (g * g + w * (1.0 - 2.0 * g))
+fn henrick_map<L: Lane>(w: L, g: f64) -> L {
+    // The scalar-only subexpressions (`g + g*g`, `3g`, `g*g`, `1 - 2g`)
+    // are splat after evaluation: float ops on the scalar constant are
+    // deterministic, so this matches the inline scalar evaluation order.
+    w * (L::splat(g + g * g) - L::splat(3.0 * g) * w + w * w)
+        / (L::splat(g * g) + w * L::splat(1.0 - 2.0 * g))
 }
 
 /// Fifth-order mapped WENO (WENO-M) value at the right face of the
 /// center cell.
 #[inline(always)]
-pub fn weno5m_face(v: &[f64; 5]) -> f64 {
-    let q0 = (2.0 * v[0] - 7.0 * v[1] + 11.0 * v[2]) / 6.0;
-    let q1 = (-v[1] + 5.0 * v[2] + 2.0 * v[3]) / 6.0;
-    let q2 = (2.0 * v[2] + 5.0 * v[3] - v[4]) / 6.0;
-    let b0 = 13.0 / 12.0 * sq(v[0] - 2.0 * v[1] + v[2]) + 0.25 * sq(v[0] - 4.0 * v[1] + 3.0 * v[2]);
-    let b1 = 13.0 / 12.0 * sq(v[1] - 2.0 * v[2] + v[3]) + 0.25 * sq(v[1] - v[3]);
-    let b2 = 13.0 / 12.0 * sq(v[2] - 2.0 * v[3] + v[4]) + 0.25 * sq(3.0 * v[2] - 4.0 * v[3] + v[4]);
+pub fn weno5m_face<L: Lane>(v: &[L; 5]) -> L {
+    let q0 = (L::splat(2.0) * v[0] - L::splat(7.0) * v[1] + L::splat(11.0) * v[2]) / L::splat(6.0);
+    let q1 = (-v[1] + L::splat(5.0) * v[2] + L::splat(2.0) * v[3]) / L::splat(6.0);
+    let q2 = (L::splat(2.0) * v[2] + L::splat(5.0) * v[3] - v[4]) / L::splat(6.0);
+    let b0 = L::splat(13.0 / 12.0) * sq(v[0] - L::splat(2.0) * v[1] + v[2])
+        + L::splat(0.25) * sq(v[0] - L::splat(4.0) * v[1] + L::splat(3.0) * v[2]);
+    let b1 = L::splat(13.0 / 12.0) * sq(v[1] - L::splat(2.0) * v[2] + v[3])
+        + L::splat(0.25) * sq(v[1] - v[3]);
+    let b2 = L::splat(13.0 / 12.0) * sq(v[2] - L::splat(2.0) * v[3] + v[4])
+        + L::splat(0.25) * sq(L::splat(3.0) * v[2] - L::splat(4.0) * v[3] + v[4]);
     // JS weights first...
-    let a0 = 0.1 / sq(EPS + b0);
-    let a1 = 0.6 / sq(EPS + b1);
-    let a2 = 0.3 / sq(EPS + b2);
+    let a0 = L::splat(0.1) / sq(L::splat(EPS) + b0);
+    let a1 = L::splat(0.6) / sq(L::splat(EPS) + b1);
+    let a2 = L::splat(0.3) / sq(L::splat(EPS) + b2);
     let sum = a0 + a1 + a2;
     // ...then the Henrick map and renormalization.
     let m0 = henrick_map(a0 / sum, 0.1);
@@ -126,18 +143,18 @@ pub fn weno5m_face(v: &[f64; 5]) -> f64 {
 
 /// Third-order variant from three cell averages (center at `v[1]`).
 #[inline(always)]
-pub fn weno3_face(v: &[f64; 3]) -> f64 {
-    let q0 = (-v[0] + 3.0 * v[1]) / 2.0;
-    let q1 = (v[1] + v[2]) / 2.0;
+pub fn weno3_face<L: Lane>(v: &[L; 3]) -> L {
+    let q0 = (-v[0] + L::splat(3.0) * v[1]) / L::splat(2.0);
+    let q1 = (v[1] + v[2]) / L::splat(2.0);
     let b0 = sq(v[1] - v[0]);
     let b1 = sq(v[2] - v[1]);
-    let a0 = (1.0 / 3.0) / sq(EPS + b0);
-    let a1 = (2.0 / 3.0) / sq(EPS + b1);
+    let a0 = L::splat(1.0 / 3.0) / sq(L::splat(EPS) + b0);
+    let a1 = L::splat(2.0 / 3.0) / sq(L::splat(EPS) + b1);
     (a0 * q0 + a1 * q1) / (a0 + a1)
 }
 
 #[inline(always)]
-fn sq(x: f64) -> f64 {
+fn sq<L: Lane>(x: L) -> L {
     x * x
 }
 
@@ -171,51 +188,54 @@ pub fn reconstruct_line_padded(
     left: &mut [f64],
     right: &mut [f64],
 ) {
-    let ng = pad;
     assert!(
         pad >= order.ghost_layers(),
         "line pad {pad} narrower than the stencil"
     );
     assert_eq!(v.len(), n + 2 * pad, "padded line length mismatch");
     assert!(left.len() > n && right.len() > n);
-    match order {
-        WenoOrder::First => {
-            for m in 0..=n {
-                let c = ng - 1 + m;
-                left[m] = v[c];
-                right[m] = v[c + 1];
-            }
-        }
-        WenoOrder::Weno3 => {
-            for m in 0..=n {
-                let c = ng - 1 + m; // cell left of face m
-                left[m] = weno3_face(&[v[c - 1], v[c], v[c + 1]]);
-                // Mirror the stencil for the right-biased state.
-                right[m] = weno3_face(&[v[c + 2], v[c + 1], v[c]]);
-            }
-        }
-        WenoOrder::Weno5 => {
-            for m in 0..=n {
-                let c = ng - 1 + m;
-                left[m] = weno5_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]);
-                right[m] = weno5_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]);
-            }
-        }
-        WenoOrder::Weno5Z => {
-            for m in 0..=n {
-                let c = ng - 1 + m;
-                left[m] = weno5z_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]);
-                right[m] = weno5z_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]);
-            }
-        }
-        WenoOrder::Weno5M => {
-            for m in 0..=n {
-                let c = ng - 1 + m;
-                left[m] = weno5m_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]);
-                right[m] = weno5m_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]);
-            }
-        }
+    for m in 0..=n {
+        let (lv, rv) = face_pair::<f64>(order, v, pad - 1 + m);
+        left[m] = lv;
+        right[m] = rv;
     }
+}
+
+/// Lane-packed [`reconstruct_line_padded`]: reconstruct the `n + 1` faces
+/// as full `L::WIDTH` packets followed by a scalar tail, returning
+/// `(full_packets, tail_faces)` for the caller's lane-tiling counters.
+///
+/// Each packet performs, lane for lane, the scalar face arithmetic, and
+/// the tail *is* the scalar path — so the outputs are bitwise identical
+/// to [`reconstruct_line_padded`] at every width.
+pub fn reconstruct_line_padded_vec<L: Lane>(
+    order: WenoOrder,
+    v: &[f64],
+    pad: usize,
+    n: usize,
+    left: &mut [f64],
+    right: &mut [f64],
+) -> (usize, usize) {
+    assert!(
+        pad >= order.ghost_layers(),
+        "line pad {pad} narrower than the stencil"
+    );
+    assert_eq!(v.len(), n + 2 * pad, "padded line length mismatch");
+    assert!(left.len() > n && right.len() > n);
+    let nfaces = n + 1;
+    let packets = nfaces / L::WIDTH;
+    for p in 0..packets {
+        let m = p * L::WIDTH;
+        let (lv, rv) = face_pair::<L>(order, v, pad - 1 + m);
+        lv.store(&mut left[m..]);
+        rv.store(&mut right[m..]);
+    }
+    for m in packets * L::WIDTH..nfaces {
+        let (lv, rv) = face_pair::<f64>(order, v, pad - 1 + m);
+        left[m] = lv;
+        right[m] = rv;
+    }
+    (packets, nfaces % L::WIDTH)
 }
 
 /// Field-level WENO sweep: reconstruct every variable along every line of a
@@ -260,43 +280,75 @@ pub fn reconstruct_sweep(
         2.0 * 8.0,                 // left + right
     );
     let cfg = LaunchConfig::tuned("s_weno_reconstruct");
-    let src = packed.as_slice();
-    let lout = ParSlice::new(left.as_mut_slice());
-    let rout = ParSlice::new(right.as_mut_slice());
-    let ext = pd.n1;
-    let nf1 = fd.n1;
-    ctx.launch_par(&cfg, cost, nlines * (n + 1), |item| {
-        let line = item / (n + 1);
-        let m = item % (n + 1);
-        let v = &src[line * ext..(line + 1) * ext];
-        let (lv, rv) = face_pair(order, v, pad - 1 + m);
-        lout.set(line * nf1 + m, lv);
-        rout.set(line * nf1 + m, rv);
-    });
+    // Lane-tiled launch: one row per line, lanes packed along the face
+    // index (the unit-stride direction of the coalesced buffer), exactly
+    // the `vector`-level mapping of the paper's gang/vector kernels. Item
+    // count and ordering match the scalar launch, so the ledger is
+    // unchanged and the outputs are bitwise identical at every width.
+    let kernel = WenoSweepKernel {
+        order,
+        src: packed.as_slice(),
+        lout: ParSlice::new(left.as_mut_slice()),
+        rout: ParSlice::new(right.as_mut_slice()),
+        ext: pd.n1,
+        nf1: fd.n1,
+        pad,
+    };
+    ctx.launch_vec(&cfg, cost, nlines, n + 1, &kernel);
+}
+
+/// Lane kernel of [`reconstruct_sweep`]: row = line, col = face index.
+struct WenoSweepKernel<'a> {
+    order: WenoOrder,
+    src: &'a [f64],
+    lout: ParSlice<'a>,
+    rout: ParSlice<'a>,
+    /// Padded line extent of `src`.
+    ext: usize,
+    /// Face-line extent of the outputs.
+    nf1: usize,
+    pad: usize,
+}
+
+impl LaneKernel for WenoSweepKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, line: usize, m: usize) {
+        let v = &self.src[line * self.ext..(line + 1) * self.ext];
+        let (lv, rv) = face_pair::<L>(self.order, v, self.pad - 1 + m);
+        self.lout.set_lanes(line * self.nf1 + m, lv);
+        self.rout.set_lanes(line * self.nf1 + m, rv);
+    }
 }
 
 /// Left/right reconstructed values at face `m` of a padded line, with the
 /// center cell at `c = pad - 1 + m` — the single per-face arithmetic both
 /// the full and region-restricted sweeps share.
+///
+/// At a packed width each stencil slot becomes one unit-stride lane load
+/// at its offset from `c`, so lane `i` sees exactly the scalar stencil of
+/// face `m + i`. The furthest slots are `c - 2` and `c + 3` (WENO5), which
+/// stay inside the `pad >= ghost_layers()` padding for every full packet
+/// the sweeps tile (`m + WIDTH - 1 <= n`).
 #[inline(always)]
-fn face_pair(order: WenoOrder, v: &[f64], c: usize) -> (f64, f64) {
+fn face_pair<L: Lane>(order: WenoOrder, v: &[f64], c: usize) -> (L, L) {
+    let at = |d: isize| L::load(&v[(c as isize + d) as usize..]);
     match order {
-        WenoOrder::First => (v[c], v[c + 1]),
+        WenoOrder::First => (at(0), at(1)),
         WenoOrder::Weno3 => (
-            weno3_face(&[v[c - 1], v[c], v[c + 1]]),
-            weno3_face(&[v[c + 2], v[c + 1], v[c]]),
+            weno3_face(&[at(-1), at(0), at(1)]),
+            weno3_face(&[at(2), at(1), at(0)]),
         ),
         WenoOrder::Weno5 => (
-            weno5_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
-            weno5_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
+            weno5_face(&[at(-2), at(-1), at(0), at(1), at(2)]),
+            weno5_face(&[at(3), at(2), at(1), at(0), at(-1)]),
         ),
         WenoOrder::Weno5Z => (
-            weno5z_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
-            weno5z_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
+            weno5z_face(&[at(-2), at(-1), at(0), at(1), at(2)]),
+            weno5z_face(&[at(3), at(2), at(1), at(0), at(-1)]),
         ),
         WenoOrder::Weno5M => (
-            weno5m_face(&[v[c - 2], v[c - 1], v[c], v[c + 1], v[c + 2]]),
-            weno5m_face(&[v[c + 3], v[c + 2], v[c + 1], v[c], v[c - 1]]),
+            weno5m_face(&[at(-2), at(-1), at(0), at(1), at(2)]),
+            weno5m_face(&[at(3), at(2), at(1), at(0), at(-1)]),
         ),
     }
 }
@@ -352,25 +404,61 @@ pub fn reconstruct_sweep_region(
         2.0 * 8.0,
     );
     let cfg = LaunchConfig::tuned("s_weno_reconstruct");
-    let src = packed.as_slice();
-    let lout = ParSlice::new(left.as_mut_slice());
-    let rout = ParSlice::new(right.as_mut_slice());
-    let ext = pd.n1;
-    let nf1 = fd.n1;
     let rlines = t1_n * t2_n * pd.n4;
-    ctx.launch_par(&cfg, cost, rlines * f_count, |item| {
-        let m = f_lo + item % f_count;
-        let lr = item / f_count;
-        let t1i = t1_lo + lr % t1_n;
-        let rest = lr / t1_n;
-        let t2i = t2_lo + rest % t2_n;
-        let e = rest / t2_n;
-        let line = t1i + pd.n2 * (t2i + pd.n3 * e);
-        let v = &src[line * ext..(line + 1) * ext];
-        let (lv, rv) = face_pair(order, v, pad - 1 + m);
-        lout.set(line * nf1 + m, lv);
-        rout.set(line * nf1 + m, rv);
-    });
+    // Same lane mapping as the full sweep: rows are restricted lines,
+    // lanes pack along the face window, packets never leave it.
+    let kernel = WenoRegionKernel {
+        order,
+        src: packed.as_slice(),
+        lout: ParSlice::new(left.as_mut_slice()),
+        rout: ParSlice::new(right.as_mut_slice()),
+        ext: pd.n1,
+        nf1: fd.n1,
+        pad,
+        f_lo,
+        t1_lo,
+        t1_n,
+        t2_lo,
+        t2_n,
+        n2: pd.n2,
+        n3: pd.n3,
+    };
+    ctx.launch_vec(&cfg, cost, rlines, f_count, &kernel);
+}
+
+/// Lane kernel of [`reconstruct_sweep_region`]: row = restricted line
+/// index, col = offset into the face window.
+struct WenoRegionKernel<'a> {
+    order: WenoOrder,
+    src: &'a [f64],
+    lout: ParSlice<'a>,
+    rout: ParSlice<'a>,
+    ext: usize,
+    nf1: usize,
+    pad: usize,
+    f_lo: usize,
+    t1_lo: usize,
+    t1_n: usize,
+    t2_lo: usize,
+    t2_n: usize,
+    n2: usize,
+    n3: usize,
+}
+
+impl LaneKernel for WenoRegionKernel<'_> {
+    #[inline(always)]
+    fn packet<L: Lane>(&self, lr: usize, col: usize) {
+        let m = self.f_lo + col;
+        let t1i = self.t1_lo + lr % self.t1_n;
+        let rest = lr / self.t1_n;
+        let t2i = self.t2_lo + rest % self.t2_n;
+        let e = rest / self.t2_n;
+        let line = t1i + self.n2 * (t2i + self.n3 * e);
+        let v = &self.src[line * self.ext..(line + 1) * self.ext];
+        let (lv, rv) = face_pair::<L>(self.order, v, self.pad - 1 + m);
+        self.lout.set_lanes(line * self.nf1 + m, lv);
+        self.rout.set_lanes(line * self.nf1 + m, rv);
+    }
 }
 
 #[cfg(test)]

@@ -25,9 +25,12 @@ pub mod roofline;
 pub mod scaling;
 pub mod workload;
 
-pub use calib::{DeviceGrind, GRIND_TABLE};
-pub use hw::{DeviceKind, DeviceSpec};
+pub use calib::{DeviceGrind, GRIND_TABLE, HOST_SIMD_ISSUE_EFFICIENCY};
+pub use hw::{DeviceKind, DeviceSpec, CONTAINER_HOST_CORE};
 pub use projection::{projection_report, ProjectionRow};
-pub use roofline::{attainable_gflops, RooflinePoint};
+pub use roofline::{
+    attainable_gflops, predicted_vector_speedup, vector_roofline_cap, RooflinePoint,
+    VectorEfficiency,
+};
 pub use scaling::{ScalingModel, ScalingPoint};
 pub use workload::WorkloadProfile;

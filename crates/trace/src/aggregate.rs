@@ -30,6 +30,10 @@ pub struct KernelAgg {
     /// launch ran serially). Annotation only — the ledger carries no gang
     /// column, so reconciliation ignores it.
     pub gangs_max: u64,
+    /// Widest lane packet any launch of this label executed at (1 = every
+    /// launch ran scalar). Annotation only, like `gangs_max` — FLOP/byte
+    /// counts are per-element, so reconciliation ignores it.
+    pub lanes_max: u64,
 }
 
 /// Sum one rank's kernel events per label, in stream order.
@@ -57,6 +61,9 @@ pub fn aggregate_kernels(events: &[ParsedEvent]) -> BTreeMap<String, KernelAgg> 
         a.gangs_max = a
             .gangs_max
             .max(e.args.get("gangs").and_then(Value::as_u64).unwrap_or(1));
+        a.lanes_max = a
+            .lanes_max
+            .max(e.args.get("lanes").and_then(Value::as_u64).unwrap_or(1));
     }
     out
 }

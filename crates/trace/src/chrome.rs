@@ -84,6 +84,7 @@ fn render_event(tid: u64, e: &crate::event::Event) -> Value {
             label,
             items,
             gangs,
+            lanes,
             flops,
             bytes_read,
             bytes_written,
@@ -91,7 +92,8 @@ fn render_event(tid: u64, e: &crate::event::Event) -> Value {
             "name": *label, "cat": "kernel", "ph": "X",
             "ts": ts, "dur": us(e.dur_ns), "pid": PID, "tid": tid,
             "args": json!({
-                "seq": e.seq, "items": *items, "gangs": *gangs, "flops": *flops,
+                "seq": e.seq, "items": *items, "gangs": *gangs, "lanes": *lanes,
+                "flops": *flops,
                 "bytes_read": *bytes_read, "bytes_written": *bytes_written
             })
         }),

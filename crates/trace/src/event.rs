@@ -117,6 +117,10 @@ pub enum EventKind {
         /// execution). Annotation only: items/flops/bytes are whole-launch
         /// totals regardless of the gang count.
         gangs: u32,
+        /// Lane width the launch executed at (1 for scalar kernels).
+        /// Annotation only, like `gangs`: FLOP/byte counts are
+        /// per-element, so ledger reconciliation ignores it.
+        lanes: u32,
         flops: f64,
         bytes_read: f64,
         bytes_written: f64,

@@ -32,6 +32,7 @@ fn job_totals(trace: &ParsedTrace) -> BTreeMap<String, KernelAgg> {
             e.bytes_written += a.bytes_written;
             e.wall_us += a.wall_us;
             e.gangs_max = e.gangs_max.max(a.gangs_max);
+            e.lanes_max = e.lanes_max.max(a.lanes_max);
         }
     }
     out
@@ -75,17 +76,18 @@ pub fn render(trace: &ParsedTrace) -> String {
     let _ = writeln!(out, "\nper-kernel aggregate (all ranks):");
     let _ = writeln!(
         out,
-        "  {:<26} {:>9} {:>14} {:>6} {:>12} {:>12} {:>12} {:>7}",
-        "kernel", "launches", "items", "gangs", "flops", "read", "written", "wall%"
+        "  {:<26} {:>9} {:>14} {:>6} {:>6} {:>12} {:>12} {:>12} {:>7}",
+        "kernel", "launches", "items", "gangs", "lanes", "flops", "read", "written", "wall%"
     );
     for (label, a) in &rows {
         let _ = writeln!(
             out,
-            "  {:<26} {:>9} {:>14} {:>6} {:>12} {:>12} {:>12} {:>6.1}%",
+            "  {:<26} {:>9} {:>14} {:>6} {:>6} {:>12} {:>12} {:>12} {:>6.1}%",
             label,
             a.launches,
             a.items,
             a.gangs_max,
+            a.lanes_max,
             format!("{:.3e}", a.flops),
             fmt_bytes(a.bytes_read),
             fmt_bytes(a.bytes_written),

@@ -230,6 +230,35 @@ impl TraceHandle {
         start: Instant,
         wall: Duration,
     ) {
+        self.kernel_vec(
+            label,
+            items,
+            gangs,
+            1,
+            flops,
+            bytes_read,
+            bytes_written,
+            start,
+            wall,
+        );
+    }
+
+    /// [`TraceHandle::kernel_gangs`] with the lane width the launch executed
+    /// at (1 = scalar). Like gangs, lanes annotate the event; the accounted
+    /// totals stay whole-launch per-element values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn kernel_vec(
+        &self,
+        label: &'static str,
+        items: u64,
+        gangs: u32,
+        lanes: u32,
+        flops: f64,
+        bytes_read: f64,
+        bytes_written: f64,
+        start: Instant,
+        wall: Duration,
+    ) {
         let ts = self.ns_since_epoch(start);
         let mut inner = self.inner.lock().unwrap();
         self.push(
@@ -240,6 +269,7 @@ impl TraceHandle {
                 label,
                 items,
                 gangs,
+                lanes,
                 flops,
                 bytes_read,
                 bytes_written,

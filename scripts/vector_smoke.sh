@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Vector-lane smoke: the shipped Sod case run through the CLI at lane
+# widths 1, 4, and 8, with all output artifacts compared byte-for-byte —
+# the OpenACC `vector` analog must be bitwise invisible at every width.
+# Invalid widths must be rejected up front as a typed configuration
+# error (exit 2), both from the flag and from the case file, and the
+# postprocess-only path must reject a case that pins the key at all.
+#
+# Run from the repo root: bash scripts/vector_smoke.sh
+set -u
+
+cargo build -q -p mfc-cli || exit 1
+BIN=target/debug/mfc-run
+POST=target/debug/mfc-post
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+expect() { # expect <exit-code> <description> <cmd...>
+    local want=$1 desc=$2
+    shift 2
+    "$@" >"$TMP/out.log" 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc - expected exit $want, got $got"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+# Derive short serial variants of the shipped case, differing only in
+# the output directory (and optionally pinning the width in-file).
+mk_case() { # mk_case <out-json> <out-dir> [vector_width]
+    python3 - "$1" "$2" "${3:-}" <<'EOF'
+import json, sys
+out_json, out_dir, vw = sys.argv[1], sys.argv[2], sys.argv[3]
+with open("cases/sod.json") as f:
+    c = json.load(f)
+c["run"]["steps"] = 12
+c["run"]["t_end"] = None
+c["output"] = {"dir": out_dir, "vtk": True}
+if vw:
+    c.setdefault("numerics", {})["vector_width"] = int(vw)
+with open(out_json, "w") as f:
+    json.dump(c, f)
+EOF
+}
+
+for w in 1 4 8; do
+    mk_case "$TMP/w$w.json" "$TMP/out_w$w"
+    expect 0 "sod at --vector-width $w exits 0" \
+        "$BIN" "$TMP/w$w.json" --vector-width "$w"
+done
+
+# Bitwise identity: every artifact of the W=4 and W=8 runs must match
+# the scalar (W=1) run byte-for-byte.
+for w in 4 8; do
+    if diff -r "$TMP/out_w1" "$TMP/out_w$w" >"$TMP/diff.log" 2>&1; then
+        echo "ok: W=$w output is byte-identical to the scalar run"
+    else
+        echo "FAIL: W=$w and W=1 runs differ"
+        sed 's/^/  | /' "$TMP/diff.log"
+        fail=1
+    fi
+done
+
+# Invalid widths are a typed configuration error, from the flag...
+expect 2 "--vector-width 3 rejected as a config error" \
+    "$BIN" "$TMP/w1.json" --vector-width 3
+expect 2 "--vector-width 16 rejected as a config error" \
+    "$BIN" "$TMP/w1.json" --vector-width 16
+# ...and from the case file.
+mk_case "$TMP/bad.json" "$TMP/out_bad" 5
+expect 2 "numerics.vector_width=5 in the case file rejected" \
+    "$BIN" "$TMP/bad.json" --validate
+
+# The postprocess-only path rejects the key outright: no kernels run
+# there, so a pinned width means the wrong file was passed.
+mk_case "$TMP/post.json" "$TMP/out_w1" 4
+expect 2 "mfc-post --case rejects a pinned vector_width" \
+    "$POST" --case "$TMP/post.json" 0 "$TMP/post.vtk"
+if grep -q "vector_width" "$TMP/out.log"; then
+    echo "ok: rejection names the offending key"
+else
+    echo "FAIL: rejection does not name vector_width"
+    sed 's/^/  | /' "$TMP/out.log"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "vector smoke: FAILED"
+    exit 1
+fi
+echo "vector smoke: all checks passed"
