@@ -108,6 +108,24 @@ impl Context {
         self.workers
     }
 
+    /// Elastically change the worker count (clamped to ≥ 1).
+    ///
+    /// Gang partitioning is a pure function of the count and results are
+    /// bitwise identical at every count, so a scheduler may resize a live
+    /// context between launches (e.g. at solver step boundaries) without
+    /// perturbing numerics. Re-emits the `threads` counter when a tracer
+    /// is attached so the timeline records the resize.
+    pub fn set_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        if workers == self.workers {
+            return;
+        }
+        self.workers = workers;
+        if let Some(t) = &self.tracer {
+            t.counter("threads", self.workers as f64);
+        }
+    }
+
     /// Attach a per-rank trace handle: every subsequent launch also emits
     /// a kernel event carrying the ledger's per-launch byte/FLOP products.
     /// A `threads` counter is emitted immediately so `mfc-trace-report`

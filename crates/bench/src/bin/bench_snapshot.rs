@@ -37,7 +37,8 @@ use mfc_core::par::{run_distributed_with_mode, ExchangeMode};
 use mfc_core::rhs::RhsMode;
 use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_mpsim::Staging;
-use mfc_perfmodel::fusionmodel;
+use mfc_perfmodel::{fusionmodel, EnsembleModel, JobCost};
+use mfc_sched::{JobSpec, JobState, SchedConfig, Scheduler};
 use mfc_trace::Tracer;
 
 const N: usize = 24;
@@ -77,6 +78,21 @@ const MAX_OVERLAP_OVERHEAD: f64 = 0.25;
 /// headroom on this host (it does not on a scalar-tail-dominated tiling
 /// or a bandwidth-bound kernel mix).
 const MIN_VECTOR_SPEEDUP: f64 = 1.15;
+/// Ensemble-throughput axis: a fixed 6-job mixed-length manifest run
+/// through `mfc-sched` on this worker budget.
+const ENSEMBLE_BUDGET: usize = 2;
+const ENSEMBLE_CELLS: usize = 2048;
+const ENSEMBLE_STEPS: [u64; 6] = [90, 75, 60, 45, 30, 15];
+/// Envelope on `measured / LPT − 1`. The greedy LPT bound assumes rigid
+/// one-worker jobs on `min(budget, host_cores)` slots; the elastic
+/// scheduler should land near it (beating it slightly where elastic
+/// shares absorb the tail, trailing it by thread/checkpoint overhead on
+/// millisecond-scale jobs), so the envelope is generous but bounded.
+const MAX_ENSEMBLE_LPT_DRIFT: f64 = 0.5;
+/// Ceiling on ensemble makespan regression vs. the committed baseline
+/// (wall-clock of a multi-threaded scheduler on a shared box — noisier
+/// than the single-thread grind axis, hence the wider bar).
+const MAX_ENSEMBLE_REGRESSION: f64 = 0.35;
 
 /// Nanoseconds this thread has actually run on a CPU, from
 /// `/proc/thread-self/schedstat`. Unlike a wall clock this excludes
@@ -235,6 +251,124 @@ fn measure_overlap_ablation() -> (f64, f64) {
     (best[0], best[1])
 }
 
+/// A Sod-style 1-D case for the ensemble axis, `steps` long. Cheap per
+/// job, long enough that stepping (not solver construction) dominates.
+fn ensemble_case_json(name: &str, steps: u64) -> String {
+    format!(
+        r#"{{
+  "name": "{name}",
+  "fluids": [{{ "gamma": 1.4, "pi_inf": 0.0 }}],
+  "ndim": 1,
+  "cells": [{ENSEMBLE_CELLS}, 1, 1],
+  "lo": [0.0, 0.0, 0.0],
+  "hi": [1.0, 1.0, 1.0],
+  "bc": "transmissive",
+  "patches": [
+    {{ "region": "all",
+       "state": {{ "alpha": [1.0], "rho": [0.125], "vel": [0.0, 0.0, 0.0], "p": 0.1 }} }},
+    {{ "region": {{ "half_space": {{ "axis": 0, "bound": 0.5 }} }},
+       "state": {{ "alpha": [1.0], "rho": [1.0], "vel": [0.0, 0.0, 0.0], "p": 1.0 }} }}
+  ],
+  "numerics": {{ "order": "weno5", "solver": "hllc", "pack": "tiled", "scheme": "rk3", "cfl": 0.5, "dt": null }},
+  "run": {{ "steps": {steps}, "ranks": 1 }},
+  "output": {{ "dir": "out/bench_ensemble", "vtk": false }}
+}}
+"#
+    )
+}
+
+struct EnsembleAxis {
+    slots: usize,
+    makespan_ms: f64,
+    jobs_per_min: f64,
+    lpt_ms: f64,
+    lower_ms: f64,
+    drift: f64,
+    serial_ns_per_cell_stage: f64,
+}
+
+/// Ensemble-throughput axis: run the fixed 6-job manifest through the
+/// `mfc-sched` elastic scheduler on `ENSEMBLE_BUDGET` workers, and
+/// compare the measured makespan against the greedy-LPT model fed a
+/// measured serial rate. Checkpoints are disabled — this axis times the
+/// scheduler, not the filesystem.
+fn measure_ensemble(host_cores: usize) -> EnsembleAxis {
+    const STAGES: u32 = 3; // rk3 in the generated cases
+    const RATE_STEPS: usize = 30;
+    let dir = std::env::temp_dir().join(format!("mfc_bench_ensemble_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("ensemble temp dir");
+    let mut paths = Vec::new();
+    for (i, &steps) in ENSEMBLE_STEPS.iter().enumerate() {
+        let p = dir.join(format!("job{i}.json"));
+        std::fs::write(&p, ensemble_case_json(&format!("ens{i}"), steps))
+            .expect("write ensemble case");
+        paths.push(p);
+    }
+
+    // Serial rate for the model (seconds per cell·stage), best-of-3 on
+    // the same case the jobs run.
+    let cf = mfc_cli::CaseFile::from_path(&paths[0]).expect("ensemble case");
+    let case = cf.to_case().expect("ensemble case build");
+    let cfg = cf.numerics.to_solver_config().expect("ensemble config");
+    let mut rate = f64::INFINITY;
+    for _ in 0..3 {
+        let ctx = Context::with_workers(1).with_vector_width(cfg.vector_width);
+        let mut solver = Solver::new(&case, cfg, ctx);
+        solver.run_steps(WARMUP_STEPS).expect("ensemble warmup");
+        let t0 = Instant::now();
+        solver.run_steps(RATE_STEPS).expect("ensemble rate run");
+        rate = rate.min(
+            t0.elapsed().as_secs_f64()
+                / (ENSEMBLE_CELLS as f64 * RATE_STEPS as f64 * STAGES as f64),
+        );
+    }
+
+    let mut sched = Scheduler::new(SchedConfig {
+        budget: ENSEMBLE_BUDGET,
+        queue_cap: ENSEMBLE_STEPS.len(),
+        aging_rounds: 4,
+        out_dir: dir.join("serve"),
+        write_checkpoints: false,
+    });
+    for (i, p) in paths.iter().enumerate() {
+        let mut spec = JobSpec::new(p);
+        spec.name = Some(format!("ens{i}"));
+        spec.priority = (i % 3) as i64;
+        sched.submit(spec).expect("ensemble admission");
+    }
+    let t0 = Instant::now();
+    let records = sched.run();
+    let makespan_s = t0.elapsed().as_secs_f64();
+    let done = records.iter().filter(|r| r.state == JobState::Done).count();
+    assert_eq!(
+        done,
+        ENSEMBLE_STEPS.len(),
+        "ensemble jobs did not all finish: {records:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let costs: Vec<JobCost> = ENSEMBLE_STEPS
+        .iter()
+        .map(|&s| JobCost {
+            cells: ENSEMBLE_CELLS,
+            steps: s,
+            stages: STAGES,
+        })
+        .collect();
+    let slots = ENSEMBLE_BUDGET.min(host_cores).max(1);
+    let model = EnsembleModel::from_costs(&costs, rate, slots, makespan_s);
+    EnsembleAxis {
+        slots,
+        makespan_ms: makespan_s * 1e3,
+        jobs_per_min: model.jobs_per_min(ENSEMBLE_STEPS.len()),
+        lpt_ms: model.lpt_s * 1e3,
+        lower_ms: model.lower_s * 1e3,
+        drift: model.lpt_drift(),
+        serial_ns_per_cell_stage: rate * 1e9,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
@@ -288,6 +422,7 @@ fn main() {
     let (trace_overhead, traced_fused_us) = measure_trace_overhead();
     let (sendrecv_us, overlapped_us) = measure_overlap_ablation();
     let overlap_overhead = overlapped_us / sendrecv_us - 1.0;
+    let ens = measure_ensemble(host_threads);
     let speedup = staged_us / fused_us;
     let measured_ratio = staged.sweep_bytes / fused.sweep_bytes;
     let shape = fusionmodel::SweepShape {
@@ -330,6 +465,16 @@ fn main() {
         "vector_tail_fraction": eff.tail_fraction(),
         "vector_roofline_cap": roofline_cap,
         "vector_predicted_speedup": predicted_vector,
+        "ensemble_jobs": ENSEMBLE_STEPS.len(),
+        "ensemble_budget": ENSEMBLE_BUDGET,
+        "ensemble_slots": ens.slots,
+        "ensemble_cells": ENSEMBLE_CELLS,
+        "ensemble_makespan_ms": ens.makespan_ms,
+        "ensemble_jobs_per_min": ens.jobs_per_min,
+        "ensemble_lpt_model_ms": ens.lpt_ms,
+        "ensemble_lower_bound_ms": ens.lower_ms,
+        "ensemble_lpt_drift": ens.drift,
+        "ensemble_serial_ns_per_cell_stage": ens.serial_ns_per_cell_stage,
     });
     println!("{}", serde_json::to_string_pretty(&snapshot).unwrap());
 
@@ -396,6 +541,27 @@ fn main() {
              {MIN_VECTOR_SPEEDUP}x gate skipped)"
         );
     }
+    println!(
+        "ensemble ({} jobs, budget {ENSEMBLE_BUDGET}, {} slot(s)): makespan {:.1} ms vs \
+         LPT model {:.1} ms ({:+.1}%; lower bound {:.1} ms) — {:.1} jobs/min",
+        ENSEMBLE_STEPS.len(),
+        ens.slots,
+        ens.makespan_ms,
+        ens.lpt_ms,
+        ens.drift * 100.0,
+        ens.lower_ms,
+        ens.jobs_per_min,
+    );
+    if ens.drift.abs() > MAX_ENSEMBLE_LPT_DRIFT {
+        failures.push(format!(
+            "ensemble makespan {:.1} ms drifts {:.0}% from the LPT model's {:.1} ms \
+             (> {:.0}% allowed)",
+            ens.makespan_ms,
+            ens.drift.abs() * 100.0,
+            ens.lpt_ms,
+            MAX_ENSEMBLE_LPT_DRIFT * 100.0
+        ));
+    }
     let drift = (measured_ratio / modeled_ratio - 1.0).abs();
     if drift > MAX_MODEL_DRIFT {
         failures.push(format!(
@@ -452,6 +618,28 @@ fn main() {
                     overlap_overhead * 100.0,
                     MAX_OVERLAP_OVERHEAD * 100.0
                 ));
+            }
+            match baseline["ensemble_makespan_ms"].as_f64() {
+                Some(base) => {
+                    let regression = ens.makespan_ms / base - 1.0;
+                    println!(
+                        "ensemble makespan: {:.1} ms vs committed {base:.1} ms ({:+.1}%)",
+                        ens.makespan_ms,
+                        regression * 100.0
+                    );
+                    if regression > MAX_ENSEMBLE_REGRESSION {
+                        failures.push(format!(
+                            "ensemble makespan regressed {:.0}% vs committed baseline \
+                             (> {:.0}% allowed)",
+                            regression * 100.0,
+                            MAX_ENSEMBLE_REGRESSION * 100.0
+                        ));
+                    }
+                }
+                None => println!(
+                    "ensemble makespan: committed baseline predates the ensemble axis — \
+                     regression gate skipped"
+                ),
             }
         }
         Err(e) => failures.push(format!("no committed baseline at {}: {e}", path.display())),

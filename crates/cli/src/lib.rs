@@ -38,9 +38,11 @@ use mfc_core::bc::{BcKind, BcSpec};
 use mfc_core::case::{CaseBuilder, Patch};
 use mfc_core::fluid::Fluid;
 use mfc_core::output::{postprocess_wave_files, write_vtk_rectilinear};
+#[cfg(test)]
+use mfc_core::par::run_single;
 use mfc_core::par::{
-    run_distributed_resilient, run_distributed_traced, run_distributed_with_output, run_single,
-    ExchangeMode, GlobalField, ResilienceOpts,
+    run_distributed_resilient, run_distributed_traced, run_distributed_with_output, ExchangeMode,
+    GlobalField, ResilienceOpts,
 };
 use mfc_core::probes::{Probe, ProbeSet};
 use mfc_core::recovery::RecoveryPolicy;
@@ -50,7 +52,10 @@ use mfc_core::solver::{DtMode, Solver, SolverConfig};
 use mfc_core::time::TimeScheme;
 use mfc_core::weno::WenoOrder;
 use mfc_core::HealthConfig;
-use mfc_mpsim::{FailurePolicy, FaultCtx, FaultPlan, Staging, DEFAULT_WAVE_SIZE};
+use mfc_mpsim::{
+    best_block_dims, validate_halo_extents, FailurePolicy, FaultCtx, FaultPlan, Staging,
+    DEFAULT_WAVE_SIZE,
+};
 use mfc_trace::Tracer;
 
 /// Boundary spec: one kind for all faces, or per-axis pairs.
@@ -409,6 +414,83 @@ fn map_resilience_err(e: mfc_core::par::ResilienceError) -> RunError {
     }
 }
 
+/// What [`dry_run`] validated, printed by `mfc-run --dry-run`.
+#[derive(Debug, Clone, Serialize)]
+pub struct DryRunReport {
+    pub name: String,
+    pub cells: [usize; 3],
+    pub neq: usize,
+    pub ranks: usize,
+    /// Rank decomposition the distributed drivers would use.
+    pub dims: [usize; 3],
+    pub ghost_layers: usize,
+    pub workers: usize,
+    pub vector_width: usize,
+    pub steps: usize,
+    pub t_end: Option<f64>,
+}
+
+/// Fully validate a case without stepping: schema lowering, solver
+/// configuration (time scheme, worker and vector-width bounds), stopping
+/// criteria, I/O wave width, rank decomposition and halo extents, and any
+/// fault-plan / recovery-ladder files referenced by the run spec. Never
+/// creates directories and never steps the solver.
+///
+/// This is both what `mfc-run --dry-run` reports (exit 0/2/3) and the
+/// admission-time validation `mfc-sched` applies so malformed jobs are
+/// rejected at enqueue rather than mid-ensemble.
+pub fn dry_run(case_file: &CaseFile) -> Result<DryRunReport, RunError> {
+    let case = case_file.to_case().map_err(RunError::Config)?;
+    let cfg = case_file
+        .numerics
+        .to_solver_config()
+        .map_err(RunError::Config)?;
+    if case_file.run.steps == 0 && case_file.run.t_end.is_none() {
+        return Err(RunError::Config(
+            "run.steps or run.t_end must be set".into(),
+        ));
+    }
+    if case_file.io.wave == 0 {
+        return Err(RunError::Config("io.wave must be at least 1".into()));
+    }
+    let ranks = case_file.run.ranks.max(1);
+    if ranks > 1 && case_file.run.t_end.is_some() {
+        return Err(RunError::Config(
+            "t_end is only supported for serial runs; use run.steps".into(),
+        ));
+    }
+    let ng = cfg.rhs.order.ghost_layers().max(1);
+    let dims = best_block_dims(ranks, case_file.cells);
+    validate_halo_extents(dims, case_file.cells, ng)
+        .map_err(|e| RunError::Config(e.to_string()))?;
+    if let Some(path) = &case_file.run.faults {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RunError::Io(format!("cannot read fault plan {path:?}: {e}")))?;
+        let plan = FaultPlan::from_json(&text)
+            .map_err(|e| RunError::Config(format!("bad fault plan: {e}")))?;
+        plan.validate_for(ranks)
+            .map_err(|e| RunError::Config(format!("bad fault plan: {e}")))?;
+    }
+    if let Some(path) = &case_file.run.recovery {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RunError::Io(format!("cannot read recovery ladder {path:?}: {e}")))?;
+        let _: RecoveryPolicy = serde_json::from_str(&text)
+            .map_err(|e| RunError::Config(format!("bad recovery ladder: {e}")))?;
+    }
+    Ok(DryRunReport {
+        name: case_file.name.clone(),
+        cells: case_file.cells,
+        neq: case.eq().neq(),
+        ranks,
+        dims,
+        ghost_layers: ng,
+        workers: cfg.workers,
+        vector_width: cfg.vector_width,
+        steps: case_file.run.steps,
+        t_end: case_file.run.t_end,
+    })
+}
+
 /// Execute a case file end to end.
 pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
     let case = case_file.to_case().map_err(RunError::Config)?;
@@ -683,19 +765,23 @@ fn run_single_snapshot(solver: &Solver, case: &CaseBuilder) -> GlobalField {
     }
 }
 
-// Keep the helper honest against the parallel gather path.
-#[allow(dead_code)]
-fn _assert_snapshot_matches_par(case: &CaseBuilder, cfg: SolverConfig) {
-    let a = run_single(case, cfg, 0);
-    let mut solver = Solver::new(case, cfg, Context::serial());
-    solver.run_steps(0).unwrap();
-    let b = run_single_snapshot(&solver, case);
-    assert_eq!(a.max_abs_diff(&b), 0.0);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // Keep the serial snapshot helper honest against the parallel gather
+    // path (formerly a dead `_assert_snapshot_matches_par` helper with an
+    // `unwrap` on the run path).
+    #[test]
+    fn snapshot_matches_parallel_gather() {
+        let cf = CaseFile::from_json(&sod_json()).unwrap();
+        let case = cf.to_case().unwrap();
+        let cfg = cf.numerics.to_solver_config().unwrap();
+        let a = run_single(&case, cfg, 0);
+        let solver = Solver::new(&case, cfg, Context::serial());
+        let b = run_single_snapshot(&solver, &case);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
 
     fn sod_json() -> String {
         r#"{

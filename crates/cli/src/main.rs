@@ -1,9 +1,9 @@
 //! `mfc-run <case.json>` — execute a JSON case file.
 
-use mfc_cli::{run_case, CaseFile, RunError};
+use mfc_cli::{dry_run, run_case, CaseFile, RunError};
 use mfc_core::rhs::RhsMode;
 
-const USAGE: &str = "usage: mfc-run <case.json> [--validate] \
+const USAGE: &str = "usage: mfc-run <case.json> [--validate] [--dry-run] \
 [--rhs-mode staged|fused] [--overlap] [--workers N] [--vector-width N] \
 [--faults plan.json] \
 [--checkpoint-every N] [--ckpt-keep N] [--failure-policy revive|shrink|spare] \
@@ -18,6 +18,12 @@ usage: mfc-run <case.json> [flags]
 flags:
   --help                 print this help and exit
   --validate             parse and validate the case, run nothing
+  --dry-run              full admission-grade validation without stepping:
+                         schema, solver configuration, stopping criteria,
+                         rank decomposition + halo extents, worker /
+                         vector-width bounds, fault-plan and recovery
+                         files; exits 0 (valid) or 2 (invalid). The same
+                         check mfc-serve applies before admitting a job
   --rhs-mode MODE        sweep engine: 'staged' grid-sized buffers or the
                          'fused' pencil engine (default; bitwise identical)
   --overlap              distributed runs: overlap the halo exchange with
@@ -72,6 +78,7 @@ exit codes:
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut validate_only = false;
+    let mut dry_run_only = false;
     let mut overlap = false;
     let mut workers: Option<usize> = None;
     let mut vector_width: Option<usize> = None;
@@ -95,6 +102,7 @@ fn main() {
                 return;
             }
             "--validate" => validate_only = true,
+            "--dry-run" => dry_run_only = true,
             "--overlap" => overlap = true,
             "--vector-width" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) => match mfc_acc::validate_width(n) {
@@ -217,6 +225,36 @@ fn main() {
     }
     if let Some(w) = io_wave {
         case.io.wave = w;
+    }
+    if dry_run_only {
+        match dry_run(&case) {
+            Ok(r) => {
+                println!(
+                    "case '{}' admissible: {:?} cells x {} eqs, {} rank(s) as {:?} \
+                     ({} ghost layers), {} worker(s), vector width {}, {}",
+                    r.name,
+                    r.cells,
+                    r.neq,
+                    r.ranks,
+                    r.dims,
+                    r.ghost_layers,
+                    r.workers,
+                    r.vector_width,
+                    match r.t_end {
+                        Some(t) => format!("until t = {t:.4e}"),
+                        None => format!("{} steps", r.steps),
+                    }
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(match e {
+                    RunError::Io(_) => 3,
+                    _ => 2,
+                });
+            }
+        }
     }
     if validate_only {
         match case

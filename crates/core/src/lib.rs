@@ -68,7 +68,7 @@ pub use fluid::{Fluid, MixtureRules};
 pub use grid::{Grid, Grid1D};
 pub use health::{HealthConfig, Violation, ViolationKind};
 pub use recovery::{RecoveryAction, RecoveryPolicy, SolverError, StepFault, StepOutcome};
-pub use solver::{Solver, SolverConfig};
+pub use solver::{Solver, SolverConfig, StepControl};
 pub use state::StateField;
 pub use time::TimeScheme;
 pub use weno::WenoOrder;

@@ -69,7 +69,7 @@ pub fn postprocess_wave_files(
                 ),
             ));
         }
-        let mut it = block.iter();
+        let mut idx = 0usize;
         for e in 0..neq {
             for k in 0..n[2] {
                 for j in 0..n[1] {
@@ -78,7 +78,8 @@ pub fn postprocess_wave_files(
                         let gj = off[1] + j;
                         let gk = off[2] + k;
                         data[gi + global_n[0] * (gj + global_n[1] * (gk + global_n[2] * e))] =
-                            *it.next().unwrap();
+                            block[idx];
+                        idx += 1;
                     }
                 }
             }
@@ -102,7 +103,15 @@ pub fn write_vtk_rectilinear(
     fields: &[(&str, usize)],
 ) -> io::Result<()> {
     let [nx, ny, nz] = gf.n;
-    assert_eq!(grid.x.n(), nx, "grid/field extent mismatch on x");
+    if grid.x.n() != nx {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "grid/field extent mismatch on x: grid has {} cells, field {nx}",
+                grid.x.n()
+            ),
+        ));
+    }
     let mut w = io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(w, "# vtk DataFile Version 3.0")?;
     writeln!(w, "mfc-rs output")?;
@@ -122,7 +131,12 @@ pub fn write_vtk_rectilinear(
     write_coords(&mut w, "Z", grid.z.faces(), nz)?;
     writeln!(w, "CELL_DATA {}", nx * ny * nz)?;
     for (name, slot) in fields {
-        assert!(*slot < gf.neq, "field slot {slot} out of range");
+        if *slot >= gf.neq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("field slot {slot} out of range (neq = {})", gf.neq),
+            ));
+        }
         writeln!(w, "SCALARS {name} double 1")?;
         writeln!(w, "LOOKUP_TABLE default")?;
         for k in 0..nz {

@@ -252,7 +252,9 @@ pub fn load_checkpoint(path: &Path) -> Result<(CheckpointHeader, StateField), Ch
         return Err(CheckpointError::CrcMismatch { stored, computed });
     }
     for (slot, chunk) in q.as_mut_slice().iter_mut().zip(bytes.chunks_exact(8)) {
-        *slot = f64::from_le_bytes(chunk.try_into().unwrap());
+        let mut le = [0u8; 8];
+        le.copy_from_slice(chunk);
+        *slot = f64::from_le_bytes(le);
     }
     Ok((header, q))
 }

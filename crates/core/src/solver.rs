@@ -16,6 +16,19 @@ use crate::grid::Grid;
 use crate::health::{scan_and_convert, HealthConfig};
 use crate::ibm::GhostCellIbm;
 use crate::recovery::{RecoveryPolicy, RecoveryState, SolverError, StepFault, StepOutcome};
+
+/// Directive returned by a [`Solver::run_controlled`] controller at each
+/// step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepControl {
+    /// Take the next step unchanged.
+    Continue,
+    /// Resize to this worker count, then take the next step. Bitwise-safe:
+    /// results are invariant to the worker count at every step boundary.
+    Resize(usize),
+    /// Stop before the next step (cooperative cancellation / deadline).
+    Stop,
+}
 use crate::rhs::{compute_rhs, RhsConfig, RhsWorkspace};
 use crate::state::StateField;
 use crate::time::{rk_step, RkWorkspace, TimeScheme};
@@ -153,6 +166,18 @@ impl Solver {
 
     pub fn context(&self) -> &Context {
         &self.ctx
+    }
+
+    /// Elastically resize the worker count mid-run (clamped to ≥ 1).
+    ///
+    /// Only meaningful between steps; results stay bitwise identical at
+    /// every count, so an ensemble scheduler may grow or shrink a running
+    /// job whenever its share of a global budget changes. Keeps
+    /// `cfg.workers` in sync so summaries report the final share.
+    pub fn set_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        self.ctx.set_workers(workers);
+        self.cfg.workers = workers;
     }
 
     pub fn domain(&self) -> &Domain {
@@ -412,6 +437,34 @@ impl Solver {
             self.step()?;
         }
         Ok(())
+    }
+
+    /// Advance up to `max_steps` steps under an external controller that is
+    /// consulted at every step boundary — the cooperative yield point an
+    /// ensemble scheduler uses for cancellation, deadlines, and elastic
+    /// worker resizes (resizes between steps are bitwise-safe).
+    ///
+    /// The controller sees the number of steps taken *by this call* so far
+    /// and the solver's absolute step count; it returns a [`StepControl`]
+    /// directive. `Resize(n)` applies [`Solver::set_workers`] and then
+    /// steps; `Stop` returns early with the steps taken. A step error is
+    /// returned as-is (the caller isolates the fault).
+    pub fn run_controlled(
+        &mut self,
+        max_steps: usize,
+        ctrl: &mut dyn FnMut(u64, u64) -> StepControl,
+    ) -> Result<u64, SolverError> {
+        let mut taken = 0u64;
+        while taken < max_steps as u64 {
+            match ctrl(taken, self.steps) {
+                StepControl::Continue => {}
+                StepControl::Resize(n) => self.set_workers(n),
+                StepControl::Stop => break,
+            }
+            self.step()?;
+            taken += 1;
+        }
+        Ok(taken)
     }
 
     /// Advance until `t_end` (clipping the final step), bounded by

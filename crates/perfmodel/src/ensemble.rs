@@ -1,0 +1,177 @@
+//! Ensemble makespan model for the `mfc-sched` scheduler.
+//!
+//! The paper's campaigns submit many cases to a batch queue; the
+//! reproduction's `mfc-serve` multiplexes them onto a shared worker
+//! budget. This module predicts the ensemble makespan from per-job cost
+//! estimates so `bench_snapshot` can gate the scheduler's measured
+//! throughput against a model:
+//!
+//! * each job's cost is its grind work, `cells × steps × RK stages`
+//!   (the denominator of the paper's grind-time metric), converted to
+//!   seconds with a measured serial rate;
+//! * [`lpt_makespan`] is the classic greedy Longest-Processing-Time
+//!   bound for *rigid* one-worker jobs on `slots` machines — an upper
+//!   bound the elastic scheduler should meet or beat, and within
+//!   4/3 − 1/(3·slots) of optimal;
+//! * [`elastic_lower_bound`] is `max(total/slots, longest/slots)` — no
+//!   schedule can beat the work bound, and even a fully elastic job
+//!   cannot finish faster than perfectly parallelized on every slot.
+//!
+//! On a host with fewer cores than the budget, the effective slot count
+//! is `min(budget, host_cores)`: oversubscribed workers timeshare one
+//! core and add no throughput (the bench axis passes the measured host
+//! core count for exactly this reason).
+
+/// Work estimate for one job, in grind units (cell·stage updates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobCost {
+    /// Interior cells of the job's grid.
+    pub cells: usize,
+    /// Steps the job will take.
+    pub steps: u64,
+    /// RK stages per step.
+    pub stages: u32,
+}
+
+impl JobCost {
+    /// Cell·stage updates this job performs.
+    pub fn work(&self) -> f64 {
+        self.cells as f64 * self.steps as f64 * self.stages as f64
+    }
+
+    /// Seconds at a measured serial rate (`sec_per_cell_stage`).
+    pub fn seconds(&self, sec_per_cell_stage: f64) -> f64 {
+        self.work() * sec_per_cell_stage
+    }
+}
+
+/// Greedy LPT makespan (seconds) for rigid one-worker jobs on `slots`
+/// identical machines: sort by descending cost, place each job on the
+/// least-loaded slot. `slots` is clamped to ≥ 1.
+pub fn lpt_makespan(costs: &[f64], slots: usize) -> f64 {
+    let slots = slots.max(1);
+    let mut order: Vec<f64> = costs.to_vec();
+    order.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut load = vec![0.0f64; slots];
+    for c in order {
+        // Deterministic argmin: first slot with the smallest load.
+        let mut best = 0usize;
+        for (i, l) in load.iter().enumerate() {
+            if *l < load[best] {
+                best = i;
+            }
+        }
+        load[best] += c;
+    }
+    load.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Lower bound (seconds) no schedule — elastic or not — can beat:
+/// the work bound `total/slots` (and trivially the longest job spread
+/// across every slot, which the work bound already dominates for
+/// non-negative costs).
+pub fn elastic_lower_bound(costs: &[f64], slots: usize) -> f64 {
+    let slots = slots.max(1).min(costs.len().max(1));
+    let total: f64 = costs.iter().sum();
+    total / slots as f64
+}
+
+/// Model vs. measurement for one ensemble run.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleModel {
+    /// Greedy LPT bound, seconds.
+    pub lpt_s: f64,
+    /// Work lower bound, seconds.
+    pub lower_s: f64,
+    /// Measured makespan, seconds.
+    pub measured_s: f64,
+}
+
+impl EnsembleModel {
+    /// Build from job costs, a measured serial rate, the effective slot
+    /// count (`min(budget, host_cores)`), and the measured makespan.
+    pub fn from_costs(
+        costs: &[JobCost],
+        sec_per_cell_stage: f64,
+        slots: usize,
+        measured_s: f64,
+    ) -> Self {
+        let secs: Vec<f64> = costs
+            .iter()
+            .map(|c| c.seconds(sec_per_cell_stage))
+            .collect();
+        EnsembleModel {
+            lpt_s: lpt_makespan(&secs, slots),
+            lower_s: elastic_lower_bound(&secs, slots),
+            measured_s,
+        }
+    }
+
+    /// Relative drift of the measurement from the LPT bound:
+    /// `measured/lpt − 1`. Positive = slower than the model (scheduler
+    /// overhead, host noise); strongly negative would mean the model is
+    /// mis-calibrated.
+    pub fn lpt_drift(&self) -> f64 {
+        if self.lpt_s > 0.0 {
+            self.measured_s / self.lpt_s - 1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Jobs per minute at the measured makespan.
+    pub fn jobs_per_min(&self, jobs: usize) -> f64 {
+        if self.measured_s > 0.0 {
+            jobs as f64 * 60.0 / self.measured_s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_handles_classic_cases() {
+        // Graham's tight instance on 3 machines: LPT gives 11 where the
+        // optimum is 9 — exactly the 4/3 − 1/(3·m) bound.
+        let costs = [5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 3.0];
+        assert_eq!(lpt_makespan(&costs, 3), 11.0);
+        // One slot: makespan is the total.
+        assert_eq!(lpt_makespan(&costs, 1), costs.iter().sum::<f64>());
+        // More slots than jobs: the longest job dominates.
+        assert_eq!(lpt_makespan(&costs, 16), 5.0);
+    }
+
+    #[test]
+    fn lpt_never_beats_the_lower_bound() {
+        let costs = [7.0, 3.0, 3.0, 2.0, 1.0];
+        for slots in 1..=6 {
+            assert!(lpt_makespan(&costs, slots) >= elastic_lower_bound(&costs, slots) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn job_cost_work_is_grind_denominator() {
+        let c = JobCost {
+            cells: 200,
+            steps: 50,
+            stages: 3,
+        };
+        assert_eq!(c.work(), 30_000.0);
+        assert!((c.seconds(1e-6) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_and_throughput() {
+        let m = EnsembleModel {
+            lpt_s: 2.0,
+            lower_s: 1.5,
+            measured_s: 2.5,
+        };
+        assert!((m.lpt_drift() - 0.25).abs() < 1e-12);
+        assert!((m.jobs_per_min(5) - 120.0).abs() < 1e-9);
+    }
+}

@@ -16,6 +16,7 @@
 //! check (who wins, by what factor, where crossovers fall).
 
 pub mod calib;
+pub mod ensemble;
 pub mod figures;
 pub mod fusionmodel;
 pub mod hw;
@@ -26,6 +27,7 @@ pub mod scaling;
 pub mod workload;
 
 pub use calib::{DeviceGrind, GRIND_TABLE, HOST_SIMD_ISSUE_EFFICIENCY};
+pub use ensemble::{elastic_lower_bound, lpt_makespan, EnsembleModel, JobCost};
 pub use hw::{DeviceKind, DeviceSpec, CONTAINER_HOST_CORE};
 pub use projection::{projection_report, ProjectionRow};
 pub use roofline::{

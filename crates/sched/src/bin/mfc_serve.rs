@@ -1,0 +1,216 @@
+//! `mfc-serve --jobs manifest.json` — run a job ensemble on a shared
+//! elastic worker budget and emit a JSONL results ledger.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mfc_sched::{write_ledger, JobSpec, JobState, SchedConfig, Scheduler};
+use serde::Deserialize;
+
+const USAGE: &str = "usage: mfc-serve --jobs manifest.json [--budget W] \
+[--queue-cap N] [--out-dir DIR] [--ledger PATH] [--trace PATH]";
+
+const HELP: &str = "\
+mfc-serve — deterministic ensemble scheduler for MFC case files
+
+usage: mfc-serve --jobs manifest.json [flags]
+
+The manifest lists jobs (case path + overrides) and optionally the
+scheduler knobs; command-line flags override the manifest:
+
+  { \"budget\": 4, \"queue_cap\": 16, \"out_dir\": \"out/serve\",
+    \"jobs\": [
+      { \"case\": \"cases/sod.json\", \"priority\": 2, \"workers\": 2 },
+      { \"case\": \"cases/sod.json\", \"name\": \"lowprio\", \"max_steps\": 40 } ] }
+
+Each job is validated at admission (the same deep check as
+`mfc-run --dry-run`); malformed jobs reject the manifest before anything
+runs. Running jobs share the worker budget elastically — shares are
+re-partitioned whenever a job arrives or finishes, applied only at step
+boundaries, and results stay bitwise identical to a standalone run at
+any share sequence. One job's failure (or injected fault, or panic)
+marks only that job Failed; siblings complete undisturbed.
+
+flags:
+  --help           print this help and exit
+  --jobs PATH      ensemble manifest (required)
+  --budget W       global worker budget shared by running jobs
+  --queue-cap N    bounded admission-queue capacity
+  --out-dir DIR    per-job artifacts under DIR/<id>_<name>/
+  --ledger PATH    JSONL results ledger (default DIR/ledger.jsonl)
+  --trace PATH     chrome-trace JSON of the whole ensemble: scheduler
+                   counters (queue_depth, running_jobs, busy_workers) on
+                   timeline 0, one timeline per job with its `job` span
+                   and kernel events; summarize with mfc-trace-report
+
+exit codes:
+  0  the ensemble ran to completion (per-job outcomes are in the ledger)
+  2  usage error, bad manifest, or a job rejected at admission
+  3  I/O failure writing the ledger or trace
+";
+
+#[derive(Deserialize)]
+#[serde(deny_unknown_fields)]
+struct Manifest {
+    #[serde(default)]
+    budget: Option<usize>,
+    #[serde(default)]
+    queue_cap: Option<usize>,
+    #[serde(default)]
+    aging_rounds: Option<u64>,
+    #[serde(default)]
+    out_dir: Option<PathBuf>,
+    jobs: Vec<JobSpec>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs_path: Option<PathBuf> = None;
+    let mut budget: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut ledger: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return;
+            }
+            "--jobs" => match it.next() {
+                Some(v) => jobs_path = Some(v.into()),
+                None => die("--jobs needs a manifest path"),
+            },
+            "--budget" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => budget = Some(n),
+                _ => die("--budget needs a positive worker count"),
+            },
+            "--queue-cap" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => queue_cap = Some(n),
+                _ => die("--queue-cap needs a positive queue capacity"),
+            },
+            "--out-dir" => match it.next() {
+                Some(v) => out_dir = Some(v.into()),
+                None => die("--out-dir needs a directory"),
+            },
+            "--ledger" => match it.next() {
+                Some(v) => ledger = Some(v.into()),
+                None => die("--ledger needs an output path"),
+            },
+            "--trace" => match it.next() {
+                Some(v) => trace = Some(v.into()),
+                None => die("--trace needs an output path"),
+            },
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    let Some(jobs_path) = jobs_path else {
+        die("--jobs manifest.json is required");
+    };
+    let text = match std::fs::read_to_string(&jobs_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", jobs_path.display());
+            std::process::exit(3);
+        }
+    };
+    let manifest: Manifest = match serde_json::from_str(&text) {
+        Ok(m) => m,
+        Err(e) => die(&format!("bad manifest: {e}")),
+    };
+    if manifest.jobs.is_empty() {
+        die("manifest lists no jobs");
+    }
+
+    let defaults = SchedConfig::default();
+    let cfg = SchedConfig {
+        budget: budget.or(manifest.budget).unwrap_or(defaults.budget),
+        queue_cap: queue_cap
+            .or(manifest.queue_cap)
+            .unwrap_or_else(|| manifest.jobs.len().max(defaults.queue_cap)),
+        aging_rounds: manifest.aging_rounds.unwrap_or(defaults.aging_rounds),
+        out_dir: out_dir.or(manifest.out_dir).unwrap_or(defaults.out_dir),
+        write_checkpoints: true,
+    };
+    let ledger_path = ledger.unwrap_or_else(|| cfg.out_dir.join("ledger.jsonl"));
+    println!(
+        "serving {} job(s) on a budget of {} worker(s), queue cap {}",
+        manifest.jobs.len(),
+        cfg.budget,
+        cfg.queue_cap
+    );
+
+    let tracer = trace.as_ref().map(|_| Arc::new(mfc_trace::Tracer::new()));
+    let mut sched = Scheduler::new(cfg.clone());
+    if let Some(t) = &tracer {
+        sched = sched.with_tracer(Arc::clone(t));
+    }
+    for spec in manifest.jobs {
+        let label = spec
+            .name
+            .clone()
+            .unwrap_or_else(|| spec.case.display().to_string());
+        if let Err(e) = sched.submit(spec) {
+            eprintln!("error: {e}");
+            let _ = label;
+            std::process::exit(2);
+        }
+    }
+
+    let records = sched.run();
+
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!("error: cannot create {}: {e}", cfg.out_dir.display());
+        std::process::exit(3);
+    }
+    if let Err(e) = write_ledger(&ledger_path, &records) {
+        eprintln!("error: ledger write failed: {e}");
+        std::process::exit(3);
+    }
+    if let (Some(path), Some(t)) = (&trace, &tracer) {
+        if let Err(e) = mfc_trace::chrome::write_file(path, &t.snapshot()) {
+            eprintln!("error: trace write failed: {e}");
+            std::process::exit(3);
+        }
+    }
+
+    println!(
+        "{:>3} {:<20} {:>9} {:>7} {:>9} {:>9} {:>10} {:>6} {:>7}",
+        "id", "job", "state", "steps", "wall_ms", "cpu_ms", "worker_s", "share", "resizes"
+    );
+    for r in &records {
+        println!(
+            "{:>3} {:<20} {:>9} {:>7} {:>9.1} {:>9.1} {:>10.3} {:>6} {:>7}{}",
+            r.id,
+            r.job,
+            format!("{:?}", r.state).to_lowercase(),
+            r.steps,
+            r.wall_ms,
+            r.cpu_ms,
+            r.worker_seconds,
+            r.final_share,
+            r.resizes,
+            r.reason
+                .as_deref()
+                .map(|m| format!("  ({m})"))
+                .unwrap_or_default()
+        );
+    }
+    let done = records.iter().filter(|r| r.state == JobState::Done).count();
+    println!(
+        "wrote {} ({done}/{} done)",
+        ledger_path.display(),
+        records.len()
+    );
+    if let Some(p) = &trace {
+        println!("wrote trace {}", p.display());
+    }
+}

@@ -1,0 +1,45 @@
+//! `mfc-sched` — deterministic ensemble execution engine.
+//!
+//! The paper's campaigns (Wilfong et al., SC24) batch many MFC cases
+//! onto a fixed Frontier/Summit allocation through the machine's batch
+//! queue. This crate is the in-process substitute: a scheduler that
+//! admits, queues, and runs many simulation jobs concurrently on a
+//! shared worker budget — the dispatch-loop shape of a request-serving
+//! system rather than a one-case-per-process CLI.
+//!
+//! The pieces:
+//!
+//! * [`JobSpec`] — a case file plus per-job overrides (priority, worker
+//!   cap, vector width, RHS mode, step budget, deadline), moving through
+//!   the [`JobState`] machine
+//!   `Queued → Admitted → Running → {Done, Failed, Cancelled, TimedOut}`.
+//! * [`AdmissionQueue`] — bounded, with typed backpressure
+//!   ([`SchedError::QueueFull`]) and priority scheduling with aging so
+//!   low-priority jobs cannot starve. Malformed jobs are rejected at
+//!   enqueue by the same deep validation as `mfc-run --dry-run`.
+//! * an elastic shared worker pool ([`pool::partition`]) — a global
+//!   worker budget re-partitioned across the running jobs whenever one
+//!   arrives or finishes. Shares change only at step boundaries, where
+//!   the gang/lane invariance guarantee (results bitwise identical at
+//!   every worker count and vector width) makes the resize numerically
+//!   invisible: every job's output is byte-identical to a standalone
+//!   run, whatever the ensemble did around it.
+//! * per-job fault isolation — a job's `SolverError`, I/O failure, or
+//!   even panic marks *that job* `Failed`; siblings and the server
+//!   process are untouched.
+//! * [`Scheduler::run`] returns a [`JobRecord`] ledger (JSONL via
+//!   [`write_ledger`]); with a tracer attached, timeline 0 carries
+//!   queue-depth/occupancy counters and resize instants while each job's
+//!   timeline carries its `job` span and kernel events —
+//!   `mfc-trace-report` renders these as the scheduler view.
+//!
+//! The `mfc-serve` binary drives all of this from a JSON manifest.
+
+pub mod job;
+pub mod pool;
+pub mod queue;
+pub mod scheduler;
+
+pub use job::{JobRecord, JobSpec, JobState, SchedError};
+pub use queue::AdmissionQueue;
+pub use scheduler::{write_ledger, SchedConfig, Scheduler};

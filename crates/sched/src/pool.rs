@@ -1,0 +1,80 @@
+//! Elastic worker-pool arithmetic: partition a global worker budget
+//! across the running jobs.
+//!
+//! The partition is a pure function of `(budget, caps)` — like
+//! `gang_blocks` one layer down — so every repartition (on admission or
+//! completion) is deterministic and replayable. Every running job gets at
+//! least one worker; the remainder is dealt round-robin in admission
+//! order to jobs still under their elastic cap. Shares only change at
+//! step boundaries, where worker-count invariance makes the resize
+//! bitwise-safe.
+
+/// Worker shares for jobs in admission order, respecting per-job caps.
+///
+/// Guarantees (for `caps.len() ≤ budget`): every share ≥ 1, shares sum to
+/// at most `budget`, no share exceeds `max(cap, 1)`, and the full budget
+/// is used whenever caps allow.
+pub fn partition(budget: usize, caps: &[usize]) -> Vec<usize> {
+    let n = caps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let budget = budget.max(n);
+    let mut share = vec![1usize; n];
+    let mut left = budget - n;
+    while left > 0 {
+        let mut gave = false;
+        for i in 0..n {
+            if left == 0 {
+                break;
+            }
+            if share[i] < caps[i].max(1) {
+                share[i] += 1;
+                left -= 1;
+                gave = true;
+            }
+        }
+        if !gave {
+            break;
+        }
+    }
+    share
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_split_when_uncapped() {
+        assert_eq!(partition(8, &[usize::MAX; 4]), vec![2, 2, 2, 2]);
+        assert_eq!(partition(8, &[usize::MAX; 8]), vec![1; 8]);
+    }
+
+    #[test]
+    fn remainder_goes_to_earliest_admitted() {
+        assert_eq!(partition(7, &[usize::MAX; 3]), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn caps_redistribute_to_uncapped_jobs() {
+        assert_eq!(partition(8, &[1, usize::MAX, 2]), vec![1, 5, 2]);
+    }
+
+    #[test]
+    fn all_capped_leaves_budget_unused() {
+        assert_eq!(partition(16, &[1, 1]), vec![1, 1]);
+    }
+
+    #[test]
+    fn every_job_keeps_one_worker_and_budget_is_respected() {
+        for budget in 1..=12usize {
+            for n in 1..=budget {
+                let caps = vec![3usize; n];
+                let s = partition(budget, &caps);
+                assert!(s.iter().all(|&w| (1..=3).contains(&w)));
+                assert!(s.iter().sum::<usize>() <= budget);
+            }
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The ensemble scheduler: admission, dispatch, elastic repartition,
+//! isolation, and the results ledger.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mfc_acc::Context;
+use mfc_cli::CaseFile;
+use mfc_core::restart::save_checkpoint;
+use mfc_core::solver::StepControl;
+use mfc_core::Solver;
+use mfc_trace::{Category, TraceHandle, Tracer};
+
+use crate::job::{JobRecord, JobSpec, JobState, SchedError};
+use crate::pool::partition;
+use crate::queue::AdmissionQueue;
+
+/// Scheduler knobs. `budget` is the global worker pool partitioned
+/// across running jobs; `queue_cap` bounds the admission queue.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Global worker budget shared by all running jobs (≥ 1). Also the
+    /// running-job ceiling: each running job holds at least one worker.
+    pub budget: usize,
+    /// Bounded admission-queue capacity (≥ 1); a full queue rejects with
+    /// [`SchedError::QueueFull`].
+    pub queue_cap: usize,
+    /// Dispatch rounds a waiting job must sit out per effective priority
+    /// point gained (starvation control; see [`AdmissionQueue`]).
+    pub aging_rounds: u64,
+    /// Per-job artifacts land under `out_dir/<id>_<name>/`.
+    pub out_dir: PathBuf,
+    /// Write each non-failed job's final state as a CRC'd checkpoint
+    /// (`final.ckpt`) — the bitwise-comparable output of the job.
+    pub write_checkpoints: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            budget: 1,
+            queue_cap: 16,
+            aging_rounds: 4,
+            out_dir: PathBuf::from("out/serve"),
+            write_checkpoints: true,
+        }
+    }
+}
+
+/// What the job thread reports back to the dispatcher.
+struct ThreadOutcome {
+    state: JobState,
+    steps: u64,
+    sim_time: f64,
+    cpu_ms: f64,
+    worker_seconds: f64,
+    final_share: usize,
+    resizes: u64,
+    reason: Option<String>,
+    output: Option<PathBuf>,
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    name: String,
+    case: CaseFile,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    share: Arc<AtomicUsize>,
+    submitted: Instant,
+    admitted: Option<Instant>,
+    record: Option<JobRecord>,
+}
+
+/// Deterministic ensemble execution engine (see the crate docs).
+///
+/// Lifecycle: [`Scheduler::submit`] validates and queues jobs (typed
+/// rejection on a malformed job or a full queue), [`Scheduler::cancel`]
+/// requests cooperative cancellation, and [`Scheduler::run`] drives the
+/// dispatch loop to completion, returning one [`JobRecord`] per
+/// submitted job in submission order.
+pub struct Scheduler {
+    cfg: SchedConfig,
+    tracer: Option<Arc<Tracer>>,
+    sched_tl: Option<Arc<TraceHandle>>,
+    jobs: Vec<JobEntry>,
+    queue: AdmissionQueue,
+}
+
+impl Scheduler {
+    pub fn new(cfg: SchedConfig) -> Self {
+        let queue = AdmissionQueue::new(cfg.queue_cap, cfg.aging_rounds);
+        Scheduler {
+            cfg,
+            tracer: None,
+            sched_tl: None,
+            jobs: Vec::new(),
+            queue,
+        }
+    }
+
+    /// Attach a tracer: timeline 0 carries the scheduler's queue-depth /
+    /// occupancy counters and resize instants; timeline `1 + id` carries
+    /// each job's `job` span, admit/cancel instants, and kernel events.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.sched_tl = Some(tracer.handle(0));
+        self.tracer = Some(tracer);
+        self
+    }
+
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Admission control: load the case, apply the spec's overrides, and
+    /// run the same deep validation as `mfc-run --dry-run`. Invalid jobs
+    /// are rejected here — at enqueue, not mid-ensemble — and a full
+    /// queue pushes back with [`SchedError::QueueFull`].
+    pub fn submit(&mut self, spec: JobSpec) -> Result<u64, SchedError> {
+        let job_label = spec
+            .name
+            .clone()
+            .unwrap_or_else(|| spec.case.display().to_string());
+        let reject = |reason: String| SchedError::Rejected {
+            job: job_label.clone(),
+            reason,
+        };
+        let mut case = CaseFile::from_path(&spec.case).map_err(&reject)?;
+        if let Some(w) = spec.workers {
+            case.numerics.workers = w;
+        }
+        if let Some(vw) = spec.vector_width {
+            case.numerics.vector_width = vw;
+        }
+        if let Some(mode) = spec.rhs_mode {
+            case.numerics.mode = mode;
+        }
+        if let Some(ov) = spec.overlap {
+            case.numerics.overlap = ov;
+        }
+        if let Some(steps) = spec.max_steps {
+            case.run.steps = steps;
+        }
+        mfc_cli::dry_run(&case).map_err(|e| reject(e.to_string()))?;
+        if case.run.ranks > 1 {
+            return Err(reject(format!(
+                "run.ranks = {} — the ensemble scheduler drives the serial-rank engine",
+                case.run.ranks
+            )));
+        }
+        if case.run.checkpoint_every > 0 || case.run.faults.is_some() {
+            return Err(reject(
+                "fault-tolerant distributed features (run.faults / run.checkpoint_every) \
+                 are not available inside the ensemble scheduler"
+                    .into(),
+            ));
+        }
+        let id = self.jobs.len() as u64;
+        self.queue.push(id, spec.priority)?;
+        let name = spec.name.clone().unwrap_or_else(|| case.name.clone());
+        self.jobs.push(JobEntry {
+            spec,
+            name,
+            case,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            share: Arc::new(AtomicUsize::new(1)),
+            submitted: Instant::now(),
+            admitted: None,
+            record: None,
+        });
+        if let Some(tl) = &self.sched_tl {
+            tl.counter("queue_depth", self.queue.len() as f64);
+        }
+        Ok(id)
+    }
+
+    /// Request cooperative cancellation. A queued job is finalized
+    /// immediately; a running job observes the flag at its next step
+    /// boundary. Terminal jobs return [`SchedError::Terminal`].
+    pub fn cancel(&mut self, id: u64) -> Result<(), SchedError> {
+        let idx = id as usize;
+        if idx >= self.jobs.len() {
+            return Err(SchedError::UnknownJob { id });
+        }
+        if self.jobs[idx].state.is_terminal() {
+            return Err(SchedError::Terminal { id });
+        }
+        self.jobs[idx].cancel.store(true, Ordering::Relaxed);
+        if self.jobs[idx].state == JobState::Queued && self.queue.remove(id) {
+            self.finalize_queued(idx, JobState::Cancelled, "cancelled while queued");
+            if let Some(tl) = &self.sched_tl {
+                tl.counter("queue_depth", self.queue.len() as f64);
+                tl.instant("cancel", Category::Phase);
+            }
+        }
+        Ok(())
+    }
+
+    /// Terminal record for a job that never left the queue.
+    fn finalize_queued(&mut self, idx: usize, state: JobState, reason: &str) {
+        let e = &mut self.jobs[idx];
+        e.state = state;
+        let wall = e.submitted.elapsed().as_secs_f64() * 1e3;
+        e.record = Some(JobRecord {
+            id: idx as u64,
+            job: e.name.clone(),
+            case: e.spec.case.clone(),
+            priority: e.spec.priority,
+            state,
+            steps: 0,
+            sim_time: 0.0,
+            wall_ms: wall,
+            wait_ms: wall,
+            cpu_ms: 0.0,
+            worker_seconds: 0.0,
+            final_share: 0,
+            resizes: 0,
+            reason: Some(reason.to_string()),
+            output: None,
+        });
+    }
+
+    /// Recompute every running job's worker share (pure-function
+    /// partition of the budget in admission order, respecting elastic
+    /// caps) and publish the targets; jobs apply them at their next step
+    /// boundary. Returns whether any share changed.
+    fn repartition(&mut self, running: &[u64]) -> bool {
+        let caps: Vec<usize> = running
+            .iter()
+            .map(|&id| self.jobs[id as usize].spec.workers.unwrap_or(usize::MAX))
+            .collect();
+        let shares = partition(self.cfg.budget, &caps);
+        let mut changed = false;
+        for (&id, &s) in running.iter().zip(shares.iter()) {
+            if self.jobs[id as usize].share.swap(s, Ordering::Relaxed) != s {
+                changed = true;
+            }
+        }
+        if changed {
+            if let Some(tl) = &self.sched_tl {
+                tl.instant("resize", Category::Phase);
+            }
+        }
+        if let Some(tl) = &self.sched_tl {
+            tl.counter("busy_workers", shares.iter().sum::<usize>() as f64);
+        }
+        changed
+    }
+
+    fn emit_occupancy(&self, running: usize) {
+        if let Some(tl) = &self.sched_tl {
+            tl.counter("queue_depth", self.queue.len() as f64);
+            tl.counter("running_jobs", running as f64);
+        }
+    }
+
+    /// Drive the ensemble to completion: admit while worker slots are
+    /// free, react to completions, repartition the pool on every arrival
+    /// and departure. Returns the ledger in submission order.
+    pub fn run(&mut self) -> Vec<JobRecord> {
+        let budget = self.cfg.budget.max(1);
+        let (tx, rx) = mpsc::channel::<(u64, ThreadOutcome)>();
+        let mut handles: HashMap<u64, JoinHandle<()>> = HashMap::new();
+        let mut running: Vec<u64> = Vec::new();
+        loop {
+            while running.len() < budget {
+                let Some(id) = self.queue.pop() else { break };
+                let idx = id as usize;
+                self.jobs[idx].state = JobState::Admitted;
+                self.jobs[idx].admitted = Some(Instant::now());
+                running.push(id);
+                self.repartition(&running);
+                let handle = self.spawn_job(id, tx.clone());
+                handles.insert(id, handle);
+                self.jobs[idx].state = JobState::Running;
+            }
+            self.emit_occupancy(running.len());
+            if running.is_empty() {
+                break;
+            }
+            let Ok((id, outcome)) = rx.recv() else { break };
+            if let Some(h) = handles.remove(&id) {
+                let _ = h.join();
+            }
+            running.retain(|&r| r != id);
+            self.finalize_run(id as usize, outcome);
+            if !running.is_empty() {
+                self.repartition(&running);
+            }
+            self.emit_occupancy(running.len());
+        }
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                // Every job that entered the system has a record by now;
+                // defend against future states without panicking.
+                e.record.clone().or_else(|| {
+                    e.state.is_terminal().then(|| JobRecord {
+                        id: i as u64,
+                        job: e.name.clone(),
+                        case: e.spec.case.clone(),
+                        priority: e.spec.priority,
+                        state: e.state,
+                        steps: 0,
+                        sim_time: 0.0,
+                        wall_ms: 0.0,
+                        wait_ms: 0.0,
+                        cpu_ms: 0.0,
+                        worker_seconds: 0.0,
+                        final_share: 0,
+                        resizes: 0,
+                        reason: None,
+                        output: None,
+                    })
+                })
+            })
+            .collect()
+    }
+
+    fn finalize_run(&mut self, idx: usize, o: ThreadOutcome) {
+        let e = &mut self.jobs[idx];
+        e.state = o.state;
+        let wall = e.submitted.elapsed().as_secs_f64() * 1e3;
+        let wait = e
+            .admitted
+            .map(|a| (a - e.submitted).as_secs_f64() * 1e3)
+            .unwrap_or(wall);
+        e.record = Some(JobRecord {
+            id: idx as u64,
+            job: e.name.clone(),
+            case: e.spec.case.clone(),
+            priority: e.spec.priority,
+            state: o.state,
+            steps: o.steps,
+            sim_time: o.sim_time,
+            wall_ms: wall,
+            wait_ms: wait,
+            cpu_ms: o.cpu_ms,
+            worker_seconds: o.worker_seconds,
+            final_share: o.final_share,
+            resizes: o.resizes,
+            reason: o.reason,
+            output: o.output,
+        });
+    }
+
+    fn spawn_job(&self, id: u64, tx: mpsc::Sender<(u64, ThreadOutcome)>) -> JoinHandle<()> {
+        let e = &self.jobs[id as usize];
+        let args = JobArgs {
+            case: e.case.clone(),
+            name: e.name.clone(),
+            share: Arc::clone(&e.share),
+            cancel: Arc::clone(&e.cancel),
+            deadline: e.spec.deadline_ms.map(Duration::from_millis),
+            cancel_at_step: e.spec.cancel_at_step,
+            fault_at_step: e.spec.fault_at_step,
+            out_dir: self.cfg.out_dir.join(format!("{id:02}_{}", e.name)),
+            write_checkpoint: self.cfg.write_checkpoints,
+            handle: self.tracer.as_ref().map(|t| t.handle(1 + id as usize)),
+        };
+        std::thread::spawn(move || {
+            // Per-job isolation even against a panic: the server process
+            // and the sibling jobs must survive anything a job does.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_job(args)))
+                .unwrap_or_else(|p| {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "job thread panicked".into());
+                    ThreadOutcome {
+                        state: JobState::Failed,
+                        steps: 0,
+                        sim_time: 0.0,
+                        cpu_ms: 0.0,
+                        worker_seconds: 0.0,
+                        final_share: 0,
+                        resizes: 0,
+                        reason: Some(format!("panic: {msg}")),
+                        output: None,
+                    }
+                });
+            let _ = tx.send((id, outcome));
+        })
+    }
+}
+
+struct JobArgs {
+    case: CaseFile,
+    name: String,
+    share: Arc<AtomicUsize>,
+    cancel: Arc<AtomicBool>,
+    deadline: Option<Duration>,
+    cancel_at_step: Option<u64>,
+    fault_at_step: Option<u64>,
+    out_dir: PathBuf,
+    write_checkpoint: bool,
+    handle: Option<Arc<TraceHandle>>,
+}
+
+/// Poison the conservative state so the next step trips the
+/// numerical-health watchdog — the injected "fatal fault" of the
+/// isolation tests, driven through the solver's real error path.
+fn poison_state(solver: &mut Solver) {
+    let dom = *solver.domain();
+    let slot = dom.eq.energy();
+    let cell = dom.interior().next();
+    if let Some((i, j, k)) = cell {
+        solver.state_mut().set(i, j, k, slot, f64::NAN);
+    }
+}
+
+fn run_job(args: JobArgs) -> ThreadOutcome {
+    let service_start = Instant::now();
+    let fail = |reason: String| ThreadOutcome {
+        state: JobState::Failed,
+        steps: 0,
+        sim_time: 0.0,
+        cpu_ms: service_start.elapsed().as_secs_f64() * 1e3,
+        worker_seconds: 0.0,
+        final_share: 0,
+        resizes: 0,
+        reason: Some(reason),
+        output: None,
+    };
+    // Already validated at admission; a failure here is still isolated.
+    let case = match args.case.to_case() {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let cfg = match args.case.numerics.to_solver_config() {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let mut share = args.share.load(Ordering::Relaxed).max(1);
+    let mut ctx = Context::with_workers(share).with_vector_width(cfg.vector_width);
+    if let Some(h) = &args.handle {
+        ctx.set_tracer(Arc::clone(h));
+    }
+    let job_span = args.handle.as_ref().map(|h| h.span("job", Category::Phase));
+    if let Some(h) = &args.handle {
+        h.instant("admit", Category::Phase);
+    }
+    let mut solver = Solver::new(&case, cfg, ctx);
+    let t_end = args.case.run.t_end.unwrap_or(f64::INFINITY);
+    let budget_steps = if args.case.run.steps == 0 {
+        u64::MAX
+    } else {
+        args.case.run.steps as u64
+    };
+
+    let mut resizes = 0u64;
+    let mut worker_seconds = 0.0f64;
+    let mut last = Instant::now();
+    let mut stop_as: Option<JobState> = None;
+    let mut fault_pending = args.fault_at_step;
+    let mut err: Option<String> = None;
+
+    while solver.time() < t_end && solver.steps() < budget_steps {
+        if fault_pending == Some(solver.steps()) {
+            poison_state(&mut solver);
+            fault_pending = None;
+        }
+        // One step per call keeps every scheduler check (cancel,
+        // deadline, elastic resize) on the step boundary, via the
+        // solver's own cooperative control hook.
+        let mut ctrl = |_taken: u64, abs: u64| -> StepControl {
+            let now = Instant::now();
+            worker_seconds += share as f64 * (now - last).as_secs_f64();
+            last = now;
+            if args.cancel.load(Ordering::Relaxed) || args.cancel_at_step.is_some_and(|c| abs >= c)
+            {
+                stop_as = Some(JobState::Cancelled);
+                return StepControl::Stop;
+            }
+            if args.deadline.is_some_and(|d| service_start.elapsed() >= d) {
+                stop_as = Some(JobState::TimedOut);
+                return StepControl::Stop;
+            }
+            let target = args.share.load(Ordering::Relaxed).max(1);
+            if target != share {
+                share = target;
+                resizes += 1;
+                return StepControl::Resize(target);
+            }
+            StepControl::Continue
+        };
+        match solver.run_controlled(1, &mut ctrl) {
+            Ok(0) => break, // the controller said Stop
+            Ok(_) => {}
+            Err(e) => {
+                err = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    worker_seconds += share as f64 * last.elapsed().as_secs_f64();
+    solver.context().flush_ledger_to_trace();
+
+    let (state, reason) = match (err, stop_as) {
+        (Some(e), _) => (JobState::Failed, Some(e)),
+        (None, Some(JobState::Cancelled)) => (
+            JobState::Cancelled,
+            Some(format!("cancelled at step {}", solver.steps())),
+        ),
+        (None, Some(JobState::TimedOut)) => (
+            JobState::TimedOut,
+            Some(format!("deadline exceeded at step {}", solver.steps())),
+        ),
+        _ => (JobState::Done, None),
+    };
+    if let Some(h) = &args.handle {
+        match state {
+            JobState::Cancelled => h.instant("cancel", Category::Phase),
+            JobState::TimedOut => h.instant("deadline", Category::Phase),
+            JobState::Failed => h.instant("job_failed", Category::Phase),
+            _ => {}
+        }
+    }
+    drop(job_span);
+
+    // The job's bitwise-comparable artifact: its final state as a CRC'd
+    // checkpoint. Failed jobs write nothing (their state is the last
+    // accepted q^n, not a result).
+    let mut output = None;
+    let mut state = state;
+    let mut reason = reason;
+    if args.write_checkpoint && state != JobState::Failed {
+        let path = args.out_dir.join("final.ckpt");
+        let write = std::fs::create_dir_all(&args.out_dir)
+            .map_err(|e| format!("cannot create job output dir: {e}"))
+            .and_then(|()| {
+                save_checkpoint(&path, solver.state(), solver.time(), solver.steps())
+                    .map_err(|e| format!("checkpoint write failed: {e}"))
+            });
+        match write {
+            Ok(()) => output = Some(path),
+            Err(e) => {
+                // An I/O fault is the job's own failure, not the server's.
+                state = JobState::Failed;
+                reason = Some(format!("{} ({e})", args.name));
+            }
+        }
+    }
+
+    ThreadOutcome {
+        state,
+        steps: solver.steps(),
+        sim_time: solver.time(),
+        cpu_ms: service_start.elapsed().as_secs_f64() * 1e3,
+        worker_seconds,
+        final_share: share,
+        resizes,
+        reason,
+        output,
+    }
+}
+
+/// Write the ledger as JSON-lines: one [`JobRecord`] per line, in
+/// submission order.
+pub fn write_ledger(path: &Path, records: &[JobRecord]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for r in records {
+        let line = serde_json::to_string(r)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}

@@ -54,9 +54,130 @@ fn threads_per_rank(trace: &ParsedTrace) -> BTreeMap<u64, u64> {
     out
 }
 
+/// Scheduler view: rendered when the trace came from an ensemble run
+/// (`mfc-serve` / `mfc-sched`) — timeline 0 carries the scheduler's
+/// queue-depth / occupancy counters and resize instants, and each job's
+/// timeline carries a `job` span with admit/cancel/deadline/failure
+/// instants. Returns `None` for ordinary single-run traces.
+fn sched_view(trace: &ParsedTrace) -> Option<String> {
+    let mut max_queue: Option<f64> = None;
+    let mut occupancy: Vec<f64> = Vec::new();
+    let mut busy_max = 0.0f64;
+    let mut resize_instants = 0u64;
+    if let Some(events) = trace.ranks.get(&0) {
+        for e in events {
+            let val = |n: &str| e.args.get(n).and_then(|v| v.as_f64());
+            match (e.ph, e.name.as_str()) {
+                ('C', "queue_depth") => {
+                    if let Some(v) = val("queue_depth") {
+                        max_queue = Some(max_queue.unwrap_or(0.0).max(v));
+                    }
+                }
+                ('C', "running_jobs") => occupancy.extend(val("running_jobs")),
+                ('C', "busy_workers") => {
+                    if let Some(v) = val("busy_workers") {
+                        busy_max = busy_max.max(v);
+                    }
+                }
+                ('i', "resize") => resize_instants += 1,
+                _ => {}
+            }
+        }
+    }
+
+    struct JobRow {
+        rank: u64,
+        wall_us: f64,
+        kernels: u64,
+        share: u64,
+        resizes: u64,
+        outcome: &'static str,
+    }
+    let mut rows: Vec<JobRow> = Vec::new();
+    for (rank, events) in &trace.ranks {
+        let mut open: Option<f64> = None;
+        let mut wall_us = 0.0f64;
+        let mut seen_job = false;
+        let mut kernels = 0u64;
+        let mut thread_samples = 0u64;
+        let mut share = 0u64;
+        let mut outcome: &'static str = "done";
+        for e in events {
+            match (e.ph, e.name.as_str()) {
+                ('B', "job") => {
+                    seen_job = true;
+                    open = Some(e.ts_us);
+                }
+                ('E', "job") => {
+                    if let Some(t0) = open.take() {
+                        wall_us += e.ts_us - t0;
+                    }
+                }
+                ('X', _) if e.cat == "kernel" => kernels += 1,
+                ('C', "threads") => {
+                    if let Some(v) = e.args.get("threads").and_then(|v| v.as_f64()) {
+                        thread_samples += 1;
+                        share = v as u64;
+                    }
+                }
+                ('i', "cancel") => outcome = "cancelled",
+                ('i', "deadline") => outcome = "timed_out",
+                ('i', "job_failed") => outcome = "failed",
+                _ => {}
+            }
+        }
+        if seen_job {
+            rows.push(JobRow {
+                rank: *rank,
+                wall_us,
+                kernels,
+                share,
+                resizes: thread_samples.saturating_sub(1),
+                outcome,
+            });
+        }
+    }
+    if rows.is_empty() && max_queue.is_none() && occupancy.is_empty() {
+        return None;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "\nscheduler view (ensemble run):");
+    if let Some(q) = max_queue {
+        let mean_occ = if occupancy.is_empty() {
+            0.0
+        } else {
+            occupancy.iter().sum::<f64>() / occupancy.len() as f64
+        };
+        let _ = writeln!(
+            out,
+            "  queue depth max {q:.0}, mean running jobs {mean_occ:.2}, \
+             busy workers max {busy_max:.0}, pool resizes {resize_instants}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:>8} {:>12} {:>9} {:>11} {:>8} {:>10}",
+        "timeline", "job ms", "kernels", "final share", "resizes", "outcome"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "  {:>8} {:>12.3} {:>9} {:>11} {:>8} {:>10}",
+            r.rank,
+            r.wall_us / 1e3,
+            r.kernels,
+            r.share,
+            r.resizes,
+            r.outcome
+        );
+    }
+    Some(out)
+}
+
 /// Render the full report: per-kernel aggregate table (sorted by wall
-/// time), ledger reconciliation verdict, and the per-rank comm/compute
-/// split.
+/// time), ledger reconciliation verdict, the per-rank comm/compute
+/// split, and — for ensemble traces — the scheduler view.
 pub fn render(trace: &ParsedTrace) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "mfc-trace report — {} rank(s)", trace.ranks.len());
@@ -131,6 +252,10 @@ pub fn render(trace: &ParsedTrace) -> String {
             s.extent_us / 1e3,
             100.0 * s.comm_fraction()
         );
+    }
+
+    if let Some(view) = sched_view(trace) {
+        out.push_str(&view);
     }
 
     for (rank, n) in &trace.dropped {

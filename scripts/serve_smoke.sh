@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# Smoke-test the mfc-serve ensemble scheduler end-to-end through the CLI:
+#
+#   - a 4-job mixed-priority manifest with one operator cancellation and
+#     one injected fault runs to completion (exit 0), with per-job
+#     outcomes in the JSONL ledger: 2 done, 1 cancelled at its exact
+#     step boundary, 1 failed through the numerical-health watchdog;
+#   - completed (and deterministically-cancelled) jobs' checkpoints are
+#     byte-identical across worker budgets 1, 2, and 4 — elastic shares
+#     and queueing are numerically invisible;
+#   - the ensemble trace renders the scheduler view in mfc-trace-report;
+#   - admission control is typed: bad manifests and invalid jobs exit 2
+#     before anything runs, and `mfc-run --dry-run` (the same validation
+#     the scheduler reuses) honors the 0/2 exit contract.
+#
+# Run from the repo root: bash scripts/serve_smoke.sh
+set -u
+
+cargo build -q -p mfc-sched -p mfc-cli -p mfc-trace || exit 1
+SERVE=target/debug/mfc-serve
+RUN=target/debug/mfc-run
+REPORT=target/debug/mfc-trace-report
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+expect() { # expect <exit-code> <description> <cmd...>
+    local want=$1 desc=$2
+    shift 2
+    "$@" >"$TMP/out.log" 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc - expected exit $want, got $got"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+require_output() { # require_output <description> <grep-pattern>
+    if grep -q "$2" "$TMP/out.log"; then
+        echo "ok: $1"
+    else
+        echo "FAIL: $1 - output lacks '$2'"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    fi
+}
+
+require_ledger() { # require_ledger <description> <ledger> <grep-pattern>
+    if grep -q "$3" "$2"; then
+        echo "ok: $1"
+    else
+        echo "FAIL: $1 - ledger lacks '$3'"
+        sed 's/^/  | /' "$2"
+        fail=1
+    fi
+}
+
+cat >"$TMP/case.json" <<EOF
+{
+  "name": "smoke",
+  "fluids": [{ "gamma": 1.4, "pi_inf": 0.0 }],
+  "ndim": 1,
+  "cells": [64, 1, 1],
+  "lo": [0.0, 0.0, 0.0],
+  "hi": [1.0, 1.0, 1.0],
+  "bc": "transmissive",
+  "patches": [
+    { "region": "all",
+      "state": { "alpha": [1.0], "rho": [0.125], "vel": [0, 0, 0], "p": 0.1 } },
+    { "region": { "half_space": { "axis": 0, "bound": 0.5 } },
+      "state": { "alpha": [1.0], "rho": [1.0], "vel": [0, 0, 0], "p": 1.0 } }
+  ],
+  "numerics": { "order": "weno5", "solver": "hllc", "cfl": 0.5 },
+  "run": { "steps": 30 },
+  "output": { "dir": "$TMP/out_case", "vtk": false }
+}
+EOF
+
+manifest() { # manifest <out-dir>
+    cat <<EOF
+{
+  "budget": 2,
+  "out_dir": "$1",
+  "jobs": [
+    { "case": "$TMP/case.json", "name": "long",     "priority": 0, "max_steps": 30 },
+    { "case": "$TMP/case.json", "name": "urgent",   "priority": 5, "max_steps": 10 },
+    { "case": "$TMP/case.json", "name": "cancelme", "priority": 1, "max_steps": 30, "cancel_at_step": 4 },
+    { "case": "$TMP/case.json", "name": "faulty",   "priority": 1, "max_steps": 30, "fault_at_step": 3 }
+  ]
+}
+EOF
+}
+
+# --- the mixed ensemble: outcomes land in the ledger ----------------------
+manifest "$TMP/serve" >"$TMP/jobs.json"
+expect 0 "mixed 4-job ensemble exits 0" \
+    "$SERVE" --jobs "$TMP/jobs.json" --ledger "$TMP/ledger.jsonl" \
+    --trace "$TMP/trace.json"
+require_output "summary counts the completions" "2/4 done"
+
+L="$TMP/ledger.jsonl"
+if [ "$(wc -l <"$L")" -eq 4 ]; then
+    echo "ok: ledger has one JSONL row per job"
+else
+    echo "FAIL: ledger row count != 4"
+    fail=1
+fi
+require_ledger "long completes" "$L" '"job":"long".*"state":"done"'
+require_ledger "urgent completes" "$L" '"job":"urgent".*"state":"done"'
+require_ledger "cancelme stops cancelled at step 4" "$L" \
+    '"job":"cancelme".*"state":"cancelled","steps":4'
+require_ledger "faulty fails through the health watchdog" "$L" \
+    '"job":"faulty".*"state":"failed".*not_finite'
+
+ckpt="$TMP/serve/00_long/final.ckpt"
+if [ -f "$ckpt" ] && [ "$(head -c 8 "$ckpt")" = "MFCKPT01" ]; then
+    echo "ok: job checkpoint carries the MFCKPT01 magic"
+else
+    echo "FAIL: no MFCKPT01 checkpoint at $ckpt"
+    fail=1
+fi
+
+# --- the trace renders the scheduler view ---------------------------------
+expect 0 "trace report renders" "$REPORT" "$TMP/trace.json"
+require_output "report shows the scheduler view" "scheduler view"
+require_output "report shows queue depth" "queue depth max"
+
+# --- bitwise invariance across budgets 1, 2, 4 ----------------------------
+manifest "$TMP/serve_b1" >"$TMP/jobs_b1.json"
+manifest "$TMP/serve_b4" >"$TMP/jobs_b4.json"
+expect 0 "same manifest at --budget 1" \
+    "$SERVE" --jobs "$TMP/jobs_b1.json" --budget 1 --ledger "$TMP/l1.jsonl"
+expect 0 "same manifest at --budget 4" \
+    "$SERVE" --jobs "$TMP/jobs_b4.json" --budget 4 --ledger "$TMP/l4.jsonl"
+for job in 00_long 01_urgent 02_cancelme; do
+    for b in serve_b1 serve_b4; do
+        if cmp -s "$TMP/serve/$job/final.ckpt" "$TMP/$b/$job/final.ckpt"; then
+            echo "ok: $job checkpoint bitwise identical ($b vs budget 2)"
+        else
+            echo "FAIL: $job checkpoint differs between budgets ($b)"
+            fail=1
+        fi
+    done
+done
+
+# --- typed admission control ----------------------------------------------
+expect 2 "missing --jobs is a usage error" "$SERVE"
+echo '{ "jobs": "nope" }' >"$TMP/bad.json"
+expect 2 "malformed manifest exits 2" "$SERVE" --jobs "$TMP/bad.json"
+sed 's/"steps": 30/"steps": 30, "ranks": 2/' "$TMP/case.json" >"$TMP/multirank.json"
+cat >"$TMP/reject.json" <<EOF
+{ "jobs": [ { "case": "$TMP/multirank.json" } ] }
+EOF
+expect 2 "multi-rank job is rejected at admission" \
+    "$SERVE" --jobs "$TMP/reject.json"
+require_output "rejection names the job" "rejected at admission"
+
+# --- mfc-run --dry-run: the validation the scheduler reuses ---------------
+expect 0 "--dry-run admits the smoke case" "$RUN" "$TMP/case.json" --dry-run
+require_output "dry-run reports admissibility" "admissible"
+echo '{ "name": "broken" }' >"$TMP/broken.json"
+expect 2 "--dry-run rejects a broken case" "$RUN" "$TMP/broken.json" --dry-run
+
+if [ "$fail" -ne 0 ]; then
+    echo "serve smoke: FAILED"
+    exit 1
+fi
+echo "serve smoke: all checks passed"
