@@ -414,6 +414,22 @@ fn map_resilience_err(e: mfc_core::par::ResilienceError) -> RunError {
     }
 }
 
+/// Create `dir` (and parents) if needed and prove it is writable by
+/// creating and removing a probe file, typed as [`RunError::Io`]
+/// (exit 3). Long-running services call this at startup so an
+/// unwritable artifact directory fails *before* any job runs, not when
+/// the first result is flushed.
+pub fn ensure_writable_dir(dir: &Path) -> Result<(), RunError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| RunError::Io(format!("cannot create {}: {e}", dir.display())))?;
+    let probe = dir.join(format!(".mfc_write_probe_{}", std::process::id()));
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| RunError::Io(format!("{} is not writable: {e}", dir.display())))?;
+    std::fs::remove_file(&probe)
+        .map_err(|e| RunError::Io(format!("{} is not writable: {e}", dir.display())))?;
+    Ok(())
+}
+
 /// What [`dry_run`] validated, printed by `mfc-run --dry-run`.
 #[derive(Debug, Clone, Serialize)]
 pub struct DryRunReport {
@@ -510,8 +526,7 @@ pub fn run_case(case_file: &CaseFile) -> Result<RunSummary, RunError> {
         return Err(RunError::Config("io.wave must be at least 1".into()));
     }
 
-    std::fs::create_dir_all(&case_file.output.dir)
-        .map_err(|e| RunError::Io(format!("cannot create output dir: {e}")))?;
+    ensure_writable_dir(&case_file.output.dir)?;
 
     // One span tracer for the whole run; every rank registers its own
     // timeline against it. `None` keeps the per-launch fast path.
@@ -930,6 +945,18 @@ mod tests {
         // Checkpoint commits are recorded even without faults.
         assert!(resilient.resilience.contains("checkpoint"));
         let _ = std::fs::remove_dir_all(&cf.output.dir);
+    }
+
+    #[test]
+    fn ensure_writable_dir_rejects_unwritable_path_as_io() {
+        // A directory can never be created underneath a regular file;
+        // the failure must be the typed I/O variant (exit 3), caught at
+        // validation time rather than at first write.
+        let base = std::env::temp_dir().join(format!("mfc_cli_wprobe_{}", std::process::id()));
+        std::fs::write(&base, b"x").unwrap();
+        let err = ensure_writable_dir(&base.join("sub")).unwrap_err();
+        assert!(matches!(&err, RunError::Io(_)), "{err}");
+        let _ = std::fs::remove_file(&base);
     }
 
     #[test]

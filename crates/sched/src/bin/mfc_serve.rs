@@ -1,21 +1,27 @@
-//! `mfc-serve --jobs manifest.json` — run a job ensemble on a shared
-//! elastic worker budget and emit a JSONL results ledger.
+//! `mfc-serve` — run a job ensemble on a shared elastic worker budget
+//! and emit a JSONL results ledger.
+//!
+//! Two modes share one scheduler loop: **manifest mode** (`--jobs`)
+//! replays a fixed job list and exits when it drains; **daemon mode**
+//! (`--listen`) accepts jobs over TCP while the ensemble runs and exits
+//! only after a `drain` or `shutdown` command.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use mfc_sched::{write_ledger, JobSpec, JobState, SchedConfig, Scheduler};
+use mfc_sched::{write_ledger, JobSpec, JobState, SchedClient, SchedConfig, Scheduler, Server};
 use serde::Deserialize;
 
-const USAGE: &str = "usage: mfc-serve --jobs manifest.json [--budget W] \
+const USAGE: &str = "usage: mfc-serve (--jobs manifest.json | --listen ADDR) [--budget W] \
 [--queue-cap N] [--out-dir DIR] [--ledger PATH] [--trace PATH]";
 
 const HELP: &str = "\
 mfc-serve — deterministic ensemble scheduler for MFC case files
 
-usage: mfc-serve --jobs manifest.json [flags]
+usage: mfc-serve (--jobs manifest.json | --listen ADDR) [flags]
 
-The manifest lists jobs (case path + overrides) and optionally the
+Manifest mode runs a fixed job list and exits when it drains. The
+manifest lists jobs (case path + overrides) and optionally the
 scheduler knobs; command-line flags override the manifest:
 
   { \"budget\": 4, \"queue_cap\": 16, \"out_dir\": \"out/serve\",
@@ -23,30 +29,52 @@ scheduler knobs; command-line flags override the manifest:
       { \"case\": \"cases/sod.json\", \"priority\": 2, \"workers\": 2 },
       { \"case\": \"cases/sod.json\", \"name\": \"lowprio\", \"max_steps\": 40 } ] }
 
+Daemon mode (--listen 127.0.0.1:PORT; port 0 picks one) serves a
+line-delimited JSON protocol over TCP — one request object per line,
+one response line each:
+
+  {\"cmd\":\"submit\",\"job\":{\"case\":\"cases/sod.json\",\"max_steps\":20}}
+  {\"cmd\":\"status\"}          {\"cmd\":\"status\",\"id\":0}
+  {\"cmd\":\"cancel\",\"id\":0}   {\"cmd\":\"metrics\"}
+  {\"cmd\":\"drain\"}           {\"cmd\":\"shutdown\"}     {\"cmd\":\"ping\"}
+
+Submissions stream into the running ensemble and repartition the pool
+like any departure; `drain` closes admission and lets queued/running
+jobs finish; `shutdown` also cancels them cooperatively at step
+boundaries. Either way the ledger is flushed and the process exits 0.
+A manifest given alongside --listen is pre-submitted at startup. The
+bound address is printed as `listening on HOST:PORT`.
+
 Each job is validated at admission (the same deep check as
 `mfc-run --dry-run`); malformed jobs reject the manifest before anything
-runs. Running jobs share the worker budget elastically — shares are
-re-partitioned whenever a job arrives or finishes, applied only at step
-boundaries, and results stay bitwise identical to a standalone run at
-any share sequence. One job's failure (or injected fault, or panic)
-marks only that job Failed; siblings complete undisturbed.
+runs, and a rejected TCP submission is a typed error response on the
+same connection. Running jobs share the worker budget elastically —
+shares are re-partitioned whenever a job arrives or finishes, applied
+only at step boundaries, and results stay bitwise identical to a
+standalone run at any share sequence. One job's failure (or injected
+fault, or panic) marks only that job Failed; siblings complete
+undisturbed.
 
 flags:
   --help           print this help and exit
-  --jobs PATH      ensemble manifest (required)
+  --jobs PATH      ensemble manifest (required unless --listen is given)
+  --listen ADDR    daemon mode: accept TCP clients on ADDR
   --budget W       global worker budget shared by running jobs
   --queue-cap N    bounded admission-queue capacity
   --out-dir DIR    per-job artifacts under DIR/<id>_<name>/
   --ledger PATH    JSONL results ledger (default DIR/ledger.jsonl)
   --trace PATH     chrome-trace JSON of the whole ensemble: scheduler
-                   counters (queue_depth, running_jobs, busy_workers) on
-                   timeline 0, one timeline per job with its `job` span
-                   and kernel events; summarize with mfc-trace-report
+                   counters (queue_depth, running_jobs, busy_workers)
+                   and client connect/disconnect instants on timeline 0,
+                   one timeline per job with its `job` span and kernel
+                   events; summarize with mfc-trace-report
 
 exit codes:
-  0  the ensemble ran to completion (per-job outcomes are in the ledger)
+  0  the ensemble ran to completion / the daemon drained or shut down
+     (per-job outcomes are in the ledger)
   2  usage error, bad manifest, or a job rejected at admission
-  3  I/O failure writing the ledger or trace
+  3  I/O failure: unwritable --out-dir/--ledger (checked at startup),
+     bind failure, or a ledger/trace write error
 ";
 
 #[derive(Deserialize)]
@@ -69,9 +97,15 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+fn die_io(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(3)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs_path: Option<PathBuf> = None;
+    let mut listen: Option<String> = None;
     let mut budget: Option<usize> = None;
     let mut queue_cap: Option<usize> = None;
     let mut out_dir: Option<PathBuf> = None;
@@ -88,6 +122,10 @@ fn main() {
             "--jobs" => match it.next() {
                 Some(v) => jobs_path = Some(v.into()),
                 None => die("--jobs needs a manifest path"),
+            },
+            "--listen" => match it.next() {
+                Some(v) => listen = Some(v.clone()),
+                None => die("--listen needs an address (e.g. 127.0.0.1:0)"),
             },
             "--budget" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => budget = Some(n),
@@ -112,40 +150,68 @@ fn main() {
             other => die(&format!("unknown argument {other}")),
         }
     }
-    let Some(jobs_path) = jobs_path else {
-        die("--jobs manifest.json is required");
-    };
-    let text = match std::fs::read_to_string(&jobs_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", jobs_path.display());
-            std::process::exit(3);
+    if jobs_path.is_none() && listen.is_none() {
+        die("--jobs manifest.json or --listen ADDR is required");
+    }
+    let manifest: Option<Manifest> = jobs_path.as_ref().map(|path| {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => die_io(&format!("cannot read {}: {e}", path.display())),
+        };
+        match serde_json::from_str(&text) {
+            Ok(m) => m,
+            Err(e) => die(&format!("bad manifest: {e}")),
         }
-    };
-    let manifest: Manifest = match serde_json::from_str(&text) {
-        Ok(m) => m,
-        Err(e) => die(&format!("bad manifest: {e}")),
-    };
-    if manifest.jobs.is_empty() {
+    });
+    let manifest_jobs = manifest.as_ref().map(|m| m.jobs.len()).unwrap_or(0);
+    if listen.is_none() && manifest_jobs == 0 {
         die("manifest lists no jobs");
     }
 
     let defaults = SchedConfig::default();
     let cfg = SchedConfig {
-        budget: budget.or(manifest.budget).unwrap_or(defaults.budget),
+        budget: budget
+            .or(manifest.as_ref().and_then(|m| m.budget))
+            .unwrap_or(defaults.budget),
         queue_cap: queue_cap
-            .or(manifest.queue_cap)
-            .unwrap_or_else(|| manifest.jobs.len().max(defaults.queue_cap)),
-        aging_rounds: manifest.aging_rounds.unwrap_or(defaults.aging_rounds),
-        out_dir: out_dir.or(manifest.out_dir).unwrap_or(defaults.out_dir),
+            .or(manifest.as_ref().and_then(|m| m.queue_cap))
+            .unwrap_or_else(|| manifest_jobs.max(defaults.queue_cap)),
+        aging_rounds: manifest
+            .as_ref()
+            .and_then(|m| m.aging_rounds)
+            .unwrap_or(defaults.aging_rounds),
+        out_dir: out_dir
+            .or(manifest.as_ref().and_then(|m| m.out_dir.clone()))
+            .unwrap_or(defaults.out_dir),
         write_checkpoints: true,
     };
     let ledger_path = ledger.unwrap_or_else(|| cfg.out_dir.join("ledger.jsonl"));
+
+    // Fail unwritable artifact paths *now* — a daemon must not accept
+    // and run jobs for hours only to lose their records at the first
+    // ledger flush (typed I/O error, exit 3).
+    if let Err(e) = mfc_cli::ensure_writable_dir(&cfg.out_dir) {
+        die_io(&e.to_string());
+    }
+    if let Some(parent) = ledger_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = mfc_cli::ensure_writable_dir(parent) {
+            die_io(&e.to_string());
+        }
+    }
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&ledger_path)
+    {
+        die_io(&format!(
+            "cannot open ledger {}: {e}",
+            ledger_path.display()
+        ));
+    }
+
     println!(
         "serving {} job(s) on a budget of {} worker(s), queue cap {}",
-        manifest.jobs.len(),
-        cfg.budget,
-        cfg.queue_cap
+        manifest_jobs, cfg.budget, cfg.queue_cap
     );
 
     let tracer = trace.as_ref().map(|_| Arc::new(mfc_trace::Tracer::new()));
@@ -153,24 +219,31 @@ fn main() {
     if let Some(t) = &tracer {
         sched = sched.with_tracer(Arc::clone(t));
     }
-    for spec in manifest.jobs {
-        let label = spec
-            .name
-            .clone()
-            .unwrap_or_else(|| spec.case.display().to_string());
-        if let Err(e) = sched.submit(spec) {
-            eprintln!("error: {e}");
-            let _ = label;
-            std::process::exit(2);
+    if let Some(m) = manifest {
+        for spec in m.jobs {
+            if let Err(e) = sched.submit(spec) {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         }
     }
 
-    let records = sched.run();
+    let records = match &listen {
+        None => sched.run(),
+        Some(addr) => {
+            let (client, events) = SchedClient::pair();
+            let tl = tracer.as_ref().map(|t| t.handle(0));
+            let mut server = match Server::bind(addr, client.clone(), tl) {
+                Ok(s) => s,
+                Err(e) => die_io(&format!("cannot listen on {addr}: {e}")),
+            };
+            println!("listening on {}", server.addr());
+            let records = sched.serve(&client, events);
+            server.stop();
+            records
+        }
+    };
 
-    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
-        eprintln!("error: cannot create {}: {e}", cfg.out_dir.display());
-        std::process::exit(3);
-    }
     if let Err(e) = write_ledger(&ledger_path, &records) {
         eprintln!("error: ledger write failed: {e}");
         std::process::exit(3);

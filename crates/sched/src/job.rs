@@ -138,6 +138,13 @@ pub struct JobRecord {
     pub output: Option<PathBuf>,
 }
 
+/// Largest admissible `|priority|`. Priorities beyond this are rejected
+/// at admission: the queue's aging clock adds effective-priority points
+/// for as long as a job waits, and a daemon's clock runs for days — the
+/// bound keeps `priority + aged` representable (the arithmetic also
+/// saturates defensively, see [`crate::AdmissionQueue`]).
+pub const PRIORITY_LIMIT: i64 = 1_000_000_000;
+
 /// Typed scheduler failures. Admission problems are reported to the
 /// submitter; nothing in the scheduler panics on a bad job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,10 +154,35 @@ pub enum SchedError {
     /// The job failed admission-time validation (schema, bounds, halo
     /// extents, unsupported features) and was rejected at enqueue.
     Rejected { job: String, reason: String },
+    /// The job's priority lies outside `±PRIORITY_LIMIT` (aging could
+    /// push its effective priority out of range on a long-lived daemon).
+    PriorityOutOfRange { priority: i64, limit: i64 },
     /// No job with that id.
     UnknownJob { id: u64 },
     /// The job is already in a terminal state.
     Terminal { id: u64 },
+    /// The scheduler is draining: running jobs finish, new submissions
+    /// are refused.
+    Draining,
+    /// The scheduler has shut down (or its event loop is gone); no
+    /// further commands are served.
+    ShuttingDown,
+}
+
+impl SchedError {
+    /// Stable machine-readable tag, used as the wire protocol's error
+    /// `kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SchedError::QueueFull { .. } => "queue_full",
+            SchedError::Rejected { .. } => "rejected",
+            SchedError::PriorityOutOfRange { .. } => "priority_out_of_range",
+            SchedError::UnknownJob { .. } => "unknown_job",
+            SchedError::Terminal { .. } => "terminal",
+            SchedError::Draining => "draining",
+            SchedError::ShuttingDown => "shutting_down",
+        }
+    }
 }
 
 impl std::fmt::Display for SchedError {
@@ -165,8 +197,16 @@ impl std::fmt::Display for SchedError {
             SchedError::Rejected { job, reason } => {
                 write!(f, "job '{job}' rejected at admission: {reason}")
             }
+            SchedError::PriorityOutOfRange { priority, limit } => {
+                write!(
+                    f,
+                    "priority {priority} out of range (must be within ±{limit})"
+                )
+            }
             SchedError::UnknownJob { id } => write!(f, "unknown job id {id}"),
             SchedError::Terminal { id } => write!(f, "job {id} already reached a terminal state"),
+            SchedError::Draining => write!(f, "scheduler is draining; submission refused"),
+            SchedError::ShuttingDown => write!(f, "scheduler has shut down"),
         }
     }
 }

@@ -33,13 +33,29 @@
 //!   timeline carries its `job` span and kernel events —
 //!   `mfc-trace-report` renders these as the scheduler view.
 //!
-//! The `mfc-serve` binary drives all of this from a JSON manifest.
+//! Two front ends drive the same loop through the `mfc-serve` binary:
+//!
+//! * **manifest mode** — submit a JSON manifest up front, run the loop
+//!   with admission already closed ([`Scheduler::run`]), exit when the
+//!   pool drains (the PR 9 batch semantics);
+//! * **daemon mode** (`--listen`) — a [`server::Server`] accepts TCP
+//!   clients speaking the line-delimited JSON [`protocol`]
+//!   (`submit`/`status`/`cancel`/`metrics`/`drain`/`shutdown`), each
+//!   relayed into the live loop through a [`SchedClient`]
+//!   ([`Scheduler::serve`]): streaming admission repartitions the pool
+//!   exactly like a departure does, `drain` closes admission and lets
+//!   the ensemble finish, `shutdown` cancels cooperatively — either
+//!   way the ledger is flushed and the process exits 0.
 
 pub mod job;
 pub mod pool;
+pub mod protocol;
 pub mod queue;
 pub mod scheduler;
+pub mod server;
 
-pub use job::{JobRecord, JobSpec, JobState, SchedError};
+pub use job::{JobRecord, JobSpec, JobState, SchedError, PRIORITY_LIMIT};
+pub use protocol::{MetricsSnapshot, ProtocolError, Request, StatusRow};
 pub use queue::AdmissionQueue;
-pub use scheduler::{write_ledger, SchedConfig, Scheduler};
+pub use scheduler::{write_ledger, SchedClient, SchedConfig, SchedEvents, Scheduler};
+pub use server::Server;

@@ -3,32 +3,50 @@
 //!
 //! The partition is a pure function of `(budget, caps)` — like
 //! `gang_blocks` one layer down — so every repartition (on admission or
-//! completion) is deterministic and replayable. Every running job gets at
-//! least one worker; the remainder is dealt round-robin in admission
-//! order to jobs still under their elastic cap. Shares only change at
-//! step boundaries, where worker-count invariance makes the resize
-//! bitwise-safe.
+//! completion) is deterministic and replayable. Jobs that fit the budget
+//! get at least one worker; the remainder is dealt round-robin in
+//! admission order to jobs still under their elastic cap. Shares only
+//! change at step boundaries, where worker-count invariance makes the
+//! resize bitwise-safe.
+//!
+//! When the budget is smaller than the number of jobs, the jobs past the
+//! budget (in admission order) get a share of **0** — the partition
+//! never over-subscribes the budget to conjure a worker per job. The
+//! scheduler's dispatch loop enforces the matching invariant: a job is
+//! only admitted while `running < budget`, so a running job always holds
+//! a real share ≥ 1 and an unserviceable job stays queued instead of
+//! starting with workers it can never actually get.
 
 /// Worker shares for jobs in admission order, respecting per-job caps.
 ///
-/// Guarantees (for `caps.len() ≤ budget`): every share ≥ 1, shares sum to
-/// at most `budget`, no share exceeds `max(cap, 1)`, and the full budget
-/// is used whenever caps allow.
+/// Guarantees: shares sum to at most `max(budget, 1)`, no share exceeds
+/// `max(cap, 1)`, the first `min(n, budget)` jobs get a share ≥ 1 (later
+/// jobs get 0 — the caller must defer dispatching them), and the full
+/// budget is used whenever caps allow.
 pub fn partition(budget: usize, caps: &[usize]) -> Vec<usize> {
     let n = caps.len();
     if n == 0 {
         return Vec::new();
     }
-    let budget = budget.max(n);
-    let mut share = vec![1usize; n];
-    let mut left = budget - n;
+    let mut left = budget.max(1);
+    let mut share = vec![0usize; n];
+    // One worker each, in admission order, while the budget lasts. A job
+    // past the budget keeps 0 — dispatch must defer it, never start it.
+    for s in share.iter_mut() {
+        if left == 0 {
+            break;
+        }
+        *s = 1;
+        left -= 1;
+    }
+    // Deal the remainder round-robin to admitted jobs under their cap.
     while left > 0 {
         let mut gave = false;
         for i in 0..n {
             if left == 0 {
                 break;
             }
-            if share[i] < caps[i].max(1) {
+            if share[i] >= 1 && share[i] < caps[i].max(1) {
                 share[i] += 1;
                 left -= 1;
                 gave = true;
@@ -67,7 +85,26 @@ mod tests {
     }
 
     #[test]
-    fn every_job_keeps_one_worker_and_budget_is_respected() {
+    fn oversubscribed_budget_defers_instead_of_conjuring_workers() {
+        // Regression: with more jobs than budget the partition used to
+        // inflate the budget to hand every job a phantom worker,
+        // over-subscribing the pool (3 shares from a budget of 2). The
+        // jobs past the budget must get 0 so dispatch defers them.
+        assert_eq!(partition(2, &[usize::MAX; 3]), vec![1, 1, 0]);
+        assert_eq!(partition(1, &[4, 4, 4, 4]), vec![1, 0, 0, 0]);
+        for budget in 1..=6usize {
+            for n in 1..=9usize {
+                let s = partition(budget, &vec![usize::MAX; n]);
+                assert!(s.iter().sum::<usize>() <= budget.max(1), "{budget}/{n}");
+                for (i, &w) in s.iter().enumerate() {
+                    assert_eq!(w >= 1, i < budget.max(1), "{budget}/{n} share {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_admitted_job_keeps_one_worker_and_budget_is_respected() {
         for budget in 1..=12usize {
             for n in 1..=budget {
                 let caps = vec![3usize; n];

@@ -79,7 +79,12 @@ impl AdmissionQueue {
     }
 
     fn effective(&self, w: &Waiting) -> i64 {
-        w.priority + ((self.rounds - w.enq_round) / self.aging_rounds) as i64
+        // Saturating on both the u64→i64 narrowing and the add: admission
+        // bounds priorities to ±PRIORITY_LIMIT, but the queue itself must
+        // stay total even for a raw push with an extreme priority after
+        // the daemon's aging clock has run for a long time.
+        let aged = ((self.rounds - w.enq_round) / self.aging_rounds).min(i64::MAX as u64) as i64;
+        w.priority.saturating_add(aged)
     }
 
     /// Dispatch the job with the highest effective priority (FIFO on
@@ -149,6 +154,24 @@ mod tests {
             }
         }
         panic!("low-priority job starved for 32 rounds despite aging");
+    }
+
+    #[test]
+    fn extreme_priorities_age_without_overflow() {
+        // Regression: effective priority was computed with unchecked i64
+        // arithmetic, so an i64::MAX priority overflowed (debug panic /
+        // release wraparound to i64::MIN, inverting the order) as soon as
+        // the aging clock credited the waiter a single point.
+        let mut q = AdmissionQueue::new(8, 1);
+        q.push(0, i64::MAX).unwrap();
+        q.push(1, i64::MAX).unwrap();
+        q.push(2, i64::MIN).unwrap();
+        // First pop advances the clock; the second evaluates job 1 with
+        // one aged round, i.e. i64::MAX + 1 before the fix.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1), "saturated priority must still win");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

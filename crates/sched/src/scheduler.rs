@@ -1,5 +1,13 @@
 //! The ensemble scheduler: admission, dispatch, elastic repartition,
 //! isolation, and the results ledger.
+//!
+//! The dispatch core is an *open-system* event loop: one channel carries
+//! both job completions and external commands ([`SchedClient`]), so a
+//! `submit` arriving over TCP mid-ensemble repartitions the elastic pool
+//! exactly the way a departure does. Manifest mode ([`Scheduler::run`])
+//! is the same loop started in the draining state — admission is already
+//! closed, so it exits when the pre-submitted jobs finish, preserving
+//! the PR 9 batch semantics bit for bit.
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -16,8 +24,9 @@ use mfc_core::solver::StepControl;
 use mfc_core::Solver;
 use mfc_trace::{Category, TraceHandle, Tracer};
 
-use crate::job::{JobRecord, JobSpec, JobState, SchedError};
+use crate::job::{JobRecord, JobSpec, JobState, SchedError, PRIORITY_LIMIT};
 use crate::pool::partition;
+use crate::protocol::{MetricsSnapshot, StatusRow};
 use crate::queue::AdmissionQueue;
 
 /// Scheduler knobs. `budget` is the global worker pool partitioned
@@ -53,7 +62,7 @@ impl Default for SchedConfig {
 }
 
 /// What the job thread reports back to the dispatcher.
-struct ThreadOutcome {
+pub(crate) struct ThreadOutcome {
     state: JobState,
     steps: u64,
     sim_time: f64,
@@ -77,6 +86,101 @@ struct JobEntry {
     record: Option<JobRecord>,
 }
 
+/// A command injected into a live event loop, with its reply channel.
+pub(crate) enum Command {
+    Submit(Box<JobSpec>, mpsc::Sender<Result<u64, SchedError>>),
+    Cancel(u64, mpsc::Sender<Result<(), SchedError>>),
+    Status(Option<u64>, mpsc::Sender<Result<Vec<StatusRow>, SchedError>>),
+    Metrics(mpsc::Sender<MetricsSnapshot>),
+    Drain(mpsc::Sender<MetricsSnapshot>),
+    Shutdown(mpsc::Sender<MetricsSnapshot>),
+}
+
+/// Everything the event loop reacts to, multiplexed on one channel so
+/// job completions and client commands interleave in arrival order —
+/// no polling, no second wakeup path.
+pub(crate) enum Event {
+    Done(u64, ThreadOutcome),
+    Cmd(Command),
+}
+
+/// Cloneable, thread-safe handle into a live scheduler event loop.
+///
+/// Every method is a synchronous request/reply over the scheduler's
+/// event channel: safe to call from any number of server threads while
+/// jobs run. Once the loop exits (drain complete / shutdown), every
+/// method returns [`SchedError::ShuttingDown`].
+#[derive(Clone)]
+pub struct SchedClient {
+    tx: mpsc::Sender<Event>,
+}
+
+/// Receiving half of the event channel; feed it to
+/// [`Scheduler::serve`].
+pub struct SchedEvents(mpsc::Receiver<Event>);
+
+impl SchedClient {
+    /// A fresh command channel: hand the [`SchedClient`] to server
+    /// threads and the [`SchedEvents`] to [`Scheduler::serve`].
+    pub fn pair() -> (SchedClient, SchedEvents) {
+        let (tx, rx) = mpsc::channel();
+        (SchedClient { tx }, SchedEvents(rx))
+    }
+
+    fn send(&self, cmd: Command) -> Result<(), SchedError> {
+        self.tx
+            .send(Event::Cmd(cmd))
+            .map_err(|_| SchedError::ShuttingDown)
+    }
+
+    /// Validate and enqueue a job in the running ensemble (streaming
+    /// admission). Same typed rejections as [`Scheduler::submit`].
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SchedError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.send(Command::Submit(Box::new(spec), rtx))?;
+        rrx.recv().map_err(|_| SchedError::ShuttingDown)?
+    }
+
+    /// Cooperatively cancel a queued or running job.
+    pub fn cancel(&self, id: u64) -> Result<(), SchedError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.send(Command::Cancel(id, rtx))?;
+        rrx.recv().map_err(|_| SchedError::ShuttingDown)?
+    }
+
+    /// One row per job (or just `id`'s row).
+    pub fn status(&self, id: Option<u64>) -> Result<Vec<StatusRow>, SchedError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.send(Command::Status(id, rtx))?;
+        rrx.recv().map_err(|_| SchedError::ShuttingDown)?
+    }
+
+    /// Live occupancy and outcome counters.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, SchedError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.send(Command::Metrics(rtx))?;
+        rrx.recv().map_err(|_| SchedError::ShuttingDown)
+    }
+
+    /// Close admission; queued and running jobs still finish, then the
+    /// loop exits. Returns the snapshot at the moment drain began.
+    pub fn drain(&self) -> Result<MetricsSnapshot, SchedError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.send(Command::Drain(rtx))?;
+        rrx.recv().map_err(|_| SchedError::ShuttingDown)
+    }
+
+    /// Close admission *and* cancel every non-terminal job
+    /// cooperatively (queued jobs finalize as `Cancelled` immediately;
+    /// running jobs stop at their next step boundary), then the loop
+    /// exits and the caller flushes the ledger.
+    pub fn shutdown(&self) -> Result<MetricsSnapshot, SchedError> {
+        let (rtx, rrx) = mpsc::channel();
+        self.send(Command::Shutdown(rtx))?;
+        rrx.recv().map_err(|_| SchedError::ShuttingDown)
+    }
+}
+
 /// Deterministic ensemble execution engine (see the crate docs).
 ///
 /// Lifecycle: [`Scheduler::submit`] validates and queues jobs (typed
@@ -90,6 +194,8 @@ pub struct Scheduler {
     sched_tl: Option<Arc<TraceHandle>>,
     jobs: Vec<JobEntry>,
     queue: AdmissionQueue,
+    /// Admission closed: the loop exits once queue and pool are empty.
+    draining: bool,
 }
 
 impl Scheduler {
@@ -101,6 +207,7 @@ impl Scheduler {
             sched_tl: None,
             jobs: Vec::new(),
             queue,
+            draining: false,
         }
     }
 
@@ -122,6 +229,17 @@ impl Scheduler {
     /// are rejected here — at enqueue, not mid-ensemble — and a full
     /// queue pushes back with [`SchedError::QueueFull`].
     pub fn submit(&mut self, spec: JobSpec) -> Result<u64, SchedError> {
+        if self.draining {
+            return Err(SchedError::Draining);
+        }
+        // Range-contains rather than .abs(): i64::MIN has no absolute
+        // value and must still be a clean typed rejection.
+        if !(-PRIORITY_LIMIT..=PRIORITY_LIMIT).contains(&spec.priority) {
+            return Err(SchedError::PriorityOutOfRange {
+                priority: spec.priority,
+                limit: PRIORITY_LIMIT,
+            });
+        }
         let job_label = spec
             .name
             .clone()
@@ -260,15 +378,34 @@ impl Scheduler {
         }
     }
 
-    /// Drive the ensemble to completion: admit while worker slots are
-    /// free, react to completions, repartition the pool on every arrival
-    /// and departure. Returns the ledger in submission order.
+    /// Drive a pre-submitted manifest to completion (admission already
+    /// closed): admit while worker slots are free, react to
+    /// completions, repartition the pool on every arrival and
+    /// departure. Returns the ledger in submission order.
     pub fn run(&mut self) -> Vec<JobRecord> {
+        let (client, events) = SchedClient::pair();
+        self.draining = true;
+        self.serve_loop(&client, events)
+    }
+
+    /// Daemon mode: the same event loop with admission *open* — jobs
+    /// stream in through `SchedClient` handles (typically held by TCP
+    /// reader threads) while the ensemble runs, and the loop exits only
+    /// after a `drain` or `shutdown` command once the pool is idle.
+    /// Returns the ledger in submission order.
+    pub fn serve(&mut self, client: &SchedClient, events: SchedEvents) -> Vec<JobRecord> {
+        self.draining = false;
+        self.serve_loop(client, events)
+    }
+
+    fn serve_loop(&mut self, client: &SchedClient, events: SchedEvents) -> Vec<JobRecord> {
         let budget = self.cfg.budget.max(1);
-        let (tx, rx) = mpsc::channel::<(u64, ThreadOutcome)>();
         let mut handles: HashMap<u64, JoinHandle<()>> = HashMap::new();
         let mut running: Vec<u64> = Vec::new();
         loop {
+            // Dispatch: each admission holds a real share ≥ 1 because
+            // running stays strictly under the budget — the partition's
+            // zero-share tail is exactly the set of jobs left queued.
             while running.len() < budget {
                 let Some(id) = self.queue.pop() else { break };
                 let idx = id as usize;
@@ -276,25 +413,151 @@ impl Scheduler {
                 self.jobs[idx].admitted = Some(Instant::now());
                 running.push(id);
                 self.repartition(&running);
-                let handle = self.spawn_job(id, tx.clone());
+                let handle = self.spawn_job(id, client.tx.clone());
                 handles.insert(id, handle);
                 self.jobs[idx].state = JobState::Running;
             }
             self.emit_occupancy(running.len());
-            if running.is_empty() {
+            if self.draining && running.is_empty() && self.queue.is_empty() {
                 break;
             }
-            let Ok((id, outcome)) = rx.recv() else { break };
-            if let Some(h) = handles.remove(&id) {
-                let _ = h.join();
+            // Blocks until a job finishes or a client commands; with
+            // admission open and the pool idle this is the daemon's
+            // parked state. Err is unreachable while `client` lives —
+            // exit defensively rather than panic.
+            let Ok(event) = events.0.recv() else { break };
+            match event {
+                Event::Done(id, outcome) => {
+                    if let Some(h) = handles.remove(&id) {
+                        let _ = h.join();
+                    }
+                    running.retain(|&r| r != id);
+                    self.finalize_run(id as usize, outcome);
+                    if !running.is_empty() {
+                        self.repartition(&running);
+                    }
+                    self.emit_occupancy(running.len());
+                }
+                Event::Cmd(cmd) => self.handle_cmd(cmd, &running),
             }
-            running.retain(|&r| r != id);
-            self.finalize_run(id as usize, outcome);
-            if !running.is_empty() {
-                self.repartition(&running);
-            }
-            self.emit_occupancy(running.len());
         }
+        self.ledger()
+    }
+
+    /// Serve one client command against live state. Replies are
+    /// best-effort: a vanished requester must not take the loop down.
+    fn handle_cmd(&mut self, cmd: Command, running: &[u64]) {
+        match cmd {
+            Command::Submit(spec, reply) => {
+                let r = self.submit(*spec);
+                let _ = reply.send(r);
+            }
+            Command::Cancel(id, reply) => {
+                let r = self.cancel(id);
+                let _ = reply.send(r);
+            }
+            Command::Status(id, reply) => {
+                let _ = reply.send(self.status_rows(id));
+            }
+            Command::Metrics(reply) => {
+                let _ = reply.send(self.metrics(running));
+            }
+            Command::Drain(reply) => {
+                self.draining = true;
+                if let Some(tl) = &self.sched_tl {
+                    tl.instant("drain", Category::Phase);
+                }
+                let _ = reply.send(self.metrics(running));
+            }
+            Command::Shutdown(reply) => {
+                self.draining = true;
+                if let Some(tl) = &self.sched_tl {
+                    tl.instant("shutdown", Category::Phase);
+                }
+                // Queued jobs finalize as Cancelled right now; running
+                // jobs observe their flag at the next step boundary and
+                // come back through Event::Done like any completion.
+                let queued: Vec<u64> = self
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.state == JobState::Queued)
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                for id in queued {
+                    let _ = self.cancel(id);
+                }
+                for &id in running {
+                    self.jobs[id as usize].cancel.store(true, Ordering::Relaxed);
+                }
+                let _ = reply.send(self.metrics(running));
+            }
+        }
+    }
+
+    /// The live snapshot served by the `metrics` command — computed
+    /// from the same state the trace counters record, so the wire view
+    /// and the trace view cannot disagree.
+    fn metrics(&self, running: &[u64]) -> MetricsSnapshot {
+        let budget = self.cfg.budget.max(1);
+        let busy: usize = running
+            .iter()
+            .map(|&id| self.jobs[id as usize].share.load(Ordering::Relaxed))
+            .sum::<usize>()
+            .min(budget);
+        let mut done = 0u64;
+        let mut failed = 0u64;
+        let mut cancelled = 0u64;
+        let mut timed_out = 0u64;
+        let mut worker_seconds = 0.0f64;
+        for e in &self.jobs {
+            match e.state {
+                JobState::Done => done += 1,
+                JobState::Failed => failed += 1,
+                JobState::Cancelled => cancelled += 1,
+                JobState::TimedOut => timed_out += 1,
+                _ => {}
+            }
+            if let Some(r) = &e.record {
+                worker_seconds += r.worker_seconds;
+            }
+        }
+        MetricsSnapshot {
+            budget,
+            queued: self.queue.len(),
+            running: running.len(),
+            busy_workers: busy,
+            idle_workers: budget - busy,
+            submitted: self.jobs.len() as u64,
+            done,
+            failed,
+            cancelled,
+            timed_out,
+            worker_seconds,
+            draining: self.draining,
+        }
+    }
+
+    fn status_rows(&self, id: Option<u64>) -> Result<Vec<StatusRow>, SchedError> {
+        let row = |idx: usize| {
+            let e = &self.jobs[idx];
+            StatusRow {
+                id: idx as u64,
+                job: e.name.clone(),
+                state: e.state,
+                steps: e.record.as_ref().map(|r| r.steps),
+                reason: e.record.as_ref().and_then(|r| r.reason.clone()),
+                output: e.record.as_ref().and_then(|r| r.output.clone()),
+            }
+        };
+        match id {
+            Some(id) if (id as usize) < self.jobs.len() => Ok(vec![row(id as usize)]),
+            Some(id) => Err(SchedError::UnknownJob { id }),
+            None => Ok((0..self.jobs.len()).map(row).collect()),
+        }
+    }
+
+    fn ledger(&self) -> Vec<JobRecord> {
         self.jobs
             .iter()
             .enumerate()
@@ -351,7 +614,7 @@ impl Scheduler {
         });
     }
 
-    fn spawn_job(&self, id: u64, tx: mpsc::Sender<(u64, ThreadOutcome)>) -> JoinHandle<()> {
+    fn spawn_job(&self, id: u64, tx: mpsc::Sender<Event>) -> JoinHandle<()> {
         let e = &self.jobs[id as usize];
         let args = JobArgs {
             case: e.case.clone(),
@@ -387,7 +650,7 @@ impl Scheduler {
                         output: None,
                     }
                 });
-            let _ = tx.send((id, outcome));
+            let _ = tx.send(Event::Done(id, outcome));
         })
     }
 }

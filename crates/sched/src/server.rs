@@ -1,0 +1,187 @@
+//! TCP front end for the daemonized scheduler: `std::net` only, one
+//! blocking accept thread plus one reader thread per client.
+//!
+//! Each connection speaks the line-delimited JSON protocol of
+//! [`crate::protocol`]; every frame is answered on the same connection
+//! in order. Client misbehavior is contained by construction:
+//!
+//! * a malformed frame gets a typed `malformed_frame` error *response*
+//!   and the connection stays open;
+//! * a disconnect mid-frame (bytes without a final newline at EOF) is
+//!   detected and dropped — there is no peer left to answer;
+//! * a reader thread only ever touches its own connection and a cloned
+//!   [`SchedClient`], so nothing a client does can reach the scheduler
+//!   loop except as a typed command.
+//!
+//! With a tracer attached, `client_connect` / `client_disconnect`
+//! instants land on the scheduler timeline (0), interleaved with the
+//! queue-depth and occupancy counters — `mfc-trace-report` counts them
+//! in the scheduler view.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use mfc_trace::{Category, TraceHandle};
+use serde_json::json;
+
+use crate::protocol::{self, Request};
+use crate::scheduler::SchedClient;
+
+/// A listening daemon front end. Binding succeeds before any client
+/// traffic; [`Server::stop`] (also run on drop) unblocks the accept
+/// loop and joins it.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// accepting clients, each served by its own reader thread holding
+    /// a clone of `sched`.
+    pub fn bind(
+        addr: &str,
+        sched: SchedClient,
+        tl: Option<Arc<TraceHandle>>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("mfc-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let sched = sched.clone();
+                    let tl = tl.clone();
+                    // Reader threads are detached: they exit on their
+                    // client's EOF, and after the scheduler loop ends
+                    // every command they relay answers ShuttingDown.
+                    let _ = std::thread::Builder::new()
+                        .name("mfc-serve-client".into())
+                        .spawn(move || serve_client(stream, &sched, tl.as_deref()));
+                }
+            })?;
+        Ok(Server {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new clients and join the accept thread. Existing
+    /// connections keep their reader threads until they disconnect;
+    /// their commands fail typed once the scheduler loop is gone.
+    pub fn stop(&mut self) {
+        if let Some(h) = self.accept.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            // The accept loop blocks in `incoming()`; a throwaway
+            // connection wakes it to observe the stop flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_client(stream: TcpStream, sched: &SchedClient, tl: Option<&TraceHandle>) {
+    if let Some(tl) = tl {
+        tl.instant("client_connect", Category::Phase);
+    }
+    let mut disconnect_kind = "client_disconnect";
+    if let Ok(read_half) = stream.try_clone() {
+        let mut reader = BufReader::new(read_half);
+        let mut out = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break, // clean EOF
+                Ok(_) if !line.ends_with('\n') => {
+                    // Bytes but no newline before EOF: the client died
+                    // mid-frame. Nothing is answerable — drop the
+                    // partial frame, never feed it to the scheduler.
+                    disconnect_kind = "client_disconnect_midframe";
+                    break;
+                }
+                Ok(_) => {
+                    if line.trim().is_empty() {
+                        continue; // blank keep-alive line
+                    }
+                    let resp = handle_line(&line, sched);
+                    if out
+                        .write_all(resp.as_bytes())
+                        .and_then(|()| out.write_all(b"\n"))
+                        .and_then(|()| out.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    if let Some(tl) = tl {
+        tl.instant(disconnect_kind, Category::Phase);
+    }
+}
+
+/// One frame in, one response line out (no trailing newline).
+pub fn handle_line(line: &str, sched: &SchedClient) -> String {
+    let req = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return protocol::error_response(&e),
+    };
+    match req {
+        Request::Submit(spec) => match sched.submit(spec) {
+            Ok(id) => protocol::ok_response(json!({ "id": id })),
+            Err(e) => protocol::error_response(&e.into()),
+        },
+        Request::Status(id) => match sched.status(id) {
+            Ok(rows) => protocol::ok_response(json!({ "jobs": serde_json::to_value(&rows) })),
+            Err(e) => protocol::error_response(&e.into()),
+        },
+        Request::Cancel(id) => match sched.cancel(id) {
+            Ok(()) => protocol::ok_response(json!({ "cancelled": id })),
+            Err(e) => protocol::error_response(&e.into()),
+        },
+        Request::Metrics => match sched.metrics() {
+            Ok(m) => protocol::ok_response(json!({ "metrics": serde_json::to_value(&m) })),
+            Err(e) => protocol::error_response(&e.into()),
+        },
+        Request::Drain => match sched.drain() {
+            Ok(m) => protocol::ok_response(json!({
+                "draining": true,
+                "metrics": serde_json::to_value(&m)
+            })),
+            Err(e) => protocol::error_response(&e.into()),
+        },
+        Request::Shutdown => match sched.shutdown() {
+            Ok(m) => protocol::ok_response(json!({
+                "shutting_down": true,
+                "metrics": serde_json::to_value(&m)
+            })),
+            Err(e) => protocol::error_response(&e.into()),
+        },
+        Request::Ping => protocol::ok_response(json!({ "pong": true })),
+    }
+}

@@ -158,6 +158,29 @@ pub struct ParsedTrace {
     pub dropped: BTreeMap<u64, u64>,
 }
 
+/// Integer attributes every `cat: "kernel"` X event must carry.
+const KERNEL_COUNT_ARGS: &[&str] = &["items", "gangs", "lanes"];
+/// Float attributes every `cat: "kernel"` X event must carry.
+const KERNEL_FLOAT_ARGS: &[&str] = &["flops", "bytes_read", "bytes_written"];
+
+/// A kernel event with missing or non-numeric analytic attributes is a
+/// malformed document, not a zero: the roofline/ledger cross-checks
+/// downstream would otherwise aggregate garbage silently (and lookups
+/// that assume the args must never be able to panic on foreign files).
+fn check_kernel_args(args: &Map) -> Result<(), String> {
+    for key in KERNEL_COUNT_ARGS {
+        if args.get(key).and_then(Value::as_u64).is_none() {
+            return Err(format!("kernel event missing numeric arg '{key}'"));
+        }
+    }
+    for key in KERNEL_FLOAT_ARGS {
+        if args.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("kernel event missing numeric arg '{key}'"));
+        }
+    }
+    Ok(())
+}
+
 /// Decode a chrome-trace JSON string produced by [`export`].
 pub fn parse_str(s: &str) -> Result<ParsedTrace, String> {
     let root: Value = serde_json::from_str(s).map_err(|e| format!("not JSON: {e}"))?;
@@ -201,6 +224,9 @@ pub fn parse_str(s: &str) -> Result<ParsedTrace, String> {
                 .cloned()
                 .unwrap_or_default(),
         };
+        if parsed.ph == 'X' && parsed.cat == "kernel" {
+            check_kernel_args(&parsed.args).map_err(|e| format!("event {i}: {e}"))?;
+        }
         out.ranks.entry(tid).or_default().push(parsed);
     }
     if let Some(meta) = root.get("metadata") {
@@ -265,6 +291,12 @@ pub fn validate_schema(root: &Value) -> Vec<String> {
         }
         if ph == "X" && obj.get("dur").and_then(Value::as_f64).is_none() {
             errs.push(format!("event {i}: X event missing dur"));
+        }
+        if ph == "X" && obj.get("cat").and_then(Value::as_str) == Some("kernel") {
+            let args = obj.get("args").and_then(Value::as_object).cloned();
+            if let Err(e) = check_kernel_args(&args.unwrap_or_default()) {
+                errs.push(format!("event {i}: {e}"));
+            }
         }
         if ph == "C"
             && obj
@@ -359,6 +391,45 @@ mod tests {
         let errs = validate_schema(&bad);
         assert!(errs.iter().any(|e| e.contains("unknown ph")));
         assert!(errs.iter().any(|e| e.contains("missing name")));
+    }
+
+    #[test]
+    fn kernel_event_with_bad_args_is_a_typed_parse_error() {
+        // Regression: a well-formed chrome-trace document whose kernel
+        // event lacks (or mistypes) the analytic args used to sail
+        // through parsing, leaving downstream arg lookups to abort or
+        // silently aggregate zeros. It must be a typed parse error and
+        // a schema violation so `mfc-trace-report --validate` rejects.
+        let doc = |args: Value| {
+            json!({
+                "traceEvents": json!([json!({
+                    "name": "weno_x", "cat": "kernel", "ph": "X",
+                    "ts": 0.0, "dur": 1.0, "pid": 0u64, "tid": 0u64,
+                    "args": args
+                })]),
+                "metadata": json!({"ledger": json!({}), "dropped": json!({})})
+            })
+        };
+        let missing = doc(json!({
+            "seq": 0u64, "items": 10u64, "gangs": 1u64, "lanes": 1u64
+        })); // no flops/bytes at all
+        let non_numeric = doc(json!({
+            "seq": 0u64, "items": 10u64, "gangs": 1u64, "lanes": 1u64,
+            "flops": "lots", "bytes_read": 1.0, "bytes_written": 1.0
+        }));
+        for bad in [&missing, &non_numeric] {
+            let text = serde_json::to_string(bad).unwrap();
+            let err = parse_str(&text).unwrap_err();
+            assert!(err.contains("kernel event missing numeric arg"), "{err}");
+            let errs = validate_schema(bad);
+            assert!(
+                errs.iter().any(|e| e.contains("numeric arg")),
+                "{errs:?}"
+            );
+        }
+        // The exporter's own output still parses, so strictness cannot
+        // reject a healthy trace.
+        assert!(parse_str(&export_to_string(&sample())).is_ok());
     }
 
     #[test]

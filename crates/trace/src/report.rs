@@ -64,6 +64,9 @@ fn sched_view(trace: &ParsedTrace) -> Option<String> {
     let mut occupancy: Vec<f64> = Vec::new();
     let mut busy_max = 0.0f64;
     let mut resize_instants = 0u64;
+    let mut connects = 0u64;
+    let mut disconnects = 0u64;
+    let mut drains = 0u64;
     if let Some(events) = trace.ranks.get(&0) {
         for e in events {
             let val = |n: &str| e.args.get(n).and_then(|v| v.as_f64());
@@ -80,6 +83,11 @@ fn sched_view(trace: &ParsedTrace) -> Option<String> {
                     }
                 }
                 ('i', "resize") => resize_instants += 1,
+                ('i', "client_connect") => connects += 1,
+                ('i', "client_disconnect") | ('i', "client_disconnect_midframe") => {
+                    disconnects += 1
+                }
+                ('i', "drain") | ('i', "shutdown") => drains += 1,
                 _ => {}
             }
         }
@@ -155,6 +163,13 @@ fn sched_view(trace: &ParsedTrace) -> Option<String> {
              busy workers max {busy_max:.0}, pool resizes {resize_instants}"
         );
     }
+    if connects > 0 || disconnects > 0 {
+        let _ = writeln!(
+            out,
+            "  daemon clients — {connects} connect(s), {disconnects} disconnect(s), \
+             {drains} drain/shutdown command(s)"
+        );
+    }
     let _ = writeln!(
         out,
         "  {:>8} {:>12} {:>9} {:>11} {:>8} {:>10}",
@@ -192,7 +207,7 @@ pub fn render(trace: &ParsedTrace) -> String {
 
     let totals = job_totals(trace);
     let mut rows: Vec<(&String, &KernelAgg)> = totals.iter().collect();
-    rows.sort_by(|a, b| b.1.wall_us.partial_cmp(&a.1.wall_us).unwrap());
+    rows.sort_by(|a, b| b.1.wall_us.total_cmp(&a.1.wall_us));
     let total_wall: f64 = rows.iter().map(|(_, a)| a.wall_us).sum();
     let _ = writeln!(out, "\nper-kernel aggregate (all ranks):");
     let _ = writeln!(
@@ -309,6 +324,23 @@ mod tests {
         assert!(text.contains("OK — traced per-kernel totals match"));
         assert!(text.contains("comm/compute split"));
         assert!(text.contains("rank"));
+    }
+
+    #[test]
+    fn sched_view_counts_daemon_clients() {
+        let tracer = Tracer::new();
+        let h = tracer.handle(0);
+        h.counter("queue_depth", 1.0);
+        h.instant("client_connect", Category::Phase);
+        h.instant("client_connect", Category::Phase);
+        h.instant("client_disconnect", Category::Phase);
+        h.instant("client_disconnect_midframe", Category::Phase);
+        h.instant("drain", Category::Phase);
+        let parsed = parse_str(&export_to_string(&tracer.snapshot())).unwrap();
+        let text = render(&parsed);
+        assert!(text.contains("2 connect(s)"), "{text}");
+        assert!(text.contains("2 disconnect(s)"), "{text}");
+        assert!(text.contains("1 drain/shutdown command(s)"), "{text}");
     }
 
     #[test]

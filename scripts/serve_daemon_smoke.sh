@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Smoke-test the mfc-serve daemon end-to-end through the CLI:
+#
+#   - `--listen 127.0.0.1:0` binds an ephemeral port and announces it as
+#     `listening on HOST:PORT` on stdout;
+#   - jobs streamed over TCP (bash /dev/tcp, one JSON frame per line)
+#     are admitted into the running ensemble, `metrics` reflects them,
+#     and `drain` closes admission and exits 0 with a complete ledger;
+#   - the streamed job's checkpoint is byte-identical to the same job
+#     run in manifest mode — the transport is numerically invisible;
+#   - malformed frames get typed `malformed_frame` error responses on a
+#     connection that survives them;
+#   - startup validation is typed: an unwritable --out-dir or --ledger
+#     exits 3 before the daemon accepts anything.
+#
+# Run from the repo root: bash scripts/serve_daemon_smoke.sh
+set -u
+
+cargo build -q -p mfc-sched -p mfc-cli || exit 1
+SERVE=target/debug/mfc-serve
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null' EXIT
+
+fail=0
+expect() { # expect <exit-code> <description> <cmd...>
+    local want=$1 desc=$2
+    shift 2
+    "$@" >"$TMP/out.log" 2>&1
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc - expected exit $want, got $got"
+        sed 's/^/  | /' "$TMP/out.log"
+        fail=1
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+require_output() { # require_output <description> <grep-pattern> [file]
+    local file=${3:-$TMP/out.log}
+    if grep -q "$2" "$file"; then
+        echo "ok: $1"
+    else
+        echo "FAIL: $1 - output lacks '$2'"
+        sed 's/^/  | /' "$file"
+        fail=1
+    fi
+}
+
+cat >"$TMP/case.json" <<EOF
+{
+  "name": "smoke",
+  "fluids": [{ "gamma": 1.4, "pi_inf": 0.0 }],
+  "ndim": 1,
+  "cells": [64, 1, 1],
+  "lo": [0.0, 0.0, 0.0],
+  "hi": [1.0, 1.0, 1.0],
+  "bc": "transmissive",
+  "patches": [
+    { "region": "all",
+      "state": { "alpha": [1.0], "rho": [0.125], "vel": [0, 0, 0], "p": 0.1 } },
+    { "region": { "half_space": { "axis": 0, "bound": 0.5 } },
+      "state": { "alpha": [1.0], "rho": [1.0], "vel": [0, 0, 0], "p": 1.0 } }
+  ],
+  "numerics": { "order": "weno5", "solver": "hllc", "cfl": 0.5 },
+  "run": { "steps": 30 },
+  "output": { "dir": "$TMP/out_case", "vtk": false }
+}
+EOF
+
+# --- reference: the same job in manifest mode ------------------------------
+cat >"$TMP/jobs.json" <<EOF
+{ "out_dir": "$TMP/manifest",
+  "jobs": [ { "case": "$TMP/case.json", "name": "wire", "max_steps": 12 } ] }
+EOF
+expect 0 "manifest-mode reference run exits 0" \
+    "$SERVE" --jobs "$TMP/jobs.json" --ledger "$TMP/manifest_ledger.jsonl"
+
+# --- the daemon: stream the same job over TCP ------------------------------
+"$SERVE" --listen 127.0.0.1:0 --out-dir "$TMP/daemon" \
+    --ledger "$TMP/daemon_ledger.jsonl" >"$TMP/daemon.log" 2>&1 &
+SERVE_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$TMP/daemon.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "FAIL: daemon died before announcing its address"
+        sed 's/^/  | /' "$TMP/daemon.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: daemon never announced 'listening on HOST:PORT'"
+    sed 's/^/  | /' "$TMP/daemon.log"
+    exit 1
+fi
+echo "ok: daemon announced $ADDR"
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+
+# One TCP session: ping, a malformed frame, submit, metrics, drain.
+# Responses come back one line per request, in order.
+exec 3<>"/dev/tcp/$HOST/$PORT"
+{
+    printf '%s\n' '{"cmd":"ping"}'
+    printf '%s\n' 'this is not json'
+    printf '{"cmd":"submit","job":{"case":"%s","name":"wire","max_steps":12}}\n' "$TMP/case.json"
+    printf '%s\n' '{"cmd":"metrics"}'
+    printf '%s\n' '{"cmd":"drain"}'
+} >&3
+head -n 5 <&3 >"$TMP/session.log"
+exec 3<&- 3>&-
+
+require_output "ping answered ok" '"pong":true' "$TMP/session.log"
+require_output "malformed frame gets a typed error" '"kind":"malformed_frame"' "$TMP/session.log"
+require_output "submission accepted with an id" '"id":0' "$TMP/session.log"
+require_output "metrics report the submission" '"submitted":1' "$TMP/session.log"
+require_output "drain acknowledged" '"draining":true' "$TMP/session.log"
+
+wait "$SERVE_PID"
+code=$?
+SERVE_PID=""
+if [ "$code" -eq 0 ]; then
+    echo "ok: daemon exited 0 after drain"
+else
+    echo "FAIL: daemon exit code $code after drain"
+    sed 's/^/  | /' "$TMP/daemon.log"
+    fail=1
+fi
+require_output "daemon ledger records the job done" \
+    '"job":"wire".*"state":"done","steps":12' "$TMP/daemon_ledger.jsonl"
+
+# --- the transport is numerically invisible --------------------------------
+if cmp -s "$TMP/manifest/00_wire/final.ckpt" "$TMP/daemon/00_wire/final.ckpt"; then
+    echo "ok: streamed checkpoint bitwise identical to manifest mode"
+else
+    echo "FAIL: streamed checkpoint differs from manifest mode"
+    fail=1
+fi
+
+# --- typed startup validation ----------------------------------------------
+printf 'not a directory' >"$TMP/blocker"
+expect 3 "unwritable --out-dir exits 3 at startup" \
+    "$SERVE" --listen 127.0.0.1:0 --out-dir "$TMP/blocker/out"
+expect 3 "unwritable --ledger exits 3 at startup" \
+    "$SERVE" --listen 127.0.0.1:0 --out-dir "$TMP/ok_out" \
+    --ledger "$TMP/blocker/deep/ledger.jsonl"
+expect 2 "neither --jobs nor --listen is a usage error" "$SERVE"
+
+if [ "$fail" -ne 0 ]; then
+    echo "serve daemon smoke: FAILED"
+    exit 1
+fi
+echo "serve daemon smoke: all checks passed"
